@@ -1,0 +1,152 @@
+//! Simulated annealing.
+//!
+//! Accepts worse points with probability `exp(−Δ/T)` where Δ is the
+//! *relative* regression (so the schedule is workload-scale-free) and the
+//! temperature follows the tuning budget: hot early (wide exploration,
+//! strong mutations), cold late (pure descent).
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{SearchState, Technique};
+
+/// Initial temperature: a 10 % regression is accepted with p ≈ e⁻¹ at t=0.
+const T0: f64 = 0.10;
+/// Final temperature at budget exhaustion.
+const T1: f64 = 0.002;
+
+/// Budget-scheduled simulated annealing.
+pub struct SimulatedAnnealing {
+    current: Option<(JvmConfig, f64)>,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Fresh annealer.
+    pub fn new() -> Self {
+        SimulatedAnnealing { current: None }
+    }
+
+    fn temperature(state: &SearchState<'_>) -> f64 {
+        let f = state.budget_fraction.clamp(0.0, 1.0);
+        // Geometric interpolation from T0 to T1.
+        T0 * (T1 / T0).powf(f)
+    }
+}
+
+impl Technique for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        let t = Self::temperature(state);
+        // Mutation strength cools with the temperature.
+        let strength = (0.2 + 6.0 * t).min(1.0);
+        let base = match &self.current {
+            Some((c, _)) => c.clone(),
+            None => state.anchor(),
+        };
+        state.manipulator.mutate(&base, rng, strength)
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
+        let Some(s) = score else { return };
+        let cur = self
+            .current
+            .as_ref()
+            .map(|(_, c)| *c)
+            .unwrap_or(state.default_score);
+        let accept = if s <= cur {
+            true
+        } else {
+            let delta = (s - cur) / cur.max(1e-9);
+            let t = Self::temperature(state);
+            // Metropolis criterion on relative regression. The acceptance
+            // draw must be deterministic given the feedback sequence, so we
+            // hash the candidate rather than consuming the shared RNG here.
+            let u = (config.fingerprint() as f64 / u64::MAX as f64).clamp(0.0, 1.0);
+            u < (-delta / t).exp()
+        };
+        if accept {
+            self.current = Some((config.clone(), s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator, frac: f64) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: frac,
+        }
+    }
+
+    #[test]
+    fn temperature_cools_with_budget() {
+        let m = HierarchicalManipulator::new();
+        let hot = SimulatedAnnealing::temperature(&state(&m, 0.0));
+        let cold = SimulatedAnnealing::temperature(&state(&m, 1.0));
+        assert!((hot - T0).abs() < 1e-12);
+        assert!((cold - T1).abs() < 1e-12);
+        assert!(hot > cold * 10.0);
+    }
+
+    #[test]
+    fn always_accepts_improvements() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m, 0.9);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut t = SimulatedAnnealing::new();
+        let c = t.propose(&st, &mut rng);
+        t.feedback(&c, Some(5.0), &st);
+        assert_eq!(t.current.as_ref().unwrap().1, 5.0);
+        let c2 = t.propose(&st, &mut rng);
+        t.feedback(&c2, Some(4.0), &st);
+        assert_eq!(t.current.as_ref().unwrap().1, 4.0);
+    }
+
+    #[test]
+    fn cold_phase_rejects_large_regressions() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut t = SimulatedAnnealing::new();
+        let c = t.propose(&st, &mut rng);
+        t.feedback(&c, Some(5.0), &st);
+        // A 40 % regression at T1 has acceptance p ≈ e^-200 ≈ 0: never
+        // accepted regardless of the hash draw.
+        let mut rejected = true;
+        for _ in 0..20 {
+            let cand = t.propose(&st, &mut rng);
+            t.feedback(&cand, Some(7.0), &st);
+            if t.current.as_ref().unwrap().1 == 7.0 {
+                rejected = false;
+            }
+        }
+        assert!(rejected, "cold annealer accepted a 40% regression");
+    }
+
+    #[test]
+    fn failures_are_ignored_not_adopted() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut t = SimulatedAnnealing::new();
+        let c = t.propose(&st, &mut rng);
+        t.feedback(&c, None, &st);
+        assert!(t.current.is_none());
+    }
+}

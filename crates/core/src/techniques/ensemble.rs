@@ -1,0 +1,220 @@
+//! The AUC-bandit technique ensemble.
+//!
+//! No single search technique wins on every program: random sampling
+//! dominates early, local techniques dominate once a good basin is found,
+//! numeric techniques dominate when only sizes remain to polish. The
+//! ensemble treats technique choice as a multi-armed bandit (the
+//! OpenTuner design the paper's tuner follows): each proposal is routed to
+//! the technique maximising *recent credit + exploration bonus*, where
+//! credit is the area-under-curve of the technique's recent
+//! best-improvement history (newer hits weigh more).
+
+use std::collections::{HashMap, VecDeque};
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{SearchState, Technique, TechniqueSet};
+
+/// Sliding-window length for credit.
+const WINDOW: usize = 50;
+/// Exploration constant (UCB1-style).
+const C: f64 = 0.35;
+
+struct Arm {
+    technique: Box<dyn Technique>,
+    /// Recent history: `true` = that proposal improved the global best.
+    history: VecDeque<bool>,
+    uses: u64,
+}
+
+impl Arm {
+    /// AUC credit: Σ (i+1)·hit_i / Σ (i+1), newer entries having larger i.
+    fn credit(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &hit) in self.history.iter().enumerate() {
+            let w = (i + 1) as f64;
+            den += w;
+            if hit {
+                num += w;
+            }
+        }
+        num / den
+    }
+}
+
+/// The bandit over a set of techniques. Itself a [`Technique`], so solo
+/// and ensemble tuners share one driver.
+pub struct AucBandit {
+    arms: Vec<Arm>,
+    /// Which arm proposed which pending config (by fingerprint).
+    router: HashMap<u64, usize>,
+    total_uses: u64,
+}
+
+impl AucBandit {
+    /// Bandit over a custom roster.
+    pub fn new(techniques: Vec<Box<dyn Technique>>) -> Self {
+        assert!(!techniques.is_empty(), "ensemble needs at least one technique");
+        AucBandit {
+            arms: techniques
+                .into_iter()
+                .map(|technique| Arm {
+                    technique,
+                    history: VecDeque::with_capacity(WINDOW),
+                    uses: 0,
+                })
+                .collect(),
+            router: HashMap::new(),
+            total_uses: 0,
+        }
+    }
+
+    /// Bandit over the standard roster.
+    pub fn standard() -> Self {
+        Self::new(TechniqueSet::standard())
+    }
+
+    fn select(&self) -> usize {
+        let t = (self.total_uses + 1) as f64;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, arm) in self.arms.iter().enumerate() {
+            let score = if arm.uses == 0 {
+                // Untried arms first.
+                f64::INFINITY
+            } else {
+                arm.credit() + C * (2.0 * t.ln() / arm.uses as f64).sqrt()
+            };
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-arm usage counts (reporting hook for experiment E8).
+    pub fn usage(&self) -> Vec<(&'static str, u64)> {
+        self.arms
+            .iter()
+            .map(|a| (a.technique.name(), a.uses))
+            .collect()
+    }
+}
+
+impl Technique for AucBandit {
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        let i = self.select();
+        self.arms[i].uses += 1;
+        self.total_uses += 1;
+        let config = self.arms[i].technique.propose(state, rng);
+        self.router.insert(config.fingerprint(), i);
+        config
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
+        let Some(i) = self.router.remove(&config.fingerprint()) else {
+            return;
+        };
+        let improved = match (score, state.best) {
+            (Some(s), Some((_, best))) => s < *best,
+            (Some(s), None) => s < state.default_score,
+            (None, _) => false,
+        };
+        let arm = &mut self.arms[i];
+        if arm.history.len() == WINDOW {
+            arm.history.pop_front();
+        }
+        arm.history.push_back(improved);
+        arm.technique.feedback(config, score, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use crate::techniques::random::RandomSearch;
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.1,
+        }
+    }
+
+    #[test]
+    fn tries_every_arm_before_exploiting() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let mut bandit = AucBandit::standard();
+        let n_arms = bandit.arms.len();
+        for _ in 0..n_arms {
+            let c = bandit.propose(&st, &mut rng);
+            bandit.feedback(&c, Some(10.0), &st);
+        }
+        assert!(bandit.usage().iter().all(|(_, uses)| *uses >= 1));
+    }
+
+    #[test]
+    fn credit_rewards_improving_arm() {
+        // Two arms; we synthesise feedback so arm 0 always improves and
+        // arm 1 never does. Arm 0 must end up used far more.
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(22);
+        let mut bandit = AucBandit::new(vec![
+            Box::new(RandomSearch::new()),
+            Box::new(RandomSearch::new()),
+        ]);
+        for round in 0..120 {
+            let c = bandit.propose(&st, &mut rng);
+            let arm = *bandit.router.get(&c.fingerprint()).unwrap();
+            // Arm 0's candidates "improve" (score below default), arm 1's
+            // regress.
+            let score = if arm == 0 { 9.0 - round as f64 * 0.001 } else { 12.0 };
+            bandit.feedback(&c, Some(score), &st);
+        }
+        let usage = bandit.usage();
+        assert!(
+            usage[0].1 > usage[1].1 * 2,
+            "bandit failed to exploit: {usage:?}"
+        );
+    }
+
+    #[test]
+    fn auc_weighs_recent_history_more() {
+        let mut arm = Arm {
+            technique: Box::new(RandomSearch::new()),
+            history: VecDeque::new(),
+            uses: 10,
+        };
+        // Old hits, recent misses...
+        arm.history.extend([true, true, false, false]);
+        let fading = arm.credit();
+        // ...versus old misses, recent hits.
+        arm.history.clear();
+        arm.history.extend([false, false, true, true]);
+        let rising = arm.credit();
+        assert!(rising > fading);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one technique")]
+    fn empty_ensemble_panics() {
+        let _ = AucBandit::new(vec![]);
+    }
+}

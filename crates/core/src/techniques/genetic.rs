@@ -1,0 +1,163 @@
+//! A steady-state genetic algorithm.
+//!
+//! Population of up to `POP` (12) scored configurations; proposals are either
+//! population seeding (while under-full) or tournament-selected parents
+//! recombined by the manipulator's crossover plus a light mutation.
+//! Feedback inserts candidates that beat the current worst.
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::{below, RngDyn};
+use crate::techniques::{SearchState, Technique};
+
+/// Population size.
+const POP: usize = 12;
+/// Tournament size.
+const TOURNAMENT: usize = 3;
+
+/// Steady-state GA.
+pub struct GeneticAlgorithm {
+    population: Vec<(JvmConfig, f64)>,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeneticAlgorithm {
+    /// Fresh, empty population.
+    pub fn new() -> Self {
+        GeneticAlgorithm {
+            population: Vec::with_capacity(POP),
+        }
+    }
+
+    fn tournament_pick<'a>(&'a self, rng: &mut dyn RngDyn) -> &'a (JvmConfig, f64) {
+        let mut best: Option<&(JvmConfig, f64)> = None;
+        for _ in 0..TOURNAMENT {
+            let cand = &self.population[below(rng, self.population.len())];
+            if best.is_none_or(|b| cand.1 < b.1) {
+                best = Some(cand);
+            }
+        }
+        best.expect("non-empty population")
+    }
+
+    /// Current population size (test hook).
+    pub fn population_len(&self) -> usize {
+        self.population.len()
+    }
+}
+
+impl Technique for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        if self.population.len() < POP / 2 {
+            // Seed the population: half random, half perturbations of the
+            // anchor so the GA starts near known-good territory.
+            return if self.population.len().is_multiple_of(2) {
+                state.manipulator.random(rng)
+            } else {
+                state.manipulator.mutate(&state.anchor(), rng, 0.5)
+            };
+        }
+        let a = self.tournament_pick(rng).0.clone();
+        let b = self.tournament_pick(rng).0.clone();
+        let child = state.manipulator.crossover(&a, &b, rng);
+        state.manipulator.mutate(&child, rng, 0.25)
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, _state: &SearchState<'_>) {
+        let Some(s) = score else { return };
+        if self.population.len() < POP {
+            self.population.push((config.clone(), s));
+            return;
+        }
+        // Replace the worst if strictly better.
+        let (worst_idx, worst) = self
+            .population
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, p)| (i, p.1))
+            .expect("population full");
+        if s < worst {
+            self.population[worst_idx] = (config.clone(), s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn population_fills_then_evolves() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut ga = GeneticAlgorithm::new();
+        for i in 0..POP {
+            let c = ga.propose(&st, &mut rng);
+            ga.feedback(&c, Some(10.0 - i as f64 * 0.1), &st);
+        }
+        assert_eq!(ga.population_len(), POP);
+        // Now full: a better candidate replaces the worst.
+        let worst_before: f64 = ga
+            .population
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let c = ga.propose(&st, &mut rng);
+        ga.feedback(&c, Some(1.0), &st);
+        let worst_after: f64 = ga
+            .population
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst_after < worst_before);
+        assert_eq!(ga.population_len(), POP);
+    }
+
+    #[test]
+    fn worse_candidates_are_discarded_when_full() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut ga = GeneticAlgorithm::new();
+        for _ in 0..POP {
+            let c = ga.propose(&st, &mut rng);
+            ga.feedback(&c, Some(5.0), &st);
+        }
+        let c = ga.propose(&st, &mut rng);
+        ga.feedback(&c, Some(100.0), &st);
+        assert!(ga.population.iter().all(|p| p.1 <= 5.0));
+    }
+
+    #[test]
+    fn failures_never_enter_population() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let mut ga = GeneticAlgorithm::new();
+        let c = ga.propose(&st, &mut rng);
+        ga.feedback(&c, None, &st);
+        assert_eq!(ga.population_len(), 0);
+    }
+}

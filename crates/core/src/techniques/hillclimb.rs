@@ -1,0 +1,128 @@
+//! Greedy hill-climbing with random restarts.
+//!
+//! Mutates its current point with small strength; accepts strict
+//! improvements. After a failure streak it restarts from a fresh random
+//! point (keeping the global best is the tuner's job, not the climber's).
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{SearchState, Technique};
+
+/// Restart threshold: consecutive non-improving feedbacks.
+const RESTART_AFTER: u32 = 15;
+
+/// First-improvement hill climber.
+pub struct HillClimb {
+    current: Option<(JvmConfig, f64)>,
+    /// Fingerprint of the point the last proposal mutated from, to detect
+    /// stale feedback after a restart.
+    fail_streak: u32,
+    strength: f64,
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HillClimb {
+    /// Fresh climber.
+    pub fn new() -> Self {
+        HillClimb {
+            current: None,
+            fail_streak: 0,
+            strength: 0.3,
+        }
+    }
+}
+
+impl Technique for HillClimb {
+    fn name(&self) -> &'static str {
+        "hillclimb"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        match &self.current {
+            None => {
+                // Start from the global anchor (best-so-far or default):
+                // climbing from a good point beats climbing from noise.
+                let anchor = state.anchor();
+                state.manipulator.mutate(&anchor, rng, self.strength)
+            }
+            Some((c, _)) => state.manipulator.mutate(c, rng, self.strength),
+        }
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
+        let improved = match (score, &self.current) {
+            (Some(s), Some((_, cur))) => s < *cur,
+            (Some(s), None) => {
+                // First data point: adopt it if it beats the default.
+                s < state.default_score
+            }
+            (None, _) => false,
+        };
+        if improved {
+            self.current = Some((config.clone(), score.expect("improved implies score")));
+            self.fail_streak = 0;
+        } else {
+            self.fail_streak += 1;
+            if self.fail_streak >= RESTART_AFTER {
+                self.current = None;
+                self.fail_streak = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use jtune_util::Xoshiro256pp;
+
+    #[test]
+    fn adopts_improvements_and_restarts_on_stagnation() {
+        let m = HierarchicalManipulator::new();
+        let state = SearchState {
+            manipulator: &m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut t = HillClimb::new();
+        let c1 = t.propose(&state, &mut rng);
+        t.feedback(&c1, Some(8.0), &state);
+        assert!(t.current.is_some());
+        assert_eq!(t.current.as_ref().unwrap().1, 8.0);
+        // Worse feedback doesn't replace.
+        let c2 = t.propose(&state, &mut rng);
+        t.feedback(&c2, Some(9.0), &state);
+        assert_eq!(t.current.as_ref().unwrap().1, 8.0);
+        // Stagnation forces a restart.
+        for _ in 0..RESTART_AFTER {
+            let c = t.propose(&state, &mut rng);
+            t.feedback(&c, None, &state);
+        }
+        assert!(t.current.is_none());
+    }
+
+    #[test]
+    fn first_point_must_beat_default_to_be_adopted() {
+        let m = HierarchicalManipulator::new();
+        let state = SearchState {
+            manipulator: &m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut t = HillClimb::new();
+        let c = t.propose(&state, &mut rng);
+        t.feedback(&c, Some(11.0), &state);
+        assert!(t.current.is_none());
+    }
+}

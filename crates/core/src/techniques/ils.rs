@@ -1,0 +1,207 @@
+//! Iterated local search (ParamILS-style).
+//!
+//! The algorithm-configuration classic: run first-improvement local search
+//! to a local optimum, then *perturb* (a handful of strong random moves —
+//! stronger than a mutation, weaker than a restart) and search again,
+//! accepting the new local optimum if it is at least as good. Compared
+//! with the plain hill climber it escapes local optima without discarding
+//! everything it has learned, which suits flag landscapes where good
+//! configurations share most coordinates.
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{SearchState, Technique};
+
+/// Consecutive non-improving proposals that end a local-search phase.
+const LOCAL_STALL: u32 = 8;
+/// Perturbation strength (fraction handed to the manipulator).
+const KICK_STRENGTH: f64 = 0.9;
+/// Local-move strength.
+const STEP_STRENGTH: f64 = 0.2;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Descending from the current incumbent.
+    Descend,
+    /// The next proposal is the perturbation kick.
+    Kick,
+}
+
+/// ParamILS-style iterated local search.
+pub struct IteratedLocalSearch {
+    /// Incumbent local optimum (accept criterion compares against this).
+    incumbent: Option<(JvmConfig, f64)>,
+    /// Point the current descent walks from.
+    current: Option<(JvmConfig, f64)>,
+    stall: u32,
+    phase: Phase,
+}
+
+impl Default for IteratedLocalSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IteratedLocalSearch {
+    /// Fresh searcher.
+    pub fn new() -> Self {
+        IteratedLocalSearch {
+            incumbent: None,
+            current: None,
+            stall: 0,
+            phase: Phase::Descend,
+        }
+    }
+
+    /// Current phase name (test hook).
+    pub fn in_kick_phase(&self) -> bool {
+        self.phase == Phase::Kick
+    }
+}
+
+impl Technique for IteratedLocalSearch {
+    fn name(&self) -> &'static str {
+        "ils"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        let base = match &self.current {
+            Some((c, _)) => c.clone(),
+            None => state.anchor(),
+        };
+        match self.phase {
+            Phase::Descend => state.manipulator.mutate(&base, rng, STEP_STRENGTH),
+            Phase::Kick => {
+                self.phase = Phase::Descend;
+                self.stall = 0;
+                state.manipulator.mutate(&base, rng, KICK_STRENGTH)
+            }
+        }
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
+        let Some(s) = score else {
+            self.stall += 1;
+            if self.stall >= LOCAL_STALL {
+                self.end_descent();
+            }
+            return;
+        };
+        let cur = self
+            .current
+            .as_ref()
+            .map(|(_, c)| *c)
+            .unwrap_or(state.default_score);
+        if s < cur {
+            self.current = Some((config.clone(), s));
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+            if self.stall >= LOCAL_STALL {
+                self.end_descent();
+            }
+        }
+    }
+}
+
+impl IteratedLocalSearch {
+    /// Local optimum reached: apply the ILS accept criterion and schedule
+    /// the perturbation kick.
+    fn end_descent(&mut self) {
+        match (&self.current, &self.incumbent) {
+            (Some((c, s)), Some((_, inc))) if *s <= *inc => {
+                self.incumbent = Some((c.clone(), *s));
+            }
+            (Some((c, s)), None) => {
+                self.incumbent = Some((c.clone(), *s));
+            }
+            (Some(_), Some(inc)) => {
+                // Worse local optimum: restart the walk from the incumbent.
+                self.current = Some(inc.clone());
+            }
+            (None, _) => {}
+        }
+        self.phase = Phase::Kick;
+        self.stall = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.3,
+        }
+    }
+
+    #[test]
+    fn descends_then_kicks_after_stall() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut ils = IteratedLocalSearch::new();
+        // One improvement establishes the walk.
+        let c = ils.propose(&st, &mut rng);
+        ils.feedback(&c, Some(8.0), &st);
+        assert!(!ils.in_kick_phase());
+        // Stall out the descent.
+        for _ in 0..LOCAL_STALL {
+            let c = ils.propose(&st, &mut rng);
+            ils.feedback(&c, Some(9.0), &st);
+        }
+        assert!(ils.in_kick_phase());
+        assert_eq!(ils.incumbent.as_ref().unwrap().1, 8.0);
+        // The kick proposal flips back to descend mode.
+        let _ = ils.propose(&st, &mut rng);
+        assert!(!ils.in_kick_phase());
+    }
+
+    #[test]
+    fn worse_local_optimum_is_rejected_by_accept_criterion() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(32);
+        let mut ils = IteratedLocalSearch::new();
+        // First descent ends at 7.0 (incumbent).
+        let c = ils.propose(&st, &mut rng);
+        ils.feedback(&c, Some(7.0), &st);
+        for _ in 0..LOCAL_STALL {
+            let c = ils.propose(&st, &mut rng);
+            ils.feedback(&c, Some(9.0), &st);
+        }
+        assert_eq!(ils.incumbent.as_ref().unwrap().1, 7.0);
+        // Second descent only reaches 8.0: incumbent must stay at 7.0 and
+        // the next walk restarts from it.
+        let _ = ils.propose(&st, &mut rng); // kick
+        let c = ils.propose(&st, &mut rng);
+        ils.feedback(&c, Some(8.0), &st);
+        for _ in 0..LOCAL_STALL {
+            let c = ils.propose(&st, &mut rng);
+            ils.feedback(&c, Some(9.5), &st);
+        }
+        assert_eq!(ils.incumbent.as_ref().unwrap().1, 7.0);
+        assert_eq!(ils.current.as_ref().unwrap().1, 7.0);
+    }
+
+    #[test]
+    fn failures_count_towards_stall() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(33);
+        let mut ils = IteratedLocalSearch::new();
+        for _ in 0..LOCAL_STALL {
+            let c = ils.propose(&st, &mut rng);
+            ils.feedback(&c, None, &st);
+        }
+        assert!(ils.in_kick_phase());
+    }
+}

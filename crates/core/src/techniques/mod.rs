@@ -1,0 +1,222 @@
+//! Search techniques.
+//!
+//! Every technique implements [`Technique`]: the tuner asks it to
+//! *propose* a candidate, evaluates the candidate (possibly in parallel
+//! with others), and then *feeds back* the measured score. Techniques are
+//! deliberately proposal-oriented rather than loop-oriented so the
+//! AUC-bandit ensemble ([`ensemble`]) can interleave them and the tuner
+//! can batch evaluations.
+//!
+//! Scores are run times in seconds — lower is better; `None` means the
+//! candidate failed (crash / OOM), which techniques treat as "very bad"
+//! rather than ignoring (a tuner that keeps proposing OOM configs burns
+//! its budget, as it would on a real testbed).
+
+pub mod anneal;
+pub mod diffevo;
+pub mod ensemble;
+pub mod genetic;
+pub mod hillclimb;
+pub mod ils;
+pub mod neldermead;
+pub mod random;
+
+use jtune_flags::{Domain, FlagId, FlagValue, JvmConfig};
+
+use crate::manipulator::{ConfigManipulator, RngDyn};
+
+/// Shared, read-only view of search progress handed to techniques.
+pub struct SearchState<'a> {
+    /// Move generator.
+    pub manipulator: &'a dyn ConfigManipulator,
+    /// Best configuration found so far with its score (seconds).
+    pub best: Option<&'a (JvmConfig, f64)>,
+    /// Score of the default configuration (seconds).
+    pub default_score: f64,
+    /// Fraction of the tuning budget already spent, in `[0, 1]`.
+    pub budget_fraction: f64,
+}
+
+impl SearchState<'_> {
+    /// The configuration to improve on: best-so-far, else the default.
+    pub fn anchor(&self) -> JvmConfig {
+        match self.best {
+            Some((c, _)) => c.clone(),
+            None => JvmConfig::default_for(self.manipulator.registry()),
+        }
+    }
+}
+
+/// One search technique.
+pub trait Technique: Send {
+    /// Stable display name.
+    fn name(&self) -> &'static str;
+
+    /// Propose the next candidate.
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig;
+
+    /// Learn from an evaluated candidate this technique proposed.
+    /// `score` is `None` on failure.
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>);
+}
+
+/// The standard technique roster (what the ensemble runs over).
+pub struct TechniqueSet;
+
+impl TechniqueSet {
+    /// All individual techniques, fresh.
+    pub fn standard() -> Vec<Box<dyn Technique>> {
+        vec![
+            Box::new(random::RandomSearch::new()),
+            Box::new(hillclimb::HillClimb::new()),
+            Box::new(ils::IteratedLocalSearch::new()),
+            Box::new(anneal::SimulatedAnnealing::new()),
+            Box::new(genetic::GeneticAlgorithm::new()),
+            Box::new(diffevo::DifferentialEvolution::new()),
+            Box::new(neldermead::NelderMead::new()),
+        ]
+    }
+
+    /// Construct one technique by name (experiment E8 runs them solo).
+    pub fn by_name(name: &str) -> Option<Box<dyn Technique>> {
+        Some(match name {
+            "random" => Box::new(random::RandomSearch::new()),
+            "hillclimb" => Box::new(hillclimb::HillClimb::new()),
+            "ils" => Box::new(ils::IteratedLocalSearch::new()),
+            "anneal" => Box::new(anneal::SimulatedAnnealing::new()),
+            "genetic" => Box::new(genetic::GeneticAlgorithm::new()),
+            "diffevo" => Box::new(diffevo::DifferentialEvolution::new()),
+            "neldermead" => Box::new(neldermead::NelderMead::new()),
+            "ensemble" => Box::new(ensemble::AucBandit::standard()),
+            _ => return None,
+        })
+    }
+
+    /// Names of the solo techniques.
+    pub fn names() -> &'static [&'static str] {
+        &["random", "hillclimb", "ils", "anneal", "genetic", "diffevo", "neldermead"]
+    }
+}
+
+// ---- numeric-subspace helpers shared by DE and Nelder-Mead ----
+
+/// Map a flag value to `[0, 1]` within its domain (log scale respected).
+pub(crate) fn normalize(domain: &Domain, value: FlagValue) -> f64 {
+    match (domain, value) {
+        (Domain::IntRange { lo, hi, log_scale }, FlagValue::Int(v)) => {
+            if *log_scale && *lo >= 0 {
+                let lo_f = (*lo as f64).max(1.0);
+                let hi_f = (*hi as f64).max(lo_f + 1.0);
+                ((v as f64).max(lo_f).ln() - lo_f.ln()) / (hi_f.ln() - lo_f.ln())
+            } else {
+                (v - lo) as f64 / ((*hi - *lo).max(1)) as f64
+            }
+        }
+        (Domain::DoubleRange { lo, hi }, FlagValue::Double(v)) => {
+            (v - lo) / (hi - lo).max(f64::MIN_POSITIVE)
+        }
+        _ => 0.5,
+    }
+    .clamp(0.0, 1.0)
+}
+
+/// Map `[0, 1]` back to a flag value in `domain`.
+pub(crate) fn denormalize(domain: &Domain, x: f64) -> FlagValue {
+    let x = x.clamp(0.0, 1.0);
+    match domain {
+        Domain::IntRange { lo, hi, log_scale } => {
+            let v = if *log_scale && *lo >= 0 {
+                let lo_f = (*lo as f64).max(1.0);
+                let hi_f = (*hi as f64).max(lo_f + 1.0);
+                (lo_f.ln() + x * (hi_f.ln() - lo_f.ln())).exp().round() as i64
+            } else {
+                lo + (x * (*hi - *lo) as f64).round() as i64
+            };
+            FlagValue::Int(v.clamp(*lo, *hi))
+        }
+        Domain::DoubleRange { lo, hi } => FlagValue::Double(lo + x * (hi - lo)),
+        Domain::Bool => FlagValue::Bool(x >= 0.5),
+        Domain::Enum { variants } => {
+            let n = variants.len().max(1);
+            FlagValue::Enum(((x * n as f64) as usize).min(n - 1) as u16)
+        }
+    }
+}
+
+/// Project a configuration onto a numeric-dimension vector.
+pub(crate) fn project(
+    manipulator: &dyn ConfigManipulator,
+    dims: &[FlagId],
+    config: &JvmConfig,
+) -> Vec<f64> {
+    dims.iter()
+        .map(|&id| normalize(&manipulator.registry().spec(id).domain, config.get(id)))
+        .collect()
+}
+
+/// Write a numeric vector back into a configuration (then canonicalise).
+pub(crate) fn embed(
+    manipulator: &dyn ConfigManipulator,
+    dims: &[FlagId],
+    base: &JvmConfig,
+    x: &[f64],
+) -> JvmConfig {
+    let mut c = base.clone();
+    for (&id, &xi) in dims.iter().zip(x.iter()) {
+        let v = denormalize(&manipulator.registry().spec(id).domain, xi);
+        c.set(id, v);
+    }
+    manipulator.canonicalize(&mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+
+    #[test]
+    fn normalize_round_trips_endpoints() {
+        let d = Domain::IntRange { lo: 100, hi: 1_000_000, log_scale: true };
+        assert_eq!(denormalize(&d, 0.0), FlagValue::Int(100));
+        assert_eq!(denormalize(&d, 1.0), FlagValue::Int(1_000_000));
+        assert!((normalize(&d, FlagValue::Int(100)) - 0.0).abs() < 1e-9);
+        assert!((normalize(&d, FlagValue::Int(1_000_000)) - 1.0).abs() < 1e-9);
+        // Log scaling: the geometric midpoint maps near 0.5.
+        let mid = denormalize(&d, 0.5).as_int().unwrap();
+        assert!((9_000..12_000).contains(&mid), "geometric mid {mid}");
+    }
+
+    #[test]
+    fn normalize_linear_and_double() {
+        let d = Domain::IntRange { lo: 0, hi: 10, log_scale: false };
+        assert!((normalize(&d, FlagValue::Int(5)) - 0.5).abs() < 1e-9);
+        let dd = Domain::DoubleRange { lo: 1.0, hi: 3.0 };
+        assert!((normalize(&dd, FlagValue::Double(2.0)) - 0.5).abs() < 1e-9);
+        assert_eq!(denormalize(&dd, 0.25), FlagValue::Double(1.5));
+    }
+
+    #[test]
+    fn project_embed_round_trip() {
+        let m = HierarchicalManipulator::new();
+        let mut c = JvmConfig::default_for(m.registry());
+        m.canonicalize(&mut c);
+        let dims = m.numeric_flags(&c);
+        let x = project(&m, &dims, &c);
+        let c2 = embed(&m, &dims, &c, &x);
+        let x2 = project(&m, &dims, &c2);
+        for (a, b) in x.iter().zip(x2.iter()) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn technique_set_has_all_names() {
+        for name in TechniqueSet::names() {
+            assert!(TechniqueSet::by_name(name).is_some(), "missing {name}");
+        }
+        assert!(TechniqueSet::by_name("ensemble").is_some());
+        assert!(TechniqueSet::by_name("nope").is_none());
+        assert_eq!(TechniqueSet::standard().len(), TechniqueSet::names().len());
+    }
+}

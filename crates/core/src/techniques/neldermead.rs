@@ -1,0 +1,245 @@
+//! Simplex search (simplified Nelder-Mead) on the numeric subspace.
+//!
+//! Classic Nelder-Mead assumes synchronous evaluation; a tuner evaluates
+//! asynchronously in batches, so this is the standard *reflect-or-shrink*
+//! simplification: maintain a (d+1)-vertex simplex over the first
+//! `MAX_DIMS` (8) active numeric flags, propose the reflection of the worst
+//! vertex through the centroid of the rest, replace the worst on
+//! improvement, and shrink the worst towards the best on failure. The
+//! structural (boolean/selector) part of the configuration is pinned to
+//! the simplex's base configuration.
+
+use std::collections::HashMap;
+
+use jtune_flags::{FlagId, JvmConfig};
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{embed, project, SearchState, Technique};
+
+/// Simplex dimensionality cap (evaluation cost grows with d).
+const MAX_DIMS: usize = 8;
+/// Initial vertex offset along each axis.
+const SPREAD: f64 = 0.2;
+
+/// Reflect-or-shrink simplex search.
+pub struct NelderMead {
+    dims: Vec<FlagId>,
+    base: Option<JvmConfig>,
+    simplex: Vec<(Vec<f64>, f64)>,
+    /// Vectors proposed but not yet scored, keyed by config fingerprint.
+    pending: HashMap<u64, Vec<f64>>,
+    init_cursor: usize,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NelderMead {
+    /// Fresh (dimension-less) simplex; it binds to the anchor's active
+    /// numeric flags on first proposal.
+    pub fn new() -> Self {
+        NelderMead {
+            dims: Vec::new(),
+            base: None,
+            simplex: Vec::new(),
+            pending: HashMap::new(),
+            init_cursor: 0,
+        }
+    }
+
+    fn full(&self) -> bool {
+        !self.dims.is_empty() && self.simplex.len() == self.dims.len() + 1
+    }
+
+    fn worst_idx(&self) -> usize {
+        self.simplex
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .expect("non-empty simplex")
+    }
+
+    fn best_idx(&self) -> usize {
+        self.simplex
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .map(|(i, _)| i)
+            .expect("non-empty simplex")
+    }
+}
+
+impl Technique for NelderMead {
+    fn name(&self) -> &'static str {
+        "neldermead"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        if self.base.is_none() {
+            let anchor = state.anchor();
+            let mut dims = state.manipulator.numeric_flags(&anchor);
+            dims.truncate(MAX_DIMS);
+            self.dims = dims;
+            self.base = Some(anchor);
+        }
+        let base = self.base.clone().expect("base set above");
+        if self.dims.is_empty() {
+            // Nothing numeric to optimise: degrade to a local mutation.
+            return state.manipulator.mutate(&base, rng, 0.3);
+        }
+        let x0 = project(state.manipulator, &self.dims, &base);
+        let vec = if !self.full() {
+            // Initial vertices: x0, then x0 ± SPREAD along each axis.
+            let i = self.init_cursor;
+            self.init_cursor += 1;
+            if i == 0 {
+                x0
+            } else {
+                let d = (i - 1) % self.dims.len();
+                let mut v = x0.clone();
+                v[d] = if v[d] + SPREAD <= 1.0 { v[d] + SPREAD } else { v[d] - SPREAD };
+                v
+            }
+        } else {
+            // Reflection of the worst through the centroid of the rest,
+            // with a little jitter so repeated reflections of a stale
+            // simplex don't propose duplicates.
+            let w = self.worst_idx();
+            let d = self.dims.len();
+            let mut centroid = vec![0.0; d];
+            for (i, (v, _)) in self.simplex.iter().enumerate() {
+                if i != w {
+                    for k in 0..d {
+                        centroid[k] += v[k] / d as f64;
+                    }
+                }
+            }
+            let worst = &self.simplex[w].0;
+            (0..d)
+                .map(|k| {
+                    (centroid[k] + (centroid[k] - worst[k]) + rng.next_gaussian_dyn() * 0.01)
+                        .clamp(0.0, 1.0)
+                })
+                .collect()
+        };
+        let config = embed(state.manipulator, &self.dims, &base, &vec);
+        self.pending.insert(config.fingerprint(), vec);
+        config
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, _state: &SearchState<'_>) {
+        let Some(vec) = self.pending.remove(&config.fingerprint()) else {
+            return;
+        };
+        let s = score.unwrap_or(f64::INFINITY);
+        if !self.full() {
+            self.simplex.push((vec, s));
+            return;
+        }
+        let w = self.worst_idx();
+        if s < self.simplex[w].1 {
+            self.simplex[w] = (vec, s);
+        } else {
+            // Shrink: pull the worst halfway towards the best. Its stored
+            // score is an optimistic estimate; the vertex will be
+            // re-reflected and re-measured as the search continues.
+            let b = self.best_idx();
+            let best_vec = self.simplex[b].0.clone();
+            let best_score = self.simplex[b].1;
+            let (wv, ws) = &mut self.simplex[w];
+            for k in 0..wv.len() {
+                wv[k] = 0.5 * (wv[k] + best_vec[k]);
+            }
+            *ws = 0.5 * (*ws + best_score.min(*ws));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::{ConfigManipulator, HierarchicalManipulator};
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.4,
+        }
+    }
+
+    #[test]
+    fn simplex_initialises_then_reflects() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut nm = NelderMead::new();
+        // Drive until the simplex is full.
+        let mut proposals = 0;
+        while !nm.full() {
+            let c = nm.propose(&st, &mut rng);
+            assert!(c.validate(m.registry()).is_ok());
+            nm.feedback(&c, Some(10.0 + proposals as f64 * 0.1), &st);
+            proposals += 1;
+            assert!(proposals <= MAX_DIMS + 2, "simplex never filled");
+        }
+        assert_eq!(nm.simplex.len(), nm.dims.len() + 1);
+        // Reflection proposals keep being valid and tracked.
+        for _ in 0..5 {
+            let c = nm.propose(&st, &mut rng);
+            assert!(c.validate(m.registry()).is_ok());
+            nm.feedback(&c, Some(9.0), &st);
+        }
+    }
+
+    #[test]
+    fn improvement_replaces_worst_vertex() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let mut nm = NelderMead::new();
+        while !nm.full() {
+            let c = nm.propose(&st, &mut rng);
+            nm.feedback(&c, Some(10.0), &st);
+        }
+        let c = nm.propose(&st, &mut rng);
+        nm.feedback(&c, Some(3.0), &st);
+        assert!(nm.simplex.iter().any(|(_, s)| *s == 3.0));
+    }
+
+    #[test]
+    fn rejection_shrinks_worst_toward_best() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let mut nm = NelderMead::new();
+        let mut i = 0;
+        while !nm.full() {
+            let c = nm.propose(&st, &mut rng);
+            nm.feedback(&c, Some(10.0 + i as f64), &st);
+            i += 1;
+        }
+        let worst_before = nm.simplex[nm.worst_idx()].0.clone();
+        let c = nm.propose(&st, &mut rng);
+        nm.feedback(&c, Some(1e9), &st); // terrible reflection
+        let worst_after = &nm.simplex[nm.worst_idx()];
+        assert_ne!(&worst_before, &worst_after.0);
+    }
+
+    #[test]
+    fn stray_feedback_is_ignored() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut nm = NelderMead::new();
+        // Feedback for a config NM never proposed must not corrupt state.
+        let stranger = jtune_flags::JvmConfig::default_for(m.registry());
+        nm.feedback(&stranger, Some(1.0), &st);
+        assert!(nm.simplex.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Pure random sampling — the floor every other technique must beat, and a
+//! surprisingly strong contributor early in a session when nothing is
+//! known about the landscape.
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{SearchState, Technique};
+
+/// Uniform random sampling through the manipulator.
+#[derive(Default)]
+pub struct RandomSearch {
+    proposals: u64,
+}
+
+impl RandomSearch {
+    /// New sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Technique for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        self.proposals += 1;
+        state.manipulator.random(rng)
+    }
+
+    fn feedback(&mut self, _config: &JvmConfig, _score: Option<f64>, _state: &SearchState<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::{ConfigManipulator, HierarchicalManipulator};
+    use jtune_util::Xoshiro256pp;
+
+    #[test]
+    fn proposes_valid_distinct_configs() {
+        let m = HierarchicalManipulator::new();
+        let state = SearchState {
+            manipulator: &m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut t = RandomSearch::new();
+        let a = t.propose(&state, &mut rng);
+        let b = t.propose(&state, &mut rng);
+        assert!(a.validate(m.registry()).is_ok());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,437 @@
+//! The tuning driver.
+//!
+//! [`Tuner::run`] reproduces the paper's per-program session: measure the
+//! default configuration, then repeat *propose → evaluate (in parallel) →
+//! learn* until the tuning-time budget is exhausted, and report the best
+//! configuration found with its full trial history.
+
+use std::collections::HashSet;
+
+use jtune_flags::JvmConfig;
+use jtune_harness::{evaluate_batch, Budget, Executor, Protocol, SessionRecord, TrialRecord};
+use jtune_util::{SimDuration, Xoshiro256pp};
+
+use crate::manipulator::{
+    ConfigManipulator, FlatManipulator, HierarchicalManipulator, SubsetManipulator,
+};
+use crate::techniques::{SearchState, Technique, TechniqueSet};
+
+/// Which configuration-space manipulator the tuner uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManipulatorKind {
+    /// Flag-hierarchy-aware moves (the paper's tuner).
+    Hierarchical,
+    /// Whole flat space, no dependency knowledge (ablation baseline).
+    Flat,
+    /// GC + heap flags only (prior-work baseline).
+    GcSubset,
+}
+
+/// Tuner configuration.
+#[derive(Clone, Debug)]
+pub struct TunerOptions {
+    /// Tuning-time budget (the paper: 200 minutes).
+    pub budget: SimDuration,
+    /// Measurement protocol per candidate.
+    pub protocol: Protocol,
+    /// Parallel evaluation workers.
+    pub workers: usize,
+    /// Candidates proposed per round (defaults to `workers`).
+    pub batch: usize,
+    /// Master seed: tuning is fully deterministic given it.
+    pub seed: u64,
+    /// Search-space manipulator.
+    pub manipulator: ManipulatorKind,
+    /// Technique name (`"ensemble"` or any of [`TechniqueSet::names`]).
+    pub technique: String,
+    /// Optional hard cap on evaluations (tests use small caps).
+    pub max_evaluations: Option<u64>,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            budget: SimDuration::from_mins(200),
+            protocol: Protocol::default(),
+            workers: 4,
+            batch: 4,
+            seed: 0x4a54_554e_45,
+            manipulator: ManipulatorKind::Hierarchical,
+            technique: "ensemble".to_string(),
+            max_evaluations: None,
+        }
+    }
+}
+
+/// Outcome of one tuning session.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// Full session record (trials, scores, budget accounting).
+    pub session: SessionRecord,
+    /// The best configuration found.
+    pub best_config: JvmConfig,
+}
+
+impl TuningResult {
+    /// Improvement over the default, the paper's headline number.
+    pub fn improvement_percent(&self) -> f64 {
+        self.session.improvement_percent()
+    }
+}
+
+/// The HotSpot Auto-tuner.
+pub struct Tuner {
+    opts: TunerOptions,
+}
+
+impl Tuner {
+    /// Build a tuner.
+    pub fn new(opts: TunerOptions) -> Tuner {
+        Tuner { opts }
+    }
+
+    /// The paper's configuration: hierarchical manipulator, ensemble
+    /// search, 200-minute budget.
+    pub fn paper_default() -> Tuner {
+        Tuner::new(TunerOptions::default())
+    }
+
+    fn build_manipulator(&self) -> Box<dyn ConfigManipulator> {
+        match self.opts.manipulator {
+            ManipulatorKind::Hierarchical => Box::new(HierarchicalManipulator::new()),
+            ManipulatorKind::Flat => Box::new(FlatManipulator::new()),
+            ManipulatorKind::GcSubset => Box::new(SubsetManipulator::gc_and_heap()),
+        }
+    }
+
+    /// Run one tuning session for `program` against `executor`.
+    ///
+    /// # Panics
+    /// Panics if the technique name in the options is unknown.
+    pub fn run(&self, executor: &dyn Executor, program: &str) -> TuningResult {
+        let opts = &self.opts;
+        let manipulator = self.build_manipulator();
+        let mut technique: Box<dyn Technique> = TechniqueSet::by_name(&opts.technique)
+            .unwrap_or_else(|| panic!("unknown technique {:?}", opts.technique));
+        let budget = Budget::new(opts.budget);
+        let mut rng = Xoshiro256pp::seed_from_u64(opts.seed);
+        let registry = executor.registry();
+
+        let mut trials: Vec<TrialRecord> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut eval_index: u64 = 0;
+
+        // ---- baseline: the default configuration ----
+        let mut default_config = JvmConfig::default_for(registry);
+        manipulator.canonicalize(&mut default_config);
+        seen.insert(default_config.fingerprint());
+        let ev0 = opts.protocol.evaluate(executor, &default_config, opts.seed);
+        budget.charge(ev0.cost);
+        let default_score = match ev0.score {
+            Some(s) => s.as_secs_f64(),
+            None => {
+                // The default JVM fails the workload (can genuinely happen:
+                // live set over the default heap). Report a degenerate
+                // session; callers see default == best == infinity-ish.
+                let session = SessionRecord {
+                    program: program.to_string(),
+                    executor: executor.describe(),
+                    budget_mins: opts.budget.as_mins_f64(),
+                    default_secs: f64::INFINITY,
+                    best_secs: f64::INFINITY,
+                    best_delta: Vec::new(),
+                    evaluations: 1,
+                    trials,
+                };
+                return TuningResult {
+                    session,
+                    best_config: default_config,
+                };
+            }
+        };
+        trials.push(TrialRecord {
+            index: 0,
+            at_secs: budget.spent().as_secs_f64(),
+            score_secs: Some(default_score),
+            technique: "default".to_string(),
+            delta: Vec::new(),
+        });
+        eval_index += 1;
+
+        let mut best: (JvmConfig, f64) = (default_config.clone(), default_score);
+
+        // ---- structural priming ----
+        // A structure-aware manipulator enumerates its selector
+        // combinations; measuring them first captures the collector/JIT-
+        // mode headroom deterministically before free search begins.
+        let primers: Vec<JvmConfig> = manipulator
+            .primers()
+            .into_iter()
+            .filter(|c| seen.insert(c.fingerprint()))
+            .collect();
+        if !primers.is_empty() && budget.has_remaining() {
+            let evals = evaluate_batch(
+                executor,
+                opts.protocol,
+                &primers,
+                opts.seed ^ 0x5052_494d,
+                opts.workers,
+            );
+            for (candidate, ev) in primers.iter().zip(evals.iter()) {
+                budget.charge(ev.cost);
+                let score_secs = ev.score.map(|s| s.as_secs_f64());
+                trials.push(TrialRecord {
+                    index: eval_index,
+                    at_secs: budget.spent().as_secs_f64(),
+                    score_secs,
+                    technique: "primer".to_string(),
+                    delta: candidate.to_args(registry),
+                });
+                eval_index += 1;
+                if let Some(s) = score_secs {
+                    if s < best.1 {
+                        best = (candidate.clone(), s);
+                    }
+                }
+            }
+        }
+
+        // ---- search rounds ----
+        'outer: while budget.has_remaining() {
+            if let Some(cap) = opts.max_evaluations {
+                if eval_index >= cap {
+                    break;
+                }
+            }
+            let batch_size = opts.batch.max(1);
+            let mut candidates: Vec<JvmConfig> = Vec::with_capacity(batch_size);
+            {
+                let state = SearchState {
+                    manipulator: manipulator.as_ref(),
+                    best: Some(&best),
+                    default_score,
+                    budget_fraction: budget.fraction_spent(),
+                };
+                for _ in 0..batch_size {
+                    let mut candidate = None;
+                    for _attempt in 0..8 {
+                        let c = technique.propose(&state, &mut rng);
+                        if seen.insert(c.fingerprint()) {
+                            candidate = Some(c);
+                            break;
+                        }
+                    }
+                    let c = candidate.unwrap_or_else(|| {
+                        // The technique is stuck on duplicates: inject
+                        // fresh randomness.
+                        let c = manipulator.random(&mut rng);
+                        seen.insert(c.fingerprint());
+                        c
+                    });
+                    candidates.push(c);
+                }
+            }
+
+            let evals = evaluate_batch(
+                executor,
+                opts.protocol,
+                &candidates,
+                opts.seed ^ eval_index,
+                opts.workers,
+            );
+
+            for (candidate, ev) in candidates.iter().zip(evals.iter()) {
+                budget.charge(ev.cost);
+                let score_secs = ev.score.map(|s| s.as_secs_f64());
+                trials.push(TrialRecord {
+                    index: eval_index,
+                    at_secs: budget.spent().as_secs_f64(),
+                    score_secs,
+                    technique: technique.name().to_string(),
+                    delta: candidate.to_args(registry),
+                });
+                eval_index += 1;
+                {
+                    let state = SearchState {
+                        manipulator: manipulator.as_ref(),
+                        best: Some(&best),
+                        default_score,
+                        budget_fraction: budget.fraction_spent(),
+                    };
+                    technique.feedback(candidate, score_secs, &state);
+                }
+                if let Some(s) = score_secs {
+                    if s < best.1 {
+                        best = (candidate.clone(), s);
+                    }
+                }
+                if let Some(cap) = opts.max_evaluations {
+                    if eval_index >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let session = SessionRecord {
+            program: program.to_string(),
+            executor: executor.describe(),
+            budget_mins: opts.budget.as_mins_f64(),
+            default_secs: default_score,
+            best_secs: best.1,
+            best_delta: best.0.to_args(registry),
+            evaluations: eval_index,
+            trials,
+        };
+        TuningResult {
+            session,
+            best_config: best.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_harness::SimExecutor;
+    use jtune_jvmsim::Workload;
+
+    fn quick_opts() -> TunerOptions {
+        TunerOptions {
+            budget: SimDuration::from_mins(3),
+            workers: 4,
+            batch: 4,
+            seed: 1,
+            ..TunerOptions::default()
+        }
+    }
+
+    fn startup_workload() -> Workload {
+        let mut w = Workload::baseline("tuner-test");
+        w.total_work = 4e8;
+        w.hot_methods = 1500;
+        w.hotness_skew = 0.6;
+        w.alloc_rate = 2.5;
+        w
+    }
+
+    #[test]
+    fn tuner_never_reports_worse_than_default() {
+        let ex = SimExecutor::new(startup_workload());
+        let result = Tuner::new(quick_opts()).run(&ex, "t");
+        assert!(result.session.best_secs <= result.session.default_secs);
+        assert!(result.improvement_percent() >= 0.0);
+        assert!(result.session.evaluations > 1);
+        assert_eq!(result.session.trials.len() as u64, result.session.evaluations);
+    }
+
+    #[test]
+    fn tuner_finds_real_improvement_on_startup_workload() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(15);
+        let result = Tuner::new(opts).run(&ex, "t");
+        assert!(
+            result.improvement_percent() > 3.0,
+            "only {:.1}% improvement",
+            result.improvement_percent()
+        );
+        assert!(!result.session.best_delta.is_empty());
+    }
+
+    #[test]
+    fn tuning_is_deterministic_given_seed() {
+        let ex = SimExecutor::new(startup_workload());
+        let a = Tuner::new(quick_opts()).run(&ex, "t");
+        let b = Tuner::new(quick_opts()).run(&ex, "t");
+        assert_eq!(a.session.best_secs, b.session.best_secs);
+        assert_eq!(a.session.evaluations, b.session.evaluations);
+        assert_eq!(a.session.best_delta, b.session.best_delta);
+        let mut opts = quick_opts();
+        opts.seed = 2;
+        let c = Tuner::new(opts).run(&ex, "t");
+        assert_ne!(a.session.best_delta, c.session.best_delta);
+    }
+
+    #[test]
+    fn max_evaluations_caps_the_session() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(9);
+        let result = Tuner::new(opts).run(&ex, "t");
+        assert!(result.session.evaluations <= 9);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_secs(30);
+        let batch = opts.batch;
+        let result = Tuner::new(opts).run(&ex, "t");
+        // All but the last in-flight batch must finish within budget; the
+        // recorded spend can straddle by at most one batch.
+        let last = result.session.trials.last().unwrap();
+        assert!(
+            last.at_secs < 30.0 + 5.0 * (batch as f64 + 1.0) * 60.0,
+            "spent {} s",
+            last.at_secs
+        );
+        assert!(result.session.evaluations < 500);
+    }
+
+    #[test]
+    fn every_manipulator_kind_runs() {
+        let ex = SimExecutor::new(startup_workload());
+        for kind in [
+            ManipulatorKind::Hierarchical,
+            ManipulatorKind::Flat,
+            ManipulatorKind::GcSubset,
+        ] {
+            let mut opts = quick_opts();
+            opts.manipulator = kind;
+            opts.max_evaluations = Some(12);
+            let result = Tuner::new(opts).run(&ex, "t");
+            assert!(result.session.best_secs <= result.session.default_secs);
+        }
+    }
+
+    #[test]
+    fn solo_techniques_run() {
+        let ex = SimExecutor::new(startup_workload());
+        for name in TechniqueSet::names() {
+            let mut opts = quick_opts();
+            opts.technique = name.to_string();
+            opts.max_evaluations = Some(10);
+            let result = Tuner::new(opts).run(&ex, "t");
+            assert!(
+                result.session.best_secs <= result.session.default_secs,
+                "{name} regressed"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown technique")]
+    fn unknown_technique_panics() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.technique = "alchemy".to_string();
+        let _ = Tuner::new(opts).run(&ex, "t");
+    }
+
+    #[test]
+    fn default_failing_workload_reports_degenerate_session() {
+        let mut w = startup_workload();
+        // Live set far beyond the default 1 GB heap, with enough allocation
+        // to actually reach it: the default config OOMs.
+        w.live_set = 3e9;
+        w.nursery_survival = 0.6;
+        w.alloc_rate = 10.0;
+        w.total_work = 2e9;
+        let ex = SimExecutor::new(w);
+        let result = Tuner::new(quick_opts()).run(&ex, "t");
+        assert!(result.session.default_secs.is_infinite());
+        assert_eq!(result.session.evaluations, 1);
+    }
+}

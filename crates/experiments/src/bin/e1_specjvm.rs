@@ -1,0 +1,19 @@
+//! E1 — SPECjvm2008 startup suite, the paper's headline table.
+//!
+//! Paper targets: 16 programs improved by 19 % on average within a
+//! 200-minute budget each; three programs by 63 %, 51 % and 32 %.
+
+use jtune_experiments::{budget_mins, render_suite_table, tune_suite};
+
+fn main() {
+    let budget = budget_mins(200);
+    let rows = tune_suite(jtune_workloads::specjvm2008_startup(), budget);
+    print!(
+        "{}",
+        render_suite_table(
+            &format!("E1: SPECjvm2008 startup, {budget}-minute budget per program"),
+            &rows
+        )
+    );
+    println!("paper: average +19%, top-3 +63% / +51% / +32%");
+}

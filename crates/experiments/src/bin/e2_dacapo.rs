@@ -1,0 +1,19 @@
+//! E2 — DaCapo suite table.
+//!
+//! Paper targets: 13 programs, average improvement 26 %, maximum 42 %,
+//! with at least 200 minutes of tuning per program.
+
+use jtune_experiments::{budget_mins, render_suite_table, tune_suite};
+
+fn main() {
+    let budget = budget_mins(200);
+    let rows = tune_suite(jtune_workloads::dacapo(), budget);
+    print!(
+        "{}",
+        render_suite_table(
+            &format!("E2: DaCapo, {budget}-minute budget per program"),
+            &rows
+        )
+    );
+    println!("paper: average +26%, max +42%");
+}

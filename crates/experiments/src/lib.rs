@@ -1,0 +1,206 @@
+//! # jtune-experiments
+//!
+//! Shared machinery for the experiment drivers (`e1_specjvm` …
+//! `e8_techniques`), one binary per table/figure of the paper. See
+//! DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `JTUNE_BUDGET_MINS` — override the tuning budget (default: the
+//!   experiment's paper value, usually 200).
+//! - `JTUNE_SEED` — master seed (default 7).
+//! - `JTUNE_OUT` — directory to write per-session TSV logs into.
+
+#![warn(missing_docs)]
+
+use autotuner_core::{Tuner, TunerOptions};
+use jtune_harness::SimExecutor;
+use jtune_jvmsim::Workload;
+use jtune_util::table::{fnum, fpct, Align, Table};
+use jtune_util::{stats, SimDuration};
+
+/// A tuned program's headline row.
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// Program name.
+    pub program: String,
+    /// Default run time (s).
+    pub default_secs: f64,
+    /// Tuned run time (s).
+    pub tuned_secs: f64,
+    /// Improvement % (speedup − 1).
+    pub improvement: f64,
+    /// Evaluations within budget.
+    pub evaluations: u64,
+    /// Best configuration delta.
+    pub best_delta: Vec<String>,
+    /// Full result (for convergence-style post-processing).
+    pub result: autotuner_core::TuningResult,
+}
+
+/// Read the budget (minutes) with env override.
+pub fn budget_mins(default_mins: u64) -> u64 {
+    std::env::var("JTUNE_BUDGET_MINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_mins)
+}
+
+/// Read the master seed with env override.
+pub fn master_seed() -> u64 {
+    std::env::var("JTUNE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Standard tuner options for an experiment.
+pub fn tuner_options(budget_minutes: u64, seed: u64) -> TunerOptions {
+    TunerOptions {
+        budget: SimDuration::from_mins(budget_minutes),
+        seed,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4),
+        batch: 8,
+        ..TunerOptions::default()
+    }
+}
+
+/// Tune one workload with the given options.
+pub fn tune_program(workload: Workload, opts: TunerOptions) -> SuiteRow {
+    let name = workload.name.clone();
+    let executor = SimExecutor::new(workload);
+    let result = Tuner::new(opts).run(&executor, &name);
+    if let Ok(dir) = std::env::var("JTUNE_OUT") {
+        let _ = std::fs::create_dir_all(&dir);
+        let path = std::path::Path::new(&dir).join(format!("{name}.tsv"));
+        let _ = std::fs::write(path, result.session.to_tsv());
+    }
+    SuiteRow {
+        program: name,
+        default_secs: result.session.default_secs,
+        tuned_secs: result.session.best_secs,
+        improvement: result.improvement_percent(),
+        evaluations: result.session.evaluations,
+        best_delta: result.session.best_delta.clone(),
+        result,
+    }
+}
+
+/// Tune an entire suite. Each program's seed is derived from the master
+/// seed so sessions are independent but reproducible.
+pub fn tune_suite(workloads: Vec<Workload>, budget_minutes: u64) -> Vec<SuiteRow> {
+    let seed = master_seed();
+    workloads
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let mut opts = tuner_options(budget_minutes, seed ^ ((i as u64 + 1) << 32));
+            opts.seed ^= i as u64;
+            tune_program(w, opts)
+        })
+        .collect()
+}
+
+/// Render the paper-style suite table (per-program default/tuned times and
+/// improvement, plus the average row the abstract quotes).
+pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
+    let mut t = Table::new(
+        &["program", "default (s)", "tuned (s)", "improvement", "evals"],
+        &[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.program.clone(),
+            fnum(r.default_secs, 2),
+            fnum(r.tuned_secs, 2),
+            fpct(r.improvement),
+            r.evaluations.to_string(),
+        ]);
+    }
+    t.rule();
+    let improvements: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
+    let avg = stats::Summary::from_slice(&improvements).mean();
+    t.row(vec![
+        "average".into(),
+        String::new(),
+        String::new(),
+        fpct(avg),
+        String::new(),
+    ]);
+    let mut sorted = improvements.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let top: Vec<String> = sorted.iter().take(3).map(|x| fpct(*x)).collect();
+    format!(
+        "== {title} ==\n{}\naverage improvement: {avg:.1}%   top-3: {}\n",
+        t.render(),
+        top.join(", ")
+    )
+}
+
+/// Best-so-far improvement at a virtual-time checkpoint, from a session's
+/// trial log (used by the convergence and budget-sensitivity experiments —
+/// one long session yields the whole curve).
+pub fn improvement_at(row: &SuiteRow, minutes: f64) -> f64 {
+    let cutoff = minutes * 60.0;
+    let mut best = row.default_secs;
+    for t in &row.result.session.trials {
+        if t.at_secs <= cutoff {
+            if let Some(s) = t.score_secs {
+                if s < best {
+                    best = s;
+                }
+            }
+        }
+    }
+    stats::improvement_percent(row.default_secs, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_workloads::workload_by_name;
+
+    #[test]
+    fn tune_program_produces_consistent_row() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(2, 1);
+        opts.max_evaluations = Some(10);
+        let row = tune_program(w, opts);
+        assert!(row.tuned_secs <= row.default_secs);
+        assert!((row.improvement
+            - stats::improvement_percent(row.default_secs, row.tuned_secs))
+        .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn improvement_at_is_monotone_in_time() {
+        let w = workload_by_name("serial").unwrap();
+        let opts = tuner_options(5, 2);
+        let row = tune_program(w, opts);
+        let early = improvement_at(&row, 1.0);
+        let late = improvement_at(&row, 5.0);
+        assert!(late >= early);
+        assert!(improvement_at(&row, 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn render_table_contains_all_programs() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(1, 3);
+        opts.max_evaluations = Some(5);
+        let rows = vec![tune_program(w, opts)];
+        let s = render_suite_table("t", &rows);
+        assert!(s.contains("compress"));
+        assert!(s.contains("average improvement"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Heap-geometry flags.
+//!
+//! Defaults reflect a JDK-7 64-bit server VM with ergonomics resolved for a
+//! mid-range multi-core machine: 64 MB initial / 1 GB max heap (¼ of 4 GB
+//! physical), `NewRatio=2`, `SurvivorRatio=8`. These matter: the paper's
+//! gains come substantially from the tuner discovering that the ergonomic
+//! defaults underprovision the young generation for allocation-heavy
+//! programs.
+
+use super::*;
+use crate::spec::Category::Heap;
+
+/// Heap flags.
+pub(crate) fn specs() -> Vec<FlagSpec> {
+    vec![
+        sz("InitialHeapSize", Heap, 2 * MB, 32 * GB, 64 * MB, P, true, "Initial heap size (-Xms); 0 means ergonomically chosen"),
+        sz("MaxHeapSize", Heap, 4 * MB, 32 * GB, GB, P, true, "Maximum heap size (-Xmx)"),
+        sz("NewSize", Heap, MB, 16 * GB, 21 * MB, P, true, "Initial new (young) generation size"),
+        sz("MaxNewSize", Heap, MB, 16 * GB, 16 * GB, P, true, "Maximum new generation size; bounded by MaxHeapSize"),
+        sz("OldSize", Heap, 4 * MB, 32 * GB, 43 * MB, P, false, "Initial tenured generation size"),
+        il("NewRatio", Heap, 1, 16, 2, P, true, "Ratio of old/new generation sizes"),
+        il("SurvivorRatio", Heap, 1, 64, 8, P, true, "Ratio of eden/survivor space size"),
+        i("TargetSurvivorRatio", Heap, 1, 100, 50, P, true, "Desired percentage of survivor space used after scavenge"),
+        i("MaxTenuringThreshold", Heap, 0, 15, 15, P, true, "Maximum value for tenuring threshold"),
+        i("InitialTenuringThreshold", Heap, 0, 15, 7, P, false, "Initial value for tenuring threshold"),
+        i("MinHeapFreeRatio", Heap, 0, 100, 40, MAN, true, "Min percentage of heap free after GC to avoid expansion"),
+        i("MaxHeapFreeRatio", Heap, 0, 100, 70, MAN, true, "Max percentage of heap free after GC to avoid shrinking"),
+        sz("MinHeapDeltaBytes", Heap, 4 * KB, 128 * MB, 168 * KB, P, false, "Minimum change in heap space due to GC"),
+        sz("PermSize", Heap, 4 * MB, 2 * GB, 21 * MB, P, false, "Initial size of permanent generation"),
+        sz("MaxPermSize", Heap, 16 * MB, 4 * GB, 85 * MB, P, true, "Maximum size of permanent generation"),
+        sz("PermGenPadding", Heap, 0, 64 * MB, 0, DEV, false, "Additional padding for perm gen sizing"),
+        i("PermMarkSweepDeadRatio", Heap, 0, 100, 20, P, false, "Percentage of perm gen dead wood allowed before compaction"),
+        sz("MetaspaceSize", Heap, 4 * MB, 2 * GB, 21 * MB, P, false, "Initial metaspace threshold triggering class-metadata GC"),
+        sz("ErgoHeapSizeLimit", Heap, 0, 32 * GB, 0, P, false, "Maximum ergonomically set heap size; 0 = no limit"),
+        i("InitialRAMFraction", Heap, 1, 512, 64, P, false, "Fraction of physical memory for initial heap size"),
+        i("MaxRAMFraction", Heap, 1, 64, 4, P, false, "Fraction of physical memory for maximum heap size"),
+        i("MinRAMFraction", Heap, 1, 64, 2, P, false, "Fraction of small physical memory for maximum heap size"),
+        sz("MaxRAM", Heap, GB, 128 * GB, 4 * GB, P, false, "Real memory size used to set maximum heap size"),
+        b("UseAdaptiveGenerationSizePolicyAtMinorCollection", Heap, true, P, false, "Adapt generation sizes at minor collections"),
+        b("UseAdaptiveGenerationSizePolicyAtMajorCollection", Heap, true, P, false, "Adapt generation sizes at major collections"),
+        b("UseAdaptiveSizePolicyWithSystemGC", Heap, false, P, false, "Include System.gc() in adaptive size policy decisions"),
+        b("UseAdaptiveSizeDecayMajorGCCost", Heap, true, P, false, "Decay the supplemental growth rate on major collections"),
+        i("AdaptiveSizeDecrementScaleFactor", Heap, 1, 16, 4, P, false, "Scale factor shrinking generation size decrements"),
+        i("AdaptiveSizeMajorGCDecayTimeScale", Heap, 0, 64, 10, P, false, "Time scale over which major GC cost decays"),
+        i("AdaptiveSizePolicyInitializingSteps", Heap, 1, 100, 20, P, false, "Number of steps where heuristics are used before data"),
+        i("AdaptiveSizePolicyWeight", Heap, 0, 100, 10, P, false, "Weighting given to current GC times vs historical"),
+        i("AdaptiveTimeWeight", Heap, 0, 100, 25, P, false, "Weighting given to time in adaptive policy"),
+        i("ThresholdTolerance", Heap, 0, 100, 10, P, false, "Allowed collection cost difference between generations"),
+        b("ShrinkHeapInSteps", Heap, true, P, false, "Gradually shrink the heap towards the target size"),
+        sz("YoungPLABSize", Heap, KB, 16 * MB, 32 * KB, P, false, "Size of young-gen promotion LAB in words"),
+        sz("OldPLABSize", Heap, KB, 16 * MB, 8 * KB, P, false, "Size of old-gen promotion LAB in words"),
+        b("ResizePLAB", Heap, true, P, false, "Dynamically resize promotion LABs"),
+        i("PLABWeight", Heap, 0, 100, 75, P, false, "Exponential smoothing weight for PLAB resizing"),
+        b("AlwaysPreTouch", Heap, false, P, true, "Touch every heap page during JVM initialisation"),
+        sz("HeapBaseMinAddress", Heap, GB, 32 * GB, 2 * GB, P, false, "Minimum address for the heap base when compressing oops"),
+        i("HeapSizePerGCThread", Heap, 16, 512, 87, P, false, "Heap MB per GC thread used in ergonomics"),
+        i("GCHeapFreeLimit", Heap, 0, 100, 2, P, false, "Minimum percentage of free space after full GC before OOM"),
+        i("GCTimeLimit", Heap, 0, 100, 98, P, false, "GC time percentage limit before OutOfMemoryError"),
+        b("CollectGen0First", Heap, false, DEV, false, "Collect the young generation before each full GC"),
+        b("ScavengeBeforeFullGC", Heap, true, P, false, "Scavenge the young generation before each full GC"),
+    ]
+}

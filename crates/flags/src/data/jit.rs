@@ -1,0 +1,210 @@
+//! JIT-compilation flags: compilation policy, tiering, inlining, the code
+//! cache, interpreter behaviour and compiler optimisations.
+//!
+//! `TieredCompilation` defaults to **off** in the JDK-7 server VM the paper
+//! used; the tuner discovering that tiered compilation dramatically helps
+//! *startup* workloads (SPECjvm2008's startup suite) is one of the
+//! headline effects the reproduction models.
+
+use super::*;
+use crate::spec::Category::{CodeCache, Inlining, Interpreter, Jit};
+
+/// JIT flags.
+pub(crate) fn specs() -> Vec<FlagSpec> {
+    let mut v = policy();
+    v.extend(inlining());
+    v.extend(codecache());
+    v.extend(interpreter());
+    v.extend(optimization());
+    v
+}
+
+fn policy() -> Vec<FlagSpec> {
+    vec![
+        b("TieredCompilation", Jit, false, P, true, "Enable tiered compilation (C1 then C2)"),
+        i("TieredStopAtLevel", Jit, 0, 4, 4, P, true, "Highest compilation level used by tiered policy"),
+        il("CompileThreshold", Jit, 100, 1_000_000, 10_000, P, true, "Interpreted invocations before (re)compiling a method"),
+        il("Tier2CompileThreshold", Jit, 100, 1_000_000, 1500, P, false, "Invocation threshold entering tier-2 compilation"),
+        il("Tier3CompileThreshold", Jit, 100, 1_000_000, 2000, P, true, "Invocation threshold entering tier-3 (C1 full profile)"),
+        il("Tier3InvocationThreshold", Jit, 10, 1_000_000, 200, P, false, "Tier-3 compile when invocations exceed this"),
+        il("Tier3MinInvocationThreshold", Jit, 10, 1_000_000, 100, P, false, "Minimum invocations before tier-3 compilation"),
+        il("Tier3BackEdgeThreshold", Jit, 100, 10_000_000, 60_000, P, false, "Back-edge count triggering tier-3 OSR compilation"),
+        il("Tier4CompileThreshold", Jit, 1000, 10_000_000, 15_000, P, true, "Invocation threshold entering tier-4 (C2)"),
+        il("Tier4InvocationThreshold", Jit, 100, 10_000_000, 5000, P, false, "Tier-4 compile when invocations exceed this"),
+        il("Tier4MinInvocationThreshold", Jit, 100, 10_000_000, 600, P, false, "Minimum invocations before tier-4 compilation"),
+        il("Tier4BackEdgeThreshold", Jit, 1000, 100_000_000, 40_000, P, false, "Back-edge count triggering tier-4 OSR compilation"),
+        i("Tier3DelayOn", Jit, 0, 100, 5, P, false, "C2-queue length (per cpu) delaying tier-3 compiles"),
+        i("Tier3DelayOff", Jit, 0, 100, 2, P, false, "C2-queue length re-enabling tier-3 compiles"),
+        i("Tier3LoadFeedback", Jit, 0, 100, 5, P, false, "Queue-length feedback dampening tier-3 thresholds"),
+        i("Tier4LoadFeedback", Jit, 0, 100, 3, P, false, "Queue-length feedback dampening tier-4 thresholds"),
+        i("TieredRateUpdateMinTime", Jit, 0, 10_000, 1, P, false, "Minimum event-rate update period in milliseconds"),
+        i("TieredRateUpdateMaxTime", Jit, 0, 10_000, 25, P, false, "Maximum event-rate update period in milliseconds"),
+        i("CICompilerCount", Jit, 1, 32, 2, P, true, "Number of background compiler threads"),
+        b("CICompilerCountPerCPU", Jit, false, P, false, "Scale compiler-thread count with available CPUs"),
+        b("BackgroundCompilation", Jit, true, P, true, "Compile in background threads rather than blocking the mutator"),
+        il("BackEdgeThreshold", Jit, 100, 10_000_000, 100_000, P, true, "Interpreted back-edges before OSR compilation"),
+        il("OnStackReplacePercentage", Jit, 0, 100_000, 140, P, false, "NON_TIERED OSR trigger as a percentage of CompileThreshold"),
+        il("InterpreterProfilePercentage", Jit, 0, 100, 33, P, false, "Profiling start as a percentage of CompileThreshold"),
+        b("UseOnStackReplacement", Jit, true, P, true, "Compile loops mid-execution via on-stack replacement"),
+        b("UseCompiler", Jit, true, P, true, "Enable the JIT compilers (off = pure interpreter, -Xint)"),
+        b("UseLoopCounter", Jit, true, P, false, "Count loop iterations towards compilation decisions"),
+        b("AlwaysCompileLoopMethods", Jit, false, P, false, "Eagerly compile methods containing loops"),
+        b("DontCompileHugeMethods", Jit, true, P, true, "Skip compiling methods larger than HugeMethodLimit"),
+        il("HugeMethodLimit", Jit, 1000, 64_000, 8000, DEV, false, "Bytecode size above which methods are never compiled"),
+        b("CompileTheWorld", Jit, false, DEV, false, "Compile every method in the bootclasspath (testing)"),
+        i("CompilationPolicyChoice", Jit, 0, 3, 0, P, false, "Which compilation policy to use (0 = counter-based)"),
+        b("UseCounterDecay", Jit, true, P, false, "Decay invocation counters over time"),
+        i("CounterHalfLifeTime", Jit, 1, 10_000, 30, P, false, "Seconds for an invocation counter to decay by half"),
+        i("CounterDecayMinIntervalLength", Jit, 0, 10_000, 500, P, false, "Minimum milliseconds between counter decays"),
+        b("PrintCompilation", Jit, false, P, false, "Print a line for each compiled method"),
+        b("CITime", Jit, false, P, false, "Collect and report compiler time statistics"),
+        b("CIPrintCompileQueue", Jit, false, DEV, false, "Print the compile queue contents"),
+        i("CIMaxCompilerThreads", Jit, 1, 64, 16, DEV, false, "Upper bound on compiler threads (develop)"),
+        b("StressTieredRuntime", Jit, false, DEV, false, "Alternate compilation levels randomly (stress)"),
+        b("CompilationRepeat", Jit, false, DEV, false, "Recompile methods repeatedly (stress)"),
+        i("MinCompileTime", Jit, 0, 10_000, 0, DEV, false, "Artificial minimum compile time (testing)"),
+        b("LogCompilation", Jit, false, DIAG, false, "Write a structured compilation log"),
+        b("CIObjectFactoryVerify", Jit, false, DEV, false, "Verify compiler-interface object factory"),
+        i("TypeProfileWidth", Jit, 0, 8, 2, P, false, "Receiver types recorded per call site"),
+        i("BciProfileWidth", Jit, 0, 8, 2, DEV, false, "Return bci's recorded per jsr site"),
+        i("TypeProfileMajorReceiverPercent", Jit, 0, 100, 90, P, false, "Single-receiver percentage enabling monomorphic optimisation"),
+        b("ProfileInterpreter", Jit, true, P, true, "Collect profiling data in the interpreter"),
+        i("ProfileMaturityPercentage", Jit, 0, 100, 20, P, false, "Percentage of CompileThreshold at which profiles mature"),
+        b("ProfileVirtualCalls", Jit, true, DEV, false, "Profile receiver types at virtual call sites"),
+        b("PrintMethodData", Jit, false, DEV, false, "Print method profiling data at exit"),
+        i("PerMethodRecompilationCutoff", Jit, -1, 100_000, 400, P, false, "Maximum recompiles per method; -1 = unbounded"),
+        i("PerBytecodeRecompilationCutoff", Jit, -1, 100_000, 200, P, false, "Maximum recompiles per bytecode; -1 = unbounded"),
+        i("PerMethodTrapLimit", Jit, 0, 10_000, 100, P, false, "Uncommon traps tolerated per method"),
+        i("PerBytecodeTrapLimit", Jit, 0, 10_000, 4, P, false, "Uncommon traps tolerated per bytecode"),
+    ]
+}
+
+fn inlining() -> Vec<FlagSpec> {
+    vec![
+        b("Inline", Inlining, true, P, true, "Enable method inlining"),
+        b("ClipInlining", Inlining, true, P, true, "Clip inlining when the maximum desired size is reached"),
+        il("MaxInlineSize", Inlining, 1, 1000, 35, P, true, "Maximum bytecode size of an inlinable method"),
+        il("FreqInlineSize", Inlining, 1, 10_000, 325, P, true, "Maximum bytecode size of a frequently called inlinable method"),
+        il("InlineSmallCode", Inlining, 100, 100_000, 1000, P, true, "Only inline compiled methods whose native code is smaller than this"),
+        i("MaxInlineLevel", Inlining, 1, 32, 9, P, true, "Maximum depth of nested inlining"),
+        i("MaxRecursiveInlineLevel", Inlining, 0, 8, 1, P, true, "Maximum depth of recursive inlining"),
+        i("InlineFrequencyRatio", Inlining, 1, 100, 20, DEV, false, "Call-frequency ratio marking a site as frequent"),
+        i("InlineFrequencyCount", Inlining, 1, 10_000, 100, P, false, "Invocation count marking a call site as frequent"),
+        i("InlineThrowCount", Inlining, 0, 1000, 50, P, false, "Force inlining of throwing methods seen this often"),
+        i("InlineThrowMaxSize", Inlining, 0, 1000, 200, P, false, "Maximum size of a force-inlined throwing method"),
+        b("InlineAccessors", Inlining, true, P, true, "Always inline trivial getter/setter methods"),
+        b("InlineReflectionGetCallerClass", Inlining, true, P, false, "Intrinsify Reflection.getCallerClass"),
+        b("InlineObjectCopy", Inlining, true, P, false, "Intrinsify Object.clone and Arrays.copyOf"),
+        b("InlineNatives", Inlining, true, P, false, "Intrinsify well-known native methods"),
+        b("InlineMathNatives", Inlining, true, P, true, "Intrinsify java.lang.Math operations"),
+        b("InlineClassNatives", Inlining, true, P, false, "Intrinsify java.lang.Class natives"),
+        b("InlineThreadNatives", Inlining, true, P, false, "Intrinsify java.lang.Thread natives"),
+        b("InlineUnsafeOps", Inlining, true, P, false, "Intrinsify sun.misc.Unsafe operations"),
+        b("IncrementalInline", Inlining, false, EXP, false, "Do parse-time inlining incrementally"),
+        i("LiveNodeCountInliningCutoff", Inlining, 1000, 100_000_000, 40_000, P, false, "IR node budget halting further inlining"),
+        i("DesiredMethodLimit", Inlining, 100, 100_000, 8000, DEV, false, "Desired maximum method size after inlining"),
+        b("InlineSynchronizedMethods", Inlining, true, P, false, "Inline synchronized methods"),
+        b("UseInlineCaches", Inlining, true, P, true, "Use inline caches for virtual dispatch"),
+        b("PrintInlining", Inlining, false, DIAG, false, "Print inlining decisions"),
+    ]
+}
+
+fn codecache() -> Vec<FlagSpec> {
+    vec![
+        sz("ReservedCodeCacheSize", CodeCache, 2 * MB, 2 * GB, 48 * MB, P, true, "Reserved size of the compiled-code cache"),
+        sz("InitialCodeCacheSize", CodeCache, 160 * KB, GB, 2496 * KB, P, false, "Initial committed size of the code cache"),
+        sz("CodeCacheExpansionSize", CodeCache, 4 * KB, 16 * MB, 64 * KB, P, false, "Code-cache growth increment"),
+        sz("CodeCacheMinimumFreeSpace", CodeCache, 100 * KB, 16 * MB, 500 * KB, P, false, "Free space reserved for non-method code"),
+        b("UseCodeCacheFlushing", CodeCache, false, P, true, "Discard cold compiled code when the cache runs low"),
+        i("MinCodeCacheFlushingInterval", CodeCache, 0, 3600, 30, P, false, "Minimum seconds between code-cache sweeps"),
+        i("CodeCacheFlushingMinimumFreeSpace", CodeCache, 0, 16 << 20, 1500 * 1024, DEV, false, "Free-space watermark starting the sweeper"),
+        i("NmethodSweepFraction", CodeCache, 1, 64, 16, P, false, "Fraction of the code cache swept per invocation"),
+        i("NmethodSweepCheckInterval", CodeCache, 1, 3600, 5, P, false, "Seconds between sweeper liveness checks"),
+        b("MethodFlushing", CodeCache, true, P, false, "Reclaim compiled code of obsolete methods"),
+        b("UseCodeAging", CodeCache, true, P, false, "Insert counters to age unused compiled code"),
+        b("SegmentedCodeCache", CodeCache, false, EXP, false, "Split the code cache into segments by code type"),
+        b("PrintCodeCache", CodeCache, false, P, false, "Print code-cache layout and bounds at exit"),
+        b("PrintCodeCacheOnCompilation", CodeCache, false, P, false, "Print code-cache state after each compilation"),
+        i("CodeCacheSegmentSize", CodeCache, 1, 1024, 64, DEV, false, "Code-cache allocation granularity"),
+        b("ExitOnFullCodeCache", CodeCache, false, DEV, false, "Exit the VM when the code cache fills (testing)"),
+    ]
+}
+
+fn interpreter() -> Vec<FlagSpec> {
+    vec![
+        b("UseInterpreter", Interpreter, true, P, true, "Execute bytecode in the interpreter before compilation"),
+        b("UseFastAccessorMethods", Interpreter, true, P, true, "Generate fast paths for trivial accessor methods"),
+        b("UseFastEmptyMethods", Interpreter, true, P, true, "Generate fast paths for empty methods"),
+        b("UseFastSignatureHandlers", Interpreter, true, P, false, "Generate fast JNI signature handlers"),
+        b("RewriteBytecodes", Interpreter, true, P, false, "Rewrite bytecodes into faster internal forms"),
+        b("RewriteFrequentPairs", Interpreter, true, P, false, "Fuse frequent bytecode pairs into super-bytecodes"),
+        b("UseLoopSafepoints", Interpreter, true, DEV, false, "Poll for safepoints at loop back-edges"),
+        b("UseInterpreterProfiling", Interpreter, true, DEV, false, "(develop twin of ProfileInterpreter)"),
+        b("PrintBytecodeHistogram", Interpreter, false, DEV, false, "Print a histogram of executed bytecodes"),
+        b("CountBytecodes", Interpreter, false, DEV, false, "Count the number of executed bytecodes"),
+        b("TraceBytecodes", Interpreter, false, DEV, false, "Trace every executed bytecode"),
+        i("BinarySwitchThreshold", Interpreter, 1, 100, 5, DEV, false, "Switch-case count switching to binary search dispatch"),
+        b("UsePopCountInstruction", Interpreter, true, P, false, "Use hardware popcount where available"),
+        b("Use486InstrsOnly", Interpreter, false, DEV, false, "Restrict code generation to i486 instructions"),
+        i("InterpreterCodeSize", Interpreter, 100 * 1024, 16 << 20, 256 * 1024, DEV, false, "Size of the generated interpreter"),
+        b("JvmtiExport", Interpreter, false, DEV, false, "Export JVMTI events from the interpreter"),
+        b("UseCompressedInterpreterFrames", Interpreter, false, DEV, false, "Compress interpreter frame layout"),
+        b("EnableInvokeDynamic", Interpreter, true, P, false, "Support the invokedynamic bytecode"),
+        b("PatchALot", Interpreter, false, DEV, false, "Stress bytecode patching paths"),
+        i("ClearInterpreterLocals", Interpreter, 0, 1, 0, DEV, false, "Zero interpreter locals on method entry"),
+    ]
+}
+
+fn optimization() -> Vec<FlagSpec> {
+    use crate::spec::Category::Optimization as Opt;
+    vec![
+        b("AggressiveOpts", Opt, false, P, true, "Enable point-release performance optimisations"),
+        b("DoEscapeAnalysis", Opt, true, P, true, "Perform escape analysis in C2"),
+        b("EliminateAllocations", Opt, true, P, true, "Scalar-replace non-escaping allocations"),
+        b("EliminateLocks", Opt, true, P, true, "Elide locks on non-escaping objects"),
+        b("EliminateNestedLocks", Opt, true, P, false, "Elide recursive locks on the same object"),
+        b("UseLoopPredicate", Opt, true, P, false, "Hoist loop-invariant range checks via predication"),
+        b("LoopUnswitching", Opt, true, P, false, "Clone loops to remove invariant conditions"),
+        b("UseSuperWord", Opt, true, P, true, "Auto-vectorise loops (SLP)"),
+        b("OptimizeFill", Opt, true, P, false, "Recognise and intrinsify array-fill loops"),
+        i("LoopUnrollLimit", Opt, 0, 1000, 60, P, true, "Node budget for loop unrolling"),
+        i("LoopOptsCount", Opt, 1, 100, 43, P, false, "Maximum loop-optimisation passes"),
+        i("LoopUnrollMin", Opt, 0, 16, 4, P, false, "Minimum unroll factor attempted"),
+        b("UseCountedLoopSafepoints", Opt, false, P, false, "Keep safepoints in counted loops"),
+        b("PartialPeelLoop", Opt, true, P, false, "Partially peel (rotate) loops"),
+        i("PartialPeelNewPhiDelta", Opt, 0, 100, 0, DEV, false, "Extra phis tolerated by partial peeling"),
+        b("SplitIfBlocks", Opt, true, P, false, "Clone diamonds to eliminate control merges"),
+        b("UseRDPCForConstantTableBase", Opt, false, EXP, false, "Address the constant table via RDPC"),
+        b("OptoScheduling", Opt, false, P, false, "Instruction scheduling after register allocation"),
+        b("OptoBundling", Opt, false, DEV, false, "Bundle instructions for VLIW-ish targets"),
+        i("MaxNodeLimit", Opt, 20_000, 10_000_000, 80_000, P, false, "IR node budget per compilation"),
+        i("NodeLimitFudgeFactor", Opt, 100, 100_000, 2000, DEV, false, "Node-budget slack for late passes"),
+        b("UseOptoBiasInlining", Opt, true, P, false, "Generate biased-locking fast paths in C2"),
+        b("OptimizePtrCompare", Opt, true, P, false, "Use escape analysis to optimise pointer comparisons"),
+        b("UseJumpTables", Opt, true, P, false, "Emit jump tables for dense switches"),
+        i("MinJumpTableSize", Opt, 2, 1000, 10, P, false, "Minimum cases for a jump table"),
+        i("MaxJumpTableSize", Opt, 2, 1_000_000, 65_000, P, false, "Maximum cases for a jump table"),
+        b("UseDivMod", Opt, true, P, false, "Strength-reduce combined division/modulus"),
+        b("UseCondCardMark", Opt, false, P, false, "Test card state before dirtying it (reduces false sharing)"),
+        b("BlockLayoutByFrequency", Opt, true, P, false, "Order basic blocks by edge frequency"),
+        i("BlockLayoutMinDiamondPercentage", Opt, 0, 100, 20, P, false, "Frequency threshold for diamond layout"),
+        b("BlockLayoutRotateLoops", Opt, true, P, false, "Rotate loops during block layout"),
+        b("UseCMoveUnconditionally", Opt, false, EXP, false, "Prefer conditional moves over branches unconditionally"),
+        i("ConditionalMoveLimit", Opt, 0, 100, 3, P, false, "Maximum cmoves considered profitable per branch"),
+        b("UseVectoredExceptions", Opt, false, DEV, false, "Use vectored exception handling"),
+        b("DeutschShiffmanExceptions", Opt, true, DEV, false, "Fast exception delivery for local handlers"),
+        b("UseMathExactIntrinsics", Opt, false, EXP, false, "Intrinsify Math.*Exact operations"),
+        b("UseFPUForSpilling", Opt, false, P, false, "Spill general registers through FPU registers"),
+        i("AutoBoxCacheMax", Opt, 128, 1_000_000, 128, P, false, "Upper bound of the Integer autobox cache"),
+        b("EliminateAutoBox", Opt, false, EXP, false, "Eliminate redundant autoboxing"),
+        b("DoCEE", Opt, true, DEV, false, "Conditional-expression elimination in C1"),
+        b("UseTableRanges", Opt, true, DEV, false, "Use table-based range checks in C1"),
+        b("C1OptimizeVirtualCallProfiling", Opt, true, P, false, "Use receiver profiles for C1 virtual calls"),
+        b("C1ProfileCalls", Opt, true, DEV, false, "Profile calls in C1-compiled code"),
+        b("C1ProfileBranches", Opt, true, DEV, false, "Profile branches in C1-compiled code"),
+        b("UseGlobalValueNumbering", Opt, true, DEV, false, "Global value numbering in C1"),
+        b("UseLocalValueNumbering", Opt, true, DEV, false, "Local value numbering in C1"),
+        b("RoundFPResults", Opt, false, P, false, "Round FP results for strictfp (x87 targets)"),
+        b("OptoPeephole", Opt, true, DEV, false, "Peephole optimisation after code emission"),
+    ]
+}

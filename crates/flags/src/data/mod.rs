@@ -1,0 +1,223 @@
+//! The JDK-7 HotSpot flag table.
+//!
+//! One function per subsystem file, each returning a `Vec<FlagSpec>`;
+//! [`populate`] concatenates them into a [`RegistryBuilder`]. Names,
+//! defaults and descriptions follow HotSpot's `globals.hpp` (and the GC/
+//! compiler-specific `*_globals.hpp` files) of the JDK-7u era the paper
+//! used; sizes are the 64-bit server-VM defaults on a multi-core Linux
+//! machine, which is the paper's experimental platform class.
+//!
+//! Flags with `perf = true` are read by the `jtune-jvmsim` performance
+//! model. Everything else is performance-inert — exactly like the real
+//! JVM, where the majority of the 600+ flags do not affect any given
+//! workload's run time. The inert majority is not dead code: it is the
+//! *reason* the paper's flag hierarchy matters, and experiments E3/E5
+//! measure it.
+
+use crate::registry::RegistryBuilder;
+use crate::spec::{Category, FlagKind, FlagSpec};
+use crate::value::{Domain, FlagValue};
+
+mod diagnostics;
+mod gc;
+mod heap;
+mod jit;
+mod misc;
+mod runtime;
+
+/// Fill `builder` with the complete flag table.
+pub fn populate(builder: &mut RegistryBuilder) {
+    builder.extend(heap::specs());
+    builder.extend(gc::specs());
+    builder.extend(jit::specs());
+    builder.extend(runtime::specs());
+    builder.extend(diagnostics::specs());
+    builder.extend(misc::specs());
+}
+
+// ---- compact constructors used by the data files ----
+
+pub(crate) const P: FlagKind = FlagKind::Product;
+pub(crate) const DIAG: FlagKind = FlagKind::Diagnostic;
+pub(crate) const EXP: FlagKind = FlagKind::Experimental;
+pub(crate) const MAN: FlagKind = FlagKind::Manageable;
+pub(crate) const DEV: FlagKind = FlagKind::Develop;
+
+/// Boolean flag.
+pub(crate) fn b(
+    name: &'static str,
+    category: Category,
+    default: bool,
+    kind: FlagKind,
+    perf: bool,
+    desc: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        category,
+        domain: Domain::Bool,
+        default: FlagValue::Bool(default),
+        kind,
+        is_size: false,
+        perf,
+        desc,
+    }
+}
+
+/// Integer flag on a linear scale.
+pub(crate) fn i(
+    name: &'static str,
+    category: Category,
+    lo: i64,
+    hi: i64,
+    default: i64,
+    kind: FlagKind,
+    perf: bool,
+    desc: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        category,
+        domain: Domain::IntRange { lo, hi, log_scale: false },
+        default: FlagValue::Int(default),
+        kind,
+        is_size: false,
+        perf,
+        desc,
+    }
+}
+
+/// Integer flag on a logarithmic scale (thresholds, counts spanning
+/// orders of magnitude).
+pub(crate) fn il(
+    name: &'static str,
+    category: Category,
+    lo: i64,
+    hi: i64,
+    default: i64,
+    kind: FlagKind,
+    perf: bool,
+    desc: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        category,
+        domain: Domain::IntRange { lo, hi, log_scale: true },
+        default: FlagValue::Int(default),
+        kind,
+        is_size: false,
+        perf,
+        desc,
+    }
+}
+
+/// Byte-size flag (log-scaled, rendered with k/m/g suffixes).
+pub(crate) fn sz(
+    name: &'static str,
+    category: Category,
+    lo: i64,
+    hi: i64,
+    default: i64,
+    kind: FlagKind,
+    perf: bool,
+    desc: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        category,
+        domain: Domain::IntRange { lo, hi, log_scale: true },
+        default: FlagValue::Int(default),
+        kind,
+        is_size: true,
+        perf,
+        desc,
+    }
+}
+
+/// Double flag.
+pub(crate) fn d(
+    name: &'static str,
+    category: Category,
+    lo: f64,
+    hi: f64,
+    default: f64,
+    kind: FlagKind,
+    perf: bool,
+    desc: &'static str,
+) -> FlagSpec {
+    FlagSpec {
+        name,
+        category,
+        domain: Domain::DoubleRange { lo, hi },
+        default: FlagValue::Double(default),
+        kind,
+        is_size: false,
+        perf,
+        desc,
+    }
+}
+
+pub(crate) const KB: i64 = 1024;
+pub(crate) const MB: i64 = 1024 * 1024;
+pub(crate) const GB: i64 = 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn all() -> Vec<FlagSpec> {
+        let mut v = Vec::new();
+        v.extend(heap::specs());
+        v.extend(gc::specs());
+        v.extend(jit::specs());
+        v.extend(runtime::specs());
+        v.extend(diagnostics::specs());
+        v.extend(misc::specs());
+        v
+    }
+
+    #[test]
+    fn over_600_flags_total() {
+        assert!(all().len() > 600, "only {}", all().len());
+    }
+
+    #[test]
+    fn names_are_unique_across_files() {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (i, s) in all().iter().enumerate() {
+            if let Some(prev) = seen.insert(s.name, i) {
+                panic!("flag {} defined at both {} and {}", s.name, prev, i);
+            }
+        }
+    }
+
+    #[test]
+    fn a_healthy_minority_is_performance_relevant() {
+        let specs = all();
+        let perf = specs.iter().filter(|s| s.perf).count();
+        // The simulator reads 40–110 flags; the rest are inert on purpose.
+        assert!((40..=110).contains(&perf), "perf flag count {perf}");
+        let frac = perf as f64 / specs.len() as f64;
+        assert!(frac < 0.2, "too many perf flags: {frac}");
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        let specs = all();
+        for cat in Category::ALL {
+            assert!(
+                specs.iter().any(|s| s.category == cat),
+                "category {} has no flags",
+                cat.name()
+            );
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for s in all() {
+            assert!(!s.desc.is_empty(), "{} has no description", s.name);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime-system flags: locking, memory system (TLABs, compressed oops,
+//! large pages, prefetch, NUMA), threading/safepoints, and class loading.
+
+use super::*;
+use crate::spec::Category::{ClassLoading, Locking, Memory, Threads};
+
+/// Runtime flags.
+pub(crate) fn specs() -> Vec<FlagSpec> {
+    let mut v = locking();
+    v.extend(memory());
+    v.extend(threads());
+    v.extend(classloading());
+    v
+}
+
+fn locking() -> Vec<FlagSpec> {
+    vec![
+        b("UseBiasedLocking", Locking, true, P, true, "Bias monitors towards the first locking thread"),
+        i("BiasedLockingStartupDelay", Locking, 0, 60_000, 4000, P, true, "Milliseconds after startup before biasing is enabled"),
+        i("BiasedLockingBulkRebiasThreshold", Locking, 0, 1000, 20, P, true, "Revocations before bulk rebias of a data type"),
+        i("BiasedLockingBulkRevokeThreshold", Locking, 0, 1000, 40, P, true, "Revocations before bulk revocation of a data type"),
+        i("BiasedLockingDecayTime", Locking, 500, 600_000, 25_000, P, false, "Decay interval for the bulk-rebias threshold"),
+        b("TraceBiasedLocking", Locking, false, P, false, "Trace biased-locking operations"),
+        b("PrintBiasedLockingStatistics", Locking, false, P, false, "Print biased-locking statistics at exit"),
+        b("UseSpinning", Locking, false, P, true, "Spin before inflating a contended monitor (pre-adaptive)"),
+        i("PreBlockSpin", Locking, 1, 1_000_000, 10, P, true, "Spin iterations before blocking on a contended monitor"),
+        i("SyncKnobs", Locking, 0, 1, 0, EXP, false, "(unsupported) synchronisation tunables switch"),
+        b("UseHeavyMonitors", Locking, false, P, true, "Always use inflated monitors (no stack locking)"),
+        i("MonitorBound", Locking, 0, 1_000_000, 0, EXP, false, "Bound on the monitor population; 0 = unbounded"),
+        b("MonitorInUseLists", Locking, false, EXP, false, "Track in-use monitors on per-thread lists"),
+        i("ObjectMonitorSpinLimit", Locking, 0, 100_000, 5000, DEV, false, "Adaptive-spin upper bound"),
+        b("UseOSSpinWait", Locking, false, DEV, false, "Use OS pause hints while spinning"),
+        i("NativeMonitorTimeout", Locking, -1, 600_000, -1, DEV, false, "Native monitor wait timeout"),
+        i("NativeMonitorSpinLimit", Locking, 0, 100_000, 20, DEV, false, "Native monitor spin limit"),
+        b("ReduceFieldZeroing", Locking, true, P, false, "Elide zeroing of fields immediately overwritten"),
+        b("ReduceBulkZeroing", Locking, true, P, false, "Elide zeroing of freshly allocated arrays when provably dead"),
+        b("FilterSpuriousWakeups", Locking, true, P, false, "Re-wait on spurious monitor wakeups"),
+        i("hashCode", Locking, 0, 5, 0, P, false, "Identity hash-code generation algorithm"),
+    ]
+}
+
+fn memory() -> Vec<FlagSpec> {
+    vec![
+        b("UseTLAB", Memory, true, P, true, "Allocate through thread-local allocation buffers"),
+        b("ResizeTLAB", Memory, true, P, true, "Dynamically resize TLABs per thread"),
+        sz("TLABSize", Memory, 0, 64 * MB, 0, P, true, "Fixed TLAB size; 0 = adaptive"),
+        sz("MinTLABSize", Memory, 512, MB, 2 * KB, P, false, "Lower bound on TLAB size"),
+        i("TLABAllocationWeight", Memory, 0, 100, 35, P, false, "Exponential-average weight for allocation-rate estimates"),
+        i("TLABWasteTargetPercent", Memory, 1, 100, 1, P, true, "Eden percentage wasted as TLAB slack"),
+        i("TLABRefillWasteFraction", Memory, 1, 100, 64, P, false, "TLAB fraction discardable at refill"),
+        i("TLABWasteIncrement", Memory, 0, 100, 4, P, false, "Refill-waste increment on slow allocation"),
+        b("ZeroTLAB", Memory, false, P, true, "Zero newly allocated TLABs eagerly"),
+        b("TLABStats", Memory, true, P, false, "Collect TLAB statistics"),
+        b("PrintTLAB", Memory, false, P, false, "Print per-thread TLAB statistics"),
+        b("UseCompressedOops", Memory, true, P, true, "Compress 64-bit object references to 32 bits (heaps < 32 GB)"),
+        b("UseCompressedClassPointers", Memory, false, EXP, false, "Compress class-metadata pointers"),
+        i("ObjectAlignmentInBytes", Memory, 8, 256, 8, P, true, "Object alignment in bytes (power of two)"),
+        b("UseLargePages", Memory, false, P, true, "Back the heap with large (huge) pages"),
+        b("UseLargePagesIndividualAllocation", Memory, false, P, false, "Allocate large pages individually (Windows)"),
+        b("UseHugeTLBFS", Memory, false, P, false, "Use Linux hugetlbfs for large pages"),
+        b("UseTransparentHugePages", Memory, false, P, false, "Use Linux transparent huge pages (madvise)"),
+        b("UseSHM", Memory, false, P, false, "Use SysV shared memory for large pages"),
+        sz("LargePageSizeInBytes", Memory, 0, GB, 0, P, false, "Preferred large-page size; 0 = OS default"),
+        i("LargePageHeapSizeThreshold", Memory, 0, 1 << 30, 128 * 1024 * 1024, P, false, "Minimum heap size before large pages are used"),
+        b("UseNUMA", Memory, false, P, true, "NUMA-aware eden allocation"),
+        b("UseNUMAInterleaving", Memory, false, P, false, "Interleave unstructured memory across NUMA nodes"),
+        b("ForceNUMA", Memory, false, P, false, "Enable NUMA paths on single-node systems (testing)"),
+        i("NUMAChunkResizeWeight", Memory, 0, 100, 20, P, false, "Smoothing weight for NUMA chunk resizing"),
+        i("NUMAPageScanRate", Memory, 0, 100_000, 256, P, false, "Pages scanned per NUMA adaptation round"),
+        b("NUMAStats", Memory, false, P, false, "Collect NUMA allocation statistics"),
+        i("AllocatePrefetchStyle", Memory, 0, 3, 1, P, true, "Prefetch style after allocation: 0 = none, 1 = prefetchnta, 2 = test-and-prefetch, 3 = cache-line stride"),
+        i("AllocatePrefetchDistance", Memory, -1, 512, -1, P, true, "Bytes ahead of the allocation pointer to prefetch; -1 = per-CPU default"),
+        i("AllocatePrefetchLines", Memory, 1, 64, 3, P, true, "Cache lines prefetched per allocation"),
+        i("AllocateInstancePrefetchLines", Memory, 1, 64, 1, P, false, "Cache lines prefetched per instance allocation"),
+        i("AllocatePrefetchStepSize", Memory, 16, 512, 64, P, false, "Stride between sequential prefetch instructions"),
+        i("AllocatePrefetchInstr", Memory, 0, 3, 0, P, false, "Which prefetch instruction variant to emit"),
+        i("ReadPrefetchInstr", Memory, 0, 3, 0, P, false, "Prefetch instruction for read-ahead"),
+        b("UseSSE42Intrinsics", Memory, false, P, false, "Use SSE4.2 string intrinsics"),
+        i("UseSSE", Memory, 0, 4, 4, P, false, "Highest SSE instruction set level used"),
+        i("UseAVX", Memory, 0, 2, 0, P, false, "Highest AVX instruction set level used"),
+        b("UseXMMForArrayCopy", Memory, false, P, false, "Copy arrays through XMM registers"),
+        b("UseUnalignedLoadStores", Memory, false, P, false, "Use unaligned SSE moves in copy stubs"),
+        b("UseFastStosb", Memory, false, P, false, "Use enhanced rep-stosb for block fills"),
+        b("UseStoreImmI16", Memory, true, P, false, "Emit 16-bit immediate stores"),
+        b("UseAddressNop", Memory, false, P, false, "Use multi-byte address NOPs for padding"),
+        b("UseNewLongLShift", Memory, false, P, false, "Use optimised 64-bit left-shift sequence"),
+        b("UseBimorphicInlining", Memory, true, P, false, "Inline both receivers of bimorphic call sites"),
+        b("StackTraceInThrowable", Memory, true, P, true, "Record stack traces when Throwables are constructed"),
+        b("OmitStackTraceInFastThrow", Memory, true, P, false, "Reuse preallocated exceptions for hot implicit throws"),
+        b("RestrictContended", Memory, true, P, false, "Honour @Contended only in trusted code"),
+        i("ContendedPaddingWidth", Memory, 0, 8192, 128, P, false, "Padding bytes around @Contended fields"),
+        b("UsePerfData", Memory, true, P, false, "Maintain the jvmstat performance-data file"),
+        b("PerfDisableSharedMem", Memory, false, P, false, "Keep jvmstat data out of shared memory"),
+        i("PerfDataMemorySize", Memory, 4 * 1024, MB, 32 * 1024, P, false, "Size of the jvmstat memory region"),
+    ]
+}
+
+fn threads() -> Vec<FlagSpec> {
+    vec![
+        sz("ThreadStackSize", Threads, 0, 32 * MB, 1024 * KB, P, true, "Java thread stack size (-Xss); 0 = platform default"),
+        sz("VMThreadStackSize", Threads, 0, 32 * MB, 1024 * KB, P, false, "Native VM thread stack size"),
+        sz("CompilerThreadStackSize", Threads, 0, 32 * MB, 4096 * KB, P, false, "Compiler thread stack size"),
+        i("ThreadPriorityPolicy", Threads, 0, 1, 0, P, false, "0 = normal, 1 = aggressive thread-priority mapping"),
+        b("ThreadPriorityVerbose", Threads, false, P, false, "Trace thread-priority changes"),
+        i("JavaPriority1_To_OSPriority", Threads, -1, 127, -1, P, false, "OS priority for Java priority 1"),
+        i("JavaPriority10_To_OSPriority", Threads, -1, 127, -1, P, false, "OS priority for Java priority 10"),
+        b("UseThreadPriorities", Threads, true, P, false, "Use native thread priorities"),
+        i("DeferThrSuspendLoopCount", Threads, 0, 100_000, 4000, P, false, "Iterations awaiting threads during safepoint synchronisation"),
+        i("DeferPollingPageLoopCount", Threads, -1, 100_000, -1, P, false, "Iterations before arming the polling page"),
+        i("SafepointTimeoutDelay", Threads, 0, 600_000, 10_000, P, false, "Milliseconds before a safepoint timeout is reported"),
+        b("SafepointTimeout", Threads, false, P, false, "Report threads failing to reach safepoints"),
+        i("GuaranteedSafepointInterval", Threads, 0, 600_000, 1000, DIAG, true, "Guaranteed milliseconds between safepoints"),
+        b("UseMembar", Threads, false, P, true, "Issue memory barriers in thread-state transitions (vs pseudo-membar)"),
+        b("UseCompilerSafepoints", Threads, true, DEV, false, "Poll for safepoints in compiled code"),
+        b("EnableThreadSMRStatistics", Threads, false, DIAG, false, "Collect thread safe-memory-reclamation statistics"),
+        b("ReduceSignalUsage", Threads, false, P, false, "Do not install optional signal handlers"),
+        b("AllowUserSignalHandlers", Threads, false, P, false, "Tolerate pre-installed user signal handlers"),
+        b("UseAltSigs", Threads, false, P, false, "Use alternate signals for VM-internal signalling"),
+        b("MaxFDLimit", Threads, true, P, false, "Raise the file-descriptor soft limit to the hard limit"),
+        i("StarvationMonitorInterval", Threads, 0, 60_000, 200, DEV, false, "Sleep between thread-starvation checks"),
+        b("UseVMInterruptibleIO", Threads, false, P, false, "VM-interruptible IO on Solaris"),
+        i("ThreadSafetyMargin", Threads, 0, 1 << 30, 50 * 1024 * 1024, P, false, "Address-space margin reserved per thread (32-bit)"),
+        b("UseBoundThreads", Threads, true, P, false, "Bind user threads to kernel threads (Solaris)"),
+        b("UseLWPSynchronization", Threads, true, P, false, "LWP-based rather than thread-based synchronisation (Solaris)"),
+        b("StressLdcRewrite", Threads, false, DEV, false, "Stress constant-pool rewriting paths"),
+        i("StressNonEntrant", Threads, 0, 1, 0, DEV, false, "Stress making nmethods non-entrant"),
+        b("DieOnSafepointTimeout", Threads, false, DEV, false, "Abort the VM on safepoint timeout (testing)"),
+        i("SuspendRetryCount", Threads, 0, 1000, 50, P, false, "Thread-suspend retries before giving up"),
+        i("SuspendRetryDelay", Threads, 0, 1000, 5, P, false, "Milliseconds between suspend retries"),
+    ]
+}
+
+fn classloading() -> Vec<FlagSpec> {
+    vec![
+        b("UseSharedSpaces", ClassLoading, true, P, true, "Map the class-data-sharing archive read-only (faster startup)"),
+        b("RequireSharedSpaces", ClassLoading, false, P, false, "Fail to start if the CDS archive is unusable"),
+        b("DumpSharedSpaces", ClassLoading, false, P, false, "Dump the loaded classes into a CDS archive and exit"),
+        sz("SharedReadOnlySize", ClassLoading, MB, GB, 10 * MB, P, false, "Read-only space size in the CDS archive"),
+        sz("SharedReadWriteSize", ClassLoading, MB, GB, 10 * MB, P, false, "Read-write space size in the CDS archive"),
+        sz("SharedMiscDataSize", ClassLoading, KB, GB, 4 * MB, P, false, "Miscellaneous-data space size in the CDS archive"),
+        sz("SharedMiscCodeSize", ClassLoading, KB, GB, 120 * KB, P, false, "Code space size in the CDS archive"),
+        b("BytecodeVerificationRemote", ClassLoading, true, P, true, "Verify bytecodes of remotely loaded classes"),
+        b("BytecodeVerificationLocal", ClassLoading, false, P, true, "Verify bytecodes of locally loaded classes"),
+        b("UseSplitVerifier", ClassLoading, true, P, false, "Use the split (type-checking) bytecode verifier"),
+        b("FailOverToOldVerifier", ClassLoading, true, P, false, "Retry with the old verifier when the split verifier fails"),
+        b("RelaxAccessControlCheck", ClassLoading, false, P, false, "Relax access control for older class files"),
+        b("ClassLoadingStats", ClassLoading, false, DEV, false, "Collect class-loading statistics"),
+        b("TraceClassLoading", ClassLoading, false, P, false, "Trace each loaded class"),
+        b("TraceClassLoadingPreorder", ClassLoading, false, P, false, "Trace classes in referencing order"),
+        b("TraceClassUnloading", ClassLoading, false, P, false, "Trace each unloaded class"),
+        b("TraceClassResolution", ClassLoading, false, P, false, "Trace constant-pool resolutions"),
+        b("TraceLoaderConstraints", ClassLoading, false, P, false, "Trace loader-constraint recording"),
+        b("AllowParallelDefineClass", ClassLoading, false, P, false, "Allow parallel defineClass for parallel-capable loaders"),
+        b("MustCallLoadClassInternal", ClassLoading, false, P, false, "Route loading through loadClassInternal"),
+        b("UnsyncloadClass", ClassLoading, false, DIAG, false, "Unsynchronised class loading for custom loaders"),
+        i("PredictedLoadedClassCount", ClassLoading, 0, 10_000_000, 0, EXP, false, "Expected loaded-class count sizing internal tables"),
+        b("LazyBootClassLoader", ClassLoading, true, P, false, "Open boot classpath jars lazily"),
+        b("EagerInitialization", ClassLoading, false, DEV, false, "Initialise classes eagerly at load time"),
+        b("UsePrivilegedStack", ClassLoading, true, P, false, "Use the privileged stack for access control"),
+        i("ClassMetaspaceSize", ClassLoading, MB, 10 * GB, 2 * MB, DEV, false, "Metaspace devoted to class metadata (develop twin)"),
+        b("VerifyObjectStartArrayAtGC", ClassLoading, false, DEV, false, "(develop) verify class-space start array at GC"),
+        b("CompactFields", ClassLoading, true, P, false, "Pack fields into the gaps left by alignment"),
+        i("FieldsAllocationStyle", ClassLoading, 0, 2, 1, P, false, "Field layout policy: 0 = oops first, 1 = primitives first, 2 = packed"),
+        b("PrintClassHistogram", ClassLoading, false, MAN, false, "Print a class-instance histogram on SIGQUIT"),
+        b("PreloadClasses", ClassLoading, false, DEV, false, "(develop) preload application classes at startup"),
+    ]
+}

@@ -1,0 +1,193 @@
+//! Static flag specifications.
+
+use crate::value::{Domain, FlagValue};
+
+/// Dense index of a flag within a [`crate::Registry`].
+///
+/// Configurations are vectors indexed by `FlagId`, so all per-flag lookups
+/// in the tuner's hot paths are O(1) array accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlagId(pub u16);
+
+impl FlagId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which JVM subsystem a flag belongs to.
+///
+/// Categories are the *nodes of the paper's flag hierarchy*: the tree in
+/// `jtune-flagtree` groups flags by category and gates whole categories on
+/// selector flags (e.g. all of [`Category::GcCms`] is inactive unless
+/// `UseConcMarkSweepGC` is on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Heap geometry: sizes, ratios, generation boundaries.
+    Heap,
+    /// GC behaviour shared by all collectors (ergonomics, System.gc, …).
+    GcCommon,
+    /// Serial collector (`UseSerialGC`) specifics.
+    GcSerial,
+    /// Parallel scavenge / parallel-old specifics.
+    GcParallel,
+    /// Concurrent-mark-sweep specifics.
+    GcCms,
+    /// Garbage-First specifics.
+    GcG1,
+    /// JIT compilation policy: tiers, thresholds, compiler counts.
+    Jit,
+    /// Inlining heuristics.
+    Inlining,
+    /// Code cache sizing and sweeping.
+    CodeCache,
+    /// Interpreter behaviour.
+    Interpreter,
+    /// Object/locking runtime: biased locking, spinning, monitors.
+    Locking,
+    /// Memory system: TLABs, prefetch, compressed oops, large pages, NUMA.
+    Memory,
+    /// Threading: stack sizes, thread counts, safepoints.
+    Threads,
+    /// Class loading, verification, class-data sharing.
+    ClassLoading,
+    /// Compiler escape analysis / optimisation toggles.
+    Optimization,
+    /// Printing, tracing, diagnostics — semantically inert for performance
+    /// but part of the real flag surface.
+    Diagnostics,
+    /// Everything else (assertions, compatibility, OS integration).
+    Misc,
+}
+
+impl Category {
+    /// All categories, in display order.
+    pub const ALL: [Category; 17] = [
+        Category::Heap,
+        Category::GcCommon,
+        Category::GcSerial,
+        Category::GcParallel,
+        Category::GcCms,
+        Category::GcG1,
+        Category::Jit,
+        Category::Inlining,
+        Category::CodeCache,
+        Category::Interpreter,
+        Category::Locking,
+        Category::Memory,
+        Category::Threads,
+        Category::ClassLoading,
+        Category::Optimization,
+        Category::Diagnostics,
+        Category::Misc,
+    ];
+
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Heap => "heap",
+            Category::GcCommon => "gc.common",
+            Category::GcSerial => "gc.serial",
+            Category::GcParallel => "gc.parallel",
+            Category::GcCms => "gc.cms",
+            Category::GcG1 => "gc.g1",
+            Category::Jit => "jit",
+            Category::Inlining => "jit.inlining",
+            Category::CodeCache => "jit.codecache",
+            Category::Interpreter => "interpreter",
+            Category::Locking => "runtime.locking",
+            Category::Memory => "runtime.memory",
+            Category::Threads => "runtime.threads",
+            Category::ClassLoading => "runtime.classloading",
+            Category::Optimization => "jit.optimization",
+            Category::Diagnostics => "diagnostics",
+            Category::Misc => "misc",
+        }
+    }
+}
+
+/// HotSpot's flag classification (from `globals.hpp`). The paper tunes
+/// *product* and *manageable* flags; develop/notproduct flags exist in the
+/// registry for fidelity but are excluded from the search space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlagKind {
+    /// Officially supported (`product`).
+    Product,
+    /// Requires `-XX:+UnlockDiagnosticVMOptions`.
+    Diagnostic,
+    /// Requires `-XX:+UnlockExperimentalVMOptions`.
+    Experimental,
+    /// Adjustable at run time via JMX (`manageable`).
+    Manageable,
+    /// Debug-build only (`develop` / `notproduct`): present in the flag
+    /// table but never tuned.
+    Develop,
+}
+
+impl FlagKind {
+    /// Whether the auto-tuner may legally set this flag on a release JVM.
+    pub fn tunable(self) -> bool {
+        !matches!(self, FlagKind::Develop)
+    }
+}
+
+/// One flag's complete static description.
+#[derive(Clone, Debug)]
+pub struct FlagSpec {
+    /// The `-XX:` name, e.g. `"UseG1GC"`.
+    pub name: &'static str,
+    /// Subsystem the flag belongs to.
+    pub category: Category,
+    /// Allowed values and tuning scale.
+    pub domain: Domain,
+    /// JDK-7 default value.
+    pub default: FlagValue,
+    /// HotSpot classification.
+    pub kind: FlagKind,
+    /// Whether this flag is rendered as a byte size (`512m`) on the
+    /// command line.
+    pub is_size: bool,
+    /// Whether the simulator's performance model reads this flag.
+    ///
+    /// This is metadata *about the reproduction*, not about HotSpot: tests
+    /// use it to verify that inert flags really are inert and experiments
+    /// use it to report how much of the search space is dead weight.
+    pub perf: bool,
+    /// One-line description (from `globals.hpp`, lightly abbreviated).
+    pub desc: &'static str,
+}
+
+impl FlagSpec {
+    /// Is this flag part of the tunable search space?
+    pub fn tunable(&self) -> bool {
+        self.kind.tunable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_names_unique() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Category::ALL.len());
+    }
+
+    #[test]
+    fn develop_flags_not_tunable() {
+        assert!(!FlagKind::Develop.tunable());
+        assert!(FlagKind::Product.tunable());
+        assert!(FlagKind::Diagnostic.tunable());
+        assert!(FlagKind::Experimental.tunable());
+        assert!(FlagKind::Manageable.tunable());
+    }
+
+    #[test]
+    fn flag_id_round_trips() {
+        assert_eq!(FlagId(42).index(), 42);
+    }
+}

@@ -1,0 +1,128 @@
+//! Registry data-quality audit: structural invariants over all 750+
+//! entries that per-module unit tests don't cover.
+
+use jtune_flags::{hotspot_registry, Domain, FlagValue};
+
+#[test]
+fn flag_names_look_like_hotspot_flags() {
+    for (_, spec) in hotspot_registry().iter() {
+        assert!(
+            spec.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "{} has non-flag characters",
+            spec.name
+        );
+        assert!(
+            spec.name.chars().next().unwrap().is_ascii_alphabetic(),
+            "{} starts oddly",
+            spec.name
+        );
+        assert!(spec.name.len() >= 3 && spec.name.len() <= 60, "{}", spec.name);
+    }
+}
+
+#[test]
+fn size_flags_are_log_scaled_ints() {
+    for (_, spec) in hotspot_registry().iter() {
+        if spec.is_size {
+            match &spec.domain {
+                Domain::IntRange { log_scale, lo, .. } => {
+                    assert!(log_scale, "{} is a size but linear", spec.name);
+                    assert!(*lo >= 0, "{} negative size", spec.name);
+                }
+                other => panic!("{} is a size with domain {other:?}", spec.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn int_domains_are_ordered_and_nonempty() {
+    for (_, spec) in hotspot_registry().iter() {
+        match &spec.domain {
+            Domain::IntRange { lo, hi, .. } => {
+                assert!(lo <= hi, "{}: lo {lo} > hi {hi}", spec.name)
+            }
+            Domain::DoubleRange { lo, hi } => {
+                assert!(lo < hi, "{}: degenerate double range", spec.name)
+            }
+            Domain::Enum { variants } => {
+                assert!(!variants.is_empty(), "{}: empty enum", spec.name)
+            }
+            Domain::Bool => {}
+        }
+    }
+}
+
+#[test]
+fn collector_selection_flags_are_all_perf_relevant_bools() {
+    let r = hotspot_registry();
+    for name in ["UseSerialGC", "UseParallelGC", "UseParallelOldGC", "UseConcMarkSweepGC", "UseG1GC", "UseParNewGC"] {
+        let spec = r.spec(r.id(name).unwrap());
+        assert!(matches!(spec.domain, Domain::Bool), "{name} not a bool");
+        assert!(spec.perf, "{name} not perf-marked");
+        assert!(spec.tunable(), "{name} not tunable");
+    }
+}
+
+#[test]
+fn exactly_one_collector_enabled_by_default() {
+    let r = hotspot_registry();
+    let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
+        .iter()
+        .filter(|n| r.spec(r.id(n).unwrap()).default == FlagValue::Bool(true))
+        .count();
+    assert_eq!(on, 1, "JDK-7 defaults must enable exactly the parallel collector");
+}
+
+#[test]
+fn percentage_flags_stay_within_percent_domains() {
+    // Any flag whose name ends in Percent/Percentage/Fraction-as-percent
+    // style must not allow values above 1000 (catches unit typos in the
+    // data files).
+    for (_, spec) in hotspot_registry().iter() {
+        if spec.name.ends_with("Percent") || spec.name.ends_with("Percentage") {
+            if let Domain::IntRange { hi, .. } = spec.domain {
+                assert!(hi <= 100_000, "{}: suspicious percent bound {hi}", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn diagnostics_category_is_fully_inert() {
+    for (_, spec) in hotspot_registry().iter() {
+        if spec.category == jtune_flags::Category::Diagnostics {
+            assert!(!spec.perf, "{} is diagnostics but perf-marked", spec.name);
+        }
+    }
+}
+
+#[test]
+fn defaults_of_perf_flags_round_trip_the_command_line() {
+    // Render every perf flag set AWAY from its default, then parse back.
+    let r = hotspot_registry();
+    let mut config = jtune_flags::JvmConfig::default_for(r);
+    for (id, spec) in r.iter() {
+        if !spec.perf || !spec.tunable() {
+            continue;
+        }
+        let flipped = match (spec.default, &spec.domain) {
+            (FlagValue::Bool(b), _) => FlagValue::Bool(!b),
+            (FlagValue::Int(v), Domain::IntRange { lo, hi, .. }) => {
+                FlagValue::Int(if v == *hi { *lo } else { *hi })
+            }
+            (FlagValue::Double(v), Domain::DoubleRange { lo, hi }) => {
+                FlagValue::Double(if (v - *hi).abs() < 1e-12 { *lo } else { *hi })
+            }
+            (FlagValue::Enum(e), Domain::Enum { variants }) => {
+                FlagValue::Enum(((e as usize + 1) % variants.len()) as u16)
+            }
+            _ => continue,
+        };
+        config.set(id, flipped);
+    }
+    let args = config.to_args(r);
+    assert!(args.len() > 80, "only {} args", args.len());
+    let back = jtune_flags::JvmConfig::parse_args(r, &args).expect("round trip");
+    assert_eq!(back.fingerprint(), config.fingerprint());
+}

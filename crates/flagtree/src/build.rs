@@ -1,0 +1,475 @@
+//! Construction of the standard HotSpot flag hierarchy.
+//!
+//! The shape follows the paper's description: flags are grouped by JVM
+//! aspect, collector choice is a mutually-exclusive selector whose options
+//! own the collector-specific families, and boolean feature flags gate
+//! their dependent parameters. Every *tunable* flag of the registry is
+//! placed exactly once (a test enforces this), so the hierarchical tuner
+//! sees the whole JVM — the paper's stated difference from prior
+//! subset-tuning work.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use jtune_flags::{hotspot_registry, Category, FlagValue, Registry};
+
+use crate::tree::{FlagTree, NodeId, TreeBuilder};
+
+/// The standard hierarchy over the built-in JDK-7 registry, built once.
+pub fn hotspot_tree() -> &'static FlagTree {
+    static TREE: OnceLock<FlagTree> = OnceLock::new();
+    TREE.get_or_init(|| build_hotspot_tree(hotspot_registry()))
+}
+
+const T: FlagValue = FlagValue::Bool(true);
+const F: FlagValue = FlagValue::Bool(false);
+
+/// Build the standard hierarchy against `registry` (which must contain the
+/// built-in flag set; unknown names panic).
+pub fn build_hotspot_tree(registry: &Registry) -> FlagTree {
+    let mut b = TreeBuilder::new(registry);
+    let mut placed: HashSet<&'static str> = HashSet::new();
+    let root = b.root();
+
+    // Selector-assigned flags: structurally determined, never tuned directly.
+    let assigned = [
+        "UseSerialGC",
+        "UseParallelGC",
+        "UseParallelOldGC",
+        "UseConcMarkSweepGC",
+        "UseG1GC",
+        "UseParNewGC",
+        "TieredCompilation",
+    ];
+    placed.extend(assigned);
+
+    // ---------------- heap ----------------
+    let heap = b.group(root, "heap");
+    bulk(&mut b, &mut placed, heap, Category::Heap, registry);
+
+    // ---------------- gc ----------------
+    let gc = b.group(root, "gc");
+    let sel = b.selector(gc, "gc.collector");
+
+    // Detection order: any explicitly chosen exclusive collector beats the
+    // fallback; "parallel" (the JDK-7 server default) is last.
+    let g1 = b.option(
+        &sel,
+        "g1",
+        &[
+            ("UseG1GC", T),
+            ("UseSerialGC", F),
+            ("UseParallelGC", F),
+            ("UseParallelOldGC", F),
+            ("UseConcMarkSweepGC", F),
+            ("UseParNewGC", F),
+        ],
+    );
+    bulk(&mut b, &mut placed, g1, Category::GcG1, registry);
+
+    let cms = b.option(
+        &sel,
+        "cms",
+        &[
+            ("UseConcMarkSweepGC", T),
+            ("UseParNewGC", T),
+            ("UseSerialGC", F),
+            ("UseParallelGC", F),
+            ("UseParallelOldGC", F),
+            ("UseG1GC", F),
+        ],
+    );
+    // CMS incremental mode gates its duty-cycle family.
+    let icms = gate(&mut b, &mut placed, cms, "CMSIncrementalMode", true);
+    for name in [
+        "CMSIncrementalDutyCycle",
+        "CMSIncrementalDutyCycleMin",
+        "CMSIncrementalPacing",
+        "CMSIncrementalSafetyFactor",
+        "CMSIncrementalOffset",
+    ] {
+        leaf(&mut b, &mut placed, icms, name);
+    }
+    bulk(&mut b, &mut placed, cms, Category::GcCms, registry);
+
+    let serial = b.option(
+        &sel,
+        "serial",
+        &[
+            ("UseSerialGC", T),
+            ("UseParallelGC", F),
+            ("UseParallelOldGC", F),
+            ("UseConcMarkSweepGC", F),
+            ("UseG1GC", F),
+            ("UseParNewGC", F),
+        ],
+    );
+    bulk(&mut b, &mut placed, serial, Category::GcSerial, registry);
+
+    let parallel = b.option(
+        &sel,
+        "parallel",
+        &[
+            ("UseParallelGC", T),
+            ("UseParallelOldGC", T),
+            ("UseSerialGC", F),
+            ("UseConcMarkSweepGC", F),
+            ("UseG1GC", F),
+            ("UseParNewGC", F),
+        ],
+    );
+    // The parallel collector's adaptive size policy gates its estimator
+    // parameters.
+    let asp = gate(&mut b, &mut placed, parallel, "UseAdaptiveSizePolicy", true);
+    for name in [
+        "PausePadding",
+        "SurvivorPaddingMultiplier",
+        "AdaptivePermSizeWeight",
+        "UsePSAdaptiveSurvivorSizePolicy",
+    ] {
+        leaf(&mut b, &mut placed, asp, name);
+    }
+    bulk(&mut b, &mut placed, parallel, Category::GcParallel, registry);
+
+    // GC behaviour shared by all collectors.
+    let gc_common = b.group(gc, "gc.common");
+    bulk(&mut b, &mut placed, gc_common, Category::GcCommon, registry);
+
+    // ---------------- jit ----------------
+    // The whole compiler subtree is dead under -Xint (UseCompiler=false).
+    let jit_root = b.group(root, "jit");
+    let jit = gate(&mut b, &mut placed, jit_root, "UseCompiler", true);
+
+    let mode = b.selector(jit, "jit.mode");
+    let tiered = b.option(&mode, "tiered", &[("TieredCompilation", T)]);
+    for name in [
+        "TieredStopAtLevel",
+        "Tier2CompileThreshold",
+        "Tier3CompileThreshold",
+        "Tier3InvocationThreshold",
+        "Tier3MinInvocationThreshold",
+        "Tier3BackEdgeThreshold",
+        "Tier4CompileThreshold",
+        "Tier4InvocationThreshold",
+        "Tier4MinInvocationThreshold",
+        "Tier4BackEdgeThreshold",
+        "Tier3DelayOn",
+        "Tier3DelayOff",
+        "Tier3LoadFeedback",
+        "Tier4LoadFeedback",
+        "TieredRateUpdateMinTime",
+        "TieredRateUpdateMaxTime",
+    ] {
+        leaf(&mut b, &mut placed, tiered, name);
+    }
+    let classic = b.option(&mode, "classic", &[("TieredCompilation", F)]);
+    for name in [
+        "CompileThreshold",
+        "OnStackReplacePercentage",
+        "InterpreterProfilePercentage",
+        "UseCounterDecay",
+        "CounterHalfLifeTime",
+        "CounterDecayMinIntervalLength",
+    ] {
+        leaf(&mut b, &mut placed, classic, name);
+    }
+
+    // Inlining is gated on the master Inline switch.
+    let inline = gate(&mut b, &mut placed, jit, "Inline", true);
+    bulk(&mut b, &mut placed, inline, Category::Inlining, registry);
+
+    // Escape analysis gates its elimination passes.
+    let ea = gate(&mut b, &mut placed, jit, "DoEscapeAnalysis", true);
+    for name in [
+        "EliminateAllocations",
+        "EliminateLocks",
+        "EliminateNestedLocks",
+        "OptimizePtrCompare",
+    ] {
+        leaf(&mut b, &mut placed, ea, name);
+    }
+
+    // Code cache; flushing gates its sweep parameters.
+    let cc = b.group(jit, "jit.codecache");
+    let ccf = gate(&mut b, &mut placed, cc, "UseCodeCacheFlushing", true);
+    for name in ["MinCodeCacheFlushingInterval", "NmethodSweepFraction", "NmethodSweepCheckInterval"] {
+        leaf(&mut b, &mut placed, ccf, name);
+    }
+    bulk(&mut b, &mut placed, cc, Category::CodeCache, registry);
+
+    bulk(&mut b, &mut placed, jit, Category::Jit, registry);
+    bulk(&mut b, &mut placed, jit, Category::Optimization, registry);
+
+    // Interpreter flags matter even under -Xint: outside the gate.
+    let interp = b.group(root, "interpreter");
+    bulk(&mut b, &mut placed, interp, Category::Interpreter, registry);
+
+    // ---------------- runtime ----------------
+    let rt = b.group(root, "runtime");
+
+    let locking = b.group(rt, "locking");
+    let biased = gate(&mut b, &mut placed, locking, "UseBiasedLocking", true);
+    for name in [
+        "BiasedLockingStartupDelay",
+        "BiasedLockingBulkRebiasThreshold",
+        "BiasedLockingBulkRevokeThreshold",
+        "BiasedLockingDecayTime",
+    ] {
+        leaf(&mut b, &mut placed, biased, name);
+    }
+    let spin = gate(&mut b, &mut placed, locking, "UseSpinning", true);
+    leaf(&mut b, &mut placed, spin, "PreBlockSpin");
+    bulk(&mut b, &mut placed, locking, Category::Locking, registry);
+
+    let memory = b.group(rt, "memory");
+    let tlab = gate(&mut b, &mut placed, memory, "UseTLAB", true);
+    for name in [
+        "ResizeTLAB",
+        "TLABSize",
+        "MinTLABSize",
+        "TLABAllocationWeight",
+        "TLABWasteTargetPercent",
+        "TLABRefillWasteFraction",
+        "TLABWasteIncrement",
+        "ZeroTLAB",
+        "TLABStats",
+    ] {
+        leaf(&mut b, &mut placed, tlab, name);
+    }
+    let lp = gate(&mut b, &mut placed, memory, "UseLargePages", true);
+    for name in [
+        "LargePageSizeInBytes",
+        "LargePageHeapSizeThreshold",
+        "UseHugeTLBFS",
+        "UseTransparentHugePages",
+        "UseSHM",
+        "UseLargePagesIndividualAllocation",
+    ] {
+        leaf(&mut b, &mut placed, lp, name);
+    }
+    let numa = gate(&mut b, &mut placed, memory, "UseNUMA", true);
+    for name in [
+        "UseNUMAInterleaving",
+        "NUMAChunkResizeWeight",
+        "NUMAPageScanRate",
+        "NUMAStats",
+        "ForceNUMA",
+    ] {
+        leaf(&mut b, &mut placed, numa, name);
+    }
+    bulk(&mut b, &mut placed, memory, Category::Memory, registry);
+
+    let threads = b.group(rt, "threads");
+    bulk(&mut b, &mut placed, threads, Category::Threads, registry);
+
+    let cl = b.group(rt, "classloading");
+    let cds = gate(&mut b, &mut placed, cl, "UseSharedSpaces", true);
+    for name in [
+        "RequireSharedSpaces",
+        "SharedReadOnlySize",
+        "SharedReadWriteSize",
+        "SharedMiscDataSize",
+        "SharedMiscCodeSize",
+    ] {
+        leaf(&mut b, &mut placed, cds, name);
+    }
+    bulk(&mut b, &mut placed, cl, Category::ClassLoading, registry);
+
+    // ---------------- diagnostics & misc ----------------
+    let diag = b.group(root, "diagnostics");
+    bulk(&mut b, &mut placed, diag, Category::Diagnostics, registry);
+    let misc = b.group(root, "misc");
+    bulk(&mut b, &mut placed, misc, Category::Misc, registry);
+
+    b.build()
+}
+
+fn leaf(
+    b: &mut TreeBuilder<'_>,
+    placed: &mut HashSet<&'static str>,
+    parent: NodeId,
+    name: &'static str,
+) {
+    if placed.insert(name) {
+        b.leaf(parent, name);
+    } else {
+        panic!("flag {name} placed twice in the hierarchy");
+    }
+}
+
+fn gate(
+    b: &mut TreeBuilder<'_>,
+    placed: &mut HashSet<&'static str>,
+    parent: NodeId,
+    name: &'static str,
+    active_when: bool,
+) -> NodeId {
+    if !placed.insert(name) {
+        panic!("gate flag {name} placed twice in the hierarchy");
+    }
+    b.gate(parent, name, active_when)
+}
+
+/// Attach every not-yet-placed tunable flag of `cat` as a leaf of `parent`.
+fn bulk(
+    b: &mut TreeBuilder<'_>,
+    placed: &mut HashSet<&'static str>,
+    parent: NodeId,
+    cat: Category,
+    registry: &Registry,
+) {
+    for id in registry.ids_in_category(cat) {
+        let name = registry.spec(id).name;
+        if placed.insert(name) {
+            b.leaf(parent, name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_flags::JvmConfig;
+
+    #[test]
+    fn builds_and_is_shared() {
+        let t1 = hotspot_tree();
+        let t2 = hotspot_tree();
+        assert!(std::ptr::eq(t1, t2));
+        assert!(t1.len() > 600, "tree has only {} nodes", t1.len());
+    }
+
+    #[test]
+    fn covers_every_tunable_flag_exactly_once() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        let mut seen = std::collections::HashMap::new();
+        for flag in tree.all_tree_flags() {
+            *seen.entry(flag).or_insert(0) += 1;
+        }
+        for &id in r.tunable_ids() {
+            if tree.is_assigned(id) {
+                assert!(
+                    !seen.contains_key(&id),
+                    "assigned flag {} must not be a leaf",
+                    r.spec(id).name
+                );
+            } else {
+                assert_eq!(
+                    seen.get(&id),
+                    Some(&1),
+                    "tunable flag {} placed {} times",
+                    r.spec(id).name,
+                    seen.get(&id).unwrap_or(&0)
+                );
+            }
+        }
+        // And nothing non-tunable leaked in.
+        for &id in seen.keys() {
+            assert!(r.spec(id).tunable(), "develop flag {} in tree", r.spec(id).name);
+        }
+    }
+
+    #[test]
+    fn default_config_selects_parallel_and_classic() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        let c = JvmConfig::default_for(r);
+        let labels: Vec<&str> = tree
+            .selector_ids()
+            .map(|sid| {
+                let sel = tree.selector(sid);
+                sel.options[sel.detect(&c)].label
+            })
+            .collect();
+        assert!(labels.contains(&"parallel"));
+        assert!(labels.contains(&"classic"));
+    }
+
+    #[test]
+    fn choosing_each_collector_yields_consistent_configs() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        let gc_sel = tree
+            .selector_ids()
+            .find(|sid| tree.selector(*sid).name == "gc.collector")
+            .unwrap();
+        let n_opts = tree.selector(gc_sel).options.len();
+        assert_eq!(n_opts, 4);
+        for opt in 0..n_opts {
+            let mut c = JvmConfig::default_for(r);
+            tree.set_selector(r, &mut c, gc_sel, opt);
+            // Exactly one primary collector flag set (ParNew rides along
+            // with CMS).
+            let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
+                .iter()
+                .filter(|n| c.get_by_name(r, n) == Some(FlagValue::Bool(true)))
+                .count();
+            assert_eq!(on, 1, "option {opt} left {on} collectors enabled");
+            assert!(c.validate(r).is_ok());
+            assert_eq!(tree.selector_state(gc_sel, &c), opt);
+        }
+    }
+
+    #[test]
+    fn active_set_shrinks_relative_to_flat_space() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        let mut c = JvmConfig::default_for(r);
+        tree.enforce(r, &mut c);
+        let active = tree.active_flags(&c).len();
+        let tunable = r.tunable_ids().len();
+        assert!(
+            active < tunable * 8 / 10,
+            "active {active} vs tunable {tunable}: hierarchy prunes too little"
+        );
+        // But the active set is still "the whole JVM", not a hand-picked
+        // subset: hundreds of flags.
+        assert!(active > 300, "active set suspiciously small: {active}");
+    }
+
+    #[test]
+    fn cms_incremental_flags_only_active_under_cms_with_icms() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        let gc_sel = tree
+            .selector_ids()
+            .find(|sid| tree.selector(*sid).name == "gc.collector")
+            .unwrap();
+        let cms_opt = tree
+            .selector(gc_sel)
+            .options
+            .iter()
+            .position(|o| o.label == "cms")
+            .unwrap();
+        let mut c = JvmConfig::default_for(r);
+        tree.set_selector(r, &mut c, gc_sel, cms_opt);
+        let names = |c: &JvmConfig| -> Vec<&str> {
+            tree.active_flags(c).iter().map(|f| r.spec(*f).name).collect()
+        };
+        // iCMS gate closed by default.
+        assert!(names(&c).contains(&"CMSIncrementalMode"));
+        assert!(!names(&c).contains(&"CMSIncrementalDutyCycle"));
+        c.set_by_name(r, "CMSIncrementalMode", FlagValue::Bool(true))
+            .unwrap();
+        assert!(names(&c).contains(&"CMSIncrementalDutyCycle"));
+        // And under parallel, none of it is active.
+        let mut p = JvmConfig::default_for(r);
+        tree.enforce(r, &mut p);
+        assert!(!names(&p).contains(&"CMSIncrementalMode"));
+    }
+
+    #[test]
+    fn enforce_canonicalises_fingerprints() {
+        let r = hotspot_registry();
+        let tree = hotspot_tree();
+        // Two configs that differ only in a dead (CMS) flag while running
+        // parallel GC must canonicalise to the same fingerprint.
+        let mut a = JvmConfig::default_for(r);
+        let mut b2 = JvmConfig::default_for(r);
+        b2.set_by_name(r, "CMSPrecleanIter", FlagValue::Int(7)).unwrap();
+        tree.enforce(r, &mut a);
+        tree.enforce(r, &mut b2);
+        assert_eq!(a.fingerprint(), b2.fingerprint());
+    }
+}

@@ -1,0 +1,248 @@
+//! Search-space cardinality analysis (experiment E3).
+//!
+//! The paper motivates the hierarchy by the size of the raw configuration
+//! space: with 600+ flags the flat space is astronomically large, and most
+//! of it is *redundant* — points differing only in flags that are dead
+//! under the current structural choices. This module computes:
+//!
+//! - the **flat** log₁₀ space size (every tunable flag independent), and
+//! - the **per-stratum** sizes, one stratum per combination of selector
+//!   options, counting only flags active within that stratum (gates counted
+//!   as "potentially open": the gate bit plus its subtree).
+//!
+//! Continuous domains are counted as 10³ grid points, matching how a
+//! practical tuner discretises them.
+
+use jtune_flags::Registry;
+
+use crate::tree::{FlagTree, NodeData, NodeId};
+
+/// Size of one selector-combination stratum.
+#[derive(Clone, Debug)]
+pub struct StratumStats {
+    /// `(selector name, option label)` choices defining the stratum.
+    pub choices: Vec<(&'static str, &'static str)>,
+    /// Number of tunable flags active (counting gated subtrees).
+    pub active_flags: usize,
+    /// log₁₀ of the stratum's configuration count.
+    pub log10_size: f64,
+}
+
+/// Flat-vs-hierarchical space statistics.
+#[derive(Clone, Debug)]
+pub struct SpaceStats {
+    /// Total flags in the registry.
+    pub total_flags: usize,
+    /// Tunable (non-develop) flags.
+    pub tunable_flags: usize,
+    /// log₁₀ size of the flat space over all tunable flags.
+    pub flat_log10: f64,
+    /// One entry per selector-option combination.
+    pub strata: Vec<StratumStats>,
+    /// log₁₀ of the total hierarchical space (sum over strata).
+    pub hierarchical_log10: f64,
+}
+
+impl SpaceStats {
+    /// Compute the statistics for `tree` over `registry`.
+    pub fn compute(tree: &FlagTree, registry: &Registry) -> SpaceStats {
+        let flat_log10: f64 = registry
+            .tunable_ids()
+            .iter()
+            .map(|&id| registry.spec(id).domain.log10_cardinality())
+            .sum();
+
+        // Enumerate selector-option combinations.
+        let selector_option_counts: Vec<usize> = tree
+            .selectors()
+            .iter()
+            .map(|s| s.options.len())
+            .collect();
+        let mut strata = Vec::new();
+        let mut choice = vec![0usize; selector_option_counts.len()];
+        loop {
+            strata.push(stratum_stats(tree, registry, &choice));
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == choice.len() {
+                    // Wrapped past the last digit: done.
+                    let hierarchical_log10 = log10_sum(strata.iter().map(|s| s.log10_size));
+                    return SpaceStats {
+                        total_flags: registry.len(),
+                        tunable_flags: registry.tunable_ids().len(),
+                        flat_log10,
+                        strata,
+                        hierarchical_log10,
+                    };
+                }
+                choice[i] += 1;
+                if choice[i] < selector_option_counts[i] {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Orders of magnitude removed by the hierarchy.
+    pub fn reduction_log10(&self) -> f64 {
+        self.flat_log10 - self.hierarchical_log10
+    }
+}
+
+/// log₁₀(Σ 10^xᵢ) computed stably.
+fn log10_sum(xs: impl Iterator<Item = f64>) -> f64 {
+    let xs: Vec<f64> = xs.collect();
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| 10f64.powf(x - m)).sum::<f64>().log10()
+}
+
+fn stratum_stats(tree: &FlagTree, registry: &Registry, choice: &[usize]) -> StratumStats {
+    let choices: Vec<(&'static str, &'static str)> = tree
+        .selectors()
+        .iter()
+        .zip(choice.iter())
+        .map(|(sel, &opt)| (sel.name, sel.options[opt].label))
+        .collect();
+    let mut active_flags = 0usize;
+    let mut log10_size = 0.0f64;
+    walk(
+        tree,
+        registry,
+        tree.root(),
+        choice,
+        &mut active_flags,
+        &mut log10_size,
+    );
+    StratumStats {
+        choices,
+        active_flags,
+        log10_size,
+    }
+}
+
+fn walk(
+    tree: &FlagTree,
+    registry: &Registry,
+    id: NodeId,
+    choice: &[usize],
+    flags: &mut usize,
+    size: &mut f64,
+) {
+    let node = tree.node(id);
+    match &node.data {
+        NodeData::Group { .. } => {
+            for &c in &node.children {
+                walk(tree, registry, c, choice, flags, size);
+            }
+        }
+        NodeData::SelectorNode(sid) => {
+            let opt = choice[sid.index()];
+            for &c in &tree.selector(*sid).options[opt].children {
+                walk(tree, registry, c, choice, flags, size);
+            }
+        }
+        NodeData::Gate { flag, .. } => {
+            if registry.spec(*flag).tunable() {
+                *flags += 1;
+                *size += registry.spec(*flag).domain.log10_cardinality();
+            }
+            // Count the gated subtree: it is reachable within this stratum.
+            for &c in &node.children {
+                walk(tree, registry, c, choice, flags, size);
+            }
+        }
+        NodeData::Leaf { flag } => {
+            if registry.spec(*flag).tunable() {
+                *flags += 1;
+                *size += registry.spec(*flag).domain.log10_cardinality();
+            }
+        }
+    }
+}
+
+// Expose SelectorId::index for the walk above.
+impl crate::tree::SelectorId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::hotspot_tree;
+    use jtune_flags::hotspot_registry;
+
+    #[test]
+    fn strata_cover_all_selector_combinations() {
+        let tree = hotspot_tree();
+        let r = hotspot_registry();
+        let stats = SpaceStats::compute(tree, r);
+        let expected: usize = tree.selectors().iter().map(|s| s.options.len()).product();
+        assert_eq!(stats.strata.len(), expected);
+        // 4 collectors × 2 JIT modes for the standard tree.
+        assert_eq!(expected, 8);
+    }
+
+    #[test]
+    fn hierarchy_reduces_space_by_many_orders_of_magnitude() {
+        let tree = hotspot_tree();
+        let r = hotspot_registry();
+        let stats = SpaceStats::compute(tree, r);
+        assert!(stats.flat_log10 > 200.0, "flat {:.1}", stats.flat_log10);
+        assert!(
+            stats.reduction_log10() > 10.0,
+            "reduction only {:.1} orders",
+            stats.reduction_log10()
+        );
+        // Sanity: the hierarchical space is still enormous (we did not
+        // accidentally prune real choices away).
+        assert!(stats.hierarchical_log10 > 100.0);
+    }
+
+    #[test]
+    fn every_stratum_smaller_than_flat() {
+        let tree = hotspot_tree();
+        let r = hotspot_registry();
+        let stats = SpaceStats::compute(tree, r);
+        for s in &stats.strata {
+            assert!(
+                s.log10_size < stats.flat_log10,
+                "stratum {:?} not smaller",
+                s.choices
+            );
+            assert!(s.active_flags > 100);
+        }
+    }
+
+    #[test]
+    fn log10_sum_is_stable() {
+        let x = log10_sum([300.0, 300.0].into_iter());
+        assert!((x - (300.0 + 2f64.log10())).abs() < 1e-9);
+        assert_eq!(log10_sum(std::iter::empty()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn g1_and_cms_strata_differ_in_size() {
+        let tree = hotspot_tree();
+        let r = hotspot_registry();
+        let stats = SpaceStats::compute(tree, r);
+        let size_of = |label: &str| -> f64 {
+            stats
+                .strata
+                .iter()
+                .find(|s| s.choices.iter().any(|(_, l)| *l == label))
+                .unwrap()
+                .log10_size
+        };
+        // CMS has far more flags than serial; sizes must reflect that.
+        assert!(size_of("cms") > size_of("serial"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Executors: things that run a JVM configuration and measure it.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+use jtune_flags::{JvmConfig, Registry};
+use jtune_jvmsim::{JvmSim, Machine, Workload};
+use jtune_util::SimDuration;
+
+/// One measured run of one configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Wall-clock run time (virtual for the simulator, real for a
+    /// process). Meaningful even on failure (time until the crash).
+    pub time: SimDuration,
+    /// 99th-percentile stop-the-world pause, when the executor can observe
+    /// it (the simulator can; a bare `java` process cannot).
+    pub pause_p99: Option<SimDuration>,
+    /// Human-readable failure (OOM, invalid config, non-zero exit), `None`
+    /// on success.
+    pub error: Option<String>,
+}
+
+impl Measurement {
+    /// Did the run complete?
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The p99 pause in milliseconds, if observed.
+    pub fn pause_p99_ms(&self) -> Option<f64> {
+        self.pause_p99.map(|p| p.as_millis_f64())
+    }
+}
+
+/// Anything that can execute a configuration.
+///
+/// Implementations must be [`Sync`]: the evaluation pool shares one
+/// executor across worker threads. Determinism contract: for the
+/// simulator-backed executor, `measure(config, seed)` is a pure function
+/// of its arguments.
+pub trait Executor: Sync {
+    /// Execute one run. `seed` selects the measurement-noise stream.
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement;
+
+    /// The flag registry configurations must come from.
+    fn registry(&self) -> &Registry;
+
+    /// Fixed per-run cost charged to the tuning budget *in addition to*
+    /// the measured run time (JVM start-up, harness overhead). The paper's
+    /// budget burns real minutes per evaluation; this keeps the economics.
+    fn fixed_overhead(&self) -> SimDuration {
+        SimDuration::from_millis(500)
+    }
+
+    /// Short label for reports.
+    fn describe(&self) -> String;
+}
+
+/// Simulator-backed executor: one workload on one simulated machine.
+#[derive(Clone, Debug)]
+pub struct SimExecutor {
+    sim: JvmSim,
+    workload: Workload,
+    registry: &'static Registry,
+}
+
+impl SimExecutor {
+    /// Executor for `workload` on the default machine and built-in
+    /// registry.
+    pub fn new(workload: Workload) -> SimExecutor {
+        SimExecutor {
+            sim: JvmSim::new(),
+            workload,
+            registry: jtune_flags::hotspot_registry(),
+        }
+    }
+
+    /// Executor on a specific machine.
+    pub fn on_machine(workload: Workload, machine: Machine) -> SimExecutor {
+        SimExecutor {
+            sim: JvmSim::on(machine),
+            workload,
+            registry: jtune_flags::hotspot_registry(),
+        }
+    }
+
+    /// The workload being measured.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Full outcome access (experiments report GC/JIT detail).
+    pub fn run_full(&self, config: &JvmConfig, seed: u64) -> jtune_jvmsim::RunOutcome {
+        self.sim.run(self.registry, config, &self.workload, seed)
+    }
+}
+
+impl Executor for SimExecutor {
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
+        let outcome = self.sim.run(self.registry, config, &self.workload, seed);
+        let pause_p99 = if outcome.gc.pauses.count() > 0 {
+            Some(outcome.gc.pauses.percentile(99.0))
+        } else {
+            Some(jtune_util::SimDuration::ZERO)
+        };
+        Measurement {
+            time: outcome.total,
+            pause_p99,
+            error: outcome.failure.map(|f| f.to_string()),
+        }
+    }
+
+    fn registry(&self) -> &Registry {
+        self.registry
+    }
+
+    fn describe(&self) -> String {
+        format!("sim:{}", self.workload.name)
+    }
+}
+
+/// Executor that launches a real `java` process — the paper's mode.
+///
+/// The command line is `java <flags…> <fixed args…>`; run time is the
+/// process's wall-clock time. Requires a JDK whose flags match the
+/// registry (JDK 7/8 era for the built-in registry; newer JDKs reject
+/// removed flags, which surfaces as a measurement error the tuner treats
+/// like a crash — exactly what happens on a real testbed).
+#[derive(Clone, Debug)]
+pub struct ProcessExecutor {
+    java: PathBuf,
+    fixed_args: Vec<String>,
+    registry: &'static Registry,
+}
+
+impl ProcessExecutor {
+    /// Build with an explicit `java` path and the benchmark command line
+    /// (e.g. `["-jar", "dacapo.jar", "h2"]`).
+    pub fn new(java: impl Into<PathBuf>, fixed_args: Vec<String>) -> ProcessExecutor {
+        ProcessExecutor {
+            java: java.into(),
+            fixed_args,
+            registry: jtune_flags::hotspot_registry(),
+        }
+    }
+
+    /// Find `java` on `PATH`, if any.
+    pub fn from_path(fixed_args: Vec<String>) -> Option<ProcessExecutor> {
+        let path = std::env::var_os("PATH")?;
+        for dir in std::env::split_paths(&path) {
+            let candidate = dir.join("java");
+            if candidate.is_file() {
+                return Some(ProcessExecutor::new(candidate, fixed_args));
+            }
+        }
+        None
+    }
+}
+
+impl Executor for ProcessExecutor {
+    fn measure(&self, config: &JvmConfig, _seed: u64) -> Measurement {
+        let args = config.to_args(self.registry);
+        let start = Instant::now();
+        let status = Command::new(&self.java)
+            .args(&args)
+            .args(&self.fixed_args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status();
+        let elapsed = SimDuration::from_secs_f64(start.elapsed().as_secs_f64());
+        match status {
+            Ok(s) if s.success() => Measurement {
+                time: elapsed,
+                pause_p99: None,
+                error: None,
+            },
+            Ok(s) => Measurement {
+                time: elapsed,
+                pause_p99: None,
+                error: Some(format!("java exited with {s}")),
+            },
+            Err(e) => Measurement {
+                time: elapsed,
+                pause_p99: None,
+                error: Some(format!("failed to launch java: {e}")),
+            },
+        }
+    }
+
+    fn registry(&self) -> &Registry {
+        self.registry
+    }
+
+    fn fixed_overhead(&self) -> SimDuration {
+        SimDuration::from_millis(200)
+    }
+
+    fn describe(&self) -> String {
+        format!("process:{}", self.java.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_flags::FlagValue;
+
+    fn small_workload() -> Workload {
+        let mut w = Workload::baseline("exec-test");
+        w.total_work = 3e8;
+        w
+    }
+
+    #[test]
+    fn sim_executor_measures_deterministically() {
+        let ex = SimExecutor::new(small_workload());
+        let c = JvmConfig::default_for(ex.registry());
+        let a = ex.measure(&c, 1);
+        let b = ex.measure(&c, 1);
+        assert!(a.ok());
+        assert_eq!(a.time, b.time);
+        let c2 = ex.measure(&c, 2);
+        assert_ne!(a.time, c2.time);
+    }
+
+    #[test]
+    fn sim_executor_reports_oom_as_error() {
+        let mut w = small_workload();
+        w.live_set = 2e9;
+        w.nursery_survival = 0.5;
+        w.alloc_rate = 4.0; // enough promotion to actually hit the wall
+        let ex = SimExecutor::new(w);
+        let mut c = JvmConfig::default_for(ex.registry());
+        c.set_by_name(ex.registry(), "MaxHeapSize", FlagValue::Int(128 << 20))
+            .unwrap();
+        let m = ex.measure(&c, 1);
+        assert!(!m.ok());
+        assert!(m.error.unwrap().contains("OutOfMemory"));
+    }
+
+    #[test]
+    fn describe_names_the_workload() {
+        let ex = SimExecutor::new(small_workload());
+        assert_eq!(ex.describe(), "sim:exec-test");
+    }
+
+    #[test]
+    fn process_executor_handles_missing_binary() {
+        let ex = ProcessExecutor::new("/nonexistent/java-binary", vec!["-version".into()]);
+        let c = JvmConfig::default_for(ex.registry());
+        let m = ex.measure(&c, 0);
+        assert!(!m.ok());
+        assert!(m.error.unwrap().contains("failed to launch"));
+    }
+
+    #[test]
+    fn process_executor_runs_real_java_if_present() {
+        // Exercised only on machines with a JDK; the simulator is the
+        // normal path.
+        let Some(ex) = ProcessExecutor::from_path(vec!["-version".into()]) else {
+            eprintln!("skipping: no java on PATH");
+            return;
+        };
+        let c = JvmConfig::default_for(ex.registry());
+        let m = ex.measure(&c, 0);
+        // Default config passes no -XX flags, so any JVM accepts it.
+        assert!(m.ok(), "{:?}", m.error);
+        assert!(m.time > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,40 @@
+//! # jtune-harness
+//!
+//! The execution harness between the auto-tuner and the JVM being tuned:
+//!
+//! - [`executor`] — the [`Executor`] abstraction: *something that can run a
+//!   configuration and hand back a time*. Two implementations:
+//!   [`SimExecutor`] (in-process `jtune-jvmsim`, what every experiment in
+//!   the reproduction uses) and [`ProcessExecutor`] (spawns a real `java`
+//!   binary and measures wall-clock time, used automatically by the
+//!   examples when a JDK is on `PATH` — the paper's actual mode of
+//!   operation).
+//! - [`protocol`] — the measurement protocol: run each candidate N times,
+//!   score by median (run times are noisy and right-skewed), compare
+//!   candidate vs. default with a Mann-Whitney U test.
+//! - [`budget`] — the paper's tuning-time budget: every candidate
+//!   evaluation is charged (JVM start-up + run time × repeats) against a
+//!   virtual wall clock, so "200 minutes of tuning" has the same economics
+//!   as in the paper while completing in seconds of host time.
+//! - [`pool`] — parallel candidate evaluation on crossbeam scoped threads
+//!   with deterministic seed derivation (results do not depend on thread
+//!   interleaving).
+//! - [`results`] — serialisable records of tuning sessions for the
+//!   experiment drivers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod budget;
+pub mod executor;
+pub mod objective;
+pub mod pool;
+pub mod protocol;
+pub mod results;
+
+pub use budget::Budget;
+pub use executor::{Executor, Measurement, ProcessExecutor, SimExecutor};
+pub use objective::Objective;
+pub use pool::evaluate_batch;
+pub use protocol::{Evaluation, Protocol};
+pub use results::{SessionRecord, TrialRecord};

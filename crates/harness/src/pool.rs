@@ -1,0 +1,132 @@
+//! Parallel candidate evaluation.
+//!
+//! The tuner proposes batches of candidate configurations; evaluating them
+//! is embarrassingly parallel. This pool follows the hpc-parallel
+//! guidance: crossbeam scoped threads over an index-based work queue (no
+//! unsafe, no channels needed for a finite batch), results written into
+//! per-slot cells so the output order equals the input order, and noise
+//! seeds derived from `(base_seed, candidate index)` — never from thread
+//! identity — so a run is bit-identical whether evaluated on 1 worker or
+//! 16.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use jtune_flags::JvmConfig;
+use parking_lot::Mutex;
+
+use crate::executor::Executor;
+use crate::protocol::{Evaluation, Protocol};
+
+/// Evaluate every candidate with up to `workers` threads.
+///
+/// Returns evaluations in candidate order. `workers == 0` or `1` runs
+/// inline (handy for debugging and deterministic profiling).
+pub fn evaluate_batch(
+    executor: &dyn Executor,
+    protocol: Protocol,
+    candidates: &[JvmConfig],
+    base_seed: u64,
+    workers: usize,
+) -> Vec<Evaluation> {
+    let seed_for = |i: usize| -> u64 {
+        base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+    };
+    if workers <= 1 || candidates.len() <= 1 {
+        return candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| protocol.evaluate(executor, c, seed_for(i)))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Evaluation>>> =
+        candidates.iter().map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(candidates.len());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let ev = protocol.evaluate(executor, &candidates[i], seed_for(i));
+                *slots[i].lock() = Some(ev);
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimExecutor;
+    use jtune_flags::{FlagValue, JvmConfig};
+    use jtune_jvmsim::Workload;
+
+    fn executor() -> SimExecutor {
+        let mut w = Workload::baseline("pool-test");
+        w.total_work = 2e8;
+        SimExecutor::new(w)
+    }
+
+    fn candidates(ex: &SimExecutor, n: usize) -> Vec<JvmConfig> {
+        let r = ex.registry();
+        (0..n)
+            .map(|i| {
+                let mut c = JvmConfig::default_for(r);
+                c.set_by_name(r, "CompileThreshold", FlagValue::Int(1000 + 500 * i as i64))
+                    .unwrap();
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let ex = executor();
+        let cs = candidates(&ex, 12);
+        let p = Protocol::default();
+        let seq = evaluate_batch(&ex, p, &cs, 7, 1);
+        let par = evaluate_batch(&ex, p, &cs, 7, 8);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.score, b.score, "parallel result diverged");
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn results_in_candidate_order() {
+        let ex = executor();
+        let cs = candidates(&ex, 6);
+        let evs = evaluate_batch(&ex, Protocol::default(), &cs, 3, 4);
+        // Re-evaluate each candidate individually and match by seed.
+        for (i, c) in cs.iter().enumerate() {
+            let seed = 3u64 ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+            let solo = Protocol::default().evaluate(&ex, c, seed);
+            assert_eq!(evs[i].score, solo.score, "slot {i} out of order");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ex = executor();
+        let evs = evaluate_batch(&ex, Protocol::default(), &[], 1, 8);
+        assert!(evs.is_empty());
+    }
+
+    #[test]
+    fn single_candidate_runs_inline() {
+        let ex = executor();
+        let cs = candidates(&ex, 1);
+        let evs = evaluate_batch(&ex, Protocol::default(), &cs, 5, 8);
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! The measurement protocol: repeats, medians, significance.
+
+use jtune_flags::JvmConfig;
+use jtune_util::stats;
+use jtune_util::SimDuration;
+
+use crate::executor::Executor;
+use crate::objective::Objective;
+
+/// How a candidate configuration is measured.
+#[derive(Clone, Copy, Debug)]
+pub struct Protocol {
+    /// Runs per candidate. The paper runs each candidate a small fixed
+    /// number of times within the budget; 3 is the default here.
+    pub repeats: u32,
+    /// Give up on a candidate after its first failed run (a crashed JVM
+    /// will crash again; don't burn budget confirming it).
+    pub fail_fast: bool,
+    /// What the score optimises (default: run time, as in the paper).
+    pub objective: Objective,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol {
+            repeats: 3,
+            fail_fast: true,
+            objective: Objective::Throughput,
+        }
+    }
+}
+
+/// The scored result of measuring one candidate.
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    /// Median objective value of the successful repeats (seconds for the
+    /// throughput objective; lower is better). `None` when the candidate
+    /// failed.
+    pub score: Option<SimDuration>,
+    /// All successful per-run objective values, in run order.
+    pub samples: Vec<SimDuration>,
+    /// First failure message, if any run failed.
+    pub error: Option<String>,
+    /// Total budget cost: measured time of every run (including failed
+    /// ones) plus fixed per-run overhead.
+    pub cost: SimDuration,
+}
+
+impl Evaluation {
+    /// Did the candidate produce a score?
+    pub fn ok(&self) -> bool {
+        self.score.is_some()
+    }
+}
+
+impl Protocol {
+    /// Measure `config` `repeats` times through `executor`, deriving each
+    /// run's noise seed from `base_seed`.
+    pub fn evaluate(
+        &self,
+        executor: &dyn Executor,
+        config: &JvmConfig,
+        base_seed: u64,
+    ) -> Evaluation {
+        let mut samples = Vec::with_capacity(self.repeats as usize);
+        let mut cost = SimDuration::ZERO;
+        let mut error = None;
+        for rep in 0..self.repeats.max(1) {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(rep as u64);
+            let m = executor.measure(config, seed);
+            cost += m.time + executor.fixed_overhead();
+            match self.objective.score(&m) {
+                Some(value) => samples.push(SimDuration::from_secs_f64(value)),
+                None => {
+                    error = m.error;
+                    if self.fail_fast {
+                        break;
+                    }
+                }
+            }
+        }
+        let score = if samples.is_empty() || error.is_some() {
+            // A configuration that crashed even once is not trusted.
+            None
+        } else {
+            let times: Vec<f64> = samples.iter().map(|s| s.as_secs_f64()).collect();
+            Some(SimDuration::from_secs_f64(stats::median(&times)))
+        };
+        Evaluation {
+            score,
+            samples,
+            error,
+            cost,
+        }
+    }
+
+    /// Two-sided Mann-Whitney comparison of two evaluations' samples.
+    /// Returns `(p_value, effect)` where effect < 0.5 means `a` tends to be
+    /// faster; `None` if either has no successful samples.
+    pub fn compare(a: &Evaluation, b: &Evaluation) -> Option<(f64, f64)> {
+        let xa: Vec<f64> = a.samples.iter().map(|s| s.as_secs_f64()).collect();
+        let xb: Vec<f64> = b.samples.iter().map(|s| s.as_secs_f64()).collect();
+        stats::mann_whitney_u(&xa, &xb).map(|m| (m.p_value, m.effect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimExecutor;
+    use jtune_flags::{FlagValue, JvmConfig};
+    use jtune_jvmsim::Workload;
+
+    fn executor() -> SimExecutor {
+        let mut w = Workload::baseline("proto-test");
+        w.total_work = 3e8;
+        SimExecutor::new(w)
+    }
+
+    #[test]
+    fn evaluation_scores_by_median() {
+        let ex = executor();
+        let c = JvmConfig::default_for(ex.registry());
+        let ev = Protocol { repeats: 5, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 42);
+        assert!(ev.ok());
+        assert_eq!(ev.samples.len(), 5);
+        let mut times: Vec<f64> = ev.samples.iter().map(|s| s.as_secs_f64()).collect();
+        times.sort_by(f64::total_cmp);
+        assert!((ev.score.unwrap().as_secs_f64() - times[2]).abs() < 1e-9);
+        // Cost exceeds the sum of run times (startup overhead).
+        let run_sum: SimDuration = ev.samples.iter().copied().sum();
+        assert!(ev.cost > run_sum);
+    }
+
+    #[test]
+    fn failing_config_yields_no_score_and_fail_fast_saves_budget() {
+        let mut w = Workload::baseline("oom");
+        w.total_work = 3e8;
+        w.live_set = 2e9;
+        w.nursery_survival = 0.5;
+        let ex = SimExecutor::new(w);
+        let mut c = JvmConfig::default_for(ex.registry());
+        c.set_by_name(ex.registry(), "MaxHeapSize", FlagValue::Int(64 << 20))
+            .unwrap();
+        let fast = Protocol { repeats: 5, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        assert!(!fast.ok());
+        assert!(fast.error.is_some());
+        let slow = Protocol { repeats: 5, fail_fast: false, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        assert!(!slow.ok());
+        assert!(slow.cost >= fast.cost);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_in_seed() {
+        let ex = executor();
+        let c = JvmConfig::default_for(ex.registry());
+        let p = Protocol::default();
+        let a = p.evaluate(&ex, &c, 9);
+        let b = p.evaluate(&ex, &c, 9);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.samples, b.samples);
+        let c2 = p.evaluate(&ex, &c, 10);
+        assert_ne!(a.samples, c2.samples);
+    }
+
+    #[test]
+    fn compare_distinguishes_clearly_different_configs() {
+        let ex = executor();
+        let p = Protocol { repeats: 6, fail_fast: true, ..Protocol::default() };
+        let default = JvmConfig::default_for(ex.registry());
+        let mut slow = default.clone();
+        // Interpreter-only is drastically slower.
+        slow.set_by_name(ex.registry(), "UseCompiler", FlagValue::Bool(false))
+            .unwrap();
+        let ev_fast = p.evaluate(&ex, &default, 1);
+        let ev_slow = p.evaluate(&ex, &slow, 1);
+        let (p_value, effect) = Protocol::compare(&ev_fast, &ev_slow).unwrap();
+        assert!(p_value < 0.05, "p {p_value}");
+        assert!(effect < 0.5);
+    }
+
+    #[test]
+    fn repeats_zero_is_clamped_to_one() {
+        let ex = executor();
+        let c = JvmConfig::default_for(ex.registry());
+        let ev = Protocol { repeats: 0, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        assert_eq!(ev.samples.len(), 1);
+    }
+}

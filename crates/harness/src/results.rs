@@ -1,0 +1,193 @@
+//! Serialisable tuning-session records.
+//!
+//! Experiment drivers persist one [`SessionRecord`] per tuned program so
+//! tables can be regenerated without re-running the search. Serialisation
+//! is via serde into a simple line-oriented TSV (no JSON dependency; the
+//! records are flat).
+
+use serde::{Deserialize, Serialize};
+
+/// One evaluated candidate within a session.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// Evaluation index within the session (0 = the default config).
+    pub index: u64,
+    /// Virtual tuning-clock time when the evaluation finished, seconds.
+    pub at_secs: f64,
+    /// Median score in seconds (`None` = candidate failed).
+    pub score_secs: Option<f64>,
+    /// Which search technique proposed it.
+    pub technique: String,
+    /// Flags changed from default, rendered as command-line arguments.
+    pub delta: Vec<String>,
+}
+
+/// One complete tuning session for one program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Program name.
+    pub program: String,
+    /// Executor description.
+    pub executor: String,
+    /// Budget in minutes.
+    pub budget_mins: f64,
+    /// Default-configuration score in seconds.
+    pub default_secs: f64,
+    /// Best score found, seconds.
+    pub best_secs: f64,
+    /// Command-line delta of the best configuration.
+    pub best_delta: Vec<String>,
+    /// Candidates evaluated.
+    pub evaluations: u64,
+    /// Full trial log (for convergence plots).
+    pub trials: Vec<TrialRecord>,
+}
+
+impl SessionRecord {
+    /// Improvement percentage as the paper reports it (speedup − 1).
+    pub fn improvement_percent(&self) -> f64 {
+        jtune_util::stats::improvement_percent(self.default_secs, self.best_secs)
+    }
+
+    /// Write a compact TSV representation (one line per trial plus a
+    /// header line for the session).
+    pub fn to_tsv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.program,
+            self.executor,
+            self.budget_mins,
+            self.default_secs,
+            self.best_secs,
+            self.evaluations,
+            self.best_delta.join(" "),
+        );
+        for t in &self.trials {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}",
+                t.index,
+                t.at_secs,
+                t.score_secs.map_or("FAIL".to_string(), |s| s.to_string()),
+                t.technique,
+                t.delta.join(" "),
+            );
+        }
+        out
+    }
+
+    /// Parse the TSV produced by [`SessionRecord::to_tsv`].
+    pub fn from_tsv(s: &str) -> Option<SessionRecord> {
+        let mut lines = s.lines();
+        let header = lines.next()?;
+        let mut h = header.split('\t');
+        if h.next()? != "#session" {
+            return None;
+        }
+        let program = h.next()?.to_string();
+        let executor = h.next()?.to_string();
+        let budget_mins = h.next()?.parse().ok()?;
+        let default_secs = h.next()?.parse().ok()?;
+        let best_secs = h.next()?.parse().ok()?;
+        let evaluations = h.next()?.parse().ok()?;
+        let best_delta: Vec<String> = h
+            .next()?
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let mut trials = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut f = line.split('\t');
+            let index = f.next()?.parse().ok()?;
+            let at_secs = f.next()?.parse().ok()?;
+            let score_raw = f.next()?;
+            let score_secs = if score_raw == "FAIL" {
+                None
+            } else {
+                Some(score_raw.parse().ok()?)
+            };
+            let technique = f.next()?.to_string();
+            let delta = f
+                .next()
+                .map(|d| d.split_whitespace().map(str::to_string).collect())
+                .unwrap_or_default();
+            trials.push(TrialRecord {
+                index,
+                at_secs,
+                score_secs,
+                technique,
+                delta,
+            });
+        }
+        Some(SessionRecord {
+            program,
+            executor,
+            budget_mins,
+            default_secs,
+            best_secs,
+            best_delta,
+            evaluations,
+            trials,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionRecord {
+        SessionRecord {
+            program: "h2".into(),
+            executor: "sim:h2".into(),
+            budget_mins: 200.0,
+            default_secs: 42.5,
+            best_secs: 30.0,
+            best_delta: vec!["-XX:+UseConcMarkSweepGC".into(), "-XX:MaxHeapSize=4g".into()],
+            evaluations: 2,
+            trials: vec![
+                TrialRecord {
+                    index: 0,
+                    at_secs: 130.0,
+                    score_secs: Some(42.5),
+                    technique: "default".into(),
+                    delta: vec![],
+                },
+                TrialRecord {
+                    index: 1,
+                    at_secs: 260.0,
+                    score_secs: None,
+                    technique: "random".into(),
+                    delta: vec!["-XX:MaxHeapSize=16m".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn improvement_matches_paper_formula() {
+        let s = sample();
+        assert!((s.improvement_percent() - (42.5 / 30.0 - 1.0) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tsv_round_trips() {
+        let s = sample();
+        let tsv = s.to_tsv();
+        let back = SessionRecord::from_tsv(&tsv).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn malformed_tsv_rejected() {
+        assert!(SessionRecord::from_tsv("").is_none());
+        assert!(SessionRecord::from_tsv("#nonsense\tx").is_none());
+        assert!(SessionRecord::from_tsv("#session\tonly-two-fields").is_none());
+    }
+}

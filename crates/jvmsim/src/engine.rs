@@ -1,0 +1,399 @@
+//! The simulation engine: the epoch loop tying JIT, GC and runtime models
+//! together over a virtual clock.
+
+use jtune_flags::{JvmConfig, Registry};
+use jtune_util::{SimDuration, SimTime};
+
+use crate::flagview::FlagView;
+use crate::gc::{GcEvent, GcEventKind, GcModel};
+use crate::jit::JitModel;
+use crate::machine::Machine;
+use crate::noise::NoiseModel;
+use crate::outcome::{GcStats, JitStats, RunFailure, RunOutcome, TimeBreakdown};
+use crate::runtime;
+use crate::workload::Workload;
+
+/// Work units per second per thread in the interpreter.
+pub const INTERP_UNITS_PER_SEC: f64 = 50e6;
+/// C1 speedup over the interpreter (before flag modulation).
+pub const C1_SPEEDUP: f64 = 5.0;
+/// C2 speedup over the interpreter (before flag modulation).
+pub const C2_SPEEDUP: f64 = 12.0;
+/// Upper bound on one epoch of virtual time.
+const MAX_EPOCH_SECS: f64 = 0.05;
+/// Hard iteration cap: no legitimate run needs this many epochs; hitting
+/// it means a degenerate configuration, which we surface as a failure.
+const MAX_EPOCHS: u64 = 3_000_000;
+
+/// The simulated JVM.
+#[derive(Clone, Debug, Default)]
+pub struct JvmSim {
+    machine: Machine,
+}
+
+impl JvmSim {
+    /// A JVM on the default 8-core machine.
+    pub fn new() -> JvmSim {
+        JvmSim::default()
+    }
+
+    /// A JVM on a specific machine.
+    pub fn on(machine: Machine) -> JvmSim {
+        JvmSim { machine }
+    }
+
+    /// The machine this JVM runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Execute `workload` under `config`. `seed` drives the measurement
+    /// noise (and only the noise): same seed, same outcome.
+    pub fn run(
+        &self,
+        registry: &Registry,
+        config: &JvmConfig,
+        workload: &Workload,
+        seed: u64,
+    ) -> RunOutcome {
+        debug_assert!(workload.validate().is_ok(), "invalid workload");
+        let mut noise = NoiseModel::new(seed ^ config.fingerprint());
+
+        let (view, warnings) = match FlagView::resolve(registry, config, &self.machine) {
+            Ok(v) => v,
+            Err(why) => {
+                return RunOutcome {
+                    total: SimDuration::ZERO,
+                    breakdown: TimeBreakdown::default(),
+                    gc: GcStats::default(),
+                    jit: JitStats::default(),
+                    peak_heap: 0.0,
+                    warnings: Vec::new(),
+                    failure: Some(RunFailure::InvalidConfig(why)),
+                }
+            }
+        };
+
+        let mut breakdown = TimeBreakdown::default();
+        breakdown.startup = runtime::startup_time(&view, workload, &self.machine);
+
+        let mut jit = JitModel::new(&view, workload);
+        let mut gc = GcModel::new(&view, workload, &self.machine);
+        let mut gc_stats = GcStats::default();
+
+        let mutator_factor = runtime::mutator_factor(&view, workload, &self.machine);
+        let waste = runtime::allocation_waste(&view);
+        let sp_overhead = runtime::safepoint_overhead(&view, workload);
+
+        // Effective application parallelism.
+        let threads = workload.threads.min(self.machine.cores * 4) as f64;
+        let app_parallelism = (threads.min(self.machine.cores as f64))
+            * if workload.threads > self.machine.cores {
+                0.95
+            } else {
+                1.0
+            };
+
+        let mut work_done = 0.0;
+        let mut drag = 0.0;
+        let mut failure = None;
+        let mut clock = SimTime::ZERO + breakdown.startup;
+
+        let mut epochs: u64 = 0;
+        while work_done < workload.total_work {
+            epochs += 1;
+            if epochs > MAX_EPOCHS {
+                failure = Some(RunFailure::InvalidConfig(
+                    "configuration makes no forward progress".into(),
+                ));
+                break;
+            }
+            // Memory pressure: committed heap beyond physical memory swaps.
+            let committed = gc.committed() + view.code_cache_size + 200e6;
+            let mem = self.machine.memory as f64;
+            let swap_factor = if committed > 0.9 * mem {
+                1.0 / (1.0 + 6.0 * ((committed - 0.9 * mem) / mem))
+            } else {
+                1.0
+            };
+
+            let speed = INTERP_UNITS_PER_SEC
+                * jit.speed_factor()
+                * mutator_factor
+                * app_parallelism
+                * (1.0 - drag)
+                * swap_factor;
+            debug_assert!(speed > 0.0);
+
+            // Epoch length: bounded by eden exhaustion and the epoch cap.
+            let remaining = workload.total_work - work_done;
+            let mut epoch_work = (speed * MAX_EPOCH_SECS).min(remaining);
+            if workload.alloc_rate > 0.0 {
+                let until_gc = gc.eden_room() / (workload.alloc_rate * waste) + 1.0;
+                epoch_work = epoch_work.min(until_gc);
+            }
+            epoch_work = epoch_work.max(remaining.min(1000.0));
+            let dt = epoch_work / speed;
+
+            work_done += epoch_work;
+            breakdown.mutator += SimDuration::from_secs_f64(dt * (1.0 - drag));
+            breakdown.gc_concurrent_drag += SimDuration::from_secs_f64(dt * drag);
+            breakdown.safepoint += SimDuration::from_secs_f64(dt * sp_overhead);
+            clock += SimDuration::from_secs_f64(dt * (1.0 + sp_overhead));
+
+            // JIT progress (possibly stalling the mutator).
+            let stall = jit.advance(epoch_work, dt, workload.call_density);
+            breakdown.jit_stall += SimDuration::from_secs_f64(stall);
+            clock += SimDuration::from_secs_f64(stall);
+
+            // Allocation → GC events.
+            match gc.allocate(epoch_work * workload.alloc_rate * waste) {
+                Ok(events) => {
+                    absorb(&mut breakdown, &mut gc_stats, &mut clock, &events);
+                }
+                Err(f) => {
+                    failure = Some(f);
+                    break;
+                }
+            }
+            // Concurrent GC progress.
+            let (new_drag, events) = gc.tick_concurrent(dt);
+            drag = new_drag;
+            absorb(&mut breakdown, &mut gc_stats, &mut clock, &events);
+        }
+
+        gc_stats.young_collections = gc.young_collections;
+        gc_stats.full_collections = gc.full_collections;
+        gc_stats.concurrent_cycles = gc.concurrent_cycles;
+        gc_stats.failures = gc.failures;
+        gc_stats.promoted_bytes = gc.promoted_bytes;
+
+        let jit_stats = JitStats {
+            c1_compiles: jit.c1_compiles,
+            c2_compiles: jit.c2_compiles,
+            code_cache_full_drops: jit.dropped,
+            c2_work_fraction: jit.c2_work_fraction(),
+        };
+
+        let raw_total = breakdown.total();
+        let total = if failure.is_none() {
+            noise.apply(raw_total)
+        } else {
+            raw_total
+        };
+        RunOutcome {
+            total,
+            breakdown,
+            gc: gc_stats,
+            jit: jit_stats,
+            peak_heap: gc.peak_used,
+            warnings,
+            failure,
+        }
+    }
+}
+
+fn absorb(
+    breakdown: &mut TimeBreakdown,
+    stats: &mut GcStats,
+    clock: &mut SimTime,
+    events: &[GcEvent],
+) {
+    for e in events {
+        breakdown.gc_pause += e.pause;
+        *clock += e.pause;
+        if e.kind != GcEventKind::Expansion {
+            stats.pauses.record(e.pause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_flags::{hotspot_registry, FlagValue};
+
+    fn run_with(sets: &[(&str, FlagValue)], wl: &Workload, seed: u64) -> RunOutcome {
+        let r = hotspot_registry();
+        let mut c = JvmConfig::default_for(r);
+        for (n, v) in sets {
+            c.set_by_name(r, n, *v).unwrap();
+        }
+        JvmSim::new().run(r, &c, wl, seed)
+    }
+
+    #[test]
+    fn default_run_completes_with_plausible_time() {
+        let wl = Workload::baseline("w");
+        let out = run_with(&[], &wl, 1);
+        assert!(out.ok(), "{:?}", out.failure);
+        let secs = out.total.as_secs_f64();
+        assert!((1.0..600.0).contains(&secs), "total {secs}s");
+        assert!(out.breakdown.mutator > SimDuration::ZERO);
+        assert!(out.gc.young_collections > 0);
+        assert!(out.jit.c2_compiles > 0);
+    }
+
+    #[test]
+    fn same_seed_same_result_different_seed_different() {
+        let wl = Workload::baseline("w");
+        let a = run_with(&[], &wl, 7);
+        let b = run_with(&[], &wl, 7);
+        let c = run_with(&[], &wl, 8);
+        assert_eq!(a.total, b.total);
+        assert_ne!(a.total, c.total);
+        // Noise-free breakdown identical regardless of seed.
+        assert_eq!(a.breakdown.mutator, c.breakdown.mutator);
+    }
+
+    #[test]
+    fn interpreter_only_is_much_slower() {
+        let mut wl = Workload::baseline("w");
+        // Long enough that JIT warm-up amortises.
+        wl.total_work = 2e10;
+        let jit = run_with(&[], &wl, 1);
+        let interp = run_with(&[("UseCompiler", FlagValue::Bool(false))], &wl, 1);
+        assert!(
+            interp.total.as_secs_f64() > 3.0 * jit.total.as_secs_f64(),
+            "interp {} vs jit {}",
+            interp.total,
+            jit.total
+        );
+    }
+
+    #[test]
+    fn tiered_helps_startup_workloads() {
+        let mut wl = Workload::baseline("startup");
+        wl.total_work = 8e8;
+        wl.hot_methods = 2000;
+        wl.hotness_skew = 0.6;
+        assert!(wl.startup_sensitive());
+        let classic = run_with(&[], &wl, 3);
+        let tiered = run_with(&[("TieredCompilation", FlagValue::Bool(true))], &wl, 3);
+        assert!(
+            tiered.total < classic.total,
+            "tiered {} vs classic {}",
+            tiered.total,
+            classic.total
+        );
+    }
+
+    #[test]
+    fn bigger_heap_reduces_gc_time_for_allocation_heavy_load() {
+        let mut wl = Workload::baseline("alloc");
+        wl.alloc_rate = 4.0;
+        wl.live_set = 500e6;
+        let small = run_with(&[("MaxHeapSize", FlagValue::Int(768 << 20))], &wl, 5);
+        let big = run_with(&[("MaxHeapSize", FlagValue::Int(4 << 30))], &wl, 5);
+        assert!(small.ok() && big.ok());
+        assert!(
+            big.breakdown.gc_pause < small.breakdown.gc_pause,
+            "big {} vs small {}",
+            big.breakdown.gc_pause,
+            small.breakdown.gc_pause
+        );
+        assert!(big.total < small.total);
+    }
+
+    #[test]
+    fn heap_larger_than_ram_swaps_and_loses() {
+        let mut wl = Workload::baseline("w");
+        wl.alloc_rate = 2.0;
+        let sane = run_with(&[("MaxHeapSize", FlagValue::Int(2 << 30))], &wl, 5);
+        let insane = run_with(
+            &[
+                ("MaxHeapSize", FlagValue::Int(16 << 30)),
+                ("InitialHeapSize", FlagValue::Int(16 << 30)),
+            ],
+            &wl,
+            5,
+        );
+        assert!(
+            insane.total > sane.total,
+            "swap-thrashing config won: {} vs {}",
+            insane.total,
+            sane.total
+        );
+    }
+
+    #[test]
+    fn tiny_heap_for_big_live_set_fails_oom() {
+        let mut wl = Workload::baseline("w");
+        wl.live_set = 900e6;
+        wl.nursery_survival = 0.4;
+        let out = run_with(&[("MaxHeapSize", FlagValue::Int(256 << 20))], &wl, 1);
+        assert_eq!(out.failure, Some(RunFailure::OutOfMemory));
+    }
+
+    #[test]
+    fn startup_dominated_by_class_loading_benefits_from_cds() {
+        let mut wl = Workload::baseline("classy");
+        wl.classes_loaded = 20_000;
+        wl.total_work = 5e8;
+        let with = run_with(&[], &wl, 2);
+        let without = run_with(&[("UseSharedSpaces", FlagValue::Bool(false))], &wl, 2);
+        assert!(with.breakdown.startup < without.breakdown.startup);
+        assert!(with.total < without.total);
+    }
+
+    #[test]
+    fn gc_choice_matters_for_gc_bound_workload() {
+        let mut wl = Workload::baseline("gc-bound");
+        wl.alloc_rate = 5.0;
+        wl.live_set = 600e6;
+        wl.nursery_survival = 0.12;
+        wl.total_work = 3e9;
+        let serial = run_with(
+            &[
+                ("UseSerialGC", FlagValue::Bool(true)),
+                ("UseParallelGC", FlagValue::Bool(false)),
+                ("UseParallelOldGC", FlagValue::Bool(false)),
+            ],
+            &wl,
+            4,
+        );
+        let parallel = run_with(&[], &wl, 4);
+        assert!(serial.ok() && parallel.ok());
+        assert!(
+            parallel.total < serial.total,
+            "parallel {} vs serial {}",
+            parallel.total,
+            serial.total
+        );
+    }
+
+    #[test]
+    fn warnings_surface_in_outcome() {
+        let wl = Workload::baseline("w");
+        let out = run_with(
+            &[
+                ("InitialHeapSize", FlagValue::Int(2 << 30)),
+                ("MaxHeapSize", FlagValue::Int(1 << 30)),
+            ],
+            &wl,
+            1,
+        );
+        assert!(!out.warnings.is_empty());
+        assert!(out.ok());
+    }
+
+    #[test]
+    fn zero_allocation_workload_never_gcs() {
+        let mut wl = Workload::baseline("pure-compute");
+        wl.alloc_rate = 0.0;
+        wl.live_set = 0.0;
+        let out = run_with(&[], &wl, 1);
+        assert!(out.ok());
+        assert_eq!(out.gc.young_collections, 0);
+        assert_eq!(out.breakdown.gc_pause, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_close_to_reported_total() {
+        let wl = Workload::baseline("w");
+        let out = run_with(&[], &wl, 9);
+        let raw = out.breakdown.total().as_secs_f64();
+        let noisy = out.total.as_secs_f64();
+        assert!((noisy / raw - 1.0).abs() < 0.15, "raw {raw} noisy {noisy}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Concurrent-mark-sweep cost model (`-XX:+UseConcMarkSweepGC`).
+//!
+//! Old-generation collection happens concurrently (initial-mark and remark
+//! pauses only), young collections use ParNew. The price: concurrent
+//! threads steal mutator CPU, the free-list allocator fragments (no
+//! compaction), and a late trigger ends in a *concurrent mode failure* — a
+//! single-threaded stop-the-world full collection, the worst pause HotSpot
+//! can produce.
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Concurrent marking+sweeping rate per concurrent thread, bytes/second.
+/// Used by the cycle-duration computation in `gc::GcModel`.
+pub const CONC_MARK_RATE: f64 = 140.0 * MB;
+
+/// ParNew young pause (same copying machinery as the parallel collector,
+/// slightly higher fixed cost from free-list promotion).
+pub fn young_pause_ms(copied_bytes: f64, old_used: f64, threads: f64) -> f64 {
+    let t = threads.max(1.0);
+    1.0 + 1e3 * copied_bytes / (super::parallel::COPY_RATE * 0.9 * t) + 0.0018 * old_used / MB / t
+}
+
+/// Initial-mark pause: roots only.
+pub fn initial_mark_pause_ms(old_live: f64) -> f64 {
+    0.6 + 0.0012 * old_live / MB
+}
+
+/// Remark pause. Dominated by re-scanning dirty cards and the young
+/// generation; `CMSScavengeBeforeRemark` empties eden first and
+/// `CMSParallelRemarkEnabled` divides the scan across workers.
+pub fn remark_pause_ms(
+    old_used: f64,
+    eden_used: f64,
+    parallel_remark: bool,
+    scavenged_before: bool,
+    threads: f64,
+) -> f64 {
+    let eden_cost = if scavenged_before { 0.0 } else { 0.012 * eden_used / MB };
+    let card_cost = 0.006 * old_used / MB;
+    let div = if parallel_remark { threads.max(1.0) } else { 1.0 };
+    1.2 + (eden_cost + card_cost) / div
+}
+
+/// Concurrent-mode-failure full collection: single-threaded mark-sweep,
+/// optionally compacting (`UseCMSCompactAtFullCollection`).
+pub fn full_pause_ms(live: f64, garbage: f64, compact: bool) -> f64 {
+    let base = 4.0 + 1e3 * live / (110.0 * MB) + 1e3 * garbage / (1500.0 * MB);
+    if compact {
+        base + 1e3 * live / (400.0 * MB)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scavenge_before_remark_shortens_remark() {
+        let with = remark_pause_ms(400.0 * MB, 200.0 * MB, true, true, 6.0);
+        let without = remark_pause_ms(400.0 * MB, 200.0 * MB, true, false, 6.0);
+        assert!(with < without);
+    }
+
+    #[test]
+    fn parallel_remark_divides_cost() {
+        let par = remark_pause_ms(400.0 * MB, 0.0, true, true, 6.0);
+        let ser = remark_pause_ms(400.0 * MB, 0.0, false, true, 6.0);
+        assert!(par < ser);
+    }
+
+    #[test]
+    fn cmf_is_catastrophically_slower_than_remark() {
+        let remark = remark_pause_ms(400.0 * MB, 100.0 * MB, true, false, 6.0);
+        let cmf = full_pause_ms(400.0 * MB, 100.0 * MB, true);
+        assert!(cmf > remark * 20.0, "remark {remark} cmf {cmf}");
+    }
+
+    #[test]
+    fn compaction_costs_extra() {
+        assert!(full_pause_ms(400.0 * MB, 0.0, true) > full_pause_ms(400.0 * MB, 0.0, false));
+    }
+}

@@ -1,0 +1,77 @@
+//! Garbage-First cost model (`-XX:+UseG1GC`).
+//!
+//! Region-based evacuation with remembered sets: young pauses carry an
+//! extra remembered-set update/scan cost (larger for smaller regions),
+//! mixed collections fold old-region evacuation into young pauses, and a
+//! failed evacuation falls back to a single-threaded full collection.
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Young/mixed evacuation pause in milliseconds.
+pub fn young_pause_ms(
+    copied_bytes: f64,
+    old_used: f64,
+    threads: f64,
+    heap_total: f64,
+    region_size: f64,
+) -> f64 {
+    let t = threads.max(1.0);
+    // Remembered-set work grows with region count: smaller regions mean
+    // more cross-region references to track.
+    let regions = (heap_total / region_size.max(1.0 * MB)).max(1.0);
+    let rset = 0.35 + 0.0006 * regions / t + 0.003 * old_used / MB / t;
+    1.1 + 1e3 * copied_bytes / (super::parallel::COPY_RATE * 0.85 * t) + rset
+}
+
+/// Additional pause cost of evacuating `old_bytes` of old regions in a
+/// mixed collection.
+pub fn mixed_extra_pause_ms(old_bytes: f64, threads: f64) -> f64 {
+    1e3 * old_bytes / (300.0 * MB * threads.max(1.0))
+}
+
+/// Initial-mark piggy-back pause.
+pub fn initial_mark_pause_ms(old_live: f64) -> f64 {
+    0.5 + 0.001 * old_live / MB
+}
+
+/// Final-mark (remark) pause.
+pub fn remark_pause_ms(old_used: f64) -> f64 {
+    0.9 + 0.004 * old_used / MB
+}
+
+/// Evacuation-failure / System.gc full collection: serial mark-compact in
+/// the JDK-7 era (G1's full GC was not parallel until JDK 10).
+pub fn full_pause_ms(live: f64, garbage: f64) -> f64 {
+    5.0 + 1e3 * live / (100.0 * MB) + 1e3 * garbage / (1200.0 * MB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_regions_cost_more_rset_work() {
+        let small = young_pause_ms(16.0 * MB, 300.0 * MB, 6.0, 1024.0 * MB, 1.0 * MB);
+        let big = young_pause_ms(16.0 * MB, 300.0 * MB, 6.0, 1024.0 * MB, 32.0 * MB);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn g1_young_dearer_than_parallel_young() {
+        let g1 = young_pause_ms(16.0 * MB, 300.0 * MB, 6.0, 1024.0 * MB, 1.0 * MB);
+        let ps = super::super::parallel::young_pause_ms(16.0 * MB, 300.0 * MB, 6.0);
+        assert!(g1 > ps, "g1 {g1} vs ps {ps}");
+    }
+
+    #[test]
+    fn full_gc_is_the_disaster_case() {
+        let full = full_pause_ms(500.0 * MB, 200.0 * MB);
+        let young = young_pause_ms(16.0 * MB, 500.0 * MB, 6.0, 1024.0 * MB, 2.0 * MB);
+        assert!(full > young * 50.0);
+    }
+
+    #[test]
+    fn mixed_cost_scales_with_evacuated_bytes() {
+        assert!(mixed_extra_pause_ms(64.0 * MB, 6.0) > mixed_extra_pause_ms(8.0 * MB, 6.0));
+    }
+}

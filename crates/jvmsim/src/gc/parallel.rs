@@ -1,0 +1,51 @@
+//! Parallel scavenge / parallel-old cost model (`-XX:+UseParallelGC`,
+//! `-XX:+UseParallelOldGC`) — the JDK-7 server default.
+//!
+//! Work divides across `ParallelGCThreads` with sub-linear scaling
+//! (`gc::effective_threads`); fixed costs are higher than serial
+//! because of worker coordination and termination protocols.
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Per-thread copying rate, bytes/second.
+pub const COPY_RATE: f64 = 450.0 * MB;
+/// Per-thread mark-compact rate over live bytes, bytes/second.
+pub const COMPACT_RATE: f64 = 160.0 * MB;
+/// Per-thread sweep rate over garbage, bytes/second.
+pub const SWEEP_RATE: f64 = 2200.0 * MB;
+
+/// Young pause in milliseconds for `threads` effective workers.
+pub fn young_pause_ms(copied_bytes: f64, old_used: f64, threads: f64) -> f64 {
+    let t = threads.max(1.0);
+    0.9 + 1e3 * copied_bytes / (COPY_RATE * t) + 0.0016 * old_used / MB / t
+}
+
+/// Full-collection pause in milliseconds (parallel-old compaction).
+pub fn full_pause_ms(live: f64, garbage: f64, threads: f64) -> f64 {
+    let t = threads.max(1.0).powf(0.85);
+    3.0 + 1e3 * live / (COMPACT_RATE * t) + 1e3 * garbage / (SWEEP_RATE * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_threads_shorter_pause() {
+        let one = young_pause_ms(32.0 * MB, 200.0 * MB, 1.0);
+        let eight = young_pause_ms(32.0 * MB, 200.0 * MB, 6.6);
+        assert!(eight < one / 3.0, "one {one} eight {eight}");
+    }
+
+    #[test]
+    fn fixed_cost_floors_the_pause() {
+        let p = young_pause_ms(0.0, 0.0, 8.0);
+        assert!(p >= 0.9);
+    }
+
+    #[test]
+    fn full_gc_seconds_for_large_live_sets() {
+        let p = full_pause_ms(600.0 * MB, 200.0 * MB, 6.6);
+        assert!((500.0..5000.0).contains(&p), "full pause {p} ms");
+    }
+}

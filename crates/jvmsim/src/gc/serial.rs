@@ -1,0 +1,55 @@
+//! Serial collector cost model (`-XX:+UseSerialGC`).
+//!
+//! Single-threaded copying young collections and single-threaded
+//! mark-sweep-compact full collections. Cheap fixed costs (no worker
+//! coordination) but pause times scale with live bytes un-divided — the
+//! reason the paper-era default abandons it beyond small heaps.
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Copying rate of the single GC thread, bytes/second.
+pub const COPY_RATE: f64 = 500.0 * MB;
+/// Mark-compact processing rate over live bytes, bytes/second.
+pub const COMPACT_RATE: f64 = 170.0 * MB;
+/// Sweep rate over garbage bytes, bytes/second.
+pub const SWEEP_RATE: f64 = 2500.0 * MB;
+
+/// Young pause in milliseconds.
+pub fn young_pause_ms(copied_bytes: f64, old_used: f64) -> f64 {
+    // Low fixed cost, full copy cost, card-table scan over the old gen.
+    0.4 + 1e3 * copied_bytes / COPY_RATE + 0.0016 * old_used / MB
+}
+
+/// Full-collection pause in milliseconds.
+pub fn full_pause_ms(live: f64, garbage: f64) -> f64 {
+    2.0 + 1e3 * live / COMPACT_RATE + 1e3 * garbage / SWEEP_RATE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_pause_scales_with_copied_bytes() {
+        let small = young_pause_ms(1.0 * MB, 100.0 * MB);
+        let big = young_pause_ms(50.0 * MB, 100.0 * MB);
+        assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn full_pause_dominated_by_live_not_garbage() {
+        let livey = full_pause_ms(400.0 * MB, 50.0 * MB);
+        let garbagey = full_pause_ms(50.0 * MB, 400.0 * MB);
+        assert!(livey > garbagey);
+    }
+
+    #[test]
+    fn magnitudes_are_plausible() {
+        // 16 MB survivors, 300 MB old: a few tens of ms.
+        let p = young_pause_ms(16.0 * MB, 300.0 * MB);
+        assert!((5.0..100.0).contains(&p), "young pause {p} ms");
+        // 500 MB live full GC: single-digit seconds.
+        let f = full_pause_ms(500.0 * MB, 300.0 * MB);
+        assert!((1000.0..10_000.0).contains(&f), "full pause {f} ms");
+    }
+}

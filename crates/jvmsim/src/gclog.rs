@@ -1,0 +1,224 @@
+//! HotSpot-style GC/JIT log rendering.
+//!
+//! Formats a [`RunOutcome`] the way `-verbose:gc` /
+//! `-XX:+PrintGCDetails` output looks, so people who read real GC logs can
+//! eyeball a simulated run — and so the `jtune simulate` CLI has something
+//! familiar to print. Purely presentational: nothing here feeds back into
+//! the model.
+
+use std::fmt::Write as _;
+
+use crate::flagview::CollectorKind;
+use crate::outcome::RunOutcome;
+
+/// Render an aggregate, HotSpot-flavoured log summary of a run.
+///
+/// Real logs are per-event; the simulator aggregates, so this prints the
+/// event *statistics* in log vocabulary (counts, totals, pause
+/// percentiles) plus the heap and JIT summaries HotSpot prints at exit
+/// under `-XX:+PrintGCDetails` / `-XX:+CITime`.
+pub fn render(outcome: &RunOutcome, collector: CollectorKind) -> String {
+    let mut out = String::new();
+    let b = &outcome.breakdown;
+
+    let _ = writeln!(
+        out,
+        "[startup {:.3}s: VM initialised, {} mapped]",
+        b.startup.as_secs_f64(),
+        "class data sharing"
+    );
+
+    let gc_name = match collector {
+        CollectorKind::Serial => "DefNew",
+        CollectorKind::Parallel => "PSYoungGen",
+        CollectorKind::Cms => "ParNew",
+        CollectorKind::G1 => "G1 Evacuation Pause (young)",
+    };
+    let full_name = match collector {
+        CollectorKind::Serial => "Tenured",
+        CollectorKind::Parallel => "PSOldGen (parallel compacting)",
+        CollectorKind::Cms => "concurrent mode failure",
+        CollectorKind::G1 => "Full GC (Allocation Failure)",
+    };
+
+    let young = outcome.gc.young_collections;
+    if young > 0 {
+        let _ = writeln!(
+            out,
+            "[GC [{gc_name}: {young} collections, {:.3}s total, avg {:.1}ms, p99 {:.1}ms, max {:.1}ms]",
+            outcome.gc.pauses.sum().as_secs_f64(),
+            outcome.gc.pauses.mean().as_millis_f64(),
+            outcome.gc.pauses.percentile(99.0).as_millis_f64(),
+            outcome.gc.pauses.max().as_millis_f64(),
+        );
+        let _ = writeln!(
+            out,
+            "[GC promoted {:.1} MB to the old generation]",
+            outcome.gc.promoted_bytes / 1e6
+        );
+    } else {
+        let _ = writeln!(out, "[GC no collections: eden never filled]");
+    }
+    if outcome.gc.full_collections > 0 {
+        let _ = writeln!(
+            out,
+            "[Full GC [{full_name}: {} collections]",
+            outcome.gc.full_collections
+        );
+    }
+    if outcome.gc.concurrent_cycles > 0 {
+        let phase = if collector == CollectorKind::G1 {
+            "concurrent-mark"
+        } else {
+            "CMS-concurrent-mark-sweep"
+        };
+        let _ = writeln!(
+            out,
+            "[{phase}: {} cycles, {:.3}s of mutator drag]",
+            outcome.gc.concurrent_cycles,
+            b.gc_concurrent_drag.as_secs_f64()
+        );
+    }
+    if outcome.gc.failures > 0 {
+        let what = if collector == CollectorKind::G1 {
+            "to-space exhausted"
+        } else {
+            "concurrent mode failure"
+        };
+        let _ = writeln!(out, "[GC WARNING: {} x {what}]", outcome.gc.failures);
+    }
+
+    let _ = writeln!(
+        out,
+        "[CITime: {} C1 + {} C2 nmethods, {:.0}% of work at peak tier{}]",
+        outcome.jit.c1_compiles,
+        outcome.jit.c2_compiles,
+        outcome.jit.c2_work_fraction * 100.0,
+        if outcome.jit.code_cache_full_drops > 0 {
+            format!(
+                ", CodeCache is full: {} compilations dropped",
+                outcome.jit.code_cache_full_drops
+            )
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "[Heap peak {:.1} MB]",
+        outcome.peak_heap / 1e6
+    );
+    for w in &outcome.warnings {
+        let _ = writeln!(out, "Java HotSpot(TM) 64-Bit Server VM warning: {w}");
+    }
+    match &outcome.failure {
+        None => {
+            let _ = writeln!(
+                out,
+                "[Total: {:.3}s = mutator {:.3}s + gc {:.3}s + jit-stall {:.3}s + safepoint {:.3}s + startup {:.3}s + drag {:.3}s]",
+                b.total().as_secs_f64(),
+                b.mutator.as_secs_f64(),
+                b.gc_pause.as_secs_f64(),
+                b.jit_stall.as_secs_f64(),
+                b.safepoint.as_secs_f64(),
+                b.startup.as_secs_f64(),
+                b.gc_concurrent_drag.as_secs_f64(),
+            );
+        }
+        Some(f) => {
+            let _ = writeln!(out, "Exception in thread \"main\" {f}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JvmSim, Workload};
+    use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
+
+    fn run(sets: &[(&str, FlagValue)], wl: &Workload) -> (RunOutcome, CollectorKind) {
+        let registry = hotspot_registry();
+        let mut config = JvmConfig::default_for(registry);
+        for (n, v) in sets {
+            config.set_by_name(registry, n, *v).unwrap();
+        }
+        jtune_flagtree::hotspot_tree().enforce(registry, &mut config);
+        let outcome = JvmSim::new().run(registry, &config, wl, 1);
+        let (view, _) = crate::FlagView::resolve(registry, &config, JvmSim::new().machine()).unwrap();
+        (outcome, view.collector)
+    }
+
+    fn gc_workload() -> Workload {
+        let mut w = Workload::baseline("log-test");
+        w.alloc_rate = 3.0;
+        w.live_set = 400e6;
+        w.total_work = 2e9;
+        w
+    }
+
+    #[test]
+    fn parallel_log_mentions_psyounggen_and_totals() {
+        let (outcome, collector) = run(&[], &gc_workload());
+        let log = render(&outcome, collector);
+        assert!(log.contains("PSYoungGen"), "{log}");
+        assert!(log.contains("collections"));
+        assert!(log.contains("[Total:"));
+        assert!(log.contains("p99"));
+    }
+
+    #[test]
+    fn cms_log_reports_concurrent_cycles() {
+        let mut wl = gc_workload();
+        wl.nursery_survival = 0.15;
+        let (outcome, collector) = run(
+            &[("UseConcMarkSweepGC", FlagValue::Bool(true))],
+            &wl,
+        );
+        let log = render(&outcome, collector);
+        assert!(log.contains("ParNew"), "{log}");
+        if outcome.gc.concurrent_cycles > 0 {
+            assert!(log.contains("CMS-concurrent-mark-sweep"));
+        }
+    }
+
+    #[test]
+    fn quiet_workload_logs_no_collections() {
+        let mut wl = Workload::baseline("quiet");
+        wl.alloc_rate = 0.0;
+        wl.live_set = 0.0;
+        let (outcome, collector) = run(&[], &wl);
+        let log = render(&outcome, collector);
+        assert!(log.contains("no collections"), "{log}");
+    }
+
+    #[test]
+    fn oom_run_renders_an_exception_line() {
+        let mut wl = gc_workload();
+        wl.live_set = 3e9;
+        wl.nursery_survival = 0.5;
+        wl.alloc_rate = 8.0;
+        let (outcome, collector) = run(
+            &[("MaxHeapSize", FlagValue::Int(256 << 20))],
+            &wl,
+        );
+        assert!(!outcome.ok());
+        let log = render(&outcome, collector);
+        assert!(log.contains("OutOfMemoryError"), "{log}");
+    }
+
+    #[test]
+    fn warnings_render_in_hotspot_style() {
+        let wl = gc_workload();
+        let (outcome, collector) = run(
+            &[
+                ("InitialHeapSize", FlagValue::Int(4 << 30)),
+                ("MaxHeapSize", FlagValue::Int(1 << 30)),
+            ],
+            &wl,
+        );
+        let log = render(&outcome, collector);
+        assert!(log.contains("VM warning"), "{log}");
+    }
+}

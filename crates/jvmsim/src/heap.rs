@@ -1,0 +1,131 @@
+//! Heap geometry and occupancy state.
+
+use crate::flagview::FlagView;
+
+/// Generation capacities in bytes, derived from the flag view and mutated
+/// at run time by adaptive sizing (parallel collector) or pause-target
+/// young sizing (G1).
+#[derive(Clone, Copy, Debug)]
+pub struct HeapGeometry {
+    /// Eden capacity.
+    pub eden: f64,
+    /// One survivor space's capacity.
+    pub survivor: f64,
+    /// Old-generation capacity.
+    pub old: f64,
+    /// Total heap (invariant: `eden + 2*survivor + old`).
+    pub total: f64,
+}
+
+impl HeapGeometry {
+    /// Initial geometry from the resolved flags.
+    pub fn from_view(view: &FlagView) -> HeapGeometry {
+        let eden = view.eden_size();
+        let survivor = view.survivor_size();
+        let old = view.old_size();
+        HeapGeometry {
+            eden,
+            survivor,
+            old,
+            total: eden + 2.0 * survivor + old,
+        }
+    }
+
+    /// Resize the young generation to `young` bytes (keeping the survivor
+    /// ratio), moving the balance to/from the old generation. Used by
+    /// adaptive sizing; the total is preserved.
+    pub fn resize_young(&mut self, young: f64, survivor_ratio: f64) {
+        let young = young.clamp(1e6, 0.9 * self.total);
+        let sr = survivor_ratio.max(1.0);
+        self.eden = young * sr / (sr + 2.0);
+        self.survivor = young / (sr + 2.0);
+        self.old = (self.total - young).max(0.0);
+    }
+
+    /// Young-generation capacity.
+    pub fn young(&self) -> f64 {
+        self.eden + 2.0 * self.survivor
+    }
+}
+
+/// Current heap occupancy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeapState {
+    /// Bytes allocated in eden since the last young collection.
+    pub eden_used: f64,
+    /// Bytes resident in the active survivor space.
+    pub survivor_used: f64,
+    /// Long-lived bytes in the old generation (the live set).
+    pub old_live: f64,
+    /// Reclaimable (dead or soon-dead) bytes in the old generation.
+    pub old_garbage: f64,
+    /// Humongous bytes resident (G1) or large objects in old (others).
+    pub humongous: f64,
+}
+
+impl HeapState {
+    /// Total old-generation occupancy.
+    pub fn old_used(&self) -> f64 {
+        self.old_live + self.old_garbage + self.humongous
+    }
+
+    /// Total heap occupancy.
+    pub fn used(&self) -> f64 {
+        self.eden_used + self.survivor_used + self.old_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use jtune_flags::{hotspot_registry, JvmConfig};
+
+    fn geometry() -> HeapGeometry {
+        let r = hotspot_registry();
+        let c = JvmConfig::default_for(r);
+        let (v, _) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
+        HeapGeometry::from_view(&v)
+    }
+
+    #[test]
+    fn geometry_partitions_heap() {
+        let g = geometry();
+        assert!((g.eden + 2.0 * g.survivor + g.old - g.total).abs() < 1.0);
+        assert!(g.eden > g.survivor);
+        assert!(g.old > g.young() / 2.0);
+    }
+
+    #[test]
+    fn resize_young_preserves_total() {
+        let mut g = geometry();
+        let total = g.total;
+        g.resize_young(0.5 * total, 8.0);
+        assert!((g.total - total).abs() < 1.0);
+        assert!((g.eden + 2.0 * g.survivor + g.old - total).abs() < 1.0);
+        assert!((g.young() - 0.5 * total).abs() < 1.0);
+    }
+
+    #[test]
+    fn resize_young_clamps_extremes() {
+        let mut g = geometry();
+        let total = g.total;
+        g.resize_young(10.0 * total, 8.0);
+        assert!(g.young() <= 0.9 * total + 1.0);
+        g.resize_young(0.0, 8.0);
+        assert!(g.young() >= 1e6 - 1.0);
+    }
+
+    #[test]
+    fn state_totals() {
+        let s = HeapState {
+            eden_used: 10.0,
+            survivor_used: 5.0,
+            old_live: 100.0,
+            old_garbage: 20.0,
+            humongous: 3.0,
+        };
+        assert_eq!(s.old_used(), 123.0);
+        assert_eq!(s.used(), 138.0);
+    }
+}

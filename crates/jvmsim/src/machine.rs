@@ -1,0 +1,82 @@
+//! The simulated host machine.
+
+/// Hardware the simulated JVM runs on.
+///
+/// The paper's testbed is a multi-core x86 server; [`Machine::default`]
+/// models an 8-core, 8 GB machine of that era. GC thread scaling, NUMA
+/// effects and ergonomic defaults all read these fields.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Hardware threads available.
+    pub cores: u32,
+    /// Physical memory in bytes.
+    pub memory: u64,
+    /// NUMA nodes (1 = UMA).
+    pub numa_nodes: u32,
+    /// Whether the OS has large pages configured (the JVM flag only helps
+    /// if it does).
+    pub large_pages_available: bool,
+    /// Whether a class-data-sharing archive exists (UseSharedSpaces only
+    /// helps if it does).
+    pub cds_archive_present: bool,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine {
+            cores: 8,
+            memory: 8 << 30,
+            numa_nodes: 1,
+            large_pages_available: true,
+            cds_archive_present: true,
+        }
+    }
+}
+
+impl Machine {
+    /// A small 2-core desktop (used by tests exercising thread-scaling
+    /// saturation).
+    pub fn small() -> Self {
+        Machine {
+            cores: 2,
+            memory: 2 << 30,
+            numa_nodes: 1,
+            large_pages_available: false,
+            cds_archive_present: true,
+        }
+    }
+
+    /// A 32-core two-socket server.
+    pub fn big_server() -> Self {
+        Machine {
+            cores: 32,
+            memory: 64 << 30,
+            numa_nodes: 2,
+            large_pages_available: true,
+            cds_archive_present: true,
+        }
+    }
+
+    /// HotSpot's ergonomic default for `ParallelGCThreads`: all cores up to
+    /// 8, then 8 + 5/8 of the rest.
+    pub fn default_parallel_gc_threads(&self) -> u32 {
+        if self.cores <= 8 {
+            self.cores
+        } else {
+            8 + (self.cores - 8) * 5 / 8
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ergonomic_gc_threads() {
+        assert_eq!(Machine { cores: 4, ..Machine::default() }.default_parallel_gc_threads(), 4);
+        assert_eq!(Machine { cores: 8, ..Machine::default() }.default_parallel_gc_threads(), 8);
+        assert_eq!(Machine { cores: 16, ..Machine::default() }.default_parallel_gc_threads(), 13);
+        assert_eq!(Machine { cores: 32, ..Machine::default() }.default_parallel_gc_threads(), 23);
+    }
+}

@@ -1,0 +1,97 @@
+//! Measurement noise.
+//!
+//! Real JVM benchmarking is noisy: scheduling, cache state, ASLR, daemons.
+//! The simulator applies seeded log-normal multiplicative noise plus rare
+//! positive outliers so that single measurements lie and the harness's
+//! repeat-and-take-median protocol earns its keep — as it must in the
+//! paper's methodology.
+
+use jtune_util::{Rng, SimDuration, Xoshiro256pp};
+
+/// Default relative noise (σ of the underlying normal).
+pub const DEFAULT_SIGMA: f64 = 0.015;
+/// Probability of an outlier run.
+pub const OUTLIER_P: f64 = 0.03;
+
+/// Seeded noise generator for one measurement stream.
+#[derive(Clone, Debug)]
+pub struct NoiseModel {
+    rng: Xoshiro256pp,
+    sigma: f64,
+}
+
+impl NoiseModel {
+    /// Noise stream from a seed with the default magnitude.
+    pub fn new(seed: u64) -> NoiseModel {
+        Self::with_sigma(seed, DEFAULT_SIGMA)
+    }
+
+    /// Noise stream with custom magnitude (tests use 0 for determinism).
+    pub fn with_sigma(seed: u64, sigma: f64) -> NoiseModel {
+        NoiseModel {
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x6e6f_6973_65u64),
+            sigma: sigma.max(0.0),
+        }
+    }
+
+    /// Apply noise to a measured duration.
+    pub fn apply(&mut self, d: SimDuration) -> SimDuration {
+        if self.sigma == 0.0 {
+            return d;
+        }
+        let mut factor = self.rng.next_lognormal(0.0, self.sigma);
+        if self.rng.next_bool(OUTLIER_P) {
+            factor *= 1.0 + self.rng.next_range_f64(0.02, 0.08);
+        }
+        d.mul_f64(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut n = NoiseModel::with_sigma(1, 0.0);
+        let d = SimDuration::from_secs(10);
+        assert_eq!(n.apply(d), d);
+    }
+
+    #[test]
+    fn noise_is_reproducible_per_seed() {
+        let d = SimDuration::from_secs(10);
+        let mut a = NoiseModel::new(42);
+        let mut b = NoiseModel::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.apply(d), b.apply(d));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = SimDuration::from_secs(10);
+        let mut a = NoiseModel::new(1);
+        let mut b = NoiseModel::new(2);
+        let same = (0..50).filter(|_| a.apply(d) == b.apply(d)).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn noise_magnitude_is_percent_scale() {
+        let d = SimDuration::from_secs(100);
+        let mut n = NoiseModel::new(7);
+        let mut max_dev: f64 = 0.0;
+        let mut sum = 0.0;
+        let reps = 2000;
+        for _ in 0..reps {
+            let x = n.apply(d).as_secs_f64();
+            max_dev = max_dev.max((x - 100.0).abs());
+            sum += x;
+        }
+        let mean = sum / reps as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!(max_dev > 1.0, "no visible noise");
+        assert!(max_dev < 20.0, "noise implausibly large: {max_dev}");
+    }
+}

@@ -1,0 +1,138 @@
+//! Run results.
+
+use jtune_util::{Histogram, SimDuration};
+
+/// How the virtual run time divides among JVM activities.
+#[derive(Clone, Debug, Default)]
+pub struct TimeBreakdown {
+    /// VM + class-loading startup before the first application work.
+    pub startup: SimDuration,
+    /// Application (mutator) execution.
+    pub mutator: SimDuration,
+    /// Stop-the-world GC pauses.
+    pub gc_pause: SimDuration,
+    /// Mutator slowdown attributable to concurrent GC work (CMS/G1 cycles
+    /// stealing cores), expressed as extra elapsed time.
+    pub gc_concurrent_drag: SimDuration,
+    /// Compile stalls (foreground compilation / code-cache pressure); the
+    /// *background* compile cost shows up as `gc_concurrent_drag`-style CPU
+    /// stealing inside `mutator`.
+    pub jit_stall: SimDuration,
+    /// Safepoint synchronisation overhead.
+    pub safepoint: SimDuration,
+}
+
+impl TimeBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.startup
+            + self.mutator
+            + self.gc_pause
+            + self.gc_concurrent_drag
+            + self.jit_stall
+            + self.safepoint
+    }
+}
+
+/// GC activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct GcStats {
+    /// Young (minor) collections.
+    pub young_collections: u64,
+    /// Stop-the-world full collections (including CMS concurrent-mode
+    /// failures).
+    pub full_collections: u64,
+    /// Concurrent cycles started (CMS/G1 marking).
+    pub concurrent_cycles: u64,
+    /// CMS concurrent-mode failures / G1 evacuation failures.
+    pub failures: u64,
+    /// Bytes promoted into the old generation.
+    pub promoted_bytes: f64,
+    /// Pause-time distribution.
+    pub pauses: Histogram,
+}
+
+/// JIT activity counters.
+#[derive(Clone, Debug, Default)]
+pub struct JitStats {
+    /// Methods compiled at tier 1-3 (C1).
+    pub c1_compiles: u64,
+    /// Methods compiled at tier 4 (C2).
+    pub c2_compiles: u64,
+    /// Compilations abandoned because the code cache filled.
+    pub code_cache_full_drops: u64,
+    /// Fraction of total work retired at C2 speed (warm-up quality).
+    pub c2_work_fraction: f64,
+}
+
+/// Why a run did not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunFailure {
+    /// Live set plus GC overhead exceeded the configured heap.
+    OutOfMemory,
+    /// The configuration is semantically unusable (reported by the flag
+    /// resolver, e.g. zero heap).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::OutOfMemory => write!(f, "java.lang.OutOfMemoryError: Java heap space"),
+            RunFailure::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+/// The result of one simulated JVM run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Total virtual run time (equals `breakdown.total()` plus noise).
+    pub total: SimDuration,
+    /// Noise-free component breakdown.
+    pub breakdown: TimeBreakdown,
+    /// GC counters.
+    pub gc: GcStats,
+    /// JIT counters.
+    pub jit: JitStats,
+    /// Peak simulated heap use in bytes.
+    pub peak_heap: f64,
+    /// Configuration corrections the resolver applied (mirrors HotSpot's
+    /// warnings, e.g. `InitialHeapSize` > `MaxHeapSize`).
+    pub warnings: Vec<String>,
+    /// Set when the run aborted; `total` then covers time until the abort.
+    pub failure: Option<RunFailure>,
+}
+
+impl RunOutcome {
+    /// True when the run completed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = TimeBreakdown {
+            startup: SimDuration::from_millis(100),
+            mutator: SimDuration::from_secs(10),
+            gc_pause: SimDuration::from_millis(400),
+            gc_concurrent_drag: SimDuration::from_millis(250),
+            jit_stall: SimDuration::from_millis(50),
+            safepoint: SimDuration::from_millis(20),
+        };
+        assert_eq!(b.total(), SimDuration::from_millis(10_820));
+    }
+
+    #[test]
+    fn failure_messages_render() {
+        assert!(RunFailure::OutOfMemory.to_string().contains("OutOfMemoryError"));
+        assert!(RunFailure::InvalidConfig("zero heap".into())
+            .to_string()
+            .contains("zero heap"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Runtime-system effects on mutator throughput and startup.
+//!
+//! Everything here is a *static* property of (configuration, workload,
+//! machine): multiplicative mutator speed effects (locking, compressed
+//! oops, large pages, prefetch, NUMA, TLAB path), the eden-fill waste
+//! factor, the safepoint overhead rate, and the startup-time model.
+
+use jtune_util::SimDuration;
+
+use crate::flagview::FlagView;
+use crate::machine::Machine;
+use crate::workload::Workload;
+
+/// Multiplicative mutator speed factor (1.0 = nominal). Applied on top of
+/// the JIT tier speed.
+pub fn mutator_factor(view: &FlagView, wl: &Workload, machine: &Machine) -> f64 {
+    let mut cost = 1.0_f64; // abstract cost per work unit
+
+    // ---- allocation path ----
+    let allocs_per_unit = wl.alloc_rate / wl.mean_object_size.max(8.0);
+    if view.use_tlab {
+        if view.zero_tlab {
+            cost += (allocs_per_unit * 4.0).min(0.02);
+        }
+        if !view.resize_tlab && wl.threads > 1 {
+            cost += 0.015;
+        }
+        if view.tlab_size > 0.0 && view.tlab_size < 64.0 * 1024.0 {
+            // Tiny fixed TLABs mean frequent refills.
+            cost += (allocs_per_unit * 10.0).min(0.03);
+        }
+    } else {
+        // Shared-eden CAS allocation.
+        cost += (allocs_per_unit * 40.0).min(0.30) * (1.0 + 0.1 * (wl.threads as f64 - 1.0)).min(2.0);
+    }
+
+    // ---- locking ----
+    let c = wl.lock_contention;
+    let per_lock = if view.heavy_monitors {
+        28.0
+    } else if view.biased_locking {
+        // Biased fast path when uncontended; revocation storms when not.
+        // The startup delay slightly reduces the benefit on short runs.
+        let delay_penalty = if view.biased_delay_ms > 10_000.0 { 0.5 } else { 0.0 };
+        (2.5 + delay_penalty) * (1.0 - c) + 55.0 * c
+    } else {
+        9.0 * (1.0 - c) + 38.0 * c
+    };
+    let contended_relief = if view.use_spinning && (1.0..=200_000.0).contains(&view.pre_block_spin)
+    {
+        // Spinning rescues short critical sections; excessive spin burns CPU.
+        if view.pre_block_spin <= 20_000.0 {
+            0.70
+        } else {
+            0.95
+        }
+    } else {
+        1.0
+    };
+    cost += wl.lock_density * (per_lock * (1.0 - c) + per_lock * c * contended_relief) / 10.0;
+
+    // ---- memory system ----
+    let mut speed = 1.0_f64;
+    if view.compressed_oops {
+        speed *= 1.0 + 0.08 * wl.pointer_density;
+    }
+    if view.large_pages && machine.large_pages_available {
+        let footprint_gb = (wl.live_set / 1e9).min(2.0);
+        speed *= 1.0 + 0.012 * wl.array_stream_fraction + 0.015 * footprint_gb;
+    }
+    if view.use_numa {
+        speed *= if machine.numa_nodes > 1 { 1.04 } else { 0.995 };
+    }
+    if view.prefetch_style > 0 {
+        let style_eff = match view.prefetch_style {
+            1 => 1.0,
+            2 => 0.9,
+            _ => 1.05,
+        };
+        // Distance sweet spot around ~192-256 bytes.
+        let d = view.prefetch_distance.max(16.0);
+        let dist_eff = (-((d / 192.0).ln().powi(2)) / 0.8).exp();
+        let lines_eff = 1.0 - ((view.prefetch_lines - 3.0).abs() / 12.0).min(0.3);
+        speed *= 1.0 + 0.035 * wl.array_stream_fraction * style_eff * dist_eff * lines_eff
+            + 0.01 * (allocs_per_unit * 20.0).min(1.0) * dist_eff;
+    }
+    if view.use_membar && wl.threads > 1 {
+        speed *= 0.985;
+    }
+    if !view.stack_traces {
+        speed *= 1.004;
+    }
+    if view.object_alignment > 8 {
+        // Wasted cache density.
+        speed *= 1.0 - 0.02 * ((view.object_alignment as f64 / 8.0).log2() * wl.pointer_density)
+            .min(0.3);
+    }
+
+    speed / cost
+}
+
+/// Eden-fill inflation from TLAB slack: allocated bytes consume
+/// `waste_factor ×` their size of eden.
+pub fn allocation_waste(view: &FlagView) -> f64 {
+    if view.use_tlab {
+        1.0 + (view.tlab_waste_target / 100.0) * 0.5 + if view.resize_tlab { 0.0 } else { 0.03 }
+    } else {
+        1.02
+    }
+}
+
+/// Fraction of mutator time lost to guaranteed-safepoint synchronisation.
+pub fn safepoint_overhead(view: &FlagView, wl: &Workload) -> f64 {
+    if view.safepoint_interval_ms <= 0.0 {
+        return 0.0;
+    }
+    // Each safepoint costs ~0.2 ms plus a per-thread sync tail.
+    let per_sp_ms = 0.2 + 0.02 * wl.threads as f64;
+    (per_sp_ms / view.safepoint_interval_ms.max(1.0)).min(0.2)
+}
+
+/// VM + class-loading startup time.
+pub fn startup_time(view: &FlagView, wl: &Workload, machine: &Machine) -> SimDuration {
+    let mut ms = 90.0; // bare VM bring-up
+    let classes = wl.classes_loaded as f64;
+    let mut per_class = 0.11;
+    if view.shared_spaces && machine.cds_archive_present {
+        per_class *= 0.45;
+    }
+    if view.verify_local {
+        per_class += 0.05;
+    }
+    if view.verify_remote {
+        // Only a fraction of classes come from "remote" (non-boot) loaders.
+        per_class += 0.03 * 0.3;
+    }
+    ms += classes * per_class;
+    if view.always_pretouch {
+        let rate_bytes_per_ms = if view.large_pages && machine.large_pages_available {
+            16e6
+        } else {
+            6e6
+        };
+        ms += view.xms / rate_bytes_per_ms;
+    }
+    SimDuration::from_millis_f64(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
+
+    fn view_with(sets: &[(&str, FlagValue)]) -> FlagView {
+        let r = hotspot_registry();
+        let mut c = JvmConfig::default_for(r);
+        for (n, v) in sets {
+            c.set_by_name(r, n, *v).unwrap();
+        }
+        FlagView::resolve(r, &c, &Machine::default()).unwrap().0
+    }
+
+    #[test]
+    fn disabling_tlab_hurts_allocation_heavy_workloads() {
+        let mut wl = Workload::baseline("w");
+        wl.alloc_rate = 3.0;
+        let m = Machine::default();
+        let on = mutator_factor(&view_with(&[]), &wl, &m);
+        let off = mutator_factor(&view_with(&[("UseTLAB", FlagValue::Bool(false))]), &wl, &m);
+        assert!(on > off * 1.05, "on {on} off {off}");
+    }
+
+    #[test]
+    fn biased_locking_helps_uncontended_hurts_contended() {
+        let m = Machine::default();
+        let mut quiet = Workload::baseline("q");
+        quiet.lock_density = 0.02;
+        quiet.lock_contention = 0.01;
+        let mut noisy = Workload::baseline("n");
+        noisy.lock_density = 0.02;
+        noisy.lock_contention = 0.6;
+        let biased = view_with(&[]);
+        let unbiased = view_with(&[("UseBiasedLocking", FlagValue::Bool(false))]);
+        assert!(mutator_factor(&biased, &quiet, &m) > mutator_factor(&unbiased, &quiet, &m));
+        assert!(mutator_factor(&biased, &noisy, &m) < mutator_factor(&unbiased, &noisy, &m));
+    }
+
+    #[test]
+    fn compressed_oops_benefit_scales_with_pointer_density() {
+        let m = Machine::default();
+        let mut ptr_heavy = Workload::baseline("p");
+        ptr_heavy.pointer_density = 0.9;
+        let on = view_with(&[]);
+        let off = view_with(&[("UseCompressedOops", FlagValue::Bool(false))]);
+        let gain = mutator_factor(&on, &ptr_heavy, &m) / mutator_factor(&off, &ptr_heavy, &m);
+        assert!(gain > 1.05, "gain {gain}");
+        let mut ptr_light = Workload::baseline("l");
+        ptr_light.pointer_density = 0.05;
+        let gain_light =
+            mutator_factor(&on, &ptr_light, &m) / mutator_factor(&off, &ptr_light, &m);
+        assert!(gain > gain_light);
+    }
+
+    #[test]
+    fn large_pages_need_os_support() {
+        let wl = Workload::baseline("w");
+        let lp = view_with(&[("UseLargePages", FlagValue::Bool(true))]);
+        let base = view_with(&[]);
+        let with_os = Machine::default();
+        let without_os = Machine {
+            large_pages_available: false,
+            ..Machine::default()
+        };
+        assert!(mutator_factor(&lp, &wl, &with_os) > mutator_factor(&base, &wl, &with_os));
+        let a = mutator_factor(&lp, &wl, &without_os);
+        let b = mutator_factor(&base, &wl, &without_os);
+        assert!((a - b).abs() < 1e-12, "large pages did something without OS support");
+    }
+
+    #[test]
+    fn numa_only_helps_on_numa_machines() {
+        let wl = Workload::baseline("w");
+        let numa = view_with(&[("UseNUMA", FlagValue::Bool(true))]);
+        let base = view_with(&[]);
+        let uma = Machine::default();
+        let multi = Machine::big_server();
+        assert!(mutator_factor(&numa, &wl, &multi) > mutator_factor(&base, &wl, &multi));
+        assert!(mutator_factor(&numa, &wl, &uma) <= mutator_factor(&base, &wl, &uma));
+    }
+
+    #[test]
+    fn prefetch_distance_has_a_sweet_spot() {
+        let m = Machine::default();
+        let mut wl = Workload::baseline("w");
+        wl.array_stream_fraction = 0.9;
+        let f = |d: i64| {
+            mutator_factor(
+                &view_with(&[("AllocatePrefetchDistance", FlagValue::Int(d))]),
+                &wl,
+                &m,
+            )
+        };
+        let sweet = f(192);
+        assert!(sweet >= f(16), "sweet {sweet} vs near {}", f(16));
+        assert!(sweet >= f(512 - 1), "sweet {sweet} vs far");
+    }
+
+    #[test]
+    fn waste_factor_reflects_tlab_flags() {
+        let base = allocation_waste(&view_with(&[]));
+        assert!(base > 1.0 && base < 1.2);
+        let no_resize = allocation_waste(&view_with(&[("ResizeTLAB", FlagValue::Bool(false))]));
+        assert!(no_resize > base);
+    }
+
+    #[test]
+    fn safepoint_overhead_grows_with_frequency() {
+        let wl = Workload::baseline("w");
+        let frequent = view_with(&[("GuaranteedSafepointInterval", FlagValue::Int(10))]);
+        let rare = view_with(&[("GuaranteedSafepointInterval", FlagValue::Int(10_000))]);
+        assert!(safepoint_overhead(&frequent, &wl) > safepoint_overhead(&rare, &wl) * 10.0);
+        let off = view_with(&[("GuaranteedSafepointInterval", FlagValue::Int(0))]);
+        assert_eq!(safepoint_overhead(&off, &wl), 0.0);
+    }
+
+    #[test]
+    fn cds_accelerates_class_loading() {
+        let m = Machine::default();
+        let mut wl = Workload::baseline("w");
+        wl.classes_loaded = 10_000;
+        let with = startup_time(&view_with(&[]), &wl, &m);
+        let without = startup_time(
+            &view_with(&[("UseSharedSpaces", FlagValue::Bool(false))]),
+            &wl,
+            &m,
+        );
+        assert!(without > with, "CDS did not help: {with} vs {without}");
+    }
+
+    #[test]
+    fn pretouch_charges_startup() {
+        let m = Machine::default();
+        let wl = Workload::baseline("w");
+        let pre = startup_time(
+            &view_with(&[
+                ("AlwaysPreTouch", FlagValue::Bool(true)),
+                ("InitialHeapSize", FlagValue::Int(1 << 30)),
+            ]),
+            &wl,
+            &m,
+        );
+        let base = startup_time(&view_with(&[]), &wl, &m);
+        assert!(pre.as_millis_f64() > base.as_millis_f64() + 100.0);
+    }
+}

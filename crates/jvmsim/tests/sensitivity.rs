@@ -1,0 +1,212 @@
+//! Flag-sensitivity audit: the simulator's honesty test.
+//!
+//! For every flag the registry marks performance-relevant in a subsystem
+//! the simulator models, there must exist a (workload, value) pair under
+//! which changing that flag changes the *noise-free* outcome. A perf flag
+//! the simulator silently ignores would make the tuner's search space lie.
+//!
+//! The test table lists each audited flag with a workload profile chosen
+//! to be sensitive to it and an alternative value far from the default.
+
+use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
+use jtune_jvmsim::{JvmSim, Workload};
+
+/// Workload archetypes the flags below are audited against.
+fn workload(kind: &str) -> Workload {
+    let mut w = Workload::baseline(kind);
+    match kind {
+        // Allocation- and GC-bound.
+        "alloc" => {
+            w.alloc_rate = 4.0;
+            w.live_set = 500e6;
+            w.nursery_survival = 0.12;
+            w.total_work = 3e9;
+        }
+        // Short run dominated by JIT warm-up.
+        "startup" => {
+            w.total_work = 6e8;
+            w.hot_methods = 2000;
+            w.hotness_skew = 0.6;
+            w.call_density = 0.04;
+            // Big methods: the compiled footprint (~15 MB) must be able to
+            // overflow a minimum-size code cache.
+            w.mean_method_size = 300.0;
+        }
+        // Lock-contended and parallel.
+        "locky" => {
+            w.threads = 8;
+            w.lock_density = 0.01;
+            w.lock_contention = 0.5;
+        }
+        // Streaming numeric kernel.
+        "streamy" => {
+            w.array_stream_fraction = 0.9;
+            w.fp_fraction = 0.6;
+            w.pointer_density = 0.6;
+        }
+        // Class-loading heavy startup.
+        "classy" => {
+            w.classes_loaded = 20_000;
+            w.total_work = 5e8;
+        }
+        _ => {}
+    }
+    w
+}
+
+/// Noise-free total (breakdown sum) under one flag override.
+fn total_with(wl: &Workload, name: &str, value: FlagValue) -> f64 {
+    let registry = hotspot_registry();
+    let mut config = JvmConfig::default_for(registry);
+    if name != "<default>" {
+        config
+            .set_by_name(registry, name, value)
+            .unwrap_or_else(|e| panic!("setting {name}: {e}"));
+    }
+    // Collector switches need their conflicts resolved first.
+    jtune_flagtree::hotspot_tree().enforce(registry, &mut config);
+    let outcome = JvmSim::new().run(registry, &config, wl, 1);
+    assert!(outcome.ok(), "{name}: run failed {:?}", outcome.failure);
+    outcome.breakdown.total().as_secs_f64()
+}
+
+#[test]
+fn audited_perf_flags_all_move_the_needle() {
+    // (flag, alternative value, sensitive workload)
+    let audits: &[(&str, FlagValue, &str)] = &[
+        ("MaxHeapSize", FlagValue::Int(8 << 30), "alloc"),
+        ("InitialHeapSize", FlagValue::Int(1 << 30), "alloc"),
+        ("NewRatio", FlagValue::Int(8), "alloc"),
+        ("SurvivorRatio", FlagValue::Int(1), "alloc"),
+        ("MaxTenuringThreshold", FlagValue::Int(0), "alloc"),
+        ("TargetSurvivorRatio", FlagValue::Int(5), "alloc"),
+        ("AlwaysTenure", FlagValue::Bool(true), "alloc"),
+        ("UseAdaptiveSizePolicy", FlagValue::Bool(false), "alloc"),
+        ("MaxGCPauseMillis", FlagValue::Int(5), "alloc"),
+        ("ParallelGCThreads", FlagValue::Int(1), "alloc"),
+        ("UseSerialGC", FlagValue::Bool(true), "alloc"),
+        ("UseConcMarkSweepGC", FlagValue::Bool(true), "alloc"),
+        ("UseG1GC", FlagValue::Bool(true), "alloc"),
+        ("AlwaysPreTouch", FlagValue::Bool(true), "alloc"),
+        ("TieredCompilation", FlagValue::Bool(true), "startup"),
+        ("CompileThreshold", FlagValue::Int(500), "startup"),
+        ("CICompilerCount", FlagValue::Int(8), "startup"),
+        ("BackgroundCompilation", FlagValue::Bool(false), "startup"),
+        ("UseCompiler", FlagValue::Bool(false), "startup"),
+        ("Inline", FlagValue::Bool(false), "startup"),
+        ("MaxInlineSize", FlagValue::Int(200), "startup"),
+        ("FreqInlineSize", FlagValue::Int(10), "startup"),
+        ("MaxInlineLevel", FlagValue::Int(1), "startup"),
+        ("ProfileInterpreter", FlagValue::Bool(false), "startup"),
+        ("UseBiasedLocking", FlagValue::Bool(false), "locky"),
+        ("UseHeavyMonitors", FlagValue::Bool(true), "locky"),
+        ("UseSpinning", FlagValue::Bool(true), "locky"),
+        ("UseMembar", FlagValue::Bool(true), "locky"),
+        ("UseTLAB", FlagValue::Bool(false), "alloc"),
+        ("TLABWasteTargetPercent", FlagValue::Int(50), "alloc"),
+        ("UseCompressedOops", FlagValue::Bool(false), "streamy"),
+        ("UseLargePages", FlagValue::Bool(true), "streamy"),
+        ("AllocatePrefetchStyle", FlagValue::Int(0), "streamy"),
+        ("AllocatePrefetchDistance", FlagValue::Int(16), "streamy"),
+        ("UseSuperWord", FlagValue::Bool(false), "streamy"),
+        ("LoopUnrollLimit", FlagValue::Int(0), "streamy"),
+        ("InlineMathNatives", FlagValue::Bool(false), "streamy"),
+        ("DoEscapeAnalysis", FlagValue::Bool(false), "startup"),
+        ("AggressiveOpts", FlagValue::Bool(true), "streamy"),
+        ("ObjectAlignmentInBytes", FlagValue::Int(64), "streamy"),
+        ("UseSharedSpaces", FlagValue::Bool(false), "classy"),
+        ("BytecodeVerificationLocal", FlagValue::Bool(true), "classy"),
+        ("GuaranteedSafepointInterval", FlagValue::Int(5), "locky"),
+        ("StackTraceInThrowable", FlagValue::Bool(false), "streamy"),
+    ];
+
+    let mut dead = Vec::new();
+    for (name, value, kind) in audits {
+        let wl = workload(kind);
+        let base = total_with(&wl, "<default>", FlagValue::Bool(false));
+        let flipped = total_with(&wl, name, *value);
+        let rel = (flipped - base).abs() / base;
+        if rel < 1e-4 {
+            dead.push(format!("{name} ({kind}): {base:.4} -> {flipped:.4}"));
+        }
+    }
+    assert!(
+        dead.is_empty(),
+        "perf flags with no measurable effect:\n{}",
+        dead.join("\n")
+    );
+}
+
+#[test]
+fn code_cache_pressure_matters_under_tiered_compilation() {
+    // ReservedCodeCacheSize only binds when compile bandwidth can fill it:
+    // under tiered compilation C1 floods the cache, so a minimum-size
+    // cache strands methods in the interpreter.
+    let registry = hotspot_registry();
+    let wl = workload("startup");
+    let sim = JvmSim::new();
+    let mut roomy = JvmConfig::default_for(registry);
+    roomy
+        .set_by_name(registry, "TieredCompilation", FlagValue::Bool(true))
+        .unwrap();
+    let mut tiny = roomy.clone();
+    tiny.set_by_name(registry, "ReservedCodeCacheSize", FlagValue::Int(2 << 20))
+        .unwrap();
+    let a = sim.run(registry, &roomy, &wl, 1);
+    let b = sim.run(registry, &tiny, &wl, 1);
+    assert!(a.ok() && b.ok());
+    assert_eq!(a.jit.code_cache_full_drops, 0, "roomy cache dropped compiles");
+    assert!(b.jit.code_cache_full_drops > 0, "tiny cache never filled");
+    assert!(
+        b.breakdown.total() > a.breakdown.total(),
+        "cache starvation did not slow the run: {} vs {}",
+        b.breakdown.total(),
+        a.breakdown.total()
+    );
+}
+
+#[test]
+fn inert_flags_really_are_inert() {
+    // The flip side: diagnostics and misc flags must NOT change outcomes.
+    let wl = workload("alloc");
+    let base = total_with(&wl, "<default>", FlagValue::Bool(false));
+    for (name, value) in [
+        ("PrintGCDetails", FlagValue::Bool(true)),
+        ("TraceClassLoading", FlagValue::Bool(true)),
+        ("PrintCompilation", FlagValue::Bool(true)),
+        ("HeapDumpOnOutOfMemoryError", FlagValue::Bool(true)),
+        ("MaxFDLimit", FlagValue::Bool(false)),
+        ("UseSignalChaining", FlagValue::Bool(false)),
+        ("PerfDataSamplingInterval", FlagValue::Int(10_000)),
+        ("EventLogLength", FlagValue::Int(50_000)),
+    ] {
+        let flipped = total_with(&wl, name, value);
+        assert!(
+            (flipped - base).abs() / base < 1e-9,
+            "{name} unexpectedly changed the outcome: {base} -> {flipped}"
+        );
+    }
+}
+
+#[test]
+fn collector_choice_changes_pause_profile_not_just_total() {
+    let registry = hotspot_registry();
+    let wl = workload("alloc");
+    let sim = JvmSim::new();
+    let tree = jtune_flagtree::hotspot_tree();
+
+    let mut parallel = JvmConfig::default_for(registry);
+    tree.enforce(registry, &mut parallel);
+    let mut cms = JvmConfig::default_for(registry);
+    cms.set_by_name(registry, "UseConcMarkSweepGC", FlagValue::Bool(true)).unwrap();
+    tree.enforce(registry, &mut cms);
+
+    let p = sim.run(registry, &parallel, &wl, 1);
+    let c = sim.run(registry, &cms, &wl, 1);
+    assert!(p.ok() && c.ok());
+    // CMS runs concurrent cycles; the parallel collector cannot.
+    assert_eq!(p.gc.concurrent_cycles, 0);
+    assert!(c.gc.concurrent_cycles > 0, "CMS never cycled");
+    // And CMS trades mutator drag for shorter worst-case pauses.
+    assert!(c.breakdown.gc_concurrent_drag.as_nanos() > 0);
+}

@@ -1,0 +1,196 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints its results as an aligned ASCII table so
+//! the regenerated "paper tables" are readable in a terminal and diffable in
+//! CI. Deliberately minimal: left/right alignment, a header rule, and a
+//! footer rule for summary rows.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (text).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An ASCII table builder.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    /// Row indices after which a horizontal rule is drawn (e.g. before a
+    /// summary row).
+    rules_after: Vec<usize>,
+}
+
+impl Table {
+    /// Create a table with the given column headers and alignments.
+    ///
+    /// # Panics
+    /// Panics if `headers` and `aligns` differ in length or are empty.
+    pub fn new(headers: &[&str], aligns: &[Align]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        assert_eq!(
+            headers.len(),
+            aligns.len(),
+            "headers/aligns length mismatch"
+        );
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: aligns.to_vec(),
+            rows: Vec::new(),
+            rules_after: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Draw a horizontal rule after the most recently added row.
+    pub fn rule(&mut self) -> &mut Self {
+        if !self.rows.is_empty() {
+            self.rules_after.push(self.rows.len() - 1);
+        }
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string (with trailing newline).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let rule_line = |out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("-+-");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        };
+        let write_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.len();
+                match aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < cols {
+                            out.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        out.push_str(&" ".repeat(pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers, &vec![Align::Left; cols]);
+        rule_line(&mut out);
+        for (ri, row) in self.rows.iter().enumerate() {
+            write_row(&mut out, row, &self.aligns);
+            if self.rules_after.contains(&ri) && ri + 1 < self.rows.len() {
+                rule_line(&mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Format a float with the given number of decimals (helper for row cells).
+pub fn fnum(x: f64, decimals: usize) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{x:.decimals$}");
+    s
+}
+
+/// Format a percentage with sign, one decimal: `+19.3%`, `-2.1%`.
+pub fn fpct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"], &[Align::Left, Align::Right]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "123.45".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+        // Right-aligned numeric column: both rows end at same column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("123.45"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"], &[Align::Left, Align::Left]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn rule_inserts_separator() {
+        let mut t = Table::new(&["x"], &[Align::Left]);
+        t.row(vec!["1".into()]);
+        t.rule();
+        t.row(vec!["sum".into()]);
+        let s = t.render();
+        assert_eq!(s.lines().filter(|l| l.starts_with('-')).count(), 2);
+    }
+
+    #[test]
+    fn trailing_rule_not_duplicated() {
+        let mut t = Table::new(&["x"], &[Align::Left]);
+        t.row(vec!["1".into()]);
+        t.rule();
+        let s = t.render();
+        // header rule only; rule after the last row is suppressed.
+        assert_eq!(s.lines().filter(|l| l.starts_with('-')).count(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fpct(19.25), "+19.2%");
+        assert_eq!(fpct(-2.07), "-2.1%");
+    }
+}

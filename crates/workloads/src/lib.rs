@@ -1,0 +1,30 @@
+//! # jtune-workloads
+//!
+//! Workload models for the two benchmark suites the paper evaluates on:
+//!
+//! - [`specjvm2008_startup`] — the 16 SPECjvm2008 *startup* programs
+//!   (single short iteration from a cold JVM: warm-up and class loading are
+//!   first-order costs);
+//! - [`dacapo`] — 13 DaCapo 9.12 programs (longer, heap- and GC-bound
+//!   iterations).
+//!
+//! Each profile is a [`Workload`] characteristics vector chosen from the
+//! public behaviour of the real program (see the per-entry comments in
+//! [`suites`]). The *reproduction claim* is distributional, not
+//! per-program: the population of profiles gives the paper's headroom
+//! shape (SPECjvm2008 avg ≈ 19 % with a heavy right tail 63/51/32 %;
+//! DaCapo avg ≈ 26 %, max ≈ 42 %) under the simulated JVM. EXPERIMENTS.md
+//! records how close the tuned results land.
+//!
+//! [`synth`] generates random-but-plausible workloads from a seed, used by
+//! property tests and the tuner's stress experiments.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod suites;
+pub mod synth;
+
+pub use jtune_jvmsim::Workload;
+pub use suites::{dacapo, specjvm2008_startup, workload_by_name};
+pub use synth::SyntheticGenerator;

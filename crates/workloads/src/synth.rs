@@ -1,0 +1,120 @@
+//! Synthetic workload generation.
+//!
+//! Random-but-plausible workloads for property tests ("the tuner never
+//! makes a workload slower than default, whatever the workload") and for
+//! tuner stress experiments beyond the two paper suites.
+
+use jtune_jvmsim::Workload;
+use jtune_util::{Rng, Xoshiro256pp};
+
+/// Seeded generator of plausible workloads.
+#[derive(Clone, Debug)]
+pub struct SyntheticGenerator {
+    rng: Xoshiro256pp,
+    counter: u64,
+}
+
+impl SyntheticGenerator {
+    /// Create a generator; each seed yields a distinct reproducible stream.
+    pub fn new(seed: u64) -> SyntheticGenerator {
+        SyntheticGenerator {
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x73796e_7468),
+            counter: 0,
+        }
+    }
+
+    /// Produce the next workload in the stream.
+    pub fn next_workload(&mut self) -> Workload {
+        self.counter += 1;
+        let r = &mut self.rng;
+        // Log-uniform helpers keep the distributions heavy-tailed like real
+        // benchmark suites.
+        let log_uniform = |r: &mut Xoshiro256pp, lo: f64, hi: f64| -> f64 {
+            (r.next_range_f64(lo.ln(), hi.ln())).exp()
+        };
+        let startupish = r.next_bool(0.5);
+        let total_work = if startupish {
+            log_uniform(r, 3e8, 2e9)
+        } else {
+            log_uniform(r, 2e9, 1.2e10)
+        };
+        let threads = match r.next_below(4) {
+            0 => 1,
+            1 => 2,
+            2 => 4,
+            _ => 8,
+        };
+        let w = Workload {
+            name: format!("synthetic-{}", self.counter),
+            total_work,
+            threads,
+            alloc_rate: log_uniform(r, 0.05, 5.0),
+            mean_object_size: r.next_range_f64(24.0, 128.0),
+            humongous_fraction: if r.next_bool(0.2) {
+                r.next_range_f64(0.0, 0.15)
+            } else {
+                0.0
+            },
+            nursery_survival: r.next_range_f64(0.01, 0.20),
+            mid_life_fraction: r.next_range_f64(0.1, 0.6),
+            live_set: log_uniform(r, 5e6, 8e8),
+            hot_methods: log_uniform(r, 20.0, 5000.0) as u32,
+            hotness_skew: r.next_range_f64(0.5, 1.6),
+            mean_method_size: r.next_range_f64(40.0, 120.0),
+            call_density: log_uniform(r, 0.002, 0.05),
+            lock_density: log_uniform(r, 5e-5, 0.01),
+            lock_contention: r.next_range_f64(0.0, 0.5),
+            pointer_density: r.next_range_f64(0.05, 0.8),
+            array_stream_fraction: r.next_range_f64(0.05, 0.95),
+            fp_fraction: r.next_range_f64(0.0, 0.7),
+            classes_loaded: log_uniform(r, 1500.0, 20_000.0) as u32,
+        };
+        debug_assert_eq!(w.validate(), Ok(()));
+        w
+    }
+
+    /// Produce a batch.
+    pub fn take(&mut self, n: usize) -> Vec<Workload> {
+        (0..n).map(|_| self.next_workload()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_workloads_validate() {
+        let mut g = SyntheticGenerator::new(1);
+        for w in g.take(200) {
+            assert_eq!(w.validate(), Ok(()), "{} invalid", w.name);
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a: Vec<f64> = SyntheticGenerator::new(7).take(10).iter().map(|w| w.total_work).collect();
+        let b: Vec<f64> = SyntheticGenerator::new(7).take(10).iter().map(|w| w.total_work).collect();
+        assert_eq!(a, b);
+        let c: Vec<f64> = SyntheticGenerator::new(8).take(10).iter().map(|w| w.total_work).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut g = SyntheticGenerator::new(3);
+        let ws = g.take(20);
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn mix_of_startup_and_steady_state() {
+        let mut g = SyntheticGenerator::new(5);
+        let ws = g.take(100);
+        let startup = ws.iter().filter(|w| w.startup_sensitive()).count();
+        assert!(startup > 10 && startup < 90, "startup count {startup}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Characterise your own application and tune the JVM for it — the
+//! downstream-user scenario: you know roughly how your service behaves
+//! (allocation rate, live set, threads, lock contention), you want a flag
+//! recommendation.
+//!
+//! Also demonstrates inspecting the flag hierarchy and replaying the best
+//! configuration with full GC/JIT statistics.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use hotspot_autotuner::prelude::*;
+
+fn main() {
+    // A hypothetical order-matching service: 8 worker threads, 2 GB/s-ish
+    // allocation of small short-lived objects, a 1.5 GB in-memory book,
+    // contended hot locks on the matching engine.
+    let mut workload = Workload::baseline("order-matcher");
+    workload.total_work = 1.2e10;
+    workload.threads = 8;
+    workload.alloc_rate = 2.4;
+    workload.live_set = 1.5e9;
+    workload.nursery_survival = 0.08;
+    workload.lock_density = 0.006;
+    workload.lock_contention = 0.4;
+    workload.classes_loaded = 14_000;
+    workload.hot_methods = 900;
+
+    // A bigger box than the default 8-core desktop.
+    let machine = Machine::big_server();
+    let executor = SimExecutor::on_machine(workload, machine);
+
+    // Where does the default configuration lose time?
+    let registry = hotspot_registry();
+    let default_outcome = executor.run_full(&JvmConfig::default_for(registry), 1);
+    println!("default configuration behaviour:");
+    println!("  total        {}", default_outcome.total);
+    println!("  gc pauses    {}", default_outcome.breakdown.gc_pause);
+    println!("  young / full {} / {}", default_outcome.gc.young_collections, default_outcome.gc.full_collections);
+    println!("  c2 coverage  {:.0}%", default_outcome.jit.c2_work_fraction * 100.0);
+    if let Some(f) = &default_outcome.failure {
+        println!("  FAILED: {f} — the default heap cannot hold the live set");
+    }
+
+    // Tune for half an hour of virtual time.
+    let opts = TunerOptions {
+        budget: SimDuration::from_mins(30),
+        ..TunerOptions::default()
+    };
+    let result = Tuner::new(opts).run(&executor, "order-matcher");
+    println!("\ntuned: {:+.1}% improvement over default", result.improvement_percent());
+    println!("recommended java flags:");
+    for flag in &result.session.best_delta {
+        println!("  {flag}");
+    }
+
+    // Replay the winner for a full report.
+    let tuned_outcome = executor.run_full(&result.best_config, 1);
+    println!("\ntuned configuration behaviour:");
+    println!("  total        {}", tuned_outcome.total);
+    println!("  gc pauses    {}", tuned_outcome.breakdown.gc_pause);
+    println!("  young / full {} / {}", tuned_outcome.gc.young_collections, tuned_outcome.gc.full_collections);
+    println!("  c2 coverage  {:.0}%", tuned_outcome.jit.c2_work_fraction * 100.0);
+
+    // Which structural branch did the tuner pick? Ask the hierarchy.
+    let tree = hotspot_tree();
+    for sid in tree.selector_ids() {
+        let sel = tree.selector(sid);
+        let chosen = sel.options[tree.selector_state(sid, &result.best_config)].label;
+        println!("  {} -> {chosen}", sel.name);
+    }
+}

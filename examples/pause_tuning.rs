@@ -1,0 +1,70 @@
+//! Latency tuning: optimise for tail GC pauses instead of run time —
+//! the service-owner scenario the paper's throughput objective doesn't
+//! cover, built from the same machinery by swapping the objective.
+//!
+//! ```sh
+//! cargo run --release --example pause_tuning
+//! ```
+
+use hotspot_autotuner::harness::Objective;
+use hotspot_autotuner::prelude::*;
+
+fn service_workload() -> Workload {
+    // A request-serving workload: moderate allocation over a sizeable
+    // session cache. Throughput tuning will happily pick huge young
+    // generations whose scavenges stop the world for a long time.
+    let mut w = Workload::baseline("latency-service");
+    w.total_work = 8e9;
+    w.threads = 8;
+    w.alloc_rate = 2.0;
+    w.live_set = 450e6;
+    w.nursery_survival = 0.10;
+    w
+}
+
+fn tune(objective: Objective) -> (String, TuningResult) {
+    let mut opts = TunerOptions {
+        budget: SimDuration::from_mins(40),
+        ..TunerOptions::default()
+    };
+    opts.protocol.objective = objective;
+    let executor = SimExecutor::new(service_workload());
+    let result = Tuner::new(opts).run(&executor, "latency-service");
+    (objective.name(), result)
+}
+
+fn main() {
+    let registry = hotspot_registry();
+    let executor = SimExecutor::new(service_workload());
+
+    println!("objective              total      p99 pause  collector");
+    println!("---------              -----      ---------  ---------");
+    let report = |label: &str, config: &JvmConfig| {
+        let outcome = executor.run_full(config, 7);
+        let tree = hotspot_tree();
+        let gc = tree
+            .selector_ids()
+            .find(|s| tree.selector(*s).name == "gc.collector")
+            .map(|s| tree.selector(s).options[tree.selector_state(s, config)].label)
+            .unwrap_or("?");
+        println!(
+            "{label:<22} {:>8}  {:>10}  {gc}",
+            outcome.total.to_string(),
+            outcome.gc.pauses.percentile(99.0).to_string(),
+        );
+    };
+
+    report("default", &JvmConfig::default_for(registry));
+    for objective in [
+        Objective::Throughput,
+        Objective::PausePercentile(99.0),
+        Objective::Weighted { percentile: 99.0, weight: 0.3 },
+    ] {
+        let (name, result) = tune(objective);
+        report(&name, &result.best_config);
+    }
+    println!();
+    println!("throughput tuning minimises total time and tolerates long pauses;");
+    println!("pause tuning accepts a slower run for a flatter pause profile;");
+    println!("the weighted objective sits between them.");
+}

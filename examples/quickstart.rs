@@ -1,0 +1,63 @@
+//! Quickstart: tune one benchmark and inspect what the tuner found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [program] [budget-minutes]
+//! ```
+//!
+//! `program` is any built-in workload name (`compress`, `serial`,
+//! `dacapo:h2`, …; default `serial`), `budget-minutes` the virtual tuning
+//! budget (default 30; the paper uses 200).
+
+use hotspot_autotuner::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let program = args.next().unwrap_or_else(|| "serial".to_string());
+    let budget_mins: u64 = args
+        .next()
+        .and_then(|b| b.parse().ok())
+        .unwrap_or(30);
+
+    let Some(workload) = workload_by_name(&program) else {
+        eprintln!("unknown workload {program:?}; try one of:");
+        for w in specjvm2008_startup() {
+            eprint!("  spec:{}", w.name);
+        }
+        eprintln!();
+        for w in dacapo() {
+            eprint!("  dacapo:{}", w.name);
+        }
+        eprintln!();
+        std::process::exit(2);
+    };
+
+    println!(
+        "tuning {program} for {budget_mins} virtual minutes \
+         (workload: {:.1e} work units, {} threads, live set {:.0} MB)",
+        workload.total_work,
+        workload.threads,
+        workload.live_set / 1e6
+    );
+
+    let executor = SimExecutor::new(workload);
+    let opts = TunerOptions {
+        budget: SimDuration::from_mins(budget_mins),
+        ..TunerOptions::default()
+    };
+    let result = Tuner::new(opts).run(&executor, &program);
+
+    let s = &result.session;
+    println!();
+    println!("default configuration : {:>8.3} s", s.default_secs);
+    println!("best found            : {:>8.3} s", s.best_secs);
+    println!("improvement           : {:+.1}%", result.improvement_percent());
+    println!("candidates evaluated  : {}", s.evaluations);
+    println!();
+    println!("best flag settings (what you would pass to java):");
+    if s.best_delta.is_empty() {
+        println!("  (the default configuration was never beaten)");
+    }
+    for flag in &s.best_delta {
+        println!("  {flag}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Tune a **real** `java` process — the paper's actual mode of operation.
+//!
+//! Requires a JDK on `PATH` (or pass the path to `java` as the first
+//! argument). The benchmark command line defaults to `-version` (a
+//! startup-only "workload", so the tuner optimises JVM start-up time);
+//! pass your own after `--`:
+//!
+//! ```sh
+//! cargo run --release --example real_jvm -- /usr/bin/java -- -jar dacapo.jar h2
+//! ```
+//!
+//! Measurements are real wall-clock time, so give this real minutes of
+//! budget. Note: the built-in registry models JDK-7-era flags; modern JDKs
+//! reject removed flags, which the tuner observes as crashed candidates
+//! and steers away from — wasteful but safe.
+
+use hotspot_autotuner::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (java, bench_args): (Option<String>, Vec<String>) = match args.split_first() {
+        Some((first, rest)) if first != "--" => {
+            let rest: Vec<String> = rest.iter().filter(|a| *a != "--").cloned().collect();
+            (Some(first.clone()), rest)
+        }
+        _ => (None, args.into_iter().filter(|a| a != "--").collect()),
+    };
+    let bench_args = if bench_args.is_empty() {
+        vec!["-version".to_string()]
+    } else {
+        bench_args
+    };
+
+    let executor = match java {
+        Some(path) => ProcessExecutor::new(path, bench_args),
+        None => match ProcessExecutor::from_path(bench_args) {
+            Some(ex) => ex,
+            None => {
+                eprintln!("no `java` found on PATH; running the simulator instead");
+                let result = Tuner::new(TunerOptions {
+                    budget: SimDuration::from_mins(10),
+                    ..TunerOptions::default()
+                })
+                .run(&SimExecutor::new(workload_by_name("compress").unwrap()), "compress");
+                println!("simulated fallback: {:+.1}%", result.improvement_percent());
+                return;
+            }
+        },
+    };
+
+    // Short real-time budget for a demo; the paper used 200 minutes.
+    let opts = TunerOptions {
+        budget: SimDuration::from_mins(2),
+        workers: 1, // one JVM at a time: parallel JVMs perturb each other
+        batch: 4,
+        protocol: Protocol { repeats: 3, fail_fast: true, ..Protocol::default() },
+        ..TunerOptions::default()
+    };
+    println!("tuning a real JVM for 2 minutes of wall clock...");
+    let result = Tuner::new(opts).run(&executor, "real-jvm");
+    println!(
+        "default {:.3}s -> best {:.3}s ({:+.1}%) over {} candidates",
+        result.session.default_secs,
+        result.session.best_secs,
+        result.improvement_percent(),
+        result.session.evaluations
+    );
+    println!("best flags:");
+    for flag in &result.session.best_delta {
+        println!("  {flag}");
+    }
+}

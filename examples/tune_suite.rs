@@ -1,0 +1,51 @@
+//! Tune a whole benchmark suite and print the paper-style results table —
+//! the scenario the paper's evaluation section is built from.
+//!
+//! ```sh
+//! cargo run --release --example tune_suite [spec|dacapo] [budget-minutes]
+//! ```
+
+use hotspot_autotuner::prelude::*;
+use hotspot_autotuner::util::stats::Summary;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let suite = args.next().unwrap_or_else(|| "spec".to_string());
+    let budget_mins: u64 = args.next().and_then(|b| b.parse().ok()).unwrap_or(20);
+
+    let workloads = match suite.as_str() {
+        "spec" => specjvm2008_startup(),
+        "dacapo" => dacapo(),
+        other => {
+            eprintln!("unknown suite {other:?}: use `spec` or `dacapo`");
+            std::process::exit(2);
+        }
+    };
+
+    println!("suite: {suite}, budget {budget_mins} min/program (paper: 200)\n");
+    println!("{:<22} {:>10} {:>10} {:>12}", "program", "default(s)", "tuned(s)", "improvement");
+    let mut improvements = Vec::new();
+    for (i, workload) in workloads.into_iter().enumerate() {
+        let name = workload.name.clone();
+        let executor = SimExecutor::new(workload);
+        let opts = TunerOptions {
+            budget: SimDuration::from_mins(budget_mins),
+            seed: 0xBEEF ^ ((i as u64) << 16),
+            ..TunerOptions::default()
+        };
+        let result = Tuner::new(opts).run(&executor, &name);
+        let imp = result.improvement_percent();
+        improvements.push(imp);
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>11.1}%",
+            name, result.session.default_secs, result.session.best_secs, imp
+        );
+    }
+    let summary = Summary::from_slice(&improvements);
+    println!(
+        "\naverage improvement {:.1}%  (min {:.1}%, max {:.1}%)",
+        summary.mean(),
+        summary.min(),
+        summary.max()
+    );
+}

@@ -1,0 +1,298 @@
+//! `jtune` — the HotSpot auto-tuner command line.
+//!
+//! ```text
+//! jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
+//!                       [--manipulator hier|flat|subset] [--minimize]
+//! jtune suite <spec|dacapo> [--budget MIN]
+//! jtune simulate <workload> [-XX:... flags]
+//! jtune flags [substring]
+//! jtune tree
+//! jtune workloads
+//! ```
+
+use hotspot_autotuner::prelude::*;
+use hotspot_autotuner::flagtree::SpaceStats;
+use hotspot_autotuner::tuner::analysis::{flag_impact, ImpactOptions};
+use hotspot_autotuner::util::stats::Summary;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "tune" => cmd_tune(rest),
+            "suite" => cmd_suite(rest),
+            "simulate" => cmd_simulate(rest),
+            "flags" => cmd_flags(rest),
+            "tree" => cmd_tree(),
+            "workloads" => cmd_workloads(),
+            "--help" | "-h" | "help" => usage(0),
+            other => {
+                eprintln!("unknown command {other:?}\n");
+                usage(2)
+            }
+        },
+        None => usage(2),
+    };
+    std::process::exit(code);
+}
+
+fn usage(code: i32) -> i32 {
+    eprintln!(
+        "jtune — search-based whole-JVM auto-tuner (IPDPSW'15 reproduction)
+
+USAGE:
+  jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
+                        [--manipulator hier|flat|subset] [--minimize]
+  jtune suite <spec|dacapo> [--budget MIN] [--seed N]
+  jtune simulate <workload> [--gclog] [-XX:...flag ...]
+  jtune flags [substring]      list the 750-flag registry
+  jtune tree                   print the flag hierarchy + space statistics
+  jtune workloads              list built-in workload models
+
+Workload names: bare (`serial`), or suite-qualified (`dacapo:h2`,
+`spec:sunflow`). Budgets are virtual minutes; the paper used 200."
+    );
+    code
+}
+
+fn parse_opt(rest: &[String], name: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn tuner_options_from(rest: &[String]) -> TunerOptions {
+    let mut opts = TunerOptions::default();
+    if let Some(raw) = parse_opt(rest, "--budget") {
+        match raw.parse() {
+            Ok(mins) => opts.budget = SimDuration::from_mins(mins),
+            Err(_) => eprintln!(
+                "warning: --budget {raw:?} is not a number of minutes; using {}",
+                opts.budget
+            ),
+        }
+    }
+    if let Some(raw) = parse_opt(rest, "--seed") {
+        match raw.parse() {
+            Ok(seed) => opts.seed = seed,
+            Err(_) => eprintln!("warning: --seed {raw:?} is not an integer; using default"),
+        }
+    }
+    if let Some(t) = parse_opt(rest, "--technique") {
+        opts.technique = t;
+    }
+    if let Some(m) = parse_opt(rest, "--manipulator") {
+        opts.manipulator = match m.as_str() {
+            "hier" | "hierarchical" => ManipulatorKind::Hierarchical,
+            "flat" => ManipulatorKind::Flat,
+            "subset" | "gc-subset" => ManipulatorKind::GcSubset,
+            other => {
+                eprintln!("unknown manipulator {other:?}; using hierarchical");
+                ManipulatorKind::Hierarchical
+            }
+        };
+    }
+    opts
+}
+
+fn cmd_tune(rest: &[String]) -> i32 {
+    let Some(name) = rest.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("tune: missing workload name");
+        return 2;
+    };
+    let Some(workload) = workload_by_name(name) else {
+        eprintln!("unknown workload {name:?} (see `jtune workloads`)");
+        return 2;
+    };
+    let opts = tuner_options_from(rest);
+    let minimize = rest.iter().any(|a| a == "--minimize");
+    println!(
+        "tuning {name} ({} budget, technique {}, {:?} manipulator)",
+        opts.budget, opts.technique, opts.manipulator
+    );
+    let executor = SimExecutor::new(workload);
+    let result = Tuner::new(opts).run(&executor, name);
+    println!(
+        "default {:.3}s -> best {:.3}s  ({:+.1}%)  [{} candidates]",
+        result.session.default_secs,
+        result.session.best_secs,
+        result.improvement_percent(),
+        result.session.evaluations
+    );
+    if minimize {
+        println!("\nmeasuring marginal flag impacts (reverting one at a time)...");
+        let impacts = flag_impact(&executor, &result.best_config, ImpactOptions::default());
+        println!("{:<44} {:>10}", "flag", "impact");
+        for i in impacts.iter().filter(|i| i.impact_percent.abs() >= 0.75) {
+            println!("{:<44} {:>9.1}%", format!("{}={}", i.name, i.value), i.impact_percent);
+        }
+        let hitch = impacts.iter().filter(|i| i.impact_percent.abs() < 0.75).count();
+        println!("(+ {hitch} inert hitchhiker flags omitted)");
+    } else {
+        println!("\nrecommended flags:");
+        for f in &result.session.best_delta {
+            println!("  {f}");
+        }
+    }
+    0
+}
+
+fn cmd_suite(rest: &[String]) -> i32 {
+    let Some(which) = rest.first() else {
+        eprintln!("suite: expected `spec` or `dacapo`");
+        return 2;
+    };
+    let workloads = match which.as_str() {
+        "spec" => specjvm2008_startup(),
+        "dacapo" => dacapo(),
+        other => {
+            eprintln!("unknown suite {other:?}");
+            return 2;
+        }
+    };
+    let base = tuner_options_from(rest);
+    let mut improvements = Vec::new();
+    println!("{:<22} {:>10} {:>10} {:>12}", "program", "default(s)", "tuned(s)", "improvement");
+    for (i, workload) in workloads.into_iter().enumerate() {
+        let name = workload.name.clone();
+        let mut opts = base.clone();
+        opts.seed ^= (i as u64 + 1) << 32;
+        let executor = SimExecutor::new(workload);
+        let result = Tuner::new(opts).run(&executor, &name);
+        improvements.push(result.improvement_percent());
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>11.1}%",
+            name,
+            result.session.default_secs,
+            result.session.best_secs,
+            result.improvement_percent()
+        );
+    }
+    let s = Summary::from_slice(&improvements);
+    println!("\naverage {:+.1}%  (min {:+.1}%, max {:+.1}%)", s.mean(), s.min(), s.max());
+    0
+}
+
+fn cmd_simulate(rest: &[String]) -> i32 {
+    let Some(name) = rest.first() else {
+        eprintln!("simulate: missing workload name");
+        return 2;
+    };
+    let Some(workload) = workload_by_name(name) else {
+        eprintln!("unknown workload {name:?}");
+        return 2;
+    };
+    let registry = hotspot_registry();
+    let flag_args: Vec<String> = rest[1..].iter().filter(|a| *a != "--gclog").cloned().collect();
+    let config = match JvmConfig::parse_args(registry, &flag_args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad flags: {e}");
+            return 2;
+        }
+    };
+    let gclog = rest.iter().any(|a| a == "--gclog");
+    let executor = SimExecutor::new(workload);
+    let outcome = executor.run_full(&config, 1);
+    if gclog {
+        let machine = hotspot_autotuner::jvmsim::Machine::default();
+        if let Ok((view, _)) =
+            hotspot_autotuner::jvmsim::FlagView::resolve(registry, &config, &machine)
+        {
+            print!("{}", hotspot_autotuner::jvmsim::gclog::render(&outcome, view.collector));
+        }
+        return if outcome.ok() { 0 } else { 1 };
+    }
+    if let Some(f) = &outcome.failure {
+        println!("run FAILED: {f}");
+        return 1;
+    }
+    println!("total      {}", outcome.total);
+    println!("startup    {}", outcome.breakdown.startup);
+    println!("mutator    {}", outcome.breakdown.mutator);
+    println!("gc pauses  {} ({} young, {} full, p99 {})",
+        outcome.breakdown.gc_pause,
+        outcome.gc.young_collections,
+        outcome.gc.full_collections,
+        outcome.gc.pauses.percentile(99.0));
+    println!("gc drag    {}", outcome.breakdown.gc_concurrent_drag);
+    println!("jit stalls {} ({} C1 + {} C2 compiles, {:.0}% of work at C2)",
+        outcome.breakdown.jit_stall,
+        outcome.jit.c1_compiles,
+        outcome.jit.c2_compiles,
+        outcome.jit.c2_work_fraction * 100.0);
+    println!("peak heap  {:.1} MB", outcome.peak_heap / 1e6);
+    for w in &outcome.warnings {
+        println!("warning: {w}");
+    }
+    0
+}
+
+fn cmd_flags(rest: &[String]) -> i32 {
+    use std::io::Write as _;
+    let registry = hotspot_registry();
+    let filter = rest.first().map(String::as_str).unwrap_or("");
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut shown = 0;
+    for (_, spec) in registry.iter() {
+        if !filter.is_empty() && !spec.name.to_lowercase().contains(&filter.to_lowercase()) {
+            continue;
+        }
+        shown += 1;
+        // Ignore write errors: a closed pipe (`jtune flags | head`) is a
+        // normal way to consume this listing.
+        if writeln!(
+            out,
+            "{:<40} {:<22} default={:<12} {}",
+            spec.name,
+            spec.category.name(),
+            spec.default.to_string(),
+            spec.desc
+        )
+        .is_err()
+        {
+            return 0;
+        }
+    }
+    let _ = writeln!(out, "\n{shown} of {} flags shown", registry.len());
+    0
+}
+
+fn cmd_tree() -> i32 {
+    let registry = hotspot_registry();
+    let tree = hotspot_tree();
+    print!("{}", tree.render_skeleton(registry));
+    let stats = SpaceStats::compute(tree, registry);
+    println!(
+        "\nflat space: 10^{:.0} configurations over {} tunable flags",
+        stats.flat_log10, stats.tunable_flags
+    );
+    println!(
+        "hierarchical space: 10^{:.0}  (10^{:.0} smaller)",
+        stats.hierarchical_log10,
+        stats.reduction_log10()
+    );
+    0
+}
+
+fn cmd_workloads() -> i32 {
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let _ = writeln!(out, "SPECjvm2008 startup (16):");
+    for w in specjvm2008_startup() {
+        if writeln!(out, "  spec:{:<22} work {:>8.1e}  live {:>5.0} MB  {} threads",
+            w.name, w.total_work, w.live_set / 1e6, w.threads).is_err() {
+            return 0;
+        }
+    }
+    let _ = writeln!(out, "DaCapo (13):");
+    for w in dacapo() {
+        if writeln!(out, "  dacapo:{:<20} work {:>8.1e}  live {:>5.0} MB  {} threads",
+            w.name, w.total_work, w.live_set / 1e6, w.threads).is_err() {
+            return 0;
+        }
+    }
+    0
+}

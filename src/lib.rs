@@ -1,0 +1,72 @@
+//! # hotspot-autotuner
+//!
+//! A search-based **whole-JVM auto-tuner** with a flag hierarchy — a
+//! from-scratch Rust reproduction of *Auto-Tuning the Java Virtual
+//! Machine* (Jayasena, Fernando, Rusira Patabandi, Perera, Philips;
+//! IPDPSW 2015).
+//!
+//! This crate is the facade: it re-exports the public API of the workspace
+//! crates so downstream users depend on one name. See `DESIGN.md` for the
+//! architecture and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## The pieces
+//!
+//! - [`flags`] — the HotSpot JDK-7 flag model: 750+ typed flags with
+//!   domains, defaults, validation and `-XX:` command-line round-tripping.
+//! - [`flagtree`] — the paper's flag hierarchy: selectors (mutually
+//!   exclusive collector choice), gates (feature flags enabling dependent
+//!   parameters), activation resolution and search-space statistics.
+//! - [`jvmsim`] — a flag-sensitive HotSpot performance simulator
+//!   (generational heap, five GC algorithms, tiered JIT, runtime effects,
+//!   measurement noise) so tuning sessions run without a real JVM.
+//! - [`workloads`] — SPECjvm2008-startup and DaCapo workload models plus a
+//!   synthetic generator.
+//! - [`harness`] — executors (simulator or a real `java` process),
+//!   measurement protocol, budget accounting, parallel evaluation.
+//! - [`tuner`] — the auto-tuner: search techniques, the AUC-bandit
+//!   ensemble, and hierarchical/flat/subset manipulators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hotspot_autotuner::prelude::*;
+//!
+//! // Tune the SPECjvm2008 "compress" startup workload for 2 virtual
+//! // minutes (the paper uses 200).
+//! let workload = workload_by_name("compress").expect("built-in workload");
+//! let executor = SimExecutor::new(workload);
+//! let mut opts = TunerOptions::default();
+//! opts.budget = SimDuration::from_mins(2);
+//! let result = Tuner::new(opts).run(&executor, "compress");
+//!
+//! println!(
+//!     "default {:.2}s -> tuned {:.2}s ({:+.1}%) via {:?}",
+//!     result.session.default_secs,
+//!     result.session.best_secs,
+//!     result.improvement_percent(),
+//!     result.session.best_delta,
+//! );
+//! assert!(result.session.best_secs <= result.session.default_secs);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use autotuner_core as tuner;
+pub use jtune_flags as flags;
+pub use jtune_flagtree as flagtree;
+pub use jtune_harness as harness;
+pub use jtune_jvmsim as jvmsim;
+pub use jtune_util as util;
+pub use jtune_workloads as workloads;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use autotuner_core::{tuner::ManipulatorKind, Tuner, TunerOptions, TuningResult};
+    pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
+    pub use jtune_flagtree::hotspot_tree;
+    pub use jtune_harness::{Executor, ProcessExecutor, Protocol, SimExecutor};
+    pub use jtune_jvmsim::{JvmSim, Machine, Workload};
+    pub use jtune_util::SimDuration;
+    pub use jtune_workloads::{dacapo, specjvm2008_startup, workload_by_name};
+}

@@ -1,0 +1,155 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: flag domains, configuration round-trips, hierarchy
+//! canonicalisation, and simulator sanity on arbitrary workloads.
+
+use hotspot_autotuner::prelude::*;
+use hotspot_autotuner::flagtree;
+use hotspot_autotuner::tuner::{ConfigManipulator, HierarchicalManipulator};
+use hotspot_autotuner::util::{Rng, Xoshiro256pp};
+use hotspot_autotuner::workloads::SyntheticGenerator;
+use proptest::prelude::*;
+
+/// A seeded random *canonical* configuration.
+fn random_canonical(seed: u64) -> JvmConfig {
+    let m = HierarchicalManipulator::new();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    m.random(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_hierarchical_configs_are_valid_and_canonical(seed in any::<u64>()) {
+        let registry = hotspot_registry();
+        let tree = hotspot_tree();
+        let config = random_canonical(seed);
+        prop_assert!(config.validate(registry).is_ok());
+        // Canonicalisation is a fixed point on manipulator output.
+        let mut again = config.clone();
+        tree.enforce(registry, &mut again);
+        prop_assert_eq!(again.fingerprint(), config.fingerprint());
+        // Exactly one collector is selected.
+        let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
+            .iter()
+            .filter(|n| config.get_by_name(registry, n) == Some(FlagValue::Bool(true)))
+            .count();
+        prop_assert_eq!(on, 1);
+    }
+
+    #[test]
+    fn config_args_round_trip(seed in any::<u64>()) {
+        let registry = hotspot_registry();
+        let config = random_canonical(seed);
+        let args = config.to_args(registry);
+        let parsed = JvmConfig::parse_args(registry, &args).unwrap();
+        prop_assert_eq!(parsed.fingerprint(), config.fingerprint());
+    }
+
+    #[test]
+    fn mutation_preserves_validity(seed in any::<u64>(), strength in 0.05f64..1.0) {
+        let registry = hotspot_registry();
+        let m = HierarchicalManipulator::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut config = JvmConfig::default_for(registry);
+        for _ in 0..10 {
+            config = m.mutate(&config, &mut rng, strength);
+            prop_assert!(config.validate(registry).is_ok());
+        }
+    }
+
+    #[test]
+    fn enforce_is_idempotent_on_arbitrary_corruption(seed in any::<u64>()) {
+        // Scribble random in-domain values over random flags WITHOUT the
+        // manipulator, then canonicalise twice: second pass is identity.
+        let registry = hotspot_registry();
+        let tree = hotspot_tree();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut config = JvmConfig::default_for(registry);
+        for _ in 0..40 {
+            let ids = registry.tunable_ids();
+            let id = ids[rng.next_below(ids.len() as u64) as usize];
+            let v = autotuner_core::manipulator::random_value(
+                &registry.spec(id).domain,
+                &mut rng,
+            );
+            config.set(id, v);
+        }
+        tree.enforce(registry, &mut config);
+        let once = config.fingerprint();
+        tree.enforce(registry, &mut config);
+        prop_assert_eq!(config.fingerprint(), once);
+        prop_assert!(config.validate(registry).is_ok());
+    }
+
+    #[test]
+    fn active_flags_never_include_dead_subtrees(seed in any::<u64>()) {
+        let registry = hotspot_registry();
+        let tree = hotspot_tree();
+        let config = random_canonical(seed);
+        let active = tree.active_flags(&config);
+        let has = |name: &str| {
+            active.iter().any(|id| registry.spec(*id).name == name)
+        };
+        let g1_on = config.get_by_name(registry, "UseG1GC") == Some(FlagValue::Bool(true));
+        let cms_on =
+            config.get_by_name(registry, "UseConcMarkSweepGC") == Some(FlagValue::Bool(true));
+        prop_assert_eq!(has("G1ReservePercent"), g1_on);
+        prop_assert_eq!(has("CMSPrecleanIter"), cms_on);
+    }
+
+    #[test]
+    fn simulator_completes_or_fails_cleanly_on_synthetic_workloads(
+        wl_seed in any::<u64>(), cfg_seed in any::<u64>()
+    ) {
+        let registry = hotspot_registry();
+        let mut gen = SyntheticGenerator::new(wl_seed);
+        let mut workload = gen.next_workload();
+        // Keep property runs fast.
+        workload.total_work = workload.total_work.min(1.5e9);
+        let config = random_canonical(cfg_seed);
+        let outcome = JvmSim::new().run(registry, &config, &workload, 3);
+        if outcome.ok() {
+            prop_assert!(outcome.total > SimDuration::ZERO);
+            prop_assert!(outcome.breakdown.mutator > SimDuration::ZERO);
+            // Breakdown must account for the reported total within noise.
+            let raw = outcome.breakdown.total().as_secs_f64();
+            let noisy = outcome.total.as_secs_f64();
+            prop_assert!((noisy / raw - 1.0).abs() < 0.2, "raw {} noisy {}", raw, noisy);
+        } else {
+            // Failures must be one of the modelled kinds.
+            let msg = outcome.failure.as_ref().unwrap().to_string();
+            prop_assert!(
+                msg.contains("OutOfMemory") || msg.contains("invalid configuration"),
+                "unexpected failure {}", msg
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_heaps_never_cause_oom_when_default_survives(seed in 0u64..500) {
+        // If the default heap completes a workload, growing the heap must
+        // not introduce OOM.
+        let registry = hotspot_registry();
+        let mut gen = SyntheticGenerator::new(seed);
+        let mut workload = gen.next_workload();
+        workload.total_work = workload.total_work.min(1e9);
+        let sim = JvmSim::new();
+        let default_cfg = JvmConfig::default_for(registry);
+        let default_run = sim.run(registry, &default_cfg, &workload, 1);
+        prop_assume!(default_run.ok());
+        let mut big = default_cfg.clone();
+        big.set_by_name(registry, "MaxHeapSize", FlagValue::Int(4 << 30)).unwrap();
+        let big_run = sim.run(registry, &big, &workload, 1);
+        prop_assert!(big_run.ok(), "bigger heap OOMed: {:?}", big_run.failure);
+    }
+
+    #[test]
+    fn space_stats_strata_below_flat(_x in 0u8..1) {
+        let stats = flagtree::SpaceStats::compute(hotspot_tree(), hotspot_registry());
+        for s in &stats.strata {
+            prop_assert!(s.log10_size < stats.flat_log10);
+        }
+        prop_assert!(stats.hierarchical_log10 < stats.flat_log10);
+    }
+}
