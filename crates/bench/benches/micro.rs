@@ -1,111 +1,120 @@
 //! Micro-benchmarks of the hot paths (per the Rust Performance Book's
 //! advice: measure the inner loops you believe are cheap).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use autotuner_core::manipulator::{ConfigManipulator, HierarchicalManipulator};
+use jtune_bench::BenchHarness;
 use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
 use jtune_flagtree::hotspot_tree;
 use jtune_harness::{evaluate_batch, Protocol, SimExecutor};
 use jtune_jvmsim::{jit::JitModel, FlagView, JvmSim, Machine, Workload};
 use jtune_util::Xoshiro256pp;
 
-fn sim_run_per_collector(c: &mut Criterion) {
+fn sim_run_per_collector(h: &BenchHarness) {
     let registry = hotspot_registry();
     let sim = JvmSim::new();
     let mut workload = Workload::baseline("micro");
     workload.total_work = 1e9;
-    let mut g = c.benchmark_group("sim_run");
     for (label, sets) in [
         ("parallel", vec![]),
-        ("serial", vec![("UseSerialGC", true), ("UseParallelGC", false), ("UseParallelOldGC", false)]),
-        ("cms", vec![("UseConcMarkSweepGC", true), ("UseParallelGC", false), ("UseParallelOldGC", false)]),
-        ("g1", vec![("UseG1GC", true), ("UseParallelGC", false), ("UseParallelOldGC", false)]),
+        (
+            "serial",
+            vec![
+                ("UseSerialGC", true),
+                ("UseParallelGC", false),
+                ("UseParallelOldGC", false),
+            ],
+        ),
+        (
+            "cms",
+            vec![
+                ("UseConcMarkSweepGC", true),
+                ("UseParallelGC", false),
+                ("UseParallelOldGC", false),
+            ],
+        ),
+        (
+            "g1",
+            vec![
+                ("UseG1GC", true),
+                ("UseParallelGC", false),
+                ("UseParallelOldGC", false),
+            ],
+        ),
     ] {
         let mut config = JvmConfig::default_for(registry);
         for (name, v) in &sets {
-            config.set_by_name(registry, name, FlagValue::Bool(*v)).unwrap();
+            config
+                .set_by_name(registry, name, FlagValue::Bool(*v))
+                .unwrap();
         }
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(sim.run(registry, &config, &workload, 1).total));
+        h.bench(&format!("sim_run/{label}"), 50, || {
+            black_box(sim.run(registry, &config, &workload, 1).total)
         });
     }
-    g.finish();
 }
 
-fn jit_model_step(c: &mut Criterion) {
+fn jit_model_step(h: &BenchHarness) {
     let registry = hotspot_registry();
     let config = JvmConfig::default_for(registry);
     let workload = Workload::baseline("micro");
     let (view, _) = FlagView::resolve(registry, &config, &Machine::default()).unwrap();
-    c.bench_function("jit_advance_1k_epochs", |b| {
-        b.iter(|| {
-            let mut jit = JitModel::new(&view, &workload);
-            let mut total_stall = 0.0;
-            for _ in 0..1000 {
-                total_stall += jit.advance(1e6, 0.005, workload.call_density);
-            }
-            black_box((jit.speed_factor(), total_stall))
-        });
+    h.bench("jit_advance_1k_epochs", 50, || {
+        let mut jit = JitModel::new(&view, &workload);
+        let mut total_stall = 0.0;
+        for _ in 0..1000 {
+            total_stall += jit.advance(1e6, 0.005, workload.call_density);
+        }
+        black_box((jit.speed_factor(), total_stall))
     });
 }
 
-fn config_operations(c: &mut Criterion) {
+fn config_operations(h: &BenchHarness) {
     let registry = hotspot_registry();
     let tree = hotspot_tree();
     let manipulator = HierarchicalManipulator::new();
     let config = JvmConfig::default_for(registry);
-    c.bench_function("config_fingerprint", |b| {
-        b.iter(|| black_box(config.fingerprint()));
+    h.bench("config_fingerprint", 100, || {
+        black_box(config.fingerprint())
     });
-    c.bench_function("tree_active_flags", |b| {
-        b.iter(|| black_box(tree.active_flags(&config).len()));
+    h.bench("tree_active_flags", 100, || {
+        black_box(tree.active_flags(&config).len())
     });
-    c.bench_function("tree_enforce", |b| {
-        b.iter(|| {
-            let mut candidate = config.clone();
-            tree.enforce(registry, &mut candidate);
-            black_box(candidate.fingerprint())
-        });
+    h.bench("tree_enforce", 100, || {
+        let mut candidate = config.clone();
+        tree.enforce(registry, &mut candidate);
+        black_box(candidate.fingerprint())
     });
-    c.bench_function("manipulator_mutate", |b| {
-        let mut rng = Xoshiro256pp::seed_from_u64(1);
-        b.iter(|| black_box(manipulator.mutate(&config, &mut rng, 0.3).fingerprint()));
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    h.bench("manipulator_mutate", 100, || {
+        black_box(manipulator.mutate(&config, &mut rng, 0.3).fingerprint())
     });
-    c.bench_function("config_to_args", |b| {
-        let mut rng = Xoshiro256pp::seed_from_u64(2);
-        let candidate = manipulator.random(&mut rng);
-        b.iter(|| black_box(candidate.to_args(registry).len()));
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    let candidate = manipulator.random(&mut rng);
+    h.bench("config_to_args", 100, || {
+        black_box(candidate.to_args(registry).len())
     });
 }
 
-fn parallel_batch_scaling(c: &mut Criterion) {
+fn parallel_batch_scaling(h: &BenchHarness) {
     let mut workload = Workload::baseline("micro");
     workload.total_work = 2e8;
     let executor = SimExecutor::new(workload);
     let manipulator = HierarchicalManipulator::new();
     let mut rng = Xoshiro256pp::seed_from_u64(3);
     let candidates: Vec<JvmConfig> = (0..16).map(|_| manipulator.random(&mut rng)).collect();
-    let mut g = c.benchmark_group("evaluate_batch_16");
-    g.sample_size(10);
     for workers in [1usize, 4, 8] {
-        g.bench_function(format!("workers_{workers}"), |b| {
-            b.iter(|| {
-                black_box(
-                    evaluate_batch(&executor, Protocol::default(), &candidates, 1, workers).len(),
-                )
-            });
+        h.bench(&format!("evaluate_batch_16/workers_{workers}"), 10, || {
+            black_box(evaluate_batch(&executor, Protocol::default(), &candidates, 1, workers).len())
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    micro,
-    sim_run_per_collector,
-    jit_model_step,
-    config_operations,
-    parallel_batch_scaling
-);
-criterion_main!(micro);
+fn main() {
+    let h = BenchHarness::from_args();
+    sim_run_per_collector(&h);
+    jit_model_step(&h);
+    config_operations(&h);
+    parallel_batch_scaling(&h);
+}

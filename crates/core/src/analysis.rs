@@ -43,7 +43,7 @@ impl Default for ImpactOptions {
     fn default() -> Self {
         ImpactOptions {
             repeats: 15,
-            seed: 0x1A7A_C7,
+            seed: 0x1A_7AC7,
             hitchhiker_threshold: 0.75,
         }
     }
@@ -139,8 +139,10 @@ mod tests {
         let r = ex.registry();
         let mut c = JvmConfig::default_for(r);
         // One load-bearing flag, one hitchhiker.
-        c.set_by_name(r, "TieredCompilation", FlagValue::Bool(true)).unwrap();
-        c.set_by_name(r, "PrintGCDetails", FlagValue::Bool(true)).unwrap();
+        c.set_by_name(r, "TieredCompilation", FlagValue::Bool(true))
+            .unwrap();
+        c.set_by_name(r, "PrintGCDetails", FlagValue::Bool(true))
+            .unwrap();
         c
     }
 
@@ -150,10 +152,21 @@ mod tests {
         let config = tuned_config(&ex);
         let impacts = flag_impact(&ex, &config, ImpactOptions::default());
         assert_eq!(impacts.len(), 2);
-        let tiered = impacts.iter().find(|i| i.name == "TieredCompilation").unwrap();
+        let tiered = impacts
+            .iter()
+            .find(|i| i.name == "TieredCompilation")
+            .unwrap();
         let print = impacts.iter().find(|i| i.name == "PrintGCDetails").unwrap();
-        assert!(tiered.impact_percent > 2.0, "tiered {:.2}%", tiered.impact_percent);
-        assert!(print.impact_percent.abs() < 1.5, "print {:.2}%", print.impact_percent);
+        assert!(
+            tiered.impact_percent > 2.0,
+            "tiered {:.2}%",
+            tiered.impact_percent
+        );
+        assert!(
+            print.impact_percent.abs() < 1.5,
+            "print {:.2}%",
+            print.impact_percent
+        );
         // Sorted descending.
         assert_eq!(impacts[0].name, "TieredCompilation");
     }

@@ -101,9 +101,7 @@ pub fn random_value(domain: &Domain, rng: &mut dyn RngDyn) -> FlagValue {
             };
             FlagValue::Int(v.clamp(*lo, *hi))
         }
-        Domain::DoubleRange { lo, hi } => {
-            FlagValue::Double(lo + rng.next_f64_dyn() * (hi - lo))
-        }
+        Domain::DoubleRange { lo, hi } => FlagValue::Double(lo + rng.next_f64_dyn() * (hi - lo)),
         Domain::Enum { variants } => FlagValue::Enum(below(rng, variants.len().max(1)) as u16),
     }
 }
@@ -183,7 +181,8 @@ impl ConfigManipulator for HierarchicalManipulator {
         // Choose structure first.
         for sid in self.tree.selector_ids() {
             let n = self.tree.selector(sid).options.len();
-            self.tree.set_selector(self.registry, &mut c, sid, below(rng, n));
+            self.tree
+                .set_selector(self.registry, &mut c, sid, below(rng, n));
         }
         // Then randomise a sample of active flags (full-random over 400+
         // flags is almost always an invalid-by-performance config; the
@@ -205,7 +204,8 @@ impl ConfigManipulator for HierarchicalManipulator {
             let sels: Vec<_> = self.tree.selector_ids().collect();
             let sid = sels[below(rng, sels.len())];
             let n = self.tree.selector(sid).options.len();
-            self.tree.set_selector(self.registry, &mut c, sid, below(rng, n));
+            self.tree
+                .set_selector(self.registry, &mut c, sid, below(rng, n));
         }
         let active = self.tree.active_flags(&c);
         // Touch on average `strength × 4` active flags, at least one.
@@ -276,7 +276,8 @@ impl ConfigManipulator for HierarchicalManipulator {
         loop {
             let mut c = default.clone();
             for (i, &sid) in sels.iter().enumerate() {
-                self.tree.set_selector(self.registry, &mut c, sid, choice[i]);
+                self.tree
+                    .set_selector(self.registry, &mut c, sid, choice[i]);
             }
             out.push(c);
             let mut i = 0;
@@ -438,7 +439,8 @@ impl ConfigManipulator for SubsetManipulator {
         let mut c = JvmConfig::default_for(self.registry);
         let sid = self.gc_selector();
         let n = self.tree.selector(sid).options.len();
-        self.tree.set_selector(self.registry, &mut c, sid, below(rng, n));
+        self.tree
+            .set_selector(self.registry, &mut c, sid, below(rng, n));
         for &id in &self.subset {
             if chance(rng, 0.3) {
                 c.set(id, random_value(&self.registry.spec(id).domain, rng));
@@ -453,7 +455,8 @@ impl ConfigManipulator for SubsetManipulator {
         if chance(rng, 0.15) {
             let sid = self.gc_selector();
             let n = self.tree.selector(sid).options.len();
-            self.tree.set_selector(self.registry, &mut c, sid, below(rng, n));
+            self.tree
+                .set_selector(self.registry, &mut c, sid, below(rng, n));
         }
         let touches = ((strength * 4.0).round() as usize).max(1);
         for _ in 0..touches {
@@ -535,7 +538,10 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed > 40, "only {changed}/50 mutations changed the config");
+        assert!(
+            changed > 40,
+            "only {changed}/50 mutations changed the config"
+        );
     }
 
     #[test]
@@ -554,17 +560,27 @@ mod tests {
     fn subset_never_touches_jit_flags() {
         let m = SubsetManipulator::gc_and_heap();
         let r0 = m.registry();
-        let jit_flags: Vec<FlagId> = ["TieredCompilation", "CompileThreshold", "MaxInlineSize", "UseBiasedLocking"]
-            .iter()
-            .map(|n| r0.id(n).unwrap())
-            .collect();
+        let jit_flags: Vec<FlagId> = [
+            "TieredCompilation",
+            "CompileThreshold",
+            "MaxInlineSize",
+            "UseBiasedLocking",
+        ]
+        .iter()
+        .map(|n| r0.id(n).unwrap())
+        .collect();
         let defaults = JvmConfig::default_for(r0);
         let mut r = rng();
         for _ in 0..30 {
             let c = m.random(&mut r);
             let c = m.mutate(&c, &mut r, 1.0);
             for &f in &jit_flags {
-                assert_eq!(c.get(f), defaults.get(f), "subset touched {}", r0.spec(f).name);
+                assert_eq!(
+                    c.get(f),
+                    defaults.get(f),
+                    "subset touched {}",
+                    r0.spec(f).name
+                );
             }
         }
     }
@@ -624,13 +640,19 @@ mod tests {
     #[test]
     fn mutate_value_respects_domains() {
         let mut r = rng();
-        let d = Domain::IntRange { lo: 10, hi: 1000, log_scale: true };
+        let d = Domain::IntRange {
+            lo: 10,
+            hi: 1000,
+            log_scale: true,
+        };
         let mut v = FlagValue::Int(100);
         for _ in 0..200 {
             v = mutate_value(&d, v, &mut r);
             assert!(d.contains(v), "{v:?} escaped domain");
         }
-        let e = Domain::Enum { variants: &["a", "b", "c"] };
+        let e = Domain::Enum {
+            variants: &["a", "b", "c"],
+        };
         for _ in 0..50 {
             assert!(e.contains(mutate_value(&e, FlagValue::Enum(1), &mut r)));
         }
@@ -639,7 +661,11 @@ mod tests {
     #[test]
     fn mutate_value_always_moves_ints() {
         let mut r = rng();
-        let d = Domain::IntRange { lo: 0, hi: 10, log_scale: false };
+        let d = Domain::IntRange {
+            lo: 0,
+            hi: 10,
+            log_scale: false,
+        };
         // From an interior point, the mutation must not be a no-op (domain
         // endpoints may clamp back).
         for _ in 0..100 {

@@ -59,7 +59,10 @@ pub struct AucBandit {
 impl AucBandit {
     /// Bandit over a custom roster.
     pub fn new(techniques: Vec<Box<dyn Technique>>) -> Self {
-        assert!(!techniques.is_empty(), "ensemble needs at least one technique");
+        assert!(
+            !techniques.is_empty(),
+            "ensemble needs at least one technique"
+        );
         AucBandit {
             arms: techniques
                 .into_iter()
@@ -119,6 +122,13 @@ impl Technique for AucBandit {
         let config = self.arms[i].technique.propose(state, rng);
         self.router.insert(config.fingerprint(), i);
         config
+    }
+
+    fn proposer(&self, config: &JvmConfig) -> &'static str {
+        match self.router.get(&config.fingerprint()) {
+            Some(&i) => self.arms[i].technique.name(),
+            None => self.name(),
+        }
     }
 
     fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
@@ -185,7 +195,11 @@ mod tests {
             let arm = *bandit.router.get(&c.fingerprint()).unwrap();
             // Arm 0's candidates "improve" (score below default), arm 1's
             // regress.
-            let score = if arm == 0 { 9.0 - round as f64 * 0.001 } else { 12.0 };
+            let score = if arm == 0 {
+                9.0 - round as f64 * 0.001
+            } else {
+                12.0
+            };
             bandit.feedback(&c, Some(score), &st);
         }
         let usage = bandit.usage();

@@ -58,6 +58,16 @@ pub trait Technique: Send {
     /// Learn from an evaluated candidate this technique proposed.
     /// `score` is `None` on failure.
     fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>);
+
+    /// Which technique actually proposed `config`. Composite techniques
+    /// (the AUC-bandit ensemble) attribute the inner arm so telemetry can
+    /// trace technique switches; plain techniques return their own name.
+    /// Only meaningful between [`Technique::propose`] and the matching
+    /// [`Technique::feedback`].
+    fn proposer(&self, config: &JvmConfig) -> &'static str {
+        let _ = config;
+        self.name()
+    }
 }
 
 /// The standard technique roster (what the ensemble runs over).
@@ -94,7 +104,15 @@ impl TechniqueSet {
 
     /// Names of the solo techniques.
     pub fn names() -> &'static [&'static str] {
-        &["random", "hillclimb", "ils", "anneal", "genetic", "diffevo", "neldermead"]
+        &[
+            "random",
+            "hillclimb",
+            "ils",
+            "anneal",
+            "genetic",
+            "diffevo",
+            "neldermead",
+        ]
     }
 }
 
@@ -177,7 +195,11 @@ mod tests {
 
     #[test]
     fn normalize_round_trips_endpoints() {
-        let d = Domain::IntRange { lo: 100, hi: 1_000_000, log_scale: true };
+        let d = Domain::IntRange {
+            lo: 100,
+            hi: 1_000_000,
+            log_scale: true,
+        };
         assert_eq!(denormalize(&d, 0.0), FlagValue::Int(100));
         assert_eq!(denormalize(&d, 1.0), FlagValue::Int(1_000_000));
         assert!((normalize(&d, FlagValue::Int(100)) - 0.0).abs() < 1e-9);
@@ -189,7 +211,11 @@ mod tests {
 
     #[test]
     fn normalize_linear_and_double() {
-        let d = Domain::IntRange { lo: 0, hi: 10, log_scale: false };
+        let d = Domain::IntRange {
+            lo: 0,
+            hi: 10,
+            log_scale: false,
+        };
         assert!((normalize(&d, FlagValue::Int(5)) - 0.5).abs() < 1e-9);
         let dd = Domain::DoubleRange { lo: 1.0, hi: 3.0 };
         assert!((normalize(&dd, FlagValue::Double(2.0)) - 0.5).abs() < 1e-9);

@@ -101,7 +101,11 @@ impl Technique for NelderMead {
             } else {
                 let d = (i - 1) % self.dims.len();
                 let mut v = x0.clone();
-                v[d] = if v[d] + SPREAD <= 1.0 { v[d] + SPREAD } else { v[d] - SPREAD };
+                v[d] = if v[d] + SPREAD <= 1.0 {
+                    v[d] + SPREAD
+                } else {
+                    v[d] - SPREAD
+                };
                 v
             }
         } else {

@@ -8,8 +8,11 @@
 use std::collections::HashSet;
 
 use jtune_flags::JvmConfig;
-use jtune_harness::{evaluate_batch, Budget, Executor, Protocol, SessionRecord, TrialRecord};
-use jtune_util::{SimDuration, Xoshiro256pp};
+use jtune_harness::{
+    evaluate_batch_observed, Budget, Evaluation, Executor, Protocol, SessionRecord, TrialRecord,
+};
+use jtune_telemetry::{TelemetryBus, TraceEvent};
+use jtune_util::{stats, SimDuration, Xoshiro256pp};
 
 use crate::manipulator::{
     ConfigManipulator, FlatManipulator, HierarchicalManipulator, SubsetManipulator,
@@ -25,6 +28,17 @@ pub enum ManipulatorKind {
     Flat,
     /// GC + heap flags only (prior-work baseline).
     GcSubset,
+}
+
+impl ManipulatorKind {
+    /// Stable label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ManipulatorKind::Hierarchical => "hierarchical",
+            ManipulatorKind::Flat => "flat",
+            ManipulatorKind::GcSubset => "gc-subset",
+        }
+    }
 }
 
 /// Tuner configuration.
@@ -55,7 +69,7 @@ impl Default for TunerOptions {
             protocol: Protocol::default(),
             workers: 4,
             batch: 4,
-            seed: 0x4a54_554e_45,
+            seed: 0x4a_5455_4e45,
             manipulator: ManipulatorKind::Hierarchical,
             technique: "ensemble".to_string(),
             max_evaluations: None,
@@ -109,6 +123,26 @@ impl Tuner {
     /// # Panics
     /// Panics if the technique name in the options is unknown.
     pub fn run(&self, executor: &dyn Executor, program: &str) -> TuningResult {
+        self.run_observed(executor, program, &TelemetryBus::new())
+    }
+
+    /// [`Tuner::run`] with telemetry: every proposal, evaluation, budget
+    /// charge and best-update is emitted on `bus` as a [`TraceEvent`].
+    ///
+    /// The stream is bit-deterministic given `opts.seed`: events are
+    /// emitted in candidate order regardless of `opts.workers` (the
+    /// evaluation pool buffers per-slot and flushes after each batch),
+    /// and every trial's budget charge appears exactly once, so the
+    /// charges in the stream sum to the session's spent budget.
+    ///
+    /// # Panics
+    /// Panics if the technique name in the options is unknown.
+    pub fn run_observed(
+        &self,
+        executor: &dyn Executor,
+        program: &str,
+        bus: &TelemetryBus,
+    ) -> TuningResult {
         let opts = &self.opts;
         let manipulator = self.build_manipulator();
         let mut technique: Box<dyn Technique> = TechniqueSet::by_name(&opts.technique)
@@ -117,22 +151,53 @@ impl Tuner {
         let mut rng = Xoshiro256pp::seed_from_u64(opts.seed);
         let registry = executor.registry();
 
+        bus.emit(&TraceEvent::SessionStarted {
+            program: program.to_string(),
+            executor: executor.describe(),
+            technique: opts.technique.clone(),
+            manipulator: opts.manipulator.label().to_string(),
+            budget_secs: opts.budget.as_secs_f64(),
+            seed: opts.seed,
+            workers: opts.workers as u64,
+            batch: opts.batch as u64,
+            repeats: opts.protocol.repeats.max(1) as u64,
+        });
+
         let mut trials: Vec<TrialRecord> = Vec::new();
         let mut seen: HashSet<u64> = HashSet::new();
         let mut eval_index: u64 = 0;
+        let mut last_technique: Option<String> = None;
 
         // ---- baseline: the default configuration ----
         let mut default_config = JvmConfig::default_for(registry);
         manipulator.canonicalize(&mut default_config);
         seen.insert(default_config.fingerprint());
         let ev0 = opts.protocol.evaluate(executor, &default_config, opts.seed);
-        budget.charge(ev0.cost);
+        let charge0 = budget.charge_observed(ev0.cost);
+        emit_trial(bus, 0, "default", &[], &ev0, charge0.spent_after);
+        if charge0.crossed_limit {
+            bus.emit(&TraceEvent::BudgetExhausted {
+                spent_secs: charge0.spent_after.as_secs_f64(),
+                total_secs: opts.budget.as_secs_f64(),
+                evaluations: 1,
+            });
+        }
         let default_score = match ev0.score {
             Some(s) => s.as_secs_f64(),
             None => {
                 // The default JVM fails the workload (can genuinely happen:
                 // live set over the default heap). Report a degenerate
                 // session; callers see default == best == infinity-ish.
+                bus.emit(&TraceEvent::SessionFinished {
+                    program: program.to_string(),
+                    default_secs: f64::INFINITY,
+                    best_secs: f64::INFINITY,
+                    improvement_percent: 0.0,
+                    evaluations: 1,
+                    spent_secs: charge0.spent_after.as_secs_f64(),
+                    best_delta: Vec::new(),
+                });
+                bus.flush();
                 let session = SessionRecord {
                     program: program.to_string(),
                     executor: executor.describe(),
@@ -151,7 +216,7 @@ impl Tuner {
         };
         trials.push(TrialRecord {
             index: 0,
-            at_secs: budget.spent().as_secs_f64(),
+            at_secs: charge0.spent_after.as_secs_f64(),
             score_secs: Some(default_score),
             technique: "default".to_string(),
             delta: Vec::new(),
@@ -170,39 +235,62 @@ impl Tuner {
             .filter(|c| seen.insert(c.fingerprint()))
             .collect();
         if !primers.is_empty() && budget.has_remaining() {
-            let evals = evaluate_batch(
+            bus.emit(&TraceEvent::RoundProposed {
+                round: 0,
+                technique: "primer".to_string(),
+                candidates: primers.len() as u64,
+            });
+            let evals = evaluate_batch_observed(
                 executor,
                 opts.protocol,
                 &primers,
                 opts.seed ^ 0x5052_494d,
                 opts.workers,
+                Some(bus),
             );
             for (candidate, ev) in primers.iter().zip(evals.iter()) {
-                budget.charge(ev.cost);
+                let charge = budget.charge_observed(ev.cost);
                 let score_secs = ev.score.map(|s| s.as_secs_f64());
+                let delta = candidate.to_args(registry);
+                emit_trial(bus, eval_index, "primer", &delta, ev, charge.spent_after);
+                if charge.crossed_limit {
+                    bus.emit(&TraceEvent::BudgetExhausted {
+                        spent_secs: charge.spent_after.as_secs_f64(),
+                        total_secs: opts.budget.as_secs_f64(),
+                        evaluations: eval_index + 1,
+                    });
+                }
                 trials.push(TrialRecord {
                     index: eval_index,
-                    at_secs: budget.spent().as_secs_f64(),
+                    at_secs: charge.spent_after.as_secs_f64(),
                     score_secs,
                     technique: "primer".to_string(),
-                    delta: candidate.to_args(registry),
+                    delta,
                 });
                 eval_index += 1;
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
+                        bus.emit(&TraceEvent::BestImproved {
+                            index: eval_index - 1,
+                            score_secs: s,
+                            improvement_percent: stats::improvement_percent(default_score, s),
+                            delta: best.0.to_args(registry),
+                        });
                     }
                 }
             }
         }
 
         // ---- search rounds ----
+        let mut round: u64 = 0;
         'outer: while budget.has_remaining() {
             if let Some(cap) = opts.max_evaluations {
                 if eval_index >= cap {
                     break;
                 }
             }
+            round += 1;
             let batch_size = opts.batch.max(1);
             let mut candidates: Vec<JvmConfig> = Vec::with_capacity(batch_size);
             {
@@ -231,24 +319,53 @@ impl Tuner {
                     candidates.push(c);
                 }
             }
+            bus.emit(&TraceEvent::RoundProposed {
+                round,
+                technique: technique.name().to_string(),
+                candidates: candidates.len() as u64,
+            });
 
-            let evals = evaluate_batch(
+            let evals = evaluate_batch_observed(
                 executor,
                 opts.protocol,
                 &candidates,
                 opts.seed ^ eval_index,
                 opts.workers,
+                Some(bus),
             );
 
             for (candidate, ev) in candidates.iter().zip(evals.iter()) {
-                budget.charge(ev.cost);
+                let charge = budget.charge_observed(ev.cost);
                 let score_secs = ev.score.map(|s| s.as_secs_f64());
+                // Attribute the trial to the proposing arm (the ensemble
+                // routes to inner techniques) before feedback clears the
+                // routing entry.
+                let label = technique.proposer(candidate).to_string();
+                if let Some(prev) = &last_technique {
+                    if *prev != label {
+                        bus.emit(&TraceEvent::TechniqueSwitched {
+                            index: eval_index,
+                            from: prev.clone(),
+                            to: label.clone(),
+                        });
+                    }
+                }
+                last_technique = Some(label.clone());
+                let delta = candidate.to_args(registry);
+                emit_trial(bus, eval_index, &label, &delta, ev, charge.spent_after);
+                if charge.crossed_limit {
+                    bus.emit(&TraceEvent::BudgetExhausted {
+                        spent_secs: charge.spent_after.as_secs_f64(),
+                        total_secs: opts.budget.as_secs_f64(),
+                        evaluations: eval_index + 1,
+                    });
+                }
                 trials.push(TrialRecord {
                     index: eval_index,
-                    at_secs: budget.spent().as_secs_f64(),
+                    at_secs: charge.spent_after.as_secs_f64(),
                     score_secs,
-                    technique: technique.name().to_string(),
-                    delta: candidate.to_args(registry),
+                    technique: label,
+                    delta,
                 });
                 eval_index += 1;
                 {
@@ -263,6 +380,12 @@ impl Tuner {
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
+                        bus.emit(&TraceEvent::BestImproved {
+                            index: eval_index - 1,
+                            score_secs: s,
+                            improvement_percent: stats::improvement_percent(default_score, s),
+                            delta: best.0.to_args(registry),
+                        });
                     }
                 }
                 if let Some(cap) = opts.max_evaluations {
@@ -283,11 +406,49 @@ impl Tuner {
             evaluations: eval_index,
             trials,
         };
+        bus.emit(&TraceEvent::SessionFinished {
+            program: program.to_string(),
+            default_secs: default_score,
+            best_secs: best.1,
+            improvement_percent: session.improvement_percent(),
+            evaluations: eval_index,
+            spent_secs: budget.spent().as_secs_f64(),
+            best_delta: session.best_delta.clone(),
+        });
+        bus.flush();
         TuningResult {
             session,
             best_config: best.0,
         }
     }
+}
+
+/// Emit one [`TraceEvent::TrialEvaluated`] for an evaluation.
+fn emit_trial(
+    bus: &TelemetryBus,
+    index: u64,
+    technique: &str,
+    delta: &[String],
+    ev: &Evaluation,
+    spent_after: SimDuration,
+) {
+    if !bus.is_enabled() {
+        return;
+    }
+    bus.emit(&TraceEvent::TrialEvaluated {
+        index,
+        technique: technique.to_string(),
+        delta: delta.to_vec(),
+        repeat_secs: ev.samples.iter().map(|s| s.as_secs_f64()).collect(),
+        score_secs: ev.score.map(|s| s.as_secs_f64()),
+        cost_secs: ev.cost.as_secs_f64(),
+        budget_spent_secs: spent_after.as_secs_f64(),
+        gc_pause_total_ms: ev.counters.map(|c| c.gc_pause_total.as_millis_f64()),
+        gc_collections: ev.counters.map(|c| c.gc_collections),
+        jit_compile_ms: ev.counters.map(|c| c.jit_compile_time.as_millis_f64()),
+        jit_compiles: ev.counters.map(|c| c.jit_compiles),
+        error: ev.error.clone(),
+    });
 }
 
 #[cfg(test)]
@@ -322,7 +483,10 @@ mod tests {
         assert!(result.session.best_secs <= result.session.default_secs);
         assert!(result.improvement_percent() >= 0.0);
         assert!(result.session.evaluations > 1);
-        assert_eq!(result.session.trials.len() as u64, result.session.evaluations);
+        assert_eq!(
+            result.session.trials.len() as u64,
+            result.session.evaluations
+        );
     }
 
     #[test]

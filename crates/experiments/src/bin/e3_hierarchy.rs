@@ -1,5 +1,9 @@
 //! E3 — the flag hierarchy: per-category counts, the tree skeleton, and
 //! the search-space reduction the paper attributes to it.
+//!
+//! E3 is pure static analysis — it runs no tuning sessions, so unlike the
+//! other drivers it emits no telemetry trace (there are no trial events
+//! to record; `--trace`/`--progress` are accepted and ignored).
 
 use jtune_flags::{hotspot_registry, Category};
 use jtune_flagtree::{hotspot_tree, SpaceStats};
@@ -37,7 +41,10 @@ fn main() {
         totals.2.to_string(),
     ]);
     print!("{}", t.render());
-    println!("paper: \"the Hot Spot JVM comes with over 600 flags\" -> {} here\n", registry.len());
+    println!(
+        "paper: \"the Hot Spot JVM comes with over 600 flags\" -> {} here\n",
+        registry.len()
+    );
 
     println!("== E3b: hierarchy skeleton ==");
     print!("{}", tree.render_skeleton(registry));
@@ -45,7 +52,11 @@ fn main() {
     println!("\n== E3c: search-space size (log10 of configuration count) ==");
     let stats = SpaceStats::compute(tree, registry);
     let mut t = Table::new(
-        &["stratum (collector, jit mode)", "active flags", "log10 size"],
+        &[
+            "stratum (collector, jit mode)",
+            "active flags",
+            "log10 size",
+        ],
         &[Align::Left, Align::Right, Align::Right],
     );
     for s in &stats.strata {

@@ -2,11 +2,14 @@
 //! representative programs (the paper's motivation for the 200-minute
 //! budget). One long session per program yields the whole curve.
 
-use jtune_experiments::{budget_mins, improvement_at, master_seed, tune_program, tuner_options};
+use jtune_experiments::{
+    budget_mins, improvement_at, master_seed, telemetry, tune_program_observed, tuner_options,
+};
 use jtune_util::table::{fpct, Align, Table};
 
 fn main() {
     let budget = budget_mins(200);
+    let tel = telemetry("e4_convergence");
     let programs = ["serial", "xml.validation", "compress", "dacapo:h2"];
     let checkpoints = [5.0, 10.0, 25.0, 50.0, 100.0, 150.0, budget as f64];
 
@@ -14,7 +17,8 @@ fn main() {
         .iter()
         .map(|p| {
             let w = jtune_workloads::workload_by_name(p).expect("known program");
-            tune_program(w, tuner_options(budget, master_seed() ^ 0xE4))
+            let bus = tel.bus_for(p);
+            tune_program_observed(w, tuner_options(budget, master_seed() ^ 0xE4), &bus)
         })
         .collect();
 

@@ -5,13 +5,21 @@
 
 use autotuner_core::tuner::ManipulatorKind;
 use autotuner_core::Tuner;
-use jtune_experiments::{budget_mins, master_seed, tuner_options};
+use jtune_experiments::{budget_mins, master_seed, telemetry, tuner_options};
 use jtune_harness::SimExecutor;
 use jtune_util::table::{fpct, Align, Table};
 
 fn main() {
     let budget = budget_mins(200);
-    let programs = ["serial", "xml.validation", "compiler.compiler", "dacapo:h2", "dacapo:xalan", "dacapo:jython"];
+    let tel = telemetry("e5_subset_baseline");
+    let programs = [
+        "serial",
+        "xml.validation",
+        "compiler.compiler",
+        "dacapo:h2",
+        "dacapo:xalan",
+        "dacapo:jython",
+    ];
     let kinds = [
         ("hierarchical (paper)", ManipulatorKind::Hierarchical),
         ("gc-subset (prior work)", ManipulatorKind::GcSubset),
@@ -33,7 +41,8 @@ fn main() {
             let mut opts = tuner_options(budget, master_seed() ^ 0xE5 ^ (i as u64));
             opts.manipulator = *kind;
             let ex = SimExecutor::new(w.clone());
-            let result = Tuner::new(opts).run(&ex, p);
+            let bus = tel.bus_for(&format!("{p}+{}", kind.label()));
+            let result = Tuner::new(opts).run_observed(&ex, p, &bus);
             let imp = result.improvement_percent();
             sums[i] += imp;
             failed[i] += result

@@ -4,28 +4,46 @@
 //! One 400-minute session per program; best-so-far is sampled at each
 //! budget checkpoint from the trial log.
 
-use jtune_experiments::{improvement_at, master_seed, tune_program, tuner_options};
+use jtune_experiments::{
+    improvement_at, master_seed, telemetry, tune_program_observed, tuner_options,
+};
 use jtune_util::stats::Summary;
 use jtune_util::table::{fpct, Align, Table};
 
 fn main() {
+    let tel = telemetry("e7_budget");
     let budgets = [25.0, 50.0, 100.0, 200.0, 400.0];
     let suites: [(&str, Vec<jtune_jvmsim::Workload>); 2] = [
-        ("SPECjvm2008 startup", jtune_workloads::specjvm2008_startup()),
+        (
+            "SPECjvm2008 startup",
+            jtune_workloads::specjvm2008_startup(),
+        ),
         ("DaCapo", jtune_workloads::dacapo()),
     ];
 
     println!("== E7: suite-average improvement vs tuning budget (minutes) ==");
     let mut t = Table::new(
         &["suite", "25", "50", "100", "200", "400"],
-        &[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right, Align::Right],
+        &[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ],
     );
     for (name, workloads) in suites {
         let rows: Vec<_> = workloads
             .into_iter()
             .enumerate()
             .map(|(i, w)| {
-                tune_program(w, tuner_options(400, master_seed() ^ 0xE7 ^ ((i as u64) << 24)))
+                let bus = tel.bus_for(&format!("{name}+{}", w.name));
+                tune_program_observed(
+                    w,
+                    tuner_options(400, master_seed() ^ 0xE7 ^ ((i as u64) << 24)),
+                    &bus,
+                )
             })
             .collect();
         let mut cells = vec![name.to_string()];

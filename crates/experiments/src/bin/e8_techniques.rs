@@ -1,13 +1,14 @@
 //! E8 — search-technique ablation: each technique solo vs. the AUC-bandit
 //! ensemble, at a fixed budget (why the tuner is an ensemble).
 
-use jtune_experiments::{budget_mins, master_seed, tuner_options};
 use autotuner_core::Tuner;
+use jtune_experiments::{budget_mins, master_seed, telemetry, tuner_options};
 use jtune_harness::SimExecutor;
 use jtune_util::table::{fpct, Align, Table};
 
 fn main() {
     let budget = budget_mins(100);
+    let tel = telemetry("e8_techniques");
     let programs = ["serial", "xml.validation", "compiler.compiler", "dacapo:h2"];
     let mut techniques: Vec<&str> = autotuner_core::TechniqueSet::names().to_vec();
     techniques.push("ensemble");
@@ -29,7 +30,10 @@ fn main() {
             let mut opts = tuner_options(budget, master_seed() ^ 0xE8 ^ ((i as u64) << 16));
             opts.technique = tech.to_string();
             let ex = SimExecutor::new(w);
-            let imp = Tuner::new(opts).run(&ex, p).improvement_percent();
+            let bus = tel.bus_for(&format!("{tech}+{p}"));
+            let imp = Tuner::new(opts)
+                .run_observed(&ex, p, &bus)
+                .improvement_percent();
             sum += imp;
             cells.push(fpct(imp));
         }

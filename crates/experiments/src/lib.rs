@@ -11,12 +11,22 @@
 //!   experiment's paper value, usually 200).
 //! - `JTUNE_SEED` — master seed (default 7).
 //! - `JTUNE_OUT` — directory to write per-session TSV logs into.
+//!
+//! Telemetry (see [`telemetry`]): by default every tuning session streams
+//! its trial events to `results/traces/<experiment>/<label>.jsonl`.
+//! `--no-trace` (or `JTUNE_NO_TRACE=1`) disables the traces,
+//! `--trace DIR` (or `JTUNE_TRACE_DIR`) redirects them, and
+//! `--progress` (or `JTUNE_PROGRESS=1`) adds live stderr reporting.
 
 #![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use autotuner_core::{Tuner, TunerOptions};
 use jtune_harness::SimExecutor;
 use jtune_jvmsim::Workload;
+use jtune_telemetry::{JsonlSink, ProgressReporter, TelemetryBus};
 use jtune_util::table::{fnum, fpct, Align, Table};
 use jtune_util::{stats, SimDuration};
 
@@ -68,11 +78,82 @@ pub fn tuner_options(budget_minutes: u64, seed: u64) -> TunerOptions {
     }
 }
 
+/// Per-experiment telemetry configuration: where (and whether) each
+/// tuning session's JSONL trace goes, and whether to report live
+/// progress on stderr. Built by [`telemetry`] from the driver's command
+/// line and environment.
+#[derive(Clone, Debug)]
+pub struct ExperimentTelemetry {
+    /// Trace directory (`None` when tracing is disabled).
+    dir: Option<PathBuf>,
+    /// Attach a stderr progress reporter to every session.
+    progress: bool,
+}
+
+impl ExperimentTelemetry {
+    /// Telemetry that records nothing (unit tests, library callers).
+    pub fn disabled() -> ExperimentTelemetry {
+        ExperimentTelemetry {
+            dir: None,
+            progress: false,
+        }
+    }
+
+    /// Build the bus for one session. `label` names the trace file
+    /// (`<dir>/<label>.jsonl`, with path-hostile characters replaced).
+    pub fn bus_for(&self, label: &str) -> TelemetryBus {
+        let mut bus = TelemetryBus::new();
+        if let Some(dir) = &self.dir {
+            let file = format!("{}.jsonl", label.replace([':', '/', '\\', ' '], "-"));
+            match JsonlSink::create(dir.join(file)) {
+                Ok(sink) => {
+                    bus.add(Arc::new(sink));
+                }
+                Err(e) => eprintln!("warning: trace disabled for {label}: {e}"),
+            }
+        }
+        if self.progress {
+            bus.add(Arc::new(ProgressReporter::stderr()));
+        }
+        bus
+    }
+}
+
+/// Resolve the telemetry configuration for `experiment` (e.g.
+/// `"e1_specjvm"`) from the driver's command line and environment:
+/// `--no-trace`/`JTUNE_NO_TRACE` disables traces, `--trace DIR`/
+/// `JTUNE_TRACE_DIR` overrides the base directory (default
+/// `results/traces`), `--progress`/`JTUNE_PROGRESS` adds live reporting.
+pub fn telemetry(experiment: &str) -> ExperimentTelemetry {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let no_trace =
+        args.iter().any(|a| a == "--no-trace") || std::env::var_os("JTUNE_NO_TRACE").is_some();
+    let progress =
+        args.iter().any(|a| a == "--progress") || std::env::var_os("JTUNE_PROGRESS").is_some();
+    let base = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("JTUNE_TRACE_DIR").ok())
+        .unwrap_or_else(|| "results/traces".to_string());
+    let dir = (!no_trace).then(|| Path::new(&base).join(experiment));
+    ExperimentTelemetry { dir, progress }
+}
+
 /// Tune one workload with the given options.
 pub fn tune_program(workload: Workload, opts: TunerOptions) -> SuiteRow {
+    tune_program_observed(workload, opts, &TelemetryBus::new())
+}
+
+/// [`tune_program`] emitting telemetry on `bus`.
+pub fn tune_program_observed(
+    workload: Workload,
+    opts: TunerOptions,
+    bus: &TelemetryBus,
+) -> SuiteRow {
     let name = workload.name.clone();
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run(&executor, &name);
+    let result = Tuner::new(opts).run_observed(&executor, &name, bus);
     if let Ok(dir) = std::env::var("JTUNE_OUT") {
         let _ = std::fs::create_dir_all(&dir);
         let path = std::path::Path::new(&dir).join(format!("{name}.tsv"));
@@ -92,6 +173,16 @@ pub fn tune_program(workload: Workload, opts: TunerOptions) -> SuiteRow {
 /// Tune an entire suite. Each program's seed is derived from the master
 /// seed so sessions are independent but reproducible.
 pub fn tune_suite(workloads: Vec<Workload>, budget_minutes: u64) -> Vec<SuiteRow> {
+    tune_suite_traced(workloads, budget_minutes, &ExperimentTelemetry::disabled())
+}
+
+/// [`tune_suite`] with per-session telemetry: each program's trace file
+/// is named after the program.
+pub fn tune_suite_traced(
+    workloads: Vec<Workload>,
+    budget_minutes: u64,
+    tel: &ExperimentTelemetry,
+) -> Vec<SuiteRow> {
     let seed = master_seed();
     workloads
         .into_iter()
@@ -99,7 +190,8 @@ pub fn tune_suite(workloads: Vec<Workload>, budget_minutes: u64) -> Vec<SuiteRow
         .map(|(i, w)| {
             let mut opts = tuner_options(budget_minutes, seed ^ ((i as u64 + 1) << 32));
             opts.seed ^= i as u64;
-            tune_program(w, opts)
+            let bus = tel.bus_for(&w.name);
+            tune_program_observed(w, opts, &bus)
         })
         .collect()
 }
@@ -108,7 +200,13 @@ pub fn tune_suite(workloads: Vec<Workload>, budget_minutes: u64) -> Vec<SuiteRow
 /// improvement, plus the average row the abstract quotes).
 pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
     let mut t = Table::new(
-        &["program", "default (s)", "tuned (s)", "improvement", "evals"],
+        &[
+            "program",
+            "default (s)",
+            "tuned (s)",
+            "improvement",
+            "evals",
+        ],
         &[
             Align::Left,
             Align::Right,
@@ -176,10 +274,10 @@ mod tests {
         opts.max_evaluations = Some(10);
         let row = tune_program(w, opts);
         assert!(row.tuned_secs <= row.default_secs);
-        assert!((row.improvement
-            - stats::improvement_percent(row.default_secs, row.tuned_secs))
-        .abs()
-            < 1e-9);
+        assert!(
+            (row.improvement - stats::improvement_percent(row.default_secs, row.tuned_secs)).abs()
+                < 1e-9
+        );
     }
 
     #[test]

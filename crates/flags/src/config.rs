@@ -190,8 +190,7 @@ impl JvmConfig {
                         ))
                     }
                     Domain::IntRange { .. } => FlagValue::Int(
-                        parse_size(raw)
-                            .ok_or_else(|| ParseError::BadValue(arg.clone()))?,
+                        parse_size(raw).ok_or_else(|| ParseError::BadValue(arg.clone()))?,
                     ),
                     Domain::DoubleRange { .. } => FlagValue::Double(
                         raw.parse::<f64>()
@@ -319,10 +318,7 @@ mod tests {
     fn parse_rejects_unknown_and_malformed() {
         let r = hotspot_registry();
         let bad = |s: &str| JvmConfig::parse_args(r, &[s.to_string()]);
-        assert!(matches!(
-            bad("-Xmx512m"),
-            Err(ParseError::NotAnXXFlag(_))
-        ));
+        assert!(matches!(bad("-Xmx512m"), Err(ParseError::NotAnXXFlag(_))));
         assert!(matches!(
             bad("-XX:+NoSuchFlagEver"),
             Err(ParseError::UnknownFlag(_))
@@ -342,10 +338,7 @@ mod tests {
     fn parse_rejects_out_of_domain_value() {
         let r = hotspot_registry();
         // CMSInitiatingOccupancyFraction is a percentage.
-        let err = JvmConfig::parse_args(
-            r,
-            &["-XX:CMSInitiatingOccupancyFraction=250".to_string()],
-        );
+        let err = JvmConfig::parse_args(r, &["-XX:CMSInitiatingOccupancyFraction=250".to_string()]);
         assert!(matches!(err, Err(ParseError::Invalid(_, _))));
     }
 
@@ -370,7 +363,10 @@ mod tests {
             let mut c = base.clone();
             let cur = c.get_by_name(r, name).unwrap().as_bool().unwrap();
             c.set_by_name(r, name, FlagValue::Bool(!cur)).unwrap();
-            assert!(seen.insert(c.fingerprint()), "fingerprint collision on {name}");
+            assert!(
+                seen.insert(c.fingerprint()),
+                "fingerprint collision on {name}"
+            );
         }
     }
 

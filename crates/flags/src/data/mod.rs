@@ -14,6 +14,10 @@
 //! *reason* the paper's flag hierarchy matters, and experiments E3/E5
 //! measure it.
 
+// The spec-constructor helpers mirror a FlagSpec field-for-field; a
+// parameter per field is the point.
+#![allow(clippy::too_many_arguments)]
+
 use crate::registry::RegistryBuilder;
 use crate::spec::{Category, FlagKind, FlagSpec};
 use crate::value::{Domain, FlagValue};
@@ -78,7 +82,11 @@ pub(crate) fn i(
     FlagSpec {
         name,
         category,
-        domain: Domain::IntRange { lo, hi, log_scale: false },
+        domain: Domain::IntRange {
+            lo,
+            hi,
+            log_scale: false,
+        },
         default: FlagValue::Int(default),
         kind,
         is_size: false,
@@ -102,7 +110,11 @@ pub(crate) fn il(
     FlagSpec {
         name,
         category,
-        domain: Domain::IntRange { lo, hi, log_scale: true },
+        domain: Domain::IntRange {
+            lo,
+            hi,
+            log_scale: true,
+        },
         default: FlagValue::Int(default),
         kind,
         is_size: false,
@@ -125,7 +137,11 @@ pub(crate) fn sz(
     FlagSpec {
         name,
         category,
-        domain: Domain::IntRange { lo, hi, log_scale: true },
+        domain: Domain::IntRange {
+            lo,
+            hi,
+            log_scale: true,
+        },
         default: FlagValue::Int(default),
         kind,
         is_size: true,

@@ -218,7 +218,11 @@ mod tests {
     fn default_out_of_domain_rejected() {
         let mut b = RegistryBuilder::new();
         b.push(FlagSpec {
-            domain: Domain::IntRange { lo: 0, hi: 10, log_scale: false },
+            domain: Domain::IntRange {
+                lo: 0,
+                hi: 10,
+                log_scale: false,
+            },
             default: FlagValue::Int(99),
             ..mini_spec("Bad")
         });
@@ -260,7 +264,11 @@ mod tests {
     fn check_validates_values() {
         let mut b = RegistryBuilder::new();
         b.push(FlagSpec {
-            domain: Domain::IntRange { lo: 1, hi: 5, log_scale: false },
+            domain: Domain::IntRange {
+                lo: 1,
+                hi: 5,
+                log_scale: false,
+            },
             default: FlagValue::Int(3),
             ..mini_spec("N")
         });

@@ -236,11 +236,19 @@ mod tests {
     fn domain_cardinalities() {
         assert_eq!(Domain::Bool.cardinality(), Some(2));
         assert_eq!(
-            Domain::IntRange { lo: 1, hi: 10, log_scale: false }.cardinality(),
+            Domain::IntRange {
+                lo: 1,
+                hi: 10,
+                log_scale: false
+            }
+            .cardinality(),
             Some(10)
         );
         assert_eq!(
-            Domain::Enum { variants: &["a", "b", "c"] }.cardinality(),
+            Domain::Enum {
+                variants: &["a", "b", "c"]
+            }
+            .cardinality(),
             Some(3)
         );
         assert_eq!(Domain::DoubleRange { lo: 0.0, hi: 1.0 }.cardinality(), None);
@@ -249,12 +257,18 @@ mod tests {
 
     #[test]
     fn contains_checks_type_and_range() {
-        let d = Domain::IntRange { lo: 0, hi: 100, log_scale: false };
+        let d = Domain::IntRange {
+            lo: 0,
+            hi: 100,
+            log_scale: false,
+        };
         assert!(d.contains(FlagValue::Int(0)));
         assert!(d.contains(FlagValue::Int(100)));
         assert!(!d.contains(FlagValue::Int(101)));
         assert!(!d.contains(FlagValue::Bool(true)));
-        let e = Domain::Enum { variants: &["x", "y"] };
+        let e = Domain::Enum {
+            variants: &["x", "y"],
+        };
         assert!(e.contains(FlagValue::Enum(1)));
         assert!(!e.contains(FlagValue::Enum(2)));
         let f = Domain::DoubleRange { lo: 0.0, hi: 1.0 };
@@ -263,14 +277,23 @@ mod tests {
 
     #[test]
     fn clamp_pulls_into_range() {
-        let d = Domain::IntRange { lo: 10, hi: 20, log_scale: true };
+        let d = Domain::IntRange {
+            lo: 10,
+            hi: 20,
+            log_scale: true,
+        };
         assert_eq!(d.clamp(FlagValue::Int(5)), Some(FlagValue::Int(10)));
         assert_eq!(d.clamp(FlagValue::Int(25)), Some(FlagValue::Int(20)));
         assert_eq!(d.clamp(FlagValue::Int(15)), Some(FlagValue::Int(15)));
         assert_eq!(d.clamp(FlagValue::Bool(true)), None);
         let f = Domain::DoubleRange { lo: 0.0, hi: 1.0 };
-        assert_eq!(f.clamp(FlagValue::Double(f64::NAN)), Some(FlagValue::Double(0.0)));
-        let e = Domain::Enum { variants: &["a", "b"] };
+        assert_eq!(
+            f.clamp(FlagValue::Double(f64::NAN)),
+            Some(FlagValue::Double(0.0))
+        );
+        let e = Domain::Enum {
+            variants: &["a", "b"],
+        };
         assert_eq!(e.clamp(FlagValue::Enum(9)), Some(FlagValue::Enum(1)));
     }
 

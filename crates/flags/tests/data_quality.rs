@@ -7,7 +7,9 @@ use jtune_flags::{hotspot_registry, Domain, FlagValue};
 fn flag_names_look_like_hotspot_flags() {
     for (_, spec) in hotspot_registry().iter() {
         assert!(
-            spec.name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            spec.name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_'),
             "{} has non-flag characters",
             spec.name
         );
@@ -16,7 +18,11 @@ fn flag_names_look_like_hotspot_flags() {
             "{} starts oddly",
             spec.name
         );
-        assert!(spec.name.len() >= 3 && spec.name.len() <= 60, "{}", spec.name);
+        assert!(
+            spec.name.len() >= 3 && spec.name.len() <= 60,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -56,7 +62,14 @@ fn int_domains_are_ordered_and_nonempty() {
 #[test]
 fn collector_selection_flags_are_all_perf_relevant_bools() {
     let r = hotspot_registry();
-    for name in ["UseSerialGC", "UseParallelGC", "UseParallelOldGC", "UseConcMarkSweepGC", "UseG1GC", "UseParNewGC"] {
+    for name in [
+        "UseSerialGC",
+        "UseParallelGC",
+        "UseParallelOldGC",
+        "UseConcMarkSweepGC",
+        "UseG1GC",
+        "UseParNewGC",
+    ] {
         let spec = r.spec(r.id(name).unwrap());
         assert!(matches!(spec.domain, Domain::Bool), "{name} not a bool");
         assert!(spec.perf, "{name} not perf-marked");
@@ -67,11 +80,19 @@ fn collector_selection_flags_are_all_perf_relevant_bools() {
 #[test]
 fn exactly_one_collector_enabled_by_default() {
     let r = hotspot_registry();
-    let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
-        .iter()
-        .filter(|n| r.spec(r.id(n).unwrap()).default == FlagValue::Bool(true))
-        .count();
-    assert_eq!(on, 1, "JDK-7 defaults must enable exactly the parallel collector");
+    let on = [
+        "UseSerialGC",
+        "UseParallelGC",
+        "UseConcMarkSweepGC",
+        "UseG1GC",
+    ]
+    .iter()
+    .filter(|n| r.spec(r.id(n).unwrap()).default == FlagValue::Bool(true))
+    .count();
+    assert_eq!(
+        on, 1,
+        "JDK-7 defaults must enable exactly the parallel collector"
+    );
 }
 
 #[test]
@@ -82,7 +103,11 @@ fn percentage_flags_stay_within_percent_domains() {
     for (_, spec) in hotspot_registry().iter() {
         if spec.name.ends_with("Percent") || spec.name.ends_with("Percentage") {
             if let Domain::IntRange { hi, .. } = spec.domain {
-                assert!(hi <= 100_000, "{}: suspicious percent bound {hi}", spec.name);
+                assert!(
+                    hi <= 100_000,
+                    "{}: suspicious percent bound {hi}",
+                    spec.name
+                );
             }
         }
     }

@@ -129,7 +129,13 @@ pub fn build_hotspot_tree(registry: &Registry) -> FlagTree {
     ] {
         leaf(&mut b, &mut placed, asp, name);
     }
-    bulk(&mut b, &mut placed, parallel, Category::GcParallel, registry);
+    bulk(
+        &mut b,
+        &mut placed,
+        parallel,
+        Category::GcParallel,
+        registry,
+    );
 
     // GC behaviour shared by all collectors.
     let gc_common = b.group(gc, "gc.common");
@@ -192,7 +198,11 @@ pub fn build_hotspot_tree(registry: &Registry) -> FlagTree {
     // Code cache; flushing gates its sweep parameters.
     let cc = b.group(jit, "jit.codecache");
     let ccf = gate(&mut b, &mut placed, cc, "UseCodeCacheFlushing", true);
-    for name in ["MinCodeCacheFlushingInterval", "NmethodSweepFraction", "NmethodSweepCheckInterval"] {
+    for name in [
+        "MinCodeCacheFlushingInterval",
+        "NmethodSweepFraction",
+        "NmethodSweepCheckInterval",
+    ] {
         leaf(&mut b, &mut placed, ccf, name);
     }
     bulk(&mut b, &mut placed, cc, Category::CodeCache, registry);
@@ -366,7 +376,11 @@ mod tests {
         }
         // And nothing non-tunable leaked in.
         for &id in seen.keys() {
-            assert!(r.spec(id).tunable(), "develop flag {} in tree", r.spec(id).name);
+            assert!(
+                r.spec(id).tunable(),
+                "develop flag {} in tree",
+                r.spec(id).name
+            );
         }
     }
 
@@ -401,10 +415,15 @@ mod tests {
             tree.set_selector(r, &mut c, gc_sel, opt);
             // Exactly one primary collector flag set (ParNew rides along
             // with CMS).
-            let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
-                .iter()
-                .filter(|n| c.get_by_name(r, n) == Some(FlagValue::Bool(true)))
-                .count();
+            let on = [
+                "UseSerialGC",
+                "UseParallelGC",
+                "UseConcMarkSweepGC",
+                "UseG1GC",
+            ]
+            .iter()
+            .filter(|n| c.get_by_name(r, n) == Some(FlagValue::Bool(true)))
+            .count();
             assert_eq!(on, 1, "option {opt} left {on} collectors enabled");
             assert!(c.validate(r).is_ok());
             assert_eq!(tree.selector_state(gc_sel, &c), opt);
@@ -445,7 +464,10 @@ mod tests {
         let mut c = JvmConfig::default_for(r);
         tree.set_selector(r, &mut c, gc_sel, cms_opt);
         let names = |c: &JvmConfig| -> Vec<&str> {
-            tree.active_flags(c).iter().map(|f| r.spec(*f).name).collect()
+            tree.active_flags(c)
+                .iter()
+                .map(|f| r.spec(*f).name)
+                .collect()
         };
         // iCMS gate closed by default.
         assert!(names(&c).contains(&"CMSIncrementalMode"));
@@ -467,7 +489,8 @@ mod tests {
         // parallel GC must canonicalise to the same fingerprint.
         let mut a = JvmConfig::default_for(r);
         let mut b2 = JvmConfig::default_for(r);
-        b2.set_by_name(r, "CMSPrecleanIter", FlagValue::Int(7)).unwrap();
+        b2.set_by_name(r, "CMSPrecleanIter", FlagValue::Int(7))
+            .unwrap();
         tree.enforce(r, &mut a);
         tree.enforce(r, &mut b2);
         assert_eq!(a.fingerprint(), b2.fingerprint());

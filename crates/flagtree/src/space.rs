@@ -53,11 +53,8 @@ impl SpaceStats {
             .sum();
 
         // Enumerate selector-option combinations.
-        let selector_option_counts: Vec<usize> = tree
-            .selectors()
-            .iter()
-            .map(|s| s.options.len())
-            .collect();
+        let selector_option_counts: Vec<usize> =
+            tree.selectors().iter().map(|s| s.options.len()).collect();
         let mut strata = Vec::new();
         let mut choice = vec![0usize; selector_option_counts.len()];
         loop {

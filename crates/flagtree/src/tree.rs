@@ -600,7 +600,8 @@ mod tests {
         let mut c = JvmConfig::default_for(r);
         // Close the TLAB gate but scribble on its child.
         c.set_by_name(r, "UseTLAB", FlagValue::Bool(false)).unwrap();
-        c.set_by_name(r, "TLABSize", FlagValue::Int(1 << 20)).unwrap();
+        c.set_by_name(r, "TLABSize", FlagValue::Int(1 << 20))
+            .unwrap();
         // Also scribble on the serial subtree while parallel is selected.
         c.set_by_name(r, "MaxTenuringThreshold", FlagValue::Int(3))
             .unwrap();
@@ -620,7 +621,8 @@ mod tests {
         let (r, tree) = tiny_tree();
         let mut c = JvmConfig::default_for(r);
         // A naive mutation turns both collectors on.
-        c.set_by_name(r, "UseSerialGC", FlagValue::Bool(true)).unwrap();
+        c.set_by_name(r, "UseSerialGC", FlagValue::Bool(true))
+            .unwrap();
         assert_eq!(
             c.get_by_name(r, "UseParallelGC"),
             Some(FlagValue::Bool(true))
@@ -641,7 +643,8 @@ mod tests {
     fn enforce_is_idempotent() {
         let (r, tree) = tiny_tree();
         let mut c = JvmConfig::default_for(r);
-        c.set_by_name(r, "UseSerialGC", FlagValue::Bool(true)).unwrap();
+        c.set_by_name(r, "UseSerialGC", FlagValue::Bool(true))
+            .unwrap();
         tree.enforce(r, &mut c);
         let once = c.clone();
         tree.enforce(r, &mut c);

@@ -34,7 +34,10 @@ fn every_selector_option_yields_a_bootable_configuration() {
     let r = hotspot_registry();
     let tree = hotspot_tree();
     let sels: Vec<_> = tree.selector_ids().collect();
-    let counts: Vec<usize> = sels.iter().map(|s| tree.selector(*s).options.len()).collect();
+    let counts: Vec<usize> = sels
+        .iter()
+        .map(|s| tree.selector(*s).options.len())
+        .collect();
     let mut choice = vec![0usize; sels.len()];
     let machine = jtune_jvmsim::Machine::default();
     loop {
@@ -83,9 +86,7 @@ fn dead_flag_values_cannot_affect_the_simulator() {
             jtune_flags::Domain::Bool => FlagValue::Bool(true),
             jtune_flags::Domain::IntRange { hi, .. } => FlagValue::Int(*hi),
             jtune_flags::Domain::DoubleRange { hi, .. } => FlagValue::Double(*hi),
-            jtune_flags::Domain::Enum { variants } => {
-                FlagValue::Enum((variants.len() - 1) as u16)
-            }
+            jtune_flags::Domain::Enum { variants } => FlagValue::Enum((variants.len() - 1) as u16),
         };
         scribbled.set(id, extreme);
     }

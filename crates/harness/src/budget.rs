@@ -20,6 +20,18 @@ pub struct Budget {
     spent_nanos: AtomicU64,
 }
 
+/// What one [`Budget::charge_observed`] call did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChargeOutcome {
+    /// The charge started within budget (the evaluation counts).
+    pub started_within: bool,
+    /// This exact charge crossed the limit: true at most once per
+    /// session, on the straddling final charge.
+    pub crossed_limit: bool,
+    /// Cumulative spend after the charge.
+    pub spent_after: SimDuration,
+}
+
 impl Budget {
     /// A budget of `total` tuning time.
     pub fn new(total: SimDuration) -> Budget {
@@ -57,10 +69,24 @@ impl Budget {
     /// Charge `cost`. Returns `true` if the charge *started* within budget
     /// (the final evaluation may straddle the deadline, like a real run).
     pub fn charge(&self, cost: SimDuration) -> bool {
+        self.charge_observed(cost).started_within
+    }
+
+    /// [`Budget::charge`] with full accounting detail, the telemetry
+    /// hook: the tuner emits a `BudgetExhausted` event on the single
+    /// charge whose [`ChargeOutcome::crossed_limit`] is `true`.
+    pub fn charge_observed(&self, cost: SimDuration) -> ChargeOutcome {
         let before = self
             .spent_nanos
             .fetch_add(cost.as_nanos(), Ordering::Relaxed);
-        before < self.total_nanos
+        let after = before.saturating_add(cost.as_nanos());
+        ChargeOutcome {
+            started_within: before < self.total_nanos,
+            crossed_limit: before < self.total_nanos
+                && after >= self.total_nanos
+                && self.total_nanos > 0,
+            spent_after: SimDuration::from_nanos(after),
+        }
     }
 
     /// Fraction spent, ≥ 0 (can exceed 1 after the straddling final run).

@@ -17,9 +17,25 @@ pub struct Measurement {
     /// 99th-percentile stop-the-world pause, when the executor can observe
     /// it (the simulator can; a bare `java` process cannot).
     pub pause_p99: Option<SimDuration>,
+    /// Runtime counters for the telemetry stream, when the executor can
+    /// observe them (the simulator can; a bare `java` process cannot).
+    pub counters: Option<RunCounters>,
     /// Human-readable failure (OOM, invalid config, non-zero exit), `None`
     /// on success.
     pub error: Option<String>,
+}
+
+/// Per-run VM activity counters surfaced into trial telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunCounters {
+    /// Total stop-the-world GC pause time.
+    pub gc_pause_total: SimDuration,
+    /// GC collections (young + full).
+    pub gc_collections: u64,
+    /// Time lost to JIT compile stalls.
+    pub jit_compile_time: SimDuration,
+    /// Methods JIT-compiled (all tiers).
+    pub jit_compiles: u64,
 }
 
 impl Measurement {
@@ -105,9 +121,16 @@ impl Executor for SimExecutor {
         } else {
             Some(jtune_util::SimDuration::ZERO)
         };
+        let counters = RunCounters {
+            gc_pause_total: outcome.gc.pauses.sum(),
+            gc_collections: outcome.gc.young_collections + outcome.gc.full_collections,
+            jit_compile_time: outcome.breakdown.jit_stall,
+            jit_compiles: outcome.jit.c1_compiles + outcome.jit.c2_compiles,
+        };
         Measurement {
             time: outcome.total,
             pause_p99,
+            counters: Some(counters),
             error: outcome.failure.map(|f| f.to_string()),
         }
     }
@@ -174,16 +197,19 @@ impl Executor for ProcessExecutor {
             Ok(s) if s.success() => Measurement {
                 time: elapsed,
                 pause_p99: None,
+                counters: None,
                 error: None,
             },
             Ok(s) => Measurement {
                 time: elapsed,
                 pause_p99: None,
+                counters: None,
                 error: Some(format!("java exited with {s}")),
             },
             Err(e) => Measurement {
                 time: elapsed,
                 pause_p99: None,
+                counters: None,
                 error: Some(format!("failed to launch java: {e}")),
             },
         }

@@ -16,11 +16,11 @@
 //!   evaluation is charged (JVM start-up + run time × repeats) against a
 //!   virtual wall clock, so "200 minutes of tuning" has the same economics
 //!   as in the paper while completing in seconds of host time.
-//! - [`pool`] — parallel candidate evaluation on crossbeam scoped threads
-//!   with deterministic seed derivation (results do not depend on thread
-//!   interleaving).
+//! - [`pool`] — parallel candidate evaluation on scoped threads with
+//!   deterministic seed derivation (results do not depend on thread
+//!   interleaving), including order-preserving telemetry emission.
 //! - [`results`] — serialisable records of tuning sessions for the
-//!   experiment drivers.
+//!   experiment drivers (TSV + JSON).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,9 +32,9 @@ pub mod pool;
 pub mod protocol;
 pub mod results;
 
-pub use budget::Budget;
-pub use executor::{Executor, Measurement, ProcessExecutor, SimExecutor};
+pub use budget::{Budget, ChargeOutcome};
+pub use executor::{Executor, Measurement, ProcessExecutor, RunCounters, SimExecutor};
 pub use objective::Objective;
-pub use pool::evaluate_batch;
+pub use pool::{evaluate_batch, evaluate_batch_observed};
 pub use protocol::{Evaluation, Protocol};
 pub use results::{SessionRecord, TrialRecord};

@@ -20,8 +20,7 @@
 use crate::executor::Measurement;
 
 /// What the tuner minimises.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Objective {
     /// Total run time, seconds (the paper's objective).
     #[default]
@@ -37,7 +36,6 @@ pub enum Objective {
         weight: f64,
     },
 }
-
 
 impl Objective {
     /// Score a successful measurement (lower is better). Returns `None`
@@ -93,6 +91,7 @@ mod tests {
             time: SimDuration::from_secs_f64(secs),
             pause_p99: pause_ms.map(SimDuration::from_millis_f64),
             error: None,
+            counters: None,
         }
     }
 
@@ -112,7 +111,10 @@ mod tests {
 
     #[test]
     fn weighted_blends_both() {
-        let o = Objective::Weighted { percentile: 99.0, weight: 0.5 };
+        let o = Objective::Weighted {
+            percentile: 99.0,
+            weight: 0.5,
+        };
         // 10 s with 200 ms pauses → 10 × (1 + 0.5×2) = 20.
         assert!((o.score(&measurement(10.0, Some(200.0))).unwrap() - 20.0).abs() < 1e-9);
         // 14 s with 10 ms pauses → 14.7: the smooth config wins.
@@ -124,7 +126,11 @@ mod tests {
         let m = measurement(9.0, None);
         assert_eq!(Objective::PausePercentile(99.0).score(&m), Some(9.0));
         assert_eq!(
-            Objective::Weighted { percentile: 99.0, weight: 1.0 }.score(&m),
+            Objective::Weighted {
+                percentile: 99.0,
+                weight: 1.0
+            }
+            .score(&m),
             Some(9.0)
         );
     }
@@ -135,6 +141,7 @@ mod tests {
             time: SimDuration::from_secs(1),
             pause_p99: None,
             error: Some("boom".into()),
+            counters: None,
         };
         assert_eq!(Objective::Throughput.score(&m), None);
     }
@@ -143,8 +150,11 @@ mod tests {
     fn names_render() {
         assert_eq!(Objective::Throughput.name(), "throughput");
         assert_eq!(Objective::PausePercentile(99.0).name(), "pause-p99");
-        assert!(Objective::Weighted { percentile: 95.0, weight: 0.5 }
-            .name()
-            .contains("p95"));
+        assert!(Objective::Weighted {
+            percentile: 95.0,
+            weight: 0.5
+        }
+        .name()
+        .contains("p95"));
     }
 }

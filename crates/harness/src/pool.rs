@@ -2,17 +2,24 @@
 //!
 //! The tuner proposes batches of candidate configurations; evaluating them
 //! is embarrassingly parallel. This pool follows the hpc-parallel
-//! guidance: crossbeam scoped threads over an index-based work queue (no
-//! unsafe, no channels needed for a finite batch), results written into
-//! per-slot cells so the output order equals the input order, and noise
-//! seeds derived from `(base_seed, candidate index)` — never from thread
+//! guidance: scoped threads over an index-based work queue (no unsafe, no
+//! channels needed for a finite batch), results written into per-slot
+//! cells so the output order equals the input order, and noise seeds
+//! derived from `(base_seed, candidate index)` — never from thread
 //! identity — so a run is bit-identical whether evaluated on 1 worker or
 //! 16.
+//!
+//! Telemetry obeys the same contract: workers never publish events
+//! directly. Per-candidate events are buffered in the result slots and
+//! flushed to the [`TelemetryBus`] in candidate order once the batch
+//! joins, so a traced run's event stream is bit-identical at any worker
+//! count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use jtune_flags::JvmConfig;
-use parking_lot::Mutex;
+use jtune_telemetry::{TelemetryBus, TraceEvent};
 
 use crate::executor::Executor;
 use crate::protocol::{Evaluation, Protocol};
@@ -28,38 +35,67 @@ pub fn evaluate_batch(
     base_seed: u64,
     workers: usize,
 ) -> Vec<Evaluation> {
-    let seed_for = |i: usize| -> u64 {
-        base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)
-    };
-    if workers <= 1 || candidates.len() <= 1 {
-        return candidates
+    evaluate_batch_observed(executor, protocol, candidates, base_seed, workers, None)
+}
+
+/// [`evaluate_batch`] with telemetry: one [`TraceEvent::TrialMeasured`]
+/// per candidate is emitted on `bus`, always in candidate order.
+///
+/// Workers buffer their event payloads in the per-slot cells; the flush
+/// happens here, after the batch joins, so the stream on `bus` does not
+/// depend on thread scheduling or worker count.
+pub fn evaluate_batch_observed(
+    executor: &dyn Executor,
+    protocol: Protocol,
+    candidates: &[JvmConfig],
+    base_seed: u64,
+    workers: usize,
+    bus: Option<&TelemetryBus>,
+) -> Vec<Evaluation> {
+    let seed_for = |i: usize| -> u64 { base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407) };
+    let evals: Vec<Evaluation> = if workers <= 1 || candidates.len() <= 1 {
+        candidates
             .iter()
             .enumerate()
             .map(|(i, c)| protocol.evaluate(executor, c, seed_for(i)))
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Evaluation>>> =
-        candidates.iter().map(|_| Mutex::new(None)).collect();
-    let workers = workers.min(candidates.len());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
-                }
-                let ev = protocol.evaluate(executor, &candidates[i], seed_for(i));
-                *slots[i].lock() = Some(ev);
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Evaluation>>> =
+            candidates.iter().map(|_| Mutex::new(None)).collect();
+        let workers = workers.min(candidates.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= candidates.len() {
+                        break;
+                    }
+                    let ev = protocol.evaluate(executor, &candidates[i], seed_for(i));
+                    *slots[i].lock().expect("slot poisoned") = Some(ev);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("slot unfilled")
+            })
+            .collect()
+    };
+    if let Some(bus) = bus {
+        for (slot, ev) in evals.iter().enumerate() {
+            bus.emit(&TraceEvent::TrialMeasured {
+                slot,
+                repeat_secs: ev.samples.iter().map(|s| s.as_secs_f64()).collect(),
+                cost_secs: ev.cost.as_secs_f64(),
+                error: ev.error.clone(),
             });
         }
-    })
-    .expect("evaluation worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("slot unfilled"))
-        .collect()
+    }
+    evals
 }
 
 #[cfg(test)]

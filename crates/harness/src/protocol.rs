@@ -4,7 +4,7 @@ use jtune_flags::JvmConfig;
 use jtune_util::stats;
 use jtune_util::SimDuration;
 
-use crate::executor::Executor;
+use crate::executor::{Executor, RunCounters};
 use crate::objective::Objective;
 
 /// How a candidate configuration is measured.
@@ -44,6 +44,9 @@ pub struct Evaluation {
     /// Total budget cost: measured time of every run (including failed
     /// ones) plus fixed per-run overhead.
     pub cost: SimDuration,
+    /// VM activity counters summed across all runs (including failed
+    /// ones), when the executor observes them.
+    pub counters: Option<RunCounters>,
 }
 
 impl Evaluation {
@@ -65,12 +68,20 @@ impl Protocol {
         let mut samples = Vec::with_capacity(self.repeats as usize);
         let mut cost = SimDuration::ZERO;
         let mut error = None;
+        let mut counters: Option<RunCounters> = None;
         for rep in 0..self.repeats.max(1) {
             let seed = base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(rep as u64);
             let m = executor.measure(config, seed);
             cost += m.time + executor.fixed_overhead();
+            if let Some(c) = m.counters {
+                let total = counters.get_or_insert_with(RunCounters::default);
+                total.gc_pause_total += c.gc_pause_total;
+                total.gc_collections += c.gc_collections;
+                total.jit_compile_time += c.jit_compile_time;
+                total.jit_compiles += c.jit_compiles;
+            }
             match self.objective.score(&m) {
                 Some(value) => samples.push(SimDuration::from_secs_f64(value)),
                 None => {
@@ -93,6 +104,7 @@ impl Protocol {
             samples,
             error,
             cost,
+            counters,
         }
     }
 
@@ -123,7 +135,12 @@ mod tests {
     fn evaluation_scores_by_median() {
         let ex = executor();
         let c = JvmConfig::default_for(ex.registry());
-        let ev = Protocol { repeats: 5, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 42);
+        let ev = Protocol {
+            repeats: 5,
+            fail_fast: true,
+            ..Protocol::default()
+        }
+        .evaluate(&ex, &c, 42);
         assert!(ev.ok());
         assert_eq!(ev.samples.len(), 5);
         let mut times: Vec<f64> = ev.samples.iter().map(|s| s.as_secs_f64()).collect();
@@ -144,10 +161,20 @@ mod tests {
         let mut c = JvmConfig::default_for(ex.registry());
         c.set_by_name(ex.registry(), "MaxHeapSize", FlagValue::Int(64 << 20))
             .unwrap();
-        let fast = Protocol { repeats: 5, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        let fast = Protocol {
+            repeats: 5,
+            fail_fast: true,
+            ..Protocol::default()
+        }
+        .evaluate(&ex, &c, 1);
         assert!(!fast.ok());
         assert!(fast.error.is_some());
-        let slow = Protocol { repeats: 5, fail_fast: false, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        let slow = Protocol {
+            repeats: 5,
+            fail_fast: false,
+            ..Protocol::default()
+        }
+        .evaluate(&ex, &c, 1);
         assert!(!slow.ok());
         assert!(slow.cost >= fast.cost);
     }
@@ -168,7 +195,11 @@ mod tests {
     #[test]
     fn compare_distinguishes_clearly_different_configs() {
         let ex = executor();
-        let p = Protocol { repeats: 6, fail_fast: true, ..Protocol::default() };
+        let p = Protocol {
+            repeats: 6,
+            fail_fast: true,
+            ..Protocol::default()
+        };
         let default = JvmConfig::default_for(ex.registry());
         let mut slow = default.clone();
         // Interpreter-only is drastically slower.
@@ -185,7 +216,12 @@ mod tests {
     fn repeats_zero_is_clamped_to_one() {
         let ex = executor();
         let c = JvmConfig::default_for(ex.registry());
-        let ev = Protocol { repeats: 0, fail_fast: true, ..Protocol::default() }.evaluate(&ex, &c, 1);
+        let ev = Protocol {
+            repeats: 0,
+            fail_fast: true,
+            ..Protocol::default()
+        }
+        .evaluate(&ex, &c, 1);
         assert_eq!(ev.samples.len(), 1);
     }
 }

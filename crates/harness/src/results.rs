@@ -1,14 +1,14 @@
 //! Serialisable tuning-session records.
 //!
 //! Experiment drivers persist one [`SessionRecord`] per tuned program so
-//! tables can be regenerated without re-running the search. Serialisation
-//! is via serde into a simple line-oriented TSV (no JSON dependency; the
-//! records are flat).
+//! tables can be regenerated without re-running the search. Two formats:
+//! a simple line-oriented TSV (round-trippable, the archival format) and
+//! JSON via [`jtune_util::json`] (the `jtune --json` surface).
 
-use serde::{Deserialize, Serialize};
+use jtune_util::json::JsonObject;
 
 /// One evaluated candidate within a session.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrialRecord {
     /// Evaluation index within the session (0 = the default config).
     pub index: u64,
@@ -23,7 +23,7 @@ pub struct TrialRecord {
 }
 
 /// One complete tuning session for one program.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SessionRecord {
     /// Program name.
     pub program: String,
@@ -79,6 +79,34 @@ impl SessionRecord {
         out
     }
 
+    /// Render the session as a single JSON object (the `--json` surface).
+    pub fn to_json(&self) -> String {
+        let trials: Vec<String> = self
+            .trials
+            .iter()
+            .map(|t| {
+                JsonObject::new()
+                    .u64("index", t.index)
+                    .f64("at_secs", t.at_secs)
+                    .opt_f64("score_secs", t.score_secs)
+                    .str("technique", &t.technique)
+                    .str_array("delta", &t.delta)
+                    .finish()
+            })
+            .collect();
+        JsonObject::new()
+            .str("program", &self.program)
+            .str("executor", &self.executor)
+            .f64("budget_mins", self.budget_mins)
+            .f64("default_secs", self.default_secs)
+            .f64("best_secs", self.best_secs)
+            .f64("improvement_percent", self.improvement_percent())
+            .str_array("best_delta", &self.best_delta)
+            .u64("evaluations", self.evaluations)
+            .raw("trials", &jtune_util::json::array_of(&trials))
+            .finish()
+    }
+
     /// Parse the TSV produced by [`SessionRecord::to_tsv`].
     pub fn from_tsv(s: &str) -> Option<SessionRecord> {
         let mut lines = s.lines();
@@ -93,11 +121,7 @@ impl SessionRecord {
         let default_secs = h.next()?.parse().ok()?;
         let best_secs = h.next()?.parse().ok()?;
         let evaluations = h.next()?.parse().ok()?;
-        let best_delta: Vec<String> = h
-            .next()?
-            .split_whitespace()
-            .map(str::to_string)
-            .collect();
+        let best_delta: Vec<String> = h.next()?.split_whitespace().map(str::to_string).collect();
         let mut trials = Vec::new();
         for line in lines {
             if line.trim().is_empty() {
@@ -149,7 +173,10 @@ mod tests {
             budget_mins: 200.0,
             default_secs: 42.5,
             best_secs: 30.0,
-            best_delta: vec!["-XX:+UseConcMarkSweepGC".into(), "-XX:MaxHeapSize=4g".into()],
+            best_delta: vec![
+                "-XX:+UseConcMarkSweepGC".into(),
+                "-XX:MaxHeapSize=4g".into(),
+            ],
             evaluations: 2,
             trials: vec![
                 TrialRecord {

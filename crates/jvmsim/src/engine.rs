@@ -74,8 +74,10 @@ impl JvmSim {
             }
         };
 
-        let mut breakdown = TimeBreakdown::default();
-        breakdown.startup = runtime::startup_time(&view, workload, &self.machine);
+        let mut breakdown = TimeBreakdown {
+            startup: runtime::startup_time(&view, workload, &self.machine),
+            ..TimeBreakdown::default()
+        };
 
         let mut jit = JitModel::new(&view, workload);
         let mut gc = GcModel::new(&view, workload, &self.machine);

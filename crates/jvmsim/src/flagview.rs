@@ -335,7 +335,8 @@ impl FlagView {
         let g1_raw = int("G1HeapRegionSize");
         let g1_region_size = if g1_raw <= 0.0 {
             let target = (xmx / 2048.0).clamp(1e6, 32.0 * 1024.0 * 1024.0);
-            2f64.powf(target.log2().round()).clamp(1048576.0, 33554432.0)
+            2f64.powf(target.log2().round())
+                .clamp(1048576.0, 33554432.0)
         } else {
             g1_raw.max(1048576.0)
         };
@@ -494,7 +495,8 @@ mod tests {
     fn xms_greater_than_xmx_corrected_with_warning() {
         let r = hotspot_registry();
         let mut c = JvmConfig::default_for(r);
-        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(64 << 20)).unwrap();
+        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(64 << 20))
+            .unwrap();
         c.set_by_name(r, "InitialHeapSize", FlagValue::Int(256 << 20))
             .unwrap();
         let (v, warnings) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
@@ -514,8 +516,10 @@ mod tests {
         let err = FlagView::resolve(r, &c, &Machine::default()).unwrap_err();
         assert!(err.contains("Conflicting collector"), "{err}");
         // Disabling the default collector resolves the conflict.
-        c.set_by_name(r, "UseParallelGC", FlagValue::Bool(false)).unwrap();
-        c.set_by_name(r, "UseParallelOldGC", FlagValue::Bool(false)).unwrap();
+        c.set_by_name(r, "UseParallelGC", FlagValue::Bool(false))
+            .unwrap();
+        c.set_by_name(r, "UseParallelOldGC", FlagValue::Bool(false))
+            .unwrap();
         let (v, _) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
         assert_eq!(v.collector, CollectorKind::G1);
     }
@@ -524,7 +528,8 @@ mod tests {
     fn parnew_requires_cms() {
         let r = hotspot_registry();
         let mut c = JvmConfig::default_for(r);
-        c.set_by_name(r, "UseParNewGC", FlagValue::Bool(true)).unwrap();
+        c.set_by_name(r, "UseParNewGC", FlagValue::Bool(true))
+            .unwrap();
         let err = FlagView::resolve(r, &c, &Machine::default()).unwrap_err();
         assert!(err.contains("UseParNewGC"), "{err}");
     }
@@ -549,7 +554,8 @@ mod tests {
         assert_eq!(v.g1_region_size, 1048576.0);
         let r = hotspot_registry();
         let mut c = JvmConfig::default_for(r);
-        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(16 << 30)).unwrap();
+        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(16 << 30))
+            .unwrap();
         let (v, _) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
         // 16 GB / 2048 = 8 MB.
         assert_eq!(v.g1_region_size, 8.0 * 1048576.0);
@@ -561,7 +567,8 @@ mod tests {
         let mut c = JvmConfig::default_for(r);
         // Above the 32 GB compressed-oops ceiling (33 GB fits the domain's
         // 32 GiB hi? MaxHeapSize hi is 32 GB, so use exactly the boundary).
-        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(32 << 30)).unwrap();
+        c.set_by_name(r, "MaxHeapSize", FlagValue::Int(32 << 30))
+            .unwrap();
         let (v, _) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
         // 32 GB is not *above* the ceiling; oops stay on.
         assert!(v.compressed_oops);
@@ -578,7 +585,8 @@ mod tests {
     fn explicit_new_size_constrains_young_gen() {
         let r = hotspot_registry();
         let mut c = JvmConfig::default_for(r);
-        c.set_by_name(r, "MaxNewSize", FlagValue::Int(64 << 20)).unwrap();
+        c.set_by_name(r, "MaxNewSize", FlagValue::Int(64 << 20))
+            .unwrap();
         let (v, _) = FlagView::resolve(r, &c, &Machine::default()).unwrap();
         assert!(v.young_size <= (64u64 << 20) as f64 + 1.0);
     }

@@ -35,9 +35,17 @@ pub fn remark_pause_ms(
     scavenged_before: bool,
     threads: f64,
 ) -> f64 {
-    let eden_cost = if scavenged_before { 0.0 } else { 0.012 * eden_used / MB };
+    let eden_cost = if scavenged_before {
+        0.0
+    } else {
+        0.012 * eden_used / MB
+    };
     let card_cost = 0.006 * old_used / MB;
-    let div = if parallel_remark { threads.max(1.0) } else { 1.0 };
+    let div = if parallel_remark {
+        threads.max(1.0)
+    } else {
+        1.0
+    };
     1.2 + (eden_cost + card_cost) / div
 }
 

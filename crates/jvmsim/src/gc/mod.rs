@@ -55,7 +55,9 @@ pub struct GcEvent {
 enum CyclePhase {
     Idle,
     /// Concurrent work remaining, in concurrent-thread-seconds.
-    Running { remaining: f64 },
+    Running {
+        remaining: f64,
+    },
 }
 
 /// Per-run GC state machine.
@@ -159,7 +161,11 @@ impl GcModel {
         let ordinary = bytes - humongous;
         if humongous > 0.0 {
             // Region-rounding waste under G1; large-object slop elsewhere.
-            let waste = if self.view.collector == CollectorKind::G1 { 1.25 } else { 1.05 };
+            let waste = if self.view.collector == CollectorKind::G1 {
+                1.25
+            } else {
+                1.05
+            };
             self.state.humongous += humongous * waste;
         }
         self.state.eden_used += ordinary;
@@ -191,7 +197,9 @@ impl GcModel {
         if progress >= remaining {
             self.finish_cycle(&mut events);
         } else {
-            self.cycle = CyclePhase::Running { remaining: remaining - progress };
+            self.cycle = CyclePhase::Running {
+                remaining: remaining - progress,
+            };
         }
         (drag, events)
     }
@@ -242,7 +250,11 @@ impl GcModel {
             ),
         };
         // Reference processing.
-        pause_ms += if self.view.parallel_ref_proc { 0.15 } else { 0.5 };
+        pause_ms += if self.view.parallel_ref_proc {
+            0.15
+        } else {
+            0.5
+        };
 
         if mixed {
             // Reclaim a slice of old garbage in the same pause.
@@ -267,7 +279,11 @@ impl GcModel {
         self.promo_estimate = 0.7 * self.promo_estimate + 0.3 * promoted;
         self.pause_estimate_ms = 0.7 * self.pause_estimate_ms + 0.3 * pause_ms;
         events.push(GcEvent {
-            kind: if mixed { GcEventKind::Mixed } else { GcEventKind::Young },
+            kind: if mixed {
+                GcEventKind::Mixed
+            } else {
+                GcEventKind::Young
+            },
             pause: SimDuration::from_millis_f64(pause_ms),
         });
 
@@ -334,7 +350,11 @@ impl GcModel {
         cap
     }
 
-    fn take_promotion(&mut self, promoted: f64, events: &mut Vec<GcEvent>) -> Result<(), RunFailure> {
+    fn take_promotion(
+        &mut self,
+        promoted: f64,
+        events: &mut Vec<GcEvent>,
+    ) -> Result<(), RunFailure> {
         self.promoted_bytes += promoted;
         // Long-lived bytes build the live set; the rest is reclaimable.
         let long = promoted.min((self.live_target - self.state.old_live).max(0.0));
@@ -354,9 +374,7 @@ impl GcModel {
         let v = &self.view;
         let (pause_ms, reclaim_frac, defrag) = match v.collector {
             CollectorKind::Serial => (serial::full_pause_ms(live, garbage), 1.0, true),
-            CollectorKind::Parallel => {
-                (parallel::full_pause_ms(live, garbage, threads), 1.0, true)
-            }
+            CollectorKind::Parallel => (parallel::full_pause_ms(live, garbage, threads), 1.0, true),
             CollectorKind::Cms => {
                 // A stop-the-world CMS full collection is a concurrent-mode
                 // failure: serial mark-sweep(-compact).
@@ -482,9 +500,7 @@ impl GcModel {
             CollectorKind::G1 => {
                 events.push(GcEvent {
                     kind: GcEventKind::Remark,
-                    pause: SimDuration::from_millis_f64(g1::remark_pause_ms(
-                        self.state.old_used(),
-                    )),
+                    pause: SimDuration::from_millis_f64(g1::remark_pause_ms(self.state.old_used())),
                 });
                 self.mixed_remaining = v.g1_mixed_count_target;
                 // Marking identifies dead humongous objects.
@@ -550,7 +566,11 @@ mod tests {
     fn pump(model: &mut GcModel, bytes: f64, steps: usize) -> Vec<GcEvent> {
         let mut all = Vec::new();
         for _ in 0..steps {
-            all.extend(model.allocate(bytes / steps as f64).expect("no OOM expected"));
+            all.extend(
+                model
+                    .allocate(bytes / steps as f64)
+                    .expect("no OOM expected"),
+            );
             let (_, ev) = model.tick_concurrent(0.05);
             all.extend(ev);
         }
@@ -564,7 +584,10 @@ mod tests {
         let mut m = model_with(&[("UseAdaptiveSizePolicy", FlagValue::Bool(false))], &wl);
         let eden = m.geometry.eden;
         let events = pump(&mut m, eden * 3.5, 10);
-        let young = events.iter().filter(|e| e.kind == GcEventKind::Young).count();
+        let young = events
+            .iter()
+            .filter(|e| e.kind == GcEventKind::Young)
+            .count();
         assert!(young >= 3, "{young} young GCs");
         assert!(m.young_collections >= 3);
     }

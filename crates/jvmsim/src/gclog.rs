@@ -23,9 +23,8 @@ pub fn render(outcome: &RunOutcome, collector: CollectorKind) -> String {
 
     let _ = writeln!(
         out,
-        "[startup {:.3}s: VM initialised, {} mapped]",
+        "[startup {:.3}s: VM initialised, class data sharing mapped]",
         b.startup.as_secs_f64(),
-        "class data sharing"
     );
 
     let gc_name = match collector {
@@ -103,11 +102,7 @@ pub fn render(outcome: &RunOutcome, collector: CollectorKind) -> String {
             String::new()
         }
     );
-    let _ = writeln!(
-        out,
-        "[Heap peak {:.1} MB]",
-        outcome.peak_heap / 1e6
-    );
+    let _ = writeln!(out, "[Heap peak {:.1} MB]", outcome.peak_heap / 1e6);
     for w in &outcome.warnings {
         let _ = writeln!(out, "Java HotSpot(TM) 64-Bit Server VM warning: {w}");
     }
@@ -146,7 +141,8 @@ mod tests {
         }
         jtune_flagtree::hotspot_tree().enforce(registry, &mut config);
         let outcome = JvmSim::new().run(registry, &config, wl, 1);
-        let (view, _) = crate::FlagView::resolve(registry, &config, JvmSim::new().machine()).unwrap();
+        let (view, _) =
+            crate::FlagView::resolve(registry, &config, JvmSim::new().machine()).unwrap();
         (outcome, view.collector)
     }
 
@@ -172,10 +168,7 @@ mod tests {
     fn cms_log_reports_concurrent_cycles() {
         let mut wl = gc_workload();
         wl.nursery_survival = 0.15;
-        let (outcome, collector) = run(
-            &[("UseConcMarkSweepGC", FlagValue::Bool(true))],
-            &wl,
-        );
+        let (outcome, collector) = run(&[("UseConcMarkSweepGC", FlagValue::Bool(true))], &wl);
         let log = render(&outcome, collector);
         assert!(log.contains("ParNew"), "{log}");
         if outcome.gc.concurrent_cycles > 0 {
@@ -199,10 +192,7 @@ mod tests {
         wl.live_set = 3e9;
         wl.nursery_survival = 0.5;
         wl.alloc_rate = 8.0;
-        let (outcome, collector) = run(
-            &[("MaxHeapSize", FlagValue::Int(256 << 20))],
-            &wl,
-        );
+        let (outcome, collector) = run(&[("MaxHeapSize", FlagValue::Int(256 << 20))], &wl);
         assert!(!outcome.ok());
         let log = render(&outcome, collector);
         assert!(log.contains("OutOfMemoryError"), "{log}");

@@ -81,29 +81,27 @@ pub fn tier_speeds(view: &FlagView, wl: &Workload) -> TierSpeeds {
     // compiled code when not inlined; inlining removes it and unlocks
     // cross-call optimisation.
     let call_tax = (wl.call_density * 6.0 * (1.0 - cov)).min(0.35);
-    let opt_bonus = 1.0
-        * if view.escape_analysis && view.eliminate_allocations {
+    let opt_bonus =
+        1.0 * if view.escape_analysis && view.eliminate_allocations {
             1.0 + 0.05 * (wl.alloc_rate / (wl.alloc_rate + 1.0))
         } else {
             1.0
-        }
-        * if view.escape_analysis && view.eliminate_locks {
+        } * if view.escape_analysis && view.eliminate_locks {
             1.0 + (0.04 * wl.lock_density * 400.0).min(0.04)
         } else {
             1.0
-        }
-        * if view.use_superword {
+        } * if view.use_superword {
             1.0 + 0.06 * wl.array_stream_fraction
         } else {
             1.0
-        }
-        * (1.0 + 0.04 * wl.array_stream_fraction * (view.loop_unroll_limit / 60.0).min(2.0) / 2.0)
-        * if view.inline_math {
-            1.0 + 0.08 * wl.fp_fraction
-        } else {
-            1.0
-        }
-        * if view.aggressive_opts { 1.02 } else { 1.0 };
+        } * (1.0
+            + 0.04 * wl.array_stream_fraction * (view.loop_unroll_limit / 60.0).min(2.0) / 2.0)
+            * if view.inline_math {
+                1.0 + 0.08 * wl.fp_fraction
+            } else {
+                1.0
+            }
+            * if view.aggressive_opts { 1.02 } else { 1.0 };
     let cross_call = 1.0 + 0.08 * cov * (wl.call_density * 30.0).min(1.0);
 
     // Profile quality: C2 leans on branch/type profiles. Under the classic
@@ -377,7 +375,6 @@ impl JitModel {
                         Tier::C2 => self.c2_compiles += b.methods as u64,
                         Tier::Interp => {}
                     }
-
                 }
                 if b.queued == Some(t) {
                     b.queued = None;

@@ -74,9 +74,37 @@ mod tests {
 
     #[test]
     fn ergonomic_gc_threads() {
-        assert_eq!(Machine { cores: 4, ..Machine::default() }.default_parallel_gc_threads(), 4);
-        assert_eq!(Machine { cores: 8, ..Machine::default() }.default_parallel_gc_threads(), 8);
-        assert_eq!(Machine { cores: 16, ..Machine::default() }.default_parallel_gc_threads(), 13);
-        assert_eq!(Machine { cores: 32, ..Machine::default() }.default_parallel_gc_threads(), 23);
+        assert_eq!(
+            Machine {
+                cores: 4,
+                ..Machine::default()
+            }
+            .default_parallel_gc_threads(),
+            4
+        );
+        assert_eq!(
+            Machine {
+                cores: 8,
+                ..Machine::default()
+            }
+            .default_parallel_gc_threads(),
+            8
+        );
+        assert_eq!(
+            Machine {
+                cores: 16,
+                ..Machine::default()
+            }
+            .default_parallel_gc_threads(),
+            13
+        );
+        assert_eq!(
+            Machine {
+                cores: 32,
+                ..Machine::default()
+            }
+            .default_parallel_gc_threads(),
+            23
+        );
     }
 }

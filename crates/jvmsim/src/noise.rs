@@ -29,7 +29,7 @@ impl NoiseModel {
     /// Noise stream with custom magnitude (tests use 0 for determinism).
     pub fn with_sigma(seed: u64, sigma: f64) -> NoiseModel {
         NoiseModel {
-            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x6e6f_6973_65u64),
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x6e_6f69_7365u64),
             sigma: sigma.max(0.0),
         }
     }

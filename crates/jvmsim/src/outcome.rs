@@ -130,7 +130,9 @@ mod tests {
 
     #[test]
     fn failure_messages_render() {
-        assert!(RunFailure::OutOfMemory.to_string().contains("OutOfMemoryError"));
+        assert!(RunFailure::OutOfMemory
+            .to_string()
+            .contains("OutOfMemoryError"));
         assert!(RunFailure::InvalidConfig("zero heap".into())
             .to_string()
             .contains("zero heap"));

@@ -31,7 +31,8 @@ pub fn mutator_factor(view: &FlagView, wl: &Workload, machine: &Machine) -> f64 
         }
     } else {
         // Shared-eden CAS allocation.
-        cost += (allocs_per_unit * 40.0).min(0.30) * (1.0 + 0.1 * (wl.threads as f64 - 1.0)).min(2.0);
+        cost +=
+            (allocs_per_unit * 40.0).min(0.30) * (1.0 + 0.1 * (wl.threads as f64 - 1.0)).min(2.0);
     }
 
     // ---- locking ----
@@ -41,7 +42,11 @@ pub fn mutator_factor(view: &FlagView, wl: &Workload, machine: &Machine) -> f64 
     } else if view.biased_locking {
         // Biased fast path when uncontended; revocation storms when not.
         // The startup delay slightly reduces the benefit on short runs.
-        let delay_penalty = if view.biased_delay_ms > 10_000.0 { 0.5 } else { 0.0 };
+        let delay_penalty = if view.biased_delay_ms > 10_000.0 {
+            0.5
+        } else {
+            0.0
+        };
         (2.5 + delay_penalty) * (1.0 - c) + 55.0 * c
     } else {
         9.0 * (1.0 - c) + 38.0 * c
@@ -81,7 +86,8 @@ pub fn mutator_factor(view: &FlagView, wl: &Workload, machine: &Machine) -> f64 
         let d = view.prefetch_distance.max(16.0);
         let dist_eff = (-((d / 192.0).ln().powi(2)) / 0.8).exp();
         let lines_eff = 1.0 - ((view.prefetch_lines - 3.0).abs() / 12.0).min(0.3);
-        speed *= 1.0 + 0.035 * wl.array_stream_fraction * style_eff * dist_eff * lines_eff
+        speed *= 1.0
+            + 0.035 * wl.array_stream_fraction * style_eff * dist_eff * lines_eff
             + 0.01 * (allocs_per_unit * 20.0).min(1.0) * dist_eff;
     }
     if view.use_membar && wl.threads > 1 {
@@ -92,8 +98,8 @@ pub fn mutator_factor(view: &FlagView, wl: &Workload, machine: &Machine) -> f64 
     }
     if view.object_alignment > 8 {
         // Wasted cache density.
-        speed *= 1.0 - 0.02 * ((view.object_alignment as f64 / 8.0).log2() * wl.pointer_density)
-            .min(0.3);
+        speed *= 1.0
+            - 0.02 * ((view.object_alignment as f64 / 8.0).log2() * wl.pointer_density).min(0.3);
     }
 
     speed / cost
@@ -196,8 +202,7 @@ mod tests {
         assert!(gain > 1.05, "gain {gain}");
         let mut ptr_light = Workload::baseline("l");
         ptr_light.pointer_density = 0.05;
-        let gain_light =
-            mutator_factor(&on, &ptr_light, &m) / mutator_factor(&off, &ptr_light, &m);
+        let gain_light = mutator_factor(&on, &ptr_light, &m) / mutator_factor(&off, &ptr_light, &m);
         assert!(gain > gain_light);
     }
 
@@ -214,7 +219,10 @@ mod tests {
         assert!(mutator_factor(&lp, &wl, &with_os) > mutator_factor(&base, &wl, &with_os));
         let a = mutator_factor(&lp, &wl, &without_os);
         let b = mutator_factor(&base, &wl, &without_os);
-        assert!((a - b).abs() < 1e-12, "large pages did something without OS support");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "large pages did something without OS support"
+        );
     }
 
     #[test]

@@ -172,8 +172,8 @@ impl Workload {
     /// its work in under ~4 s, so warm-up and class loading are first-order
     /// costs (the SPECjvm2008 startup suite by construction).
     pub fn startup_sensitive(&self) -> bool {
-        let ideal_secs = self.total_work
-            / (crate::engine::INTERP_UNITS_PER_SEC * crate::engine::C2_SPEEDUP);
+        let ideal_secs =
+            self.total_work / (crate::engine::INTERP_UNITS_PER_SEC * crate::engine::C2_SPEEDUP);
         ideal_secs < 4.0
     }
 }

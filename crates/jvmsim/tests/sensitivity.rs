@@ -155,7 +155,10 @@ fn code_cache_pressure_matters_under_tiered_compilation() {
     let a = sim.run(registry, &roomy, &wl, 1);
     let b = sim.run(registry, &tiny, &wl, 1);
     assert!(a.ok() && b.ok());
-    assert_eq!(a.jit.code_cache_full_drops, 0, "roomy cache dropped compiles");
+    assert_eq!(
+        a.jit.code_cache_full_drops, 0,
+        "roomy cache dropped compiles"
+    );
     assert!(b.jit.code_cache_full_drops > 0, "tiny cache never filled");
     assert!(
         b.breakdown.total() > a.breakdown.total(),
@@ -198,7 +201,8 @@ fn collector_choice_changes_pause_profile_not_just_total() {
     let mut parallel = JvmConfig::default_for(registry);
     tree.enforce(registry, &mut parallel);
     let mut cms = JvmConfig::default_for(registry);
-    cms.set_by_name(registry, "UseConcMarkSweepGC", FlagValue::Bool(true)).unwrap();
+    cms.set_by_name(registry, "UseConcMarkSweepGC", FlagValue::Bool(true))
+        .unwrap();
     tree.enforce(registry, &mut cms);
 
     let p = sim.run(registry, &parallel, &wl, 1);

@@ -1,0 +1,110 @@
+//! The observer trait and the fan-out bus.
+
+use std::sync::Arc;
+
+use crate::event::TraceEvent;
+
+/// Anything that consumes tuning trace events.
+///
+/// Implementations take `&self` and use interior mutability so one sink
+/// can be shared (via [`Arc`]) between the bus and the code that reads
+/// it back (e.g. a recorder inspected after the run). Events arrive
+/// serialised — the emitting side (tuner / evaluation pool) guarantees
+/// candidate-order delivery — so sinks never need to reorder.
+pub trait TuningObserver: Send + Sync {
+    /// Consume one event.
+    fn on_event(&self, event: &TraceEvent);
+
+    /// Flush any buffered output (file sinks override this).
+    fn flush(&self) {}
+}
+
+/// Fan-out bus: every emitted event reaches every attached sink, in
+/// attach order.
+///
+/// A bus with no sinks is free: `emit` is a no-op and callers can use
+/// [`TelemetryBus::is_enabled`] to skip building event payloads.
+#[derive(Clone, Default)]
+pub struct TelemetryBus {
+    sinks: Vec<Arc<dyn TuningObserver>>,
+}
+
+impl std::fmt::Debug for TelemetryBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryBus")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TelemetryBus {
+    /// A bus with no sinks (emitting is a no-op).
+    pub fn new() -> TelemetryBus {
+        TelemetryBus::default()
+    }
+
+    /// Attach a sink.
+    pub fn add(&mut self, sink: Arc<dyn TuningObserver>) -> &mut Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builder-style [`TelemetryBus::add`].
+    pub fn with(mut self, sink: Arc<dyn TuningObserver>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Does any sink listen?
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Deliver `event` to every sink.
+    pub fn emit(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    /// Flush every sink.
+    pub fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    #[test]
+    fn empty_bus_is_disabled_and_inert() {
+        let bus = TelemetryBus::new();
+        assert!(!bus.is_enabled());
+        bus.emit(&TraceEvent::RoundProposed {
+            round: 0,
+            technique: "t".into(),
+            candidates: 1,
+        });
+        bus.flush();
+    }
+
+    #[test]
+    fn events_fan_out_to_all_sinks() {
+        let a = Arc::new(MemoryRecorder::new());
+        let b = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(a.clone()).with(b.clone());
+        assert!(bus.is_enabled());
+        let e = TraceEvent::RoundProposed {
+            round: 3,
+            technique: "ils".into(),
+            candidates: 8,
+        };
+        bus.emit(&e);
+        assert_eq!(a.events(), vec![e.clone()]);
+        assert_eq!(b.events(), vec![e]);
+    }
+}

@@ -1,0 +1,376 @@
+//! The typed trial-event model.
+//!
+//! Every observable step of a tuning session is one [`TraceEvent`]. The
+//! stream is *complete* (every candidate evaluation appears exactly once
+//! as [`TraceEvent::TrialEvaluated`], with its budget charge) and
+//! *deterministic* (given the tuner seed, the same bytes are produced at
+//! any worker count — see `jtune_harness::evaluate_batch_observed` for
+//! the ordering contract).
+
+use jtune_util::json::JsonObject;
+
+/// One structured event in a tuning session's trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A tuning session began.
+    SessionStarted {
+        /// Program (workload) being tuned.
+        program: String,
+        /// Executor description (`sim:...` / `process:...`).
+        executor: String,
+        /// Search technique name from the options.
+        technique: String,
+        /// Manipulator label (`hierarchical` / `flat` / `gc-subset`).
+        manipulator: String,
+        /// Tuning budget, seconds of virtual time.
+        budget_secs: f64,
+        /// Master seed (the whole trace is a pure function of it).
+        seed: u64,
+        /// Parallel evaluation workers. Deliberately NOT serialised:
+        /// the JSONL trace is byte-identical at any worker count, so an
+        /// execution detail that varies with the host must stay out of
+        /// it. Live sinks (the progress reporter) still see it.
+        workers: u64,
+        /// Candidates proposed per round.
+        batch: u64,
+        /// Measurement repeats per candidate.
+        repeats: u64,
+    },
+    /// The tuner proposed a round (batch) of candidates.
+    RoundProposed {
+        /// Round number (0 = the structural primer round).
+        round: u64,
+        /// Technique driving the round (`primer` for round 0).
+        technique: String,
+        /// Number of candidates in the round.
+        candidates: u64,
+    },
+    /// The evaluation pool finished measuring one batch slot (raw,
+    /// worker-level record; `slot` is the index within the batch).
+    TrialMeasured {
+        /// Candidate index within the batch.
+        slot: usize,
+        /// Successful per-repeat objective values, run order.
+        repeat_secs: Vec<f64>,
+        /// Budget cost of the whole evaluation.
+        cost_secs: f64,
+        /// First failure message, if any repeat failed.
+        error: Option<String>,
+    },
+    /// One candidate evaluation was scored and charged to the budget
+    /// (session-level record; `index` matches `TrialRecord::index`).
+    TrialEvaluated {
+        /// Evaluation index within the session (0 = default config).
+        index: u64,
+        /// Technique that proposed the candidate (ensemble arms are
+        /// attributed individually).
+        technique: String,
+        /// Flags changed from default, as command-line arguments.
+        delta: Vec<String>,
+        /// Successful per-repeat objective values, run order.
+        repeat_secs: Vec<f64>,
+        /// Median score (`None` = candidate failed).
+        score_secs: Option<f64>,
+        /// Budget charge for this evaluation.
+        cost_secs: f64,
+        /// Cumulative budget spent after the charge.
+        budget_spent_secs: f64,
+        /// Total stop-the-world GC pause time across repeats, ms
+        /// (`None` when the executor cannot observe it).
+        gc_pause_total_ms: Option<f64>,
+        /// GC collections (young + full) across repeats.
+        gc_collections: Option<u64>,
+        /// JIT compile-stall time across repeats, ms.
+        jit_compile_ms: Option<f64>,
+        /// Methods JIT-compiled across repeats.
+        jit_compiles: Option<u64>,
+        /// First failure message, if the candidate failed.
+        error: Option<String>,
+    },
+    /// A candidate became the best found so far.
+    BestImproved {
+        /// Evaluation index of the new best.
+        index: u64,
+        /// Its score, seconds.
+        score_secs: f64,
+        /// Improvement over the default config, percent.
+        improvement_percent: f64,
+        /// Its flag delta.
+        delta: Vec<String>,
+    },
+    /// The proposing technique changed between consecutive trials (for
+    /// the AUC-bandit ensemble this traces arm switches).
+    TechniqueSwitched {
+        /// First evaluation index proposed by the new technique.
+        index: u64,
+        /// Previous technique.
+        from: String,
+        /// New technique.
+        to: String,
+    },
+    /// The tuning budget was exhausted (emitted once, at the charge that
+    /// crossed the limit).
+    BudgetExhausted {
+        /// Budget spent, seconds (may straddle past the total).
+        spent_secs: f64,
+        /// Budget total, seconds.
+        total_secs: f64,
+        /// Evaluations completed at exhaustion.
+        evaluations: u64,
+    },
+    /// The session ended.
+    SessionFinished {
+        /// Program tuned.
+        program: String,
+        /// Default-configuration score, seconds.
+        default_secs: f64,
+        /// Best score found, seconds.
+        best_secs: f64,
+        /// Headline improvement, percent.
+        improvement_percent: f64,
+        /// Candidates evaluated.
+        evaluations: u64,
+        /// Budget spent, seconds.
+        spent_secs: f64,
+        /// Best configuration's flag delta.
+        best_delta: Vec<String>,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type tag (the JSON `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SessionStarted { .. } => "SessionStarted",
+            TraceEvent::RoundProposed { .. } => "RoundProposed",
+            TraceEvent::TrialMeasured { .. } => "TrialMeasured",
+            TraceEvent::TrialEvaluated { .. } => "TrialEvaluated",
+            TraceEvent::BestImproved { .. } => "BestImproved",
+            TraceEvent::TechniqueSwitched { .. } => "TechniqueSwitched",
+            TraceEvent::BudgetExhausted { .. } => "BudgetExhausted",
+            TraceEvent::SessionFinished { .. } => "SessionFinished",
+        }
+    }
+
+    /// Render as one JSON object (one line of the JSONL trace).
+    pub fn to_json(&self) -> String {
+        let o = JsonObject::new().str("type", self.kind());
+        match self {
+            TraceEvent::SessionStarted {
+                program,
+                executor,
+                technique,
+                manipulator,
+                budget_secs,
+                seed,
+                workers: _,
+                batch,
+                repeats,
+            } => o
+                .str("program", program)
+                .str("executor", executor)
+                .str("technique", technique)
+                .str("manipulator", manipulator)
+                .f64("budget_secs", *budget_secs)
+                .u64("seed", *seed)
+                .u64("batch", *batch)
+                .u64("repeats", *repeats)
+                .finish(),
+            TraceEvent::RoundProposed {
+                round,
+                technique,
+                candidates,
+            } => o
+                .u64("round", *round)
+                .str("technique", technique)
+                .u64("candidates", *candidates)
+                .finish(),
+            TraceEvent::TrialMeasured {
+                slot,
+                repeat_secs,
+                cost_secs,
+                error,
+            } => o
+                .u64("slot", *slot as u64)
+                .f64_array("repeat_secs", repeat_secs)
+                .f64("cost_secs", *cost_secs)
+                .opt_str("error", error.as_deref())
+                .finish(),
+            TraceEvent::TrialEvaluated {
+                index,
+                technique,
+                delta,
+                repeat_secs,
+                score_secs,
+                cost_secs,
+                budget_spent_secs,
+                gc_pause_total_ms,
+                gc_collections,
+                jit_compile_ms,
+                jit_compiles,
+                error,
+            } => {
+                let mut o = o
+                    .u64("index", *index)
+                    .str("technique", technique)
+                    .str_array("delta", delta)
+                    .f64_array("repeat_secs", repeat_secs)
+                    .opt_f64("score_secs", *score_secs)
+                    .f64("cost_secs", *cost_secs)
+                    .f64("budget_spent_secs", *budget_spent_secs)
+                    .opt_f64("gc_pause_total_ms", *gc_pause_total_ms)
+                    .opt_f64("jit_compile_ms", *jit_compile_ms);
+                if let Some(n) = gc_collections {
+                    o = o.u64("gc_collections", *n);
+                }
+                if let Some(n) = jit_compiles {
+                    o = o.u64("jit_compiles", *n);
+                }
+                o.opt_str("error", error.as_deref()).finish()
+            }
+            TraceEvent::BestImproved {
+                index,
+                score_secs,
+                improvement_percent,
+                delta,
+            } => o
+                .u64("index", *index)
+                .f64("score_secs", *score_secs)
+                .f64("improvement_percent", *improvement_percent)
+                .str_array("delta", delta)
+                .finish(),
+            TraceEvent::TechniqueSwitched { index, from, to } => o
+                .u64("index", *index)
+                .str("from", from)
+                .str("to", to)
+                .finish(),
+            TraceEvent::BudgetExhausted {
+                spent_secs,
+                total_secs,
+                evaluations,
+            } => o
+                .f64("spent_secs", *spent_secs)
+                .f64("total_secs", *total_secs)
+                .u64("evaluations", *evaluations)
+                .finish(),
+            TraceEvent::SessionFinished {
+                program,
+                default_secs,
+                best_secs,
+                improvement_percent,
+                evaluations,
+                spent_secs,
+                best_delta,
+            } => o
+                .str("program", program)
+                .f64("default_secs", *default_secs)
+                .f64("best_secs", *best_secs)
+                .f64("improvement_percent", *improvement_percent)
+                .u64("evaluations", *evaluations)
+                .f64("spent_secs", *spent_secs)
+                .str_array("best_delta", best_delta)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_renders_with_type_tag() {
+        let events = [
+            TraceEvent::SessionStarted {
+                program: "p".into(),
+                executor: "sim:p".into(),
+                technique: "ensemble".into(),
+                manipulator: "hierarchical".into(),
+                budget_secs: 60.0,
+                seed: 7,
+                workers: 4,
+                batch: 4,
+                repeats: 3,
+            },
+            TraceEvent::RoundProposed {
+                round: 1,
+                technique: "ensemble".into(),
+                candidates: 4,
+            },
+            TraceEvent::TrialMeasured {
+                slot: 0,
+                repeat_secs: vec![1.0],
+                cost_secs: 1.5,
+                error: None,
+            },
+            TraceEvent::TrialEvaluated {
+                index: 1,
+                technique: "random".into(),
+                delta: vec!["-XX:+UseG1GC".into()],
+                repeat_secs: vec![1.0, 1.1],
+                score_secs: Some(1.05),
+                cost_secs: 2.6,
+                budget_spent_secs: 4.1,
+                gc_pause_total_ms: Some(12.0),
+                gc_collections: Some(3),
+                jit_compile_ms: Some(40.0),
+                jit_compiles: Some(200),
+                error: None,
+            },
+            TraceEvent::BestImproved {
+                index: 1,
+                score_secs: 1.05,
+                improvement_percent: 4.2,
+                delta: vec![],
+            },
+            TraceEvent::TechniqueSwitched {
+                index: 2,
+                from: "random".into(),
+                to: "ils".into(),
+            },
+            TraceEvent::BudgetExhausted {
+                spent_secs: 61.0,
+                total_secs: 60.0,
+                evaluations: 9,
+            },
+            TraceEvent::SessionFinished {
+                program: "p".into(),
+                default_secs: 1.2,
+                best_secs: 1.05,
+                improvement_percent: 14.3,
+                evaluations: 9,
+                spent_secs: 61.0,
+                best_delta: vec![],
+            },
+        ];
+        for e in &events {
+            let j = e.to_json();
+            assert!(
+                j.starts_with(&format!("{{\"type\":\"{}\"", e.kind())),
+                "{j}"
+            );
+            assert!(j.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn failed_trial_serialises_score_null_and_error() {
+        let e = TraceEvent::TrialEvaluated {
+            index: 3,
+            technique: "anneal".into(),
+            delta: vec![],
+            repeat_secs: vec![],
+            score_secs: None,
+            cost_secs: 0.7,
+            budget_spent_secs: 9.0,
+            gc_pause_total_ms: None,
+            gc_collections: None,
+            jit_compile_ms: None,
+            jit_compiles: None,
+            error: Some("java.lang.OutOfMemoryError: Java heap space".into()),
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"score_secs\":null"));
+        assert!(j.contains("OutOfMemoryError"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # jtune-telemetry
+//!
+//! Structured observability for the tuning stack: a typed trial-event
+//! model ([`TraceEvent`]), an observer trait ([`TuningObserver`]) with a
+//! fan-out bus ([`TelemetryBus`]), and four built-in sinks:
+//!
+//! - [`MemoryRecorder`] — in-memory event log (tests, post-run analysis);
+//! - [`JsonlSink`] — JSON Lines trace file (the `--trace` surface);
+//! - [`MetricsRegistry`] — counters + latency histograms over the stream;
+//! - [`ProgressReporter`] — live human-readable progress on stderr
+//!   (the `--progress` surface).
+//!
+//! ## Determinism contract
+//!
+//! A traced tuning session is *bit-deterministic given its seed*: the
+//! emitting side (the tuner and the evaluation pool) delivers events in
+//! candidate order regardless of worker count — parallel workers buffer
+//! per-slot and the batch flushes in order after it joins — so the JSONL
+//! bytes of a `workers = 1` run equal those of a `workers = 8` run. The
+//! integration test `tests/telemetry.rs` locks this in.
+//!
+//! ## Auditability
+//!
+//! Every candidate evaluation appears exactly once as
+//! [`TraceEvent::TrialEvaluated`] carrying its budget charge; summing
+//! the charges reproduces the session's spent budget exactly. This is
+//! what makes the paper-style headline numbers (19 % / 26 % average
+//! improvement within a 200-minute budget) auditable from a trace alone.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bus;
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod progress;
+pub mod recorder;
+
+pub use bus::{TelemetryBus, TuningObserver};
+pub use event::TraceEvent;
+pub use jsonl::JsonlSink;
+pub use metrics::MetricsRegistry;
+pub use progress::ProgressReporter;
+pub use recorder::MemoryRecorder;

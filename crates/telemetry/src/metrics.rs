@@ -1,0 +1,193 @@
+//! Metrics registry: counters and latency histograms over the event
+//! stream.
+//!
+//! Aggregates what the JSONL trace records event-by-event, reusing
+//! [`jtune_util::Histogram`] for the latency-shaped quantities (trial
+//! scores, budget charges, GC pause totals, JIT stall time). Experiment
+//! drivers render a snapshot at the end of a run; long-lived services
+//! can poll it while a session runs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use jtune_util::{Histogram, SimDuration};
+
+use crate::bus::TuningObserver;
+use crate::event::TraceEvent;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Inner {
+    fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    fn observe(&mut self, name: &'static str, d: SimDuration) {
+        self.histograms.entry(name).or_default().record(d);
+    }
+}
+
+/// Thread-safe counters + histograms fed by trace events.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+/// Counter names the registry maintains (all are 0 until first hit).
+pub const COUNTERS: &[&str] = &[
+    "sessions_started",
+    "sessions_finished",
+    "rounds_proposed",
+    "trials_measured",
+    "trials_evaluated",
+    "trials_failed",
+    "best_improvements",
+    "technique_switches",
+    "budget_exhausted",
+];
+
+/// Histogram names the registry maintains.
+pub const HISTOGRAMS: &[&str] = &["trial_score", "trial_cost", "gc_pause_total", "jit_compile"];
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of a histogram (`None` if it has no samples yet).
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Render a compact plain-text report of all non-zero metrics.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &inner.counters {
+            let _ = writeln!(out, "  {name:<24} {v}");
+        }
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<24} n={} mean={} p50={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.max(),
+            );
+        }
+        out
+    }
+}
+
+impl TuningObserver for MetricsRegistry {
+    fn on_event(&self, event: &TraceEvent) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match event {
+            TraceEvent::SessionStarted { .. } => inner.bump("sessions_started"),
+            TraceEvent::RoundProposed { .. } => inner.bump("rounds_proposed"),
+            TraceEvent::TrialMeasured { .. } => inner.bump("trials_measured"),
+            TraceEvent::TrialEvaluated {
+                score_secs,
+                cost_secs,
+                gc_pause_total_ms,
+                jit_compile_ms,
+                ..
+            } => {
+                inner.bump("trials_evaluated");
+                match score_secs {
+                    Some(s) => inner.observe("trial_score", SimDuration::from_secs_f64(*s)),
+                    None => inner.bump("trials_failed"),
+                }
+                inner.observe("trial_cost", SimDuration::from_secs_f64(*cost_secs));
+                if let Some(ms) = gc_pause_total_ms {
+                    inner.observe("gc_pause_total", SimDuration::from_millis_f64(*ms));
+                }
+                if let Some(ms) = jit_compile_ms {
+                    inner.observe("jit_compile", SimDuration::from_millis_f64(*ms));
+                }
+            }
+            TraceEvent::BestImproved { .. } => inner.bump("best_improvements"),
+            TraceEvent::TechniqueSwitched { .. } => inner.bump("technique_switches"),
+            TraceEvent::BudgetExhausted { .. } => inner.bump("budget_exhausted"),
+            TraceEvent::SessionFinished { .. } => inner.bump("sessions_finished"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(score: Option<f64>) -> TraceEvent {
+        TraceEvent::TrialEvaluated {
+            index: 0,
+            technique: "random".into(),
+            delta: vec![],
+            repeat_secs: vec![],
+            score_secs: score,
+            cost_secs: 2.0,
+            budget_spent_secs: 2.0,
+            gc_pause_total_ms: Some(10.0),
+            gc_collections: Some(2),
+            jit_compile_ms: Some(5.0),
+            jit_compiles: Some(100),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn counts_trials_and_failures() {
+        let m = MetricsRegistry::new();
+        m.on_event(&trial(Some(1.0)));
+        m.on_event(&trial(Some(2.0)));
+        m.on_event(&trial(None));
+        assert_eq!(m.counter("trials_evaluated"), 3);
+        assert_eq!(m.counter("trials_failed"), 1);
+        assert_eq!(m.counter("nonexistent"), 0);
+        let scores = m.histogram("trial_score").unwrap();
+        assert_eq!(scores.count(), 2);
+        assert_eq!(m.histogram("trial_cost").unwrap().count(), 3);
+        assert_eq!(m.histogram("gc_pause_total").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn render_mentions_all_recorded_metrics() {
+        let m = MetricsRegistry::new();
+        m.on_event(&trial(Some(1.0)));
+        m.on_event(&TraceEvent::BudgetExhausted {
+            spent_secs: 1.0,
+            total_secs: 1.0,
+            evaluations: 1,
+        });
+        let r = m.render();
+        assert!(r.contains("trials_evaluated"));
+        assert!(r.contains("budget_exhausted"));
+        assert!(r.contains("trial_score"));
+    }
+}

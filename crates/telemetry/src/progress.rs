@@ -1,0 +1,219 @@
+//! Live progress reporting for interactive runs.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::bus::TuningObserver;
+use crate::event::TraceEvent;
+
+#[derive(Debug, Default)]
+struct State {
+    program: String,
+    budget_mins: f64,
+    default_secs: Option<f64>,
+    best_secs: Option<f64>,
+    best_improvement: f64,
+}
+
+/// Renders a human-readable line per notable event (new best, budget
+/// exhaustion, session boundaries) plus a heartbeat every `every`
+/// trials. Intended for stderr so `--trace`/`--json` stdout streams stay
+/// machine-readable.
+pub struct ProgressReporter {
+    out: Mutex<Box<dyn Write + Send>>,
+    state: Mutex<State>,
+    every: u64,
+}
+
+impl std::fmt::Debug for ProgressReporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressReporter")
+            .field("every", &self.every)
+            .finish()
+    }
+}
+
+impl ProgressReporter {
+    /// Reporter on stderr with a heartbeat every 25 trials.
+    pub fn stderr() -> ProgressReporter {
+        ProgressReporter::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// Reporter on an arbitrary writer (tests capture output this way).
+    pub fn to_writer(out: Box<dyn Write + Send>) -> ProgressReporter {
+        ProgressReporter {
+            out: Mutex::new(out),
+            state: Mutex::new(State::default()),
+            every: 25,
+        }
+    }
+
+    /// Set the heartbeat period (`0` disables heartbeats).
+    pub fn every(mut self, trials: u64) -> ProgressReporter {
+        self.every = trials;
+        self
+    }
+
+    fn line(&self, text: &str) {
+        let mut out = self.out.lock().expect("progress poisoned");
+        // A closed stderr/pipe must not fail the tuning run.
+        let _ = writeln!(out, "{text}");
+        let _ = out.flush();
+    }
+}
+
+impl TuningObserver for ProgressReporter {
+    fn on_event(&self, event: &TraceEvent) {
+        match event {
+            TraceEvent::SessionStarted {
+                program,
+                technique,
+                manipulator,
+                budget_secs,
+                workers,
+                ..
+            } => {
+                let mut s = self.state.lock().expect("progress poisoned");
+                *s = State {
+                    program: program.clone(),
+                    budget_mins: budget_secs / 60.0,
+                    ..State::default()
+                };
+                self.line(&format!(
+                    "[{program}] session started: {:.0}-minute budget, technique {technique}, \
+                     {manipulator} manipulator, {workers} workers",
+                    budget_secs / 60.0
+                ));
+            }
+            TraceEvent::TrialEvaluated {
+                index,
+                score_secs,
+                budget_spent_secs,
+                ..
+            } => {
+                let mut s = self.state.lock().expect("progress poisoned");
+                if *index == 0 {
+                    s.default_secs = *score_secs;
+                }
+                let heartbeat = self.every > 0 && *index > 0 && index % self.every == 0;
+                if heartbeat {
+                    let best = s
+                        .best_secs
+                        .or(s.default_secs)
+                        .map_or("-".to_string(), |b| format!("{b:.3}s"));
+                    let program = s.program.clone();
+                    let budget_mins = s.budget_mins;
+                    let improvement = s.best_improvement;
+                    drop(s);
+                    self.line(&format!(
+                        "[{program}] {:.1}/{budget_mins:.1} min  trial #{index}  best {best} \
+                         ({improvement:+.1}%)",
+                        budget_spent_secs / 60.0
+                    ));
+                }
+            }
+            TraceEvent::BestImproved {
+                index,
+                score_secs,
+                improvement_percent,
+                ..
+            } => {
+                let mut s = self.state.lock().expect("progress poisoned");
+                s.best_secs = Some(*score_secs);
+                s.best_improvement = *improvement_percent;
+                let program = s.program.clone();
+                drop(s);
+                self.line(&format!(
+                    "[{program}] trial #{index}: new best {score_secs:.3}s \
+                     ({improvement_percent:+.1}%)"
+                ));
+            }
+            TraceEvent::BudgetExhausted {
+                spent_secs,
+                total_secs,
+                evaluations,
+            } => {
+                let program = self
+                    .state
+                    .lock()
+                    .expect("progress poisoned")
+                    .program
+                    .clone();
+                self.line(&format!(
+                    "[{program}] budget exhausted: {:.1}/{:.1} min after {evaluations} evaluations",
+                    spent_secs / 60.0,
+                    total_secs / 60.0
+                ));
+            }
+            TraceEvent::SessionFinished {
+                program,
+                default_secs,
+                best_secs,
+                improvement_percent,
+                evaluations,
+                ..
+            } => {
+                self.line(&format!(
+                    "[{program}] done: default {default_secs:.3}s -> best {best_secs:.3}s \
+                     ({improvement_percent:+.1}%) in {evaluations} evaluations"
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reports_session_and_best_lines() {
+        let buf = Shared::default();
+        let p = ProgressReporter::to_writer(Box::new(buf.clone())).every(1);
+        p.on_event(&TraceEvent::SessionStarted {
+            program: "h2".into(),
+            executor: "sim:h2".into(),
+            technique: "ensemble".into(),
+            manipulator: "hierarchical".into(),
+            budget_secs: 12000.0,
+            seed: 1,
+            workers: 4,
+            batch: 4,
+            repeats: 3,
+        });
+        p.on_event(&TraceEvent::BestImproved {
+            index: 4,
+            score_secs: 30.1,
+            improvement_percent: 12.5,
+            delta: vec![],
+        });
+        p.on_event(&TraceEvent::SessionFinished {
+            program: "h2".into(),
+            default_secs: 34.0,
+            best_secs: 30.1,
+            improvement_percent: 12.5,
+            evaluations: 40,
+            spent_secs: 11900.0,
+            best_delta: vec![],
+        });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("session started"), "{text}");
+        assert!(text.contains("new best 30.100s"), "{text}");
+        assert!(text.contains("done: default 34.000s"), "{text}");
+    }
+}

@@ -1,0 +1,81 @@
+//! In-memory event recorder (tests, post-run analysis).
+
+use std::sync::Mutex;
+
+use crate::bus::TuningObserver;
+use crate::event::TraceEvent;
+
+/// Records every event it sees; read back with
+/// [`MemoryRecorder::events`] or [`MemoryRecorder::to_jsonl`].
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemoryRecorder {
+    /// Empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Snapshot of all recorded events, in arrival order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder poisoned").len()
+    }
+
+    /// Has nothing been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the recorded events, leaving the recorder empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("recorder poisoned"))
+    }
+
+    /// Render the recorded stream as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().expect("recorder poisoned").iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TuningObserver for MemoryRecorder {
+    fn on_event(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("recorder poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains() {
+        let r = MemoryRecorder::new();
+        assert!(r.is_empty());
+        let e = TraceEvent::RoundProposed {
+            round: 1,
+            technique: "x".into(),
+            candidates: 2,
+        };
+        r.on_event(&e);
+        r.on_event(&e);
+        assert_eq!(r.len(), 2);
+        assert!(r.to_jsonl().lines().count() == 2);
+        assert_eq!(r.take().len(), 2);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal JSON emission.
+//!
+//! The telemetry stream and the `--json` CLI surface need JSON output,
+//! but the workspace is deliberately dependency-free (see the crate
+//! docs): this module is a hand-rolled *writer* for the small, flat
+//! shapes we serialise. It makes two guarantees the telemetry
+//! determinism contract relies on:
+//!
+//! - **Byte determinism**: the same value always renders to the same
+//!   bytes (fields are written in call order; numbers use Rust's
+//!   shortest round-trip `Display`).
+//! - **Valid JSON**: strings are escaped per RFC 8259, and non-finite
+//!   floats (which JSON cannot represent) are written as `null`.
+
+use std::fmt::Write as _;
+
+/// Escape `s` and append it, quoted, to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a JSON number (`null` for NaN/±∞, which JSON cannot encode).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental writer for one JSON object. Fields appear in call order.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Start `{`.
+    pub fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_str_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// String field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        push_str_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Optional string field (`null` when absent).
+    pub fn opt_str(mut self, key: &str, value: Option<&str>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => push_str_escaped(&mut self.buf, v),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Float field (`null` for non-finite values).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        push_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Optional float field.
+    pub fn opt_f64(mut self, key: &str, value: Option<f64>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => push_f64(&mut self.buf, v),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Array-of-strings field.
+    pub fn str_array(mut self, key: &str, values: &[String]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            push_str_escaped(&mut self.buf, v);
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Array-of-floats field.
+    pub fn f64_array(mut self, key: &str, values: &[f64]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            push_f64(&mut self.buf, *v);
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Field whose value is already-rendered JSON (nested object/array).
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close `}` and return the rendered object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Render a slice of pre-rendered JSON values as a JSON array.
+pub fn array_of(values: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(v);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn object_renders_fields_in_call_order() {
+        let j = JsonObject::new()
+            .str("type", "X")
+            .u64("n", 3)
+            .f64("x", 1.5)
+            .bool("ok", true)
+            .opt_str("err", None)
+            .str_array("delta", &["-XX:+UseG1GC".to_string()])
+            .f64_array("samples", &[0.25, 0.5])
+            .finish();
+        assert_eq!(
+            j,
+            r#"{"type":"X","n":3,"x":1.5,"ok":true,"err":null,"delta":["-XX:+UseG1GC"],"samples":[0.25,0.5]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let j = JsonObject::new()
+            .f64("inf", f64::INFINITY)
+            .opt_f64("nan", Some(f64::NAN))
+            .finish();
+        assert_eq!(j, r#"{"inf":null,"nan":null}"#);
+    }
+
+    #[test]
+    fn array_of_joins_rendered_values() {
+        let vals = vec!["1".to_string(), r#"{"a":2}"#.to_string()];
+        assert_eq!(array_of(&vals), r#"[1,{"a":2}]"#);
+    }
+
+    #[test]
+    fn identical_values_render_identical_bytes() {
+        let render = || JsonObject::new().f64("t", 0.1 + 0.2).finish();
+        assert_eq!(render(), render());
+    }
+}

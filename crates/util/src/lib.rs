@@ -18,6 +18,8 @@
 //! - [`histogram`] — fixed-bucket latency histograms for GC-pause
 //!   distributions.
 //! - [`table`] — plain-text table rendering for experiment output.
+//! - [`json`] — minimal, byte-deterministic JSON emission for the
+//!   telemetry trace stream and the CLI's `--json` surface.
 //!
 //! The RNG and statistics are implemented here rather than pulled from
 //! crates so the numerical core of the reproduction is auditable and
@@ -27,6 +29,7 @@
 #![deny(unsafe_code)]
 
 pub mod histogram;
+pub mod json;
 pub mod rng;
 pub mod simtime;
 pub mod stats;

@@ -123,9 +123,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -255,9 +253,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-            - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -268,11 +264,7 @@ fn erf(x: f64) -> f64 {
 ///
 /// Deterministic given the RNG; the experiments use a fixed seed so tables
 /// are reproducible.
-pub fn bootstrap_mean_ci<R: Rng>(
-    xs: &[f64],
-    resamples: usize,
-    rng: &mut R,
-) -> Option<(f64, f64)> {
+pub fn bootstrap_mean_ci<R: Rng>(xs: &[f64], resamples: usize, rng: &mut R) -> Option<(f64, f64)> {
     if xs.is_empty() || resamples == 0 {
         return None;
     }

@@ -189,7 +189,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(12.3456, 2), "12.35");
         assert_eq!(fpct(19.25), "+19.2%");
         assert_eq!(fpct(-2.07), "-2.1%");
     }

@@ -63,41 +63,271 @@ pub fn specjvm2008_startup() -> Vec<Workload> {
         // javac compiling itself: enormous flat method working set, call-
         // and pointer-dense, class-heavy. Warm-up never completes under the
         // classic policy → tiered is transformative (paper-scale gain).
-        wl("compiler.compiler", 1.1e9, 1, 2.3, 105.0, 0.115, 1000, 0.90, 95.0, 0.045, 0.0006, 0.05, 0.55, 0.08, 0.03, 9500),
+        wl(
+            "compiler.compiler",
+            1.1e9,
+            1,
+            2.3,
+            105.0,
+            0.115,
+            1000,
+            0.90,
+            95.0,
+            0.045,
+            0.0006,
+            0.05,
+            0.55,
+            0.08,
+            0.03,
+            9500,
+        ),
         // javac compiling the sunflow sources: same engine, smaller corpus.
-        wl("compiler.sunflow", 9.0e8, 1, 1.5, 70.0, 0.10, 650, 0.92, 95.0, 0.040, 0.0006, 0.05, 0.55, 0.08, 0.03, 8800),
+        wl(
+            "compiler.sunflow",
+            9.0e8,
+            1,
+            1.5,
+            70.0,
+            0.10,
+            650,
+            0.92,
+            95.0,
+            0.040,
+            0.0006,
+            0.05,
+            0.55,
+            0.08,
+            0.03,
+            8800,
+        ),
         // LZW compression: one hot loop nest over byte arrays; warms up
         // almost instantly, little for the tuner beyond prefetch/unroll.
-        wl("compress", 1.4e9, 1, 0.15, 12.0, 0.03, 45, 1.60, 55.0, 0.012, 0.0001, 0.01, 0.10, 0.85, 0.10, 2100),
+        wl(
+            "compress", 1.4e9, 1, 0.15, 12.0, 0.03, 45, 1.60, 55.0, 0.012, 0.0001, 0.01, 0.10,
+            0.85, 0.10, 2100,
+        ),
         // AES/DES en/decryption: tight intrinsic-friendly kernels.
-        wl("crypto.aes", 1.2e9, 1, 0.25, 15.0, 0.03, 90, 1.45, 70.0, 0.015, 0.0001, 0.01, 0.12, 0.60, 0.30, 2400),
+        wl(
+            "crypto.aes",
+            1.2e9,
+            1,
+            0.25,
+            15.0,
+            0.03,
+            90,
+            1.45,
+            70.0,
+            0.015,
+            0.0001,
+            0.01,
+            0.12,
+            0.60,
+            0.30,
+            2400,
+        ),
         // RSA: BigInteger arithmetic, modest method set, some allocation.
-        wl("crypto.rsa", 1.0e9, 1, 0.75, 20.0, 0.06, 160, 1.30, 80.0, 0.020, 0.0001, 0.01, 0.25, 0.45, 0.35, 2500),
+        wl(
+            "crypto.rsa",
+            1.0e9,
+            1,
+            0.75,
+            20.0,
+            0.06,
+            160,
+            1.30,
+            80.0,
+            0.020,
+            0.0001,
+            0.01,
+            0.25,
+            0.45,
+            0.35,
+            2500,
+        ),
         // Sign/verify mixes hashing and BigInteger: broader code, slower
         // warm-up than the other crypto kernels.
-        wl("crypto.signverify", 9.5e8, 1, 0.80, 22.0, 0.06, 320, 1.10, 85.0, 0.024, 0.0002, 0.01, 0.30, 0.40, 0.30, 2900),
+        wl(
+            "crypto.signverify",
+            9.5e8,
+            1,
+            0.80,
+            22.0,
+            0.06,
+            320,
+            1.10,
+            85.0,
+            0.024,
+            0.0002,
+            0.01,
+            0.30,
+            0.40,
+            0.30,
+            2900,
+        ),
         // MP3 decoding: floating-point filter banks over arrays.
-        wl("mpegaudio", 1.2e9, 1, 0.35, 14.0, 0.04, 170, 1.30, 75.0, 0.020, 0.0001, 0.01, 0.15, 0.70, 0.55, 2300),
+        wl(
+            "mpegaudio",
+            1.2e9,
+            1,
+            0.35,
+            14.0,
+            0.04,
+            170,
+            1.30,
+            75.0,
+            0.020,
+            0.0001,
+            0.01,
+            0.15,
+            0.70,
+            0.55,
+            2300,
+        ),
         // SciMark kernels: tiny numeric loops, instant warm-up; gains come
         // only from code-gen flags (unroll, superword, prefetch).
-        wl("scimark.fft", 1.3e9, 1, 0.10, 24.0, 0.02, 22, 1.70, 60.0, 0.010, 0.0001, 0.01, 0.08, 0.90, 0.65, 1900),
-        wl("scimark.lu", 1.3e9, 1, 0.10, 28.0, 0.02, 20, 1.70, 60.0, 0.010, 0.0001, 0.01, 0.08, 0.92, 0.60, 1900),
-        wl("scimark.sor", 1.3e9, 1, 0.08, 20.0, 0.02, 18, 1.70, 55.0, 0.010, 0.0001, 0.01, 0.08, 0.92, 0.55, 1900),
-        wl("scimark.sparse", 1.2e9, 1, 0.12, 30.0, 0.02, 22, 1.65, 60.0, 0.010, 0.0001, 0.01, 0.20, 0.85, 0.55, 1900),
-        wl("scimark.monte_carlo", 1.2e9, 1, 0.06, 10.0, 0.02, 16, 1.75, 50.0, 0.010, 0.0001, 0.01, 0.06, 0.60, 0.70, 1900),
+        wl(
+            "scimark.fft",
+            1.3e9,
+            1,
+            0.10,
+            24.0,
+            0.02,
+            22,
+            1.70,
+            60.0,
+            0.010,
+            0.0001,
+            0.01,
+            0.08,
+            0.90,
+            0.65,
+            1900,
+        ),
+        wl(
+            "scimark.lu",
+            1.3e9,
+            1,
+            0.10,
+            28.0,
+            0.02,
+            20,
+            1.70,
+            60.0,
+            0.010,
+            0.0001,
+            0.01,
+            0.08,
+            0.92,
+            0.60,
+            1900,
+        ),
+        wl(
+            "scimark.sor",
+            1.3e9,
+            1,
+            0.08,
+            20.0,
+            0.02,
+            18,
+            1.70,
+            55.0,
+            0.010,
+            0.0001,
+            0.01,
+            0.08,
+            0.92,
+            0.55,
+            1900,
+        ),
+        wl(
+            "scimark.sparse",
+            1.2e9,
+            1,
+            0.12,
+            30.0,
+            0.02,
+            22,
+            1.65,
+            60.0,
+            0.010,
+            0.0001,
+            0.01,
+            0.20,
+            0.85,
+            0.55,
+            1900,
+        ),
+        wl(
+            "scimark.monte_carlo",
+            1.2e9,
+            1,
+            0.06,
+            10.0,
+            0.02,
+            16,
+            1.75,
+            50.0,
+            0.010,
+            0.0001,
+            0.01,
+            0.06,
+            0.60,
+            0.70,
+            1900,
+        ),
         // Object-graph serialization: the most allocation- and pointer-
         // intensive startup program; default eden drowns in scavenges while
         // the classic JIT is still interpreting — the biggest headroom in
         // the suite (the paper reports a 63 % best case).
-        wl("serial", 8.5e8, 1, 5.2, 195.0, 0.155, 1400, 0.66, 70.0, 0.045, 0.0004, 0.03, 0.70, 0.15, 0.05, 6200),
+        wl(
+            "serial", 8.5e8, 1, 5.2, 195.0, 0.155, 1400, 0.66, 70.0, 0.045, 0.0004, 0.03, 0.70,
+            0.15, 0.05, 6200,
+        ),
         // Ray tracer: fp-heavy with a mid-size method set; runs 4 render
         // threads even in startup mode.
-        wl("sunflow", 2.2e9, 4, 1.1, 45.0, 0.06, 380, 1.02, 80.0, 0.016, 0.0008, 0.06, 0.35, 0.50, 0.60, 3600),
+        wl(
+            "sunflow", 2.2e9, 4, 1.1, 45.0, 0.06, 380, 1.02, 80.0, 0.016, 0.0008, 0.06, 0.35, 0.50,
+            0.60, 3600,
+        ),
         // XSLT transform: call-dense visitor pattern over DOM trees.
-        wl("xml.transform", 1.0e9, 1, 2.2, 85.0, 0.10, 950, 0.88, 85.0, 0.035, 0.0005, 0.04, 0.60, 0.12, 0.05, 7400),
+        wl(
+            "xml.transform",
+            1.0e9,
+            1,
+            2.2,
+            85.0,
+            0.10,
+            950,
+            0.88,
+            85.0,
+            0.035,
+            0.0005,
+            0.04,
+            0.60,
+            0.12,
+            0.05,
+            7400,
+        ),
         // Schema validation: parser + validator, extremely allocation- and
         // class-heavy with a flat profile — the paper's second-largest gain.
-        wl("xml.validation", 9.0e8, 1, 5.0, 170.0, 0.145, 1300, 0.72, 80.0, 0.042, 0.0005, 0.04, 0.65, 0.12, 0.05, 8200),
+        wl(
+            "xml.validation",
+            9.0e8,
+            1,
+            5.0,
+            170.0,
+            0.145,
+            1300,
+            0.72,
+            80.0,
+            0.042,
+            0.0005,
+            0.04,
+            0.65,
+            0.12,
+            0.05,
+            8200,
+        ),
     ]
 }
 
@@ -112,39 +342,92 @@ pub fn dacapo() -> Vec<Workload> {
     vec![
         // AVR micro-controller simulation: many tiny objects, fine-grained
         // synchronisation between simulated nodes, small live set.
-        wl("avrora", 5.0e9, 2, 0.50, 60.0, 0.05, 380, 1.00, 60.0, 0.015, 0.0080, 0.28, 0.35, 0.20, 0.10, 3900),
+        wl(
+            "avrora", 5.0e9, 2, 0.50, 60.0, 0.05, 380, 1.00, 60.0, 0.015, 0.0080, 0.28, 0.35, 0.20,
+            0.10, 3900,
+        ),
         // SVG rendering: bursty allocation of short-lived geometry.
-        wl("batik", 4.0e9, 1, 2.9, 130.0, 0.09, 1000, 0.82, 80.0, 0.022, 0.0004, 0.03, 0.45, 0.35, 0.30, 5600),
+        wl(
+            "batik", 4.0e9, 1, 2.9, 130.0, 0.09, 1000, 0.82, 80.0, 0.022, 0.0004, 0.03, 0.45, 0.35,
+            0.30, 5600,
+        ),
         // Eclipse IDE workloads: the biggest live set and class count in
         // the suite; the default heap barely fits it.
-        wl("eclipse", 9.0e9, 2, 1.55, 395.0, 0.11, 2600, 0.70, 90.0, 0.034, 0.0030, 0.10, 0.60, 0.10, 0.05, 16500),
+        wl(
+            "eclipse", 9.0e9, 2, 1.55, 395.0, 0.11, 2600, 0.70, 90.0, 0.034, 0.0030, 0.10, 0.60,
+            0.10, 0.05, 16500,
+        ),
         // XSL-FO to PDF: allocation-heavy tree building, single-threaded.
-        wl("fop", 3.0e9, 1, 3.3, 95.0, 0.10, 1400, 0.73, 85.0, 0.030, 0.0003, 0.02, 0.55, 0.15, 0.10, 6800),
+        wl(
+            "fop", 3.0e9, 1, 3.3, 95.0, 0.10, 1400, 0.73, 85.0, 0.030, 0.0003, 0.02, 0.55, 0.15,
+            0.10, 6800,
+        ),
         // In-memory JDBC database: huge live set, high allocation, lock
         // traffic on the transaction engine — the paper's biggest DaCapo
         // win comes from heap + collector choice here.
-        wl("h2", 8.0e9, 4, 2.05, 270.0, 0.085, 1100, 0.80, 75.0, 0.026, 0.0060, 0.22, 0.65, 0.15, 0.05, 5200),
+        wl(
+            "h2", 8.0e9, 4, 2.05, 270.0, 0.085, 1100, 0.80, 75.0, 0.026, 0.0060, 0.22, 0.65, 0.15,
+            0.05, 5200,
+        ),
         // Python interpreter on the JVM: megamorphic call sites, flat
         // method profile, constant allocation of frame objects.
-        wl("jython", 6.0e9, 1, 2.4, 180.0, 0.09, 3600, 0.55, 70.0, 0.048, 0.0005, 0.03, 0.60, 0.08, 0.05, 9800),
+        wl(
+            "jython", 6.0e9, 1, 2.4, 180.0, 0.09, 3600, 0.55, 70.0, 0.048, 0.0005, 0.03, 0.60,
+            0.08, 0.05, 9800,
+        ),
         // Lucene indexing: streaming text, moderate allocation.
-        wl("luindex", 3.5e9, 1, 2.1, 85.0, 0.07, 560, 0.92, 70.0, 0.018, 0.0003, 0.02, 0.40, 0.45, 0.10, 4100),
+        wl(
+            "luindex", 3.5e9, 1, 2.1, 85.0, 0.07, 560, 0.92, 70.0, 0.018, 0.0003, 0.02, 0.40, 0.45,
+            0.10, 4100,
+        ),
         // Lucene search: embarrassingly parallel query threads with a
         // shared index — allocation spikes and some contention.
-        wl("lusearch", 4.5e9, 8, 2.3, 100.0, 0.06, 480, 1.00, 65.0, 0.020, 0.0040, 0.28, 0.45, 0.40, 0.08, 4000),
+        wl(
+            "lusearch", 4.5e9, 8, 2.3, 100.0, 0.06, 480, 1.00, 65.0, 0.020, 0.0040, 0.28, 0.45,
+            0.40, 0.08, 4000,
+        ),
         // Source-code analysis: AST walking, pointer-chasing, mid live set.
-        wl("pmd", 4.0e9, 2, 2.0, 170.0, 0.08, 1500, 0.70, 85.0, 0.032, 0.0010, 0.06, 0.65, 0.10, 0.05, 7600),
+        wl(
+            "pmd", 4.0e9, 2, 2.0, 170.0, 0.08, 1500, 0.70, 85.0, 0.032, 0.0010, 0.06, 0.65, 0.10,
+            0.05, 7600,
+        ),
         // Ray tracer (DaCapo variant): fp kernels across 4 threads.
-        wl("sunflow", 5.0e9, 4, 1.2, 60.0, 0.06, 500, 1.00, 80.0, 0.020, 0.0010, 0.08, 0.35, 0.50, 0.60, 3800),
+        wl(
+            "sunflow", 5.0e9, 4, 1.2, 60.0, 0.06, 500, 1.00, 80.0, 0.020, 0.0010, 0.08, 0.35, 0.50,
+            0.60, 3800,
+        ),
         // Servlet container replaying requests: many threads, classes and
         // monitors; session state keeps a sizeable live set.
-        wl("tomcat", 6.0e9, 8, 1.45, 185.0, 0.075, 1600, 0.75, 80.0, 0.030, 0.0070, 0.20, 0.55, 0.12, 0.05, 12500),
+        wl(
+            "tomcat", 6.0e9, 8, 1.45, 185.0, 0.075, 1600, 0.75, 80.0, 0.030, 0.0070, 0.20, 0.55,
+            0.12, 0.05, 12500,
+        ),
         // Daytrader on EJB: transactional object churn over a large
         // session/entity cache.
-        wl("tradebeans", 7.0e9, 4, 1.85, 215.0, 0.095, 1750, 0.68, 80.0, 0.030, 0.0050, 0.20, 0.60, 0.10, 0.05, 11000),
+        wl(
+            "tradebeans",
+            7.0e9,
+            4,
+            1.85,
+            215.0,
+            0.095,
+            1750,
+            0.68,
+            80.0,
+            0.030,
+            0.0050,
+            0.20,
+            0.60,
+            0.10,
+            0.05,
+            11000,
+        ),
         // Multi-threaded XSLT: the suite's allocation-rate extreme with
         // hot lock contention on shared output buffers.
-        wl("xalan", 5.0e9, 8, 2.3, 140.0, 0.06, 1500, 0.75, 80.0, 0.034, 0.0090, 0.35, 0.55, 0.15, 0.05, 6900),
+        wl(
+            "xalan", 5.0e9, 8, 2.3, 140.0, 0.06, 1500, 0.75, 80.0, 0.034, 0.0090, 0.35, 0.55, 0.15,
+            0.05, 6900,
+        ),
     ]
 }
 

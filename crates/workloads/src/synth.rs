@@ -18,7 +18,7 @@ impl SyntheticGenerator {
     /// Create a generator; each seed yields a distinct reproducible stream.
     pub fn new(seed: u64) -> SyntheticGenerator {
         SyntheticGenerator {
-            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x73796e_7468),
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x73_796e_7468),
             counter: 0,
         }
     }
@@ -93,10 +93,22 @@ mod tests {
 
     #[test]
     fn streams_are_reproducible() {
-        let a: Vec<f64> = SyntheticGenerator::new(7).take(10).iter().map(|w| w.total_work).collect();
-        let b: Vec<f64> = SyntheticGenerator::new(7).take(10).iter().map(|w| w.total_work).collect();
+        let a: Vec<f64> = SyntheticGenerator::new(7)
+            .take(10)
+            .iter()
+            .map(|w| w.total_work)
+            .collect();
+        let b: Vec<f64> = SyntheticGenerator::new(7)
+            .take(10)
+            .iter()
+            .map(|w| w.total_work)
+            .collect();
         assert_eq!(a, b);
-        let c: Vec<f64> = SyntheticGenerator::new(8).take(10).iter().map(|w| w.total_work).collect();
+        let c: Vec<f64> = SyntheticGenerator::new(8)
+            .take(10)
+            .iter()
+            .map(|w| w.total_work)
+            .collect();
         assert_ne!(a, c);
     }
 

@@ -37,8 +37,14 @@ fn main() {
     println!("default configuration behaviour:");
     println!("  total        {}", default_outcome.total);
     println!("  gc pauses    {}", default_outcome.breakdown.gc_pause);
-    println!("  young / full {} / {}", default_outcome.gc.young_collections, default_outcome.gc.full_collections);
-    println!("  c2 coverage  {:.0}%", default_outcome.jit.c2_work_fraction * 100.0);
+    println!(
+        "  young / full {} / {}",
+        default_outcome.gc.young_collections, default_outcome.gc.full_collections
+    );
+    println!(
+        "  c2 coverage  {:.0}%",
+        default_outcome.jit.c2_work_fraction * 100.0
+    );
     if let Some(f) = &default_outcome.failure {
         println!("  FAILED: {f} — the default heap cannot hold the live set");
     }
@@ -49,7 +55,10 @@ fn main() {
         ..TunerOptions::default()
     };
     let result = Tuner::new(opts).run(&executor, "order-matcher");
-    println!("\ntuned: {:+.1}% improvement over default", result.improvement_percent());
+    println!(
+        "\ntuned: {:+.1}% improvement over default",
+        result.improvement_percent()
+    );
     println!("recommended java flags:");
     for flag in &result.session.best_delta {
         println!("  {flag}");
@@ -60,8 +69,14 @@ fn main() {
     println!("\ntuned configuration behaviour:");
     println!("  total        {}", tuned_outcome.total);
     println!("  gc pauses    {}", tuned_outcome.breakdown.gc_pause);
-    println!("  young / full {} / {}", tuned_outcome.gc.young_collections, tuned_outcome.gc.full_collections);
-    println!("  c2 coverage  {:.0}%", tuned_outcome.jit.c2_work_fraction * 100.0);
+    println!(
+        "  young / full {} / {}",
+        tuned_outcome.gc.young_collections, tuned_outcome.gc.full_collections
+    );
+    println!(
+        "  c2 coverage  {:.0}%",
+        tuned_outcome.jit.c2_work_fraction * 100.0
+    );
 
     // Which structural branch did the tuner pick? Ask the hierarchy.
     let tree = hotspot_tree();

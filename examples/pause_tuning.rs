@@ -58,7 +58,10 @@ fn main() {
     for objective in [
         Objective::Throughput,
         Objective::PausePercentile(99.0),
-        Objective::Weighted { percentile: 99.0, weight: 0.3 },
+        Objective::Weighted {
+            percentile: 99.0,
+            weight: 0.3,
+        },
     ] {
         let (name, result) = tune(objective);
         report(&name, &result.best_config);

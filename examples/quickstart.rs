@@ -13,10 +13,7 @@ use hotspot_autotuner::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let program = args.next().unwrap_or_else(|| "serial".to_string());
-    let budget_mins: u64 = args
-        .next()
-        .and_then(|b| b.parse().ok())
-        .unwrap_or(30);
+    let budget_mins: u64 = args.next().and_then(|b| b.parse().ok()).unwrap_or(30);
 
     let Some(workload) = workload_by_name(&program) else {
         eprintln!("unknown workload {program:?}; try one of:");
@@ -50,7 +47,10 @@ fn main() {
     println!();
     println!("default configuration : {:>8.3} s", s.default_secs);
     println!("best found            : {:>8.3} s", s.best_secs);
-    println!("improvement           : {:+.1}%", result.improvement_percent());
+    println!(
+        "improvement           : {:+.1}%",
+        result.improvement_percent()
+    );
     println!("candidates evaluated  : {}", s.evaluations);
     println!();
     println!("best flag settings (what you would pass to java):");

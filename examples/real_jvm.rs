@@ -41,7 +41,10 @@ fn main() {
                     budget: SimDuration::from_mins(10),
                     ..TunerOptions::default()
                 })
-                .run(&SimExecutor::new(workload_by_name("compress").unwrap()), "compress");
+                .run(
+                    &SimExecutor::new(workload_by_name("compress").unwrap()),
+                    "compress",
+                );
                 println!("simulated fallback: {:+.1}%", result.improvement_percent());
                 return;
             }
@@ -53,7 +56,11 @@ fn main() {
         budget: SimDuration::from_mins(2),
         workers: 1, // one JVM at a time: parallel JVMs perturb each other
         batch: 4,
-        protocol: Protocol { repeats: 3, fail_fast: true, ..Protocol::default() },
+        protocol: Protocol {
+            repeats: 3,
+            fail_fast: true,
+            ..Protocol::default()
+        },
         ..TunerOptions::default()
     };
     println!("tuning a real JVM for 2 minutes of wall clock...");

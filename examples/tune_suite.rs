@@ -23,7 +23,10 @@ fn main() {
     };
 
     println!("suite: {suite}, budget {budget_mins} min/program (paper: 200)\n");
-    println!("{:<22} {:>10} {:>10} {:>12}", "program", "default(s)", "tuned(s)", "improvement");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "program", "default(s)", "tuned(s)", "improvement"
+    );
     let mut improvements = Vec::new();
     for (i, workload) in workloads.into_iter().enumerate() {
         let name = workload.name.clone();

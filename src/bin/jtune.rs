@@ -3,16 +3,20 @@
 //! ```text
 //! jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
 //!                       [--manipulator hier|flat|subset] [--minimize]
-//! jtune suite <spec|dacapo> [--budget MIN]
+//!                       [--trace PATH] [--progress] [--json]
+//! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
 //! jtune simulate <workload> [-XX:... flags]
 //! jtune flags [substring]
 //! jtune tree
 //! jtune workloads
 //! ```
 
-use hotspot_autotuner::prelude::*;
+use std::sync::Arc;
+
 use hotspot_autotuner::flagtree::SpaceStats;
+use hotspot_autotuner::prelude::*;
 use hotspot_autotuner::tuner::analysis::{flag_impact, ImpactOptions};
+use hotspot_autotuner::util::json;
 use hotspot_autotuner::util::stats::Summary;
 
 fn main() {
@@ -43,14 +47,21 @@ fn usage(code: i32) -> i32 {
 USAGE:
   jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
                         [--manipulator hier|flat|subset] [--minimize]
+                        [--trace PATH] [--progress] [--json]
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
+                        [--trace PATH] [--progress] [--json]
   jtune simulate <workload> [--gclog] [-XX:...flag ...]
   jtune flags [substring]      list the 750-flag registry
   jtune tree                   print the flag hierarchy + space statistics
   jtune workloads              list built-in workload models
 
 Workload names: bare (`serial`), or suite-qualified (`dacapo:h2`,
-`spec:sunflow`). Budgets are virtual minutes; the paper used 200."
+`spec:sunflow`). Budgets are virtual minutes; the paper used 200.
+
+Observability: --trace PATH streams one JSON event per trial to PATH
+(JSON Lines, bit-deterministic for a given seed), --progress reports
+live tuning progress on stderr, --json prints the final session
+record(s) as JSON on stdout instead of the human-readable summary."
     );
     code
 }
@@ -95,6 +106,24 @@ fn tuner_options_from(rest: &[String]) -> TunerOptions {
     opts
 }
 
+/// Build the telemetry bus requested on the command line: `--trace PATH`
+/// attaches a JSONL sink, `--progress` a live stderr reporter.
+fn telemetry_from(rest: &[String]) -> TelemetryBus {
+    let mut bus = TelemetryBus::new();
+    if let Some(path) = parse_opt(rest, "--trace") {
+        match JsonlSink::create(&path) {
+            Ok(sink) => {
+                bus.add(Arc::new(sink));
+            }
+            Err(e) => eprintln!("warning: cannot create trace file {path:?}: {e}"),
+        }
+    }
+    if rest.iter().any(|a| a == "--progress") {
+        bus.add(Arc::new(ProgressReporter::stderr()));
+    }
+    bus
+}
+
 fn cmd_tune(rest: &[String]) -> i32 {
     let Some(name) = rest.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("tune: missing workload name");
@@ -106,12 +135,20 @@ fn cmd_tune(rest: &[String]) -> i32 {
     };
     let opts = tuner_options_from(rest);
     let minimize = rest.iter().any(|a| a == "--minimize");
-    println!(
-        "tuning {name} ({} budget, technique {}, {:?} manipulator)",
-        opts.budget, opts.technique, opts.manipulator
-    );
+    let json_out = rest.iter().any(|a| a == "--json");
+    let bus = telemetry_from(rest);
+    if !json_out {
+        println!(
+            "tuning {name} ({} budget, technique {}, {:?} manipulator)",
+            opts.budget, opts.technique, opts.manipulator
+        );
+    }
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run(&executor, name);
+    let result = Tuner::new(opts).run_observed(&executor, name, &bus);
+    if json_out {
+        println!("{}", result.session.to_json());
+        return 0;
+    }
     println!(
         "default {:.3}s -> best {:.3}s  ({:+.1}%)  [{} candidates]",
         result.session.default_secs,
@@ -124,9 +161,16 @@ fn cmd_tune(rest: &[String]) -> i32 {
         let impacts = flag_impact(&executor, &result.best_config, ImpactOptions::default());
         println!("{:<44} {:>10}", "flag", "impact");
         for i in impacts.iter().filter(|i| i.impact_percent.abs() >= 0.75) {
-            println!("{:<44} {:>9.1}%", format!("{}={}", i.name, i.value), i.impact_percent);
+            println!(
+                "{:<44} {:>9.1}%",
+                format!("{}={}", i.name, i.value),
+                i.impact_percent
+            );
         }
-        let hitch = impacts.iter().filter(|i| i.impact_percent.abs() < 0.75).count();
+        let hitch = impacts
+            .iter()
+            .filter(|i| i.impact_percent.abs() < 0.75)
+            .count();
         println!("(+ {hitch} inert hitchhiker flags omitted)");
     } else {
         println!("\nrecommended flags:");
@@ -151,15 +195,27 @@ fn cmd_suite(rest: &[String]) -> i32 {
         }
     };
     let base = tuner_options_from(rest);
+    let json_out = rest.iter().any(|a| a == "--json");
+    let bus = telemetry_from(rest);
     let mut improvements = Vec::new();
-    println!("{:<22} {:>10} {:>10} {:>12}", "program", "default(s)", "tuned(s)", "improvement");
+    let mut records = Vec::new();
+    if !json_out {
+        println!(
+            "{:<22} {:>10} {:>10} {:>12}",
+            "program", "default(s)", "tuned(s)", "improvement"
+        );
+    }
     for (i, workload) in workloads.into_iter().enumerate() {
         let name = workload.name.clone();
         let mut opts = base.clone();
         opts.seed ^= (i as u64 + 1) << 32;
         let executor = SimExecutor::new(workload);
-        let result = Tuner::new(opts).run(&executor, &name);
+        let result = Tuner::new(opts).run_observed(&executor, &name, &bus);
         improvements.push(result.improvement_percent());
+        if json_out {
+            records.push(result.session.to_json());
+            continue;
+        }
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>11.1}%",
             name,
@@ -168,8 +224,17 @@ fn cmd_suite(rest: &[String]) -> i32 {
             result.improvement_percent()
         );
     }
+    if json_out {
+        println!("{}", json::array_of(&records));
+        return 0;
+    }
     let s = Summary::from_slice(&improvements);
-    println!("\naverage {:+.1}%  (min {:+.1}%, max {:+.1}%)", s.mean(), s.min(), s.max());
+    println!(
+        "\naverage {:+.1}%  (min {:+.1}%, max {:+.1}%)",
+        s.mean(),
+        s.min(),
+        s.max()
+    );
     0
 }
 
@@ -183,7 +248,11 @@ fn cmd_simulate(rest: &[String]) -> i32 {
         return 2;
     };
     let registry = hotspot_registry();
-    let flag_args: Vec<String> = rest[1..].iter().filter(|a| *a != "--gclog").cloned().collect();
+    let flag_args: Vec<String> = rest[1..]
+        .iter()
+        .filter(|a| *a != "--gclog")
+        .cloned()
+        .collect();
     let config = match JvmConfig::parse_args(registry, &flag_args) {
         Ok(c) => c,
         Err(e) => {
@@ -196,10 +265,14 @@ fn cmd_simulate(rest: &[String]) -> i32 {
     let outcome = executor.run_full(&config, 1);
     if gclog {
         let machine = hotspot_autotuner::jvmsim::Machine::default();
-        if let Ok((view, _)) =
-            hotspot_autotuner::jvmsim::FlagView::resolve(registry, &config, &machine)
-        {
-            print!("{}", hotspot_autotuner::jvmsim::gclog::render(&outcome, view.collector));
+        match hotspot_autotuner::jvmsim::FlagView::resolve(registry, &config, &machine) {
+            Ok((view, _)) => print!(
+                "{}",
+                hotspot_autotuner::jvmsim::gclog::render(&outcome, view.collector)
+            ),
+            // The VM refused to start (e.g. conflicting collector
+            // selections): there is no collector to render a log for.
+            Err(e) => eprintln!("run FAILED: {e}"),
         }
         return if outcome.ok() { 0 } else { 1 };
     }
@@ -210,17 +283,21 @@ fn cmd_simulate(rest: &[String]) -> i32 {
     println!("total      {}", outcome.total);
     println!("startup    {}", outcome.breakdown.startup);
     println!("mutator    {}", outcome.breakdown.mutator);
-    println!("gc pauses  {} ({} young, {} full, p99 {})",
+    println!(
+        "gc pauses  {} ({} young, {} full, p99 {})",
         outcome.breakdown.gc_pause,
         outcome.gc.young_collections,
         outcome.gc.full_collections,
-        outcome.gc.pauses.percentile(99.0));
+        outcome.gc.pauses.percentile(99.0)
+    );
     println!("gc drag    {}", outcome.breakdown.gc_concurrent_drag);
-    println!("jit stalls {} ({} C1 + {} C2 compiles, {:.0}% of work at C2)",
+    println!(
+        "jit stalls {} ({} C1 + {} C2 compiles, {:.0}% of work at C2)",
         outcome.breakdown.jit_stall,
         outcome.jit.c1_compiles,
         outcome.jit.c2_compiles,
-        outcome.jit.c2_work_fraction * 100.0);
+        outcome.jit.c2_work_fraction * 100.0
+    );
     println!("peak heap  {:.1} MB", outcome.peak_heap / 1e6);
     for w in &outcome.warnings {
         println!("warning: {w}");
@@ -260,15 +337,24 @@ fn cmd_flags(rest: &[String]) -> i32 {
 }
 
 fn cmd_tree() -> i32 {
+    use std::io::Write as _;
     let registry = hotspot_registry();
     let tree = hotspot_tree();
-    print!("{}", tree.render_skeleton(registry));
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    // Ignore write errors: a closed pipe (`jtune tree | head`) is a
+    // normal way to consume this listing.
+    if write!(out, "{}", tree.render_skeleton(registry)).is_err() {
+        return 0;
+    }
     let stats = SpaceStats::compute(tree, registry);
-    println!(
+    let _ = writeln!(
+        out,
         "\nflat space: 10^{:.0} configurations over {} tunable flags",
         stats.flat_log10, stats.tunable_flags
     );
-    println!(
+    let _ = writeln!(
+        out,
         "hierarchical space: 10^{:.0}  (10^{:.0} smaller)",
         stats.hierarchical_log10,
         stats.reduction_log10()
@@ -282,15 +368,31 @@ fn cmd_workloads() -> i32 {
     let mut out = std::io::BufWriter::new(stdout.lock());
     let _ = writeln!(out, "SPECjvm2008 startup (16):");
     for w in specjvm2008_startup() {
-        if writeln!(out, "  spec:{:<22} work {:>8.1e}  live {:>5.0} MB  {} threads",
-            w.name, w.total_work, w.live_set / 1e6, w.threads).is_err() {
+        if writeln!(
+            out,
+            "  spec:{:<22} work {:>8.1e}  live {:>5.0} MB  {} threads",
+            w.name,
+            w.total_work,
+            w.live_set / 1e6,
+            w.threads
+        )
+        .is_err()
+        {
             return 0;
         }
     }
     let _ = writeln!(out, "DaCapo (13):");
     for w in dacapo() {
-        if writeln!(out, "  dacapo:{:<20} work {:>8.1e}  live {:>5.0} MB  {} threads",
-            w.name, w.total_work, w.live_set / 1e6, w.threads).is_err() {
+        if writeln!(
+            out,
+            "  dacapo:{:<20} work {:>8.1e}  live {:>5.0} MB  {} threads",
+            w.name,
+            w.total_work,
+            w.live_set / 1e6,
+            w.threads
+        )
+        .is_err()
+        {
             return 0;
         }
     }

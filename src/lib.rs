@@ -23,6 +23,9 @@
 //!   synthetic generator.
 //! - [`harness`] — executors (simulator or a real `java` process),
 //!   measurement protocol, budget accounting, parallel evaluation.
+//! - [`telemetry`] — session observability: a typed trial-event stream
+//!   ([`telemetry::TraceEvent`]) published on a [`telemetry::TelemetryBus`]
+//!   to pluggable sinks (JSONL traces, metrics registry, live progress).
 //! - [`tuner`] — the auto-tuner: search techniques, the AUC-bandit
 //!   ensemble, and hierarchical/flat/subset manipulators.
 //!
@@ -57,6 +60,7 @@ pub use jtune_flags as flags;
 pub use jtune_flagtree as flagtree;
 pub use jtune_harness as harness;
 pub use jtune_jvmsim as jvmsim;
+pub use jtune_telemetry as telemetry;
 pub use jtune_util as util;
 pub use jtune_workloads as workloads;
 
@@ -67,6 +71,10 @@ pub mod prelude {
     pub use jtune_flagtree::hotspot_tree;
     pub use jtune_harness::{Executor, ProcessExecutor, Protocol, SimExecutor};
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
+    pub use jtune_telemetry::{
+        JsonlSink, MemoryRecorder, MetricsRegistry, ProgressReporter, TelemetryBus, TraceEvent,
+        TuningObserver,
+    };
     pub use jtune_util::SimDuration;
     pub use jtune_workloads::{dacapo, specjvm2008_startup, workload_by_name};
 }

@@ -1,8 +1,8 @@
 //! Determinism guarantees across the stack: every experiment table in the
 //! reproduction must be regenerable bit-for-bit.
 
-use hotspot_autotuner::prelude::*;
 use hotspot_autotuner::harness::SessionRecord;
+use hotspot_autotuner::prelude::*;
 
 fn opts(seed: u64, workers: usize) -> TunerOptions {
     TunerOptions {

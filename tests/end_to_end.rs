@@ -43,11 +43,19 @@ fn best_config_reproduces_its_score_in_the_simulator() {
     // Re-measure the winner: the median of fresh runs must sit near the
     // recorded best score (within noise).
     let times: Vec<f64> = (0..7)
-        .map(|i| executor.measure(&result.best_config, 9000 + i).time.as_secs_f64())
+        .map(|i| {
+            executor
+                .measure(&result.best_config, 9000 + i)
+                .time
+                .as_secs_f64()
+        })
         .collect();
     let median = hotspot_autotuner::util::stats::median(&times);
     let rel = (median - result.session.best_secs).abs() / result.session.best_secs;
-    assert!(rel < 0.10, "best score not reproducible: {rel:.3} relative error");
+    assert!(
+        rel < 0.10,
+        "best score not reproducible: {rel:.3} relative error"
+    );
 }
 
 #[test]

@@ -57,13 +57,22 @@ fn pause_objective_trades_throughput_for_tail_latency() {
 #[test]
 fn weighted_objective_lands_between_the_extremes() {
     let throughput = tune_with(Objective::Throughput, 13);
-    let weighted = tune_with(Objective::Weighted { percentile: 99.0, weight: 0.5 }, 13);
+    let weighted = tune_with(
+        Objective::Weighted {
+            percentile: 99.0,
+            weight: 0.5,
+        },
+        13,
+    );
 
     let (t_time, t_pause) = profile(&throughput.best_config);
     let (w_time, w_pause) = profile(&weighted.best_config);
 
     // The weighted config may give up some run time but must cut pauses.
-    assert!(w_pause <= t_pause, "weighted p99 {w_pause:.1} vs {t_pause:.1}");
+    assert!(
+        w_pause <= t_pause,
+        "weighted p99 {w_pause:.1} vs {t_pause:.1}"
+    );
     assert!(
         w_time < t_time * 2.0,
         "weighted config gave up too much throughput: {w_time:.2}s vs {t_time:.2}s"

@@ -1,13 +1,30 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: flag domains, configuration round-trips, hierarchy
-//! canonicalisation, and simulator sanity on arbitrary workloads.
+//! Property-style tests over the core data structures and invariants:
+//! flag domains, configuration round-trips, hierarchy canonicalisation,
+//! and simulator sanity on arbitrary workloads.
+//!
+//! Cases are generated from a seeded [`Xoshiro256pp`] (the container
+//! builds offline, so no external property-testing framework): each
+//! property runs 64 derived cases and reports the failing seed on panic.
 
-use hotspot_autotuner::prelude::*;
 use hotspot_autotuner::flagtree;
+use hotspot_autotuner::prelude::*;
 use hotspot_autotuner::tuner::{ConfigManipulator, HierarchicalManipulator};
 use hotspot_autotuner::util::{Rng, Xoshiro256pp};
 use hotspot_autotuner::workloads::SyntheticGenerator;
-use proptest::prelude::*;
+
+/// Number of generated cases per property.
+const CASES: u64 = 64;
+
+/// Run `check` over `CASES` seeds derived from a per-property base seed.
+fn for_each_case(base: u64, mut check: impl FnMut(u64, &mut Xoshiro256pp)) {
+    for case in 0..CASES {
+        let seed = base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5eed);
+        check(seed, &mut rng);
+    }
+}
 
 /// A seeded random *canonical* configuration.
 fn random_canonical(seed: u64) -> JvmConfig {
@@ -16,93 +33,100 @@ fn random_canonical(seed: u64) -> JvmConfig {
     m.random(&mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_hierarchical_configs_are_valid_and_canonical(seed in any::<u64>()) {
-        let registry = hotspot_registry();
-        let tree = hotspot_tree();
+#[test]
+fn random_hierarchical_configs_are_valid_and_canonical() {
+    let registry = hotspot_registry();
+    let tree = hotspot_tree();
+    for_each_case(1, |seed, _| {
         let config = random_canonical(seed);
-        prop_assert!(config.validate(registry).is_ok());
+        assert!(config.validate(registry).is_ok(), "seed {seed}");
         // Canonicalisation is a fixed point on manipulator output.
         let mut again = config.clone();
         tree.enforce(registry, &mut again);
-        prop_assert_eq!(again.fingerprint(), config.fingerprint());
+        assert_eq!(again.fingerprint(), config.fingerprint(), "seed {seed}");
         // Exactly one collector is selected.
-        let on = ["UseSerialGC", "UseParallelGC", "UseConcMarkSweepGC", "UseG1GC"]
-            .iter()
-            .filter(|n| config.get_by_name(registry, n) == Some(FlagValue::Bool(true)))
-            .count();
-        prop_assert_eq!(on, 1);
-    }
+        let on = [
+            "UseSerialGC",
+            "UseParallelGC",
+            "UseConcMarkSweepGC",
+            "UseG1GC",
+        ]
+        .iter()
+        .filter(|n| config.get_by_name(registry, n) == Some(FlagValue::Bool(true)))
+        .count();
+        assert_eq!(on, 1, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn config_args_round_trip(seed in any::<u64>()) {
-        let registry = hotspot_registry();
+#[test]
+fn config_args_round_trip() {
+    let registry = hotspot_registry();
+    for_each_case(2, |seed, _| {
         let config = random_canonical(seed);
         let args = config.to_args(registry);
         let parsed = JvmConfig::parse_args(registry, &args).unwrap();
-        prop_assert_eq!(parsed.fingerprint(), config.fingerprint());
-    }
+        assert_eq!(parsed.fingerprint(), config.fingerprint(), "seed {seed}");
+    });
+}
 
-    #[test]
-    fn mutation_preserves_validity(seed in any::<u64>(), strength in 0.05f64..1.0) {
-        let registry = hotspot_registry();
-        let m = HierarchicalManipulator::new();
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+#[test]
+fn mutation_preserves_validity() {
+    let registry = hotspot_registry();
+    let m = HierarchicalManipulator::new();
+    for_each_case(3, |seed, rng| {
+        let strength = 0.05 + rng.next_f64() * 0.95;
         let mut config = JvmConfig::default_for(registry);
         for _ in 0..10 {
-            config = m.mutate(&config, &mut rng, strength);
-            prop_assert!(config.validate(registry).is_ok());
+            config = m.mutate(&config, rng, strength);
+            assert!(config.validate(registry).is_ok(), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn enforce_is_idempotent_on_arbitrary_corruption(seed in any::<u64>()) {
-        // Scribble random in-domain values over random flags WITHOUT the
-        // manipulator, then canonicalise twice: second pass is identity.
-        let registry = hotspot_registry();
-        let tree = hotspot_tree();
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+#[test]
+fn enforce_is_idempotent_on_arbitrary_corruption() {
+    // Scribble random in-domain values over random flags WITHOUT the
+    // manipulator, then canonicalise twice: second pass is identity.
+    let registry = hotspot_registry();
+    let tree = hotspot_tree();
+    for_each_case(4, |seed, rng| {
         let mut config = JvmConfig::default_for(registry);
         for _ in 0..40 {
             let ids = registry.tunable_ids();
             let id = ids[rng.next_below(ids.len() as u64) as usize];
-            let v = autotuner_core::manipulator::random_value(
-                &registry.spec(id).domain,
-                &mut rng,
-            );
+            let v = autotuner_core::manipulator::random_value(&registry.spec(id).domain, rng);
             config.set(id, v);
         }
         tree.enforce(registry, &mut config);
         let once = config.fingerprint();
         tree.enforce(registry, &mut config);
-        prop_assert_eq!(config.fingerprint(), once);
-        prop_assert!(config.validate(registry).is_ok());
-    }
+        assert_eq!(config.fingerprint(), once, "seed {seed}");
+        assert!(config.validate(registry).is_ok(), "seed {seed}");
+    });
+}
 
-    #[test]
-    fn active_flags_never_include_dead_subtrees(seed in any::<u64>()) {
-        let registry = hotspot_registry();
-        let tree = hotspot_tree();
+#[test]
+fn active_flags_never_include_dead_subtrees() {
+    let registry = hotspot_registry();
+    let tree = hotspot_tree();
+    for_each_case(5, |seed, _| {
         let config = random_canonical(seed);
         let active = tree.active_flags(&config);
-        let has = |name: &str| {
-            active.iter().any(|id| registry.spec(*id).name == name)
-        };
+        let has = |name: &str| active.iter().any(|id| registry.spec(*id).name == name);
         let g1_on = config.get_by_name(registry, "UseG1GC") == Some(FlagValue::Bool(true));
         let cms_on =
             config.get_by_name(registry, "UseConcMarkSweepGC") == Some(FlagValue::Bool(true));
-        prop_assert_eq!(has("G1ReservePercent"), g1_on);
-        prop_assert_eq!(has("CMSPrecleanIter"), cms_on);
-    }
+        assert_eq!(has("G1ReservePercent"), g1_on, "seed {seed}");
+        assert_eq!(has("CMSPrecleanIter"), cms_on, "seed {seed}");
+    });
+}
 
-    #[test]
-    fn simulator_completes_or_fails_cleanly_on_synthetic_workloads(
-        wl_seed in any::<u64>(), cfg_seed in any::<u64>()
-    ) {
-        let registry = hotspot_registry();
+#[test]
+fn simulator_completes_or_fails_cleanly_on_synthetic_workloads() {
+    let registry = hotspot_registry();
+    for_each_case(6, |seed, rng| {
+        let wl_seed = rng.next_u64();
+        let cfg_seed = rng.next_u64();
         let mut gen = SyntheticGenerator::new(wl_seed);
         let mut workload = gen.next_workload();
         // Keep property runs fast.
@@ -110,46 +134,58 @@ proptest! {
         let config = random_canonical(cfg_seed);
         let outcome = JvmSim::new().run(registry, &config, &workload, 3);
         if outcome.ok() {
-            prop_assert!(outcome.total > SimDuration::ZERO);
-            prop_assert!(outcome.breakdown.mutator > SimDuration::ZERO);
+            assert!(outcome.total > SimDuration::ZERO, "seed {seed}");
+            assert!(outcome.breakdown.mutator > SimDuration::ZERO, "seed {seed}");
             // Breakdown must account for the reported total within noise.
             let raw = outcome.breakdown.total().as_secs_f64();
             let noisy = outcome.total.as_secs_f64();
-            prop_assert!((noisy / raw - 1.0).abs() < 0.2, "raw {} noisy {}", raw, noisy);
+            assert!(
+                (noisy / raw - 1.0).abs() < 0.2,
+                "seed {seed}: raw {raw} noisy {noisy}"
+            );
         } else {
             // Failures must be one of the modelled kinds.
             let msg = outcome.failure.as_ref().unwrap().to_string();
-            prop_assert!(
+            assert!(
                 msg.contains("OutOfMemory") || msg.contains("invalid configuration"),
-                "unexpected failure {}", msg
+                "seed {seed}: unexpected failure {msg}"
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn bigger_heaps_never_cause_oom_when_default_survives(seed in 0u64..500) {
-        // If the default heap completes a workload, growing the heap must
-        // not introduce OOM.
-        let registry = hotspot_registry();
+#[test]
+fn bigger_heaps_never_cause_oom_when_default_survives() {
+    // If the default heap completes a workload, growing the heap must
+    // not introduce OOM.
+    let registry = hotspot_registry();
+    let sim = JvmSim::new();
+    for seed in 0u64..CASES {
         let mut gen = SyntheticGenerator::new(seed);
         let mut workload = gen.next_workload();
         workload.total_work = workload.total_work.min(1e9);
-        let sim = JvmSim::new();
         let default_cfg = JvmConfig::default_for(registry);
         let default_run = sim.run(registry, &default_cfg, &workload, 1);
-        prop_assume!(default_run.ok());
-        let mut big = default_cfg.clone();
-        big.set_by_name(registry, "MaxHeapSize", FlagValue::Int(4 << 30)).unwrap();
-        let big_run = sim.run(registry, &big, &workload, 1);
-        prop_assert!(big_run.ok(), "bigger heap OOMed: {:?}", big_run.failure);
-    }
-
-    #[test]
-    fn space_stats_strata_below_flat(_x in 0u8..1) {
-        let stats = flagtree::SpaceStats::compute(hotspot_tree(), hotspot_registry());
-        for s in &stats.strata {
-            prop_assert!(s.log10_size < stats.flat_log10);
+        if !default_run.ok() {
+            continue; // property only constrains surviving defaults
         }
-        prop_assert!(stats.hierarchical_log10 < stats.flat_log10);
+        let mut big = default_cfg.clone();
+        big.set_by_name(registry, "MaxHeapSize", FlagValue::Int(4 << 30))
+            .unwrap();
+        let big_run = sim.run(registry, &big, &workload, 1);
+        assert!(
+            big_run.ok(),
+            "seed {seed}: bigger heap OOMed: {:?}",
+            big_run.failure
+        );
     }
+}
+
+#[test]
+fn space_stats_strata_below_flat() {
+    let stats = flagtree::SpaceStats::compute(hotspot_tree(), hotspot_registry());
+    for s in &stats.strata {
+        assert!(s.log10_size < stats.flat_log10);
+    }
+    assert!(stats.hierarchical_log10 < stats.flat_log10);
 }
