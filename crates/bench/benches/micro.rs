@@ -9,6 +9,7 @@ use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
 use jtune_flagtree::hotspot_tree;
 use jtune_harness::{evaluate_batch, Protocol, SimExecutor};
 use jtune_jvmsim::{jit::JitModel, FlagView, JvmSim, Machine, Workload};
+use jtune_telemetry::TelemetryBus;
 use jtune_util::Xoshiro256pp;
 
 fn sim_run_per_collector(h: &BenchHarness) {
@@ -106,7 +107,17 @@ fn parallel_batch_scaling(h: &BenchHarness) {
     let candidates: Vec<JvmConfig> = (0..16).map(|_| manipulator.random(&mut rng)).collect();
     for workers in [1usize, 4, 8] {
         h.bench(&format!("evaluate_batch_16/workers_{workers}"), 10, || {
-            black_box(evaluate_batch(&executor, Protocol::default(), &candidates, 1, workers).len())
+            black_box(
+                evaluate_batch(
+                    &executor,
+                    Protocol::default(),
+                    &candidates,
+                    1,
+                    workers,
+                    &TelemetryBus::disabled(),
+                )
+                .len(),
+            )
         });
     }
 }

@@ -28,14 +28,17 @@
 //! ```
 //! use autotuner_core::{Tuner, TunerOptions};
 //! use jtune_harness::SimExecutor;
+//! use jtune_telemetry::TelemetryBus;
 //! use jtune_workloads::workload_by_name;
 //! use jtune_util::SimDuration;
 //!
 //! let workload = workload_by_name("compress").unwrap();
 //! let executor = SimExecutor::new(workload);
-//! let mut opts = TunerOptions::default();
-//! opts.budget = SimDuration::from_mins(5); // paper uses 200
-//! let result = Tuner::new(opts).run(&executor, "compress");
+//! let opts = TunerOptions::builder()
+//!     .budget(SimDuration::from_mins(5)) // paper uses 200
+//!     .build()
+//!     .unwrap();
+//! let result = Tuner::new(opts).run(&executor, "compress", &TelemetryBus::disabled());
 //! assert!(result.session.best_secs <= result.session.default_secs);
 //! ```
 
@@ -53,4 +56,6 @@ pub use manipulator::{
 };
 pub use techniques::ensemble::AucBandit;
 pub use techniques::{Technique, TechniqueSet};
-pub use tuner::{Tuner, TunerOptions, TuningResult};
+pub use tuner::{
+    ManipulatorKind, OptionsError, Tuner, TunerOptions, TunerOptionsBuilder, TuningResult,
+};

@@ -91,6 +91,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: frac,
+            reuse_fraction: 0.0,
         }
     }
 

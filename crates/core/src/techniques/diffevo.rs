@@ -108,6 +108,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.3,
+            reuse_fraction: 0.0,
         }
     }
 

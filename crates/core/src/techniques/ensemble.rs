@@ -162,6 +162,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.1,
+            reuse_fraction: 0.0,
         }
     }
 

@@ -104,6 +104,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.2,
+            reuse_fraction: 0.0,
         }
     }
 

@@ -91,6 +91,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.0,
+            reuse_fraction: 0.0,
         };
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut t = HillClimb::new();
@@ -118,6 +119,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.0,
+            reuse_fraction: 0.0,
         };
         let mut rng = Xoshiro256pp::seed_from_u64(3);
         let mut t = HillClimb::new();

@@ -35,6 +35,12 @@ pub struct SearchState<'a> {
     pub default_score: f64,
     /// Fraction of the tuning budget already spent, in `[0, 1]`.
     pub budget_fraction: f64,
+    /// Fraction of evaluation slots served from memory so far (cache
+    /// hits + suppressed duplicates), in `[0, 1]`. Always 0 with the
+    /// trial cache off. A rising value tells a technique its proposals
+    /// are collapsing onto already-measured configurations — a
+    /// convergence/stagnation signal it may use to widen exploration.
+    pub reuse_fraction: f64,
 }
 
 impl SearchState<'_> {

@@ -175,6 +175,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.4,
+            reuse_fraction: 0.0,
         }
     }
 

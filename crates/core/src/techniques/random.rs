@@ -47,6 +47,7 @@ mod tests {
             best: None,
             default_score: 10.0,
             budget_fraction: 0.0,
+            reuse_fraction: 0.0,
         };
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let mut t = RandomSearch::new();

@@ -4,12 +4,20 @@
 //! default configuration, then repeat *propose → evaluate (in parallel) →
 //! learn* until the tuning-time budget is exhausted, and report the best
 //! configuration found with its full trial history.
+//!
+//! Evaluation flows through [`jtune_harness::EvalPipeline`]: with
+//! [`TunerOptions::cache`] set, re-proposed configurations are served
+//! from the trial cache (and within-batch duplicates run once); with a
+//! [`Racing`] policy on the protocol, statistically hopeless candidates
+//! are abandoned early. Both features default off, in which case the
+//! session is bit-identical to the legacy fixed-repeat pipeline.
 
 use std::collections::HashSet;
 
 use jtune_flags::JvmConfig;
 use jtune_harness::{
-    evaluate_batch_observed, Budget, Evaluation, Executor, Protocol, SessionRecord, TrialRecord,
+    Budget, CachePolicy, EvalPipeline, Evaluation, Executor, Protocol, Racing, SessionRecord,
+    TrialRecord,
 };
 use jtune_telemetry::{TelemetryBus, TraceEvent};
 use jtune_util::{stats, SimDuration, Xoshiro256pp};
@@ -42,11 +50,15 @@ impl ManipulatorKind {
 }
 
 /// Tuner configuration.
+///
+/// Construct via [`TunerOptions::builder`] for validation at build time,
+/// or as a struct literal (legacy style) — in which case invalid values
+/// surface as clamps or panics inside [`Tuner::run`].
 #[derive(Clone, Debug)]
 pub struct TunerOptions {
     /// Tuning-time budget (the paper: 200 minutes).
     pub budget: SimDuration,
-    /// Measurement protocol per candidate.
+    /// Measurement protocol per candidate (racing policy included).
     pub protocol: Protocol,
     /// Parallel evaluation workers.
     pub workers: usize,
@@ -60,6 +72,9 @@ pub struct TunerOptions {
     pub technique: String,
     /// Optional hard cap on evaluations (tests use small caps).
     pub max_evaluations: Option<u64>,
+    /// Trial memoization policy; `None` (default) disables the cache and
+    /// within-batch duplicate suppression — the legacy byte-stable path.
+    pub cache: Option<CachePolicy>,
 }
 
 impl Default for TunerOptions {
@@ -73,7 +88,164 @@ impl Default for TunerOptions {
             manipulator: ManipulatorKind::Hierarchical,
             technique: "ensemble".to_string(),
             max_evaluations: None,
+            cache: None,
         }
+    }
+}
+
+impl TunerOptions {
+    /// A validating builder (rejects zero batch/workers/repeats, unknown
+    /// technique names, and out-of-range cache/racing parameters at
+    /// construction instead of deep in [`Tuner::run`]).
+    pub fn builder() -> TunerOptionsBuilder {
+        TunerOptionsBuilder {
+            opts: TunerOptions::default(),
+        }
+    }
+
+    /// Check every invariant the builder enforces.
+    pub fn validate(&self) -> Result<(), OptionsError> {
+        if self.batch == 0 {
+            return Err(OptionsError::ZeroBatch);
+        }
+        if self.workers == 0 {
+            return Err(OptionsError::ZeroWorkers);
+        }
+        if self.protocol.repeats == 0 {
+            return Err(OptionsError::ZeroRepeats);
+        }
+        if TechniqueSet::by_name(&self.technique).is_none() {
+            return Err(OptionsError::UnknownTechnique(self.technique.clone()));
+        }
+        if let Some(policy) = self.cache {
+            if !(0.0..=1.0).contains(&policy.recharge) {
+                return Err(OptionsError::InvalidRecharge(policy.recharge));
+            }
+        }
+        if let Some(racing) = self.protocol.racing {
+            if racing.min_repeats == 0 {
+                return Err(OptionsError::ZeroMinRepeats);
+            }
+            if !(racing.alpha > 0.0 && racing.alpha < 1.0) {
+                return Err(OptionsError::InvalidAlpha(racing.alpha));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`TunerOptions`] construction error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptionsError {
+    /// `batch` must be at least 1.
+    ZeroBatch,
+    /// `workers` must be at least 1.
+    ZeroWorkers,
+    /// The protocol's repeat count must be at least 1.
+    ZeroRepeats,
+    /// The technique name is not in [`TechniqueSet`].
+    UnknownTechnique(String),
+    /// The cache re-charge fraction must lie in `[0, 1]`.
+    InvalidRecharge(f64),
+    /// Racing `min_repeats` must be at least 1.
+    ZeroMinRepeats,
+    /// Racing `alpha` must lie strictly between 0 and 1.
+    InvalidAlpha(f64),
+}
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptionsError::ZeroBatch => write!(f, "batch must be at least 1"),
+            OptionsError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            OptionsError::ZeroRepeats => write!(f, "protocol repeats must be at least 1"),
+            OptionsError::UnknownTechnique(name) => {
+                write!(f, "unknown technique {name:?} (try \"ensemble\")")
+            }
+            OptionsError::InvalidRecharge(r) => {
+                write!(f, "cache recharge fraction {r} outside [0, 1]")
+            }
+            OptionsError::ZeroMinRepeats => write!(f, "racing min repeats must be at least 1"),
+            OptionsError::InvalidAlpha(a) => {
+                write!(f, "racing alpha {a} outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Builder for [`TunerOptions`]; see [`TunerOptions::builder`].
+#[derive(Clone, Debug)]
+pub struct TunerOptionsBuilder {
+    opts: TunerOptions,
+}
+
+impl TunerOptionsBuilder {
+    /// Tuning-time budget.
+    pub fn budget(mut self, budget: SimDuration) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Measurement protocol (overwrites any racing policy set earlier).
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.opts.protocol = protocol;
+        self
+    }
+
+    /// Parallel evaluation workers.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Candidates proposed per round.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.opts.batch = batch;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Search-space manipulator.
+    pub fn manipulator(mut self, kind: ManipulatorKind) -> Self {
+        self.opts.manipulator = kind;
+        self
+    }
+
+    /// Technique name (validated at [`TunerOptionsBuilder::build`]).
+    pub fn technique(mut self, name: impl Into<String>) -> Self {
+        self.opts.technique = name.into();
+        self
+    }
+
+    /// Hard cap on evaluations.
+    pub fn max_evaluations(mut self, cap: u64) -> Self {
+        self.opts.max_evaluations = Some(cap);
+        self
+    }
+
+    /// Enable trial memoization with the given policy.
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.opts.cache = Some(policy);
+        self
+    }
+
+    /// Enable sequential racing with the given policy.
+    pub fn racing(mut self, racing: Racing) -> Self {
+        self.opts.protocol.racing = Some(racing);
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<TunerOptions, OptionsError> {
+        self.opts.validate()?;
+        Ok(self.opts)
     }
 }
 
@@ -118,31 +290,21 @@ impl Tuner {
         }
     }
 
-    /// Run one tuning session for `program` against `executor`.
-    ///
-    /// # Panics
-    /// Panics if the technique name in the options is unknown.
-    pub fn run(&self, executor: &dyn Executor, program: &str) -> TuningResult {
-        self.run_observed(executor, program, &TelemetryBus::new())
-    }
-
-    /// [`Tuner::run`] with telemetry: every proposal, evaluation, budget
-    /// charge and best-update is emitted on `bus` as a [`TraceEvent`].
+    /// Run one tuning session for `program` against `executor`, emitting
+    /// every proposal, evaluation, budget charge and best-update on
+    /// `bus` as a [`TraceEvent`]. Pass [`TelemetryBus::disabled`] to run
+    /// unobserved.
     ///
     /// The stream is bit-deterministic given `opts.seed`: events are
     /// emitted in candidate order regardless of `opts.workers` (the
-    /// evaluation pool buffers per-slot and flushes after each batch),
-    /// and every trial's budget charge appears exactly once, so the
-    /// charges in the stream sum to the session's spent budget.
+    /// evaluation pipeline buffers per-slot and flushes after each
+    /// batch), and every trial's budget charge appears exactly once, so
+    /// the charges in the stream sum to the session's spent budget.
     ///
     /// # Panics
-    /// Panics if the technique name in the options is unknown.
-    pub fn run_observed(
-        &self,
-        executor: &dyn Executor,
-        program: &str,
-        bus: &TelemetryBus,
-    ) -> TuningResult {
+    /// Panics if the technique name in the options is unknown (use
+    /// [`TunerOptions::builder`] to reject that at construction).
+    pub fn run(&self, executor: &dyn Executor, program: &str, bus: &TelemetryBus) -> TuningResult {
         let opts = &self.opts;
         let manipulator = self.build_manipulator();
         let mut technique: Box<dyn Technique> = TechniqueSet::by_name(&opts.technique)
@@ -150,6 +312,8 @@ impl Tuner {
         let budget = Budget::new(opts.budget);
         let mut rng = Xoshiro256pp::seed_from_u64(opts.seed);
         let registry = executor.registry();
+        let mut pipeline = EvalPipeline::new(opts.protocol, opts.cache);
+        let racing = opts.protocol.racing.is_some();
 
         bus.emit(&TraceEvent::SessionStarted {
             program: program.to_string(),
@@ -172,7 +336,7 @@ impl Tuner {
         let mut default_config = JvmConfig::default_for(registry);
         manipulator.canonicalize(&mut default_config);
         seen.insert(default_config.fingerprint());
-        let ev0 = opts.protocol.evaluate(executor, &default_config, opts.seed);
+        let ev0 = pipeline.prime(executor, &default_config, opts.seed);
         let charge0 = budget.charge_observed(ev0.cost);
         emit_trial(bus, 0, "default", &[], &ev0, charge0.spent_after);
         if charge0.crossed_limit {
@@ -206,6 +370,9 @@ impl Tuner {
                     best_secs: f64::INFINITY,
                     best_delta: Vec::new(),
                     evaluations: 1,
+                    distinct: 1,
+                    cache_hits: 0,
+                    aborted: 0,
                     trials,
                 };
                 return TuningResult {
@@ -224,6 +391,10 @@ impl Tuner {
         eval_index += 1;
 
         let mut best: (JvmConfig, f64) = (default_config.clone(), default_score);
+        // Racing baseline: the best-so-far candidate's raw samples,
+        // frozen at the start of each batch so abort decisions are
+        // independent of worker scheduling.
+        let mut best_samples: Vec<f64> = ev0.samples.iter().map(|s| s.as_secs_f64()).collect();
 
         // ---- structural priming ----
         // A structure-aware manipulator enumerates its selector
@@ -240,15 +411,16 @@ impl Tuner {
                 technique: "primer".to_string(),
                 candidates: primers.len() as u64,
             });
-            let evals = evaluate_batch_observed(
+            let baseline = best_samples.clone();
+            let report = pipeline.evaluate_batch(
                 executor,
-                opts.protocol,
                 &primers,
                 opts.seed ^ 0x5052_494d,
                 opts.workers,
-                Some(bus),
+                racing.then_some(baseline.as_slice()),
+                bus,
             );
-            for (candidate, ev) in primers.iter().zip(evals.iter()) {
+            for (candidate, ev) in primers.iter().zip(report.evals.iter()) {
                 let charge = budget.charge_observed(ev.cost);
                 let score_secs = ev.score.map(|s| s.as_secs_f64());
                 let delta = candidate.to_args(registry);
@@ -271,6 +443,7 @@ impl Tuner {
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
+                        best_samples = ev.samples.iter().map(|x| x.as_secs_f64()).collect();
                         bus.emit(&TraceEvent::BestImproved {
                             index: eval_index - 1,
                             score_secs: s,
@@ -283,6 +456,7 @@ impl Tuner {
         }
 
         // ---- search rounds ----
+        let cache_enabled = opts.cache.is_some();
         let mut round: u64 = 0;
         'outer: while budget.has_remaining() {
             if let Some(cap) = opts.max_evaluations {
@@ -292,6 +466,12 @@ impl Tuner {
             }
             round += 1;
             let batch_size = opts.batch.max(1);
+            // With the cache on, a technique re-proposing a measured
+            // config gets it served from memory instead of a random
+            // substitute — but at most half a round, so every round
+            // still spends real budget (no zero-cost livelock).
+            let reuse_cap = batch_size.div_ceil(2);
+            let mut reused = 0usize;
             let mut candidates: Vec<JvmConfig> = Vec::with_capacity(batch_size);
             {
                 let state = SearchState {
@@ -299,23 +479,33 @@ impl Tuner {
                     best: Some(&best),
                     default_score,
                     budget_fraction: budget.fraction_spent(),
+                    reuse_fraction: pipeline.stats().reuse_fraction(),
                 };
                 for _ in 0..batch_size {
-                    let mut candidate = None;
+                    let mut fresh = None;
+                    let mut last_dup = None;
                     for _attempt in 0..8 {
                         let c = technique.propose(&state, &mut rng);
                         if seen.insert(c.fingerprint()) {
-                            candidate = Some(c);
+                            fresh = Some(c);
                             break;
                         }
+                        last_dup = Some(c);
                     }
-                    let c = candidate.unwrap_or_else(|| {
-                        // The technique is stuck on duplicates: inject
-                        // fresh randomness.
-                        let c = manipulator.random(&mut rng);
-                        seen.insert(c.fingerprint());
-                        c
-                    });
+                    let c = match fresh {
+                        Some(c) => c,
+                        None if cache_enabled && reused < reuse_cap => {
+                            reused += 1;
+                            last_dup.expect("eight attempts, all duplicates")
+                        }
+                        None => {
+                            // The technique is stuck on duplicates: inject
+                            // fresh randomness.
+                            let c = manipulator.random(&mut rng);
+                            seen.insert(c.fingerprint());
+                            c
+                        }
+                    };
                     candidates.push(c);
                 }
             }
@@ -325,16 +515,17 @@ impl Tuner {
                 candidates: candidates.len() as u64,
             });
 
-            let evals = evaluate_batch_observed(
+            let baseline = best_samples.clone();
+            let report = pipeline.evaluate_batch(
                 executor,
-                opts.protocol,
                 &candidates,
                 opts.seed ^ eval_index,
                 opts.workers,
-                Some(bus),
+                racing.then_some(baseline.as_slice()),
+                bus,
             );
 
-            for (candidate, ev) in candidates.iter().zip(evals.iter()) {
+            for (candidate, ev) in candidates.iter().zip(report.evals.iter()) {
                 let charge = budget.charge_observed(ev.cost);
                 let score_secs = ev.score.map(|s| s.as_secs_f64());
                 // Attribute the trial to the proposing arm (the ensemble
@@ -374,12 +565,14 @@ impl Tuner {
                         best: Some(&best),
                         default_score,
                         budget_fraction: budget.fraction_spent(),
+                        reuse_fraction: pipeline.stats().reuse_fraction(),
                     };
                     technique.feedback(candidate, score_secs, &state);
                 }
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
+                        best_samples = ev.samples.iter().map(|x| x.as_secs_f64()).collect();
                         bus.emit(&TraceEvent::BestImproved {
                             index: eval_index - 1,
                             score_secs: s,
@@ -396,6 +589,7 @@ impl Tuner {
             }
         }
 
+        let stats = pipeline.stats();
         let session = SessionRecord {
             program: program.to_string(),
             executor: executor.describe(),
@@ -404,6 +598,9 @@ impl Tuner {
             best_secs: best.1,
             best_delta: best.0.to_args(registry),
             evaluations: eval_index,
+            distinct: stats.fresh,
+            cache_hits: stats.cache_hits,
+            aborted: stats.aborted,
             trials,
         };
         bus.emit(&TraceEvent::SessionFinished {
@@ -447,7 +644,8 @@ fn emit_trial(
         gc_collections: ev.counters.map(|c| c.gc_collections),
         jit_compile_ms: ev.counters.map(|c| c.jit_compile_time.as_millis_f64()),
         jit_compiles: ev.counters.map(|c| c.jit_compiles),
-        error: ev.error.clone(),
+        error: ev.error.as_ref().map(|e| e.message().to_string()),
+        error_kind: ev.error.as_ref().map(|e| e.kind().to_string()),
     });
 }
 
@@ -476,10 +674,14 @@ mod tests {
         w
     }
 
+    fn run_quiet(opts: TunerOptions, ex: &SimExecutor) -> TuningResult {
+        Tuner::new(opts).run(ex, "t", &TelemetryBus::disabled())
+    }
+
     #[test]
     fn tuner_never_reports_worse_than_default() {
         let ex = SimExecutor::new(startup_workload());
-        let result = Tuner::new(quick_opts()).run(&ex, "t");
+        let result = run_quiet(quick_opts(), &ex);
         assert!(result.session.best_secs <= result.session.default_secs);
         assert!(result.improvement_percent() >= 0.0);
         assert!(result.session.evaluations > 1);
@@ -487,6 +689,10 @@ mod tests {
             result.session.trials.len() as u64,
             result.session.evaluations
         );
+        // Legacy sessions measure every trial.
+        assert_eq!(result.session.distinct, result.session.evaluations);
+        assert_eq!(result.session.cache_hits, 0);
+        assert_eq!(result.session.aborted, 0);
     }
 
     #[test]
@@ -494,7 +700,7 @@ mod tests {
         let ex = SimExecutor::new(startup_workload());
         let mut opts = quick_opts();
         opts.budget = SimDuration::from_mins(15);
-        let result = Tuner::new(opts).run(&ex, "t");
+        let result = run_quiet(opts, &ex);
         assert!(
             result.improvement_percent() > 3.0,
             "only {:.1}% improvement",
@@ -506,14 +712,14 @@ mod tests {
     #[test]
     fn tuning_is_deterministic_given_seed() {
         let ex = SimExecutor::new(startup_workload());
-        let a = Tuner::new(quick_opts()).run(&ex, "t");
-        let b = Tuner::new(quick_opts()).run(&ex, "t");
+        let a = run_quiet(quick_opts(), &ex);
+        let b = run_quiet(quick_opts(), &ex);
         assert_eq!(a.session.best_secs, b.session.best_secs);
         assert_eq!(a.session.evaluations, b.session.evaluations);
         assert_eq!(a.session.best_delta, b.session.best_delta);
         let mut opts = quick_opts();
         opts.seed = 2;
-        let c = Tuner::new(opts).run(&ex, "t");
+        let c = run_quiet(opts, &ex);
         assert_ne!(a.session.best_delta, c.session.best_delta);
     }
 
@@ -522,7 +728,7 @@ mod tests {
         let ex = SimExecutor::new(startup_workload());
         let mut opts = quick_opts();
         opts.max_evaluations = Some(9);
-        let result = Tuner::new(opts).run(&ex, "t");
+        let result = run_quiet(opts, &ex);
         assert!(result.session.evaluations <= 9);
     }
 
@@ -532,7 +738,7 @@ mod tests {
         let mut opts = quick_opts();
         opts.budget = SimDuration::from_secs(30);
         let batch = opts.batch;
-        let result = Tuner::new(opts).run(&ex, "t");
+        let result = run_quiet(opts, &ex);
         // All but the last in-flight batch must finish within budget; the
         // recorded spend can straddle by at most one batch.
         let last = result.session.trials.last().unwrap();
@@ -555,7 +761,7 @@ mod tests {
             let mut opts = quick_opts();
             opts.manipulator = kind;
             opts.max_evaluations = Some(12);
-            let result = Tuner::new(opts).run(&ex, "t");
+            let result = run_quiet(opts, &ex);
             assert!(result.session.best_secs <= result.session.default_secs);
         }
     }
@@ -567,7 +773,7 @@ mod tests {
             let mut opts = quick_opts();
             opts.technique = name.to_string();
             opts.max_evaluations = Some(10);
-            let result = Tuner::new(opts).run(&ex, "t");
+            let result = run_quiet(opts, &ex);
             assert!(
                 result.session.best_secs <= result.session.default_secs,
                 "{name} regressed"
@@ -581,7 +787,7 @@ mod tests {
         let ex = SimExecutor::new(startup_workload());
         let mut opts = quick_opts();
         opts.technique = "alchemy".to_string();
-        let _ = Tuner::new(opts).run(&ex, "t");
+        let _ = run_quiet(opts, &ex);
     }
 
     #[test]
@@ -594,8 +800,109 @@ mod tests {
         w.alloc_rate = 10.0;
         w.total_work = 2e9;
         let ex = SimExecutor::new(w);
-        let result = Tuner::new(quick_opts()).run(&ex, "t");
+        let result = run_quiet(quick_opts(), &ex);
         assert!(result.session.default_secs.is_infinite());
         assert_eq!(result.session.evaluations, 1);
+    }
+
+    #[test]
+    fn builder_validates_at_construction() {
+        assert!(TunerOptions::builder().build().is_ok());
+        assert_eq!(
+            TunerOptions::builder().batch(0).build().unwrap_err(),
+            OptionsError::ZeroBatch
+        );
+        assert_eq!(
+            TunerOptions::builder().workers(0).build().unwrap_err(),
+            OptionsError::ZeroWorkers
+        );
+        assert_eq!(
+            TunerOptions::builder()
+                .technique("alchemy")
+                .build()
+                .unwrap_err(),
+            OptionsError::UnknownTechnique("alchemy".into())
+        );
+        assert_eq!(
+            TunerOptions::builder()
+                .cache(CachePolicy { recharge: 1.5 })
+                .build()
+                .unwrap_err(),
+            OptionsError::InvalidRecharge(1.5)
+        );
+        assert_eq!(
+            TunerOptions::builder()
+                .racing(Racing {
+                    min_repeats: 0,
+                    alpha: 0.2
+                })
+                .build()
+                .unwrap_err(),
+            OptionsError::ZeroMinRepeats
+        );
+        assert_eq!(
+            TunerOptions::builder()
+                .racing(Racing {
+                    min_repeats: 2,
+                    alpha: 1.0
+                })
+                .build()
+                .unwrap_err(),
+            OptionsError::InvalidAlpha(1.0)
+        );
+        let opts = TunerOptions::builder()
+            .budget(SimDuration::from_mins(5))
+            .workers(2)
+            .batch(8)
+            .seed(9)
+            .technique("random")
+            .cache(CachePolicy::default())
+            .racing(Racing::default())
+            .max_evaluations(40)
+            .build()
+            .expect("valid options");
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.batch, 8);
+        assert!(opts.cache.is_some());
+        assert!(opts.protocol.racing.is_some());
+    }
+
+    #[test]
+    fn pipeline_features_stretch_the_budget() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut legacy_opts = quick_opts();
+        legacy_opts.budget = SimDuration::from_mins(10);
+        let legacy = run_quiet(legacy_opts.clone(), &ex);
+
+        let mut adaptive_opts = legacy_opts.clone();
+        adaptive_opts.cache = Some(CachePolicy::default());
+        adaptive_opts.protocol.racing = Some(Racing::default());
+        let adaptive = run_quiet(adaptive_opts, &ex);
+
+        // Same budget, more distinct configurations measured, and a
+        // result no worse than what the fixed pipeline found.
+        assert!(
+            adaptive.session.distinct > legacy.session.distinct,
+            "adaptive {} vs legacy {}",
+            adaptive.session.distinct,
+            legacy.session.distinct
+        );
+        assert!(adaptive.session.aborted > 0, "racing never fired");
+        assert!(adaptive.session.best_secs <= adaptive.session.default_secs);
+    }
+
+    #[test]
+    fn racing_only_session_still_improves_and_reports_aborts() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(10);
+        opts.protocol.racing = Some(Racing::default());
+        let result = run_quiet(opts, &ex);
+        assert!(result.session.best_secs <= result.session.default_secs);
+        assert!(result.session.aborted > 0, "racing never fired");
+        // Aborted trials are censored, never best.
+        assert!(result.session.best_secs.is_finite());
+        // Every trial was measured (no cache): distinct == evaluations.
+        assert_eq!(result.session.distinct, result.session.evaluations);
     }
 }

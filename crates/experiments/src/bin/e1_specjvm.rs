@@ -3,12 +3,12 @@
 //! Paper targets: 16 programs improved by 19 % on average within a
 //! 200-minute budget each; three programs by 63 %, 51 % and 32 %.
 
-use jtune_experiments::{budget_mins, render_suite_table, telemetry, tune_suite_traced};
+use jtune_experiments::{budget_mins, render_suite_table, telemetry, tune_suite};
 
 fn main() {
     let budget = budget_mins(200);
     let tel = telemetry("e1_specjvm");
-    let rows = tune_suite_traced(jtune_workloads::specjvm2008_startup(), budget, &tel);
+    let rows = tune_suite(jtune_workloads::specjvm2008_startup(), budget, &tel);
     print!(
         "{}",
         render_suite_table(

@@ -3,12 +3,12 @@
 //! Paper targets: 13 programs, average improvement 26 %, maximum 42 %,
 //! with at least 200 minutes of tuning per program.
 
-use jtune_experiments::{budget_mins, render_suite_table, telemetry, tune_suite_traced};
+use jtune_experiments::{budget_mins, render_suite_table, telemetry, tune_suite};
 
 fn main() {
     let budget = budget_mins(200);
     let tel = telemetry("e2_dacapo");
-    let rows = tune_suite_traced(jtune_workloads::dacapo(), budget, &tel);
+    let rows = tune_suite(jtune_workloads::dacapo(), budget, &tel);
     print!(
         "{}",
         render_suite_table(

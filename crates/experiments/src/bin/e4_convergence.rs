@@ -3,7 +3,7 @@
 //! budget). One long session per program yields the whole curve.
 
 use jtune_experiments::{
-    budget_mins, improvement_at, master_seed, telemetry, tune_program_observed, tuner_options,
+    budget_mins, improvement_at, master_seed, telemetry, tune_program, tuner_options,
 };
 use jtune_util::table::{fpct, Align, Table};
 
@@ -18,7 +18,7 @@ fn main() {
         .map(|p| {
             let w = jtune_workloads::workload_by_name(p).expect("known program");
             let bus = tel.bus_for(p);
-            tune_program_observed(w, tuner_options(budget, master_seed() ^ 0xE4), &bus)
+            tune_program(w, tuner_options(budget, master_seed() ^ 0xE4), &bus)
         })
         .collect();
 

@@ -42,7 +42,7 @@ fn main() {
             opts.manipulator = *kind;
             let ex = SimExecutor::new(w.clone());
             let bus = tel.bus_for(&format!("{p}+{}", kind.label()));
-            let result = Tuner::new(opts).run_observed(&ex, p, &bus);
+            let result = Tuner::new(opts).run(&ex, p, &bus);
             let imp = result.improvement_percent();
             sums[i] += imp;
             failed[i] += result

@@ -6,9 +6,7 @@
 //! flag's marginal impact. Flags whose reversion changes nothing are the
 //! "hitchhikers" random search drags along — reported as a count.
 
-use jtune_experiments::{
-    budget_mins, master_seed, telemetry, tune_program_observed, tuner_options,
-};
+use jtune_experiments::{budget_mins, master_seed, telemetry, tune_program, tuner_options};
 use jtune_harness::{Executor, SimExecutor};
 use jtune_util::stats;
 use jtune_util::table::{fpct, Align, Table};
@@ -20,8 +18,7 @@ fn main() {
     for p in programs {
         let w = jtune_workloads::workload_by_name(p).expect("known program");
         let bus = tel.bus_for(p);
-        let row =
-            tune_program_observed(w.clone(), tuner_options(budget, master_seed() ^ 0xE6), &bus);
+        let row = tune_program(w.clone(), tuner_options(budget, master_seed() ^ 0xE6), &bus);
         let ex = SimExecutor::new(w);
         let registry = ex.registry();
         let best = &row.result.best_config;

@@ -4,9 +4,7 @@
 //! One 400-minute session per program; best-so-far is sampled at each
 //! budget checkpoint from the trial log.
 
-use jtune_experiments::{
-    improvement_at, master_seed, telemetry, tune_program_observed, tuner_options,
-};
+use jtune_experiments::{improvement_at, master_seed, telemetry, tune_program, tuner_options};
 use jtune_util::stats::Summary;
 use jtune_util::table::{fpct, Align, Table};
 
@@ -39,7 +37,7 @@ fn main() {
             .enumerate()
             .map(|(i, w)| {
                 let bus = tel.bus_for(&format!("{name}+{}", w.name));
-                tune_program_observed(
+                tune_program(
                     w,
                     tuner_options(400, master_seed() ^ 0xE7 ^ ((i as u64) << 24)),
                     &bus,

@@ -31,9 +31,7 @@ fn main() {
             opts.technique = tech.to_string();
             let ex = SimExecutor::new(w);
             let bus = tel.bus_for(&format!("{tech}+{p}"));
-            let imp = Tuner::new(opts)
-                .run_observed(&ex, p, &bus)
-                .improvement_percent();
+            let imp = Tuner::new(opts).run(&ex, p, &bus).improvement_percent();
             sum += imp;
             cells.push(fpct(imp));
         }

@@ -11,6 +11,15 @@
 //!   experiment's paper value, usually 200).
 //! - `JTUNE_SEED` — master seed (default 7).
 //! - `JTUNE_OUT` — directory to write per-session TSV logs into.
+//! - `JTUNE_CACHE` (or `--cache`) — enable trial memoization: revisited
+//!   configurations are served from the session cache at zero budget
+//!   charge.
+//! - `JTUNE_RACING` (or `--racing`) — enable sequential racing: abort
+//!   candidates that are statistically worse than the best-so-far,
+//!   refunding their unspent repeats.
+//!
+//! Both pipeline features default **off**, in which case every driver
+//! produces output byte-identical to the published `results/` tables.
 //!
 //! Telemetry (see [`telemetry`]): by default every tuning session streams
 //! its trial events to `results/traces/<experiment>/<label>.jsonl`.
@@ -24,7 +33,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use autotuner_core::{Tuner, TunerOptions};
-use jtune_harness::SimExecutor;
+use jtune_harness::{CachePolicy, Racing, SimExecutor};
 use jtune_jvmsim::Workload;
 use jtune_telemetry::{JsonlSink, ProgressReporter, TelemetryBus};
 use jtune_util::table::{fnum, fpct, Align, Table};
@@ -43,6 +52,12 @@ pub struct SuiteRow {
     pub improvement: f64,
     /// Evaluations within budget.
     pub evaluations: u64,
+    /// Distinct configurations actually measured (excludes cache hits).
+    pub distinct: u64,
+    /// Trials served from the trial cache.
+    pub cache_hits: u64,
+    /// Trials aborted early by sequential racing.
+    pub aborted: u64,
     /// Best configuration delta.
     pub best_delta: Vec<String>,
     /// Full result (for convergence-style post-processing).
@@ -65,17 +80,43 @@ pub fn master_seed() -> u64 {
         .unwrap_or(7)
 }
 
-/// Standard tuner options for an experiment.
+/// True when `flag` is on the command line or `var` is set in the
+/// environment.
+fn flag_or_env(flag: &str, var: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag) || std::env::var_os(var).is_some()
+}
+
+/// Trial memoization requested for this run (`--cache` / `JTUNE_CACHE`).
+pub fn cache_enabled() -> bool {
+    flag_or_env("--cache", "JTUNE_CACHE")
+}
+
+/// Sequential racing requested for this run (`--racing` / `JTUNE_RACING`).
+pub fn racing_enabled() -> bool {
+    flag_or_env("--racing", "JTUNE_RACING")
+}
+
+/// Standard tuner options for an experiment. The budget-stretching
+/// pipeline features are applied when requested on the command line or
+/// via the environment (see the crate docs) and are off by default, so
+/// published tables reproduce byte-for-byte.
 pub fn tuner_options(budget_minutes: u64, seed: u64) -> TunerOptions {
-    TunerOptions {
-        budget: SimDuration::from_mins(budget_minutes),
-        seed,
-        workers: std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(4),
-        batch: 8,
-        ..TunerOptions::default()
+    let mut b = TunerOptions::builder()
+        .budget(SimDuration::from_mins(budget_minutes))
+        .seed(seed)
+        .workers(
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        )
+        .batch(8);
+    if cache_enabled() {
+        b = b.cache(CachePolicy::default());
     }
+    if racing_enabled() {
+        b = b.racing(Racing::default());
+    }
+    b.build().expect("standard experiment options are valid")
 }
 
 /// Per-experiment telemetry configuration: where (and whether) each
@@ -140,20 +181,12 @@ pub fn telemetry(experiment: &str) -> ExperimentTelemetry {
     ExperimentTelemetry { dir, progress }
 }
 
-/// Tune one workload with the given options.
-pub fn tune_program(workload: Workload, opts: TunerOptions) -> SuiteRow {
-    tune_program_observed(workload, opts, &TelemetryBus::new())
-}
-
-/// [`tune_program`] emitting telemetry on `bus`.
-pub fn tune_program_observed(
-    workload: Workload,
-    opts: TunerOptions,
-    bus: &TelemetryBus,
-) -> SuiteRow {
+/// Tune one workload with the given options, emitting telemetry on
+/// `bus` (pass [`TelemetryBus::disabled()`] for a silent run).
+pub fn tune_program(workload: Workload, opts: TunerOptions, bus: &TelemetryBus) -> SuiteRow {
     let name = workload.name.clone();
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run_observed(&executor, &name, bus);
+    let result = Tuner::new(opts).run(&executor, &name, bus);
     if let Ok(dir) = std::env::var("JTUNE_OUT") {
         let _ = std::fs::create_dir_all(&dir);
         let path = std::path::Path::new(&dir).join(format!("{name}.tsv"));
@@ -165,20 +198,20 @@ pub fn tune_program_observed(
         tuned_secs: result.session.best_secs,
         improvement: result.improvement_percent(),
         evaluations: result.session.evaluations,
+        distinct: result.session.distinct,
+        cache_hits: result.session.cache_hits,
+        aborted: result.session.aborted,
         best_delta: result.session.best_delta.clone(),
         result,
     }
 }
 
-/// Tune an entire suite. Each program's seed is derived from the master
-/// seed so sessions are independent but reproducible.
-pub fn tune_suite(workloads: Vec<Workload>, budget_minutes: u64) -> Vec<SuiteRow> {
-    tune_suite_traced(workloads, budget_minutes, &ExperimentTelemetry::disabled())
-}
-
-/// [`tune_suite`] with per-session telemetry: each program's trace file
-/// is named after the program.
-pub fn tune_suite_traced(
+/// Tune an entire suite with per-session telemetry (each program's trace
+/// file is named after the program; pass
+/// [`ExperimentTelemetry::disabled()`] for silent runs). Each program's
+/// seed is derived from the master seed so sessions are independent but
+/// reproducible.
+pub fn tune_suite(
     workloads: Vec<Workload>,
     budget_minutes: u64,
     tel: &ExperimentTelemetry,
@@ -191,49 +224,68 @@ pub fn tune_suite_traced(
             let mut opts = tuner_options(budget_minutes, seed ^ ((i as u64 + 1) << 32));
             opts.seed ^= i as u64;
             let bus = tel.bus_for(&w.name);
-            tune_program_observed(w, opts, &bus)
+            tune_program(w, opts, &bus)
         })
         .collect()
 }
 
 /// Render the paper-style suite table (per-program default/tuned times and
-/// improvement, plus the average row the abstract quotes).
+/// improvement, plus the average row the abstract quotes). When any row
+/// shows evaluation-pipeline activity (cache hits or racing aborts) the
+/// table grows `distinct`/`hits`/`aborted` columns; with the features off
+/// the layout is byte-identical to the published tables.
 pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
-    let mut t = Table::new(
-        &[
-            "program",
-            "default (s)",
-            "tuned (s)",
-            "improvement",
-            "evals",
-        ],
-        &[
-            Align::Left,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-        ],
-    );
+    let pipeline = rows.iter().any(|r| r.cache_hits > 0 || r.aborted > 0);
+    let mut headers = vec![
+        "program",
+        "default (s)",
+        "tuned (s)",
+        "improvement",
+        "evals",
+    ];
+    let mut aligns = vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ];
+    if pipeline {
+        headers.extend(["distinct", "hits", "aborted"]);
+        aligns.extend([Align::Right, Align::Right, Align::Right]);
+    }
+    let mut t = Table::new(&headers, &aligns);
     for r in rows {
-        t.row(vec![
+        let mut row = vec![
             r.program.clone(),
             fnum(r.default_secs, 2),
             fnum(r.tuned_secs, 2),
             fpct(r.improvement),
             r.evaluations.to_string(),
-        ]);
+        ];
+        if pipeline {
+            row.extend([
+                r.distinct.to_string(),
+                r.cache_hits.to_string(),
+                r.aborted.to_string(),
+            ]);
+        }
+        t.row(row);
     }
     t.rule();
     let improvements: Vec<f64> = rows.iter().map(|r| r.improvement).collect();
     let avg = stats::Summary::from_slice(&improvements).mean();
-    t.row(vec![
-        "average".into(),
+    let mut avg_row = vec![
+        "average".to_string(),
         String::new(),
         String::new(),
         fpct(avg),
         String::new(),
-    ]);
+    ];
+    if pipeline {
+        avg_row.extend([String::new(), String::new(), String::new()]);
+    }
+    t.row(avg_row);
     let mut sorted = improvements.clone();
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let top: Vec<String> = sorted.iter().take(3).map(|x| fpct(*x)).collect();
@@ -272,7 +324,7 @@ mod tests {
         let w = workload_by_name("compress").unwrap();
         let mut opts = tuner_options(2, 1);
         opts.max_evaluations = Some(10);
-        let row = tune_program(w, opts);
+        let row = tune_program(w, opts, &TelemetryBus::disabled());
         assert!(row.tuned_secs <= row.default_secs);
         assert!(
             (row.improvement - stats::improvement_percent(row.default_secs, row.tuned_secs)).abs()
@@ -284,7 +336,7 @@ mod tests {
     fn improvement_at_is_monotone_in_time() {
         let w = workload_by_name("serial").unwrap();
         let opts = tuner_options(5, 2);
-        let row = tune_program(w, opts);
+        let row = tune_program(w, opts, &TelemetryBus::disabled());
         let early = improvement_at(&row, 1.0);
         let late = improvement_at(&row, 5.0);
         assert!(late >= early);
@@ -296,9 +348,25 @@ mod tests {
         let w = workload_by_name("compress").unwrap();
         let mut opts = tuner_options(1, 3);
         opts.max_evaluations = Some(5);
-        let rows = vec![tune_program(w, opts)];
+        let rows = vec![tune_program(w, opts, &TelemetryBus::disabled())];
         let s = render_suite_table("t", &rows);
         assert!(s.contains("compress"));
         assert!(s.contains("average improvement"));
+        // Pipeline features off: the published five-column layout.
+        assert!(!s.contains("aborted"));
+    }
+
+    #[test]
+    fn suite_table_grows_pipeline_columns_when_active() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(1, 3);
+        opts.max_evaluations = Some(5);
+        let mut rows = vec![tune_program(w, opts, &TelemetryBus::disabled())];
+        rows[0].cache_hits = 3;
+        rows[0].aborted = 1;
+        let s = render_suite_table("t", &rows);
+        assert!(s.contains("distinct"));
+        assert!(s.contains("hits"));
+        assert!(s.contains("aborted"));
     }
 }

@@ -8,6 +8,14 @@
 //! (compare-and-swap) so the total never overshoots by more than the final
 //! in-flight evaluation, matching how a real tuner's last run may straddle
 //! the deadline.
+//!
+//! Refund economics: the evaluation pipeline's savings (cache hits,
+//! duplicate suppression, racing aborts) need no explicit refund API.
+//! Charges record what was *actually spent* — a cache hit charges its
+//! re-charge share, a duplicate charges zero, a raced-out candidate
+//! charges only the repeats it ran — so unspent repeats simply never
+//! reach the clock, and summing a trace's charges still reproduces the
+//! session's spend exactly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -1,0 +1,174 @@
+//! Trial memoization: never pay full price to re-measure a configuration
+//! the session has already measured.
+//!
+//! Search techniques — especially population-based ones recombining a
+//! small elite set — re-propose configurations. The simulator is a pure
+//! function of `(config, seed)`, and even on a real testbed a config's
+//! measured distribution is stationary within one tuning session, so a
+//! prior [`Evaluation`] is as good as a fresh one. The cache returns it
+//! at zero budget charge by default; [`CachePolicy::recharge`] charges a
+//! fraction of the original cost instead, modelling testbeds where even
+//! a remembered result costs a sanity run.
+
+use std::collections::HashMap;
+
+use jtune_util::SimDuration;
+
+use crate::protocol::Evaluation;
+
+/// How cache hits are charged to the tuning budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachePolicy {
+    /// Fraction of the original evaluation cost charged on a hit, in
+    /// `[0, 1]`. `0.0` (default) makes hits free; `1.0` makes the cache
+    /// purely observational (hits cost as much as re-measuring).
+    pub recharge: f64,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy { recharge: 0.0 }
+    }
+}
+
+impl CachePolicy {
+    /// Budget charge for a hit whose original evaluation cost `original`.
+    pub fn charge_for(&self, original: SimDuration) -> SimDuration {
+        original.mul_f64(self.recharge.clamp(0.0, 1.0))
+    }
+}
+
+/// Session-scoped memo of completed evaluations, keyed by the canonical
+/// configuration fingerprint (`JvmConfig::fingerprint`).
+///
+/// Failed evaluations are cached too — a configuration that crashed will
+/// crash again, and remembering that is exactly as budget-saving as
+/// remembering a score. Racing-aborted evaluations must *not* be
+/// inserted: an abort is relative to the best-so-far baseline at the
+/// time, not a property of the configuration.
+#[derive(Clone, Debug, Default)]
+pub struct TrialCache {
+    entries: HashMap<u64, Evaluation>,
+    hits: u64,
+}
+
+impl TrialCache {
+    /// Empty cache.
+    pub fn new() -> TrialCache {
+        TrialCache::default()
+    }
+
+    /// Look up a fingerprint, counting a hit when present.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<&Evaluation> {
+        let entry = self.entries.get(&fingerprint);
+        if entry.is_some() {
+            self.hits += 1;
+        }
+        entry
+    }
+
+    /// Is the fingerprint cached? (No hit is counted.)
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.entries.contains_key(&fingerprint)
+    }
+
+    /// Record a completed evaluation. Racing-aborted evaluations are
+    /// rejected (see the type-level docs); re-inserting a fingerprint
+    /// keeps the first entry, so a session's cached answer is stable.
+    pub fn insert(&mut self, fingerprint: u64, evaluation: Evaluation) {
+        if evaluation.aborted() {
+            return;
+        }
+        self.entries.entry(fingerprint).or_insert(evaluation);
+    }
+
+    /// Distinct configurations stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RaceAbort;
+
+    fn eval(score: f64, cost: f64) -> Evaluation {
+        Evaluation {
+            score: Some(SimDuration::from_secs_f64(score)),
+            samples: vec![SimDuration::from_secs_f64(score)],
+            error: None,
+            cost: SimDuration::from_secs_f64(cost),
+            counters: None,
+            runs: 1,
+            raced: None,
+        }
+    }
+
+    #[test]
+    fn lookup_returns_inserted_evaluation_and_counts_hits() {
+        let mut cache = TrialCache::new();
+        assert!(cache.is_empty());
+        cache.insert(7, eval(1.5, 5.0));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(8).is_none());
+        assert_eq!(cache.hits(), 0);
+        let hit = cache.lookup(7).expect("cached");
+        assert_eq!(hit.score.unwrap().as_secs_f64(), 1.5);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let mut cache = TrialCache::new();
+        cache.insert(7, eval(1.5, 5.0));
+        cache.insert(7, eval(9.9, 5.0));
+        assert_eq!(cache.lookup(7).unwrap().score.unwrap().as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn aborted_evaluations_are_not_cached() {
+        let mut cache = TrialCache::new();
+        let mut e = eval(1.5, 5.0);
+        e.score = None;
+        e.raced = Some(RaceAbort {
+            after_runs: 2,
+            p_value: 0.1,
+            effect: 1.0,
+            saved: SimDuration::from_secs_f64(1.0),
+        });
+        cache.insert(3, e);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn recharge_policy_scales_the_hit_cost() {
+        let free = CachePolicy::default();
+        assert_eq!(
+            free.charge_for(SimDuration::from_secs_f64(10.0)),
+            SimDuration::ZERO
+        );
+        let half = CachePolicy { recharge: 0.5 };
+        assert_eq!(
+            half.charge_for(SimDuration::from_secs_f64(10.0))
+                .as_secs_f64(),
+            5.0
+        );
+        let wild = CachePolicy { recharge: 7.0 };
+        assert_eq!(
+            wild.charge_for(SimDuration::from_secs_f64(10.0))
+                .as_secs_f64(),
+            10.0
+        );
+    }
+}

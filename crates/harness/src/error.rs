@@ -1,0 +1,115 @@
+//! Typed trial failures.
+//!
+//! The executor layer used to signal failure as a bare `Option<String>`,
+//! which forced everything downstream (techniques, traces, reports) to
+//! treat "the JVM crashed", "the heap was too small" and "these flags
+//! conflict" as the same event. [`TrialError`] keeps the human-readable
+//! message but adds a stable failure *kind*, so search techniques and
+//! trace consumers can distinguish a configuration that can never start
+//! (flag conflict — no point proposing neighbours) from one that ran out
+//! of memory (a bigger heap may fix it) from an opaque crash.
+
+/// Why a trial run failed.
+///
+/// Every variant carries the human-readable message the executor
+/// observed; [`TrialError::kind`] gives the stable machine-readable tag
+/// serialised into traces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrialError {
+    /// The process died for an unclassified reason (non-zero exit,
+    /// launch failure, simulator-internal fault).
+    Crash(String),
+    /// The configured heap could not hold the workload's live set.
+    Oom(String),
+    /// The run exceeded the executor's time limit.
+    Timeout(String),
+    /// The flag combination is invalid — the VM refused to start.
+    FlagConflict(String),
+}
+
+impl TrialError {
+    /// Stable machine-readable tag (the `error_kind` trace field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrialError::Crash(_) => "crash",
+            TrialError::Oom(_) => "oom",
+            TrialError::Timeout(_) => "timeout",
+            TrialError::FlagConflict(_) => "flag-conflict",
+        }
+    }
+
+    /// The human-readable message, exactly as the executor reported it.
+    pub fn message(&self) -> &str {
+        match self {
+            TrialError::Crash(m)
+            | TrialError::Oom(m)
+            | TrialError::Timeout(m)
+            | TrialError::FlagConflict(m) => m,
+        }
+    }
+
+    /// Classify a raw failure message by content. Executors that observe
+    /// structured failures (the simulator) construct variants directly;
+    /// this heuristic covers executors that only see opaque text (a real
+    /// `java` process's stderr or exit status).
+    pub fn classify(message: impl Into<String>) -> TrialError {
+        let message = message.into();
+        let lower = message.to_lowercase();
+        if lower.contains("outofmemory") || lower.contains("out of memory") {
+            TrialError::Oom(message)
+        } else if lower.contains("invalid configuration")
+            || lower.contains("conflict")
+            || lower.contains("unrecognized")
+            || lower.contains("could not create the java virtual machine")
+        {
+            TrialError::FlagConflict(message)
+        } else if lower.contains("timed out") || lower.contains("timeout") {
+            TrialError::Timeout(message)
+        } else {
+            TrialError::Crash(message)
+        }
+    }
+}
+
+impl std::fmt::Display for TrialError {
+    /// Renders the message only (no kind prefix), so log lines and JSON
+    /// traces carry the same bytes the executor produced.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_recognises_common_failures() {
+        assert_eq!(
+            TrialError::classify("java.lang.OutOfMemoryError: Java heap space").kind(),
+            "oom"
+        );
+        assert_eq!(
+            TrialError::classify("invalid configuration: zero heap").kind(),
+            "flag-conflict"
+        );
+        assert_eq!(
+            TrialError::classify("Unrecognized VM option 'UseFoo'").kind(),
+            "flag-conflict"
+        );
+        assert_eq!(
+            TrialError::classify("benchmark timed out after 600 s").kind(),
+            "timeout"
+        );
+        assert_eq!(TrialError::classify("java exited with 134").kind(), "crash");
+    }
+
+    #[test]
+    fn display_preserves_the_raw_message() {
+        let e = TrialError::classify("java.lang.OutOfMemoryError: Java heap space");
+        assert_eq!(e.to_string(), "java.lang.OutOfMemoryError: Java heap space");
+        assert_eq!(e.message(), e.to_string());
+    }
+}

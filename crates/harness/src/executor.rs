@@ -5,8 +5,10 @@ use std::process::Command;
 use std::time::Instant;
 
 use jtune_flags::{JvmConfig, Registry};
-use jtune_jvmsim::{JvmSim, Machine, Workload};
+use jtune_jvmsim::{JvmSim, Machine, RunFailure, Workload};
 use jtune_util::SimDuration;
+
+use crate::error::TrialError;
 
 /// One measured run of one configuration.
 #[derive(Clone, Debug)]
@@ -20,9 +22,9 @@ pub struct Measurement {
     /// Runtime counters for the telemetry stream, when the executor can
     /// observe them (the simulator can; a bare `java` process cannot).
     pub counters: Option<RunCounters>,
-    /// Human-readable failure (OOM, invalid config, non-zero exit), `None`
+    /// Classified failure (crash / OOM / timeout / flag conflict), `None`
     /// on success.
-    pub error: Option<String>,
+    pub error: Option<TrialError>,
 }
 
 /// Per-run VM activity counters surfaced into trial telemetry.
@@ -131,7 +133,13 @@ impl Executor for SimExecutor {
             time: outcome.total,
             pause_p99,
             counters: Some(counters),
-            error: outcome.failure.map(|f| f.to_string()),
+            error: outcome.failure.map(|f| {
+                let message = f.to_string();
+                match f {
+                    RunFailure::OutOfMemory => TrialError::Oom(message),
+                    RunFailure::InvalidConfig(_) => TrialError::FlagConflict(message),
+                }
+            }),
         }
     }
 
@@ -204,13 +212,13 @@ impl Executor for ProcessExecutor {
                 time: elapsed,
                 pause_p99: None,
                 counters: None,
-                error: Some(format!("java exited with {s}")),
+                error: Some(TrialError::classify(format!("java exited with {s}"))),
             },
             Err(e) => Measurement {
                 time: elapsed,
                 pause_p99: None,
                 counters: None,
-                error: Some(format!("failed to launch java: {e}")),
+                error: Some(TrialError::classify(format!("failed to launch java: {e}"))),
             },
         }
     }
@@ -263,7 +271,9 @@ mod tests {
             .unwrap();
         let m = ex.measure(&c, 1);
         assert!(!m.ok());
-        assert!(m.error.unwrap().contains("OutOfMemory"));
+        let err = m.error.unwrap();
+        assert_eq!(err.kind(), "oom");
+        assert!(err.message().contains("OutOfMemory"));
     }
 
     #[test]
@@ -278,7 +288,9 @@ mod tests {
         let c = JvmConfig::default_for(ex.registry());
         let m = ex.measure(&c, 0);
         assert!(!m.ok());
-        assert!(m.error.unwrap().contains("failed to launch"));
+        let err = m.error.unwrap();
+        assert_eq!(err.kind(), "crash");
+        assert!(err.message().contains("failed to launch"));
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //!   operation).
 //! - [`protocol`] — the measurement protocol: run each candidate N times,
 //!   score by median (run times are noisy and right-skewed), compare
-//!   candidate vs. default with a Mann-Whitney U test.
+//!   candidate vs. default with a Mann-Whitney U test; optional
+//!   sequential racing ([`protocol::Racing`]) abandons statistically
+//!   hopeless candidates early.
+//! - [`error`] — typed trial failures ([`TrialError`]: crash / OOM /
+//!   timeout / flag-conflict) so techniques and traces can distinguish
+//!   failure modes.
+//! - [`cache`] + [`pipeline`] — the adaptive evaluation pipeline: trial
+//!   memoization keyed by configuration fingerprint, within-batch
+//!   duplicate suppression, and racing, all budget-accounted.
 //! - [`budget`] — the paper's tuning-time budget: every candidate
 //!   evaluation is charged (JVM start-up + run time × repeats) against a
 //!   virtual wall clock, so "200 minutes of tuning" has the same economics
@@ -26,15 +34,21 @@
 #![deny(unsafe_code)]
 
 pub mod budget;
+pub mod cache;
+pub mod error;
 pub mod executor;
 pub mod objective;
+pub mod pipeline;
 pub mod pool;
 pub mod protocol;
 pub mod results;
 
 pub use budget::{Budget, ChargeOutcome};
+pub use cache::{CachePolicy, TrialCache};
+pub use error::TrialError;
 pub use executor::{Executor, Measurement, ProcessExecutor, RunCounters, SimExecutor};
 pub use objective::Objective;
-pub use pool::{evaluate_batch, evaluate_batch_observed};
-pub use protocol::{Evaluation, Protocol};
+pub use pipeline::{BatchReport, EvalPipeline, PipelineStats, Provenance};
+pub use pool::evaluate_batch;
+pub use protocol::{Evaluation, Protocol, RaceAbort, Racing};
 pub use results::{SessionRecord, TrialRecord};

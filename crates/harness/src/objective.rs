@@ -140,7 +140,7 @@ mod tests {
         let m = Measurement {
             time: SimDuration::from_secs(1),
             pause_p99: None,
-            error: Some("boom".into()),
+            error: Some(crate::error::TrialError::classify("boom")),
             counters: None,
         };
         assert_eq!(Objective::Throughput.score(&m), None);

@@ -1,0 +1,407 @@
+//! The adaptive candidate-evaluation pipeline.
+//!
+//! [`EvalPipeline`] sits between the tuner's proposal loop and the
+//! evaluation pool and stretches the tuning budget three ways:
+//!
+//! 1. **Memoization** — a [`TrialCache`] keyed by the canonical
+//!    configuration fingerprint serves re-proposed configurations from
+//!    memory, charged per [`CachePolicy`] (free by default).
+//! 2. **Duplicate suppression** — identical configurations within one
+//!    batch run once; later slots clone the earlier result at zero cost.
+//! 3. **Racing** — when the [`Protocol`] carries a racing policy and the
+//!    caller supplies a best-so-far baseline, statistically hopeless
+//!    candidates are abandoned mid-protocol and their unspent repeats
+//!    are never charged (see [`crate::protocol::Racing`]).
+//!
+//! With the cache disabled and no racing policy the pipeline is
+//! bit-identical to the plain pool path ([`crate::pool::evaluate_batch`]):
+//! every slot is fresh, keeps its `(base_seed, slot)` noise seed, and
+//! emits the same [`TraceEvent::TrialMeasured`] stream. That equivalence
+//! is what keeps legacy session records byte-stable.
+//!
+//! Determinism: cache decisions depend only on proposal order, racing
+//! decisions only on the frozen baseline passed per batch, and events
+//! flush in slot order after the batch joins — so the trace is
+//! bit-identical at any worker count even with every feature enabled.
+
+use std::collections::HashMap;
+
+use jtune_flags::JvmConfig;
+use jtune_telemetry::{TelemetryBus, TraceEvent};
+
+use crate::cache::{CachePolicy, TrialCache};
+use crate::executor::Executor;
+use crate::pool::{emit_measured, run_selected};
+use crate::protocol::{Evaluation, Protocol};
+use jtune_util::SimDuration;
+
+/// How one batch slot got its evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Provenance {
+    /// Measured by the executor this round.
+    Fresh,
+    /// Served from the trial cache.
+    CacheHit {
+        /// The configuration fingerprint that hit.
+        fingerprint: u64,
+        /// Budget avoided (original cost − re-charge).
+        saved: SimDuration,
+    },
+    /// Identical to an earlier slot in the same batch; its result was
+    /// cloned at zero cost.
+    Duplicate {
+        /// The earlier slot holding the same configuration.
+        of: usize,
+    },
+}
+
+/// One evaluated batch: evaluations in slot order plus where each came
+/// from. Cache hits carry the re-charge as their `cost`; duplicates cost
+/// zero — so callers can charge `evals[i].cost` uniformly.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Evaluations, in candidate order.
+    pub evals: Vec<Evaluation>,
+    /// Per-slot provenance, parallel to `evals`.
+    pub provenance: Vec<Provenance>,
+}
+
+/// Running totals over a pipeline's lifetime (one tuning session).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PipelineStats {
+    /// Distinct configurations actually measured by the executor.
+    pub fresh: u64,
+    /// Slots served from the trial cache.
+    pub cache_hits: u64,
+    /// Slots suppressed as within-batch duplicates.
+    pub suppressed: u64,
+    /// Fresh evaluations abandoned early by racing.
+    pub aborted: u64,
+    /// Estimated budget the cache, dedup and racing avoided spending.
+    pub saved: SimDuration,
+}
+
+impl PipelineStats {
+    /// Fraction of all served slots that came from memory (cache hits +
+    /// duplicates), in `[0, 1]`. The tuner surfaces this to search
+    /// techniques as a convergence signal.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.fresh + self.cache_hits + self.suppressed;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.suppressed) as f64 / total as f64
+        }
+    }
+}
+
+/// The adaptive evaluation pipeline (see the module docs).
+#[derive(Debug, Default)]
+pub struct EvalPipeline {
+    protocol: Protocol,
+    cache: Option<(TrialCache, CachePolicy)>,
+    stats: PipelineStats,
+}
+
+impl EvalPipeline {
+    /// Pipeline with the given measurement protocol. `cache_policy =
+    /// None` disables memoization *and* duplicate suppression (the
+    /// legacy, byte-stable path); racing is controlled by
+    /// `protocol.racing` plus the per-batch baseline.
+    pub fn new(protocol: Protocol, cache_policy: Option<CachePolicy>) -> EvalPipeline {
+        EvalPipeline {
+            protocol,
+            cache: cache_policy.map(|p| (TrialCache::new(), p)),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The measurement protocol in use.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Is memoization (and with it duplicate suppression) on?
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Session totals so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Evaluate a single configuration outside any batch (the session's
+    /// default-configuration measurement), seeding the cache with the
+    /// result. Never races: the baseline candidate itself must always be
+    /// measured in full.
+    pub fn prime(&mut self, executor: &dyn Executor, config: &JvmConfig, seed: u64) -> Evaluation {
+        let ev = self.protocol.evaluate(executor, config, seed);
+        self.stats.fresh += 1;
+        if let Some((cache, _)) = &mut self.cache {
+            cache.insert(config.fingerprint(), ev.clone());
+        }
+        ev
+    }
+
+    /// Evaluate one proposed batch.
+    ///
+    /// Slots resolve in order: within-batch duplicate → cache hit →
+    /// fresh measurement. Fresh slots keep the canonical `(base_seed,
+    /// slot)` noise seed, so a partially-cached batch measures its
+    /// misses with exactly the seeds a fully-fresh batch would have.
+    /// `baseline` (best-so-far samples, seconds) enables racing when the
+    /// protocol has a racing policy; it is frozen for the whole batch so
+    /// abort decisions cannot depend on worker scheduling.
+    ///
+    /// Events flush in slot order after the batch joins: one
+    /// [`TraceEvent::CacheHit`] / [`TraceEvent::DuplicateSuppressed`] /
+    /// [`TraceEvent::TrialMeasured`] (plus [`TraceEvent::TrialAborted`]
+    /// for raced-out slots) per slot.
+    pub fn evaluate_batch(
+        &mut self,
+        executor: &dyn Executor,
+        candidates: &[JvmConfig],
+        base_seed: u64,
+        workers: usize,
+        baseline: Option<&[f64]>,
+        bus: &TelemetryBus,
+    ) -> BatchReport {
+        let n = candidates.len();
+        let mut provenance = vec![Provenance::Fresh; n];
+        let mut slots: Vec<Option<Evaluation>> = (0..n).map(|_| None).collect();
+        let mut fresh_idx: Vec<usize> = Vec::with_capacity(n);
+
+        if let Some((cache, policy)) = &mut self.cache {
+            let mut in_batch: HashMap<u64, usize> = HashMap::with_capacity(n);
+            for (i, c) in candidates.iter().enumerate() {
+                let fp = c.fingerprint();
+                if let Some(&j) = in_batch.get(&fp) {
+                    provenance[i] = Provenance::Duplicate { of: j };
+                    continue;
+                }
+                in_batch.insert(fp, i);
+                if let Some(prior) = cache.lookup(fp) {
+                    let charge = policy.charge_for(prior.cost);
+                    let saved = prior.cost.saturating_sub(charge);
+                    let mut ev = prior.clone();
+                    ev.cost = charge;
+                    provenance[i] = Provenance::CacheHit {
+                        fingerprint: fp,
+                        saved,
+                    };
+                    slots[i] = Some(ev);
+                } else {
+                    fresh_idx.push(i);
+                }
+            }
+        } else {
+            fresh_idx.extend(0..n);
+        }
+
+        let fresh = run_selected(
+            executor,
+            self.protocol,
+            candidates,
+            &fresh_idx,
+            base_seed,
+            workers,
+            baseline,
+        );
+        for (&i, ev) in fresh_idx.iter().zip(fresh) {
+            if let Some((cache, _)) = &mut self.cache {
+                cache.insert(candidates[i].fingerprint(), ev.clone());
+            }
+            slots[i] = Some(ev);
+        }
+        // Duplicates clone their source slot (always an earlier index,
+        // so it is resolved by now) at zero cost.
+        for i in 0..n {
+            if let Provenance::Duplicate { of } = provenance[i] {
+                let mut ev = slots[of].clone().expect("source slot resolved");
+                self.stats.saved += ev.cost;
+                ev.cost = SimDuration::ZERO;
+                slots[i] = Some(ev);
+            }
+        }
+
+        let evals: Vec<Evaluation> = slots
+            .into_iter()
+            .map(|s| s.expect("every slot resolved"))
+            .collect();
+
+        for (i, (ev, prov)) in evals.iter().zip(provenance.iter()).enumerate() {
+            match prov {
+                Provenance::Fresh => {
+                    self.stats.fresh += 1;
+                    if let Some(abort) = ev.raced {
+                        self.stats.aborted += 1;
+                        self.stats.saved += abort.saved;
+                    }
+                    if bus.is_enabled() {
+                        emit_measured(bus, i, ev);
+                    }
+                }
+                Provenance::CacheHit { fingerprint, saved } => {
+                    self.stats.cache_hits += 1;
+                    self.stats.saved += *saved;
+                    if bus.is_enabled() {
+                        bus.emit(&TraceEvent::CacheHit {
+                            slot: i,
+                            fingerprint: *fingerprint,
+                            score_secs: ev.score.map(|s| s.as_secs_f64()),
+                            cost_secs: ev.cost.as_secs_f64(),
+                            saved_secs: saved.as_secs_f64(),
+                        });
+                    }
+                }
+                Provenance::Duplicate { of } => {
+                    self.stats.suppressed += 1;
+                    if bus.is_enabled() {
+                        bus.emit(&TraceEvent::DuplicateSuppressed {
+                            slot: i,
+                            of_slot: *of,
+                        });
+                    }
+                }
+            }
+        }
+
+        BatchReport { evals, provenance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimExecutor;
+    use crate::pool::evaluate_batch;
+    use jtune_flags::{FlagValue, JvmConfig};
+    use jtune_jvmsim::Workload;
+    use jtune_telemetry::MemoryRecorder;
+    use std::sync::Arc;
+
+    fn executor() -> SimExecutor {
+        let mut w = Workload::baseline("pipe-test");
+        w.total_work = 2e8;
+        SimExecutor::new(w)
+    }
+
+    fn candidates(ex: &SimExecutor, n: usize) -> Vec<JvmConfig> {
+        let r = ex.registry();
+        (0..n)
+            .map(|i| {
+                let mut c = JvmConfig::default_for(r);
+                c.set_by_name(r, "CompileThreshold", FlagValue::Int(1000 + 500 * i as i64))
+                    .unwrap();
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disabled_pipeline_matches_plain_pool() {
+        let ex = executor();
+        let cs = candidates(&ex, 6);
+        let bus = TelemetryBus::disabled();
+        let mut pipe = EvalPipeline::new(Protocol::default(), None);
+        let report = pipe.evaluate_batch(&ex, &cs, 7, 4, None, &bus);
+        let plain = evaluate_batch(&ex, Protocol::default(), &cs, 7, 4, &bus);
+        assert_eq!(report.evals.len(), plain.len());
+        for (a, b) in report.evals.iter().zip(plain.iter()) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.cost, b.cost);
+        }
+        assert!(report.provenance.iter().all(|p| *p == Provenance::Fresh));
+        assert_eq!(pipe.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn second_sight_of_a_config_hits_the_cache_for_free() {
+        let ex = executor();
+        let cs = candidates(&ex, 3);
+        let bus = TelemetryBus::disabled();
+        let mut pipe = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        let first = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        let again = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        for (i, (a, b)) in first.evals.iter().zip(again.evals.iter()).enumerate() {
+            assert_eq!(a.score, b.score, "slot {i}");
+            assert!(b.cost == SimDuration::ZERO, "hit charged");
+            assert!(matches!(again.provenance[i], Provenance::CacheHit { .. }));
+        }
+        let stats = pipe.stats();
+        assert_eq!(stats.fresh, 3);
+        assert_eq!(stats.cache_hits, 3);
+        assert!(stats.saved > SimDuration::ZERO);
+        assert!(stats.reuse_fraction() > 0.49);
+    }
+
+    #[test]
+    fn recharge_policy_charges_a_fraction_on_hits() {
+        let ex = executor();
+        let cs = candidates(&ex, 1);
+        let bus = TelemetryBus::disabled();
+        let mut pipe = EvalPipeline::new(Protocol::default(), Some(CachePolicy { recharge: 0.5 }));
+        let first = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        let again = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        let half = first.evals[0].cost.as_secs_f64() * 0.5;
+        assert!((again.evals[0].cost.as_secs_f64() - half).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_run_once() {
+        let ex = executor();
+        let mut cs = candidates(&ex, 2);
+        cs.push(cs[0].clone());
+        cs.push(cs[1].clone());
+        let rec = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(rec.clone());
+        let mut pipe = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        let report = pipe.evaluate_batch(&ex, &cs, 7, 4, None, &bus);
+        assert_eq!(report.provenance[2], Provenance::Duplicate { of: 0 });
+        assert_eq!(report.provenance[3], Provenance::Duplicate { of: 1 });
+        assert_eq!(report.evals[2].score, report.evals[0].score);
+        assert_eq!(report.evals[2].cost, SimDuration::ZERO);
+        assert_eq!(pipe.stats().suppressed, 2);
+        assert_eq!(pipe.stats().fresh, 2);
+        let dup_events: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::DuplicateSuppressed { .. }))
+            .collect();
+        assert_eq!(dup_events.len(), 2);
+    }
+
+    #[test]
+    fn partially_cached_batch_keeps_slot_seeds() {
+        let ex = executor();
+        let cs = candidates(&ex, 5);
+        let bus = TelemetryBus::disabled();
+        // Pre-warm the cache with slots 0 and 2 via a different batch.
+        let mut pipe = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        pipe.evaluate_batch(&ex, &[cs[0].clone(), cs[2].clone()], 99, 1, None, &bus);
+        let mixed = pipe.evaluate_batch(&ex, &cs, 7, 4, None, &bus);
+        // The fresh slots must match what an uncached batch would measure.
+        let full = evaluate_batch(&ex, Protocol::default(), &cs, 7, 4, &bus);
+        for i in [1usize, 3, 4] {
+            assert!(matches!(mixed.provenance[i], Provenance::Fresh));
+            assert_eq!(mixed.evals[i].samples, full[i].samples, "slot {i}");
+        }
+        assert!(matches!(mixed.provenance[0], Provenance::CacheHit { .. }));
+        assert!(matches!(mixed.provenance[2], Provenance::CacheHit { .. }));
+    }
+
+    #[test]
+    fn prime_seeds_the_cache() {
+        let ex = executor();
+        let c = JvmConfig::default_for(ex.registry());
+        let bus = TelemetryBus::disabled();
+        let mut pipe = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        let ev = pipe.prime(&ex, &c, 42);
+        assert!(ev.ok());
+        let report = pipe.evaluate_batch(&ex, std::slice::from_ref(&c), 7, 1, None, &bus);
+        assert!(matches!(report.provenance[0], Provenance::CacheHit { .. }));
+        assert_eq!(report.evals[0].score, ev.score);
+    }
+}

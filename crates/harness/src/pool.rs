@@ -24,78 +24,119 @@ use jtune_telemetry::{TelemetryBus, TraceEvent};
 use crate::executor::Executor;
 use crate::protocol::{Evaluation, Protocol};
 
-/// Evaluate every candidate with up to `workers` threads.
+/// The slot-index → noise-seed derivation shared by every evaluation
+/// path. A candidate's seed depends only on `(base_seed, slot)`, so a
+/// batch where some slots are served from cache still measures the
+/// remaining slots with exactly the seeds a full batch would have used.
+pub(crate) fn seed_for(base_seed: u64, slot: usize) -> u64 {
+    base_seed ^ (slot as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Evaluate every candidate with up to `workers` threads, emitting one
+/// [`TraceEvent::TrialMeasured`] per candidate on `bus`, always in
+/// candidate order.
 ///
 /// Returns evaluations in candidate order. `workers == 0` or `1` runs
-/// inline (handy for debugging and deterministic profiling).
+/// inline (handy for debugging and deterministic profiling). Pass
+/// [`TelemetryBus::disabled`] to run unobserved.
+///
+/// Workers buffer their results in per-slot cells; the event flush
+/// happens here, after the batch joins, so the stream on `bus` does not
+/// depend on thread scheduling or worker count.
 pub fn evaluate_batch(
     executor: &dyn Executor,
     protocol: Protocol,
     candidates: &[JvmConfig],
     base_seed: u64,
     workers: usize,
+    bus: &TelemetryBus,
 ) -> Vec<Evaluation> {
-    evaluate_batch_observed(executor, protocol, candidates, base_seed, workers, None)
-}
-
-/// [`evaluate_batch`] with telemetry: one [`TraceEvent::TrialMeasured`]
-/// per candidate is emitted on `bus`, always in candidate order.
-///
-/// Workers buffer their event payloads in the per-slot cells; the flush
-/// happens here, after the batch joins, so the stream on `bus` does not
-/// depend on thread scheduling or worker count.
-pub fn evaluate_batch_observed(
-    executor: &dyn Executor,
-    protocol: Protocol,
-    candidates: &[JvmConfig],
-    base_seed: u64,
-    workers: usize,
-    bus: Option<&TelemetryBus>,
-) -> Vec<Evaluation> {
-    let seed_for = |i: usize| -> u64 { base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407) };
-    let evals: Vec<Evaluation> = if workers <= 1 || candidates.len() <= 1 {
-        candidates
-            .iter()
-            .enumerate()
-            .map(|(i, c)| protocol.evaluate(executor, c, seed_for(i)))
-            .collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Evaluation>>> =
-            candidates.iter().map(|_| Mutex::new(None)).collect();
-        let workers = workers.min(candidates.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= candidates.len() {
-                        break;
-                    }
-                    let ev = protocol.evaluate(executor, &candidates[i], seed_for(i));
-                    *slots[i].lock().expect("slot poisoned") = Some(ev);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("slot poisoned")
-                    .expect("slot unfilled")
-            })
-            .collect()
-    };
-    if let Some(bus) = bus {
+    let all: Vec<usize> = (0..candidates.len()).collect();
+    let evals = run_selected(
+        executor, protocol, candidates, &all, base_seed, workers, None,
+    );
+    if bus.is_enabled() {
         for (slot, ev) in evals.iter().enumerate() {
-            bus.emit(&TraceEvent::TrialMeasured {
-                slot,
-                repeat_secs: ev.samples.iter().map(|s| s.as_secs_f64()).collect(),
-                cost_secs: ev.cost.as_secs_f64(),
-                error: ev.error.clone(),
-            });
+            emit_measured(bus, slot, ev);
         }
     }
     evals
+}
+
+/// Emit the slot-level trace events for one completed evaluation: the
+/// [`TraceEvent::TrialMeasured`] record, then [`TraceEvent::TrialAborted`]
+/// if racing abandoned the candidate.
+pub(crate) fn emit_measured(bus: &TelemetryBus, slot: usize, ev: &Evaluation) {
+    bus.emit(&TraceEvent::TrialMeasured {
+        slot,
+        repeat_secs: ev.samples.iter().map(|s| s.as_secs_f64()).collect(),
+        cost_secs: ev.cost.as_secs_f64(),
+        error: ev.error.as_ref().map(|e| e.message().to_string()),
+        error_kind: ev.error.as_ref().map(|e| e.kind().to_string()),
+    });
+    if let Some(abort) = ev.raced {
+        bus.emit(&TraceEvent::TrialAborted {
+            slot,
+            after_runs: abort.after_runs as u64,
+            p_value: abort.p_value,
+            effect: abort.effect,
+            saved_secs: abort.saved.as_secs_f64(),
+        });
+    }
+}
+
+/// Evaluate only the slots in `selected` (e.g. the cache misses of a
+/// batch), in parallel, returning evaluations in `selected` order. Each
+/// slot keeps its canonical `(base_seed, slot)` noise seed. `baseline`
+/// is the racing baseline forwarded to
+/// [`Protocol::evaluate_raced`] — the same frozen slice for every slot,
+/// so racing decisions are independent of worker scheduling.
+pub(crate) fn run_selected(
+    executor: &dyn Executor,
+    protocol: Protocol,
+    candidates: &[JvmConfig],
+    selected: &[usize],
+    base_seed: u64,
+    workers: usize,
+    baseline: Option<&[f64]>,
+) -> Vec<Evaluation> {
+    if workers <= 1 || selected.len() <= 1 {
+        return selected
+            .iter()
+            .map(|&i| {
+                protocol.evaluate_raced(executor, &candidates[i], seed_for(base_seed, i), baseline)
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Evaluation>>> = selected.iter().map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(selected.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= selected.len() {
+                    break;
+                }
+                let i = selected[k];
+                let ev = protocol.evaluate_raced(
+                    executor,
+                    &candidates[i],
+                    seed_for(base_seed, i),
+                    baseline,
+                );
+                *slots[k].lock().expect("slot poisoned") = Some(ev);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("slot unfilled")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -128,8 +169,9 @@ mod tests {
         let ex = executor();
         let cs = candidates(&ex, 12);
         let p = Protocol::default();
-        let seq = evaluate_batch(&ex, p, &cs, 7, 1);
-        let par = evaluate_batch(&ex, p, &cs, 7, 8);
+        let bus = TelemetryBus::disabled();
+        let seq = evaluate_batch(&ex, p, &cs, 7, 1, &bus);
+        let par = evaluate_batch(&ex, p, &cs, 7, 8, &bus);
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(par.iter()) {
             assert_eq!(a.score, b.score, "parallel result diverged");
@@ -141,11 +183,17 @@ mod tests {
     fn results_in_candidate_order() {
         let ex = executor();
         let cs = candidates(&ex, 6);
-        let evs = evaluate_batch(&ex, Protocol::default(), &cs, 3, 4);
+        let evs = evaluate_batch(
+            &ex,
+            Protocol::default(),
+            &cs,
+            3,
+            4,
+            &TelemetryBus::disabled(),
+        );
         // Re-evaluate each candidate individually and match by seed.
         for (i, c) in cs.iter().enumerate() {
-            let seed = 3u64 ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
-            let solo = Protocol::default().evaluate(&ex, c, seed);
+            let solo = Protocol::default().evaluate(&ex, c, seed_for(3, i));
             assert_eq!(evs[i].score, solo.score, "slot {i} out of order");
         }
     }
@@ -153,7 +201,14 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let ex = executor();
-        let evs = evaluate_batch(&ex, Protocol::default(), &[], 1, 8);
+        let evs = evaluate_batch(
+            &ex,
+            Protocol::default(),
+            &[],
+            1,
+            8,
+            &TelemetryBus::disabled(),
+        );
         assert!(evs.is_empty());
     }
 
@@ -161,8 +216,30 @@ mod tests {
     fn single_candidate_runs_inline() {
         let ex = executor();
         let cs = candidates(&ex, 1);
-        let evs = evaluate_batch(&ex, Protocol::default(), &cs, 5, 8);
+        let evs = evaluate_batch(
+            &ex,
+            Protocol::default(),
+            &cs,
+            5,
+            8,
+            &TelemetryBus::disabled(),
+        );
         assert_eq!(evs.len(), 1);
         assert!(evs[0].ok());
+    }
+
+    #[test]
+    fn run_selected_preserves_per_slot_seeds() {
+        let ex = executor();
+        let cs = candidates(&ex, 8);
+        let all: Vec<usize> = (0..cs.len()).collect();
+        let full = run_selected(&ex, Protocol::default(), &cs, &all, 11, 4, None);
+        // Evaluating only a subset must reproduce the full batch's
+        // results for those slots bit-for-bit.
+        let subset = [1usize, 4, 6];
+        let partial = run_selected(&ex, Protocol::default(), &cs, &subset, 11, 4, None);
+        for (k, &i) in subset.iter().enumerate() {
+            assert_eq!(partial[k].samples, full[i].samples, "slot {i} seed drifted");
+        }
     }
 }

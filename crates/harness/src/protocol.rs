@@ -1,11 +1,58 @@
-//! The measurement protocol: repeats, medians, significance.
+//! The measurement protocol: repeats, medians, significance, racing.
 
 use jtune_flags::JvmConfig;
 use jtune_util::stats;
 use jtune_util::SimDuration;
 
+use crate::error::TrialError;
 use crate::executor::{Executor, RunCounters};
 use crate::objective::Objective;
+
+/// Sequential early-termination ("racing") policy.
+///
+/// After [`Racing::min_repeats`] successful runs, the remaining repeats
+/// of a candidate are skipped when a Mann-Whitney U test says its samples
+/// are already significantly slower than the best-so-far baseline (p
+/// below [`Racing::alpha`] with effect above 0.5). The unspent repeats
+/// are never charged to the tuning budget — that refund is what lets the
+/// same budget cover more distinct configurations.
+///
+/// The default (`min_repeats = 2`, `alpha = 0.2`) is deliberately
+/// conservative at the paper's `repeats = 3` protocol: with only two
+/// candidate samples against a three-sample baseline, the minimum
+/// attainable p-value (~0.149) requires *complete separation* — both
+/// candidate runs slower than every baseline run — and a candidate in
+/// that position can no longer beat the baseline median regardless of
+/// its final run, so the abort cannot discard a would-be winner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Racing {
+    /// Runs to complete before the first abort check (≥ 1).
+    pub min_repeats: u32,
+    /// Significance level an abort requires.
+    pub alpha: f64,
+}
+
+impl Default for Racing {
+    fn default() -> Self {
+        Racing {
+            min_repeats: 2,
+            alpha: 0.2,
+        }
+    }
+}
+
+/// Details of a racing abort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RaceAbort {
+    /// Successful runs completed when the candidate was abandoned.
+    pub after_runs: u32,
+    /// Mann-Whitney p-value at the abort.
+    pub p_value: f64,
+    /// Mann-Whitney effect (above 0.5 = candidate slower than baseline).
+    pub effect: f64,
+    /// Estimated budget saved: unspent repeats × mean cost per run so far.
+    pub saved: SimDuration,
+}
 
 /// How a candidate configuration is measured.
 #[derive(Clone, Copy, Debug)]
@@ -18,6 +65,9 @@ pub struct Protocol {
     pub fail_fast: bool,
     /// What the score optimises (default: run time, as in the paper).
     pub objective: Objective,
+    /// Early-termination policy; `None` always burns all repeats (the
+    /// paper's fixed-repeat protocol).
+    pub racing: Option<Racing>,
 }
 
 impl Default for Protocol {
@@ -26,6 +76,7 @@ impl Default for Protocol {
             repeats: 3,
             fail_fast: true,
             objective: Objective::Throughput,
+            racing: None,
         }
     }
 }
@@ -35,18 +86,22 @@ impl Default for Protocol {
 pub struct Evaluation {
     /// Median objective value of the successful repeats (seconds for the
     /// throughput objective; lower is better). `None` when the candidate
-    /// failed.
+    /// failed or was raced out.
     pub score: Option<SimDuration>,
     /// All successful per-run objective values, in run order.
     pub samples: Vec<SimDuration>,
-    /// First failure message, if any run failed.
-    pub error: Option<String>,
+    /// First classified failure, if any run failed.
+    pub error: Option<TrialError>,
     /// Total budget cost: measured time of every run (including failed
-    /// ones) plus fixed per-run overhead.
+    /// ones) plus fixed per-run overhead. Skipped repeats cost nothing.
     pub cost: SimDuration,
     /// VM activity counters summed across all runs (including failed
     /// ones), when the executor observes them.
     pub counters: Option<RunCounters>,
+    /// Runs actually executed (≤ the protocol's repeat count).
+    pub runs: u32,
+    /// Set when racing abandoned the candidate early.
+    pub raced: Option<RaceAbort>,
 }
 
 impl Evaluation {
@@ -54,26 +109,49 @@ impl Evaluation {
     pub fn ok(&self) -> bool {
         self.score.is_some()
     }
+
+    /// Was the candidate abandoned by racing?
+    pub fn aborted(&self) -> bool {
+        self.raced.is_some()
+    }
 }
 
 impl Protocol {
     /// Measure `config` `repeats` times through `executor`, deriving each
-    /// run's noise seed from `base_seed`.
+    /// run's noise seed from `base_seed`. Never races (no baseline).
     pub fn evaluate(
         &self,
         executor: &dyn Executor,
         config: &JvmConfig,
         base_seed: u64,
     ) -> Evaluation {
-        let mut samples = Vec::with_capacity(self.repeats as usize);
+        self.evaluate_raced(executor, config, base_seed, None)
+    }
+
+    /// [`Protocol::evaluate`] with a racing baseline: when this protocol
+    /// has a [`Racing`] policy and `baseline` holds the best-so-far
+    /// samples (seconds), the candidate is abandoned as soon as it is
+    /// statistically hopeless, refunding the unspent repeats.
+    pub fn evaluate_raced(
+        &self,
+        executor: &dyn Executor,
+        config: &JvmConfig,
+        base_seed: u64,
+        baseline: Option<&[f64]>,
+    ) -> Evaluation {
+        let planned = self.repeats.max(1);
+        let mut samples = Vec::with_capacity(planned as usize);
         let mut cost = SimDuration::ZERO;
         let mut error = None;
         let mut counters: Option<RunCounters> = None;
-        for rep in 0..self.repeats.max(1) {
+        let mut runs: u32 = 0;
+        let mut raced: Option<RaceAbort> = None;
+        for rep in 0..planned {
             let seed = base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(rep as u64);
             let m = executor.measure(config, seed);
+            runs += 1;
             cost += m.time + executor.fixed_overhead();
             if let Some(c) = m.counters {
                 let total = counters.get_or_insert_with(RunCounters::default);
@@ -91,9 +169,15 @@ impl Protocol {
                     }
                 }
             }
+            if let Some(abort) = self.race_check(baseline, &samples, error.is_some(), runs, cost) {
+                raced = Some(abort);
+                break;
+            }
         }
-        let score = if samples.is_empty() || error.is_some() {
-            // A configuration that crashed even once is not trusted.
+        let score = if samples.is_empty() || error.is_some() || raced.is_some() {
+            // A configuration that crashed even once is not trusted; a
+            // raced-out candidate is censored (its partial median would
+            // bias the record optimistically).
             None
         } else {
             let times: Vec<f64> = samples.iter().map(|s| s.as_secs_f64()).collect();
@@ -105,6 +189,39 @@ impl Protocol {
             error,
             cost,
             counters,
+            runs,
+            raced,
+        }
+    }
+
+    /// Should the candidate be abandoned after its latest run?
+    fn race_check(
+        &self,
+        baseline: Option<&[f64]>,
+        samples: &[SimDuration],
+        failed: bool,
+        runs: u32,
+        cost: SimDuration,
+    ) -> Option<RaceAbort> {
+        let racing = self.racing?;
+        let baseline = baseline?;
+        let planned = self.repeats.max(1);
+        let done = samples.len() as u32;
+        if failed || baseline.is_empty() || done < racing.min_repeats.max(1) || runs >= planned {
+            return None;
+        }
+        let xs: Vec<f64> = samples.iter().map(|s| s.as_secs_f64()).collect();
+        let mw = stats::mann_whitney_u(&xs, baseline)?;
+        if mw.p_value < racing.alpha && mw.effect > 0.5 {
+            let per_run = cost.as_secs_f64() / runs as f64;
+            Some(RaceAbort {
+                after_runs: done,
+                p_value: mw.p_value,
+                effect: mw.effect,
+                saved: SimDuration::from_secs_f64(per_run * (planned - runs) as f64),
+            })
+        } else {
+            None
         }
     }
 
@@ -142,7 +259,9 @@ mod tests {
         }
         .evaluate(&ex, &c, 42);
         assert!(ev.ok());
+        assert!(!ev.aborted());
         assert_eq!(ev.samples.len(), 5);
+        assert_eq!(ev.runs, 5);
         let mut times: Vec<f64> = ev.samples.iter().map(|s| s.as_secs_f64()).collect();
         times.sort_by(f64::total_cmp);
         assert!((ev.score.unwrap().as_secs_f64() - times[2]).abs() < 1e-9);
@@ -169,6 +288,7 @@ mod tests {
         .evaluate(&ex, &c, 1);
         assert!(!fast.ok());
         assert!(fast.error.is_some());
+        assert_eq!(fast.error.as_ref().unwrap().kind(), "oom");
         let slow = Protocol {
             repeats: 5,
             fail_fast: false,
@@ -223,5 +343,82 @@ mod tests {
         }
         .evaluate(&ex, &c, 1);
         assert_eq!(ev.samples.len(), 1);
+    }
+
+    #[test]
+    fn racing_aborts_a_hopeless_candidate_and_refunds_repeats() {
+        let ex = executor();
+        let p = Protocol {
+            racing: Some(Racing::default()),
+            ..Protocol::default()
+        };
+        let default = JvmConfig::default_for(ex.registry());
+        let baseline_ev = p.evaluate(&ex, &default, 1);
+        let baseline: Vec<f64> = baseline_ev
+            .samples
+            .iter()
+            .map(|s| s.as_secs_f64())
+            .collect();
+        // Interpreter-only is several times slower: complete separation
+        // after two runs, so racing must abort the third.
+        let mut slow = default.clone();
+        slow.set_by_name(ex.registry(), "UseCompiler", FlagValue::Bool(false))
+            .unwrap();
+        let raced = p.evaluate_raced(&ex, &slow, 2, Some(&baseline));
+        assert!(raced.aborted());
+        assert!(!raced.ok(), "raced-out candidates are censored");
+        assert_eq!(raced.runs, 2);
+        let abort = raced.raced.unwrap();
+        assert_eq!(abort.after_runs, 2);
+        assert!(abort.effect > 0.5);
+        assert!(abort.saved > SimDuration::ZERO);
+        // The refund is real: the raced evaluation cost less than a full one.
+        let full = p.evaluate(&ex, &slow, 2);
+        assert!(raced.cost < full.cost);
+        assert_eq!(full.runs, 3);
+    }
+
+    #[test]
+    fn racing_never_triggers_without_a_baseline_or_policy() {
+        let ex = executor();
+        let default = JvmConfig::default_for(ex.registry());
+        let mut slow = default.clone();
+        slow.set_by_name(ex.registry(), "UseCompiler", FlagValue::Bool(false))
+            .unwrap();
+        // Policy but no baseline.
+        let p = Protocol {
+            racing: Some(Racing::default()),
+            ..Protocol::default()
+        };
+        assert!(!p.evaluate(&ex, &slow, 3).aborted());
+        // Baseline but no policy.
+        let base_ev = p.evaluate(&ex, &default, 1);
+        let baseline: Vec<f64> = base_ev.samples.iter().map(|s| s.as_secs_f64()).collect();
+        let no_policy = Protocol::default();
+        assert!(!no_policy
+            .evaluate_raced(&ex, &slow, 3, Some(&baseline))
+            .aborted());
+    }
+
+    #[test]
+    fn racing_spares_a_competitive_candidate() {
+        let ex = executor();
+        let p = Protocol {
+            racing: Some(Racing::default()),
+            ..Protocol::default()
+        };
+        let default = JvmConfig::default_for(ex.registry());
+        let baseline_ev = p.evaluate(&ex, &default, 1);
+        let baseline: Vec<f64> = baseline_ev
+            .samples
+            .iter()
+            .map(|s| s.as_secs_f64())
+            .collect();
+        // The same configuration re-measured under a different seed is
+        // statistically indistinguishable from the baseline: no abort.
+        let ev = p.evaluate_raced(&ex, &default, 99, Some(&baseline));
+        assert!(!ev.aborted());
+        assert!(ev.ok());
+        assert_eq!(ev.runs, 3);
     }
 }

@@ -37,8 +37,17 @@ pub struct SessionRecord {
     pub best_secs: f64,
     /// Command-line delta of the best configuration.
     pub best_delta: Vec<String>,
-    /// Candidates evaluated.
+    /// Candidates evaluated (trials charged, including cache hits).
     pub evaluations: u64,
+    /// Distinct configurations actually measured by the executor. Equals
+    /// `evaluations` for a legacy session; with the evaluation pipeline's
+    /// cache enabled, hits and duplicates keep `evaluations` growing
+    /// without measuring anything new.
+    pub distinct: u64,
+    /// Trials served from the trial cache.
+    pub cache_hits: u64,
+    /// Trials abandoned early by racing.
+    pub aborted: u64,
     /// Full trial log (for convergence plots).
     pub trials: Vec<TrialRecord>,
 }
@@ -56,13 +65,16 @@ impl SessionRecord {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.program,
             self.executor,
             self.budget_mins,
             self.default_secs,
             self.best_secs,
             self.evaluations,
+            self.distinct,
+            self.cache_hits,
+            self.aborted,
             self.best_delta.join(" "),
         );
         for t in &self.trials {
@@ -103,6 +115,9 @@ impl SessionRecord {
             .f64("improvement_percent", self.improvement_percent())
             .str_array("best_delta", &self.best_delta)
             .u64("evaluations", self.evaluations)
+            .u64("distinct", self.distinct)
+            .u64("cache_hits", self.cache_hits)
+            .u64("aborted", self.aborted)
             .raw("trials", &jtune_util::json::array_of(&trials))
             .finish()
     }
@@ -120,8 +135,16 @@ impl SessionRecord {
         let budget_mins = h.next()?.parse().ok()?;
         let default_secs = h.next()?.parse().ok()?;
         let best_secs = h.next()?.parse().ok()?;
-        let evaluations = h.next()?.parse().ok()?;
-        let best_delta: Vec<String> = h.next()?.split_whitespace().map(str::to_string).collect();
+        let evaluations: u64 = h.next()?.parse().ok()?;
+        // Legacy headers (pre-pipeline) go straight from `evaluations`
+        // to the delta field; new ones carry three counters in between.
+        let rest: Vec<&str> = h.collect();
+        let (distinct, cache_hits, aborted, delta_field) = match rest.as_slice() {
+            [d, c, a, delta] => (d.parse().ok()?, c.parse().ok()?, a.parse().ok()?, *delta),
+            [delta] => (evaluations, 0, 0, *delta),
+            _ => return None,
+        };
+        let best_delta: Vec<String> = delta_field.split_whitespace().map(str::to_string).collect();
         let mut trials = Vec::new();
         for line in lines {
             if line.trim().is_empty() {
@@ -157,6 +180,9 @@ impl SessionRecord {
             best_secs,
             best_delta,
             evaluations,
+            distinct,
+            cache_hits,
+            aborted,
             trials,
         })
     }
@@ -178,6 +204,9 @@ mod tests {
                 "-XX:MaxHeapSize=4g".into(),
             ],
             evaluations: 2,
+            distinct: 2,
+            cache_hits: 0,
+            aborted: 0,
             trials: vec![
                 TrialRecord {
                     index: 0,
@@ -208,6 +237,28 @@ mod tests {
         let s = sample();
         let tsv = s.to_tsv();
         let back = SessionRecord::from_tsv(&tsv).expect("parse");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn legacy_tsv_without_pipeline_counters_parses() {
+        let legacy = "#session\th2\tsim:h2\t200\t42.5\t30\t2\t-XX:+UseConcMarkSweepGC\n\
+                      0\t130\t42.5\tdefault\t\n";
+        let s = SessionRecord::from_tsv(legacy).expect("legacy parse");
+        assert_eq!(s.evaluations, 2);
+        assert_eq!(s.distinct, 2, "legacy sessions measured every trial");
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.aborted, 0);
+        assert_eq!(s.best_delta, vec!["-XX:+UseConcMarkSweepGC".to_string()]);
+    }
+
+    #[test]
+    fn pipeline_counters_round_trip() {
+        let mut s = sample();
+        s.distinct = 1;
+        s.cache_hits = 1;
+        s.aborted = 0;
+        let back = SessionRecord::from_tsv(&s.to_tsv()).expect("parse");
         assert_eq!(back, s);
     }
 

@@ -43,6 +43,13 @@ impl TelemetryBus {
         TelemetryBus::default()
     }
 
+    /// An explicitly disabled bus — the unobserved way to call the
+    /// observed-by-default APIs (`Tuner::run`, `evaluate_batch`). Same as
+    /// [`TelemetryBus::new`], named for intent at call sites.
+    pub fn disabled() -> TelemetryBus {
+        TelemetryBus::default()
+    }
+
     /// Attach a sink.
     pub fn add(&mut self, sink: Arc<dyn TuningObserver>) -> &mut Self {
         self.sinks.push(sink);

@@ -4,8 +4,8 @@
 //! stream is *complete* (every candidate evaluation appears exactly once
 //! as [`TraceEvent::TrialEvaluated`], with its budget charge) and
 //! *deterministic* (given the tuner seed, the same bytes are produced at
-//! any worker count — see `jtune_harness::evaluate_batch_observed` for
-//! the ordering contract).
+//! any worker count — see `jtune_harness::evaluate_batch` for the
+//! ordering contract).
 
 use jtune_util::json::JsonObject;
 
@@ -56,6 +56,46 @@ pub enum TraceEvent {
         cost_secs: f64,
         /// First failure message, if any repeat failed.
         error: Option<String>,
+        /// Classified failure kind (`crash` / `oom` / `timeout` /
+        /// `flag-conflict`), present exactly when `error` is.
+        error_kind: Option<String>,
+    },
+    /// The pipeline served a re-proposed configuration from the trial
+    /// cache instead of re-measuring it.
+    CacheHit {
+        /// Candidate index within the batch.
+        slot: usize,
+        /// Canonical configuration fingerprint (the cache key).
+        fingerprint: u64,
+        /// The cached median score, seconds (`None` = cached failure).
+        score_secs: Option<f64>,
+        /// Budget charged for the hit (the re-charge policy's share of
+        /// the original cost; 0 by default).
+        cost_secs: f64,
+        /// Budget the hit avoided spending (original cost − charge).
+        saved_secs: f64,
+    },
+    /// A candidate was dropped because an earlier slot in the same batch
+    /// proposed the identical configuration.
+    DuplicateSuppressed {
+        /// Candidate index within the batch.
+        slot: usize,
+        /// Earlier slot holding the identical configuration.
+        of_slot: usize,
+    },
+    /// Racing abandoned a statistically hopeless candidate before its
+    /// full repeat count, refunding the unspent repeats.
+    TrialAborted {
+        /// Candidate index within the batch.
+        slot: usize,
+        /// Successful runs completed before the abort.
+        after_runs: u64,
+        /// Mann-Whitney p-value at the abort.
+        p_value: f64,
+        /// Mann-Whitney effect (above 0.5 = slower than baseline).
+        effect: f64,
+        /// Estimated budget refunded, seconds.
+        saved_secs: f64,
     },
     /// One candidate evaluation was scored and charged to the budget
     /// (session-level record; `index` matches `TrialRecord::index`).
@@ -86,6 +126,8 @@ pub enum TraceEvent {
         jit_compiles: Option<u64>,
         /// First failure message, if the candidate failed.
         error: Option<String>,
+        /// Classified failure kind, present exactly when `error` is.
+        error_kind: Option<String>,
     },
     /// A candidate became the best found so far.
     BestImproved {
@@ -144,6 +186,9 @@ impl TraceEvent {
             TraceEvent::SessionStarted { .. } => "SessionStarted",
             TraceEvent::RoundProposed { .. } => "RoundProposed",
             TraceEvent::TrialMeasured { .. } => "TrialMeasured",
+            TraceEvent::CacheHit { .. } => "CacheHit",
+            TraceEvent::DuplicateSuppressed { .. } => "DuplicateSuppressed",
+            TraceEvent::TrialAborted { .. } => "TrialAborted",
             TraceEvent::TrialEvaluated { .. } => "TrialEvaluated",
             TraceEvent::BestImproved { .. } => "BestImproved",
             TraceEvent::TechniqueSwitched { .. } => "TechniqueSwitched",
@@ -190,11 +235,47 @@ impl TraceEvent {
                 repeat_secs,
                 cost_secs,
                 error,
+                error_kind,
+            } => {
+                let mut o = o
+                    .u64("slot", *slot as u64)
+                    .f64_array("repeat_secs", repeat_secs)
+                    .f64("cost_secs", *cost_secs)
+                    .opt_str("error", error.as_deref());
+                if let Some(kind) = error_kind {
+                    o = o.str("error_kind", kind);
+                }
+                o.finish()
+            }
+            TraceEvent::CacheHit {
+                slot,
+                fingerprint,
+                score_secs,
+                cost_secs,
+                saved_secs,
             } => o
                 .u64("slot", *slot as u64)
-                .f64_array("repeat_secs", repeat_secs)
+                .u64("fingerprint", *fingerprint)
+                .opt_f64("score_secs", *score_secs)
                 .f64("cost_secs", *cost_secs)
-                .opt_str("error", error.as_deref())
+                .f64("saved_secs", *saved_secs)
+                .finish(),
+            TraceEvent::DuplicateSuppressed { slot, of_slot } => o
+                .u64("slot", *slot as u64)
+                .u64("of_slot", *of_slot as u64)
+                .finish(),
+            TraceEvent::TrialAborted {
+                slot,
+                after_runs,
+                p_value,
+                effect,
+                saved_secs,
+            } => o
+                .u64("slot", *slot as u64)
+                .u64("after_runs", *after_runs)
+                .f64("p_value", *p_value)
+                .f64("effect", *effect)
+                .f64("saved_secs", *saved_secs)
                 .finish(),
             TraceEvent::TrialEvaluated {
                 index,
@@ -209,6 +290,7 @@ impl TraceEvent {
                 jit_compile_ms,
                 jit_compiles,
                 error,
+                error_kind,
             } => {
                 let mut o = o
                     .u64("index", *index)
@@ -226,7 +308,11 @@ impl TraceEvent {
                 if let Some(n) = jit_compiles {
                     o = o.u64("jit_compiles", *n);
                 }
-                o.opt_str("error", error.as_deref()).finish()
+                o = o.opt_str("error", error.as_deref());
+                if let Some(kind) = error_kind {
+                    o = o.str("error_kind", kind);
+                }
+                o.finish()
             }
             TraceEvent::BestImproved {
                 index,
@@ -302,6 +388,25 @@ mod tests {
                 repeat_secs: vec![1.0],
                 cost_secs: 1.5,
                 error: None,
+                error_kind: None,
+            },
+            TraceEvent::CacheHit {
+                slot: 1,
+                fingerprint: 0xDEAD_BEEF,
+                score_secs: Some(1.1),
+                cost_secs: 0.0,
+                saved_secs: 3.8,
+            },
+            TraceEvent::DuplicateSuppressed {
+                slot: 2,
+                of_slot: 0,
+            },
+            TraceEvent::TrialAborted {
+                slot: 3,
+                after_runs: 2,
+                p_value: 0.149,
+                effect: 1.0,
+                saved_secs: 1.4,
             },
             TraceEvent::TrialEvaluated {
                 index: 1,
@@ -316,6 +421,7 @@ mod tests {
                 jit_compile_ms: Some(40.0),
                 jit_compiles: Some(200),
                 error: None,
+                error_kind: None,
             },
             TraceEvent::BestImproved {
                 index: 1,
@@ -368,9 +474,25 @@ mod tests {
             jit_compile_ms: None,
             jit_compiles: None,
             error: Some("java.lang.OutOfMemoryError: Java heap space".into()),
+            error_kind: Some("oom".into()),
         };
         let j = e.to_json();
         assert!(j.contains("\"score_secs\":null"));
         assert!(j.contains("OutOfMemoryError"));
+        assert!(j.contains("\"error_kind\":\"oom\""));
+    }
+
+    #[test]
+    fn successful_trial_omits_error_kind() {
+        let e = TraceEvent::TrialMeasured {
+            slot: 0,
+            repeat_secs: vec![1.0],
+            cost_secs: 1.5,
+            error: None,
+            error_kind: None,
+        };
+        // Legacy traces predate `error_kind`; successful trials must
+        // serialise to the same bytes they always did.
+        assert!(!e.to_json().contains("error_kind"));
     }
 }

@@ -17,7 +17,10 @@
 //! candidate order regardless of worker count — parallel workers buffer
 //! per-slot and the batch flushes in order after it joins — so the JSONL
 //! bytes of a `workers = 1` run equal those of a `workers = 8` run. The
-//! integration test `tests/telemetry.rs` locks this in.
+//! evaluation-pipeline events ([`TraceEvent::CacheHit`],
+//! [`TraceEvent::DuplicateSuppressed`], [`TraceEvent::TrialAborted`])
+//! follow the same slot-ordered contract. The integration tests
+//! `tests/telemetry.rs` and `tests/pipeline.rs` lock this in.
 //!
 //! ## Auditability
 //!

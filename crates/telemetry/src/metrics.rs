@@ -46,13 +46,22 @@ pub const COUNTERS: &[&str] = &[
     "trials_measured",
     "trials_evaluated",
     "trials_failed",
+    "cache_hits",
+    "duplicates_suppressed",
+    "trials_aborted",
     "best_improvements",
     "technique_switches",
     "budget_exhausted",
 ];
 
 /// Histogram names the registry maintains.
-pub const HISTOGRAMS: &[&str] = &["trial_score", "trial_cost", "gc_pause_total", "jit_compile"];
+pub const HISTOGRAMS: &[&str] = &[
+    "trial_score",
+    "trial_cost",
+    "gc_pause_total",
+    "jit_compile",
+    "budget_saved",
+];
 
 impl MetricsRegistry {
     /// Empty registry.
@@ -112,6 +121,15 @@ impl TuningObserver for MetricsRegistry {
             TraceEvent::SessionStarted { .. } => inner.bump("sessions_started"),
             TraceEvent::RoundProposed { .. } => inner.bump("rounds_proposed"),
             TraceEvent::TrialMeasured { .. } => inner.bump("trials_measured"),
+            TraceEvent::CacheHit { saved_secs, .. } => {
+                inner.bump("cache_hits");
+                inner.observe("budget_saved", SimDuration::from_secs_f64(*saved_secs));
+            }
+            TraceEvent::DuplicateSuppressed { .. } => inner.bump("duplicates_suppressed"),
+            TraceEvent::TrialAborted { saved_secs, .. } => {
+                inner.bump("trials_aborted");
+                inner.observe("budget_saved", SimDuration::from_secs_f64(*saved_secs));
+            }
             TraceEvent::TrialEvaluated {
                 score_secs,
                 cost_secs,
@@ -158,6 +176,7 @@ mod tests {
             jit_compile_ms: Some(5.0),
             jit_compiles: Some(100),
             error: None,
+            error_kind: None,
         }
     }
 
@@ -174,6 +193,33 @@ mod tests {
         assert_eq!(scores.count(), 2);
         assert_eq!(m.histogram("trial_cost").unwrap().count(), 3);
         assert_eq!(m.histogram("gc_pause_total").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn counts_pipeline_savings() {
+        let m = MetricsRegistry::new();
+        m.on_event(&TraceEvent::CacheHit {
+            slot: 0,
+            fingerprint: 1,
+            score_secs: Some(1.0),
+            cost_secs: 0.0,
+            saved_secs: 3.5,
+        });
+        m.on_event(&TraceEvent::DuplicateSuppressed {
+            slot: 1,
+            of_slot: 0,
+        });
+        m.on_event(&TraceEvent::TrialAborted {
+            slot: 2,
+            after_runs: 2,
+            p_value: 0.1,
+            effect: 1.0,
+            saved_secs: 1.5,
+        });
+        assert_eq!(m.counter("cache_hits"), 1);
+        assert_eq!(m.counter("duplicates_suppressed"), 1);
+        assert_eq!(m.counter("trials_aborted"), 1);
+        assert_eq!(m.histogram("budget_saved").unwrap().count(), 2);
     }
 
     #[test]

@@ -49,12 +49,14 @@ fn main() {
         println!("  FAILED: {f} — the default heap cannot hold the live set");
     }
 
-    // Tune for half an hour of virtual time.
-    let opts = TunerOptions {
-        budget: SimDuration::from_mins(30),
-        ..TunerOptions::default()
-    };
-    let result = Tuner::new(opts).run(&executor, "order-matcher");
+    // Tune for half an hour of virtual time, with trial memoization on:
+    // revisited configurations are free, stretching the budget.
+    let opts = TunerOptions::builder()
+        .budget(SimDuration::from_mins(30))
+        .cache(CachePolicy::default())
+        .build()
+        .expect("valid options");
+    let result = Tuner::new(opts).run(&executor, "order-matcher", &TelemetryBus::disabled());
     println!(
         "\ntuned: {:+.1}% improvement over default",
         result.improvement_percent()

@@ -23,13 +23,16 @@ fn service_workload() -> Workload {
 }
 
 fn tune(objective: Objective) -> (String, TuningResult) {
-    let mut opts = TunerOptions {
-        budget: SimDuration::from_mins(40),
-        ..TunerOptions::default()
-    };
-    opts.protocol.objective = objective;
+    let opts = TunerOptions::builder()
+        .budget(SimDuration::from_mins(40))
+        .protocol(Protocol {
+            objective,
+            ..Protocol::default()
+        })
+        .build()
+        .expect("valid options");
     let executor = SimExecutor::new(service_workload());
-    let result = Tuner::new(opts).run(&executor, "latency-service");
+    let result = Tuner::new(opts).run(&executor, "latency-service", &TelemetryBus::disabled());
     (objective.name(), result)
 }
 

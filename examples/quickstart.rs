@@ -37,11 +37,11 @@ fn main() {
     );
 
     let executor = SimExecutor::new(workload);
-    let opts = TunerOptions {
-        budget: SimDuration::from_mins(budget_mins),
-        ..TunerOptions::default()
-    };
-    let result = Tuner::new(opts).run(&executor, &program);
+    let opts = TunerOptions::builder()
+        .budget(SimDuration::from_mins(budget_mins))
+        .build()
+        .expect("valid options");
+    let result = Tuner::new(opts).run(&executor, &program, &TelemetryBus::disabled());
 
     let s = &result.session;
     println!();

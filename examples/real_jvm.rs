@@ -37,13 +37,14 @@ fn main() {
             Some(ex) => ex,
             None => {
                 eprintln!("no `java` found on PATH; running the simulator instead");
-                let result = Tuner::new(TunerOptions {
-                    budget: SimDuration::from_mins(10),
-                    ..TunerOptions::default()
-                })
-                .run(
+                let opts = TunerOptions::builder()
+                    .budget(SimDuration::from_mins(10))
+                    .build()
+                    .expect("valid options");
+                let result = Tuner::new(opts).run(
                     &SimExecutor::new(workload_by_name("compress").unwrap()),
                     "compress",
+                    &TelemetryBus::disabled(),
                 );
                 println!("simulated fallback: {:+.1}%", result.improvement_percent());
                 return;
@@ -52,19 +53,22 @@ fn main() {
     };
 
     // Short real-time budget for a demo; the paper used 200 minutes.
-    let opts = TunerOptions {
-        budget: SimDuration::from_mins(2),
-        workers: 1, // one JVM at a time: parallel JVMs perturb each other
-        batch: 4,
-        protocol: Protocol {
+    // Racing pays off most on a real JVM, where every repeat costs real
+    // wall clock: hopeless candidates are cut off after 2 of 3 runs.
+    let opts = TunerOptions::builder()
+        .budget(SimDuration::from_mins(2))
+        .workers(1) // one JVM at a time: parallel JVMs perturb each other
+        .batch(4)
+        .protocol(Protocol {
             repeats: 3,
             fail_fast: true,
             ..Protocol::default()
-        },
-        ..TunerOptions::default()
-    };
+        })
+        .racing(Racing::default())
+        .build()
+        .expect("valid options");
     println!("tuning a real JVM for 2 minutes of wall clock...");
-    let result = Tuner::new(opts).run(&executor, "real-jvm");
+    let result = Tuner::new(opts).run(&executor, "real-jvm", &TelemetryBus::disabled());
     println!(
         "default {:.3}s -> best {:.3}s ({:+.1}%) over {} candidates",
         result.session.default_secs,

@@ -31,12 +31,12 @@ fn main() {
     for (i, workload) in workloads.into_iter().enumerate() {
         let name = workload.name.clone();
         let executor = SimExecutor::new(workload);
-        let opts = TunerOptions {
-            budget: SimDuration::from_mins(budget_mins),
-            seed: 0xBEEF ^ ((i as u64) << 16),
-            ..TunerOptions::default()
-        };
-        let result = Tuner::new(opts).run(&executor, &name);
+        let opts = TunerOptions::builder()
+            .budget(SimDuration::from_mins(budget_mins))
+            .seed(0xBEEF ^ ((i as u64) << 16))
+            .build()
+            .expect("valid options");
+        let result = Tuner::new(opts).run(&executor, &name, &TelemetryBus::disabled());
         let imp = result.improvement_percent();
         improvements.push(imp);
         println!(

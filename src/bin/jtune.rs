@@ -3,6 +3,9 @@
 //! ```text
 //! jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
 //!                       [--manipulator hier|flat|subset] [--minimize]
+//!                       [--workers N] [--batch N]
+//!                       [--cache] [--cache-recharge F]
+//!                       [--racing] [--min-repeats N]
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
 //! jtune simulate <workload> [-XX:... flags]
@@ -47,6 +50,9 @@ fn usage(code: i32) -> i32 {
 USAGE:
   jtune tune <workload> [--budget MIN] [--seed N] [--technique NAME]
                         [--manipulator hier|flat|subset] [--minimize]
+                        [--workers N] [--batch N]
+                        [--cache] [--cache-recharge F]
+                        [--racing] [--min-repeats N]
                         [--trace PATH] [--progress] [--json]
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
                         [--trace PATH] [--progress] [--json]
@@ -57,6 +63,13 @@ USAGE:
 
 Workload names: bare (`serial`), or suite-qualified (`dacapo:h2`,
 `spec:sunflow`). Budgets are virtual minutes; the paper used 200.
+
+Budget stretching: --cache memoizes trials so revisited configurations
+cost nothing (--cache-recharge F charges hits F× their original cost,
+0 <= F <= 1), --racing aborts candidates that are statistically worse
+than the best-so-far after --min-repeats runs, refunding the unspent
+repeats. Both default off; with both off sessions are byte-identical
+to earlier releases.
 
 Observability: --trace PATH streams one JSON event per trial to PATH
 (JSON Lines, bit-deterministic for a given seed), --progress reports
@@ -72,28 +85,25 @@ fn parse_opt(rest: &[String], name: &str) -> Option<String> {
         .and_then(|i| rest.get(i + 1).cloned())
 }
 
-fn tuner_options_from(rest: &[String]) -> TunerOptions {
-    let mut opts = TunerOptions::default();
+fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
+    let mut b = TunerOptions::builder();
     if let Some(raw) = parse_opt(rest, "--budget") {
         match raw.parse() {
-            Ok(mins) => opts.budget = SimDuration::from_mins(mins),
-            Err(_) => eprintln!(
-                "warning: --budget {raw:?} is not a number of minutes; using {}",
-                opts.budget
-            ),
+            Ok(mins) => b = b.budget(SimDuration::from_mins(mins)),
+            Err(_) => eprintln!("warning: --budget {raw:?} is not a number of minutes; ignoring"),
         }
     }
     if let Some(raw) = parse_opt(rest, "--seed") {
         match raw.parse() {
-            Ok(seed) => opts.seed = seed,
+            Ok(seed) => b = b.seed(seed),
             Err(_) => eprintln!("warning: --seed {raw:?} is not an integer; using default"),
         }
     }
     if let Some(t) = parse_opt(rest, "--technique") {
-        opts.technique = t;
+        b = b.technique(t);
     }
     if let Some(m) = parse_opt(rest, "--manipulator") {
-        opts.manipulator = match m.as_str() {
+        b = b.manipulator(match m.as_str() {
             "hier" | "hierarchical" => ManipulatorKind::Hierarchical,
             "flat" => ManipulatorKind::Flat,
             "subset" | "gc-subset" => ManipulatorKind::GcSubset,
@@ -101,9 +111,47 @@ fn tuner_options_from(rest: &[String]) -> TunerOptions {
                 eprintln!("unknown manipulator {other:?}; using hierarchical");
                 ManipulatorKind::Hierarchical
             }
-        };
+        });
     }
-    opts
+    if let Some(raw) = parse_opt(rest, "--workers") {
+        match raw.parse() {
+            Ok(n) => b = b.workers(n),
+            Err(_) => eprintln!("warning: --workers {raw:?} is not an integer; using default"),
+        }
+    }
+    if let Some(raw) = parse_opt(rest, "--batch") {
+        match raw.parse() {
+            Ok(n) => b = b.batch(n),
+            Err(_) => eprintln!("warning: --batch {raw:?} is not an integer; using default"),
+        }
+    }
+    // --cache-recharge implies --cache: asking for a hit-recharge fraction
+    // only makes sense with the trial cache on.
+    let recharge = parse_opt(rest, "--cache-recharge").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: --cache-recharge {raw:?} is not a number; using 0");
+            0.0
+        })
+    });
+    if rest.iter().any(|a| a == "--cache") || recharge.is_some() {
+        b = b.cache(CachePolicy {
+            recharge: recharge.unwrap_or(0.0),
+        });
+    }
+    let min_repeats = parse_opt(rest, "--min-repeats").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: --min-repeats {raw:?} is not an integer; using default");
+            Racing::default().min_repeats
+        })
+    });
+    if rest.iter().any(|a| a == "--racing") || min_repeats.is_some() {
+        let mut racing = Racing::default();
+        if let Some(m) = min_repeats {
+            racing.min_repeats = m;
+        }
+        b = b.racing(racing);
+    }
+    b.build()
 }
 
 /// Build the telemetry bus requested on the command line: `--trace PATH`
@@ -133,7 +181,13 @@ fn cmd_tune(rest: &[String]) -> i32 {
         eprintln!("unknown workload {name:?} (see `jtune workloads`)");
         return 2;
     };
-    let opts = tuner_options_from(rest);
+    let opts = match tuner_options_from(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("tune: invalid options: {e}");
+            return 2;
+        }
+    };
     let minimize = rest.iter().any(|a| a == "--minimize");
     let json_out = rest.iter().any(|a| a == "--json");
     let bus = telemetry_from(rest);
@@ -144,7 +198,7 @@ fn cmd_tune(rest: &[String]) -> i32 {
         );
     }
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run_observed(&executor, name, &bus);
+    let result = Tuner::new(opts).run(&executor, name, &bus);
     if json_out {
         println!("{}", result.session.to_json());
         return 0;
@@ -194,7 +248,13 @@ fn cmd_suite(rest: &[String]) -> i32 {
             return 2;
         }
     };
-    let base = tuner_options_from(rest);
+    let base = match tuner_options_from(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("suite: invalid options: {e}");
+            return 2;
+        }
+    };
     let json_out = rest.iter().any(|a| a == "--json");
     let bus = telemetry_from(rest);
     let mut improvements = Vec::new();
@@ -210,7 +270,7 @@ fn cmd_suite(rest: &[String]) -> i32 {
         let mut opts = base.clone();
         opts.seed ^= (i as u64 + 1) << 32;
         let executor = SimExecutor::new(workload);
-        let result = Tuner::new(opts).run_observed(&executor, &name, &bus);
+        let result = Tuner::new(opts).run(&executor, &name, &bus);
         improvements.push(result.improvement_percent());
         if json_out {
             records.push(result.session.to_json());

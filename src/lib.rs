@@ -22,7 +22,9 @@
 //! - [`workloads`] — SPECjvm2008-startup and DaCapo workload models plus a
 //!   synthetic generator.
 //! - [`harness`] — executors (simulator or a real `java` process),
-//!   measurement protocol, budget accounting, parallel evaluation.
+//!   measurement protocol, budget accounting, parallel evaluation, and
+//!   the adaptive evaluation pipeline (trial memoization, duplicate
+//!   suppression, sequential racing).
 //! - [`telemetry`] — session observability: a typed trial-event stream
 //!   ([`telemetry::TraceEvent`]) published on a [`telemetry::TelemetryBus`]
 //!   to pluggable sinks (JSONL traces, metrics registry, live progress).
@@ -38,9 +40,11 @@
 //! // minutes (the paper uses 200).
 //! let workload = workload_by_name("compress").expect("built-in workload");
 //! let executor = SimExecutor::new(workload);
-//! let mut opts = TunerOptions::default();
-//! opts.budget = SimDuration::from_mins(2);
-//! let result = Tuner::new(opts).run(&executor, "compress");
+//! let opts = TunerOptions::builder()
+//!     .budget(SimDuration::from_mins(2))
+//!     .build()
+//!     .expect("valid options");
+//! let result = Tuner::new(opts).run(&executor, "compress", &TelemetryBus::disabled());
 //!
 //! println!(
 //!     "default {:.2}s -> tuned {:.2}s ({:+.1}%) via {:?}",
@@ -66,10 +70,16 @@ pub use jtune_workloads as workloads;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use autotuner_core::{tuner::ManipulatorKind, Tuner, TunerOptions, TuningResult};
+    pub use autotuner_core::{
+        tuner::ManipulatorKind, OptionsError, Tuner, TunerOptions, TunerOptionsBuilder,
+        TuningResult,
+    };
     pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
     pub use jtune_flagtree::hotspot_tree;
-    pub use jtune_harness::{Executor, ProcessExecutor, Protocol, SimExecutor};
+    pub use jtune_harness::{
+        CachePolicy, EvalPipeline, Executor, ProcessExecutor, Protocol, Racing, SimExecutor,
+        TrialCache, TrialError,
+    };
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
     pub use jtune_telemetry::{
         JsonlSink, MemoryRecorder, MetricsRegistry, ProgressReporter, TelemetryBus, TraceEvent,

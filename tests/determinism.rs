@@ -16,8 +16,12 @@ fn opts(seed: u64, workers: usize) -> TunerOptions {
 #[test]
 fn identical_seeds_give_identical_sessions() {
     let w = workload_by_name("crypto.rsa").unwrap();
-    let a = Tuner::new(opts(42, 4)).run(&SimExecutor::new(w.clone()), "rsa");
-    let b = Tuner::new(opts(42, 4)).run(&SimExecutor::new(w), "rsa");
+    let a = Tuner::new(opts(42, 4)).run(
+        &SimExecutor::new(w.clone()),
+        "rsa",
+        &TelemetryBus::disabled(),
+    );
+    let b = Tuner::new(opts(42, 4)).run(&SimExecutor::new(w), "rsa", &TelemetryBus::disabled());
     // The entire trial log must match, not just the headline.
     assert_eq!(a.session.to_tsv(), b.session.to_tsv());
 }
@@ -25,23 +29,32 @@ fn identical_seeds_give_identical_sessions() {
 #[test]
 fn worker_count_does_not_change_results() {
     let w = workload_by_name("crypto.aes").unwrap();
-    let serial = Tuner::new(opts(7, 1)).run(&SimExecutor::new(w.clone()), "aes");
-    let parallel = Tuner::new(opts(7, 8)).run(&SimExecutor::new(w), "aes");
+    let serial = Tuner::new(opts(7, 1)).run(
+        &SimExecutor::new(w.clone()),
+        "aes",
+        &TelemetryBus::disabled(),
+    );
+    let parallel =
+        Tuner::new(opts(7, 8)).run(&SimExecutor::new(w), "aes", &TelemetryBus::disabled());
     assert_eq!(serial.session.to_tsv(), parallel.session.to_tsv());
 }
 
 #[test]
 fn different_seeds_explore_differently() {
     let w = workload_by_name("crypto.rsa").unwrap();
-    let a = Tuner::new(opts(1, 4)).run(&SimExecutor::new(w.clone()), "rsa");
-    let b = Tuner::new(opts(2, 4)).run(&SimExecutor::new(w), "rsa");
+    let a = Tuner::new(opts(1, 4)).run(
+        &SimExecutor::new(w.clone()),
+        "rsa",
+        &TelemetryBus::disabled(),
+    );
+    let b = Tuner::new(opts(2, 4)).run(&SimExecutor::new(w), "rsa", &TelemetryBus::disabled());
     assert_ne!(a.session.to_tsv(), b.session.to_tsv());
 }
 
 #[test]
 fn session_records_round_trip_through_tsv() {
     let w = workload_by_name("scimark.fft").unwrap();
-    let result = Tuner::new(opts(9, 4)).run(&SimExecutor::new(w), "fft");
+    let result = Tuner::new(opts(9, 4)).run(&SimExecutor::new(w), "fft", &TelemetryBus::disabled());
     let tsv = result.session.to_tsv();
     let back = SessionRecord::from_tsv(&tsv).expect("parse back");
     assert_eq!(back, result.session);

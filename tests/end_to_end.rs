@@ -16,7 +16,7 @@ fn small_budget() -> TunerOptions {
 fn tunes_a_spec_program_end_to_end() {
     let workload = workload_by_name("serial").expect("built-in");
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(small_budget()).run(&executor, "serial");
+    let result = Tuner::new(small_budget()).run(&executor, "serial", &TelemetryBus::disabled());
 
     assert!(result.session.best_secs <= result.session.default_secs);
     assert!(result.session.evaluations > 10);
@@ -38,7 +38,8 @@ fn tunes_a_spec_program_end_to_end() {
 fn best_config_reproduces_its_score_in_the_simulator() {
     let workload = workload_by_name("xml.validation").expect("built-in");
     let executor = SimExecutor::new(workload);
-    let result = Tuner::new(small_budget()).run(&executor, "xml.validation");
+    let result =
+        Tuner::new(small_budget()).run(&executor, "xml.validation", &TelemetryBus::disabled());
 
     // Re-measure the winner: the median of fresh runs must sit near the
     // recorded best score (within noise).
@@ -68,8 +69,13 @@ fn whole_jvm_tuning_beats_gc_subset_on_jit_bound_workload() {
     let mut subset_opts = hier_opts.clone();
     subset_opts.manipulator = ManipulatorKind::GcSubset;
 
-    let hier = Tuner::new(hier_opts).run(&SimExecutor::new(workload.clone()), "cc");
-    let subset = Tuner::new(subset_opts).run(&SimExecutor::new(workload), "cc");
+    let hier = Tuner::new(hier_opts).run(
+        &SimExecutor::new(workload.clone()),
+        "cc",
+        &TelemetryBus::disabled(),
+    );
+    let subset =
+        Tuner::new(subset_opts).run(&SimExecutor::new(workload), "cc", &TelemetryBus::disabled());
 
     assert!(
         hier.improvement_percent() > subset.improvement_percent() + 5.0,
@@ -86,7 +92,11 @@ fn tuned_flags_run_on_a_real_jvm_if_present() {
     let workload = workload_by_name("compress").expect("built-in");
     let mut opts = small_budget();
     opts.max_evaluations = Some(30);
-    let result = Tuner::new(opts).run(&SimExecutor::new(workload), "compress");
+    let result = Tuner::new(opts).run(
+        &SimExecutor::new(workload),
+        "compress",
+        &TelemetryBus::disabled(),
+    );
 
     let Some(process) = ProcessExecutor::from_path(vec!["-version".into()]) else {
         eprintln!("skipping real-JVM leg: no java on PATH");
@@ -117,7 +127,7 @@ fn degenerate_budget_still_returns_default_baseline() {
         seed: 5,
         ..TunerOptions::default()
     };
-    let result = Tuner::new(opts).run(&executor, "compress");
+    let result = Tuner::new(opts).run(&executor, "compress", &TelemetryBus::disabled());
     assert!(result.session.default_secs.is_finite());
     assert!(result.session.best_secs <= result.session.default_secs);
 }

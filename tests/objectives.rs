@@ -22,7 +22,7 @@ fn tune_with(objective: Objective, seed: u64) -> TuningResult {
     };
     opts.protocol.objective = objective;
     let executor = SimExecutor::new(gc_bound_workload());
-    Tuner::new(opts).run(&executor, "objective-test")
+    Tuner::new(opts).run(&executor, "objective-test", &TelemetryBus::disabled())
 }
 
 fn profile(config: &JvmConfig) -> (f64, f64) {

@@ -23,7 +23,7 @@ fn observed_session(workers: usize, seed: u64) -> (String, Vec<TraceEvent>, Tuni
     };
     let recorder = Arc::new(MemoryRecorder::new());
     let bus = TelemetryBus::new().with(recorder.clone());
-    let result = Tuner::new(opts).run_observed(&executor, "compress", &bus);
+    let result = Tuner::new(opts).run(&executor, "compress", &bus);
     (recorder.to_jsonl(), recorder.events(), result)
 }
 
@@ -174,7 +174,7 @@ fn jsonl_sink_matches_memory_recorder() {
     let bus = TelemetryBus::new()
         .with(recorder.clone())
         .with(sink.clone());
-    let _ = Tuner::new(opts).run_observed(&executor, "serial", &bus);
+    let _ = Tuner::new(opts).run(&executor, "serial", &bus);
     assert_eq!(sink.write_errors(), 0);
     let from_file = std::fs::read_to_string(&path).expect("read trace back");
     assert_eq!(from_file, recorder.to_jsonl());
