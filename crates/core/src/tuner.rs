@@ -11,13 +11,22 @@
 //! [`Racing`] policy on the protocol, statistically hopeless candidates
 //! are abandoned early. Both features default off, in which case the
 //! session is bit-identical to the legacy fixed-repeat pipeline.
+//!
+//! Fault tolerance rides on the same pipeline: a
+//! [`jtune_harness::RetryPolicy`] on the protocol repeats transient
+//! failures, [`TunerOptions::quarantine`]
+//! stops re-proposing deterministically-failing fingerprints (and ends
+//! the session gracefully when whole batches keep failing), and
+//! [`TunerOptions::checkpoint`] / [`TunerOptions::resume`] make a killed
+//! session resumable with a byte-identical trace.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 
 use jtune_flags::JvmConfig;
 use jtune_harness::{
-    Budget, CachePolicy, EvalPipeline, Evaluation, Executor, Protocol, Racing, SessionRecord,
-    TrialRecord,
+    journal, Budget, CachePolicy, EvalPipeline, Evaluation, Executor, JournalWriter, Protocol,
+    QuarantinePolicy, Racing, ReplayLog, SessionHeader, SessionRecord, TrialRecord,
 };
 use jtune_telemetry::{TelemetryBus, TraceEvent};
 use jtune_util::{stats, SimDuration, Xoshiro256pp};
@@ -75,6 +84,16 @@ pub struct TunerOptions {
     /// Trial memoization policy; `None` (default) disables the cache and
     /// within-batch duplicate suppression — the legacy byte-stable path.
     pub cache: Option<CachePolicy>,
+    /// Quarantine policy for deterministically-failing configurations;
+    /// `None` (default) never quarantines — the legacy byte-stable path.
+    pub quarantine: Option<QuarantinePolicy>,
+    /// Write-ahead trial journal path; every completed evaluation is
+    /// flushed there so a killed session can be resumed.
+    pub checkpoint: Option<PathBuf>,
+    /// Journal to resume from: completed trials replay from it instead
+    /// of being re-measured, reconstructing budget, cache, RNG and
+    /// technique state. Usually the same path as `checkpoint`.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for TunerOptions {
@@ -89,6 +108,9 @@ impl Default for TunerOptions {
             technique: "ensemble".to_string(),
             max_evaluations: None,
             cache: None,
+            quarantine: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -130,7 +152,51 @@ impl TunerOptions {
                 return Err(OptionsError::InvalidAlpha(racing.alpha));
             }
         }
+        if let Some(retry) = self.protocol.retry {
+            if !(retry.backoff.is_finite() && retry.backoff >= 1.0) {
+                return Err(OptionsError::InvalidBackoff(retry.backoff));
+            }
+        }
+        if let Some(q) = self.quarantine {
+            if q.streak == 0 {
+                return Err(OptionsError::ZeroQuarantineStreak);
+            }
+        }
         Ok(())
+    }
+
+    /// Canonical rendering of every option that affects the trial
+    /// stream. The worker count is deliberately excluded: it never
+    /// changes results. This string pins a checkpoint journal to its
+    /// session — resuming under different options is refused.
+    pub fn signature(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "v1 technique={} manipulator={} batch={} repeats={} fail_fast={}",
+            self.technique,
+            self.manipulator.label(),
+            self.batch,
+            self.protocol.repeats,
+            self.protocol.fail_fast,
+        );
+        if let Some(r) = self.protocol.retry {
+            let _ = write!(s, " retry={}x{}", r.max_retries, r.backoff);
+        }
+        if let Some(r) = self.protocol.racing {
+            let _ = write!(s, " racing={}a{}", r.min_repeats, r.alpha);
+        }
+        if let Some(c) = self.cache {
+            let _ = write!(s, " cache={}", c.recharge);
+        }
+        if let Some(q) = self.quarantine {
+            let _ = write!(s, " quarantine={}", q.streak);
+        }
+        if let Some(m) = self.max_evaluations {
+            let _ = write!(s, " max_evals={m}");
+        }
+        s
     }
 }
 
@@ -151,6 +217,10 @@ pub enum OptionsError {
     ZeroMinRepeats,
     /// Racing `alpha` must lie strictly between 0 and 1.
     InvalidAlpha(f64),
+    /// Retry backoff must be a finite factor of at least 1.
+    InvalidBackoff(f64),
+    /// Quarantine streak must be at least 1.
+    ZeroQuarantineStreak,
 }
 
 impl std::fmt::Display for OptionsError {
@@ -168,6 +238,12 @@ impl std::fmt::Display for OptionsError {
             OptionsError::ZeroMinRepeats => write!(f, "racing min repeats must be at least 1"),
             OptionsError::InvalidAlpha(a) => {
                 write!(f, "racing alpha {a} outside (0, 1)")
+            }
+            OptionsError::InvalidBackoff(b) => {
+                write!(f, "retry backoff {b} must be a finite factor >= 1")
+            }
+            OptionsError::ZeroQuarantineStreak => {
+                write!(f, "quarantine streak must be at least 1")
             }
         }
     }
@@ -242,6 +318,37 @@ impl TunerOptionsBuilder {
         self
     }
 
+    /// Stop a candidate's remaining repeats after its first failure
+    /// (`true`, the default) or keep measuring (`false`).
+    pub fn fail_fast(mut self, fail_fast: bool) -> Self {
+        self.opts.protocol.fail_fast = fail_fast;
+        self
+    }
+
+    /// Retry transiently-failing runs under the given policy.
+    pub fn retry(mut self, retry: jtune_harness::RetryPolicy) -> Self {
+        self.opts.protocol.retry = Some(retry);
+        self
+    }
+
+    /// Quarantine deterministically-failing configurations.
+    pub fn quarantine(mut self, policy: QuarantinePolicy) -> Self {
+        self.opts.quarantine = Some(policy);
+        self
+    }
+
+    /// Write a crash-safe trial journal to `path`.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resume from the journal at `path` (usually the checkpoint path).
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.opts.resume = Some(path.into());
+        self
+    }
+
     /// Validate and produce the options.
     pub fn build(self) -> Result<TunerOptions, OptionsError> {
         self.opts.validate()?;
@@ -303,7 +410,10 @@ impl Tuner {
     ///
     /// # Panics
     /// Panics if the technique name in the options is unknown (use
-    /// [`TunerOptions::builder`] to reject that at construction).
+    /// [`TunerOptions::builder`] to reject that at construction), if the
+    /// resume journal cannot be read or belongs to a different session
+    /// (its header pins program, executor, seed, budget and the options
+    /// signature), or if the checkpoint journal cannot be created.
     pub fn run(&self, executor: &dyn Executor, program: &str, bus: &TelemetryBus) -> TuningResult {
         let opts = &self.opts;
         let manipulator = self.build_manipulator();
@@ -314,6 +424,39 @@ impl Tuner {
         let registry = executor.registry();
         let mut pipeline = EvalPipeline::new(opts.protocol, opts.cache);
         let racing = opts.protocol.racing.is_some();
+
+        // Crash-safety wiring. The resume journal is loaded *before* the
+        // checkpoint writer is created: with both on the same path (the
+        // normal kill-and-restart cycle) creating the writer truncates
+        // the file, and replayed trials are re-recorded as they are
+        // served, rebuilding a complete journal.
+        let header = SessionHeader {
+            program: program.to_string(),
+            executor: executor.describe(),
+            seed: opts.seed,
+            budget_nanos: opts.budget.as_nanos(),
+            signature: opts.signature(),
+        };
+        let mut trials_replayed: u64 = 0;
+        if let Some(path) = &opts.resume {
+            let (found, entries) = journal::load(path).unwrap_or_else(|e| {
+                panic!("cannot resume from {}: {e}", path.display());
+            });
+            assert!(
+                found == header,
+                "refusing to resume from {}: the journal belongs to a different session\n  \
+                 journal: {found:?}\n  session: {header:?}",
+                path.display(),
+            );
+            trials_replayed = entries.len() as u64;
+            pipeline.set_replay(ReplayLog::new(entries));
+        }
+        if let Some(path) = &opts.checkpoint {
+            let writer = JournalWriter::create(path, &header).unwrap_or_else(|e| {
+                panic!("cannot create checkpoint at {}: {e}", path.display());
+            });
+            pipeline.set_journal(writer);
+        }
 
         bus.emit(&TraceEvent::SessionStarted {
             program: program.to_string(),
@@ -326,11 +469,23 @@ impl Tuner {
             batch: opts.batch as u64,
             repeats: opts.protocol.repeats.max(1) as u64,
         });
+        if opts.resume.is_some() {
+            // Ephemeral: tells live observers this process is replaying,
+            // but is never serialised (the resumed trace must stay
+            // byte-identical to an uninterrupted run's).
+            bus.emit(&TraceEvent::SessionResumed { trials_replayed });
+        }
 
         let mut trials: Vec<TrialRecord> = Vec::new();
         let mut seen: HashSet<u64> = HashSet::new();
         let mut eval_index: u64 = 0;
         let mut last_technique: Option<String> = None;
+        // Quarantine bookkeeping: consecutive deterministic-failure runs
+        // per fingerprint, the quarantined set, and how many batches in a
+        // row produced no usable score at all.
+        let mut fail_streak: HashMap<u64, u32> = HashMap::new();
+        let mut quarantined: HashSet<u64> = HashSet::new();
+        let mut all_failed_batches: u32 = 0;
 
         // ---- baseline: the default configuration ----
         let mut default_config = JvmConfig::default_for(registry);
@@ -373,6 +528,8 @@ impl Tuner {
                     distinct: 1,
                     cache_hits: 0,
                     aborted: 0,
+                    retried: pipeline.stats().retried,
+                    quarantined: 0,
                     trials,
                 };
                 return TuningResult {
@@ -389,6 +546,7 @@ impl Tuner {
             delta: Vec::new(),
         });
         eval_index += 1;
+        emit_checkpoint(opts, &pipeline, &budget, bus);
 
         let mut best: (JvmConfig, f64) = (default_config.clone(), default_score);
         // Racing baseline: the best-so-far candidate's raw samples,
@@ -452,7 +610,16 @@ impl Tuner {
                         });
                     }
                 }
+                note_quarantine(
+                    opts.quarantine,
+                    candidate.fingerprint(),
+                    ev,
+                    &mut fail_streak,
+                    &mut quarantined,
+                    bus,
+                );
             }
+            emit_checkpoint(opts, &pipeline, &budget, bus);
         }
 
         // ---- search rounds ----
@@ -492,9 +659,18 @@ impl Tuner {
                         }
                         last_dup = Some(c);
                     }
+                    // Re-serving a duplicate from cache is only worth it
+                    // when the config is not quarantined: a fingerprint
+                    // that keeps failing deterministically must not be
+                    // re-proposed.
+                    let dup_allowed = cache_enabled
+                        && reused < reuse_cap
+                        && last_dup
+                            .as_ref()
+                            .is_some_and(|c| !quarantined.contains(&c.fingerprint()));
                     let c = match fresh {
                         Some(c) => c,
-                        None if cache_enabled && reused < reuse_cap => {
+                        None if dup_allowed => {
                             reused += 1;
                             last_dup.expect("eight attempts, all duplicates")
                         }
@@ -581,10 +757,35 @@ impl Tuner {
                         });
                     }
                 }
+                note_quarantine(
+                    opts.quarantine,
+                    candidate.fingerprint(),
+                    ev,
+                    &mut fail_streak,
+                    &mut quarantined,
+                    bus,
+                );
                 if let Some(cap) = opts.max_evaluations {
                     if eval_index >= cap {
                         break 'outer;
                     }
+                }
+            }
+            emit_checkpoint(opts, &pipeline, &budget, bus);
+
+            // Graceful degradation (quarantine sessions only, to keep
+            // legacy traces byte-stable): when whole batches keep
+            // producing no usable score — a broken executor, not an
+            // unlucky candidate — stop searching and keep the incumbent
+            // rather than burning the rest of the budget on failures.
+            if opts.quarantine.is_some() {
+                if report.evals.iter().all(|ev| ev.score.is_none()) {
+                    all_failed_batches += 1;
+                    if all_failed_batches >= 3 {
+                        break 'outer;
+                    }
+                } else {
+                    all_failed_batches = 0;
                 }
             }
         }
@@ -601,6 +802,8 @@ impl Tuner {
             distinct: stats.fresh,
             cache_hits: stats.cache_hits,
             aborted: stats.aborted,
+            retried: stats.retried,
+            quarantined: quarantined.len() as u64,
             trials,
         };
         bus.emit(&TraceEvent::SessionFinished {
@@ -616,6 +819,62 @@ impl Tuner {
         TuningResult {
             session,
             best_config: best.0,
+        }
+    }
+}
+
+/// Emit a [`TraceEvent::CheckpointWritten`] marker when the session is
+/// checkpointing. Emitted at the same loop points in an original and a
+/// resumed run, so the marker survives in the (byte-identical) trace.
+fn emit_checkpoint(
+    opts: &TunerOptions,
+    pipeline: &EvalPipeline,
+    budget: &Budget,
+    bus: &TelemetryBus,
+) {
+    if opts.checkpoint.is_some() {
+        bus.emit(&TraceEvent::CheckpointWritten {
+            trials: pipeline.journal_trials(),
+            spent_secs: budget.spent().as_secs_f64(),
+        });
+    }
+}
+
+/// Update quarantine bookkeeping after one evaluated candidate. Runs
+/// that failed with a *deterministic* error extend the fingerprint's
+/// streak; a scored evaluation clears it; crossing the policy threshold
+/// quarantines the fingerprint and emits [`TraceEvent::Quarantined`]
+/// once. Transient failures (even retry-exhausted ones) never count:
+/// they are bad luck, not proof the configuration is broken.
+fn note_quarantine(
+    policy: Option<QuarantinePolicy>,
+    fingerprint: u64,
+    ev: &Evaluation,
+    fail_streak: &mut HashMap<u64, u32>,
+    quarantined: &mut HashSet<u64>,
+    bus: &TelemetryBus,
+) {
+    let Some(policy) = policy else { return };
+    if quarantined.contains(&fingerprint) {
+        return;
+    }
+    match &ev.error {
+        Some(e) if !e.is_transient() => {
+            let failed = ev.runs.saturating_sub(ev.samples.len() as u32).max(1);
+            let streak = fail_streak.entry(fingerprint).or_insert(0);
+            *streak += failed;
+            if *streak >= policy.streak {
+                quarantined.insert(fingerprint);
+                bus.emit(&TraceEvent::Quarantined {
+                    fingerprint,
+                    failures: *streak as u64,
+                    error_kind: e.kind().to_string(),
+                });
+            }
+        }
+        Some(_) => {}
+        None => {
+            fail_streak.remove(&fingerprint);
         }
     }
 }
@@ -865,6 +1124,113 @@ mod tests {
         assert_eq!(opts.batch, 8);
         assert!(opts.cache.is_some());
         assert!(opts.protocol.racing.is_some());
+    }
+
+    #[test]
+    fn fault_tolerance_options_validate() {
+        assert_eq!(
+            TunerOptions::builder()
+                .retry(jtune_harness::RetryPolicy {
+                    max_retries: 2,
+                    backoff: 0.5,
+                })
+                .build()
+                .unwrap_err(),
+            OptionsError::InvalidBackoff(0.5)
+        );
+        assert_eq!(
+            TunerOptions::builder()
+                .quarantine(QuarantinePolicy { streak: 0 })
+                .build()
+                .unwrap_err(),
+            OptionsError::ZeroQuarantineStreak
+        );
+        let opts = TunerOptions::builder()
+            .fail_fast(false)
+            .retry(jtune_harness::RetryPolicy::default())
+            .quarantine(QuarantinePolicy::default())
+            .checkpoint("/tmp/j.jsonl")
+            .resume("/tmp/j.jsonl")
+            .build()
+            .expect("valid fault-tolerance options");
+        assert!(!opts.protocol.fail_fast);
+        assert!(opts.protocol.retry.is_some());
+        assert!(opts.quarantine.is_some());
+        assert_eq!(opts.checkpoint, opts.resume);
+    }
+
+    #[test]
+    fn signature_tracks_stream_affecting_options() {
+        let base = TunerOptions::default().signature();
+        let mut opts = TunerOptions {
+            workers: 16,
+            ..TunerOptions::default()
+        };
+        assert_eq!(
+            opts.signature(),
+            base,
+            "workers must not change the signature"
+        );
+        opts.quarantine = Some(QuarantinePolicy::default());
+        assert_ne!(opts.signature(), base);
+        let mut opts = TunerOptions::default();
+        opts.protocol.retry = Some(jtune_harness::RetryPolicy::default());
+        assert_ne!(opts.signature(), base);
+        let mut opts = TunerOptions::default();
+        opts.protocol.fail_fast = false;
+        assert_ne!(opts.signature(), base);
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jtune-tuner-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn killed_session_resumes_to_the_same_result() {
+        let ex = SimExecutor::new(startup_workload());
+        let path = temp_journal("resume");
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(20);
+        opts.checkpoint = Some(path.clone());
+        let original = run_quiet(opts.clone(), &ex);
+
+        // Kill the session at trial 7: truncate the journal to a prefix.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let prefix: Vec<&str> = full.lines().take(8).collect(); // header + 7 trials
+        std::fs::write(&path, prefix.join("\n") + "\n").unwrap();
+
+        opts.resume = Some(path.clone());
+        let resumed = run_quiet(opts, &ex);
+        assert_eq!(resumed.session, original.session);
+        assert_eq!(
+            resumed.best_config.fingerprint(),
+            original.best_config.fingerprint()
+        );
+        // The same-path checkpoint rebuilt a complete journal.
+        let rebuilt = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rebuilt, full, "rebuilt journal should be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_journal() {
+        let ex = SimExecutor::new(startup_workload());
+        let path = temp_journal("foreign");
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(6);
+        opts.checkpoint = Some(path.clone());
+        let _ = run_quiet(opts.clone(), &ex);
+
+        // A different seed is a different session: the header mismatch
+        // must refuse to resume rather than silently fork the trace.
+        opts.seed = 999;
+        opts.checkpoint = None;
+        opts.resume = Some(path.clone());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_quiet(opts, &ex);
+        }));
+        assert!(caught.is_err(), "foreign journal accepted");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -17,9 +17,19 @@
 //! - `JTUNE_RACING` (or `--racing`) — enable sequential racing: abort
 //!   candidates that are statistically worse than the best-so-far,
 //!   refunding their unspent repeats.
+//! - `JTUNE_FAIL_FAST=0` (or `--no-fail-fast`) — keep measuring a
+//!   candidate's remaining repeats after a failed run.
+//! - `JTUNE_RETRIES` / `JTUNE_RETRY_BACKOFF` (or `--retries N` /
+//!   `--retry-backoff F`) — retry transiently-failing runs, charging
+//!   attempt `k` at `F^k` its cost.
+//! - `JTUNE_QUARANTINE` (or `--quarantine N`) — blacklist configurations
+//!   after `N` deterministic-failure runs.
+//! - `JTUNE_FAULT_RATE` / `JTUNE_FAULT_SEED` (or `--fault-rate F` /
+//!   `--fault-seed N`) — inject deterministic transient faults into `F`
+//!   of all runs (resilience testing; see `e9_faults`).
 //!
-//! Both pipeline features default **off**, in which case every driver
-//! produces output byte-identical to the published `results/` tables.
+//! All of these default **off**, in which case every driver produces
+//! output byte-identical to the published `results/` tables.
 //!
 //! Telemetry (see [`telemetry`]): by default every tuning session streams
 //! its trial events to `results/traces/<experiment>/<label>.jsonl`.
@@ -33,7 +43,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use autotuner_core::{Tuner, TunerOptions};
-use jtune_harness::{CachePolicy, Racing, SimExecutor};
+use jtune_harness::{
+    CachePolicy, Executor, FaultPlan, FaultyExecutor, QuarantinePolicy, Racing, RetryPolicy,
+    SimExecutor,
+};
 use jtune_jvmsim::Workload;
 use jtune_telemetry::{JsonlSink, ProgressReporter, TelemetryBus};
 use jtune_util::table::{fnum, fpct, Align, Table};
@@ -58,6 +71,10 @@ pub struct SuiteRow {
     pub cache_hits: u64,
     /// Trials aborted early by sequential racing.
     pub aborted: u64,
+    /// Transient-failure repeats recovered by the retry policy.
+    pub retried: u64,
+    /// Configurations quarantined for failing deterministically.
+    pub quarantined: u64,
     /// Best configuration delta.
     pub best_delta: Vec<String>,
     /// Full result (for convergence-style post-processing).
@@ -96,6 +113,67 @@ pub fn racing_enabled() -> bool {
     flag_or_env("--racing", "JTUNE_RACING")
 }
 
+/// The value following `flag` on the command line, or `var` from the
+/// environment.
+fn opt_or_env(flag: &str, var: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(var).ok())
+}
+
+/// Fail-fast (stop a candidate after its first failed run) — the
+/// default; disabled by `--no-fail-fast` or `JTUNE_FAIL_FAST=0`.
+pub fn fail_fast_enabled() -> bool {
+    if std::env::args().skip(1).any(|a| a == "--no-fail-fast") {
+        return false;
+    }
+    std::env::var("JTUNE_FAIL_FAST").map_or(true, |v| v != "0")
+}
+
+/// Retry policy requested for this run (`--retries` / `JTUNE_RETRIES`,
+/// `--retry-backoff` / `JTUNE_RETRY_BACKOFF`); `None` when neither knob
+/// is set.
+pub fn retry_policy() -> Option<RetryPolicy> {
+    let retries = opt_or_env("--retries", "JTUNE_RETRIES").and_then(|v| v.parse().ok());
+    let backoff = opt_or_env("--retry-backoff", "JTUNE_RETRY_BACKOFF").and_then(|v| v.parse().ok());
+    if retries.is_none() && backoff.is_none() {
+        return None;
+    }
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = retries {
+        policy.max_retries = n;
+    }
+    if let Some(f) = backoff {
+        policy.backoff = f;
+    }
+    Some(policy)
+}
+
+/// Quarantine policy requested for this run (`--quarantine` /
+/// `JTUNE_QUARANTINE`).
+pub fn quarantine_policy() -> Option<QuarantinePolicy> {
+    let streak = opt_or_env("--quarantine", "JTUNE_QUARANTINE").and_then(|v| v.parse().ok())?;
+    Some(QuarantinePolicy { streak })
+}
+
+/// Fault-injection plan requested for this run (`--fault-rate` /
+/// `JTUNE_FAULT_RATE`, seeded by `--fault-seed` / `JTUNE_FAULT_SEED`);
+/// `None` (the default) injects nothing.
+pub fn fault_plan() -> Option<FaultPlan> {
+    let rate: f64 = opt_or_env("--fault-rate", "JTUNE_FAULT_RATE")?
+        .parse()
+        .ok()?;
+    if rate <= 0.0 {
+        return None;
+    }
+    let seed = opt_or_env("--fault-seed", "JTUNE_FAULT_SEED")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xFA_017);
+    Some(FaultPlan::transient(rate, seed))
+}
+
 /// Standard tuner options for an experiment. The budget-stretching
 /// pipeline features are applied when requested on the command line or
 /// via the environment (see the crate docs) and are off by default, so
@@ -115,6 +193,15 @@ pub fn tuner_options(budget_minutes: u64, seed: u64) -> TunerOptions {
     }
     if racing_enabled() {
         b = b.racing(Racing::default());
+    }
+    if !fail_fast_enabled() {
+        b = b.fail_fast(false);
+    }
+    if let Some(retry) = retry_policy() {
+        b = b.retry(retry);
+    }
+    if let Some(q) = quarantine_policy() {
+        b = b.quarantine(q);
     }
     b.build().expect("standard experiment options are valid")
 }
@@ -182,11 +269,30 @@ pub fn telemetry(experiment: &str) -> ExperimentTelemetry {
 }
 
 /// Tune one workload with the given options, emitting telemetry on
-/// `bus` (pass [`TelemetryBus::disabled()`] for a silent run).
+/// `bus` (pass [`TelemetryBus::disabled()`] for a silent run). Applies
+/// the globally-requested fault-injection plan (see [`fault_plan`]);
+/// use [`tune_program_with`] for an explicit plan.
 pub fn tune_program(workload: Workload, opts: TunerOptions, bus: &TelemetryBus) -> SuiteRow {
+    tune_program_with(workload, opts, fault_plan(), bus)
+}
+
+/// Like [`tune_program`], but with an explicit fault-injection plan:
+/// `Some(plan)` wraps the simulator in a [`FaultyExecutor`], `None`
+/// runs fault-free regardless of the environment.
+pub fn tune_program_with(
+    workload: Workload,
+    opts: TunerOptions,
+    fault: Option<FaultPlan>,
+    bus: &TelemetryBus,
+) -> SuiteRow {
     let name = workload.name.clone();
-    let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run(&executor, &name, bus);
+    let executor: Box<dyn Executor> = match fault {
+        Some(plan) if plan.is_active() => {
+            Box::new(FaultyExecutor::new(SimExecutor::new(workload), plan))
+        }
+        _ => Box::new(SimExecutor::new(workload)),
+    };
+    let result = Tuner::new(opts).run(executor.as_ref(), &name, bus);
     if let Ok(dir) = std::env::var("JTUNE_OUT") {
         let _ = std::fs::create_dir_all(&dir);
         let path = std::path::Path::new(&dir).join(format!("{name}.tsv"));
@@ -201,6 +307,8 @@ pub fn tune_program(workload: Workload, opts: TunerOptions, bus: &TelemetryBus) 
         distinct: result.session.distinct,
         cache_hits: result.session.cache_hits,
         aborted: result.session.aborted,
+        retried: result.session.retried,
+        quarantined: result.session.quarantined,
         best_delta: result.session.best_delta.clone(),
         result,
     }
@@ -232,10 +340,13 @@ pub fn tune_suite(
 /// Render the paper-style suite table (per-program default/tuned times and
 /// improvement, plus the average row the abstract quotes). When any row
 /// shows evaluation-pipeline activity (cache hits or racing aborts) the
-/// table grows `distinct`/`hits`/`aborted` columns; with the features off
-/// the layout is byte-identical to the published tables.
+/// table grows `distinct`/`hits`/`aborted` columns; when any row shows
+/// fault-tolerance activity (retries or quarantines) it grows
+/// `retried`/`quarantined` columns; with the features off the layout is
+/// byte-identical to the published tables.
 pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
     let pipeline = rows.iter().any(|r| r.cache_hits > 0 || r.aborted > 0);
+    let faults = rows.iter().any(|r| r.retried > 0 || r.quarantined > 0);
     let mut headers = vec![
         "program",
         "default (s)",
@@ -254,6 +365,10 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
         headers.extend(["distinct", "hits", "aborted"]);
         aligns.extend([Align::Right, Align::Right, Align::Right]);
     }
+    if faults {
+        headers.extend(["retried", "quarantined"]);
+        aligns.extend([Align::Right, Align::Right]);
+    }
     let mut t = Table::new(&headers, &aligns);
     for r in rows {
         let mut row = vec![
@@ -270,6 +385,9 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
                 r.aborted.to_string(),
             ]);
         }
+        if faults {
+            row.extend([r.retried.to_string(), r.quarantined.to_string()]);
+        }
         t.row(row);
     }
     t.rule();
@@ -284,6 +402,9 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
     ];
     if pipeline {
         avg_row.extend([String::new(), String::new(), String::new()]);
+    }
+    if faults {
+        avg_row.extend([String::new(), String::new()]);
     }
     t.row(avg_row);
     let mut sorted = improvements.clone();
@@ -354,6 +475,8 @@ mod tests {
         assert!(s.contains("average improvement"));
         // Pipeline features off: the published five-column layout.
         assert!(!s.contains("aborted"));
+        assert!(!s.contains("retried"));
+        assert!(!s.contains("quarantined"));
     }
 
     #[test]
@@ -368,5 +491,31 @@ mod tests {
         assert!(s.contains("distinct"));
         assert!(s.contains("hits"));
         assert!(s.contains("aborted"));
+    }
+
+    #[test]
+    fn suite_table_grows_fault_columns_when_active() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(1, 3);
+        opts.max_evaluations = Some(5);
+        let mut rows = vec![tune_program(w, opts, &TelemetryBus::disabled())];
+        rows[0].retried = 2;
+        rows[0].quarantined = 1;
+        let s = render_suite_table("t", &rows);
+        assert!(s.contains("retried"));
+        assert!(s.contains("quarantined"));
+        assert!(!s.contains("aborted"), "pipeline columns stay hidden");
+    }
+
+    #[test]
+    fn faulty_session_with_retries_still_improves() {
+        let w = workload_by_name("serial").unwrap();
+        let mut opts = tuner_options(3, 11);
+        opts.max_evaluations = Some(40);
+        opts.protocol.retry = Some(RetryPolicy::default());
+        opts.quarantine = Some(QuarantinePolicy::default());
+        let plan = FaultPlan::transient(0.05, 0xFA_017);
+        let row = tune_program_with(w, opts, Some(plan), &TelemetryBus::disabled());
+        assert!(row.tuned_secs <= row.default_secs);
     }
 }

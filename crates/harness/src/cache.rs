@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use jtune_util::SimDuration;
 
+use crate::error::TrialError;
 use crate::protocol::Evaluation;
 
 /// How cache hits are charged to the tuning budget.
@@ -41,11 +42,15 @@ impl CachePolicy {
 /// Session-scoped memo of completed evaluations, keyed by the canonical
 /// configuration fingerprint (`JvmConfig::fingerprint`).
 ///
-/// Failed evaluations are cached too — a configuration that crashed will
-/// crash again, and remembering that is exactly as budget-saving as
-/// remembering a score. Racing-aborted evaluations must *not* be
-/// inserted: an abort is relative to the best-so-far baseline at the
-/// time, not a property of the configuration.
+/// *Deterministically* failed evaluations are cached too — a
+/// configuration whose flags conflict or whose heap cannot hold the live
+/// set will fail again, and remembering that is exactly as budget-saving
+/// as remembering a score. Two kinds of evaluation must *not* be
+/// inserted: racing aborts (an abort is relative to the best-so-far
+/// baseline at the time, not a property of the configuration) and
+/// transient failures (a hang or signal kill says something about the
+/// host at that moment, not about the flags — memoizing it would brand a
+/// possibly-good configuration as permanently bad).
 #[derive(Clone, Debug, Default)]
 pub struct TrialCache {
     entries: HashMap<u64, Evaluation>,
@@ -72,11 +77,19 @@ impl TrialCache {
         self.entries.contains_key(&fingerprint)
     }
 
-    /// Record a completed evaluation. Racing-aborted evaluations are
-    /// rejected (see the type-level docs); re-inserting a fingerprint
-    /// keeps the first entry, so a session's cached answer is stable.
+    /// Record a completed evaluation. Racing-aborted and
+    /// transiently-failed evaluations are rejected (see the type-level
+    /// docs); re-inserting a fingerprint keeps the first entry, so a
+    /// session's cached answer is stable.
     pub fn insert(&mut self, fingerprint: u64, evaluation: Evaluation) {
         if evaluation.aborted() {
+            return;
+        }
+        if evaluation
+            .error
+            .as_ref()
+            .is_some_and(TrialError::is_transient)
+        {
             return;
         }
         self.entries.entry(fingerprint).or_insert(evaluation);
@@ -112,6 +125,8 @@ mod tests {
             counters: None,
             runs: 1,
             raced: None,
+            retried: 0,
+            retry_log: Vec::new(),
         }
     }
 
@@ -149,6 +164,27 @@ mod tests {
         });
         cache.insert(3, e);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_are_not_memoized() {
+        let mut cache = TrialCache::new();
+        // A watchdog timeout is transient: the host hung, not the flags.
+        let mut timeout = eval(0.0, 5.0);
+        timeout.score = None;
+        timeout.samples.clear();
+        timeout.error = Some(TrialError::Timeout("run timed out after 120.0s".into()));
+        cache.insert(11, timeout);
+        assert!(cache.is_empty(), "transient failure was memoized");
+        assert!(cache.lookup(11).is_none());
+        // A deterministic failure (OOM) is still worth remembering.
+        let mut oom = eval(0.0, 5.0);
+        oom.score = None;
+        oom.samples.clear();
+        oom.error = Some(TrialError::Oom("java.lang.OutOfMemoryError".into()));
+        cache.insert(12, oom);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(12).is_some());
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub struct SimExecutor {
     sim: JvmSim,
     workload: Workload,
     registry: &'static Registry,
+    deadline: Option<SimDuration>,
 }
 
 impl SimExecutor {
@@ -92,6 +93,7 @@ impl SimExecutor {
             sim: JvmSim::new(),
             workload,
             registry: jtune_flags::hotspot_registry(),
+            deadline: None,
         }
     }
 
@@ -101,7 +103,18 @@ impl SimExecutor {
             sim: JvmSim::on(machine),
             workload,
             registry: jtune_flags::hotspot_registry(),
+            deadline: None,
         }
+    }
+
+    /// Honor a virtual run deadline: a run whose simulated time exceeds
+    /// it is reported as [`TrialError::Timeout`] with the deadline (the
+    /// time the watchdog would have burned) charged as its cost — the
+    /// same semantics [`ProcessExecutor::with_deadline`] has for real
+    /// hung JVMs.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> SimExecutor {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// The workload being measured.
@@ -118,6 +131,18 @@ impl SimExecutor {
 impl Executor for SimExecutor {
     fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
         let outcome = self.sim.run(self.registry, config, &self.workload, seed);
+        if let Some(deadline) = self.deadline {
+            if outcome.total > deadline {
+                return Measurement {
+                    time: deadline,
+                    pause_p99: None,
+                    counters: None,
+                    error: Some(TrialError::Timeout(format!(
+                        "run timed out after {deadline} (virtual watchdog)"
+                    ))),
+                };
+            }
+        }
         let pause_p99 = if outcome.gc.pauses.count() > 0 {
             Some(outcome.gc.pauses.percentile(99.0))
         } else {
@@ -164,6 +189,7 @@ pub struct ProcessExecutor {
     java: PathBuf,
     fixed_args: Vec<String>,
     registry: &'static Registry,
+    deadline: Option<std::time::Duration>,
 }
 
 impl ProcessExecutor {
@@ -174,52 +200,135 @@ impl ProcessExecutor {
             java: java.into(),
             fixed_args,
             registry: jtune_flags::hotspot_registry(),
+            deadline: None,
         }
+    }
+
+    /// Watchdog: kill any run still alive after `deadline` and report it
+    /// as [`TrialError::Timeout`] (transient — the host hung, not
+    /// necessarily the flags). Without a deadline a hung JVM wedges its
+    /// worker thread forever.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> ProcessExecutor {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Find `java` on `PATH`, if any.
     pub fn from_path(fixed_args: Vec<String>) -> Option<ProcessExecutor> {
         let path = std::env::var_os("PATH")?;
-        for dir in std::env::split_paths(&path) {
-            let candidate = dir.join("java");
-            if candidate.is_file() {
-                return Some(ProcessExecutor::new(candidate, fixed_args));
+        let java = find_java_in(std::env::split_paths(&path))?;
+        Some(ProcessExecutor::new(java, fixed_args))
+    }
+
+    /// Run with the watchdog: spawn, poll, kill on deadline.
+    fn run_with_watchdog(
+        &self,
+        command: &mut Command,
+        limit: std::time::Duration,
+    ) -> (SimDuration, Option<TrialError>) {
+        let start = Instant::now();
+        let mut child = match command.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                return (
+                    SimDuration::from_secs_f64(start.elapsed().as_secs_f64()),
+                    Some(TrialError::classify(format!("failed to launch java: {e}"))),
+                )
+            }
+        };
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    let elapsed = SimDuration::from_secs_f64(start.elapsed().as_secs_f64());
+                    let error = (!status.success())
+                        .then(|| TrialError::classify(format!("java exited with {status}")));
+                    return (elapsed, error);
+                }
+                Ok(None) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return (
+                            SimDuration::from_secs_f64(elapsed.as_secs_f64()),
+                            Some(TrialError::Timeout(format!(
+                                "run timed out after {:.1}s (killed by watchdog)",
+                                limit.as_secs_f64()
+                            ))),
+                        );
+                    }
+                    let remaining = limit - elapsed;
+                    std::thread::sleep(remaining.min(std::time::Duration::from_millis(10)));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return (
+                        SimDuration::from_secs_f64(start.elapsed().as_secs_f64()),
+                        Some(TrialError::classify(format!("failed to poll java: {e}"))),
+                    );
+                }
             }
         }
-        None
     }
+}
+
+/// Search `dirs` for a `java` launcher: accepts `java` and (for
+/// Windows-style layouts) `java.exe`, skipping candidates that exist but
+/// are not executable — a directory named `java`, or a plain data file,
+/// must not shadow the real launcher later on `PATH`.
+fn find_java_in(dirs: impl IntoIterator<Item = PathBuf>) -> Option<PathBuf> {
+    for dir in dirs {
+        for name in ["java", "java.exe"] {
+            let candidate = dir.join(name);
+            if candidate.is_file() && is_executable(&candidate) {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(unix)]
+fn is_executable(path: &std::path::Path) -> bool {
+    use std::os::unix::fs::PermissionsExt;
+    std::fs::metadata(path).is_ok_and(|m| m.permissions().mode() & 0o111 != 0)
+}
+
+#[cfg(not(unix))]
+fn is_executable(_path: &std::path::Path) -> bool {
+    // Windows has no execute bit; the `.exe` suffix is the convention.
+    true
 }
 
 impl Executor for ProcessExecutor {
     fn measure(&self, config: &JvmConfig, _seed: u64) -> Measurement {
         let args = config.to_args(self.registry);
-        let start = Instant::now();
-        let status = Command::new(&self.java)
+        let mut command = Command::new(&self.java);
+        command
             .args(&args)
             .args(&self.fixed_args)
             .stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::null())
-            .status();
-        let elapsed = SimDuration::from_secs_f64(start.elapsed().as_secs_f64());
-        match status {
-            Ok(s) if s.success() => Measurement {
-                time: elapsed,
-                pause_p99: None,
-                counters: None,
-                error: None,
-            },
-            Ok(s) => Measurement {
-                time: elapsed,
-                pause_p99: None,
-                counters: None,
-                error: Some(TrialError::classify(format!("java exited with {s}"))),
-            },
-            Err(e) => Measurement {
-                time: elapsed,
-                pause_p99: None,
-                counters: None,
-                error: Some(TrialError::classify(format!("failed to launch java: {e}"))),
-            },
+            .stderr(std::process::Stdio::null());
+        let (time, error) = match self.deadline {
+            Some(limit) => self.run_with_watchdog(&mut command, limit),
+            None => {
+                let start = Instant::now();
+                let status = command.status();
+                let elapsed = SimDuration::from_secs_f64(start.elapsed().as_secs_f64());
+                let error = match status {
+                    Ok(s) if s.success() => None,
+                    Ok(s) => Some(TrialError::classify(format!("java exited with {s}"))),
+                    Err(e) => Some(TrialError::classify(format!("failed to launch java: {e}"))),
+                };
+                (elapsed, error)
+            }
+        };
+        Measurement {
+            time,
+            pause_p99: None,
+            counters: None,
+            error,
         }
     }
 
@@ -291,6 +400,101 @@ mod tests {
         let err = m.error.unwrap();
         assert_eq!(err.kind(), "crash");
         assert!(err.message().contains("failed to launch"));
+    }
+
+    #[test]
+    fn sim_executor_deadline_reports_timeout() {
+        let ex = SimExecutor::new(small_workload());
+        let c = JvmConfig::default_for(ex.registry());
+        let clean = ex.measure(&c, 1);
+        assert!(clean.ok());
+        // A deadline just below the clean run time trips the virtual
+        // watchdog and charges exactly the deadline.
+        let deadline = clean.time - SimDuration::from_millis(1);
+        let guarded = SimExecutor::new(small_workload()).with_deadline(deadline);
+        let m = guarded.measure(&c, 1);
+        assert!(!m.ok());
+        let err = m.error.unwrap();
+        assert_eq!(err.kind(), "timeout");
+        assert!(err.is_transient());
+        assert_eq!(m.time, deadline);
+        // A generous deadline changes nothing.
+        let roomy = SimExecutor::new(small_workload())
+            .with_deadline(clean.time + SimDuration::from_secs(1));
+        assert_eq!(roomy.measure(&c, 1).time, clean.time);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn watchdog_kills_a_hung_process() {
+        if !std::path::Path::new("/bin/sleep").exists() {
+            eprintln!("skipping: no /bin/sleep");
+            return;
+        }
+        // "java" here is /bin/sleep: it ignores the flag args (treats
+        // them as an error) — use a command that really hangs: sh -c.
+        let ex = ProcessExecutor::new("/bin/sh", vec!["-c".into(), "sleep 30".into()])
+            .with_deadline(std::time::Duration::from_millis(200));
+        let c = JvmConfig::default_for(ex.registry());
+        let start = std::time::Instant::now();
+        let m = ex.measure(&c, 0);
+        assert!(start.elapsed() < std::time::Duration::from_secs(10));
+        assert!(!m.ok());
+        let err = m.error.unwrap();
+        assert_eq!(err.kind(), "timeout", "{}", err.message());
+        assert!(err.is_transient());
+        assert!(err.message().contains("killed by watchdog"));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn watchdog_passes_a_fast_process_through() {
+        let ex = ProcessExecutor::new("/bin/sh", vec!["-c".into(), "exit 0".into()])
+            .with_deadline(std::time::Duration::from_secs(30));
+        let c = JvmConfig::default_for(ex.registry());
+        let m = ex.measure(&c, 0);
+        assert!(m.ok(), "{:?}", m.error);
+    }
+
+    #[test]
+    fn find_java_accepts_exe_suffix_and_skips_non_executables() {
+        let root = std::env::temp_dir().join(format!("jtune-java-search-{}", std::process::id()));
+        let plain = root.join("plain");
+        let windows = root.join("windows");
+        let empty = root.join("empty");
+        for d in [&plain, &windows, &empty] {
+            std::fs::create_dir_all(d).unwrap();
+        }
+        std::fs::write(plain.join("java"), b"#!/bin/sh\n").unwrap();
+        std::fs::write(windows.join("java.exe"), b"MZ").unwrap();
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::PermissionsExt;
+            let exe = |p: &std::path::Path| {
+                std::fs::set_permissions(p, std::fs::Permissions::from_mode(0o755)).unwrap()
+            };
+            let noexec = |p: &std::path::Path| {
+                std::fs::set_permissions(p, std::fs::Permissions::from_mode(0o644)).unwrap()
+            };
+            // Non-executable `java` must be skipped in favour of a later dir.
+            noexec(&plain.join("java"));
+            exe(&windows.join("java.exe"));
+            let found = find_java_in(vec![empty.clone(), plain.clone(), windows.clone()]);
+            assert_eq!(found, Some(windows.join("java.exe")));
+            // Once executable, the earlier plain `java` wins.
+            exe(&plain.join("java"));
+            let found = find_java_in(vec![empty.clone(), plain.clone(), windows.clone()]);
+            assert_eq!(found, Some(plain.join("java")));
+        }
+        #[cfg(not(unix))]
+        {
+            // No execute bit to distinguish: both names are accepted.
+            let found = find_java_in(vec![empty.clone(), windows.clone()]);
+            assert_eq!(found, Some(windows.join("java.exe")));
+        }
+        assert_eq!(find_java_in(vec![empty.clone()]), None);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The crash-safe trial journal: write-ahead logging and replay.
+//!
+//! A tuning session is a pure function of its seed, so the only state a
+//! crash can destroy is the *measurements already paid for*. The journal
+//! records exactly those: one JSONL line per completed evaluation, in
+//! measurement (slot) order, flushed before the result is acted on —
+//! write-ahead semantics. On resume the tuner re-drives the whole
+//! deterministic loop and a [`ReplayLog`] serves each evaluation from the
+//! journal instead of the executor, so budget, cache, RNG and technique
+//! state reconstruct themselves and the resumed session's trace is
+//! byte-identical to an uninterrupted run.
+//!
+//! Two robustness properties:
+//!
+//! - **Torn tails are expected.** A session killed mid-write leaves a
+//!   truncated last line; [`load`] stops there and replays the complete
+//!   prefix. Nothing else in the file can be torn because every record is
+//!   flushed whole.
+//! - **Divergence stops replay, never corrupts it.** The header pins the
+//!   session identity (program, executor description — which embeds any
+//!   fault plan — seed, budget, options signature); a mismatch refuses to
+//!   resume. If the stream still diverges mid-replay (a changed binary),
+//!   [`ReplayLog::next_for`] switches to live measurement rather than
+//!   serving a wrong result.
+//!
+//! Durations are stored as exact nanosecond integers: `SimDuration`'s
+//! seconds round-trip is lossy, and a single ulp would fork the trace.
+
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use jtune_util::json::{self, JsonObject, JsonValue};
+use jtune_util::SimDuration;
+
+use crate::error::TrialError;
+use crate::executor::RunCounters;
+use crate::protocol::{Evaluation, RaceAbort, RetryRecord};
+
+/// Identity of the session a journal belongs to. All fields must match
+/// for a resume to be accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionHeader {
+    /// Workload / program label.
+    pub program: String,
+    /// `Executor::describe()` of the session's executor (embeds the
+    /// fault plan when one is active).
+    pub executor: String,
+    /// The session master seed.
+    pub seed: u64,
+    /// Total tuning budget, exact nanoseconds.
+    pub budget_nanos: u64,
+    /// Canonical rendering of every option that affects the trial
+    /// stream (worker count excluded: it never changes results).
+    pub signature: String,
+}
+
+/// Journal I/O or format failure.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a journal, or its header is unreadable.
+    Malformed(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Malformed(m) => write!(f, "malformed journal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Write-ahead journal writer: truncates, writes the header, then one
+/// flushed line per recorded trial.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<std::fs::File>,
+    path: PathBuf,
+    trials: u64,
+}
+
+impl JournalWriter {
+    /// Create (or overwrite) the journal at `path`, writing the header
+    /// eagerly so even a zero-trial journal identifies its session.
+    pub fn create(path: impl Into<PathBuf>, header: &SessionHeader) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(&path)?;
+        let mut writer = JournalWriter {
+            out: BufWriter::new(file),
+            path,
+            trials: 0,
+        };
+        let line = JsonObject::new()
+            .str("type", "JournalHeader")
+            .u64("version", 1)
+            .str("program", &header.program)
+            .str("executor", &header.executor)
+            .u64("seed", header.seed)
+            .u64("budget_nanos", header.budget_nanos)
+            .str("signature", &header.signature)
+            .finish();
+        writer.write_line(&line)?;
+        Ok(writer)
+    }
+
+    /// Append one completed evaluation, flushed to the OS before
+    /// returning — the write-ahead guarantee.
+    pub fn record(&mut self, fingerprint: u64, evaluation: &Evaluation) -> std::io::Result<()> {
+        let line = render_trial(fingerprint, evaluation);
+        self.write_line(&line)?;
+        self.trials += 1;
+        Ok(())
+    }
+
+    /// Trials recorded so far (excluding the header).
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+}
+
+fn nanos(d: SimDuration) -> u64 {
+    d.as_nanos()
+}
+
+fn render_trial(fingerprint: u64, ev: &Evaluation) -> String {
+    let samples: Vec<u64> = ev.samples.iter().map(|s| nanos(*s)).collect();
+    let mut obj = JsonObject::new()
+        .str("type", "Trial")
+        .u64("fp", fingerprint)
+        .raw(
+            "score",
+            &match ev.score {
+                Some(s) => nanos(s).to_string(),
+                None => "null".to_string(),
+            },
+        )
+        .u64_array("samples", &samples)
+        .u64("cost", nanos(ev.cost))
+        .u64("runs", ev.runs as u64)
+        .u64("retried", ev.retried as u64)
+        .opt_str("error_kind", ev.error.as_ref().map(TrialError::kind))
+        .opt_str("error", ev.error.as_ref().map(TrialError::message));
+    obj = match ev.counters {
+        Some(c) => obj.raw(
+            "counters",
+            &JsonObject::new()
+                .u64("gc_pause", nanos(c.gc_pause_total))
+                .u64("gc_n", c.gc_collections)
+                .u64("jit_time", nanos(c.jit_compile_time))
+                .u64("jit_n", c.jit_compiles)
+                .finish(),
+        ),
+        None => obj.raw("counters", "null"),
+    };
+    obj = match ev.raced {
+        Some(r) => obj.raw(
+            "raced",
+            &JsonObject::new()
+                .u64("after_runs", r.after_runs as u64)
+                .f64("p_value", r.p_value)
+                .f64("effect", r.effect)
+                .u64("saved", nanos(r.saved))
+                .finish(),
+        ),
+        None => obj.raw("raced", "null"),
+    };
+    let retries: Vec<String> = ev
+        .retry_log
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .u64("rep", r.rep as u64)
+                .u64("attempt", r.attempt as u64)
+                .str("kind", r.error.kind())
+                .str("msg", r.error.message())
+                .u64("cost", nanos(r.cost))
+                .finish()
+        })
+        .collect();
+    obj.raw("retries", &json::array_of(&retries)).finish()
+}
+
+/// Load a journal: the header plus every complete trial record, in
+/// write order. A torn or corrupt *trailing* line (the signature of a
+/// crash mid-write) is discarded; corruption anywhere else is an error.
+pub fn load(
+    path: impl AsRef<Path>,
+) -> Result<(SessionHeader, Vec<(u64, Evaluation)>), JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| JournalError::Malformed("empty file".to_string()))?;
+    let header = parse_header(header_line)?;
+    let mut trials = Vec::new();
+    let mut rest = lines.peekable();
+    while let Some(line) = rest.next() {
+        match parse_trial(line) {
+            Ok(entry) => trials.push(entry),
+            Err(e) if rest.peek().is_none() => {
+                // Torn tail from a mid-write crash: replay the prefix.
+                let _ = e;
+                break;
+            }
+            Err(e) => return Err(JournalError::Malformed(format!("line: {e}"))),
+        }
+    }
+    Ok((header, trials))
+}
+
+fn parse_header(line: &str) -> Result<SessionHeader, JournalError> {
+    let v = json::parse(line).map_err(|e| JournalError::Malformed(format!("header: {e}")))?;
+    if v.get("type").and_then(JsonValue::as_str) != Some("JournalHeader") {
+        return Err(JournalError::Malformed(
+            "first line is not a JournalHeader".to_string(),
+        ));
+    }
+    let field = |k: &str| {
+        v.get(k)
+            .ok_or_else(|| JournalError::Malformed(format!("header missing '{k}'")))
+    };
+    Ok(SessionHeader {
+        program: field("program")?
+            .as_str()
+            .ok_or_else(|| JournalError::Malformed("bad 'program'".into()))?
+            .to_string(),
+        executor: field("executor")?
+            .as_str()
+            .ok_or_else(|| JournalError::Malformed("bad 'executor'".into()))?
+            .to_string(),
+        seed: field("seed")?
+            .as_u64()
+            .ok_or_else(|| JournalError::Malformed("bad 'seed'".into()))?,
+        budget_nanos: field("budget_nanos")?
+            .as_u64()
+            .ok_or_else(|| JournalError::Malformed("bad 'budget_nanos'".into()))?,
+        signature: field("signature")?
+            .as_str()
+            .ok_or_else(|| JournalError::Malformed("bad 'signature'".into()))?
+            .to_string(),
+    })
+}
+
+fn parse_trial(line: &str) -> Result<(u64, Evaluation), String> {
+    let v = json::parse(line)?;
+    if v.get("type").and_then(JsonValue::as_str) != Some("Trial") {
+        return Err("not a Trial record".to_string());
+    }
+    let u64_field = |k: &str| {
+        v.get(k)
+            .and_then(JsonValue::as_u64)
+            .ok_or(format!("bad '{k}'"))
+    };
+    let fingerprint = u64_field("fp")?;
+    let score = match v.get("score") {
+        Some(s) if s.is_null() => None,
+        Some(s) => Some(SimDuration::from_nanos(s.as_u64().ok_or("bad 'score'")?)),
+        None => return Err("missing 'score'".to_string()),
+    };
+    let samples = v
+        .get("samples")
+        .and_then(JsonValue::as_array)
+        .ok_or("bad 'samples'")?
+        .iter()
+        .map(|s| s.as_u64().map(SimDuration::from_nanos).ok_or("bad sample"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let error = match (
+        v.get("error_kind").and_then(JsonValue::as_str),
+        v.get("error").and_then(JsonValue::as_str),
+    ) {
+        (Some(kind), Some(msg)) => Some(error_from(kind, msg.to_string())),
+        _ => None,
+    };
+    let counters = match v.get("counters") {
+        Some(c) if c.is_null() => None,
+        Some(c) => Some(RunCounters {
+            gc_pause_total: SimDuration::from_nanos(
+                c.get("gc_pause")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bad counters")?,
+            ),
+            gc_collections: c
+                .get("gc_n")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bad counters")?,
+            jit_compile_time: SimDuration::from_nanos(
+                c.get("jit_time")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bad counters")?,
+            ),
+            jit_compiles: c
+                .get("jit_n")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bad counters")?,
+        }),
+        None => return Err("missing 'counters'".to_string()),
+    };
+    let raced = match v.get("raced") {
+        Some(r) if r.is_null() => None,
+        Some(r) => Some(RaceAbort {
+            after_runs: r
+                .get("after_runs")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bad raced")? as u32,
+            p_value: r
+                .get("p_value")
+                .and_then(JsonValue::as_f64)
+                .ok_or("bad raced")?,
+            effect: r
+                .get("effect")
+                .and_then(JsonValue::as_f64)
+                .ok_or("bad raced")?,
+            saved: SimDuration::from_nanos(
+                r.get("saved")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bad raced")?,
+            ),
+        }),
+        None => return Err("missing 'raced'".to_string()),
+    };
+    let retry_log = v
+        .get("retries")
+        .and_then(JsonValue::as_array)
+        .ok_or("bad 'retries'")?
+        .iter()
+        .map(|r| -> Result<RetryRecord, String> {
+            Ok(RetryRecord {
+                rep: r
+                    .get("rep")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bad retry")? as u32,
+                attempt: r
+                    .get("attempt")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("bad retry")? as u32,
+                error: error_from(
+                    r.get("kind")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("bad retry")?,
+                    r.get("msg")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("bad retry")?
+                        .to_string(),
+                ),
+                cost: SimDuration::from_nanos(
+                    r.get("cost")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("bad retry")?,
+                ),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let evaluation = Evaluation {
+        score,
+        samples,
+        error,
+        cost: SimDuration::from_nanos(u64_field("cost")?),
+        counters,
+        runs: u64_field("runs")? as u32,
+        raced,
+        retried: u64_field("retried")? as u32,
+        retry_log,
+    };
+    Ok((fingerprint, evaluation))
+}
+
+fn error_from(kind: &str, message: String) -> TrialError {
+    match kind {
+        "oom" => TrialError::Oom(message),
+        "timeout" => TrialError::Timeout(message),
+        "flag-conflict" => TrialError::FlagConflict(message),
+        _ => TrialError::Crash(message),
+    }
+}
+
+/// Completed trials queued for replay, consumed in journal order.
+#[derive(Debug, Default)]
+pub struct ReplayLog {
+    entries: VecDeque<(u64, Evaluation)>,
+    served: u64,
+    diverged: bool,
+}
+
+impl ReplayLog {
+    /// Queue `entries` (from [`load`]) for replay.
+    pub fn new(entries: Vec<(u64, Evaluation)>) -> ReplayLog {
+        ReplayLog {
+            entries: entries.into(),
+            served: 0,
+            diverged: false,
+        }
+    }
+
+    /// Serve the next journaled evaluation if it belongs to
+    /// `fingerprint`. A mismatch means the live session diverged from
+    /// the journaled one; replay stops for good and every later trial
+    /// is measured live.
+    pub fn next_for(&mut self, fingerprint: u64) -> Option<Evaluation> {
+        if self.diverged {
+            return None;
+        }
+        match self.entries.front() {
+            Some((fp, _)) if *fp == fingerprint => {
+                self.served += 1;
+                self.entries.pop_front().map(|(_, ev)| ev)
+            }
+            Some(_) => {
+                self.diverged = true;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Evaluations served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Evaluations still queued.
+    pub fn remaining(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Did replay hit a fingerprint mismatch?
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> SessionHeader {
+        SessionHeader {
+            program: "spec.compress".to_string(),
+            executor: "sim:spec.compress".to_string(),
+            seed: 42,
+            budget_nanos: 12_000_000_000_000,
+            signature: "v1 seed=42 batch=4".to_string(),
+        }
+    }
+
+    fn rich_eval() -> Evaluation {
+        Evaluation {
+            score: Some(SimDuration::from_nanos(5_000_000_001)),
+            samples: vec![
+                SimDuration::from_nanos(4_999_999_999),
+                SimDuration::from_nanos(5_000_000_001),
+                SimDuration::from_nanos(5_000_000_003),
+            ],
+            error: None,
+            cost: SimDuration::from_nanos(16_500_000_021),
+            counters: Some(RunCounters {
+                gc_pause_total: SimDuration::from_nanos(123_456_789),
+                gc_collections: 17,
+                jit_compile_time: SimDuration::from_nanos(987_654_321),
+                jit_compiles: 250,
+            }),
+            runs: 3,
+            raced: None,
+            retried: 1,
+            retry_log: vec![RetryRecord {
+                rep: 1,
+                attempt: 0,
+                error: TrialError::Timeout("injected hang: run timed out after 2m".to_string()),
+                cost: SimDuration::from_nanos(120_000_000_000),
+            }],
+        }
+    }
+
+    fn failed_eval() -> Evaluation {
+        Evaluation {
+            score: None,
+            samples: vec![SimDuration::from_nanos(7)],
+            error: Some(TrialError::Oom("java.lang.OutOfMemoryError".to_string())),
+            cost: SimDuration::from_nanos(99),
+            counters: None,
+            runs: 2,
+            raced: Some(RaceAbort {
+                after_runs: 1,
+                p_value: 0.1234567890123,
+                effect: 2.0 / 3.0,
+                saved: SimDuration::from_nanos(31),
+            }),
+            retried: 0,
+            retry_log: Vec::new(),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("jtune-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn journal_round_trips_evaluations_exactly() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.record(0xDEAD_BEEF_DEAD_BEEF, &rich_eval()).unwrap();
+        w.record(7, &failed_eval()).unwrap();
+        assert_eq!(w.trials(), 2);
+        drop(w);
+        let (h, trials) = load(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(trials.len(), 2);
+        assert_eq!(trials[0].0, 0xDEAD_BEEF_DEAD_BEEF);
+        assert_eq!(trials[0].1, rich_eval());
+        assert_eq!(trials[1].0, 7);
+        assert_eq!(trials[1].1, failed_eval());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_but_inner_corruption_is_an_error() {
+        let path = temp_path("torn");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.record(1, &rich_eval()).unwrap();
+        w.record(2, &failed_eval()).unwrap();
+        drop(w);
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Kill mid-write: chop the last line in half.
+        let torn = &full[..full.len() - 40];
+        std::fs::write(&path, torn).unwrap();
+        let (_, trials) = load(&path).unwrap();
+        assert_eq!(trials.len(), 1, "torn tail should be dropped");
+        assert_eq!(trials[0].0, 1);
+        // Corruption *before* the tail is not a crash signature: refuse.
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines[1] = "{garbage";
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(matches!(load(&path), Err(JournalError::Malformed(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_serves_in_order_and_stops_on_divergence() {
+        let mut log = ReplayLog::new(vec![(1, rich_eval()), (2, failed_eval()), (3, rich_eval())]);
+        assert_eq!(log.remaining(), 3);
+        assert!(log.next_for(1).is_some());
+        // Wrong fingerprint: replay is over, even for entries still queued.
+        assert!(log.next_for(99).is_none());
+        assert!(log.diverged());
+        assert!(log.next_for(2).is_none());
+        assert_eq!(log.served(), 1);
+    }
+
+    #[test]
+    fn empty_or_headerless_files_are_rejected() {
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(load(&path), Err(JournalError::Malformed(_))));
+        std::fs::write(&path, "{\"type\":\"Trial\"}\n").unwrap();
+        assert!(matches!(load(&path), Err(JournalError::Malformed(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

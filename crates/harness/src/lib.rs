@@ -16,7 +16,15 @@
 //!   hopeless candidates early.
 //! - [`error`] — typed trial failures ([`TrialError`]: crash / OOM /
 //!   timeout / flag-conflict) so techniques and traces can distinguish
-//!   failure modes.
+//!   failure modes, plus the transient-vs-deterministic split the
+//!   failure policy (retry, cache, quarantine) is built on.
+//! - [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   and the [`FaultyExecutor`] wrapper inject transient crashes, hangs
+//!   and measurement-noise spikes bit-reproducibly, so the robustness
+//!   layer is testable.
+//! - [`journal`] — the crash-safe trial journal: write-ahead JSONL
+//!   records of completed evaluations plus replay, so a killed session
+//!   resumes into a byte-identical trace.
 //! - [`cache`] + [`pipeline`] — the adaptive evaluation pipeline: trial
 //!   memoization keyed by configuration fingerprint, within-batch
 //!   duplicate suppression, and racing, all budget-accounted.
@@ -37,6 +45,8 @@ pub mod budget;
 pub mod cache;
 pub mod error;
 pub mod executor;
+pub mod fault;
+pub mod journal;
 pub mod objective;
 pub mod pipeline;
 pub mod pool;
@@ -45,10 +55,12 @@ pub mod results;
 
 pub use budget::{Budget, ChargeOutcome};
 pub use cache::{CachePolicy, TrialCache};
-pub use error::TrialError;
+pub use error::{QuarantinePolicy, TrialError};
 pub use executor::{Executor, Measurement, ProcessExecutor, RunCounters, SimExecutor};
+pub use fault::{Fault, FaultPlan, FaultyExecutor};
+pub use journal::{JournalError, JournalWriter, ReplayLog, SessionHeader};
 pub use objective::Objective;
 pub use pipeline::{BatchReport, EvalPipeline, PipelineStats, Provenance};
 pub use pool::evaluate_batch;
-pub use protocol::{Evaluation, Protocol, RaceAbort, Racing};
+pub use protocol::{Evaluation, Protocol, RaceAbort, Racing, RetryPolicy, RetryRecord};
 pub use results::{SessionRecord, TrialRecord};

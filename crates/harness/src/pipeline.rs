@@ -31,6 +31,7 @@ use jtune_telemetry::{TelemetryBus, TraceEvent};
 
 use crate::cache::{CachePolicy, TrialCache};
 use crate::executor::Executor;
+use crate::journal::{JournalWriter, ReplayLog};
 use crate::pool::{emit_measured, run_selected};
 use crate::protocol::{Evaluation, Protocol};
 use jtune_util::SimDuration;
@@ -77,6 +78,9 @@ pub struct PipelineStats {
     pub suppressed: u64,
     /// Fresh evaluations abandoned early by racing.
     pub aborted: u64,
+    /// Transient-failure repeats recovered by the retry policy, summed
+    /// over every fresh evaluation.
+    pub retried: u64,
     /// Estimated budget the cache, dedup and racing avoided spending.
     pub saved: SimDuration,
 }
@@ -101,6 +105,13 @@ pub struct EvalPipeline {
     protocol: Protocol,
     cache: Option<(TrialCache, CachePolicy)>,
     stats: PipelineStats,
+    /// Write-ahead journal: every fresh evaluation (live or replayed) is
+    /// recorded here before the caller sees it.
+    journal: Option<JournalWriter>,
+    /// Journaled evaluations from a previous run of this same session,
+    /// served instead of measuring until exhausted or diverged.
+    replay: Option<ReplayLog>,
+    journal_errors: u64,
 }
 
 impl EvalPipeline {
@@ -113,6 +124,54 @@ impl EvalPipeline {
             protocol,
             cache: cache_policy.map(|p| (TrialCache::new(), p)),
             stats: PipelineStats::default(),
+            journal: None,
+            replay: None,
+            journal_errors: 0,
+        }
+    }
+
+    /// Attach a write-ahead journal: every fresh evaluation from now on
+    /// is recorded (and flushed) before it is returned. Journal write
+    /// failures never fail the run; they are counted in
+    /// [`EvalPipeline::journal_errors`].
+    pub fn set_journal(&mut self, journal: JournalWriter) {
+        self.journal = Some(journal);
+    }
+
+    /// Attach a replay log: fresh slots are served from it (in journal
+    /// order) instead of the executor until it is exhausted or the
+    /// fingerprint stream diverges. Replayed evaluations still count as
+    /// fresh, feed the cache, and are re-recorded by any attached
+    /// journal — so resume-with-checkpoint rebuilds a complete journal.
+    pub fn set_replay(&mut self, replay: ReplayLog) {
+        self.replay = Some(replay);
+    }
+
+    /// Evaluations served from the replay log so far.
+    pub fn replay_served(&self) -> u64 {
+        self.replay.as_ref().map_or(0, ReplayLog::served)
+    }
+
+    /// Journaled evaluations still queued for replay.
+    pub fn replay_remaining(&self) -> usize {
+        self.replay.as_ref().map_or(0, ReplayLog::remaining)
+    }
+
+    /// Trials recorded to the attached journal (0 without one).
+    pub fn journal_trials(&self) -> u64 {
+        self.journal.as_ref().map_or(0, JournalWriter::trials)
+    }
+
+    /// Evaluations dropped from the journal because a write failed.
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors
+    }
+
+    fn record_trial(&mut self, fingerprint: u64, evaluation: &Evaluation) {
+        if let Some(journal) = &mut self.journal {
+            if journal.record(fingerprint, evaluation).is_err() {
+                self.journal_errors += 1;
+            }
         }
     }
 
@@ -136,10 +195,16 @@ impl EvalPipeline {
     /// result. Never races: the baseline candidate itself must always be
     /// measured in full.
     pub fn prime(&mut self, executor: &dyn Executor, config: &JvmConfig, seed: u64) -> Evaluation {
-        let ev = self.protocol.evaluate(executor, config, seed);
+        let fingerprint = config.fingerprint();
+        let ev = match self.replay.as_mut().and_then(|r| r.next_for(fingerprint)) {
+            Some(replayed) => replayed,
+            None => self.protocol.evaluate(executor, config, seed),
+        };
         self.stats.fresh += 1;
+        self.stats.retried += ev.retried as u64;
+        self.record_trial(fingerprint, &ev);
         if let Some((cache, _)) = &mut self.cache {
-            cache.insert(config.fingerprint(), ev.clone());
+            cache.insert(fingerprint, ev.clone());
         }
         ev
     }
@@ -199,20 +264,42 @@ impl EvalPipeline {
             fresh_idx.extend(0..n);
         }
 
+        // Fresh slots are first offered to the replay log, in slot order
+        // (the journal's write order). Once it is exhausted or diverges
+        // the remaining slots run live — with their canonical
+        // `(base_seed, slot)` seeds, so a session killed mid-batch
+        // resumes into exactly the measurements it would have made.
+        let mut live_idx: Vec<usize> = Vec::with_capacity(fresh_idx.len());
+        match &mut self.replay {
+            Some(replay) => {
+                for &i in &fresh_idx {
+                    match replay.next_for(candidates[i].fingerprint()) {
+                        Some(replayed) => slots[i] = Some(replayed),
+                        None => live_idx.push(i),
+                    }
+                }
+            }
+            None => live_idx.extend_from_slice(&fresh_idx),
+        }
         let fresh = run_selected(
             executor,
             self.protocol,
             candidates,
-            &fresh_idx,
+            &live_idx,
             base_seed,
             workers,
             baseline,
         );
-        for (&i, ev) in fresh_idx.iter().zip(fresh) {
-            if let Some((cache, _)) = &mut self.cache {
-                cache.insert(candidates[i].fingerprint(), ev.clone());
-            }
+        for (&i, ev) in live_idx.iter().zip(fresh) {
             slots[i] = Some(ev);
+        }
+        for &i in &fresh_idx {
+            let ev = slots[i].clone().expect("fresh slot resolved");
+            let fingerprint = candidates[i].fingerprint();
+            self.record_trial(fingerprint, &ev);
+            if let Some((cache, _)) = &mut self.cache {
+                cache.insert(fingerprint, ev);
+            }
         }
         // Duplicates clone their source slot (always an earlier index,
         // so it is resolved by now) at zero cost.
@@ -234,6 +321,7 @@ impl EvalPipeline {
             match prov {
                 Provenance::Fresh => {
                     self.stats.fresh += 1;
+                    self.stats.retried += ev.retried as u64;
                     if let Some(abort) = ev.raced {
                         self.stats.aborted += 1;
                         self.stats.saved += abort.saved;
@@ -390,6 +478,113 @@ mod tests {
         }
         assert!(matches!(mixed.provenance[0], Provenance::CacheHit { .. }));
         assert!(matches!(mixed.provenance[2], Provenance::CacheHit { .. }));
+    }
+
+    fn journal_header(ex: &SimExecutor) -> crate::journal::SessionHeader {
+        crate::journal::SessionHeader {
+            program: "pipe-test".to_string(),
+            executor: ex.describe(),
+            seed: 7,
+            budget_nanos: 0,
+            signature: "test".to_string(),
+        }
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jtune-pipe-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn replay_reproduces_a_journaled_session_bit_for_bit() {
+        let ex = executor();
+        let cs = candidates(&ex, 4);
+        let bus = TelemetryBus::disabled();
+        let path = temp_journal("replay");
+        let rebuilt = temp_journal("replay-rebuilt");
+
+        let mut original = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        original.set_journal(JournalWriter::create(&path, &journal_header(&ex)).unwrap());
+        let default = JvmConfig::default_for(ex.registry());
+        let prime_a = original.prime(&ex, &default, 42);
+        let batch_a = original.evaluate_batch(&ex, &cs, 7, 2, None, &bus);
+        assert_eq!(original.journal_trials(), 5);
+        assert_eq!(original.journal_errors(), 0);
+
+        // Resume: a *different* workload proves evaluations come from the
+        // journal, not the executor; a second journal proves resume
+        // rebuilds a complete journal (the same-path checkpoint case).
+        let mut other = Workload::baseline("pipe-test-other");
+        other.total_work = 9e8;
+        let slow = SimExecutor::new(other);
+        let (_, trials) = crate::journal::load(&path).unwrap();
+        let mut resumed = EvalPipeline::new(Protocol::default(), Some(CachePolicy::default()));
+        resumed.set_replay(ReplayLog::new(trials));
+        resumed.set_journal(JournalWriter::create(&rebuilt, &journal_header(&ex)).unwrap());
+        let prime_b = resumed.prime(&slow, &default, 42);
+        let batch_b = resumed.evaluate_batch(&slow, &cs, 7, 2, None, &bus);
+
+        assert_eq!(prime_b, prime_a);
+        for (a, b) in batch_a.evals.iter().zip(batch_b.evals.iter()) {
+            assert_eq!(a, b, "replayed batch diverged");
+        }
+        assert_eq!(resumed.replay_served(), 5);
+        assert_eq!(resumed.replay_remaining(), 0);
+        assert_eq!(resumed.journal_trials(), 5);
+        let (_, rebuilt_trials) = crate::journal::load(&rebuilt).unwrap();
+        assert_eq!(rebuilt_trials.len(), 5);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rebuilt);
+    }
+
+    #[test]
+    fn replay_exhaustion_falls_back_to_live_canonical_seeds() {
+        let ex = executor();
+        let cs = candidates(&ex, 5);
+        let bus = TelemetryBus::disabled();
+
+        // Journal only a prefix of the batch: a session killed mid-batch.
+        let full = evaluate_batch(&ex, Protocol::default(), &cs, 7, 1, &bus);
+        let journaled: Vec<(u64, Evaluation)> = cs
+            .iter()
+            .zip(full.iter())
+            .take(2)
+            .map(|(c, ev)| (c.fingerprint(), ev.clone()))
+            .collect();
+
+        let mut pipe = EvalPipeline::new(Protocol::default(), None);
+        pipe.set_replay(ReplayLog::new(journaled));
+        let report = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        assert_eq!(pipe.replay_served(), 2);
+        for (i, (a, b)) in report.evals.iter().zip(full.iter()).enumerate() {
+            assert_eq!(
+                a.samples, b.samples,
+                "slot {i} drifted after replay ran dry"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_divergence_switches_to_live_measurement() {
+        let ex = executor();
+        let cs = candidates(&ex, 3);
+        let bus = TelemetryBus::disabled();
+        let full = evaluate_batch(&ex, Protocol::default(), &cs, 7, 1, &bus);
+
+        // Journal claims a different slot-1 fingerprint: a changed
+        // proposal stream. Replay serves slot 0, then stops for good.
+        let journaled = vec![
+            (cs[0].fingerprint(), full[0].clone()),
+            (0xBAD0_BAD0_BAD0_BAD0, full[1].clone()),
+            (cs[2].fingerprint(), full[2].clone()),
+        ];
+        let mut pipe = EvalPipeline::new(Protocol::default(), None);
+        pipe.set_replay(ReplayLog::new(journaled));
+        let report = pipe.evaluate_batch(&ex, &cs, 7, 1, None, &bus);
+        assert_eq!(pipe.replay_served(), 1);
+        for (i, (a, b)) in report.evals.iter().zip(full.iter()).enumerate() {
+            assert_eq!(a.samples, b.samples, "slot {i} wrong after divergence");
+        }
     }
 
     #[test]

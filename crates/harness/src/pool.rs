@@ -63,10 +63,22 @@ pub fn evaluate_batch(
     evals
 }
 
-/// Emit the slot-level trace events for one completed evaluation: the
-/// [`TraceEvent::TrialMeasured`] record, then [`TraceEvent::TrialAborted`]
-/// if racing abandoned the candidate.
+/// Emit the slot-level trace events for one completed evaluation: one
+/// [`TraceEvent::TrialRetried`] per retried attempt (they happened during
+/// the measurement), then the [`TraceEvent::TrialMeasured`] record, then
+/// [`TraceEvent::TrialAborted`] if racing abandoned the candidate. A
+/// retry-free evaluation emits exactly the pre-fault-tolerance stream.
 pub(crate) fn emit_measured(bus: &TelemetryBus, slot: usize, ev: &Evaluation) {
+    for r in &ev.retry_log {
+        bus.emit(&TraceEvent::TrialRetried {
+            slot,
+            rep: r.rep as u64,
+            attempt: r.attempt as u64,
+            error: r.error.message().to_string(),
+            error_kind: r.error.kind().to_string(),
+            cost_secs: r.cost.as_secs_f64(),
+        });
+    }
     bus.emit(&TraceEvent::TrialMeasured {
         slot,
         repeat_secs: ev.samples.iter().map(|s| s.as_secs_f64()).collect(),

@@ -54,6 +54,55 @@ pub struct RaceAbort {
     pub saved: SimDuration,
 }
 
+/// Bounded, budget-charged retries of *transient* run failures.
+///
+/// A run that fails transiently (see [`TrialError::is_transient`]) is
+/// repeated up to [`RetryPolicy::max_retries`] times under a derived
+/// noise seed before the failure is accepted. Every attempt — including
+/// the failed ones — is charged to the tuning budget, and each successive
+/// retry of the same run costs [`RetryPolicy::backoff`]× more than the
+/// last (a stand-in for the back-off delay a real harness would sleep,
+/// which burns tuning time without producing a sample). Deterministic
+/// failures are never retried: the configuration itself is bad.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts allowed per run (0 disables retrying).
+    pub max_retries: u32,
+    /// Cost multiplier per successive attempt (≥ 1): attempt *k* is
+    /// charged `backoff^k` × its measured cost.
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: 1.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Budget-cost multiplier for attempt `attempt` (0 = the original try).
+    pub fn cost_factor(&self, attempt: u32) -> f64 {
+        self.backoff.max(1.0).powi(attempt as i32)
+    }
+}
+
+/// One retried attempt inside an [`Evaluation`] (for traces and the
+/// trial journal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryRecord {
+    /// Which protocol run (0-based repeat index) failed.
+    pub rep: u32,
+    /// 0-based attempt index that failed (0 = the original try).
+    pub attempt: u32,
+    /// The transient failure that triggered the retry.
+    pub error: TrialError,
+    /// Budget charged for the failed attempt (backoff premium included).
+    pub cost: SimDuration,
+}
+
 /// How a candidate configuration is measured.
 #[derive(Clone, Copy, Debug)]
 pub struct Protocol {
@@ -68,6 +117,10 @@ pub struct Protocol {
     /// Early-termination policy; `None` always burns all repeats (the
     /// paper's fixed-repeat protocol).
     pub racing: Option<Racing>,
+    /// Transient-failure retry policy; `None` accepts the first failure
+    /// (every failure looks deterministic, the pre-fault-tolerance
+    /// behaviour).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for Protocol {
@@ -77,12 +130,13 @@ impl Default for Protocol {
             fail_fast: true,
             objective: Objective::Throughput,
             racing: None,
+            retry: None,
         }
     }
 }
 
 /// The scored result of measuring one candidate.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Evaluation {
     /// Median objective value of the successful repeats (seconds for the
     /// throughput objective; lower is better). `None` when the candidate
@@ -98,10 +152,16 @@ pub struct Evaluation {
     /// VM activity counters summed across all runs (including failed
     /// ones), when the executor observes them.
     pub counters: Option<RunCounters>,
-    /// Runs actually executed (≤ the protocol's repeat count).
+    /// Runs actually executed (≤ the protocol's repeat count). Retried
+    /// attempts do not count: a run that succeeded on its second attempt
+    /// is still one run.
     pub runs: u32,
     /// Set when racing abandoned the candidate early.
     pub raced: Option<RaceAbort>,
+    /// Transient-failure retries performed (0 without a retry policy).
+    pub retried: u32,
+    /// One record per retried attempt, in occurrence order.
+    pub retry_log: Vec<RetryRecord>,
 }
 
 impl Evaluation {
@@ -146,20 +206,53 @@ impl Protocol {
         let mut counters: Option<RunCounters> = None;
         let mut runs: u32 = 0;
         let mut raced: Option<RaceAbort> = None;
+        let mut retried: u32 = 0;
+        let mut retry_log: Vec<RetryRecord> = Vec::new();
         for rep in 0..planned {
-            let seed = base_seed
+            let rep_seed = base_seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(rep as u64);
-            let m = executor.measure(config, seed);
+            let mut attempt: u32 = 0;
+            let m = loop {
+                // Attempt 0 keeps the pre-retry seed formula bit-for-bit;
+                // retries draw a fresh noise stream so a transient fault
+                // tied to the seed is not replayed verbatim.
+                let seed = if attempt == 0 {
+                    rep_seed
+                } else {
+                    rep_seed ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                };
+                let m = executor.measure(config, seed);
+                let mut attempt_cost = m.time + executor.fixed_overhead();
+                if let Some(policy) = self.retry {
+                    let factor = policy.cost_factor(attempt);
+                    if factor != 1.0 {
+                        attempt_cost = attempt_cost.mul_f64(factor);
+                    }
+                }
+                cost += attempt_cost;
+                if let Some(c) = m.counters {
+                    let total = counters.get_or_insert_with(RunCounters::default);
+                    total.gc_pause_total += c.gc_pause_total;
+                    total.gc_collections += c.gc_collections;
+                    total.jit_compile_time += c.jit_compile_time;
+                    total.jit_compiles += c.jit_compiles;
+                }
+                match (&m.error, self.retry) {
+                    (Some(e), Some(policy)) if e.is_transient() && attempt < policy.max_retries => {
+                        retried += 1;
+                        retry_log.push(RetryRecord {
+                            rep,
+                            attempt,
+                            error: e.clone(),
+                            cost: attempt_cost,
+                        });
+                        attempt += 1;
+                    }
+                    _ => break m,
+                }
+            };
             runs += 1;
-            cost += m.time + executor.fixed_overhead();
-            if let Some(c) = m.counters {
-                let total = counters.get_or_insert_with(RunCounters::default);
-                total.gc_pause_total += c.gc_pause_total;
-                total.gc_collections += c.gc_collections;
-                total.jit_compile_time += c.jit_compile_time;
-                total.jit_compiles += c.jit_compiles;
-            }
             match self.objective.score(&m) {
                 Some(value) => samples.push(SimDuration::from_secs_f64(value)),
                 None => {
@@ -191,6 +284,8 @@ impl Protocol {
             counters,
             runs,
             raced,
+            retried,
+            retry_log,
         }
     }
 
@@ -398,6 +493,144 @@ mod tests {
         assert!(!no_policy
             .evaluate_raced(&ex, &slow, 3, Some(&baseline))
             .aborted());
+    }
+
+    /// Executor whose first `failures` measure calls fail transiently.
+    /// Protocol evaluation is sequential, so the failures land on the
+    /// leading attempts deterministically.
+    struct FlakyExecutor {
+        inner: SimExecutor,
+        failures: std::sync::atomic::AtomicU32,
+        transient: bool,
+    }
+
+    impl FlakyExecutor {
+        fn new(failures: u32, transient: bool) -> FlakyExecutor {
+            FlakyExecutor {
+                inner: executor(),
+                failures: std::sync::atomic::AtomicU32::new(failures),
+                transient,
+            }
+        }
+    }
+
+    impl Executor for FlakyExecutor {
+        fn measure(&self, config: &JvmConfig, seed: u64) -> crate::executor::Measurement {
+            let mut m = self.inner.measure(config, seed);
+            let left = self
+                .failures
+                .fetch_update(
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                )
+                .is_ok();
+            if left {
+                m.error = Some(if self.transient {
+                    TrialError::Crash("java exited with signal: 9 (SIGKILL)".into())
+                } else {
+                    TrialError::Crash("java exited with exit status: 134".into())
+                });
+            }
+            m
+        }
+
+        fn registry(&self) -> &jtune_flags::Registry {
+            self.inner.registry()
+        }
+
+        fn describe(&self) -> String {
+            "flaky".into()
+        }
+    }
+
+    #[test]
+    fn retry_recovers_a_transient_failure_and_charges_backoff() {
+        let ex = FlakyExecutor::new(1, true);
+        let c = JvmConfig::default_for(ex.registry());
+        let p = Protocol {
+            retry: Some(RetryPolicy {
+                max_retries: 2,
+                backoff: 2.0,
+            }),
+            ..Protocol::default()
+        };
+        let ev = p.evaluate(&ex, &c, 42);
+        assert!(ev.ok(), "{:?}", ev.error);
+        assert_eq!(ev.runs, 3, "retries do not count as runs");
+        assert_eq!(ev.samples.len(), 3);
+        assert_eq!(ev.retried, 1);
+        assert_eq!(ev.retry_log.len(), 1);
+        let r = &ev.retry_log[0];
+        assert_eq!((r.rep, r.attempt), (0, 0));
+        assert!(r.error.is_transient());
+        // The failed attempt was charged at the attempt-0 rate; a clean
+        // evaluation of the same protocol costs less.
+        let clean = p.evaluate(&FlakyExecutor::new(0, true), &c, 42);
+        assert!(ev.cost > clean.cost);
+        assert_eq!(clean.retried, 0);
+        assert!(clean.retry_log.is_empty());
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_exhaustion_keeps_the_failure() {
+        let ex = FlakyExecutor::new(10, true);
+        let c = JvmConfig::default_for(ex.registry());
+        let p = Protocol {
+            retry: Some(RetryPolicy {
+                max_retries: 2,
+                backoff: 1.5,
+            }),
+            ..Protocol::default()
+        };
+        let ev = p.evaluate(&ex, &c, 7);
+        assert!(!ev.ok());
+        assert_eq!(ev.retried, 2, "bounded by max_retries");
+        assert!(ev.error.unwrap().is_transient());
+        assert_eq!(ev.runs, 1, "fail_fast still stops after the first run");
+    }
+
+    #[test]
+    fn deterministic_failures_are_never_retried() {
+        let ex = FlakyExecutor::new(1, false);
+        let c = JvmConfig::default_for(ex.registry());
+        let p = Protocol {
+            retry: Some(RetryPolicy::default()),
+            ..Protocol::default()
+        };
+        let ev = p.evaluate(&ex, &c, 7);
+        assert!(!ev.ok());
+        assert_eq!(ev.retried, 0);
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_the_cost_factor() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            backoff: 1.5,
+        };
+        assert_eq!(p.cost_factor(0), 1.0);
+        assert_eq!(p.cost_factor(1), 1.5);
+        assert_eq!(p.cost_factor(2), 2.25);
+        // Sub-1 backoff never discounts repeat work.
+        let cheap = RetryPolicy {
+            max_retries: 1,
+            backoff: 0.5,
+        };
+        assert_eq!(cheap.cost_factor(3), 1.0);
+    }
+
+    #[test]
+    fn retry_policy_leaves_clean_evaluations_bit_identical() {
+        let ex = executor();
+        let c = JvmConfig::default_for(ex.registry());
+        let plain = Protocol::default().evaluate(&ex, &c, 11);
+        let with_retry = Protocol {
+            retry: Some(RetryPolicy::default()),
+            ..Protocol::default()
+        }
+        .evaluate(&ex, &c, 11);
+        assert_eq!(plain, with_retry);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct SessionRecord {
     pub cache_hits: u64,
     /// Trials abandoned early by racing.
     pub aborted: u64,
+    /// Transient-failure repeats recovered by the retry policy.
+    pub retried: u64,
+    /// Configurations quarantined for failing deterministically.
+    pub quarantined: u64,
     /// Full trial log (for convergence plots).
     pub trials: Vec<TrialRecord>,
 }
@@ -65,7 +69,7 @@ impl SessionRecord {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.program,
             self.executor,
             self.budget_mins,
@@ -75,6 +79,8 @@ impl SessionRecord {
             self.distinct,
             self.cache_hits,
             self.aborted,
+            self.retried,
+            self.quarantined,
             self.best_delta.join(" "),
         );
         for t in &self.trials {
@@ -118,6 +124,8 @@ impl SessionRecord {
             .u64("distinct", self.distinct)
             .u64("cache_hits", self.cache_hits)
             .u64("aborted", self.aborted)
+            .u64("retried", self.retried)
+            .u64("quarantined", self.quarantined)
             .raw("trials", &jtune_util::json::array_of(&trials))
             .finish()
     }
@@ -137,13 +145,30 @@ impl SessionRecord {
         let best_secs = h.next()?.parse().ok()?;
         let evaluations: u64 = h.next()?.parse().ok()?;
         // Legacy headers (pre-pipeline) go straight from `evaluations`
-        // to the delta field; new ones carry three counters in between.
+        // to the delta field; pipeline-era ones carry three counters in
+        // between, and fault-tolerant ones add retried + quarantined.
         let rest: Vec<&str> = h.collect();
-        let (distinct, cache_hits, aborted, delta_field) = match rest.as_slice() {
-            [d, c, a, delta] => (d.parse().ok()?, c.parse().ok()?, a.parse().ok()?, *delta),
-            [delta] => (evaluations, 0, 0, *delta),
-            _ => return None,
-        };
+        let (distinct, cache_hits, aborted, retried, quarantined, delta_field) =
+            match rest.as_slice() {
+                [d, c, a, r, q, delta] => (
+                    d.parse().ok()?,
+                    c.parse().ok()?,
+                    a.parse().ok()?,
+                    r.parse().ok()?,
+                    q.parse().ok()?,
+                    *delta,
+                ),
+                [d, c, a, delta] => (
+                    d.parse().ok()?,
+                    c.parse().ok()?,
+                    a.parse().ok()?,
+                    0,
+                    0,
+                    *delta,
+                ),
+                [delta] => (evaluations, 0, 0, 0, 0, *delta),
+                _ => return None,
+            };
         let best_delta: Vec<String> = delta_field.split_whitespace().map(str::to_string).collect();
         let mut trials = Vec::new();
         for line in lines {
@@ -183,6 +208,8 @@ impl SessionRecord {
             distinct,
             cache_hits,
             aborted,
+            retried,
+            quarantined,
             trials,
         })
     }
@@ -207,6 +234,8 @@ mod tests {
             distinct: 2,
             cache_hits: 0,
             aborted: 0,
+            retried: 0,
+            quarantined: 0,
             trials: vec![
                 TrialRecord {
                     index: 0,
@@ -258,8 +287,20 @@ mod tests {
         s.distinct = 1;
         s.cache_hits = 1;
         s.aborted = 0;
+        s.retried = 3;
+        s.quarantined = 1;
         let back = SessionRecord::from_tsv(&s.to_tsv()).expect("parse");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pipeline_era_tsv_without_fault_counters_parses() {
+        let tsv = "#session\th2\tsim:h2\t200\t42.5\t30\t4\t3\t1\t0\t-XX:MaxHeapSize=4g\n";
+        let s = SessionRecord::from_tsv(tsv).expect("pipeline-era parse");
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.retried, 0, "pre-fault-tolerance sessions never retried");
+        assert_eq!(s.quarantined, 0);
     }
 
     #[test]

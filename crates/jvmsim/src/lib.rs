@@ -53,5 +53,6 @@ pub mod workload;
 pub use engine::JvmSim;
 pub use flagview::{CollectorKind, FlagView};
 pub use machine::Machine;
+pub use noise::NoiseModel;
 pub use outcome::{RunFailure, RunOutcome, TimeBreakdown};
 pub use workload::Workload;

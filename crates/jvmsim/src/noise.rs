@@ -45,6 +45,17 @@ impl NoiseModel {
         }
         d.mul_f64(factor)
     }
+
+    /// One-shot interference spike factor, for fault injection: the
+    /// multiplier (≥ `magnitude`, which must be ≥ 1) a run suffers when a
+    /// co-tenant steals the machine mid-measurement — far beyond what
+    /// [`NoiseModel::apply`]'s steady-state model produces, which is what
+    /// makes spiked runs *measurement poison* rather than noise. Pure
+    /// function of `seed` so injected faults replay bit-identically.
+    pub fn spike_factor(seed: u64, magnitude: f64) -> f64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x73_7069_6b65u64);
+        magnitude.max(1.0) * rng.next_lognormal(0.0, 0.25)
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +86,23 @@ mod tests {
         let mut b = NoiseModel::new(2);
         let same = (0..50).filter(|_| a.apply(d) == b.apply(d)).count();
         assert!(same < 5);
+    }
+
+    #[test]
+    fn spike_factor_is_large_and_deterministic() {
+        let a = NoiseModel::spike_factor(9, 3.0);
+        assert_eq!(a, NoiseModel::spike_factor(9, 3.0));
+        assert_ne!(a, NoiseModel::spike_factor(10, 3.0));
+        // A spike always at least doubles a run at magnitude 3 (lognormal
+        // σ=0.25 rarely dips below 0.5×, and the floor clamps magnitude).
+        for seed in 0..200 {
+            let f = NoiseModel::spike_factor(seed, 3.0);
+            assert!(f > 1.0, "spike {f} too small at seed {seed}");
+        }
+        assert_eq!(
+            NoiseModel::spike_factor(1, 0.1),
+            NoiseModel::spike_factor(1, 1.0)
+        );
     }
 
     #[test]

@@ -150,6 +150,49 @@ pub enum TraceEvent {
         /// New technique.
         to: String,
     },
+    /// A transient trial failure was retried under the retry policy
+    /// (emitted before the run's [`TraceEvent::TrialMeasured`]).
+    TrialRetried {
+        /// Candidate index within the batch.
+        slot: usize,
+        /// Protocol repeat (0-based) the failed attempt belonged to.
+        rep: u64,
+        /// 0-based attempt index that failed (0 = the original try).
+        attempt: u64,
+        /// The transient failure message.
+        error: String,
+        /// Classified failure kind.
+        error_kind: String,
+        /// Budget charged for the failed attempt (backoff included).
+        cost_secs: f64,
+    },
+    /// A configuration fingerprint was quarantined after a streak of
+    /// deterministic failures; the tuner will not re-propose it.
+    Quarantined {
+        /// Canonical configuration fingerprint.
+        fingerprint: u64,
+        /// Deterministic-failure runs accumulated at the breaker.
+        failures: u64,
+        /// Kind of the failure that tripped the breaker.
+        error_kind: String,
+    },
+    /// The write-ahead trial journal reached a consistent point (all
+    /// completed trials durable); a kill after this event loses nothing.
+    CheckpointWritten {
+        /// Completed trials in the journal.
+        trials: u64,
+        /// Budget spent at the checkpoint, seconds.
+        spent_secs: f64,
+    },
+    /// The session was reconstructed from a journal. *Ephemeral*: live
+    /// sinks see it, but it is never serialised to the JSONL trace —
+    /// a resumed session's trace must be byte-identical to an
+    /// uninterrupted one (same precedent as the unserialised `workers`
+    /// field).
+    SessionResumed {
+        /// Completed trials replayed from the journal.
+        trials_replayed: u64,
+    },
     /// The tuning budget was exhausted (emitted once, at the charge that
     /// crossed the limit).
     BudgetExhausted {
@@ -190,11 +233,24 @@ impl TraceEvent {
             TraceEvent::DuplicateSuppressed { .. } => "DuplicateSuppressed",
             TraceEvent::TrialAborted { .. } => "TrialAborted",
             TraceEvent::TrialEvaluated { .. } => "TrialEvaluated",
+            TraceEvent::TrialRetried { .. } => "TrialRetried",
+            TraceEvent::Quarantined { .. } => "Quarantined",
+            TraceEvent::CheckpointWritten { .. } => "CheckpointWritten",
+            TraceEvent::SessionResumed { .. } => "SessionResumed",
             TraceEvent::BestImproved { .. } => "BestImproved",
             TraceEvent::TechniqueSwitched { .. } => "TechniqueSwitched",
             TraceEvent::BudgetExhausted { .. } => "BudgetExhausted",
             TraceEvent::SessionFinished { .. } => "SessionFinished",
         }
+    }
+
+    /// Is this event live-only — meaningful to an attached observer but
+    /// excluded from the serialised JSONL trace? Only
+    /// [`TraceEvent::SessionResumed`] qualifies: it describes *how this
+    /// process reached* its state, not the session itself, and a resumed
+    /// trace must match the uninterrupted one byte for byte.
+    pub fn is_ephemeral(&self) -> bool {
+        matches!(self, TraceEvent::SessionResumed { .. })
     }
 
     /// Render as one JSON object (one line of the JSONL trace).
@@ -313,6 +369,37 @@ impl TraceEvent {
                     o = o.str("error_kind", kind);
                 }
                 o.finish()
+            }
+            TraceEvent::TrialRetried {
+                slot,
+                rep,
+                attempt,
+                error,
+                error_kind,
+                cost_secs,
+            } => o
+                .u64("slot", *slot as u64)
+                .u64("rep", *rep)
+                .u64("attempt", *attempt)
+                .str("error", error)
+                .str("error_kind", error_kind)
+                .f64("cost_secs", *cost_secs)
+                .finish(),
+            TraceEvent::Quarantined {
+                fingerprint,
+                failures,
+                error_kind,
+            } => o
+                .u64("fingerprint", *fingerprint)
+                .u64("failures", *failures)
+                .str("error_kind", error_kind)
+                .finish(),
+            TraceEvent::CheckpointWritten { trials, spent_secs } => o
+                .u64("trials", *trials)
+                .f64("spent_secs", *spent_secs)
+                .finish(),
+            TraceEvent::SessionResumed { trials_replayed } => {
+                o.u64("trials_replayed", *trials_replayed).finish()
             }
             TraceEvent::BestImproved {
                 index,
@@ -434,6 +521,26 @@ mod tests {
                 from: "random".into(),
                 to: "ils".into(),
             },
+            TraceEvent::TrialRetried {
+                slot: 1,
+                rep: 0,
+                attempt: 0,
+                error: "injected hang: run timed out".into(),
+                error_kind: "timeout".into(),
+                cost_secs: 120.5,
+            },
+            TraceEvent::Quarantined {
+                fingerprint: 0xBAD,
+                failures: 3,
+                error_kind: "oom".into(),
+            },
+            TraceEvent::CheckpointWritten {
+                trials: 17,
+                spent_secs: 301.5,
+            },
+            TraceEvent::SessionResumed {
+                trials_replayed: 17,
+            },
             TraceEvent::BudgetExhausted {
                 spent_secs: 61.0,
                 total_secs: 60.0,
@@ -457,6 +564,22 @@ mod tests {
             );
             assert!(j.ends_with('}'));
         }
+    }
+
+    #[test]
+    fn only_session_resumed_is_ephemeral() {
+        assert!(TraceEvent::SessionResumed { trials_replayed: 2 }.is_ephemeral());
+        assert!(!TraceEvent::CheckpointWritten {
+            trials: 2,
+            spent_secs: 1.0
+        }
+        .is_ephemeral());
+        assert!(!TraceEvent::Quarantined {
+            fingerprint: 1,
+            failures: 3,
+            error_kind: "oom".into()
+        }
+        .is_ephemeral());
     }
 
     #[test]

@@ -45,6 +45,12 @@ impl JsonlSink {
 
 impl TuningObserver for JsonlSink {
     fn on_event(&self, event: &TraceEvent) {
+        // Ephemeral events (SessionResumed) describe this process, not
+        // the session: serialising them would fork a resumed trace from
+        // the uninterrupted one it must match byte for byte.
+        if event.is_ephemeral() {
+            return;
+        }
         let mut out = self.out.lock().expect("sink poisoned");
         let line = event.to_json();
         if writeln!(out, "{line}").is_err() {
@@ -89,6 +95,25 @@ mod tests {
             assert!(line.starts_with("{\"type\":\"RoundProposed\""));
         }
         assert_eq!(sink.write_errors(), 0);
+        drop(sink);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_events_are_not_serialised() {
+        let dir = std::env::temp_dir().join(format!("jtune-jsonl-eph-{}", std::process::id()));
+        let path = dir.join("trace.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        sink.on_event(&TraceEvent::SessionResumed { trials_replayed: 5 });
+        sink.on_event(&TraceEvent::CheckpointWritten {
+            trials: 5,
+            spent_secs: 1.0,
+        });
+        sink.flush();
+        let content = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(content.lines().count(), 1);
+        assert!(content.contains("CheckpointWritten"));
+        assert!(!content.contains("SessionResumed"));
         drop(sink);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -52,6 +52,10 @@ pub const COUNTERS: &[&str] = &[
     "best_improvements",
     "technique_switches",
     "budget_exhausted",
+    "trials_retried",
+    "quarantined",
+    "checkpoints_written",
+    "sessions_resumed",
 ];
 
 /// Histogram names the registry maintains.
@@ -61,6 +65,7 @@ pub const HISTOGRAMS: &[&str] = &[
     "gc_pause_total",
     "jit_compile",
     "budget_saved",
+    "retry_cost",
 ];
 
 impl MetricsRegistry {
@@ -150,6 +155,13 @@ impl TuningObserver for MetricsRegistry {
                     inner.observe("jit_compile", SimDuration::from_millis_f64(*ms));
                 }
             }
+            TraceEvent::TrialRetried { cost_secs, .. } => {
+                inner.bump("trials_retried");
+                inner.observe("retry_cost", SimDuration::from_secs_f64(*cost_secs));
+            }
+            TraceEvent::Quarantined { .. } => inner.bump("quarantined"),
+            TraceEvent::CheckpointWritten { .. } => inner.bump("checkpoints_written"),
+            TraceEvent::SessionResumed { .. } => inner.bump("sessions_resumed"),
             TraceEvent::BestImproved { .. } => inner.bump("best_improvements"),
             TraceEvent::TechniqueSwitched { .. } => inner.bump("technique_switches"),
             TraceEvent::BudgetExhausted { .. } => inner.bump("budget_exhausted"),
@@ -220,6 +232,34 @@ mod tests {
         assert_eq!(m.counter("duplicates_suppressed"), 1);
         assert_eq!(m.counter("trials_aborted"), 1);
         assert_eq!(m.histogram("budget_saved").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn counts_fault_tolerance_events() {
+        let m = MetricsRegistry::new();
+        m.on_event(&TraceEvent::TrialRetried {
+            slot: 0,
+            rep: 0,
+            attempt: 0,
+            error: "injected".into(),
+            error_kind: "timeout".into(),
+            cost_secs: 2.0,
+        });
+        m.on_event(&TraceEvent::Quarantined {
+            fingerprint: 9,
+            failures: 3,
+            error_kind: "oom".into(),
+        });
+        m.on_event(&TraceEvent::CheckpointWritten {
+            trials: 4,
+            spent_secs: 8.0,
+        });
+        m.on_event(&TraceEvent::SessionResumed { trials_replayed: 4 });
+        assert_eq!(m.counter("trials_retried"), 1);
+        assert_eq!(m.counter("quarantined"), 1);
+        assert_eq!(m.counter("checkpoints_written"), 1);
+        assert_eq!(m.counter("sessions_resumed"), 1);
+        assert_eq!(m.histogram("retry_cost").unwrap().count(), 1);
     }
 
     #[test]

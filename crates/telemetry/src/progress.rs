@@ -158,6 +158,33 @@ impl TuningObserver for ProgressReporter {
                      ({improvement_percent:+.1}%) in {evaluations} evaluations"
                 ));
             }
+            TraceEvent::SessionResumed { trials_replayed } => {
+                let program = self
+                    .state
+                    .lock()
+                    .expect("progress poisoned")
+                    .program
+                    .clone();
+                self.line(&format!(
+                    "[{program}] resumed from journal: replaying {trials_replayed} completed trials"
+                ));
+            }
+            TraceEvent::Quarantined {
+                fingerprint,
+                failures,
+                error_kind,
+            } => {
+                let program = self
+                    .state
+                    .lock()
+                    .expect("progress poisoned")
+                    .program
+                    .clone();
+                self.line(&format!(
+                    "[{program}] quarantined config {fingerprint:#018x} after {failures} \
+                     {error_kind} failures"
+                ));
+            }
             _ => {}
         }
     }

@@ -1,16 +1,22 @@
-//! Minimal JSON emission.
+//! Minimal JSON emission and parsing.
 //!
 //! The telemetry stream and the `--json` CLI surface need JSON output,
 //! but the workspace is deliberately dependency-free (see the crate
 //! docs): this module is a hand-rolled *writer* for the small, flat
-//! shapes we serialise. It makes two guarantees the telemetry
-//! determinism contract relies on:
+//! shapes we serialise, plus a small recursive-descent *parser*
+//! ([`parse`]) used by the crash-safe trial journal to read those shapes
+//! back. The writer makes two guarantees the telemetry determinism
+//! contract relies on:
 //!
 //! - **Byte determinism**: the same value always renders to the same
 //!   bytes (fields are written in call order; numbers use Rust's
 //!   shortest round-trip `Display`).
 //! - **Valid JSON**: strings are escaped per RFC 8259, and non-finite
 //!   floats (which JSON cannot represent) are written as `null`.
+//!
+//! The parser preserves number tokens as raw text ([`JsonValue::Number`])
+//! so 64-bit integers — configuration fingerprints, nanosecond durations —
+//! round-trip exactly instead of being squeezed through `f64`.
 
 use std::fmt::Write as _;
 
@@ -143,6 +149,22 @@ impl JsonObject {
         self
     }
 
+    /// Array-of-unsigned-integers field (exact, unlike [`f64_array`]).
+    ///
+    /// [`f64_array`]: JsonObject::f64_array
+    pub fn u64_array(mut self, key: &str, values: &[u64]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Field whose value is already-rendered JSON (nested object/array).
     pub fn raw(mut self, key: &str, json: &str) -> Self {
         self.key(key);
@@ -174,6 +196,275 @@ pub fn array_of(values: &[String]) -> String {
     }
     out.push(']');
     out
+}
+
+/// A parsed JSON value.
+///
+/// Numbers keep their raw source text so integer-valued fields (u64
+/// fingerprints, nanosecond durations) can be re-parsed exactly via
+/// [`JsonValue::as_u64`] without an intermediate lossy `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw token text.
+    Number(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as key/value pairs in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (`None` for other kinds or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if this is a non-negative integer
+    /// token (no exponent, no fraction).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Parse one JSON document. Trailing non-whitespace is an error (the
+/// journal stores exactly one value per line).
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&token) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", token as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {pos}", *c as char)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Validate the token by asking Rust's float parser; the raw text is
+    // what we keep.
+    raw.parse::<f64>()
+        .map_err(|_| format!("invalid number '{raw}' at byte {start}"))?;
+    Ok(JsonValue::Number(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect a \uXXXX low half.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err("unpaired surrogate".to_string());
+                            }
+                            *pos += 2;
+                            let lo = parse_hex4(bytes, pos)?;
+                            0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so slicing on
+                // a char boundary is safe once we find the next one).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    // `*pos` is on the 'u'; consume 4 hex digits, leaving `*pos` on the
+    // last one (the caller advances past it).
+    let start = *pos + 1;
+    let end = start + 4;
+    if end > bytes.len() {
+        return Err("truncated \\u escape".to_string());
+    }
+    let hex = std::str::from_utf8(&bytes[start..end]).map_err(|e| e.to_string())?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+    *pos = end - 1;
+    Ok(code)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +514,69 @@ mod tests {
     fn identical_values_render_identical_bytes() {
         let render = || JsonObject::new().f64("t", 0.1 + 0.2).finish();
         assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn parses_what_the_writer_emits() {
+        let j = JsonObject::new()
+            .str("type", "Trial")
+            .u64("fp", u64::MAX)
+            .opt_str("err", None)
+            .f64("p", 0.125)
+            .bool("ok", true)
+            .u64_array("samples", &[1, 2, 9_007_199_254_740_993])
+            .finish();
+        let v = parse(&j).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("Trial"));
+        assert_eq!(v.get("fp").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert!(v.get("err").unwrap().is_null());
+        assert_eq!(v.get("p").and_then(JsonValue::as_f64), Some(0.125));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let samples: Vec<u64> = v
+            .get("samples")
+            .and_then(JsonValue::as_array)
+            .unwrap()
+            .iter()
+            .map(|s| s.as_u64().unwrap())
+            .collect();
+        // 2^53 + 1 survives: no f64 round-trip on integer tokens.
+        assert_eq!(samples, vec![1, 2, 9_007_199_254_740_993]);
+    }
+
+    #[test]
+    fn parses_escapes_and_nesting() {
+        let v = parse(r#"{"a":"x\"\né😀","b":[{"c":null},-1.5e2]}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(JsonValue::as_str),
+            Some("x\"\né\u{1F600}")
+        );
+        let b = v.get("b").and_then(JsonValue::as_array).unwrap();
+        assert!(b[0].get("c").unwrap().is_null());
+        assert_eq!(b[1].as_f64(), Some(-150.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            r#"{"a":}"#,
+            "[1,",
+            "tru",
+            r#""unterminated"#,
+            "1 2",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn float_display_round_trips_exactly() {
+        // The journal stores p-values via Display; shortest-repr floats
+        // must re-parse to the identical bit pattern.
+        for f in [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let v = parse(&format!("{f}")).unwrap();
+            assert_eq!(v.as_f64(), Some(f));
+        }
     }
 }

@@ -6,6 +6,10 @@
 //!                       [--workers N] [--batch N]
 //!                       [--cache] [--cache-recharge F]
 //!                       [--racing] [--min-repeats N]
+//!                       [--no-fail-fast] [--retries N] [--retry-backoff F]
+//!                       [--quarantine N] [--deadline SECS]
+//!                       [--fault-rate F] [--fault-seed N]
+//!                       [--checkpoint PATH] [--resume PATH]
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
 //! jtune simulate <workload> [-XX:... flags]
@@ -53,8 +57,13 @@ USAGE:
                         [--workers N] [--batch N]
                         [--cache] [--cache-recharge F]
                         [--racing] [--min-repeats N]
+                        [--no-fail-fast] [--retries N] [--retry-backoff F]
+                        [--quarantine N] [--deadline SECS]
+                        [--fault-rate F] [--fault-seed N]
+                        [--checkpoint PATH] [--resume PATH]
                         [--trace PATH] [--progress] [--json]
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
+                        [... same tuning/fault flags as tune ...]
                         [--trace PATH] [--progress] [--json]
   jtune simulate <workload> [--gclog] [-XX:...flag ...]
   jtune flags [substring]      list the 750-flag registry
@@ -70,6 +79,18 @@ cost nothing (--cache-recharge F charges hits F× their original cost,
 than the best-so-far after --min-repeats runs, refunding the unspent
 repeats. Both default off; with both off sessions are byte-identical
 to earlier releases.
+
+Fault tolerance: --retries N repeats transiently-failing runs up to N
+times (--retry-backoff F charges attempt k at F^k its cost),
+--no-fail-fast keeps measuring a candidate after its first failure,
+--quarantine N blacklists configurations after N deterministic-failure
+runs, and --deadline SECS imposes a per-run watchdog timeout.
+--fault-rate F injects deterministic transient faults (crashes, hangs,
+noise spikes) into F of all runs for resilience testing, seeded by
+--fault-seed. --checkpoint PATH journals every completed trial so a
+killed session can continue via --resume PATH (usually the same path)
+with a byte-identical trace. All default off; with everything off,
+sessions are byte-identical to earlier releases.
 
 Observability: --trace PATH streams one JSON event per trial to PATH
 (JSON Lines, bit-deterministic for a given seed), --progress reports
@@ -151,7 +172,75 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
         }
         b = b.racing(racing);
     }
+    if rest.iter().any(|a| a == "--no-fail-fast") {
+        b = b.fail_fast(false);
+    }
+    // --retry-backoff implies --retries: a backoff factor only matters
+    // with the retry policy on (mirrors --cache-recharge / --cache).
+    let retries = parse_opt(rest, "--retries").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: --retries {raw:?} is not an integer; using default");
+            RetryPolicy::default().max_retries
+        })
+    });
+    let backoff = parse_opt(rest, "--retry-backoff").map(|raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("warning: --retry-backoff {raw:?} is not a number; using default");
+            RetryPolicy::default().backoff
+        })
+    });
+    if retries.is_some() || backoff.is_some() {
+        let mut retry = RetryPolicy::default();
+        if let Some(n) = retries {
+            retry.max_retries = n;
+        }
+        if let Some(f) = backoff {
+            retry.backoff = f;
+        }
+        b = b.retry(retry);
+    }
+    if let Some(raw) = parse_opt(rest, "--quarantine") {
+        match raw.parse() {
+            Ok(streak) => b = b.quarantine(QuarantinePolicy { streak }),
+            Err(_) => eprintln!("warning: --quarantine {raw:?} is not an integer; ignoring"),
+        }
+    }
+    if let Some(path) = parse_opt(rest, "--checkpoint") {
+        b = b.checkpoint(path);
+    }
+    if let Some(path) = parse_opt(rest, "--resume") {
+        b = b.resume(path);
+    }
     b.build()
+}
+
+/// Build the simulator executor for a workload, honoring `--deadline`
+/// (a virtual per-run watchdog timeout in seconds).
+fn sim_executor_from(workload: Workload, rest: &[String]) -> SimExecutor {
+    let mut sim = SimExecutor::new(workload);
+    if let Some(raw) = parse_opt(rest, "--deadline") {
+        match raw.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => sim = sim.with_deadline(SimDuration::from_secs_f64(secs)),
+            _ => eprintln!("warning: --deadline {raw:?} is not a positive number; ignoring"),
+        }
+    }
+    sim
+}
+
+/// Parse `--fault-rate` / `--fault-seed` into an injection plan, or
+/// `None` when fault injection is off (the default).
+fn fault_plan_from(rest: &[String]) -> Option<FaultPlan> {
+    let rate: f64 = parse_opt(rest, "--fault-rate")?.parse().ok().or_else(|| {
+        eprintln!("warning: --fault-rate is not a number; fault injection off");
+        None
+    })?;
+    if rate <= 0.0 {
+        return None;
+    }
+    let seed = parse_opt(rest, "--fault-seed")
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(0xFA_017);
+    Some(FaultPlan::transient(rate, seed))
 }
 
 /// Build the telemetry bus requested on the command line: `--trace PATH`
@@ -197,8 +286,16 @@ fn cmd_tune(rest: &[String]) -> i32 {
             opts.budget, opts.technique, opts.manipulator
         );
     }
-    let executor = SimExecutor::new(workload);
-    let result = Tuner::new(opts).run(&executor, name, &bus);
+    // Fault injection wraps the simulator for the *tuning* run only;
+    // flag-impact attribution below always measures fault-free.
+    let tuning_executor: Box<dyn Executor> = match fault_plan_from(rest) {
+        Some(plan) => Box::new(FaultyExecutor::new(
+            sim_executor_from(workload.clone(), rest),
+            plan,
+        )),
+        None => Box::new(sim_executor_from(workload.clone(), rest)),
+    };
+    let result = Tuner::new(opts).run(tuning_executor.as_ref(), name, &bus);
     if json_out {
         println!("{}", result.session.to_json());
         return 0;
@@ -212,7 +309,12 @@ fn cmd_tune(rest: &[String]) -> i32 {
     );
     if minimize {
         println!("\nmeasuring marginal flag impacts (reverting one at a time)...");
-        let impacts = flag_impact(&executor, &result.best_config, ImpactOptions::default());
+        let impact_executor = sim_executor_from(workload, rest);
+        let impacts = flag_impact(
+            &impact_executor,
+            &result.best_config,
+            ImpactOptions::default(),
+        );
         println!("{:<44} {:>10}", "flag", "impact");
         for i in impacts.iter().filter(|i| i.impact_percent.abs() >= 0.75) {
             println!(
@@ -269,8 +371,11 @@ fn cmd_suite(rest: &[String]) -> i32 {
         let name = workload.name.clone();
         let mut opts = base.clone();
         opts.seed ^= (i as u64 + 1) << 32;
-        let executor = SimExecutor::new(workload);
-        let result = Tuner::new(opts).run(&executor, &name, &bus);
+        let executor: Box<dyn Executor> = match fault_plan_from(rest) {
+            Some(plan) => Box::new(FaultyExecutor::new(sim_executor_from(workload, rest), plan)),
+            None => Box::new(sim_executor_from(workload, rest)),
+        };
+        let result = Tuner::new(opts).run(executor.as_ref(), &name, &bus);
         improvements.push(result.improvement_percent());
         if json_out {
             records.push(result.session.to_json());

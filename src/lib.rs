@@ -24,7 +24,9 @@
 //! - [`harness`] — executors (simulator or a real `java` process),
 //!   measurement protocol, budget accounting, parallel evaluation, and
 //!   the adaptive evaluation pipeline (trial memoization, duplicate
-//!   suppression, sequential racing).
+//!   suppression, sequential racing), plus fault tolerance: transient
+//!   retry, deterministic fault injection, trial watchdogs and the
+//!   crash-safe trial journal.
 //! - [`telemetry`] — session observability: a typed trial-event stream
 //!   ([`telemetry::TraceEvent`]) published on a [`telemetry::TelemetryBus`]
 //!   to pluggable sinks (JSONL traces, metrics registry, live progress).
@@ -77,8 +79,9 @@ pub mod prelude {
     pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
     pub use jtune_flagtree::hotspot_tree;
     pub use jtune_harness::{
-        CachePolicy, EvalPipeline, Executor, ProcessExecutor, Protocol, Racing, SimExecutor,
-        TrialCache, TrialError,
+        CachePolicy, EvalPipeline, Executor, FaultPlan, FaultyExecutor, JournalWriter,
+        ProcessExecutor, Protocol, QuarantinePolicy, Racing, ReplayLog, RetryPolicy, SessionHeader,
+        SimExecutor, TrialCache, TrialError,
     };
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
     pub use jtune_telemetry::{

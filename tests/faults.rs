@@ -1,0 +1,168 @@
+//! Fault-tolerance integration tests: seeded fault injection is
+//! bit-reproducible, transient faults cost budget rather than result
+//! quality, a killed-and-resumed session emits a byte-identical trace,
+//! and a deterministically-hostile executor degrades the session to the
+//! incumbent instead of wedging it.
+
+use std::sync::Arc;
+
+use hotspot_autotuner::flags::Registry;
+use hotspot_autotuner::harness::Measurement;
+use hotspot_autotuner::prelude::*;
+use hotspot_autotuner::tuner::manipulator::{ConfigManipulator, HierarchicalManipulator};
+
+fn executor(name: &str) -> SimExecutor {
+    SimExecutor::new(workload_by_name(name).expect("built-in workload"))
+}
+
+fn temp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("jtune-faults-{}-{name}", std::process::id()))
+}
+
+fn resilient_opts(seed: u64) -> TunerOptions {
+    TunerOptions::builder()
+        .budget(SimDuration::from_mins(4))
+        .seed(seed)
+        .workers(4)
+        .batch(8)
+        .retry(RetryPolicy::default())
+        .quarantine(QuarantinePolicy::default())
+        .build()
+        .expect("valid options")
+}
+
+#[test]
+fn fault_injection_is_bit_reproducible() {
+    let run = || {
+        let ex = FaultyExecutor::new(executor("compress"), FaultPlan::transient(0.2, 99));
+        let recorder = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(recorder.clone());
+        let result = Tuner::new(resilient_opts(42)).run(&ex, "compress", &bus);
+        (recorder.to_jsonl(), result)
+    };
+    let (trace_a, result_a) = run();
+    let (trace_b, result_b) = run();
+    assert_eq!(trace_a, trace_b, "fault schedule must be seed-pure");
+    assert_eq!(result_a.session, result_b.session);
+    assert!(
+        result_a.session.retried > 0,
+        "a 20% fault rate must exercise the retry policy"
+    );
+}
+
+#[test]
+fn transient_faults_cost_budget_not_quality() {
+    let bus = TelemetryBus::disabled();
+    let clean = Tuner::new(resilient_opts(7)).run(&executor("serial"), "serial", &bus);
+    let faulty_ex = FaultyExecutor::new(executor("serial"), FaultPlan::transient(0.05, 0xFA_017));
+    let faulty = Tuner::new(resilient_opts(7)).run(&faulty_ex, "serial", &bus);
+
+    assert!(faulty.session.best_secs <= faulty.session.default_secs);
+    let gap = clean.improvement_percent() - faulty.improvement_percent();
+    assert!(
+        gap < 5.0,
+        "5% transient faults should cost at most a few points \
+         (clean {:+.1}%, faulty {:+.1}%)",
+        clean.improvement_percent(),
+        faulty.improvement_percent()
+    );
+}
+
+#[test]
+fn killed_and_resumed_session_emits_an_identical_trace() {
+    let ex = FaultyExecutor::new(executor("compress"), FaultPlan::transient(0.05, 99));
+    let journal = temp("resume.jsonl");
+    let trace_a = temp("trace-a.jsonl");
+    let trace_b = temp("trace-b.jsonl");
+
+    let mut opts = resilient_opts(5);
+    opts.max_evaluations = Some(24);
+    opts.checkpoint = Some(journal.clone());
+    let bus = TelemetryBus::new().with(Arc::new(JsonlSink::create(&trace_a).expect("trace a")));
+    let original = Tuner::new(opts.clone()).run(&ex, "compress", &bus);
+    let full_journal = std::fs::read_to_string(&journal).expect("journal written");
+
+    // "Kill" the session mid-flight: keep the header plus five trials.
+    let prefix: Vec<&str> = full_journal.lines().take(6).collect();
+    std::fs::write(&journal, prefix.join("\n") + "\n").expect("truncate journal");
+
+    opts.resume = Some(journal.clone());
+    let bus = TelemetryBus::new().with(Arc::new(JsonlSink::create(&trace_b).expect("trace b")));
+    let resumed = Tuner::new(opts).run(&ex, "compress", &bus);
+
+    assert_eq!(resumed.session, original.session);
+    let a = std::fs::read_to_string(&trace_a).expect("read trace a");
+    let b = std::fs::read_to_string(&trace_b).expect("read trace b");
+    assert_eq!(a, b, "resumed trace must be byte-identical to the original");
+    assert!(!a.is_empty());
+    let rebuilt = std::fs::read_to_string(&journal).expect("read rebuilt journal");
+    assert_eq!(rebuilt, full_journal, "checkpoint must rebuild the journal");
+
+    for p in [journal, trace_a, trace_b] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Executor on which every configuration except the canonical default
+/// fails deterministically — the worst case the quarantine circuit
+/// breaker exists for.
+struct HostileExecutor {
+    inner: SimExecutor,
+    allowed: u64,
+}
+
+impl Executor for HostileExecutor {
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
+        let mut m = self.inner.measure(config, seed);
+        if config.fingerprint() != self.allowed {
+            m.error = Some(TrialError::Crash("deterministic segfault".into()));
+        }
+        m
+    }
+
+    fn registry(&self) -> &Registry {
+        self.inner.registry()
+    }
+
+    fn describe(&self) -> String {
+        "hostile".into()
+    }
+}
+
+#[test]
+fn whole_batch_failures_degrade_to_the_incumbent() {
+    let inner = executor("compress");
+    let manipulator = HierarchicalManipulator::new();
+    let mut default_config = JvmConfig::default_for(inner.registry());
+    manipulator.canonicalize(&mut default_config);
+    let ex = HostileExecutor {
+        inner,
+        allowed: default_config.fingerprint(),
+    };
+
+    // fail_fast off: a failing candidate burns all three repeats, so its
+    // fingerprint crosses the quarantine streak in a single evaluation.
+    let opts = TunerOptions::builder()
+        .budget(SimDuration::from_mins(200))
+        .seed(3)
+        .workers(4)
+        .batch(8)
+        .fail_fast(false)
+        .quarantine(QuarantinePolicy::default())
+        .build()
+        .expect("valid options");
+    let result = Tuner::new(opts).run(&ex, "compress", &TelemetryBus::disabled());
+
+    assert_eq!(
+        result.session.best_secs, result.session.default_secs,
+        "with every candidate failing, the incumbent must survive"
+    );
+    assert!(result.session.best_delta.is_empty());
+    assert!(result.session.quarantined > 0, "failures must quarantine");
+    assert!(
+        result.session.evaluations <= 50,
+        "three all-failed batches must end the session, not the budget \
+         (saw {} evaluations)",
+        result.session.evaluations
+    );
+}
