@@ -57,5 +57,6 @@ pub use manipulator::{
 pub use techniques::ensemble::AucBandit;
 pub use techniques::{Technique, TechniqueSet};
 pub use tuner::{
-    ManipulatorKind, OptionsError, Tuner, TunerOptions, TunerOptionsBuilder, TuningResult,
+    ManipulatorKind, OptionsError, SessionError, Tuner, TunerOptions, TunerOptionsBuilder,
+    TuningResult,
 };

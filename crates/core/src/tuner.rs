@@ -94,6 +94,14 @@ pub struct TunerOptions {
     /// of being re-measured, reconstructing budget, cache, RNG and
     /// technique state. Usually the same path as `checkpoint`.
     pub resume: Option<PathBuf>,
+    /// Cooperative suspension flag, checked at batch boundaries. When an
+    /// owner (e.g. a draining daemon) sets it, the session stops cleanly
+    /// after the current batch with [`TuningResult::suspended`] `true`;
+    /// with `checkpoint` set, resuming later completes the session with
+    /// a trace byte-identical to an uninterrupted run. Like `workers`,
+    /// the flag never changes results, so it is excluded from
+    /// [`TunerOptions::signature`].
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for TunerOptions {
@@ -111,6 +119,7 @@ impl Default for TunerOptions {
             quarantine: None,
             checkpoint: None,
             resume: None,
+            stop: None,
         }
     }
 }
@@ -251,6 +260,64 @@ impl std::fmt::Display for OptionsError {
 
 impl std::error::Error for OptionsError {}
 
+/// A tuning-session startup failure: the conditions [`Tuner::run`]
+/// panics on, surfaced as typed errors by [`Tuner::try_run`] so a
+/// long-running daemon can reject a bad session without dying.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The technique name is not in [`TechniqueSet`].
+    UnknownTechnique(String),
+    /// The resume journal could not be read (or is not a journal).
+    ResumeLoad {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying journal failure.
+        error: jtune_harness::JournalError,
+    },
+    /// The resume journal's header pins a different session.
+    ResumeMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// What the journal's header says.
+        journal: Box<SessionHeader>,
+        /// What this session's header is.
+        session: Box<SessionHeader>,
+    },
+    /// The checkpoint journal could not be created.
+    CheckpointCreate {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying filesystem failure.
+        error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownTechnique(name) => write!(f, "unknown technique {name:?}"),
+            SessionError::ResumeLoad { path, error } => {
+                write!(f, "cannot resume from {}: {error}", path.display())
+            }
+            SessionError::ResumeMismatch {
+                path,
+                journal,
+                session,
+            } => write!(
+                f,
+                "refusing to resume from {}: the journal belongs to a different session\n  \
+                 journal: {journal:?}\n  session: {session:?}",
+                path.display(),
+            ),
+            SessionError::CheckpointCreate { path, error } => {
+                write!(f, "cannot create checkpoint at {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Builder for [`TunerOptions`]; see [`TunerOptions::builder`].
 #[derive(Clone, Debug)]
 pub struct TunerOptionsBuilder {
@@ -349,6 +416,13 @@ impl TunerOptionsBuilder {
         self
     }
 
+    /// Suspend cooperatively when `flag` becomes true (checked at batch
+    /// boundaries); see [`TunerOptions::stop`].
+    pub fn stop(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.opts.stop = Some(flag);
+        self
+    }
+
     /// Validate and produce the options.
     pub fn build(self) -> Result<TunerOptions, OptionsError> {
         self.opts.validate()?;
@@ -363,6 +437,10 @@ pub struct TuningResult {
     pub session: SessionRecord,
     /// The best configuration found.
     pub best_config: JvmConfig,
+    /// `true` when the session stopped early because [`TunerOptions::stop`]
+    /// was raised; the record covers only the work done so far and the
+    /// session can be completed later via checkpoint + resume.
+    pub suspended: bool,
 }
 
 impl TuningResult {
@@ -414,11 +492,26 @@ impl Tuner {
     /// resume journal cannot be read or belongs to a different session
     /// (its header pins program, executor, seed, budget and the options
     /// signature), or if the checkpoint journal cannot be created.
+    /// [`Tuner::try_run`] surfaces the same conditions as typed errors.
     pub fn run(&self, executor: &dyn Executor, program: &str, bus: &TelemetryBus) -> TuningResult {
+        self.try_run(executor, program, bus)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Tuner::run`], but session-startup failures (unknown technique,
+    /// unreadable or foreign resume journal, uncreatable checkpoint) come
+    /// back as a [`SessionError`] instead of a panic — the entry point a
+    /// long-running service uses so one bad submission cannot kill it.
+    pub fn try_run(
+        &self,
+        executor: &dyn Executor,
+        program: &str,
+        bus: &TelemetryBus,
+    ) -> Result<TuningResult, SessionError> {
         let opts = &self.opts;
         let manipulator = self.build_manipulator();
         let mut technique: Box<dyn Technique> = TechniqueSet::by_name(&opts.technique)
-            .unwrap_or_else(|| panic!("unknown technique {:?}", opts.technique));
+            .ok_or_else(|| SessionError::UnknownTechnique(opts.technique.clone()))?;
         let budget = Budget::new(opts.budget);
         let mut rng = Xoshiro256pp::seed_from_u64(opts.seed);
         let registry = executor.registry();
@@ -439,22 +532,32 @@ impl Tuner {
         };
         let mut trials_replayed: u64 = 0;
         if let Some(path) = &opts.resume {
-            let (found, entries) = journal::load(path).unwrap_or_else(|e| {
-                panic!("cannot resume from {}: {e}", path.display());
-            });
-            assert!(
-                found == header,
-                "refusing to resume from {}: the journal belongs to a different session\n  \
-                 journal: {found:?}\n  session: {header:?}",
-                path.display(),
-            );
+            // Compact while loading: the journal is rewritten as exactly
+            // the header plus the complete trial prefix, so repeated
+            // kill/resume cycles never accumulate torn tails or dead
+            // bytes — even when this session does not checkpoint again.
+            let (found, entries) =
+                journal::compact(path).map_err(|e| SessionError::ResumeLoad {
+                    path: path.clone(),
+                    error: e,
+                })?;
+            if found != header {
+                return Err(SessionError::ResumeMismatch {
+                    path: path.clone(),
+                    journal: Box::new(found),
+                    session: Box::new(header),
+                });
+            }
             trials_replayed = entries.len() as u64;
             pipeline.set_replay(ReplayLog::new(entries));
         }
         if let Some(path) = &opts.checkpoint {
-            let writer = JournalWriter::create(path, &header).unwrap_or_else(|e| {
-                panic!("cannot create checkpoint at {}: {e}", path.display());
-            });
+            let writer = JournalWriter::create(path, &header).map_err(|e| {
+                SessionError::CheckpointCreate {
+                    path: path.clone(),
+                    error: e,
+                }
+            })?;
             pipeline.set_journal(writer);
         }
 
@@ -532,10 +635,11 @@ impl Tuner {
                     quarantined: 0,
                     trials,
                 };
-                return TuningResult {
+                return Ok(TuningResult {
                     session,
                     best_config: default_config,
-                };
+                    suspended: false,
+                });
             }
         };
         trials.push(TrialRecord {
@@ -625,7 +729,17 @@ impl Tuner {
         // ---- search rounds ----
         let cache_enabled = opts.cache.is_some();
         let mut round: u64 = 0;
+        let mut suspended = false;
         'outer: while budget.has_remaining() {
+            // Cooperative suspension (daemon drain): stop cleanly at a
+            // batch boundary. Everything measured so far is journaled, so
+            // a later resume completes the session byte-identically.
+            if let Some(flag) = &opts.stop {
+                if flag.load(std::sync::atomic::Ordering::SeqCst) {
+                    suspended = true;
+                    break 'outer;
+                }
+            }
             if let Some(cap) = opts.max_evaluations {
                 if eval_index >= cap {
                     break;
@@ -806,20 +920,27 @@ impl Tuner {
             quarantined: quarantined.len() as u64,
             trials,
         };
-        bus.emit(&TraceEvent::SessionFinished {
-            program: program.to_string(),
-            default_secs: default_score,
-            best_secs: best.1,
-            improvement_percent: session.improvement_percent(),
-            evaluations: eval_index,
-            spent_secs: budget.spent().as_secs_f64(),
-            best_delta: session.best_delta.clone(),
-        });
+        if !suspended {
+            // A suspended session is not finished: the terminal event is
+            // withheld so the eventual resumed completion emits it in the
+            // right place and the final trace stays byte-identical to an
+            // uninterrupted run's.
+            bus.emit(&TraceEvent::SessionFinished {
+                program: program.to_string(),
+                default_secs: default_score,
+                best_secs: best.1,
+                improvement_percent: session.improvement_percent(),
+                evaluations: eval_index,
+                spent_secs: budget.spent().as_secs_f64(),
+                best_delta: session.best_delta.clone(),
+            });
+        }
         bus.flush();
-        TuningResult {
+        Ok(TuningResult {
             session,
             best_config: best.0,
-        }
+            suspended,
+        })
     }
 }
 
@@ -1210,6 +1331,99 @@ mod tests {
         let rebuilt = std::fs::read_to_string(&path).unwrap();
         assert_eq!(rebuilt, full, "rebuilt journal should be byte-identical");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn suspended_session_resumes_to_the_same_result() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let ex = SimExecutor::new(startup_workload());
+        let path = temp_journal("suspend");
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(20);
+        opts.checkpoint = Some(path.clone());
+        let original = run_quiet(opts.clone(), &ex);
+        assert!(!original.suspended);
+
+        // Drain: the stop flag is already up, so the session measures the
+        // baseline + primer batch and suspends at the first batch boundary.
+        let flag = Arc::new(AtomicBool::new(true));
+        opts.stop = Some(flag);
+        let drained = run_quiet(opts.clone(), &ex);
+        assert!(drained.suspended);
+        assert!(drained.session.evaluations < original.session.evaluations);
+
+        // Restart: resume the journal with the flag down; the completed
+        // session must be indistinguishable from the uninterrupted one.
+        opts.stop = None;
+        opts.resume = Some(path.clone());
+        let resumed = run_quiet(opts, &ex);
+        assert!(!resumed.suspended);
+        assert_eq!(resumed.session, original.session);
+        assert_eq!(
+            resumed.best_config.fingerprint(),
+            original.best_config.fingerprint()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn twice_resumed_journal_retains_no_dead_bytes() {
+        let ex = SimExecutor::new(startup_workload());
+        let path = temp_journal("compact");
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(20);
+        opts.checkpoint = Some(path.clone());
+        let original = run_quiet(opts.clone(), &ex);
+        let full = std::fs::read_to_string(&path).unwrap();
+
+        // Kill #1: 7 complete trials plus a torn line of dead bytes.
+        let prefix: Vec<&str> = full.lines().take(8).collect();
+        std::fs::write(
+            &path,
+            prefix.join("\n") + "\n{\"type\":\"Trial\",\"fp\":9,\"sc",
+        )
+        .unwrap();
+        opts.resume = Some(path.clone());
+        let first = run_quiet(opts.clone(), &ex);
+        assert_eq!(first.session, original.session);
+
+        // Kill #2: again, on the rebuilt journal.
+        let rebuilt = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rebuilt, full, "checkpoint+resume rebuilds the journal");
+        let prefix: Vec<&str> = rebuilt.lines().take(12).collect();
+        std::fs::write(&path, prefix.join("\n") + "\n{torn").unwrap();
+
+        // Resume #2 without checkpointing: only the on-load compaction
+        // rewrites the file, and it must leave exactly the complete
+        // prefix — the dead tail bytes are gone.
+        opts.checkpoint = None;
+        let second = run_quiet(opts, &ex);
+        assert_eq!(second.session, original.session);
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(compacted, prefix.join("\n") + "\n");
+        assert!(!compacted.contains("{torn"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn try_run_surfaces_session_errors_without_panicking() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.technique = "alchemy".to_string();
+        let err = Tuner::new(opts)
+            .try_run(&ex, "t", &TelemetryBus::disabled())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::UnknownTechnique(_)));
+        assert!(err.to_string().contains("unknown technique"));
+
+        let mut opts = quick_opts();
+        opts.resume = Some(std::path::PathBuf::from("/nonexistent/journal.jsonl"));
+        let err = Tuner::new(opts)
+            .try_run(&ex, "t", &TelemetryBus::disabled())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::ResumeLoad { .. }));
     }
 
     #[test]

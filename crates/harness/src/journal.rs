@@ -235,6 +235,33 @@ pub fn load(
     Ok((header, trials))
 }
 
+/// Compact the journal at `path` in place: load it (discarding any torn
+/// trailing line) and rewrite it as exactly one header plus the complete
+/// trial records — the same bytes [`JournalWriter`] would have produced
+/// for an uninterrupted session. The rewrite goes through a sibling temp
+/// file and an atomic rename, so a crash mid-compaction leaves either
+/// the old journal or the new one, never a hybrid.
+///
+/// Returns what [`load`] would: the header and the surviving trials, so
+/// a resuming session can compact and replay with a single read.
+pub fn compact(
+    path: impl AsRef<Path>,
+) -> Result<(SessionHeader, Vec<(u64, Evaluation)>), JournalError> {
+    let path = path.as_ref();
+    let (header, trials) = load(path)?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".compact");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut writer = JournalWriter::create(&tmp, &header)?;
+        for (fingerprint, evaluation) in &trials {
+            writer.record(*fingerprint, evaluation)?;
+        }
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok((header, trials))
+}
+
 fn parse_header(line: &str) -> Result<SessionHeader, JournalError> {
     let v = json::parse(line).map_err(|e| JournalError::Malformed(format!("header: {e}")))?;
     if v.get("type").and_then(JsonValue::as_str) != Some("JournalHeader") {
@@ -557,6 +584,32 @@ mod tests {
         lines[1] = "{garbage";
         std::fs::write(&path, lines.join("\n")).unwrap();
         assert!(matches!(load(&path), Err(JournalError::Malformed(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_drops_torn_tails_and_is_idempotent() {
+        let path = temp_path("compact");
+        let mut w = JournalWriter::create(&path, &header()).unwrap();
+        w.record(1, &rich_eval()).unwrap();
+        w.record(2, &failed_eval()).unwrap();
+        drop(w);
+        let clean = std::fs::read(&path).unwrap();
+        // A crash tore the last record mid-write: dead bytes on disk.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(b"{\"type\":\"Trial\",\"fp\":3,\"sco");
+        std::fs::write(&path, &torn).unwrap();
+        let (h, trials) = compact(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(trials.len(), 2);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            clean,
+            "compaction must rewrite exactly the complete prefix"
+        );
+        // Compacting an already-clean journal changes nothing.
+        compact(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), clean);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -25,6 +25,10 @@
 //! - [`journal`] — the crash-safe trial journal: write-ahead JSONL
 //!   records of completed evaluations plus replay, so a killed session
 //!   resumes into a byte-identical trace.
+//! - [`memo`] — cross-session measurement memoization: an Arc-shared
+//!   [`MeasurementCache`] keyed by `(executor, config, seed)` and the
+//!   [`MemoExecutor`] wrapper, so a multi-session service reuses paid-for
+//!   simulator runs without perturbing any session's deterministic trace.
 //! - [`cache`] + [`pipeline`] — the adaptive evaluation pipeline: trial
 //!   memoization keyed by configuration fingerprint, within-batch
 //!   duplicate suppression, and racing, all budget-accounted.
@@ -47,6 +51,7 @@ pub mod error;
 pub mod executor;
 pub mod fault;
 pub mod journal;
+pub mod memo;
 pub mod objective;
 pub mod pipeline;
 pub mod pool;
@@ -59,6 +64,7 @@ pub use error::{QuarantinePolicy, TrialError};
 pub use executor::{Executor, Measurement, ProcessExecutor, RunCounters, SimExecutor};
 pub use fault::{Fault, FaultPlan, FaultyExecutor};
 pub use journal::{JournalError, JournalWriter, ReplayLog, SessionHeader};
+pub use memo::{MeasurementCache, MemoExecutor};
 pub use objective::Objective;
 pub use pipeline::{BatchReport, EvalPipeline, PipelineStats, Provenance};
 pub use pool::evaluate_batch;

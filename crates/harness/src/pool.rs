@@ -137,7 +137,9 @@ pub(crate) fn run_selected(
                     seed_for(base_seed, i),
                     baseline,
                 );
-                *slots[k].lock().expect("slot poisoned") = Some(ev);
+                // A panicking sibling poisons the mutex but not the data:
+                // recover rather than cascading the panic into the daemon.
+                *slots[k].lock().unwrap_or_else(|p| p.into_inner()) = Some(ev);
             });
         }
     });
@@ -145,7 +147,7 @@ pub(crate) fn run_selected(
         .into_iter()
         .map(|s| {
             s.into_inner()
-                .expect("slot poisoned")
+                .unwrap_or_else(|p| p.into_inner())
                 .expect("slot unfilled")
         })
         .collect()

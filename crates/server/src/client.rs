@@ -1,0 +1,119 @@
+//! Blocking TCP client for the daemon's JSONL protocol.
+//!
+//! One [`Client`] wraps one connection; each helper sends a request
+//! frame and decodes the reply. Server-side errors surface as
+//! [`WireError`]s with the server's code and message folded into the
+//! message text.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use jtune_util::json::JsonValue;
+
+use crate::session::SessionSpec;
+use crate::wire::{self, Request, WireError};
+
+/// A blocking connection to a tuning daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn read_line(&mut self) -> Result<String, WireError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| WireError::new("io-error", format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(WireError::new(
+                "io-error",
+                "server closed the connection".to_string(),
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Send a request and return the raw ok-frame line verbatim; server
+    /// errors come back as `Err`.
+    pub fn round_trip_raw(&mut self, request: &Request) -> Result<String, WireError> {
+        writeln!(self.writer, "{}", wire::render_request(request))
+            .map_err(|e| WireError::new("io-error", format!("write failed: {e}")))?;
+        let line = self.read_line()?;
+        wire::parse_reply(&line)?;
+        Ok(line)
+    }
+
+    /// Send a request and return the parsed ok frame; server errors
+    /// come back as `Err`.
+    pub fn round_trip(&mut self, request: &Request) -> Result<JsonValue, WireError> {
+        writeln!(self.writer, "{}", wire::render_request(request))
+            .map_err(|e| WireError::new("io-error", format!("write failed: {e}")))?;
+        wire::parse_reply(&self.read_line()?)
+    }
+
+    /// Submit a session; returns its ID.
+    pub fn submit(&mut self, spec: SessionSpec) -> Result<u64, WireError> {
+        let reply = self.round_trip(&Request::Submit(spec))?;
+        reply
+            .get("sid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new("bad-frame", "submit reply without a sid"))
+    }
+
+    /// Fetch status (all sessions, or one); returns the ok frame, whose
+    /// `sessions` field is an array of per-session objects.
+    pub fn status(&mut self, sid: Option<u64>) -> Result<JsonValue, WireError> {
+        self.round_trip(&Request::Status { sid })
+    }
+
+    /// Fetch a completed session's record: the raw JSON line, byte-equal
+    /// to one-shot `jtune tune ... --json` output for the same spec.
+    pub fn result(&mut self, sid: u64) -> Result<String, WireError> {
+        self.round_trip(&Request::Result { sid })?;
+        self.read_line()
+    }
+
+    /// Cancel a session.
+    pub fn cancel(&mut self, sid: u64) -> Result<(), WireError> {
+        self.round_trip(&Request::Cancel { sid }).map(|_| ())
+    }
+
+    /// Stop the daemon; `drain` checkpoints in-flight sessions first.
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), WireError> {
+        self.round_trip(&Request::Shutdown { drain }).map(|_| ())
+    }
+
+    /// Watch a session's live trace: `on_event` receives each raw event
+    /// JSON line until the session ends (the done frame). Returns the
+    /// number of events streamed.
+    pub fn watch(&mut self, sid: u64, mut on_event: impl FnMut(&str)) -> Result<u64, WireError> {
+        self.round_trip(&Request::Watch { sid })?;
+        let mut count = 0u64;
+        loop {
+            let line = self.read_line()?;
+            match wire::unwrap_watch_event(&line) {
+                Some(event) => {
+                    on_event(event);
+                    count += 1;
+                }
+                None => {
+                    // Anything that is not an event line must be the
+                    // done frame (or a server error).
+                    wire::parse_reply(&line)?;
+                    return Ok(count);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `jtune-server`: a concurrent multi-session tuning service.
+//!
+//! The one-shot `jtune tune` command runs a single tuning session to
+//! completion in the foreground. This crate turns the same machinery
+//! into a long-running daemon that many clients share:
+//!
+//! - **Session manager** ([`TuneServer`]): owns any number of
+//!   concurrent tuning sessions, each with its own seed, budget,
+//!   checkpoint journal and telemetry trace, addressed by a stable
+//!   session ID and persisted under a state directory.
+//! - **Fair-share scheduler** ([`FairScheduler`]): multiplexes a fixed
+//!   pool of measurement slots across sessions round-robin, with
+//!   per-session accounting, so one greedy session cannot starve the
+//!   rest.
+//! - **Wire protocol** ([`wire`]): versioned line-delimited JSON over
+//!   TCP — `submit`, `status`, `watch` (streamed events), `result`,
+//!   `cancel`, and `shutdown` with graceful drain — built entirely on
+//!   `jtune-util`'s deterministic JSON support (no external deps).
+//! - **Cross-session sharing**: all sessions measure through one shared
+//!   [`MeasurementCache`](jtune_harness::MeasurementCache), so a
+//!   `(program, config, seed)` measured by one session is free for
+//!   every other; per-session hit counts appear in `status` replies.
+//!
+//! Determinism is the contract throughout: a session's trace and result
+//! are a pure function of its spec, byte-identical to the one-shot
+//! `jtune tune` run with the same flags, no matter how many sessions
+//! run beside it, how the scheduler interleaves them, or whether the
+//! daemon was drained and restarted mid-session.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::Client;
+pub use scheduler::{FairScheduler, GatedExecutor, SchedPermit};
+pub use server::{ServerConfig, SessionHandle, TuneServer};
+pub use session::{ProgressProbe, SessionSpec, SessionState};
+pub use wire::{Request, WireError};

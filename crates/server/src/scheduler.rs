@@ -1,0 +1,265 @@
+//! Fair-share scheduling of measurement slots across sessions.
+//!
+//! Every live measurement in the daemon — regardless of which session's
+//! worker thread wants to run it — first acquires a permit from the
+//! shared [`FairScheduler`]. Permits are granted round-robin over the
+//! sessions that currently have waiters, so a session with a huge batch
+//! or many workers cannot starve a small one: with S sessions waiting it
+//! gets ~1/S of the measurement slots, whatever its own parallelism.
+//!
+//! **Fairness invariant:** between two consecutive grants to session A,
+//! every other session that had a waiter for the whole interval receives
+//! at least one grant.
+//!
+//! The gate changes only *when* a measurement runs, never its inputs
+//! (config and seed) or its result — sessions stay bit-deterministic
+//! under any scheduling interleaving. The scheduler also keeps
+//! per-session accounting (grants and virtual cost) that `status`
+//! surfaces.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+
+use jtune_flags::{JvmConfig, Registry};
+use jtune_harness::{Executor, Measurement};
+use jtune_util::SimDuration;
+
+#[derive(Debug, Default)]
+struct SchedState {
+    free: usize,
+    /// Waiter count per session with at least one waiter.
+    waiting: HashMap<u64, usize>,
+    /// Round-robin rotation of sessions with waiters.
+    rotation: VecDeque<u64>,
+    /// Total permits granted per session.
+    grants: HashMap<u64, u64>,
+    /// Total measured virtual nanoseconds per session.
+    cost_nanos: HashMap<u64, u64>,
+}
+
+/// Round-robin measurement-slot scheduler; see the module docs.
+#[derive(Debug)]
+pub struct FairScheduler {
+    state: Mutex<SchedState>,
+    turn: Condvar,
+}
+
+impl FairScheduler {
+    /// A scheduler with `slots` concurrent measurement permits (at
+    /// least 1).
+    pub fn new(slots: usize) -> FairScheduler {
+        FairScheduler {
+            state: Mutex::new(SchedState {
+                free: slots.max(1),
+                ..SchedState::default()
+            }),
+            turn: Condvar::new(),
+        }
+    }
+
+    /// Block until it is `sid`'s turn and a slot is free; returns a
+    /// permit that releases the slot on drop.
+    pub fn acquire(&self, sid: u64) -> SchedPermit<'_> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *st.waiting.entry(sid).or_insert(0) += 1;
+        if !st.rotation.contains(&sid) {
+            st.rotation.push_back(sid);
+        }
+        loop {
+            if st.free > 0 && st.rotation.front() == Some(&sid) {
+                st.free -= 1;
+                // This session takes its turn: rotate it to the back if
+                // it still has other waiters, drop it otherwise.
+                st.rotation.pop_front();
+                let remaining = {
+                    let w = st.waiting.get_mut(&sid).expect("registered above");
+                    *w -= 1;
+                    *w
+                };
+                if remaining > 0 {
+                    st.rotation.push_back(sid);
+                } else {
+                    st.waiting.remove(&sid);
+                }
+                *st.grants.entry(sid).or_insert(0) += 1;
+                // Wake siblings: the head of the rotation may already
+                // have a free slot to claim.
+                self.turn.notify_all();
+                return SchedPermit { sched: self };
+            }
+            st = self.turn.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.free += 1;
+        drop(st);
+        self.turn.notify_all();
+    }
+
+    /// Record `cost` of measured virtual time against `sid`.
+    pub fn charge(&self, sid: u64, cost: SimDuration) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *st.cost_nanos.entry(sid).or_insert(0) += cost.as_nanos();
+    }
+
+    /// Permits granted to `sid` so far.
+    pub fn grants(&self, sid: u64) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.grants.get(&sid).copied().unwrap_or(0)
+    }
+
+    /// Virtual time measured under `sid`'s permits so far.
+    pub fn charged(&self, sid: u64) -> SimDuration {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        SimDuration::from_nanos(st.cost_nanos.get(&sid).copied().unwrap_or(0))
+    }
+
+    /// Waiters currently blocked for `sid` (used by tests to observe
+    /// the queue deterministically).
+    pub fn waiting(&self, sid: u64) -> usize {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.waiting.get(&sid).copied().unwrap_or(0)
+    }
+}
+
+/// RAII permit from [`FairScheduler::acquire`].
+#[derive(Debug)]
+pub struct SchedPermit<'a> {
+    sched: &'a FairScheduler,
+}
+
+impl Drop for SchedPermit<'_> {
+    fn drop(&mut self) {
+        self.sched.release();
+    }
+}
+
+/// An [`Executor`] wrapper that runs every measurement under a
+/// fair-share permit for its session, and charges the measured virtual
+/// time to the session's scheduler account.
+///
+/// Everything observable delegates to the inner executor; the gate can
+/// only delay a measurement, never change it.
+pub struct GatedExecutor<E> {
+    inner: E,
+    sched: Arc<FairScheduler>,
+    sid: u64,
+}
+
+impl<E: Executor> GatedExecutor<E> {
+    /// Gate `inner` behind `sched` on behalf of session `sid`.
+    pub fn new(inner: E, sched: Arc<FairScheduler>, sid: u64) -> GatedExecutor<E> {
+        GatedExecutor { inner, sched, sid }
+    }
+}
+
+impl<E: Executor> Executor for GatedExecutor<E> {
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
+        let permit = self.sched.acquire(self.sid);
+        let measured = self.inner.measure(config, seed);
+        drop(permit);
+        self.sched.charge(self.sid, measured.time);
+        measured
+    }
+
+    fn registry(&self) -> &Registry {
+        self.inner.registry()
+    }
+
+    fn fixed_overhead(&self) -> SimDuration {
+        self.inner.fixed_overhead()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    fn spin_until(deadline_ms: u64, mut done: impl FnMut() -> bool) {
+        let start = std::time::Instant::now();
+        while !done() {
+            assert!(
+                start.elapsed() < Duration::from_millis(deadline_ms),
+                "condition not reached in {deadline_ms} ms"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn grants_rotate_round_robin_over_waiting_sessions() {
+        let sched = Arc::new(FairScheduler::new(1));
+        // Session 1 holds the only slot while 2, 3 and a second waiter
+        // for 1 queue up behind it.
+        let held = sched.acquire(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        for sid in [2u64, 3, 1] {
+            let sched = Arc::clone(&sched);
+            let order = Arc::clone(&order);
+            // Register waiters one at a time so the rotation order is
+            // deterministic: [2, 3, 1].
+            spin_until(5000, || match sid {
+                2 => true,
+                3 => sched.waiting(2) == 1,
+                _ => sched.waiting(3) == 1,
+            });
+            threads.push(std::thread::spawn(move || {
+                let permit = sched.acquire(sid);
+                order.lock().unwrap().push(sid);
+                drop(permit);
+            }));
+        }
+        spin_until(5000, || sched.waiting(1) == 1);
+        drop(held);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![2, 3, 1]);
+        assert_eq!(sched.grants(1), 2);
+        assert_eq!(sched.grants(2), 1);
+        assert_eq!(sched.grants(3), 1);
+    }
+
+    #[test]
+    fn a_greedy_session_cannot_starve_a_waiting_one() {
+        let sched = Arc::new(FairScheduler::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Session 1 hammers the scheduler in a tight loop.
+        let greedy = {
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    drop(sched.acquire(1));
+                }
+            })
+        };
+        // Session 2 asks exactly five times; each must be served.
+        for _ in 0..5 {
+            drop(sched.acquire(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        greedy.join().unwrap();
+        assert_eq!(sched.grants(2), 5);
+    }
+
+    #[test]
+    fn accounting_tracks_charges_per_session() {
+        let sched = FairScheduler::new(2);
+        sched.charge(7, SimDuration::from_secs_f64(1.5));
+        sched.charge(7, SimDuration::from_secs_f64(0.5));
+        sched.charge(8, SimDuration::from_secs_f64(3.0));
+        assert!((sched.charged(7).as_secs_f64() - 2.0).abs() < 1e-9);
+        assert!((sched.charged(8).as_secs_f64() - 3.0).abs() < 1e-9);
+        assert_eq!(sched.charged(9), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,583 @@
+//! The tuning daemon: session manager, state directory, TCP front-end.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use autotuner_core::Tuner;
+use jtune_harness::{MeasurementCache, MemoExecutor, SimExecutor};
+use jtune_telemetry::{EventStreamSink, JsonlSink, TelemetryBus};
+use jtune_util::json::JsonValue;
+use jtune_workloads::workload_by_name;
+
+use crate::scheduler::{FairScheduler, GatedExecutor};
+use crate::session::{ProgressProbe, SessionSpec, SessionState};
+use crate::wire::{self, Request, WireError};
+
+/// The concrete executor stack a daemon session runs on: the simulator,
+/// gated by the fair-share scheduler, memoized across sessions.
+pub type SessionExecutor = MemoExecutor<GatedExecutor<SimExecutor>>;
+
+/// Replace `path` with `contents` atomically: write a sibling temp file,
+/// then rename it into place. Session records run to megabytes, so a
+/// plain `fs::write` is visible half-written — both to a `result`
+/// request polling for completion and to [`TuneServer::restore`] after a
+/// kill mid-write, which treats the file's existence as the completion
+/// marker. Neither may ever observe a torn prefix.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum resident non-terminal sessions; submissions past this are
+    /// rejected with the `capacity` error code.
+    pub capacity: usize,
+    /// Concurrent measurement slots shared (fairly) by all sessions.
+    pub slots: usize,
+    /// Durable session state: one subdirectory per session holding
+    /// `spec.json`, `journal.jsonl`, `trace.jsonl` and, when finished,
+    /// `result.json`.
+    pub state_dir: PathBuf,
+}
+
+impl ServerConfig {
+    /// Defaults: capacity 8, 4 slots, state under `jtune-state/`.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            capacity: 8,
+            slots: 4,
+            state_dir: state_dir.into(),
+        }
+    }
+}
+
+/// One resident session: spec, live state, control handles.
+pub struct SessionHandle {
+    /// The session's stable ID.
+    pub sid: u64,
+    /// What was submitted.
+    pub spec: SessionSpec,
+    state: Mutex<SessionState>,
+    stop: Arc<AtomicBool>,
+    stream: Arc<EventStreamSink>,
+    probe: Arc<ProgressProbe>,
+    executor: Mutex<Option<Arc<SessionExecutor>>>,
+    join: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SessionHandle {
+    fn new(sid: u64, spec: SessionSpec, state: SessionState) -> SessionHandle {
+        SessionHandle {
+            sid,
+            spec,
+            state: Mutex::new(state),
+            stop: Arc::new(AtomicBool::new(false)),
+            stream: Arc::new(EventStreamSink::new()),
+            probe: Arc::new(ProgressProbe::new()),
+            executor: Mutex::new(None),
+            join: Mutex::new(None),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    fn set_state(&self, next: SessionState) {
+        *self.state.lock().unwrap_or_else(|p| p.into_inner()) = next;
+    }
+
+    /// Trials this session has evaluated so far (live).
+    pub fn trials(&self) -> u64 {
+        self.probe.trials()
+    }
+
+    /// Cross-session cache hits this session has enjoyed so far.
+    pub fn shared_hits(&self) -> u64 {
+        self.executor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map(|e| e.hits())
+            .unwrap_or(0)
+    }
+}
+
+/// The long-running tuning service. One instance owns every session,
+/// the shared measurement memo, and the fair-share scheduler; `serve`
+/// pumps a TCP listener through it.
+pub struct TuneServer {
+    config: ServerConfig,
+    sched: Arc<FairScheduler>,
+    memo: Arc<MeasurementCache>,
+    sessions: Mutex<BTreeMap<u64, Arc<SessionHandle>>>,
+    next_sid: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl TuneServer {
+    /// Build a server and restore any resumable sessions found in the
+    /// state directory (suspended by a drain or orphaned by a crash).
+    pub fn new(config: ServerConfig) -> std::io::Result<Arc<TuneServer>> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let server = Arc::new(TuneServer {
+            sched: Arc::new(FairScheduler::new(config.slots)),
+            memo: Arc::new(MeasurementCache::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_sid: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+        server.restore()?;
+        Ok(server)
+    }
+
+    /// The shared cross-session measurement cache (for tests/metrics).
+    pub fn memo(&self) -> &Arc<MeasurementCache> {
+        &self.memo
+    }
+
+    /// Look up a resident session by ID.
+    pub fn session(&self, sid: u64) -> Option<Arc<SessionHandle>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&sid)
+            .cloned()
+    }
+
+    /// Block until session `sid` reaches a terminal or suspended state
+    /// (joins its thread); returns its final state.
+    pub fn join_session(&self, sid: u64) -> Option<SessionState> {
+        let handle = self.session(sid)?;
+        let join = handle.join.lock().unwrap_or_else(|p| p.into_inner()).take();
+        if let Some(join) = join {
+            let _ = join.join();
+        }
+        Some(handle.state())
+    }
+
+    fn session_dir(&self, sid: u64) -> PathBuf {
+        self.config.state_dir.join(sid.to_string())
+    }
+
+    fn handle_of(&self, sid: u64) -> Result<Arc<SessionHandle>, WireError> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&sid)
+            .cloned()
+            .ok_or_else(|| WireError::new("unknown-session", format!("no session {sid}")))
+    }
+
+    /// Scan the state directory: register finished/cancelled sessions
+    /// for `status`/`result`, and restart every resumable one.
+    fn restore(self: &Arc<Self>) -> std::io::Result<()> {
+        let mut resumable = Vec::new();
+        let mut max_sid = 0u64;
+        for entry in std::fs::read_dir(&self.config.state_dir)? {
+            let entry = entry?;
+            let Some(sid) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            max_sid = max_sid.max(sid);
+            let dir = entry.path();
+            let spec = match std::fs::read_to_string(dir.join("spec.json"))
+                .ok()
+                .and_then(|text| SessionSpec::parse(&text).ok())
+            {
+                Some(spec) => spec,
+                None => continue, // torn submit: no usable spec, skip
+            };
+            let state = if dir.join("cancelled").exists() {
+                SessionState::Cancelled
+            } else if dir.join("result.json").exists() {
+                SessionState::Completed
+            } else {
+                resumable.push(sid);
+                SessionState::Queued
+            };
+            self.sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(sid, Arc::new(SessionHandle::new(sid, spec, state)));
+        }
+        self.next_sid.store(max_sid + 1, Ordering::SeqCst);
+        for sid in resumable {
+            let handle = self.handle_of(sid).expect("registered above");
+            self.spawn_session(handle);
+        }
+        Ok(())
+    }
+
+    /// Admit a new session: validate, persist the spec, start the
+    /// session thread, return the session ID.
+    pub fn submit(self: &Arc<Self>, spec: SessionSpec) -> Result<u64, WireError> {
+        if workload_by_name(&spec.program).is_none() {
+            return Err(WireError::new(
+                "invalid-spec",
+                format!("unknown workload {:?}", spec.program),
+            ));
+        }
+        if let Err(e) = spec.tuner_options().validate() {
+            return Err(WireError::new("invalid-spec", e.to_string()));
+        }
+        let sid = {
+            // Admission control under the registry lock so concurrent
+            // submits cannot both squeeze past the capacity check.
+            let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+            let resident = sessions
+                .values()
+                .filter(|h| !h.state().is_terminal())
+                .count();
+            if resident >= self.config.capacity {
+                return Err(WireError::new(
+                    "capacity",
+                    format!(
+                        "daemon at capacity ({} of {} sessions); retry later",
+                        resident, self.config.capacity
+                    ),
+                ));
+            }
+            let sid = self.next_sid.fetch_add(1, Ordering::SeqCst);
+            sessions.insert(
+                sid,
+                Arc::new(SessionHandle::new(sid, spec.clone(), SessionState::Queued)),
+            );
+            sid
+        };
+        // Persist the spec before acknowledging: a daemon crash after
+        // the ack can always resume the session from disk.
+        let dir = self.session_dir(sid);
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| write_atomic(&dir.join("spec.json"), &(spec.to_json() + "\n")))
+        {
+            let handle = self.handle_of(sid).expect("registered above");
+            handle.set_state(SessionState::Failed(format!("cannot persist spec: {e}")));
+            return Err(WireError::new(
+                "io-error",
+                format!("cannot persist session state: {e}"),
+            ));
+        }
+        let handle = self.handle_of(sid).expect("registered above");
+        self.spawn_session(handle);
+        Ok(sid)
+    }
+
+    /// Start (or restart) a session's tuning thread.
+    fn spawn_session(self: &Arc<Self>, handle: Arc<SessionHandle>) {
+        let dir = self.session_dir(handle.sid);
+        let journal = dir.join("journal.jsonl");
+        let trace = dir.join("trace.jsonl");
+
+        let Some(workload) = workload_by_name(&handle.spec.program) else {
+            handle.set_state(SessionState::Failed(format!(
+                "unknown workload {:?}",
+                handle.spec.program
+            )));
+            return;
+        };
+        let sink = match JsonlSink::create(&trace) {
+            Ok(sink) => sink,
+            Err(e) => {
+                handle.set_state(SessionState::Failed(format!(
+                    "cannot create trace file: {e}"
+                )));
+                return;
+            }
+        };
+        let executor: Arc<SessionExecutor> = Arc::new(MemoExecutor::new(
+            GatedExecutor::new(
+                SimExecutor::new(workload),
+                Arc::clone(&self.sched),
+                handle.sid,
+            ),
+            Arc::clone(&self.memo),
+        ));
+        *handle.executor.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&executor));
+
+        let mut opts = handle.spec.tuner_options();
+        opts.checkpoint = Some(journal.clone());
+        if journal.exists() {
+            opts.resume = Some(journal);
+        }
+        opts.stop = Some(Arc::clone(&handle.stop));
+
+        let mut bus = TelemetryBus::new();
+        bus.add(Arc::new(sink));
+        bus.add(Arc::clone(&handle.stream) as Arc<dyn jtune_telemetry::TuningObserver>);
+        bus.add(Arc::clone(&handle.probe) as Arc<dyn jtune_telemetry::TuningObserver>);
+
+        handle.set_state(SessionState::Running);
+        let thread_handle = Arc::clone(&handle);
+        let result_path = dir.join("result.json");
+        let cancelled_marker = dir.join("cancelled");
+        let join = std::thread::spawn(move || {
+            let program = thread_handle.spec.program.clone();
+            let outcome = Tuner::new(opts).try_run(executor.as_ref(), &program, &bus);
+            let next = match outcome {
+                Ok(result) if result.suspended => {
+                    if cancelled_marker.exists() {
+                        SessionState::Cancelled
+                    } else {
+                        SessionState::Suspended
+                    }
+                }
+                Ok(result) => {
+                    match write_atomic(&result_path, &(result.session.to_json() + "\n")) {
+                        Ok(()) => SessionState::Completed,
+                        Err(e) => SessionState::Failed(format!("cannot persist result: {e}")),
+                    }
+                }
+                Err(e) => SessionState::Failed(e.to_string()),
+            };
+            thread_handle.set_state(next);
+            thread_handle.stream.close();
+        });
+        *handle.join.lock().unwrap_or_else(|p| p.into_inner()) = Some(join);
+    }
+
+    /// Render the status payload (one session, or all in ID order).
+    pub fn status(&self, sid: Option<u64>) -> Result<String, WireError> {
+        let handles: Vec<Arc<SessionHandle>> = match sid {
+            Some(sid) => vec![self.handle_of(sid)?],
+            None => self
+                .sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .values()
+                .cloned()
+                .collect(),
+        };
+        let rows: Vec<String> = handles
+            .iter()
+            .map(|h| {
+                let state = h.state();
+                let mut obj = jtune_util::json::JsonObject::new()
+                    .u64("sid", h.sid)
+                    .str("program", &h.spec.program)
+                    .str("state", state.label());
+                if let SessionState::Failed(why) = &state {
+                    obj = obj.str("error", why);
+                }
+                obj.u64("seed", h.spec.seed)
+                    .u64("budget_mins", h.spec.budget_mins)
+                    .u64("trials", h.probe.trials())
+                    .f64("spent_secs", h.probe.spent_secs())
+                    .u64("shared_hits", h.shared_hits())
+                    .u64("sched_runs", self.sched.grants(h.sid))
+                    .f64("sched_cost_secs", self.sched.charged(h.sid).as_secs_f64())
+                    .finish()
+            })
+            .collect();
+        Ok(wire::ok_frame()
+            .raw("sessions", &jtune_util::json::array_of(&rows))
+            .finish())
+    }
+
+    /// Fetch a completed session's record line (the bytes of
+    /// `result.json`, which equal one-shot `jtune tune --json` output).
+    pub fn result(&self, sid: u64) -> Result<String, WireError> {
+        let handle = self.handle_of(sid)?;
+        let state = handle.state();
+        // Gate on the state, not the file: the record is renamed into
+        // place before the state flips to completed, so a completed
+        // session's `result.json` is always whole.
+        if state != SessionState::Completed {
+            return Err(WireError::new(
+                "no-result",
+                format!("session {sid} has no result (state: {})", state.label()),
+            ));
+        }
+        let path = self.session_dir(sid).join("result.json");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(text.trim_end().to_string()),
+            Err(e) => Err(WireError::new(
+                "io-error",
+                format!("session {sid} result unreadable: {e}"),
+            )),
+        }
+    }
+
+    /// Cancel a session: raise its stop flag and leave a marker so it is
+    /// never resumed.
+    pub fn cancel(&self, sid: u64) -> Result<(), WireError> {
+        let handle = self.handle_of(sid)?;
+        if handle.state().is_terminal() {
+            return Err(WireError::new(
+                "no-session",
+                format!(
+                    "session {sid} already {}; nothing to cancel",
+                    handle.state().label()
+                ),
+            ));
+        }
+        let marker = self.session_dir(sid).join("cancelled");
+        if let Err(e) = std::fs::write(&marker, b"") {
+            return Err(WireError::new(
+                "io-error",
+                format!("cannot mark session cancelled: {e}"),
+            ));
+        }
+        handle.stop.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Begin shutdown. With `drain`, every running session is stopped at
+    /// its next batch boundary and joined — its journal then resumes it
+    /// on the next daemon start. Returns once sessions are down.
+    pub fn shutdown(&self, drain: bool) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let handles: Vec<Arc<SessionHandle>> = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        if drain {
+            for h in &handles {
+                h.stop.store(true, Ordering::SeqCst);
+            }
+            for h in &handles {
+                let join = h.join.lock().unwrap_or_else(|p| p.into_inner()).take();
+                if let Some(join) = join {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+
+    /// Is the server past a shutdown request?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Serve connections until a `shutdown` request arrives. Each
+    /// connection is handled on its own thread; the accept loop itself
+    /// is unblocked by a loopback connection after shutdown.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        let addr = listener.local_addr()?;
+        for conn in listener.incoming() {
+            if self.is_shutting_down() {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let server = Arc::clone(self);
+            std::thread::spawn(move || {
+                let _ = server.handle_connection(stream, addr);
+            });
+        }
+        Ok(())
+    }
+
+    fn handle_connection(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        self_addr: std::net::SocketAddr,
+    ) -> std::io::Result<()> {
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match wire::parse_request(&line) {
+                Ok(r) => r,
+                Err(e) => {
+                    writeln!(writer, "{}", wire::error_frame(&e))?;
+                    continue;
+                }
+            };
+            match request {
+                Request::Submit(spec) => {
+                    let reply = match self.submit(spec) {
+                        Ok(sid) => wire::ok_frame().u64("sid", sid).finish(),
+                        Err(e) => wire::error_frame(&e),
+                    };
+                    writeln!(writer, "{reply}")?;
+                }
+                Request::Status { sid } => {
+                    let reply = match self.status(sid) {
+                        Ok(frame) => frame,
+                        Err(e) => wire::error_frame(&e),
+                    };
+                    writeln!(writer, "{reply}")?;
+                }
+                Request::Result { sid } => match self.result(sid) {
+                    Ok(record) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            wire::ok_frame().str("follows", "record").finish()
+                        )?;
+                        writeln!(writer, "{record}")?;
+                    }
+                    Err(e) => writeln!(writer, "{}", wire::error_frame(&e))?,
+                },
+                Request::Cancel { sid } => {
+                    let reply = match self.cancel(sid) {
+                        Ok(()) => wire::ok_frame().u64("sid", sid).finish(),
+                        Err(e) => wire::error_frame(&e),
+                    };
+                    writeln!(writer, "{reply}")?;
+                }
+                Request::Watch { sid } => {
+                    let handle = match self.handle_of(sid) {
+                        Ok(h) => h,
+                        Err(e) => {
+                            writeln!(writer, "{}", wire::error_frame(&e))?;
+                            continue;
+                        }
+                    };
+                    // Subscribe before checking for terminality so a
+                    // session finishing right now cannot slip between
+                    // the check and the subscription.
+                    let events = handle.stream.subscribe();
+                    writeln!(writer, "{}", wire::ok_frame().u64("sid", sid).finish())?;
+                    if !handle.state().is_terminal() {
+                        for event in events {
+                            writeln!(writer, "{}", wire::watch_event_line(&event))?;
+                        }
+                    }
+                    writeln!(writer, "{}", wire::watch_done_frame())?;
+                }
+                Request::Shutdown { drain } => {
+                    self.shutdown(drain);
+                    writeln!(
+                        writer,
+                        "{}",
+                        wire::ok_frame().bool("draining", drain).finish()
+                    )?;
+                    // Unblock the accept loop so `serve` returns.
+                    let _ = TcpStream::connect(self_addr);
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience for tests and embedders: pull a `u64` payload field out
+/// of a parsed ok frame.
+pub fn frame_u64(frame: &JsonValue, key: &str) -> Option<u64> {
+    frame.get(key).and_then(JsonValue::as_u64)
+}

@@ -1,0 +1,263 @@
+//! Session specs, the lifecycle state machine, and progress probing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use autotuner_core::TunerOptions;
+use jtune_telemetry::{TraceEvent, TuningObserver};
+use jtune_util::json::{self, JsonObject, JsonValue};
+use jtune_util::SimDuration;
+
+/// What a client submits: the session-defining knobs of a tuning run.
+///
+/// A spec maps to [`TunerOptions`] exactly the way the one-shot
+/// `jtune tune` command line does, so a daemon session with a given
+/// `(program, budget, seed)` produces a trace byte-identical to
+/// `jtune tune <program> --budget <mins> --seed <seed> --checkpoint ...`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSpec {
+    /// Workload name (`compress`, `dacapo:h2`, ...).
+    pub program: String,
+    /// Tuning budget in virtual minutes (the paper used 200).
+    pub budget_mins: u64,
+    /// Master seed: the session is a pure function of it.
+    pub seed: u64,
+    /// Optional hard cap on evaluations (small smoke sessions).
+    pub max_evaluations: Option<u64>,
+}
+
+impl SessionSpec {
+    /// A spec with the same defaults as one-shot `jtune tune <program>`.
+    pub fn new(program: impl Into<String>) -> SessionSpec {
+        let defaults = TunerOptions::default();
+        SessionSpec {
+            program: program.into(),
+            budget_mins: defaults.budget.as_mins_f64() as u64,
+            seed: defaults.seed,
+            max_evaluations: None,
+        }
+    }
+
+    /// Append this spec's fields to a JSON object under construction
+    /// (used by both the submit frame and the persisted `spec.json`).
+    pub fn fill(&self, obj: JsonObject) -> JsonObject {
+        let obj = obj
+            .str("program", &self.program)
+            .u64("budget_mins", self.budget_mins)
+            .u64("seed", self.seed);
+        match self.max_evaluations {
+            Some(cap) => obj.u64("max_evals", cap),
+            None => obj,
+        }
+    }
+
+    /// Render as a standalone JSON object (the `spec.json` format).
+    pub fn to_json(&self) -> String {
+        self.fill(JsonObject::new()).finish()
+    }
+
+    /// Read the spec fields out of a parsed JSON object (a submit frame
+    /// or a persisted `spec.json`).
+    pub fn from_json_value(v: &JsonValue) -> Result<SessionSpec, String> {
+        let program = v
+            .get("program")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing 'program'")?
+            .to_string();
+        if program.is_empty() {
+            return Err("'program' must not be empty".to_string());
+        }
+        let defaults = SessionSpec::new(&program);
+        let u64_or = |k: &str, default: u64| -> Result<u64, String> {
+            match v.get(k) {
+                None => Ok(default),
+                Some(raw) => raw.as_u64().ok_or(format!("'{k}' must be an integer")),
+            }
+        };
+        Ok(SessionSpec {
+            budget_mins: u64_or("budget_mins", defaults.budget_mins)?,
+            seed: u64_or("seed", defaults.seed)?,
+            max_evaluations: match v.get("max_evals") {
+                None => None,
+                Some(raw) => Some(raw.as_u64().ok_or("'max_evals' must be an integer")?),
+            },
+            program,
+        })
+    }
+
+    /// Parse a standalone `spec.json` document.
+    pub fn parse(text: &str) -> Result<SessionSpec, String> {
+        SessionSpec::from_json_value(&json::parse(text)?)
+    }
+
+    /// The [`TunerOptions`] this spec denotes — identical to what
+    /// `jtune tune` builds for the equivalent flags. The caller wires in
+    /// the server-side extras (checkpoint path, resume path, stop flag),
+    /// none of which affect the trial stream.
+    pub fn tuner_options(&self) -> TunerOptions {
+        let mut opts = TunerOptions {
+            budget: SimDuration::from_mins(self.budget_mins),
+            seed: self.seed,
+            ..TunerOptions::default()
+        };
+        opts.max_evaluations = self.max_evaluations;
+        opts
+    }
+}
+
+/// Where a session is in its life. Terminal states keep their dirs (and
+/// results) on disk; `Suspended` sessions resume on daemon restart.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionState {
+    /// Accepted, thread not yet running.
+    Queued,
+    /// Tuning loop in flight.
+    Running,
+    /// Stopped at a batch boundary by a drain; resumable from its
+    /// journal.
+    Suspended,
+    /// Finished; `result.json` holds the session record.
+    Completed,
+    /// Cancelled by a client; never resumed.
+    Cancelled,
+    /// Died on a session error (bad spec surfaced late, unreadable
+    /// journal, ...). The message says why.
+    Failed(String),
+}
+
+impl SessionState {
+    /// Stable label for status payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionState::Queued => "queued",
+            SessionState::Running => "running",
+            SessionState::Suspended => "suspended",
+            SessionState::Completed => "completed",
+            SessionState::Cancelled => "cancelled",
+            SessionState::Failed(_) => "failed",
+        }
+    }
+
+    /// Terminal states never change again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            SessionState::Completed | SessionState::Cancelled | SessionState::Failed(_)
+        )
+    }
+}
+
+/// A cheap observer that tracks a session's live progress for `status`
+/// replies: trials evaluated, budget spent, and whether the terminal
+/// event has been seen.
+#[derive(Debug, Default)]
+pub struct ProgressProbe {
+    trials: AtomicU64,
+    spent_secs_bits: AtomicU64,
+    finished: AtomicBool,
+}
+
+impl ProgressProbe {
+    /// Fresh probe.
+    pub fn new() -> ProgressProbe {
+        ProgressProbe::default()
+    }
+
+    /// Evaluations observed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials.load(Ordering::Relaxed)
+    }
+
+    /// Budget spent so far, virtual seconds.
+    pub fn spent_secs(&self) -> f64 {
+        f64::from_bits(self.spent_secs_bits.load(Ordering::Relaxed))
+    }
+
+    /// Has the session emitted its terminal event?
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+impl TuningObserver for ProgressProbe {
+    fn on_event(&self, event: &TraceEvent) {
+        match event {
+            TraceEvent::TrialEvaluated {
+                index,
+                budget_spent_secs,
+                ..
+            } => {
+                self.trials.store(index + 1, Ordering::Relaxed);
+                self.spent_secs_bits
+                    .store(budget_spent_secs.to_bits(), Ordering::Relaxed);
+            }
+            TraceEvent::SessionFinished { .. } => {
+                self.finished.store(true, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_and_defaults_match_the_one_shot_cli() {
+        let spec = SessionSpec {
+            program: "compress".into(),
+            budget_mins: 2,
+            seed: 7,
+            max_evaluations: Some(10),
+        };
+        assert_eq!(SessionSpec::parse(&spec.to_json()).unwrap(), spec);
+
+        let defaults = SessionSpec::new("avrora");
+        let opts = defaults.tuner_options();
+        let baseline = TunerOptions::default();
+        assert_eq!(opts.budget, baseline.budget);
+        assert_eq!(opts.seed, baseline.seed);
+        assert_eq!(opts.signature(), baseline.signature());
+    }
+
+    #[test]
+    fn spec_parsing_rejects_malformed_fields() {
+        assert!(SessionSpec::parse("{}").is_err());
+        assert!(SessionSpec::parse("{\"program\":\"\"}").is_err());
+        assert!(SessionSpec::parse("{\"program\":\"c\",\"seed\":\"x\"}").is_err());
+        assert!(SessionSpec::parse("{\"program\":\"c\",\"budget_mins\":-1}").is_err());
+    }
+
+    #[test]
+    fn probe_tracks_trials_and_completion() {
+        let probe = ProgressProbe::new();
+        probe.on_event(&TraceEvent::TrialEvaluated {
+            index: 4,
+            technique: "t".into(),
+            delta: vec![],
+            repeat_secs: vec![],
+            score_secs: Some(1.0),
+            cost_secs: 2.0,
+            budget_spent_secs: 12.5,
+            gc_pause_total_ms: None,
+            gc_collections: None,
+            jit_compile_ms: None,
+            jit_compiles: None,
+            error: None,
+            error_kind: None,
+        });
+        assert_eq!(probe.trials(), 5);
+        assert!((probe.spent_secs() - 12.5).abs() < 1e-12);
+        assert!(!probe.finished());
+        probe.on_event(&TraceEvent::SessionFinished {
+            program: "p".into(),
+            default_secs: 2.0,
+            best_secs: 1.0,
+            improvement_percent: 50.0,
+            evaluations: 5,
+            spent_secs: 12.5,
+            best_delta: vec![],
+        });
+        assert!(probe.finished());
+    }
+}

@@ -1,0 +1,293 @@
+//! The wire protocol: versioned, line-delimited JSON frames.
+//!
+//! Every request and reply is one JSON object on one line, carrying the
+//! protocol version in `"v"`. Requests name their operation in `"op"`;
+//! replies carry `"ok": true` plus an op-specific payload, or
+//! `"ok": false` with a stable machine-readable `"code"` and a human
+//! `"error"` message. Frames are rendered with `jtune-util`'s
+//! deterministic JSON writer, so a given reply is always the same bytes.
+//!
+//! Operations:
+//!
+//! | op         | request fields                         | reply payload |
+//! |------------|----------------------------------------|---------------|
+//! | `submit`   | session spec (see [`SessionSpec`])     | `sid`         |
+//! | `status`   | optional `sid`                         | `sessions` array |
+//! | `watch`    | `sid`                                  | event stream (see below) |
+//! | `result`   | `sid`                                  | record line (see below) |
+//! | `cancel`   | `sid`                                  | `sid`         |
+//! | `shutdown` | optional `drain` (default `true`)      | `draining`    |
+//!
+//! Two replies carry raw payload lines so clients (and CI scripts) can
+//! byte-compare them against one-shot `jtune` output without a lossy
+//! re-serialisation round trip:
+//!
+//! - `result`: an ok frame with `"follows": "record"`, then the
+//!   [`SessionRecord`](jtune_harness::SessionRecord) JSON on its own line.
+//! - `watch`: an ok frame, then each trace event wrapped as
+//!   `{"v":1,"event":<event>}` ([`WATCH_EVENT_PREFIX`]), terminated by a
+//!   `{"v":1,"ok":true,"done":true}` frame when the session ends.
+
+use jtune_util::json::{self, JsonObject, JsonValue};
+
+use crate::session::SessionSpec;
+
+/// Protocol version spoken by this build. Requests with any other
+/// version are rejected with code `bad-version`.
+pub const VERSION: u64 = 1;
+
+/// Exact prefix of a streamed watch-event line; the raw
+/// [`TraceEvent`](jtune_telemetry::TraceEvent) JSON sits between this
+/// prefix and a closing `}`.
+pub const WATCH_EVENT_PREFIX: &str = "{\"v\":1,\"event\":";
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a new tuning session.
+    Submit(SessionSpec),
+    /// Report sessions (all, or one when `sid` is given).
+    Status {
+        /// Restrict to one session.
+        sid: Option<u64>,
+    },
+    /// Stream a running session's trace events.
+    Watch {
+        /// The session to watch.
+        sid: u64,
+    },
+    /// Fetch a completed session's record.
+    Result {
+        /// The session whose record to fetch.
+        sid: u64,
+    },
+    /// Cancel a session (stops it at the next batch boundary).
+    Cancel {
+        /// The session to cancel.
+        sid: u64,
+    },
+    /// Stop the daemon; with `drain`, suspend + checkpoint in-flight
+    /// sessions first so a restart resumes them.
+    Shutdown {
+        /// Checkpoint in-flight sessions before exiting.
+        drain: bool,
+    },
+}
+
+/// A structured protocol error: a stable code plus a human message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error with the given stable code.
+    pub fn new(code: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parse one request line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let v = json::parse(line).map_err(|e| WireError::new("bad-frame", e))?;
+    match v.get("v").and_then(JsonValue::as_u64) {
+        Some(VERSION) => {}
+        Some(other) => {
+            return Err(WireError::new(
+                "bad-version",
+                format!("protocol version {other} not supported (this daemon speaks {VERSION})"),
+            ))
+        }
+        None => return Err(WireError::new("bad-frame", "missing 'v' field")),
+    }
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| WireError::new("bad-frame", "missing 'op' field"))?;
+    let sid_of = |v: &JsonValue| -> Result<u64, WireError> {
+        v.get("sid")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new("bad-frame", format!("op {op:?} requires a 'sid'")))
+    };
+    match op {
+        "submit" => {
+            let spec =
+                SessionSpec::from_json_value(&v).map_err(|e| WireError::new("invalid-spec", e))?;
+            Ok(Request::Submit(spec))
+        }
+        "status" => Ok(Request::Status {
+            sid: v.get("sid").and_then(JsonValue::as_u64),
+        }),
+        "watch" => Ok(Request::Watch { sid: sid_of(&v)? }),
+        "result" => Ok(Request::Result { sid: sid_of(&v)? }),
+        "cancel" => Ok(Request::Cancel { sid: sid_of(&v)? }),
+        "shutdown" => Ok(Request::Shutdown {
+            drain: v
+                .get("drain")
+                .map(|d| d.as_bool().unwrap_or(true))
+                .unwrap_or(true),
+        }),
+        other => Err(WireError::new(
+            "unknown-op",
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Render a request (the client side of [`parse_request`]).
+pub fn render_request(request: &Request) -> String {
+    let base = JsonObject::new().u64("v", VERSION);
+    match request {
+        Request::Submit(spec) => spec.fill(base.str("op", "submit")).finish(),
+        Request::Status { sid } => {
+            let o = base.str("op", "status");
+            match sid {
+                Some(s) => o.u64("sid", *s).finish(),
+                None => o.finish(),
+            }
+        }
+        Request::Watch { sid } => base.str("op", "watch").u64("sid", *sid).finish(),
+        Request::Result { sid } => base.str("op", "result").u64("sid", *sid).finish(),
+        Request::Cancel { sid } => base.str("op", "cancel").u64("sid", *sid).finish(),
+        Request::Shutdown { drain } => base.str("op", "shutdown").bool("drain", *drain).finish(),
+    }
+}
+
+/// Start an ok reply frame; callers add their payload and `finish()`.
+pub fn ok_frame() -> JsonObject {
+    JsonObject::new().u64("v", VERSION).bool("ok", true)
+}
+
+/// Render a complete error reply frame.
+pub fn error_frame(error: &WireError) -> String {
+    JsonObject::new()
+        .u64("v", VERSION)
+        .bool("ok", false)
+        .str("code", error.code)
+        .str("error", &error.message)
+        .finish()
+}
+
+/// Render one watch-stream event line wrapping the raw event JSON.
+pub fn watch_event_line(event_json: &str) -> String {
+    format!("{WATCH_EVENT_PREFIX}{event_json}}}")
+}
+
+/// Extract the raw event JSON from a watch-stream line, if it is one.
+pub fn unwrap_watch_event(line: &str) -> Option<&str> {
+    line.strip_prefix(WATCH_EVENT_PREFIX)?.strip_suffix('}')
+}
+
+/// The terminal frame of a watch stream.
+pub fn watch_done_frame() -> String {
+    ok_frame().bool("done", true).finish()
+}
+
+/// Parse a reply line; `Ok` gives the parsed frame, `Err` a decoded
+/// server error (or a `bad-frame` error for unparseable lines).
+pub fn parse_reply(line: &str) -> Result<JsonValue, WireError> {
+    let v = json::parse(line).map_err(|e| WireError::new("bad-frame", e))?;
+    if v.get("ok").and_then(JsonValue::as_bool) == Some(false) {
+        let message = v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        // The code survives only as part of the message (codes are
+        // 'static on the server side); clients match on message text or
+        // treat any server error uniformly.
+        let code = v.get("code").and_then(JsonValue::as_str).unwrap_or("error");
+        return Err(WireError::new("server-error", format!("{code}: {message}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(SessionSpec {
+                program: "compress".into(),
+                budget_mins: 2,
+                seed: 7,
+                max_evaluations: Some(12),
+            }),
+            Request::Status { sid: None },
+            Request::Status { sid: Some(3) },
+            Request::Watch { sid: 1 },
+            Request::Result { sid: 2 },
+            Request::Cancel { sid: 9 },
+            Request::Shutdown { drain: false },
+        ];
+        for req in reqs {
+            let line = render_request(&req);
+            assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn structured_errors_have_stable_codes() {
+        assert_eq!(parse_request("not json").unwrap_err().code, "bad-frame");
+        assert_eq!(
+            parse_request("{\"op\":\"status\"}").unwrap_err().code,
+            "bad-frame"
+        );
+        assert_eq!(
+            parse_request("{\"v\":2,\"op\":\"status\"}")
+                .unwrap_err()
+                .code,
+            "bad-version"
+        );
+        assert_eq!(
+            parse_request("{\"v\":1,\"op\":\"fly\"}").unwrap_err().code,
+            "unknown-op"
+        );
+        assert_eq!(
+            parse_request("{\"v\":1,\"op\":\"watch\"}")
+                .unwrap_err()
+                .code,
+            "bad-frame"
+        );
+        assert_eq!(
+            parse_request("{\"v\":1,\"op\":\"submit\"}")
+                .unwrap_err()
+                .code,
+            "invalid-spec"
+        );
+    }
+
+    #[test]
+    fn watch_event_lines_unwrap_to_the_exact_payload() {
+        let event = "{\"type\":\"RoundProposed\",\"round\":3}";
+        let line = watch_event_line(event);
+        assert_eq!(unwrap_watch_event(&line), Some(event));
+        assert_eq!(unwrap_watch_event(&watch_done_frame()), None);
+    }
+
+    #[test]
+    fn error_frames_decode_as_errors() {
+        let line = error_frame(&WireError::new("capacity", "daemon full"));
+        let err = parse_reply(&line).unwrap_err();
+        assert!(err.message.contains("capacity"));
+        assert!(err.message.contains("daemon full"));
+        let ok = parse_reply(&ok_frame().u64("sid", 4).finish()).unwrap();
+        assert_eq!(ok.get("sid").and_then(JsonValue::as_u64), Some(4));
+    }
+}

@@ -1,0 +1,321 @@
+//! Integration tests for the tuning daemon.
+//!
+//! The contract under test throughout: a daemon session's trace and
+//! result are byte-identical to the one-shot `jtune tune` run with the
+//! same spec — regardless of concurrent sessions, cross-session cache
+//! hits, or a drain/restart in the middle.
+
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use autotuner_core::Tuner;
+use jtune_harness::SimExecutor;
+use jtune_server::{Client, ServerConfig, SessionSpec, SessionState, TuneServer};
+use jtune_telemetry::{JsonlSink, TelemetryBus};
+use jtune_util::json::JsonValue;
+use jtune_workloads::workload_by_name;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jtune-server-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn spec(program: &str, budget_mins: u64, seed: u64) -> SessionSpec {
+    SessionSpec {
+        program: program.to_string(),
+        budget_mins,
+        seed,
+        max_evaluations: None,
+    }
+}
+
+/// Run the spec one-shot, the way `jtune tune <program> --budget ...
+/// --seed ... --checkpoint ... --trace ...` would; returns the trace
+/// bytes and the session record line.
+fn one_shot_reference(dir: &Path, spec: &SessionSpec) -> (String, String) {
+    let trace = dir.join("trace.jsonl");
+    let mut opts = spec.tuner_options();
+    opts.checkpoint = Some(dir.join("journal.jsonl"));
+    let mut bus = TelemetryBus::new();
+    bus.add(Arc::new(JsonlSink::create(&trace).expect("trace sink")));
+    let executor = SimExecutor::new(workload_by_name(&spec.program).expect("workload"));
+    let result = Tuner::new(opts).run(&executor, &spec.program, &bus);
+    (
+        std::fs::read_to_string(&trace).expect("read trace"),
+        result.session.to_json(),
+    )
+}
+
+fn read_session_files(state_dir: &Path, sid: u64) -> (String, String) {
+    let dir = state_dir.join(sid.to_string());
+    (
+        std::fs::read_to_string(dir.join("trace.jsonl")).expect("session trace"),
+        std::fs::read_to_string(dir.join("result.json"))
+            .expect("session result")
+            .trim_end()
+            .to_string(),
+    )
+}
+
+#[test]
+fn concurrent_sessions_match_one_shot_traces_byte_for_byte() {
+    let state = temp_dir("concurrent");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+
+    // Three concurrent sessions; the third repeats the first's spec so
+    // it runs entirely off the shared measurement cache.
+    let specs = [
+        spec("compress", 30, 11),
+        spec("crypto.aes", 30, 22),
+        spec("compress", 30, 11),
+    ];
+    let sids: Vec<u64> = specs
+        .iter()
+        .map(|s| server.submit(s.clone()).expect("submit"))
+        .collect();
+    for &sid in &sids {
+        assert_eq!(
+            server.join_session(sid),
+            Some(SessionState::Completed),
+            "session {sid} did not complete"
+        );
+    }
+
+    for (spec, &sid) in specs.iter().zip(&sids) {
+        let reference = temp_dir(&format!("concurrent-ref-{sid}"));
+        let (want_trace, want_record) = one_shot_reference(&reference, spec);
+        let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+        assert_eq!(got_trace, want_trace, "session {sid} trace diverged");
+        assert_eq!(got_record, want_record, "session {sid} record diverged");
+        let _ = std::fs::remove_dir_all(&reference);
+    }
+
+    // The duplicate session measured nothing new: every one of its
+    // trials hit the shared cache, and the hits are visible per-session.
+    let twin = server.session(sids[2]).expect("twin handle");
+    assert!(
+        twin.shared_hits() > 0 || server.session(sids[0]).expect("first").shared_hits() > 0,
+        "identical specs should share measurements across sessions"
+    );
+    assert!(server.memo().hits() > 0, "shared cache saw no hits");
+
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn drained_sessions_resume_on_restart_with_identical_traces() {
+    let state = temp_dir("drain");
+    let session_spec = spec("compress", 2000, 77);
+
+    let reference = temp_dir("drain-ref");
+    let (want_trace, want_record) = one_shot_reference(&reference, &session_spec);
+
+    // Start, let it make some progress, then drain the daemon.
+    let sid = {
+        let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+        let sid = server.submit(session_spec.clone()).expect("submit");
+        let handle = server.session(sid).expect("handle");
+        let start = Instant::now();
+        while handle.trials() < 2 {
+            assert!(
+                start.elapsed() < Duration::from_secs(60),
+                "session made no progress"
+            );
+            std::thread::yield_now();
+        }
+        server.shutdown(true);
+        assert_eq!(
+            handle.state(),
+            SessionState::Suspended,
+            "drain should suspend the in-flight session"
+        );
+        sid
+    };
+
+    // A fresh daemon over the same state dir resumes it to completion.
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("restart");
+    assert_eq!(server.join_session(sid), Some(SessionState::Completed));
+
+    let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+    assert_eq!(got_trace, want_trace, "resumed trace diverged");
+    assert_eq!(got_record, want_record, "resumed record diverged");
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn submissions_past_capacity_are_rejected() {
+    let state = temp_dir("capacity");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.capacity = 0;
+    let server = TuneServer::new(config).expect("server");
+    let err = server.submit(spec("compress", 1, 1)).expect_err("rejected");
+    assert_eq!(err.code, "capacity");
+
+    let unknown = server
+        .submit(spec("no-such-workload", 1, 1))
+        .expect_err("rejected");
+    assert_eq!(unknown.code, "invalid-spec");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn cancelled_sessions_stop_and_stay_cancelled_across_restarts() {
+    let state = temp_dir("cancel");
+    let sid = {
+        let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+        // A budget this large runs for a long while; cancel lands first.
+        let sid = server
+            .submit(spec("compress", 1_000_000, 5))
+            .expect("submit");
+        server.cancel(sid).expect("cancel");
+        let final_state = server.join_session(sid).expect("join");
+        assert!(
+            matches!(
+                final_state,
+                SessionState::Cancelled | SessionState::Completed
+            ),
+            "unexpected state {final_state:?}"
+        );
+        assert_eq!(server.cancel(sid).expect_err("terminal").code, "no-session");
+        sid
+    };
+    assert!(state
+        .join("state")
+        .join(sid.to_string())
+        .join("cancelled")
+        .exists());
+
+    // Restart: the cancelled session is registered, never resumed.
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("restart");
+    assert_eq!(
+        server.session(sid).expect("restored").state(),
+        SessionState::Cancelled
+    );
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn partially_written_results_are_never_served() {
+    let state = temp_dir("torn-result");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+    // A budget this large keeps the session running while we probe.
+    let sid = server
+        .submit(spec("compress", 1_000_000, 9))
+        .expect("submit");
+
+    // Simulate the instant the session thread is half-way through
+    // persisting its multi-megabyte record: bytes on disk, state not yet
+    // completed. `result` must keep answering no-result rather than
+    // serving a truncated record.
+    std::fs::write(
+        state
+            .join("state")
+            .join(sid.to_string())
+            .join("result.json"),
+        "{\"program\":\"compress\",\"trunc",
+    )
+    .expect("plant torn record");
+    let err = server.result(sid).expect_err("result while running");
+    assert_eq!(err.code, "no-result");
+
+    server.cancel(sid).expect("cancel");
+    server.join_session(sid);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn tcp_round_trip_submit_watch_status_result_shutdown() {
+    let state = temp_dir("tcp");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    let session_spec = spec("compress", 10, 99);
+    let mut client = Client::connect(addr).expect("connect");
+    let sid = client.submit(session_spec.clone()).expect("submit");
+
+    // Watch streams events (possibly zero if the session already
+    // finished) and terminates with the done frame.
+    let mut saw = Vec::new();
+    client
+        .watch(sid, |event| saw.push(event.to_string()))
+        .expect("watch");
+    for event in &saw {
+        assert!(event.starts_with('{'), "event not JSON: {event}");
+    }
+
+    server.join_session(sid);
+    let status = client.status(Some(sid)).expect("status");
+    let sessions = status
+        .get("sessions")
+        .and_then(JsonValue::as_array)
+        .expect("rows");
+    assert_eq!(sessions.len(), 1);
+    assert_eq!(
+        sessions[0].get("state").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+
+    // The raw record line equals the one-shot record for the same spec.
+    let reference = temp_dir("tcp-ref");
+    let (_, want_record) = one_shot_reference(&reference, &session_spec);
+    assert_eq!(client.result(sid).expect("result"), want_record);
+
+    // Structured errors for unknown sessions.
+    let err = client.result(9999).expect_err("unknown sid");
+    assert!(err.message.contains("unknown-session"), "{err}");
+
+    client.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn malformed_frames_get_structured_error_replies() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let state = temp_dir("badframe");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |line: &str| -> String {
+        writeln!(writer, "{line}").expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim_end().to_string()
+    };
+
+    for (line, code) in [
+        ("this is not json", "\"code\":\"bad-frame\""),
+        ("{\"v\":9,\"op\":\"status\"}", "\"code\":\"bad-version\""),
+        ("{\"v\":1,\"op\":\"levitate\"}", "\"code\":\"unknown-op\""),
+        ("{\"v\":1,\"op\":\"submit\"}", "\"code\":\"invalid-spec\""),
+    ] {
+        let reply = ask(line);
+        assert!(reply.contains("\"ok\":false"), "{reply}");
+        assert!(reply.contains(code), "{reply}");
+    }
+
+    let mut client = Client::connect(addr).expect("connect 2");
+    client.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&state);
+}

@@ -51,7 +51,9 @@ impl TuningObserver for JsonlSink {
         if event.is_ephemeral() {
             return;
         }
-        let mut out = self.out.lock().expect("sink poisoned");
+        // A panic on another observer thread poisons the lock but leaves
+        // the writer usable; recover instead of panicking the caller.
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
         let line = event.to_json();
         if writeln!(out, "{line}").is_err() {
             self.write_errors
@@ -60,15 +62,13 @@ impl TuningObserver for JsonlSink {
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("sink poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        if let Ok(mut out) = self.out.lock() {
-            let _ = out.flush();
-        }
+        let _ = self.out.lock().unwrap_or_else(|p| p.into_inner()).flush();
     }
 }
 

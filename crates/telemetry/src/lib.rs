@@ -39,6 +39,7 @@ pub mod jsonl;
 pub mod metrics;
 pub mod progress;
 pub mod recorder;
+pub mod stream;
 
 pub use bus::{TelemetryBus, TuningObserver};
 pub use event::TraceEvent;
@@ -46,3 +47,4 @@ pub use jsonl::JsonlSink;
 pub use metrics::MetricsRegistry;
 pub use progress::ProgressReporter;
 pub use recorder::MemoryRecorder;
+pub use stream::EventStreamSink;

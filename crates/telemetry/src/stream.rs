@@ -1,0 +1,124 @@
+//! Live event streaming: fan events out to in-process subscribers.
+//!
+//! [`EventStreamSink`] is the bridge between a session's
+//! [`crate::TelemetryBus`] and anything that wants to *watch* the
+//! session as it runs — the `jtune-server` `watch` operation streams
+//! these lines straight onto client connections. Each subscriber gets
+//! its own unbounded channel of rendered JSON lines; a subscriber that
+//! goes away (drops its receiver) is pruned on the next event, so a
+//! dead client can never stall the tuning loop.
+//!
+//! Unlike [`crate::JsonlSink`], the stream forwards *ephemeral* events
+//! too (e.g. `SessionResumed`): a live watcher wants to know the
+//! session just resumed even though that fact must not appear in the
+//! durable trace.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+use crate::bus::TuningObserver;
+use crate::event::TraceEvent;
+
+/// Fans rendered trace-event lines out to any number of subscribers.
+#[derive(Debug, Default)]
+pub struct EventStreamSink {
+    subscribers: Mutex<Vec<Sender<String>>>,
+}
+
+impl EventStreamSink {
+    /// New sink with no subscribers.
+    pub fn new() -> EventStreamSink {
+        EventStreamSink::default()
+    }
+
+    /// Subscribe to every event from now on. Dropping the receiver
+    /// unsubscribes implicitly.
+    pub fn subscribe(&self) -> Receiver<String> {
+        let (tx, rx) = channel();
+        self.subscribers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(tx);
+        rx
+    }
+
+    /// Drop every subscriber, ending their streams. Watchers see the
+    /// channel disconnect, which is the "session over" signal.
+    pub fn close(&self) {
+        self.subscribers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// Current live subscriber count (dead ones are pruned lazily, on
+    /// the next event).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+}
+
+impl TuningObserver for EventStreamSink {
+    fn on_event(&self, event: &TraceEvent) {
+        let mut subs = self.subscribers.lock().unwrap_or_else(|p| p.into_inner());
+        if subs.is_empty() {
+            return;
+        }
+        let line = event.to_json();
+        // send() fails only when the receiver is gone: prune in place.
+        subs.retain(|tx| tx.send(line.clone()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(round: u64) -> TraceEvent {
+        TraceEvent::RoundProposed {
+            round,
+            technique: "t".into(),
+            candidates: 1,
+        }
+    }
+
+    #[test]
+    fn subscribers_receive_rendered_lines_in_order() {
+        let sink = EventStreamSink::new();
+        let rx = sink.subscribe();
+        sink.on_event(&event(0));
+        sink.on_event(&event(1));
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"round\":0"));
+        assert!(lines[1].contains("\"round\":1"));
+    }
+
+    #[test]
+    fn ephemeral_events_are_streamed_live() {
+        let sink = EventStreamSink::new();
+        let rx = sink.subscribe();
+        sink.on_event(&TraceEvent::SessionResumed { trials_replayed: 3 });
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("SessionResumed"));
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_and_close_disconnects() {
+        let sink = EventStreamSink::new();
+        let rx1 = sink.subscribe();
+        let rx2 = sink.subscribe();
+        drop(rx1);
+        sink.on_event(&event(0));
+        assert_eq!(sink.subscriber_count(), 1);
+        sink.close();
+        sink.on_event(&event(1));
+        // rx2 got the event before close, then the disconnect.
+        assert_eq!(rx2.try_iter().count(), 1);
+        assert!(rx2.recv().is_err());
+    }
+}

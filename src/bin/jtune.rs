@@ -12,6 +12,8 @@
 //!                       [--checkpoint PATH] [--resume PATH]
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
+//! jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
+//! jtune client <submit|status|watch|result|cancel|shutdown> [...]
 //! jtune simulate <workload> [-XX:... flags]
 //! jtune flags [substring]
 //! jtune tree
@@ -32,6 +34,8 @@ fn main() {
         Some((cmd, rest)) => match cmd.as_str() {
             "tune" => cmd_tune(rest),
             "suite" => cmd_suite(rest),
+            "serve" => cmd_serve(rest),
+            "client" => cmd_client(rest),
             "simulate" => cmd_simulate(rest),
             "flags" => cmd_flags(rest),
             "tree" => cmd_tree(),
@@ -65,6 +69,11 @@ USAGE:
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
                         [... same tuning/fault flags as tune ...]
                         [--trace PATH] [--progress] [--json]
+  jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
+  jtune client submit <workload> [--budget MIN] [--seed N] [--max-evals N]
+  jtune client status [SID] | watch <SID> | result <SID> | cancel <SID>
+  jtune client shutdown [--no-drain]
+  jtune client ... [--addr HOST:PORT]   (default 127.0.0.1:7171)
   jtune simulate <workload> [--gclog] [-XX:...flag ...]
   jtune flags [substring]      list the 750-flag registry
   jtune tree                   print the flag hierarchy + space statistics
@@ -95,10 +104,80 @@ sessions are byte-identical to earlier releases.
 Observability: --trace PATH streams one JSON event per trial to PATH
 (JSON Lines, bit-deterministic for a given seed), --progress reports
 live tuning progress on stderr, --json prints the final session
-record(s) as JSON on stdout instead of the human-readable summary."
+record(s) as JSON on stdout instead of the human-readable summary.
+
+Serving: `jtune serve` runs many tuning sessions concurrently behind a
+line-delimited JSON protocol over TCP, sharing measurements across
+sessions and scheduling them fairly; each session's trace and result
+stay byte-identical to the one-shot `jtune tune` run with the same
+spec. `shutdown` (default) drains: in-flight sessions checkpoint and
+resume when a daemon restarts on the same --state-dir."
     );
     code
 }
+
+/// Reject flags the command does not define, flags missing their value,
+/// and surplus positional arguments. `allowed` pairs each flag with
+/// whether it consumes a value.
+fn reject_unknown_flags(
+    cmd: &str,
+    rest: &[String],
+    max_positionals: usize,
+    allowed: &[(&str, bool)],
+) -> Result<(), String> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        if let Some((name, takes_value)) = allowed.iter().find(|(n, _)| arg.as_str() == *n) {
+            if *takes_value {
+                if i + 1 >= rest.len() {
+                    return Err(format!("{cmd}: flag {name} requires a value"));
+                }
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if arg.starts_with('-') {
+            return Err(format!("{cmd}: unknown flag {arg:?}"));
+        }
+        positionals += 1;
+        if positionals > max_positionals {
+            return Err(format!("{cmd}: unexpected argument {arg:?}"));
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Every flag `tune` (and `suite`, which shares the set) accepts.
+const TUNE_FLAGS: &[(&str, bool)] = &[
+    ("--budget", true),
+    ("--seed", true),
+    ("--technique", true),
+    ("--manipulator", true),
+    ("--minimize", false),
+    ("--workers", true),
+    ("--batch", true),
+    ("--cache", false),
+    ("--cache-recharge", true),
+    ("--racing", false),
+    ("--min-repeats", true),
+    ("--no-fail-fast", false),
+    ("--retries", true),
+    ("--retry-backoff", true),
+    ("--quarantine", true),
+    ("--deadline", true),
+    ("--fault-rate", true),
+    ("--fault-seed", true),
+    ("--checkpoint", true),
+    ("--resume", true),
+    ("--trace", true),
+    ("--progress", false),
+    ("--json", false),
+];
 
 fn parse_opt(rest: &[String], name: &str) -> Option<String> {
     rest.iter()
@@ -106,19 +185,29 @@ fn parse_opt(rest: &[String], name: &str) -> Option<String> {
         .and_then(|i| rest.get(i + 1).cloned())
 }
 
-fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
-    let mut b = TunerOptions::builder();
-    if let Some(raw) = parse_opt(rest, "--budget") {
-        match raw.parse() {
-            Ok(mins) => b = b.budget(SimDuration::from_mins(mins)),
-            Err(_) => eprintln!("warning: --budget {raw:?} is not a number of minutes; ignoring"),
-        }
+/// Parse a flag's value, turning a malformed one into a hard error (the
+/// CLI exits non-zero rather than silently tuning with a default).
+fn parse_value<T: std::str::FromStr>(
+    rest: &[String],
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    match parse_opt(rest, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name} {raw:?} is not {what}")),
     }
-    if let Some(raw) = parse_opt(rest, "--seed") {
-        match raw.parse() {
-            Ok(seed) => b = b.seed(seed),
-            Err(_) => eprintln!("warning: --seed {raw:?} is not an integer; using default"),
-        }
+}
+
+fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, String> {
+    let mut b = TunerOptions::builder();
+    if let Some(mins) = parse_value(rest, "--budget", "a whole number of minutes")? {
+        b = b.budget(SimDuration::from_mins(mins));
+    }
+    if let Some(seed) = parse_value(rest, "--seed", "an integer")? {
+        b = b.seed(seed);
     }
     if let Some(t) = parse_opt(rest, "--technique") {
         b = b.technique(t);
@@ -128,43 +217,24 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
             "hier" | "hierarchical" => ManipulatorKind::Hierarchical,
             "flat" => ManipulatorKind::Flat,
             "subset" | "gc-subset" => ManipulatorKind::GcSubset,
-            other => {
-                eprintln!("unknown manipulator {other:?}; using hierarchical");
-                ManipulatorKind::Hierarchical
-            }
+            other => return Err(format!("unknown manipulator {other:?} (hier|flat|subset)")),
         });
     }
-    if let Some(raw) = parse_opt(rest, "--workers") {
-        match raw.parse() {
-            Ok(n) => b = b.workers(n),
-            Err(_) => eprintln!("warning: --workers {raw:?} is not an integer; using default"),
-        }
+    if let Some(n) = parse_value(rest, "--workers", "an integer")? {
+        b = b.workers(n);
     }
-    if let Some(raw) = parse_opt(rest, "--batch") {
-        match raw.parse() {
-            Ok(n) => b = b.batch(n),
-            Err(_) => eprintln!("warning: --batch {raw:?} is not an integer; using default"),
-        }
+    if let Some(n) = parse_value(rest, "--batch", "an integer")? {
+        b = b.batch(n);
     }
     // --cache-recharge implies --cache: asking for a hit-recharge fraction
     // only makes sense with the trial cache on.
-    let recharge = parse_opt(rest, "--cache-recharge").map(|raw| {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("warning: --cache-recharge {raw:?} is not a number; using 0");
-            0.0
-        })
-    });
+    let recharge = parse_value(rest, "--cache-recharge", "a number")?;
     if rest.iter().any(|a| a == "--cache") || recharge.is_some() {
         b = b.cache(CachePolicy {
             recharge: recharge.unwrap_or(0.0),
         });
     }
-    let min_repeats = parse_opt(rest, "--min-repeats").map(|raw| {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("warning: --min-repeats {raw:?} is not an integer; using default");
-            Racing::default().min_repeats
-        })
-    });
+    let min_repeats = parse_value(rest, "--min-repeats", "an integer")?;
     if rest.iter().any(|a| a == "--racing") || min_repeats.is_some() {
         let mut racing = Racing::default();
         if let Some(m) = min_repeats {
@@ -177,18 +247,8 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
     }
     // --retry-backoff implies --retries: a backoff factor only matters
     // with the retry policy on (mirrors --cache-recharge / --cache).
-    let retries = parse_opt(rest, "--retries").map(|raw| {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("warning: --retries {raw:?} is not an integer; using default");
-            RetryPolicy::default().max_retries
-        })
-    });
-    let backoff = parse_opt(rest, "--retry-backoff").map(|raw| {
-        raw.parse().unwrap_or_else(|_| {
-            eprintln!("warning: --retry-backoff {raw:?} is not a number; using default");
-            RetryPolicy::default().backoff
-        })
-    });
+    let retries = parse_value(rest, "--retries", "an integer")?;
+    let backoff = parse_value(rest, "--retry-backoff", "a number")?;
     if retries.is_some() || backoff.is_some() {
         let mut retry = RetryPolicy::default();
         if let Some(n) = retries {
@@ -199,11 +259,8 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
         }
         b = b.retry(retry);
     }
-    if let Some(raw) = parse_opt(rest, "--quarantine") {
-        match raw.parse() {
-            Ok(streak) => b = b.quarantine(QuarantinePolicy { streak }),
-            Err(_) => eprintln!("warning: --quarantine {raw:?} is not an integer; ignoring"),
-        }
+    if let Some(streak) = parse_value(rest, "--quarantine", "an integer")? {
+        b = b.quarantine(QuarantinePolicy { streak });
     }
     if let Some(path) = parse_opt(rest, "--checkpoint") {
         b = b.checkpoint(path);
@@ -211,36 +268,33 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, OptionsError> {
     if let Some(path) = parse_opt(rest, "--resume") {
         b = b.resume(path);
     }
-    b.build()
+    b.build().map_err(|e| e.to_string())
 }
 
 /// Build the simulator executor for a workload, honoring `--deadline`
 /// (a virtual per-run watchdog timeout in seconds).
-fn sim_executor_from(workload: Workload, rest: &[String]) -> SimExecutor {
+fn sim_executor_from(workload: Workload, rest: &[String]) -> Result<SimExecutor, String> {
     let mut sim = SimExecutor::new(workload);
     if let Some(raw) = parse_opt(rest, "--deadline") {
         match raw.parse::<f64>() {
             Ok(secs) if secs > 0.0 => sim = sim.with_deadline(SimDuration::from_secs_f64(secs)),
-            _ => eprintln!("warning: --deadline {raw:?} is not a positive number; ignoring"),
+            _ => return Err(format!("--deadline {raw:?} is not a positive number")),
         }
     }
-    sim
+    Ok(sim)
 }
 
 /// Parse `--fault-rate` / `--fault-seed` into an injection plan, or
 /// `None` when fault injection is off (the default).
-fn fault_plan_from(rest: &[String]) -> Option<FaultPlan> {
-    let rate: f64 = parse_opt(rest, "--fault-rate")?.parse().ok().or_else(|| {
-        eprintln!("warning: --fault-rate is not a number; fault injection off");
-        None
-    })?;
+fn fault_plan_from(rest: &[String]) -> Result<Option<FaultPlan>, String> {
+    let Some(rate) = parse_value::<f64>(rest, "--fault-rate", "a number")? else {
+        return Ok(None);
+    };
     if rate <= 0.0 {
-        return None;
+        return Ok(None);
     }
-    let seed = parse_opt(rest, "--fault-seed")
-        .and_then(|raw| raw.parse().ok())
-        .unwrap_or(0xFA_017);
-    Some(FaultPlan::transient(rate, seed))
+    let seed = parse_value(rest, "--fault-seed", "an integer")?.unwrap_or(0xFA_017);
+    Ok(Some(FaultPlan::transient(rate, seed)))
 }
 
 /// Build the telemetry bus requested on the command line: `--trace PATH`
@@ -262,6 +316,10 @@ fn telemetry_from(rest: &[String]) -> TelemetryBus {
 }
 
 fn cmd_tune(rest: &[String]) -> i32 {
+    if let Err(e) = reject_unknown_flags("tune", rest, 1, TUNE_FLAGS) {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
     let Some(name) = rest.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("tune: missing workload name");
         return 2;
@@ -273,8 +331,8 @@ fn cmd_tune(rest: &[String]) -> i32 {
     let opts = match tuner_options_from(rest) {
         Ok(opts) => opts,
         Err(e) => {
-            eprintln!("tune: invalid options: {e}");
-            return 2;
+            eprintln!("tune: invalid options: {e}\n");
+            return usage(2);
         }
     };
     let minimize = rest.iter().any(|a| a == "--minimize");
@@ -288,14 +346,31 @@ fn cmd_tune(rest: &[String]) -> i32 {
     }
     // Fault injection wraps the simulator for the *tuning* run only;
     // flag-impact attribution below always measures fault-free.
-    let tuning_executor: Box<dyn Executor> = match fault_plan_from(rest) {
-        Some(plan) => Box::new(FaultyExecutor::new(
-            sim_executor_from(workload.clone(), rest),
-            plan,
-        )),
-        None => Box::new(sim_executor_from(workload.clone(), rest)),
+    let built = (|| -> Result<Box<dyn Executor>, String> {
+        Ok(match fault_plan_from(rest)? {
+            Some(plan) => Box::new(FaultyExecutor::new(
+                sim_executor_from(workload.clone(), rest)?,
+                plan,
+            )),
+            None => Box::new(sim_executor_from(workload.clone(), rest)?),
+        })
+    })();
+    let tuning_executor = match built {
+        Ok(executor) => executor,
+        Err(e) => {
+            eprintln!("tune: invalid options: {e}\n");
+            return usage(2);
+        }
     };
-    let result = Tuner::new(opts).run(tuning_executor.as_ref(), name, &bus);
+    // Session errors (unreadable or mismatched --resume journal, bad
+    // --technique) are operator errors, not bugs: report and exit 1.
+    let result = match Tuner::new(opts).try_run(tuning_executor.as_ref(), name, &bus) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("tune: {e}");
+            return 1;
+        }
+    };
     if json_out {
         println!("{}", result.session.to_json());
         return 0;
@@ -309,7 +384,7 @@ fn cmd_tune(rest: &[String]) -> i32 {
     );
     if minimize {
         println!("\nmeasuring marginal flag impacts (reverting one at a time)...");
-        let impact_executor = sim_executor_from(workload, rest);
+        let impact_executor = sim_executor_from(workload, rest).expect("validated above");
         let impacts = flag_impact(
             &impact_executor,
             &result.best_config,
@@ -338,6 +413,10 @@ fn cmd_tune(rest: &[String]) -> i32 {
 }
 
 fn cmd_suite(rest: &[String]) -> i32 {
+    if let Err(e) = reject_unknown_flags("suite", rest, 1, TUNE_FLAGS) {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
     let Some(which) = rest.first() else {
         eprintln!("suite: expected `spec` or `dacapo`");
         return 2;
@@ -353,8 +432,8 @@ fn cmd_suite(rest: &[String]) -> i32 {
     let base = match tuner_options_from(rest) {
         Ok(opts) => opts,
         Err(e) => {
-            eprintln!("suite: invalid options: {e}");
-            return 2;
+            eprintln!("suite: invalid options: {e}\n");
+            return usage(2);
         }
     };
     let json_out = rest.iter().any(|a| a == "--json");
@@ -371,11 +450,27 @@ fn cmd_suite(rest: &[String]) -> i32 {
         let name = workload.name.clone();
         let mut opts = base.clone();
         opts.seed ^= (i as u64 + 1) << 32;
-        let executor: Box<dyn Executor> = match fault_plan_from(rest) {
-            Some(plan) => Box::new(FaultyExecutor::new(sim_executor_from(workload, rest), plan)),
-            None => Box::new(sim_executor_from(workload, rest)),
+        let built = (|| -> Result<Box<dyn Executor>, String> {
+            let sim = sim_executor_from(workload, rest)?;
+            Ok(match fault_plan_from(rest)? {
+                Some(plan) => Box::new(FaultyExecutor::new(sim, plan)),
+                None => Box::new(sim),
+            })
+        })();
+        let executor = match built {
+            Ok(executor) => executor,
+            Err(e) => {
+                eprintln!("suite: invalid options: {e}\n");
+                return usage(2);
+            }
         };
-        let result = Tuner::new(opts).run(executor.as_ref(), &name, &bus);
+        let result = match Tuner::new(opts).try_run(executor.as_ref(), &name, &bus) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("suite: {e}");
+                return 1;
+            }
+        };
         improvements.push(result.improvement_percent());
         if json_out {
             records.push(result.session.to_json());
@@ -401,6 +496,175 @@ fn cmd_suite(rest: &[String]) -> i32 {
         s.max()
     );
     0
+}
+
+fn cmd_serve(rest: &[String]) -> i32 {
+    const SERVE_FLAGS: &[(&str, bool)] = &[
+        ("--listen", true),
+        ("--capacity", true),
+        ("--slots", true),
+        ("--state-dir", true),
+    ];
+    if let Err(e) = reject_unknown_flags("serve", rest, 0, SERVE_FLAGS) {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
+    let listen = parse_opt(rest, "--listen").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let state_dir = parse_opt(rest, "--state-dir").unwrap_or_else(|| "jtune-state".to_string());
+    let mut config = hotspot_autotuner::server::ServerConfig::new(state_dir);
+    match parse_value(rest, "--capacity", "an integer") {
+        Ok(Some(n)) => config.capacity = n,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("serve: invalid options: {e}\n");
+            return usage(2);
+        }
+    }
+    match parse_value(rest, "--slots", "an integer") {
+        Ok(Some(n)) => config.slots = n,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("serve: invalid options: {e}\n");
+            return usage(2);
+        }
+    }
+    let listener = match std::net::TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot listen on {listen}: {e}");
+            return 1;
+        }
+    };
+    let server = match hotspot_autotuner::server::TuneServer::new(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot open state dir: {e}");
+            return 1;
+        }
+    };
+    // Print the bound address (matters with `--listen 127.0.0.1:0`) so
+    // scripts and tests can discover the ephemeral port.
+    match listener.local_addr() {
+        Ok(addr) => {
+            use std::io::Write as _;
+            println!("listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("serve: cannot read bound address: {e}");
+            return 1;
+        }
+    }
+    match server.serve(listener) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_client(rest: &[String]) -> i32 {
+    use hotspot_autotuner::server::{Client, SessionSpec};
+
+    let Some(sub) = rest.first() else {
+        eprintln!("client: expected submit|status|watch|result|cancel|shutdown");
+        return 2;
+    };
+    let rest = &rest[1..];
+    const CLIENT_FLAGS: &[(&str, bool)] = &[
+        ("--addr", true),
+        ("--budget", true),
+        ("--seed", true),
+        ("--max-evals", true),
+        ("--no-drain", false),
+    ];
+    // submit takes a workload positional; status/watch/result/cancel a
+    // session ID; shutdown none.
+    let positionals = usize::from(sub != "shutdown");
+    if let Err(e) = reject_unknown_flags(&format!("client {sub}"), rest, positionals, CLIENT_FLAGS)
+    {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
+    let addr = parse_opt(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("client: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let positional = rest.first().filter(|a| !a.starts_with("--"));
+    let sid_arg = || -> Result<u64, String> {
+        positional
+            .ok_or_else(|| format!("client {sub}: missing session ID"))?
+            .parse()
+            .map_err(|_| format!("client {sub}: session ID must be an integer"))
+    };
+    let outcome = match sub.as_str() {
+        "submit" => (|| -> Result<(), String> {
+            let program = positional.ok_or("client submit: missing workload name")?;
+            let mut spec = SessionSpec::new(program.clone());
+            if let Some(mins) = parse_value(rest, "--budget", "a whole number of minutes")? {
+                spec.budget_mins = mins;
+            }
+            if let Some(seed) = parse_value(rest, "--seed", "an integer")? {
+                spec.seed = seed;
+            }
+            spec.max_evaluations = parse_value(rest, "--max-evals", "an integer")?;
+            let sid = client.submit(spec).map_err(|e| e.to_string())?;
+            println!("{sid}");
+            Ok(())
+        })(),
+        "status" => (|| -> Result<(), String> {
+            let sid = match positional {
+                Some(_) => Some(sid_arg()?),
+                None => None,
+            };
+            let line = client
+                .round_trip_raw(&hotspot_autotuner::server::Request::Status { sid })
+                .map_err(|e| e.to_string())?;
+            println!("{line}");
+            Ok(())
+        })(),
+        "watch" => sid_arg().and_then(|sid| {
+            client
+                .watch(sid, |event| println!("{event}"))
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }),
+        "result" => sid_arg().and_then(|sid| {
+            client
+                .result(sid)
+                .map(|record| println!("{record}"))
+                .map_err(|e| e.to_string())
+        }),
+        "cancel" => sid_arg().and_then(|sid| {
+            client
+                .cancel(sid)
+                .map(|()| println!("cancelled {sid}"))
+                .map_err(|e| e.to_string())
+        }),
+        "shutdown" => {
+            let drain = !rest.iter().any(|a| a == "--no-drain");
+            client
+                .shutdown(drain)
+                .map(|()| println!("shutdown acknowledged (drain: {drain})"))
+                .map_err(|e| e.to_string())
+        }
+        other => {
+            eprintln!("client: unknown subcommand {other:?}\n");
+            return usage(2);
+        }
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("client {sub}: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_simulate(rest: &[String]) -> i32 {

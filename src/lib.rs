@@ -32,6 +32,11 @@
 //!   to pluggable sinks (JSONL traces, metrics registry, live progress).
 //! - [`tuner`] — the auto-tuner: search techniques, the AUC-bandit
 //!   ensemble, and hierarchical/flat/subset manipulators.
+//! - [`server`] — the multi-session tuning daemon: concurrent sessions
+//!   over a line-delimited JSON TCP protocol, fair-share measurement
+//!   scheduling, cross-session measurement sharing, and graceful
+//!   drain/resume — with every session byte-identical to its one-shot
+//!   equivalent.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +71,7 @@ pub use jtune_flags as flags;
 pub use jtune_flagtree as flagtree;
 pub use jtune_harness as harness;
 pub use jtune_jvmsim as jvmsim;
+pub use jtune_server as server;
 pub use jtune_telemetry as telemetry;
 pub use jtune_util as util;
 pub use jtune_workloads as workloads;
@@ -73,8 +79,8 @@ pub use jtune_workloads as workloads;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use autotuner_core::{
-        tuner::ManipulatorKind, OptionsError, Tuner, TunerOptions, TunerOptionsBuilder,
-        TuningResult,
+        tuner::ManipulatorKind, OptionsError, SessionError, Tuner, TunerOptions,
+        TunerOptionsBuilder, TuningResult,
     };
     pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
     pub use jtune_flagtree::hotspot_tree;
@@ -84,6 +90,7 @@ pub mod prelude {
         SimExecutor, TrialCache, TrialError,
     };
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
+    pub use jtune_server::{Client, ServerConfig, SessionSpec, SessionState, TuneServer};
     pub use jtune_telemetry::{
         JsonlSink, MemoryRecorder, MetricsRegistry, ProgressReporter, TelemetryBus, TraceEvent,
         TuningObserver,

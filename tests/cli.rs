@@ -1,0 +1,120 @@
+//! CLI argument validation: unknown flags and malformed values must
+//! exit non-zero with usage instead of warning and tuning anyway.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn jtune(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_jtune"))
+        .args(args)
+        .output()
+        .expect("run jtune")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jtune-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn unknown_top_level_flag_exits_nonzero_with_usage() {
+    let out = jtune(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("USAGE"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn unknown_tune_flag_exits_nonzero_with_usage() {
+    let out = jtune(&["tune", "compress", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr_of(&out);
+    assert!(err.contains("unknown flag"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn malformed_values_exit_nonzero() {
+    for args in [
+        ["tune", "compress", "--budget", "nope"],
+        ["tune", "compress", "--seed", "3.5"],
+        ["tune", "compress", "--workers", "many"],
+        ["tune", "compress", "--deadline", "-1"],
+        ["suite", "spec", "--budget", "nope"],
+    ] {
+        let out = jtune(&args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert!(
+            stderr_of(&out).contains("invalid options") || stderr_of(&out).contains("is not"),
+            "args: {args:?}, stderr: {}",
+            stderr_of(&out)
+        );
+    }
+}
+
+#[test]
+fn flag_missing_its_value_exits_nonzero() {
+    let out = jtune(&["tune", "compress", "--budget"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("requires a value"),
+        "{}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn conflicting_resume_signature_exits_nonzero() {
+    let dir = temp_dir("resume-conflict");
+    let journal = dir.join("journal.jsonl");
+    let journal = journal.to_str().expect("utf8 path");
+
+    let first = jtune(&[
+        "tune",
+        "compress",
+        "--budget",
+        "1",
+        "--seed",
+        "5",
+        "--checkpoint",
+        journal,
+        "--json",
+    ]);
+    assert_eq!(first.status.code(), Some(0), "{}", stderr_of(&first));
+
+    // Same journal, different budget: the session signature conflicts
+    // and the tuner must refuse rather than silently diverge.
+    let second = jtune(&[
+        "tune", "compress", "--budget", "2", "--seed", "5", "--resume", journal,
+    ]);
+    assert_eq!(second.status.code(), Some(1), "{}", stderr_of(&second));
+    assert!(
+        stderr_of(&second).contains("refusing to resume"),
+        "{}",
+        stderr_of(&second)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_from_a_missing_journal_exits_nonzero() {
+    let out = jtune(&[
+        "tune",
+        "compress",
+        "--budget",
+        "1",
+        "--resume",
+        "/nonexistent/journal.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("cannot resume"),
+        "{}",
+        stderr_of(&out)
+    );
+}
