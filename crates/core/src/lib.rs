@@ -51,10 +51,12 @@ pub mod techniques;
 pub mod tuner;
 
 pub use analysis::{flag_impact, minimized_config, FlagImpact, ImpactOptions};
+pub use jtune_model::ModelPolicy;
 pub use manipulator::{
     ConfigManipulator, FlatManipulator, HierarchicalManipulator, SubsetManipulator,
 };
 pub use techniques::ensemble::AucBandit;
+pub use techniques::portfolio::Portfolio;
 pub use techniques::{Technique, TechniqueSet};
 pub use tuner::{
     ManipulatorKind, OptionsError, SessionError, Tuner, TunerOptions, TunerOptionsBuilder,

@@ -77,9 +77,11 @@ impl AucBandit {
         }
     }
 
-    /// Bandit over the standard roster.
+    /// Bandit over the solo-technique roster (not [`TechniqueSet::standard`],
+    /// which now includes the portfolio — a composite arm inside the
+    /// ensemble would recurse and change long-pinned traces).
     pub fn standard() -> Self {
-        Self::new(TechniqueSet::standard())
+        Self::new(TechniqueSet::ensemble_arms())
     }
 
     fn select(&self) -> usize {
@@ -128,6 +130,12 @@ impl Technique for AucBandit {
         match self.router.get(&config.fingerprint()) {
             Some(&i) => self.arms[i].technique.name(),
             None => self.name(),
+        }
+    }
+
+    fn retract(&mut self, config: &JvmConfig) {
+        if let Some(i) = self.router.remove(&config.fingerprint()) {
+            self.arms[i].technique.retract(config);
         }
     }
 

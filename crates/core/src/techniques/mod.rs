@@ -19,6 +19,7 @@ pub mod genetic;
 pub mod hillclimb;
 pub mod ils;
 pub mod neldermead;
+pub mod portfolio;
 pub mod random;
 
 use jtune_flags::{Domain, FlagId, FlagValue, JvmConfig};
@@ -74,14 +75,27 @@ pub trait Technique: Send {
         let _ = config;
         self.name()
     }
+
+    /// Forget a proposal that will never be evaluated: the surrogate
+    /// screened it out, so no [`Technique::feedback`] call will follow.
+    /// Stateless techniques need no action (the default). Composite
+    /// techniques drop their routing entry and delegate inward;
+    /// techniques holding per-proposal state (Nelder-Mead's pending
+    /// vertices) release it so screening cannot leak memory or
+    /// misattribute a later identical fingerprint.
+    fn retract(&mut self, config: &JvmConfig) {
+        let _ = config;
+    }
 }
 
 /// The standard technique roster (what the ensemble runs over).
 pub struct TechniqueSet;
 
 impl TechniqueSet {
-    /// All individual techniques, fresh.
-    pub fn standard() -> Vec<Box<dyn Technique>> {
+    /// The simple techniques the AUC-bandit ensemble runs over. The
+    /// ensemble and the portfolio are built *from* this roster, so it
+    /// must never contain a composite (that would recurse).
+    pub fn ensemble_arms() -> Vec<Box<dyn Technique>> {
         vec![
             Box::new(random::RandomSearch::new()),
             Box::new(hillclimb::HillClimb::new()),
@@ -93,8 +107,24 @@ impl TechniqueSet {
         ]
     }
 
+    /// Every registered technique, fresh, in [`TechniqueSet::names`]
+    /// order (the solo roster plus the composite portfolio).
+    pub fn standard() -> Vec<Box<dyn Technique>> {
+        let mut all = Self::ensemble_arms();
+        all.push(Box::new(portfolio::Portfolio::standard()));
+        all
+    }
+
     /// Construct one technique by name (experiment E8 runs them solo).
+    ///
+    /// A `model:` prefix names the surrogate-screened variant of the
+    /// inner technique: it constructs identically (screening lives in
+    /// the tuner, not the technique), and the tuner enables the default
+    /// model policy when it sees the prefix.
     pub fn by_name(name: &str) -> Option<Box<dyn Technique>> {
+        if let Some(inner) = name.strip_prefix("model:") {
+            return Self::by_name(inner);
+        }
         Some(match name {
             "random" => Box::new(random::RandomSearch::new()),
             "hillclimb" => Box::new(hillclimb::HillClimb::new()),
@@ -104,11 +134,14 @@ impl TechniqueSet {
             "diffevo" => Box::new(diffevo::DifferentialEvolution::new()),
             "neldermead" => Box::new(neldermead::NelderMead::new()),
             "ensemble" => Box::new(ensemble::AucBandit::standard()),
+            "portfolio" => Box::new(portfolio::Portfolio::standard()),
             _ => return None,
         })
     }
 
-    /// Names of the solo techniques.
+    /// Names of the registered techniques, in [`TechniqueSet::standard`]
+    /// order (the composite ensemble is additionally reachable through
+    /// [`TechniqueSet::by_name`]).
     pub fn names() -> &'static [&'static str] {
         &[
             "random",
@@ -118,6 +151,7 @@ impl TechniqueSet {
             "genetic",
             "diffevo",
             "neldermead",
+            "portfolio",
         ]
     }
 }
@@ -249,6 +283,61 @@ mod tests {
         }
         assert!(TechniqueSet::by_name("ensemble").is_some());
         assert!(TechniqueSet::by_name("nope").is_none());
-        assert_eq!(TechniqueSet::standard().len(), TechniqueSet::names().len());
+        // The registry is closed: standard() and names() must agree
+        // element by element, so adding a technique to one without the
+        // other (or reordering) fails here, not in an experiment.
+        let standard = TechniqueSet::standard();
+        assert_eq!(standard.len(), TechniqueSet::names().len());
+        for (technique, name) in standard.iter().zip(TechniqueSet::names()) {
+            assert_eq!(technique.name(), *name);
+        }
+        // The portfolio's arms are the solo roster plus the ensemble —
+        // and the solo roster must stay composite-free (a composite arm
+        // would recurse on construction).
+        for arm in TechniqueSet::ensemble_arms() {
+            assert!(
+                !matches!(arm.name(), "ensemble" | "portfolio"),
+                "composite {} in ensemble_arms()",
+                arm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn model_prefix_resolves_to_the_inner_technique() {
+        for name in TechniqueSet::names() {
+            let wrapped = format!("model:{name}");
+            let t = TechniqueSet::by_name(&wrapped).expect("model-wrapped variant");
+            assert_eq!(t.name(), *name);
+        }
+        assert_eq!(
+            TechniqueSet::by_name("model:ensemble").unwrap().name(),
+            "ensemble"
+        );
+        assert!(TechniqueSet::by_name("model:nope").is_none());
+        assert!(TechniqueSet::by_name("model:").is_none());
+    }
+
+    #[test]
+    fn default_retract_is_a_no_op_and_stateful_retract_forgets() {
+        use crate::manipulator::HierarchicalManipulator;
+        use jtune_util::Xoshiro256pp;
+
+        let m = HierarchicalManipulator::new();
+        let st = SearchState {
+            manipulator: &m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.2,
+            reuse_fraction: 0.0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        for mut t in TechniqueSet::standard() {
+            let c = t.propose(&st, &mut rng);
+            // Retract then feed back: the feedback must be ignored (no
+            // panic, no misattribution) for every registered technique.
+            t.retract(&c);
+            t.feedback(&c, Some(1.0), &st);
+        }
     }
 }

@@ -161,6 +161,12 @@ impl Technique for NelderMead {
             *ws = 0.5 * (*ws + best_score.min(*ws));
         }
     }
+
+    fn retract(&mut self, config: &JvmConfig) {
+        // A screened-out vertex never joins the simplex; drop its pending
+        // coordinates so the map cannot grow without bound.
+        self.pending.remove(&config.fingerprint());
+    }
 }
 
 #[cfg(test)]

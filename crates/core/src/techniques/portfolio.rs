@@ -1,0 +1,256 @@
+//! The bandit portfolio over the full technique roster.
+//!
+//! Where the AUC-bandit ensemble ([`super::ensemble`]) interleaves the
+//! seven solo techniques proposal-by-proposal, the portfolio plays one
+//! level up: its arms are the seven solo techniques *plus a whole
+//! ensemble*, and it reallocates proposal slots across them with an
+//! Exp3-style softmax over recent observed reward (relative improvement
+//! over the incumbent best). The meta-level bet, following "Tuning the
+//! Tuner", is that reward-proportional allocation across heterogeneous
+//! searchers beats both any single searcher and a fixed interleaving.
+//!
+//! Determinism: all randomness comes from the tuner-owned RNG passed to
+//! [`Technique::propose`], arm order is fixed, and ties break on arm
+//! index — two sessions with the same seed make the same allocations.
+
+use std::collections::{HashMap, VecDeque};
+
+use jtune_flags::JvmConfig;
+
+use crate::manipulator::RngDyn;
+use crate::techniques::{ensemble::AucBandit, SearchState, Technique, TechniqueSet};
+
+/// Sliding reward window per arm.
+const WINDOW: usize = 40;
+/// Softmax temperature over mean windowed reward.
+const TEMPERATURE: f64 = 0.02;
+/// Uniform-exploration mixture (the Exp3 gamma).
+const GAMMA: f64 = 0.15;
+
+struct Arm {
+    technique: Box<dyn Technique>,
+    /// Recent rewards in `[0, 1]`: relative improvement over the best
+    /// config known when the proposal was scored.
+    rewards: VecDeque<f64>,
+    uses: u64,
+}
+
+impl Arm {
+    fn mean_reward(&self) -> f64 {
+        if self.rewards.is_empty() {
+            return 0.0;
+        }
+        self.rewards.iter().sum::<f64>() / self.rewards.len() as f64
+    }
+}
+
+/// Reward-proportional slot allocator over the eight standard searchers.
+pub struct Portfolio {
+    arms: Vec<Arm>,
+    /// Which arm proposed which pending config (by fingerprint).
+    router: HashMap<u64, usize>,
+}
+
+impl Portfolio {
+    /// Portfolio over a custom roster.
+    pub fn new(techniques: Vec<Box<dyn Technique>>) -> Self {
+        assert!(
+            !techniques.is_empty(),
+            "portfolio needs at least one technique"
+        );
+        Portfolio {
+            arms: techniques
+                .into_iter()
+                .map(|technique| Arm {
+                    technique,
+                    rewards: VecDeque::with_capacity(WINDOW),
+                    uses: 0,
+                })
+                .collect(),
+            router: HashMap::new(),
+        }
+    }
+
+    /// The standard portfolio: every solo technique plus one ensemble.
+    pub fn standard() -> Self {
+        let mut arms = TechniqueSet::ensemble_arms();
+        arms.push(Box::new(AucBandit::standard()));
+        Self::new(arms)
+    }
+
+    /// Sample an arm: untried arms first (in index order), then the
+    /// Exp3 mixture of softmax-by-reward and uniform exploration.
+    fn select(&self, rng: &mut dyn RngDyn) -> usize {
+        if let Some(i) = self.arms.iter().position(|a| a.uses == 0) {
+            return i;
+        }
+        let n = self.arms.len();
+        // Softmax with the max subtracted for numeric stability.
+        let top = self
+            .arms
+            .iter()
+            .map(Arm::mean_reward)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = self
+            .arms
+            .iter()
+            .map(|a| ((a.mean_reward() - top) / TEMPERATURE).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.next_f64_dyn();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = (1.0 - GAMMA) * w / total + GAMMA / n as f64;
+            if x < p {
+                return i;
+            }
+            x -= p;
+        }
+        n - 1
+    }
+
+    /// Per-arm usage counts (reporting hook, mirrors the ensemble's).
+    pub fn usage(&self) -> Vec<(&'static str, u64)> {
+        self.arms
+            .iter()
+            .map(|a| (a.technique.name(), a.uses))
+            .collect()
+    }
+}
+
+impl Technique for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn propose(&mut self, state: &SearchState<'_>, rng: &mut dyn RngDyn) -> JvmConfig {
+        let i = self.select(rng);
+        self.arms[i].uses += 1;
+        let config = self.arms[i].technique.propose(state, rng);
+        self.router.insert(config.fingerprint(), i);
+        config
+    }
+
+    fn proposer(&self, config: &JvmConfig) -> &'static str {
+        match self.router.get(&config.fingerprint()) {
+            // Delegate so ensemble-inner attribution still flows through.
+            Some(&i) => self.arms[i].technique.proposer(config),
+            None => self.name(),
+        }
+    }
+
+    fn feedback(&mut self, config: &JvmConfig, score: Option<f64>, state: &SearchState<'_>) {
+        let Some(i) = self.router.remove(&config.fingerprint()) else {
+            return;
+        };
+        // Reward: relative improvement over the incumbent (the tuner
+        // feeds back against the pre-candidate best). Failures and
+        // regressions earn zero.
+        let reward = match (score, state.best) {
+            (Some(s), Some((_, best))) => ((best - s) / best.max(f64::MIN_POSITIVE)).max(0.0),
+            (Some(s), None) => {
+                ((state.default_score - s) / state.default_score.max(f64::MIN_POSITIVE)).max(0.0)
+            }
+            (None, _) => 0.0,
+        }
+        .min(1.0);
+        let arm = &mut self.arms[i];
+        if arm.rewards.len() == WINDOW {
+            arm.rewards.pop_front();
+        }
+        arm.rewards.push_back(reward);
+        arm.technique.feedback(config, score, state);
+    }
+
+    fn retract(&mut self, config: &JvmConfig) {
+        if let Some(i) = self.router.remove(&config.fingerprint()) {
+            self.arms[i].technique.retract(config);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manipulator::HierarchicalManipulator;
+    use crate::techniques::random::RandomSearch;
+    use jtune_util::Xoshiro256pp;
+
+    fn state(m: &HierarchicalManipulator) -> SearchState<'_> {
+        SearchState {
+            manipulator: m,
+            best: None,
+            default_score: 10.0,
+            budget_fraction: 0.1,
+            reuse_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn standard_portfolio_has_eight_arms_and_tries_each() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut p = Portfolio::standard();
+        assert_eq!(p.arms.len(), 8);
+        for _ in 0..8 {
+            let c = p.propose(&st, &mut rng);
+            p.feedback(&c, Some(10.0), &st);
+        }
+        assert!(p.usage().iter().all(|(_, uses)| *uses == 1));
+    }
+
+    #[test]
+    fn rewarding_one_arm_shifts_allocation() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(32);
+        let mut p = Portfolio::new(vec![
+            Box::new(RandomSearch::new()),
+            Box::new(RandomSearch::new()),
+        ]);
+        for _ in 0..200 {
+            let c = p.propose(&st, &mut rng);
+            let arm = *p.router.get(&c.fingerprint()).unwrap();
+            let score = if arm == 0 { 7.0 } else { 12.0 };
+            p.feedback(&c, Some(score), &st);
+        }
+        let usage = p.usage();
+        assert!(
+            usage[0].1 > usage[1].1 * 2,
+            "portfolio failed to exploit: {usage:?}"
+        );
+    }
+
+    #[test]
+    fn retract_forgets_the_pending_proposal() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let mut rng = Xoshiro256pp::seed_from_u64(33);
+        let mut p = Portfolio::standard();
+        let c = p.propose(&st, &mut rng);
+        assert_ne!(p.proposer(&c), "portfolio");
+        p.retract(&c);
+        assert_eq!(p.proposer(&c), "portfolio");
+        // Feedback after retraction is ignored, not misattributed.
+        p.feedback(&c, Some(1.0), &st);
+        assert!(p.arms.iter().all(|a| a.rewards.is_empty()));
+    }
+
+    #[test]
+    fn allocation_is_deterministic_for_a_seed() {
+        let m = HierarchicalManipulator::new();
+        let st = state(&m);
+        let run = || {
+            let mut rng = Xoshiro256pp::seed_from_u64(34);
+            let mut p = Portfolio::standard();
+            let mut picks = Vec::new();
+            for _ in 0..40 {
+                let c = p.propose(&st, &mut rng);
+                picks.push(*p.router.get(&c.fingerprint()).unwrap());
+                p.feedback(&c, Some(9.5), &st);
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -28,6 +28,7 @@ use jtune_harness::{
     journal, Budget, CachePolicy, EvalPipeline, Evaluation, Executor, JournalWriter, Protocol,
     QuarantinePolicy, Racing, ReplayLog, SessionHeader, SessionRecord, TrialRecord,
 };
+use jtune_model::{screen, FeatureEncoder, ModelPolicy, Surrogate};
 use jtune_telemetry::{TelemetryBus, TraceEvent};
 use jtune_util::{stats, SimDuration, Xoshiro256pp};
 
@@ -87,6 +88,12 @@ pub struct TunerOptions {
     /// Quarantine policy for deterministically-failing configurations;
     /// `None` (default) never quarantines — the legacy byte-stable path.
     pub quarantine: Option<QuarantinePolicy>,
+    /// Surrogate-screening policy: techniques over-propose, the model
+    /// scores the candidates, and only the top acquisition-ranked
+    /// `batch` are measured. `None` (default) runs model-free — the
+    /// legacy byte-stable path. A `model:`-prefixed technique name
+    /// implies the default policy.
+    pub model: Option<ModelPolicy>,
     /// Write-ahead trial journal path; every completed evaluation is
     /// flushed there so a killed session can be resumed.
     pub checkpoint: Option<PathBuf>,
@@ -117,6 +124,7 @@ impl Default for TunerOptions {
             max_evaluations: None,
             cache: None,
             quarantine: None,
+            model: None,
             checkpoint: None,
             resume: None,
             stop: None,
@@ -171,6 +179,9 @@ impl TunerOptions {
                 return Err(OptionsError::ZeroQuarantineStreak);
             }
         }
+        if let Some(m) = self.model {
+            m.validate().map_err(OptionsError::InvalidModel)?;
+        }
         Ok(())
     }
 
@@ -202,6 +213,9 @@ impl TunerOptions {
         if let Some(q) = self.quarantine {
             let _ = write!(s, " quarantine={}", q.streak);
         }
+        if let Some(m) = self.model {
+            let _ = write!(s, " model={}w{}k{}", m.screen_ratio, m.warmup, m.kappa);
+        }
         if let Some(m) = self.max_evaluations {
             let _ = write!(s, " max_evals={m}");
         }
@@ -230,6 +244,9 @@ pub enum OptionsError {
     InvalidBackoff(f64),
     /// Quarantine streak must be at least 1.
     ZeroQuarantineStreak,
+    /// The surrogate-screening policy is out of range (the message is
+    /// [`ModelPolicy::validate`]'s).
+    InvalidModel(String),
 }
 
 impl std::fmt::Display for OptionsError {
@@ -253,6 +270,9 @@ impl std::fmt::Display for OptionsError {
             }
             OptionsError::ZeroQuarantineStreak => {
                 write!(f, "quarantine streak must be at least 1")
+            }
+            OptionsError::InvalidModel(msg) => {
+                write!(f, "invalid model policy: {msg}")
             }
         }
     }
@@ -404,6 +424,12 @@ impl TunerOptionsBuilder {
         self
     }
 
+    /// Enable surrogate-guided candidate screening with the given policy.
+    pub fn model(mut self, policy: ModelPolicy) -> Self {
+        self.opts.model = Some(policy);
+        self
+    }
+
     /// Write a crash-safe trial journal to `path`.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.opts.checkpoint = Some(path.into());
@@ -517,6 +543,23 @@ impl Tuner {
         let registry = executor.registry();
         let mut pipeline = EvalPipeline::new(opts.protocol, opts.cache);
         let racing = opts.protocol.racing.is_some();
+
+        // Surrogate screening: enabled by an explicit policy or by the
+        // `model:` technique-name prefix (default policy). The surrogate
+        // seed is derived from — not equal to — the master seed, so its
+        // bootstrap streams are independent of the search RNG.
+        let model_policy = match (opts.model, opts.technique.starts_with("model:")) {
+            (Some(p), _) => Some(p),
+            (None, true) => Some(ModelPolicy::default()),
+            (None, false) => None,
+        };
+        let mut model = model_policy.map(|policy| ModelGuide {
+            policy,
+            encoder: FeatureEncoder::new(registry, jtune_flagtree::hotspot_tree()),
+            surrogate: Surrogate::new(opts.seed ^ 0x004d_4f44_454c),
+            screened: 0,
+            fits: 0,
+        });
 
         // Crash-safety wiring. The resume journal is loaded *before* the
         // checkpoint writer is created: with both on the same path (the
@@ -633,6 +676,10 @@ impl Tuner {
                     aborted: 0,
                     retried: pipeline.stats().retried,
                     quarantined: 0,
+                    suppressed: 0,
+                    saved_secs: 0.0,
+                    screened: 0,
+                    model_fits: 0,
                     trials,
                 };
                 return Ok(TuningResult {
@@ -649,6 +696,9 @@ impl Tuner {
             technique: "default".to_string(),
             delta: Vec::new(),
         });
+        if let Some(g) = model.as_mut() {
+            g.observe(&default_config, Some(default_score), default_score);
+        }
         eval_index += 1;
         emit_checkpoint(opts, &pipeline, &budget, bus);
 
@@ -702,6 +752,9 @@ impl Tuner {
                     delta,
                 });
                 eval_index += 1;
+                if let Some(g) = model.as_mut() {
+                    g.observe(candidate, score_secs, default_score);
+                }
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
@@ -747,13 +800,25 @@ impl Tuner {
             }
             round += 1;
             let batch_size = opts.batch.max(1);
+            // With the surrogate warmed up, techniques over-propose and
+            // the model keeps the best `batch_size`. Before warmup (and
+            // with the model off) proposals equal measurement slots, so
+            // the RNG stream matches a model-free session exactly until
+            // the first screened round.
+            let screening = model
+                .as_ref()
+                .is_some_and(|g| g.surrogate.ready(g.policy.warmup));
+            let propose_n = match (&model, screening) {
+                (Some(g), true) => g.policy.proposals_for(batch_size),
+                _ => batch_size,
+            };
             // With the cache on, a technique re-proposing a measured
             // config gets it served from memory instead of a random
             // substitute — but at most half a round, so every round
             // still spends real budget (no zero-cost livelock).
             let reuse_cap = batch_size.div_ceil(2);
             let mut reused = 0usize;
-            let mut candidates: Vec<JvmConfig> = Vec::with_capacity(batch_size);
+            let mut candidates: Vec<JvmConfig> = Vec::with_capacity(propose_n);
             {
                 let state = SearchState {
                     manipulator: manipulator.as_ref(),
@@ -762,7 +827,7 @@ impl Tuner {
                     budget_fraction: budget.fraction_spent(),
                     reuse_fraction: pipeline.stats().reuse_fraction(),
                 };
-                for _ in 0..batch_size {
+                for _ in 0..propose_n {
                     let mut fresh = None;
                     let mut last_dup = None;
                     for _attempt in 0..8 {
@@ -797,6 +862,43 @@ impl Tuner {
                         }
                     };
                     candidates.push(c);
+                }
+            }
+            if screening {
+                let g = model.as_mut().expect("screening implies a model");
+                let fit = g.surrogate.fit();
+                if fit.refit {
+                    g.fits += 1;
+                }
+                bus.emit(&TraceEvent::ModelFit {
+                    round,
+                    samples: fit.samples as u64,
+                    refit: fit.refit,
+                });
+                if candidates.len() > batch_size {
+                    let scores: Vec<_> = candidates
+                        .iter()
+                        .map(|c| g.surrogate.predict(&g.encoder.encode(c)))
+                        .collect();
+                    let outcome = screen(&scores, batch_size, g.policy.kappa);
+                    for r in &outcome.rejected {
+                        let rejected = &candidates[r.index];
+                        bus.emit(&TraceEvent::CandidateScreened {
+                            round,
+                            fingerprint: rejected.fingerprint(),
+                            predicted_secs: r.predicted_secs,
+                            acquisition: r.acquisition,
+                        });
+                        // The technique will never get feedback for this
+                        // proposal; let it forget the pending state.
+                        technique.retract(rejected);
+                        g.screened += 1;
+                    }
+                    candidates = outcome
+                        .kept
+                        .into_iter()
+                        .map(|i| candidates[i].clone())
+                        .collect();
                 }
             }
             bus.emit(&TraceEvent::RoundProposed {
@@ -859,6 +961,9 @@ impl Tuner {
                     };
                     technique.feedback(candidate, score_secs, &state);
                 }
+                if let Some(g) = model.as_mut() {
+                    g.observe(candidate, score_secs, default_score);
+                }
                 if let Some(s) = score_secs {
                     if s < best.1 {
                         best = (candidate.clone(), s);
@@ -918,6 +1023,10 @@ impl Tuner {
             aborted: stats.aborted,
             retried: stats.retried,
             quarantined: quarantined.len() as u64,
+            suppressed: stats.suppressed,
+            saved_secs: stats.saved.as_secs_f64(),
+            screened: model.as_ref().map_or(0, |g| g.screened),
+            model_fits: model.as_ref().map_or(0, |g| g.fits),
             trials,
         };
         if !suspended {
@@ -941,6 +1050,28 @@ impl Tuner {
             best_config: best.0,
             suspended,
         })
+    }
+}
+
+/// Per-session surrogate-screening state: the policy, the encoder over
+/// the executor's registry, the surrogate itself, and the counters that
+/// land in the [`SessionRecord`].
+struct ModelGuide<'a> {
+    policy: ModelPolicy,
+    encoder: FeatureEncoder<'a>,
+    surrogate: Surrogate,
+    screened: u64,
+    fits: u64,
+}
+
+impl ModelGuide<'_> {
+    /// Feed one completed trial to the surrogate. Failed candidates are
+    /// recorded at twice the default score — "much worse than stock" —
+    /// so the model learns to avoid their neighbourhood instead of
+    /// treating them as unexplored.
+    fn observe(&mut self, config: &JvmConfig, score_secs: Option<f64>, default_score: f64) {
+        let y = score_secs.unwrap_or(2.0 * default_score);
+        self.surrogate.observe(self.encoder.encode(config), y);
     }
 }
 
@@ -1300,6 +1431,15 @@ mod tests {
         let mut opts = TunerOptions::default();
         opts.protocol.fail_fast = false;
         assert_ne!(opts.signature(), base);
+        let opts = TunerOptions {
+            model: Some(ModelPolicy::default()),
+            ..TunerOptions::default()
+        };
+        assert_ne!(
+            opts.signature(),
+            base,
+            "screening changes the trial stream, so the journal must be pinned to it"
+        );
     }
 
     fn temp_journal(name: &str) -> std::path::PathBuf {
@@ -1484,5 +1624,83 @@ mod tests {
         assert!(result.session.best_secs.is_finite());
         // Every trial was measured (no cache): distinct == evaluations.
         assert_eq!(result.session.distinct, result.session.evaluations);
+    }
+
+    #[test]
+    fn model_screening_fires_and_is_deterministic_across_worker_counts() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(15);
+        opts.model = Some(ModelPolicy::default());
+        let narrow = run_quiet(opts.clone(), &ex);
+        assert!(narrow.session.model_fits > 0, "surrogate never fitted");
+        assert!(narrow.session.screened > 0, "screening never rejected");
+        // Screening trims over-proposals back to the batch size, so the
+        // number of real measurements is untouched by the model layer.
+        assert_eq!(
+            narrow.session.trials.len() as u64,
+            narrow.session.evaluations
+        );
+
+        opts.workers = 8;
+        let wide = run_quiet(opts, &ex);
+        assert_eq!(
+            wide.session, narrow.session,
+            "screened trial stream must not depend on worker count"
+        );
+    }
+
+    #[test]
+    fn model_prefix_on_the_technique_enables_default_screening() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(15);
+        opts.technique = "model:ensemble".to_string();
+        assert!(opts.model.is_none());
+        let result = run_quiet(opts, &ex);
+        assert!(result.session.screened > 0, "prefix did not enable model");
+    }
+
+    #[test]
+    fn killed_model_session_resumes_to_the_same_screening_decisions() {
+        let ex = SimExecutor::new(startup_workload());
+        let path = temp_journal("model-resume");
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(15);
+        opts.model = Some(ModelPolicy {
+            warmup: 6,
+            ..ModelPolicy::default()
+        });
+        opts.checkpoint = Some(path.clone());
+        let original = run_quiet(opts.clone(), &ex);
+        assert!(original.session.screened > 0, "screening never rejected");
+
+        // Kill mid-run: keep the header plus a prefix of trials. The
+        // resumed session refits the surrogate from the replayed trials,
+        // so every later screening decision must replay identically.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let prefix: Vec<&str> = full.lines().take(12).collect();
+        std::fs::write(&path, prefix.join("\n") + "\n").unwrap();
+
+        opts.resume = Some(path.clone());
+        let resumed = run_quiet(opts, &ex);
+        assert_eq!(resumed.session, original.session);
+        assert_eq!(resumed.session.screened, original.session.screened);
+        assert_eq!(
+            resumed.best_config.fingerprint(),
+            original.best_config.fingerprint()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn portfolio_technique_runs_and_improves() {
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.budget = SimDuration::from_mins(10);
+        opts.technique = "portfolio".to_string();
+        let result = run_quiet(opts, &ex);
+        assert!(result.session.best_secs <= result.session.default_secs);
+        assert!(result.session.evaluations > 1);
     }
 }

@@ -27,6 +27,14 @@
 //! - `JTUNE_FAULT_RATE` / `JTUNE_FAULT_SEED` (or `--fault-rate F` /
 //!   `--fault-seed N`) — inject deterministic transient faults into `F`
 //!   of all runs (resilience testing; see `e9_faults`).
+//! - `JTUNE_MODEL` (or `--model`) — surrogate-guided candidate
+//!   screening: over-propose each round, score the proposals with an
+//!   online bagged-tree model, and only measure the most promising.
+//! - `JTUNE_SCREEN_RATIO` (or `--screen-ratio F`) — over-proposal
+//!   factor for the screen (implies `--model`; default 4).
+//! - `JTUNE_PORTFOLIO` (or `--portfolio`) — run the `portfolio`
+//!   bandit over the full technique set instead of the default
+//!   ensemble.
 //!
 //! All of these default **off**, in which case every driver produces
 //! output byte-identical to the published `results/` tables.
@@ -42,7 +50,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use autotuner_core::{Tuner, TunerOptions};
+use autotuner_core::{ModelPolicy, Tuner, TunerOptions};
 use jtune_harness::{
     CachePolicy, Executor, FaultPlan, FaultyExecutor, QuarantinePolicy, Racing, RetryPolicy,
     SimExecutor,
@@ -75,6 +83,10 @@ pub struct SuiteRow {
     pub retried: u64,
     /// Configurations quarantined for failing deterministically.
     pub quarantined: u64,
+    /// Proposals rejected by the surrogate screen before measurement.
+    pub screened: u64,
+    /// Surrogate model refits over the session.
+    pub model_fits: u64,
     /// Best configuration delta.
     pub best_delta: Vec<String>,
     /// Full result (for convergence-style post-processing).
@@ -158,6 +170,29 @@ pub fn quarantine_policy() -> Option<QuarantinePolicy> {
     Some(QuarantinePolicy { streak })
 }
 
+/// Model-guided screening requested for this run (`--model` /
+/// `JTUNE_MODEL`, with the over-proposal factor from `--screen-ratio` /
+/// `JTUNE_SCREEN_RATIO`, which implies `--model`); `None` (the default)
+/// keeps the legacy byte-stable pipeline.
+pub fn model_policy() -> Option<ModelPolicy> {
+    let ratio = opt_or_env("--screen-ratio", "JTUNE_SCREEN_RATIO").and_then(|v| v.parse().ok());
+    if ratio.is_none() && !flag_or_env("--model", "JTUNE_MODEL") {
+        return None;
+    }
+    let mut policy = ModelPolicy::default();
+    if let Some(r) = ratio {
+        policy.screen_ratio = r;
+    }
+    Some(policy)
+}
+
+/// Portfolio bandit requested for this run (`--portfolio` /
+/// `JTUNE_PORTFOLIO`): run the `portfolio` technique instead of the
+/// default ensemble.
+pub fn portfolio_enabled() -> bool {
+    flag_or_env("--portfolio", "JTUNE_PORTFOLIO")
+}
+
 /// Fault-injection plan requested for this run (`--fault-rate` /
 /// `JTUNE_FAULT_RATE`, seeded by `--fault-seed` / `JTUNE_FAULT_SEED`);
 /// `None` (the default) injects nothing.
@@ -202,6 +237,12 @@ pub fn tuner_options(budget_minutes: u64, seed: u64) -> TunerOptions {
     }
     if let Some(q) = quarantine_policy() {
         b = b.quarantine(q);
+    }
+    if let Some(m) = model_policy() {
+        b = b.model(m);
+    }
+    if portfolio_enabled() {
+        b = b.technique("portfolio");
     }
     b.build().expect("standard experiment options are valid")
 }
@@ -309,6 +350,8 @@ pub fn tune_program_with(
         aborted: result.session.aborted,
         retried: result.session.retried,
         quarantined: result.session.quarantined,
+        screened: result.session.screened,
+        model_fits: result.session.model_fits,
         best_delta: result.session.best_delta.clone(),
         result,
     }
@@ -342,11 +385,14 @@ pub fn tune_suite(
 /// shows evaluation-pipeline activity (cache hits or racing aborts) the
 /// table grows `distinct`/`hits`/`aborted` columns; when any row shows
 /// fault-tolerance activity (retries or quarantines) it grows
-/// `retried`/`quarantined` columns; with the features off the layout is
-/// byte-identical to the published tables.
+/// `retried`/`quarantined` columns; when any row shows model activity
+/// (screened proposals or surrogate fits) it grows `screened`/`fits`
+/// columns; with the features off the layout is byte-identical to the
+/// published tables.
 pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
     let pipeline = rows.iter().any(|r| r.cache_hits > 0 || r.aborted > 0);
     let faults = rows.iter().any(|r| r.retried > 0 || r.quarantined > 0);
+    let model = rows.iter().any(|r| r.screened > 0 || r.model_fits > 0);
     let mut headers = vec![
         "program",
         "default (s)",
@@ -369,6 +415,10 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
         headers.extend(["retried", "quarantined"]);
         aligns.extend([Align::Right, Align::Right]);
     }
+    if model {
+        headers.extend(["screened", "fits"]);
+        aligns.extend([Align::Right, Align::Right]);
+    }
     let mut t = Table::new(&headers, &aligns);
     for r in rows {
         let mut row = vec![
@@ -388,6 +438,9 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
         if faults {
             row.extend([r.retried.to_string(), r.quarantined.to_string()]);
         }
+        if model {
+            row.extend([r.screened.to_string(), r.model_fits.to_string()]);
+        }
         t.row(row);
     }
     t.rule();
@@ -404,6 +457,9 @@ pub fn render_suite_table(title: &str, rows: &[SuiteRow]) -> String {
         avg_row.extend([String::new(), String::new(), String::new()]);
     }
     if faults {
+        avg_row.extend([String::new(), String::new()]);
+    }
+    if model {
         avg_row.extend([String::new(), String::new()]);
     }
     t.row(avg_row);
@@ -477,6 +533,7 @@ mod tests {
         assert!(!s.contains("aborted"));
         assert!(!s.contains("retried"));
         assert!(!s.contains("quarantined"));
+        assert!(!s.contains("screened"));
     }
 
     #[test]
@@ -505,6 +562,32 @@ mod tests {
         assert!(s.contains("retried"));
         assert!(s.contains("quarantined"));
         assert!(!s.contains("aborted"), "pipeline columns stay hidden");
+    }
+
+    #[test]
+    fn suite_table_grows_model_columns_when_active() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(1, 3);
+        opts.max_evaluations = Some(5);
+        let mut rows = vec![tune_program(w, opts, &TelemetryBus::disabled())];
+        rows[0].screened = 4;
+        rows[0].model_fits = 2;
+        let s = render_suite_table("t", &rows);
+        assert!(s.contains("screened"));
+        assert!(s.contains("fits"));
+        assert!(!s.contains("aborted"), "pipeline columns stay hidden");
+        assert!(!s.contains("retried"), "fault columns stay hidden");
+    }
+
+    #[test]
+    fn model_guided_session_screens_candidates() {
+        let w = workload_by_name("compress").unwrap();
+        let mut opts = tuner_options(10, 5);
+        opts.model = Some(ModelPolicy::default());
+        let row = tune_program(w, opts, &TelemetryBus::disabled());
+        assert!(row.screened > 0, "screen never rejected a proposal");
+        assert!(row.model_fits > 0, "surrogate never fitted");
+        assert!(row.tuned_secs <= row.default_secs);
     }
 
     #[test]

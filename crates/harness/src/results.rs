@@ -52,6 +52,16 @@ pub struct SessionRecord {
     pub retried: u64,
     /// Configurations quarantined for failing deterministically.
     pub quarantined: u64,
+    /// Within-batch duplicate proposals suppressed (served once).
+    pub suppressed: u64,
+    /// Estimated budget the cache, dedup and racing avoided spending,
+    /// seconds.
+    pub saved_secs: f64,
+    /// Over-proposed candidates the surrogate screened out before
+    /// measurement (0 with the model off).
+    pub screened: u64,
+    /// Surrogate refits performed during the session.
+    pub model_fits: u64,
     /// Full trial log (for convergence plots).
     pub trials: Vec<TrialRecord>,
 }
@@ -69,7 +79,7 @@ impl SessionRecord {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "#session\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.program,
             self.executor,
             self.budget_mins,
@@ -81,6 +91,10 @@ impl SessionRecord {
             self.aborted,
             self.retried,
             self.quarantined,
+            self.suppressed,
+            self.saved_secs,
+            self.screened,
+            self.model_fits,
             self.best_delta.join(" "),
         );
         for t in &self.trials {
@@ -126,6 +140,10 @@ impl SessionRecord {
             .u64("aborted", self.aborted)
             .u64("retried", self.retried)
             .u64("quarantined", self.quarantined)
+            .u64("suppressed", self.suppressed)
+            .f64("saved_secs", self.saved_secs)
+            .u64("screened", self.screened)
+            .u64("model_fits", self.model_fits)
             .raw("trials", &jtune_util::json::array_of(&trials))
             .finish()
     }
@@ -146,29 +164,61 @@ impl SessionRecord {
         let evaluations: u64 = h.next()?.parse().ok()?;
         // Legacy headers (pre-pipeline) go straight from `evaluations`
         // to the delta field; pipeline-era ones carry three counters in
-        // between, and fault-tolerant ones add retried + quarantined.
+        // between, fault-tolerant ones add retried + quarantined, and
+        // model-era ones add suppressed, saved budget and screening.
         let rest: Vec<&str> = h.collect();
-        let (distinct, cache_hits, aborted, retried, quarantined, delta_field) =
-            match rest.as_slice() {
-                [d, c, a, r, q, delta] => (
-                    d.parse().ok()?,
-                    c.parse().ok()?,
-                    a.parse().ok()?,
-                    r.parse().ok()?,
-                    q.parse().ok()?,
-                    *delta,
-                ),
-                [d, c, a, delta] => (
-                    d.parse().ok()?,
-                    c.parse().ok()?,
-                    a.parse().ok()?,
-                    0,
-                    0,
-                    *delta,
-                ),
-                [delta] => (evaluations, 0, 0, 0, 0, *delta),
-                _ => return None,
-            };
+        #[allow(clippy::type_complexity)]
+        let (
+            distinct,
+            cache_hits,
+            aborted,
+            retried,
+            quarantined,
+            suppressed,
+            saved_secs,
+            screened,
+            model_fits,
+            delta_field,
+        ): (u64, u64, u64, u64, u64, u64, f64, u64, u64, &str) = match rest.as_slice() {
+            [d, c, a, r, q, sup, sav, scr, mf, delta] => (
+                d.parse().ok()?,
+                c.parse().ok()?,
+                a.parse().ok()?,
+                r.parse().ok()?,
+                q.parse().ok()?,
+                sup.parse().ok()?,
+                sav.parse().ok()?,
+                scr.parse().ok()?,
+                mf.parse().ok()?,
+                *delta,
+            ),
+            [d, c, a, r, q, delta] => (
+                d.parse().ok()?,
+                c.parse().ok()?,
+                a.parse().ok()?,
+                r.parse().ok()?,
+                q.parse().ok()?,
+                0,
+                0.0,
+                0,
+                0,
+                *delta,
+            ),
+            [d, c, a, delta] => (
+                d.parse().ok()?,
+                c.parse().ok()?,
+                a.parse().ok()?,
+                0,
+                0,
+                0,
+                0.0,
+                0,
+                0,
+                *delta,
+            ),
+            [delta] => (evaluations, 0, 0, 0, 0, 0, 0.0, 0, 0, *delta),
+            _ => return None,
+        };
         let best_delta: Vec<String> = delta_field.split_whitespace().map(str::to_string).collect();
         let mut trials = Vec::new();
         for line in lines {
@@ -210,6 +260,10 @@ impl SessionRecord {
             aborted,
             retried,
             quarantined,
+            suppressed,
+            saved_secs,
+            screened,
+            model_fits,
             trials,
         })
     }
@@ -236,6 +290,10 @@ mod tests {
             aborted: 0,
             retried: 0,
             quarantined: 0,
+            suppressed: 0,
+            saved_secs: 0.0,
+            screened: 0,
+            model_fits: 0,
             trials: vec![
                 TrialRecord {
                     index: 0,
@@ -289,8 +347,23 @@ mod tests {
         s.aborted = 0;
         s.retried = 3;
         s.quarantined = 1;
+        s.suppressed = 2;
+        s.saved_secs = 12.5;
+        s.screened = 9;
+        s.model_fits = 4;
         let back = SessionRecord::from_tsv(&s.to_tsv()).expect("parse");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn fault_era_tsv_without_model_counters_parses() {
+        let tsv = "#session\th2\tsim:h2\t200\t42.5\t30\t4\t3\t1\t0\t2\t1\t-XX:MaxHeapSize=4g\n";
+        let s = SessionRecord::from_tsv(tsv).expect("fault-era parse");
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.suppressed, 0, "pre-model sessions carry no screening");
+        assert_eq!(s.screened, 0);
+        assert_eq!(s.model_fits, 0);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Surrogate model layer for the auto-tuner.
+//!
+//! The paper's tuner spends its entire budget on real JVM launches, so
+//! every measurement of a config the search was never going to keep is
+//! lost improvement. This crate adds the model layer that stretches the
+//! measurement budget:
+//!
+//! * [`FeatureEncoder`] — maps a [`JvmConfig`](jtune_flags::JvmConfig)
+//!   through the flag hierarchy into a fixed-length numeric vector:
+//!   one-hot selector states followed by one normalized `[0, 1]` feature
+//!   per tunable flag (log-scale aware, matching how the search itself
+//!   embeds flags).
+//! * [`Surrogate`] — a seeded bagged regression-tree ensemble plus a
+//!   ridge-regularised linear member, refit online from completed trials.
+//!   Predictions carry both a mean and an ensemble-spread `std`, so
+//!   callers can trade exploitation against uncertainty.
+//! * [`screen`] — acquisition-ranked candidate screening: techniques
+//!   over-propose, the surrogate scores every candidate, and only the
+//!   most promising subset is actually measured.
+//!
+//! Everything here is deterministic and dependency-free: all randomness
+//! flows from explicit `u64` seeds through the repo's own
+//! [`Xoshiro256pp`](jtune_util::Xoshiro256pp), no wall clock is read, and
+//! refitting from the same observation sequence always reproduces the
+//! same model — the property that lets a resumed session replay its
+//! journal and make byte-identical screening decisions.
+
+mod encoder;
+mod screen;
+mod surrogate;
+
+pub use encoder::FeatureEncoder;
+pub use screen::{screen, Rejected, Screened};
+pub use surrogate::{FitReport, Prediction, Surrogate};
+
+/// Knobs for surrogate-guided screening, carried in `TunerOptions`.
+///
+/// `Some(policy)` turns the model layer on; `None` leaves the tuning loop
+/// byte-identical to a model-free run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelPolicy {
+    /// Over-proposal factor: each round the technique proposes
+    /// `ceil(batch * screen_ratio)` candidates and the surrogate keeps
+    /// the best `batch`. `1.0` degenerates to no screening.
+    pub screen_ratio: f64,
+    /// Completed trials required before the surrogate is trusted to
+    /// screen; earlier rounds measure every proposal.
+    pub warmup: usize,
+    /// Optimism weight in the acquisition `mean - kappa * std`: higher
+    /// values favour uncertain candidates over predicted-fast ones.
+    pub kappa: f64,
+}
+
+impl Default for ModelPolicy {
+    fn default() -> Self {
+        ModelPolicy {
+            screen_ratio: 4.0,
+            warmup: 12,
+            kappa: 1.0,
+        }
+    }
+}
+
+impl ModelPolicy {
+    /// Reject out-of-range knobs with a human-readable message.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.screen_ratio.is_finite() || self.screen_ratio < 1.0 {
+            return Err(format!(
+                "screen ratio must be a finite number >= 1.0, got {}",
+                self.screen_ratio
+            ));
+        }
+        if self.screen_ratio > 64.0 {
+            return Err(format!(
+                "screen ratio {} is absurd; the cap is 64",
+                self.screen_ratio
+            ));
+        }
+        if !self.kappa.is_finite() || self.kappa < 0.0 {
+            return Err(format!(
+                "kappa must be a finite number >= 0.0, got {}",
+                self.kappa
+            ));
+        }
+        if self.warmup == 0 {
+            return Err("warmup must be at least 1 trial".to_string());
+        }
+        Ok(())
+    }
+
+    /// Candidates to request from the technique for a batch of `batch`
+    /// measurement slots.
+    pub fn proposals_for(&self, batch: usize) -> usize {
+        let raw = (batch as f64 * self.screen_ratio).ceil() as usize;
+        raw.max(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        ModelPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_policies_are_rejected() {
+        let bad = |f: fn(&mut ModelPolicy)| {
+            let mut p = ModelPolicy::default();
+            f(&mut p);
+            p.validate().is_err()
+        };
+        assert!(bad(|p| p.screen_ratio = 0.5));
+        assert!(bad(|p| p.screen_ratio = f64::NAN));
+        assert!(bad(|p| p.screen_ratio = 1000.0));
+        assert!(bad(|p| p.kappa = -1.0));
+        assert!(bad(|p| p.warmup = 0));
+    }
+
+    #[test]
+    fn proposal_count_rounds_up_and_never_shrinks() {
+        let p = ModelPolicy {
+            screen_ratio: 2.5,
+            ..ModelPolicy::default()
+        };
+        assert_eq!(p.proposals_for(4), 10);
+        let unity = ModelPolicy {
+            screen_ratio: 1.0,
+            ..ModelPolicy::default()
+        };
+        assert_eq!(unity.proposals_for(4), 4);
+    }
+}

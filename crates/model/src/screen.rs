@@ -1,0 +1,96 @@
+//! Acquisition-ranked candidate screening.
+//!
+//! Techniques over-propose; the surrogate scores every candidate; only
+//! the `keep` with the best (lowest) acquisition are measured. The
+//! acquisition is a lower confidence bound, `mean - kappa * std`: it
+//! keeps configs the model predicts fast *and* configs the model knows
+//! little about, so screening cannot starve the search of exploration.
+//!
+//! Kept candidates preserve their original proposal order — the
+//! downstream evaluation pipeline assigns per-slot noise seeds by
+//! position, so reordering here would leak the screening decision into
+//! measurement noise.
+
+use crate::surrogate::Prediction;
+
+/// A screened-out candidate, with the scores that condemned it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rejected {
+    /// Index into the original proposal slice.
+    pub index: usize,
+    /// Surrogate-predicted score, virtual seconds.
+    pub predicted_secs: f64,
+    /// The acquisition value it was ranked by.
+    pub acquisition: f64,
+}
+
+/// Outcome of screening one over-proposed batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Screened {
+    /// Indices (into the original slice, in original order) to measure.
+    pub kept: Vec<usize>,
+    /// The rest, in original order.
+    pub rejected: Vec<Rejected>,
+}
+
+/// Keep the `keep` best-acquisition candidates out of `scores`.
+///
+/// Fully deterministic: ties are broken by original index, and the
+/// output preserves proposal order on both sides.
+pub fn screen(scores: &[Prediction], keep: usize, kappa: f64) -> Screened {
+    let acquisition: Vec<f64> = scores.iter().map(|p| p.mean - kappa * p.std).collect();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| acquisition[a].total_cmp(&acquisition[b]).then(a.cmp(&b)));
+
+    let mut keep_mask = vec![false; scores.len()];
+    for &i in order.iter().take(keep) {
+        keep_mask[i] = true;
+    }
+    Screened {
+        kept: (0..scores.len()).filter(|&i| keep_mask[i]).collect(),
+        rejected: (0..scores.len())
+            .filter(|&i| !keep_mask[i])
+            .map(|i| Rejected {
+                index: i,
+                predicted_secs: scores[i].mean,
+                acquisition: acquisition[i],
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(mean: f64, std: f64) -> Prediction {
+        Prediction { mean, std }
+    }
+
+    #[test]
+    fn keeps_lowest_acquisition_in_original_order() {
+        let scores = [p(5.0, 0.0), p(1.0, 0.0), p(3.0, 0.0), p(2.0, 0.0)];
+        let out = screen(&scores, 2, 1.0);
+        assert_eq!(out.kept, vec![1, 3]);
+        assert_eq!(out.rejected.len(), 2);
+        assert_eq!(out.rejected[0].index, 0);
+        assert_eq!(out.rejected[1].index, 2);
+    }
+
+    #[test]
+    fn kappa_rewards_uncertainty() {
+        // Same mean; the uncertain one wins the single slot.
+        let scores = [p(3.0, 0.0), p(3.0, 2.0)];
+        assert_eq!(screen(&scores, 1, 1.0).kept, vec![1]);
+        // With kappa = 0 the tie breaks to the earlier proposal.
+        assert_eq!(screen(&scores, 1, 0.0).kept, vec![0]);
+    }
+
+    #[test]
+    fn keep_larger_than_input_keeps_everything() {
+        let scores = [p(1.0, 0.0), p(2.0, 0.0)];
+        let out = screen(&scores, 5, 1.0);
+        assert_eq!(out.kept, vec![0, 1]);
+        assert!(out.rejected.is_empty());
+    }
+}

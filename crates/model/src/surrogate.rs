@@ -1,0 +1,477 @@
+//! The incremental surrogate regressor.
+//!
+//! A small bagged ensemble of regression trees plus one ridge-regularised
+//! linear member, refit from scratch on every `fit()` call from the full
+//! observation history. Refitting from scratch is what makes resume work:
+//! the model is a pure function of `(seed, observation sequence)`, so a
+//! session that replays its journal rebuilds bit-identical predictions.
+//!
+//! Each bag draws its own bootstrap sample and its own per-split feature
+//! subset from an RNG seeded by `seed ^ bag`, so the ensemble spread is a
+//! real disagreement signal, not noise from shared state.
+
+use jtune_util::{Rng, SplitMix64, Xoshiro256pp};
+
+/// Bootstrap bags in the tree ensemble.
+const BAGS: usize = 8;
+/// Maximum tree depth.
+const MAX_DEPTH: usize = 6;
+/// Minimum samples on each side of a split.
+const MIN_LEAF: usize = 4;
+/// Candidate split thresholds examined per feature.
+const MAX_THRESHOLDS: usize = 8;
+/// Features the linear member regresses on (top by |covariance|).
+const LINEAR_TOP_K: usize = 16;
+/// Ridge penalty for the linear member.
+const RIDGE: f64 = 1e-3;
+
+/// A surrogate's point estimate plus ensemble disagreement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    /// Ensemble-mean predicted score (virtual seconds; lower is better).
+    pub mean: f64,
+    /// Population std-dev across ensemble members.
+    pub std: f64,
+}
+
+/// What one `fit()` call did.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitReport {
+    /// Observations the current model is trained on.
+    pub samples: usize,
+    /// Whether this call actually refit (false: nothing new to learn).
+    pub refit: bool,
+}
+
+/// Seeded bagged-tree + linear surrogate over encoded configs.
+#[derive(Clone, Debug)]
+pub struct Surrogate {
+    seed: u64,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    trees: Vec<Tree>,
+    linear: Option<LinearModel>,
+    fitted_at: usize,
+    fits: u64,
+}
+
+impl Surrogate {
+    /// An empty surrogate. `seed` fixes every future fit.
+    pub fn new(seed: u64) -> Surrogate {
+        Surrogate {
+            seed,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            trees: Vec::new(),
+            linear: None,
+            fitted_at: 0,
+            fits: 0,
+        }
+    }
+
+    /// Record one completed trial. Non-finite scores are dropped — the
+    /// retry/quarantine layer already decides what failures mean.
+    pub fn observe(&mut self, x: Vec<f64>, y: f64) {
+        if y.is_finite() {
+            self.xs.push(x);
+            self.ys.push(y);
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn samples(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Refits completed so far.
+    pub fn fits(&self) -> u64 {
+        self.fits
+    }
+
+    /// Whether the model has seen enough trials to screen.
+    pub fn ready(&self, warmup: usize) -> bool {
+        self.xs.len() >= warmup
+    }
+
+    /// Refit from the full history if anything new arrived.
+    pub fn fit(&mut self) -> FitReport {
+        if self.xs.len() == self.fitted_at {
+            return FitReport {
+                samples: self.fitted_at,
+                refit: false,
+            };
+        }
+        self.trees = (0..BAGS)
+            .map(|bag| {
+                let mut rng =
+                    Xoshiro256pp::seed_from_u64(SplitMix64::new(self.seed ^ bag as u64).next_u64());
+                Tree::grow(&self.xs, &self.ys, &mut rng)
+            })
+            .collect();
+        self.linear = LinearModel::fit(&self.xs, &self.ys);
+        self.fitted_at = self.xs.len();
+        self.fits += 1;
+        FitReport {
+            samples: self.fitted_at,
+            refit: true,
+        }
+    }
+
+    /// Predict the score of an encoded config.
+    ///
+    /// # Panics
+    /// Panics if called before the first successful [`fit`](Self::fit).
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        assert!(!self.trees.is_empty(), "predict() before fit()");
+        let mut members: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        if let Some(linear) = &self.linear {
+            members.push(linear.predict(x));
+        }
+        let n = members.len() as f64;
+        let mean = members.iter().sum::<f64>() / n;
+        let var = members.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / n;
+        Prediction {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// One regression tree, stored as a flat arena.
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl Tree {
+    /// Grow a tree on a bootstrap sample drawn from `rng`.
+    fn grow(xs: &[Vec<f64>], ys: &[f64], rng: &mut impl Rng) -> Tree {
+        let n = xs.len();
+        let sample: Vec<usize> = (0..n).map(|_| rng.next_below(n as u64) as usize).collect();
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.grow_node(xs, ys, sample, 0, rng);
+        tree
+    }
+
+    /// Build the subtree over `idx`, returning its node index.
+    fn grow_node(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+        let spread = idx
+            .iter()
+            .map(|&i| (ys[i] - mean) * (ys[i] - mean))
+            .sum::<f64>();
+        if depth >= MAX_DEPTH || idx.len() < 2 * MIN_LEAF || spread <= f64::EPSILON {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        let dim = xs[0].len();
+        let tries = ((dim as f64).sqrt().ceil() as usize).max(1);
+        let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+        for _ in 0..tries {
+            let feature = rng.next_below(dim as u64) as usize;
+            if let Some((sse, threshold)) = best_split(xs, ys, &idx, feature) {
+                if best.map(|(b, _, _)| sse < b).unwrap_or(true) {
+                    best = Some((sse, feature, threshold));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        };
+
+        let (lo, hi): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+        if lo.len() < MIN_LEAF || hi.len() < MIN_LEAF {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+
+        // Reserve this node's slot before recursing so the arena index
+        // is stable.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let left = self.grow_node(xs, ys, lo, depth + 1, rng);
+        let right = self.grow_node(xs, ys, hi, depth + 1, rng);
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut at = 0;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x.get(*feature).copied().unwrap_or(0.5) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The lowest-SSE threshold for one feature over `idx`, if it has any
+/// split that leaves `MIN_LEAF` samples on both sides.
+fn best_split(xs: &[Vec<f64>], ys: &[f64], idx: &[usize], feature: usize) -> Option<(f64, f64)> {
+    let mut pairs: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][feature], ys[i])).collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let n = pairs.len();
+
+    // Prefix sums of y and y^2 allow O(1) SSE at every cut point.
+    let mut sum = vec![0.0; n + 1];
+    let mut sq = vec![0.0; n + 1];
+    for (i, &(_, y)) in pairs.iter().enumerate() {
+        sum[i + 1] = sum[i] + y;
+        sq[i + 1] = sq[i] + y * y;
+    }
+    let sse = |a: usize, b: usize| -> f64 {
+        let m = (b - a) as f64;
+        let s = sum[b] - sum[a];
+        (sq[b] - sq[a]) - s * s / m
+    };
+
+    // Cut points between distinct adjacent values, thinned to a cap.
+    let cuts: Vec<usize> = (MIN_LEAF..=n - MIN_LEAF)
+        .filter(|&k| pairs[k - 1].0 < pairs[k].0)
+        .collect();
+    if cuts.is_empty() {
+        return None;
+    }
+    let stride = cuts.len().div_ceil(MAX_THRESHOLDS);
+    let mut best: Option<(f64, f64)> = None;
+    for &k in cuts.iter().step_by(stride) {
+        let total = sse(0, k) + sse(k, n);
+        let threshold = (pairs[k - 1].0 + pairs[k].0) / 2.0;
+        if best.map(|(b, _)| total < b).unwrap_or(true) {
+            best = Some((total, threshold));
+        }
+    }
+    best
+}
+
+/// Ridge regression on the features most correlated with the target.
+#[derive(Clone, Debug)]
+struct LinearModel {
+    /// (feature index, centred-feature weight) pairs.
+    weights: Vec<(usize, f64)>,
+    /// Per-selected-feature training means, parallel to `weights`.
+    feature_means: Vec<f64>,
+    /// Target training mean (the intercept).
+    y_mean: f64,
+}
+
+impl LinearModel {
+    fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Option<LinearModel> {
+        let n = xs.len();
+        if n < 2 {
+            return None;
+        }
+        let dim = xs[0].len();
+        let nf = n as f64;
+        let y_mean = ys.iter().sum::<f64>() / nf;
+        let means: Vec<f64> = (0..dim)
+            .map(|j| xs.iter().map(|x| x[j]).sum::<f64>() / nf)
+            .collect();
+
+        // Rank features by |covariance with y|; ties break on index so
+        // the selection is deterministic.
+        let mut ranked: Vec<(usize, f64)> = (0..dim)
+            .map(|j| {
+                let cov = xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(x, &y)| (x[j] - means[j]) * (y - y_mean))
+                    .sum::<f64>()
+                    / nf;
+                (j, cov.abs())
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let picked: Vec<usize> = ranked
+            .iter()
+            .take(LINEAR_TOP_K)
+            .filter(|(_, c)| *c > 0.0)
+            .map(|&(j, _)| j)
+            .collect();
+        if picked.is_empty() {
+            return None;
+        }
+
+        // Normal equations on centred data: (X'X + ridge I) w = X'y.
+        let k = picked.len();
+        let mut a = vec![vec![0.0; k + 1]; k];
+        for (r, &jr) in picked.iter().enumerate() {
+            for (c, &jc) in picked.iter().enumerate() {
+                a[r][c] = xs
+                    .iter()
+                    .map(|x| (x[jr] - means[jr]) * (x[jc] - means[jc]))
+                    .sum::<f64>();
+            }
+            a[r][r] += RIDGE * nf;
+            a[r][k] = xs
+                .iter()
+                .zip(ys)
+                .map(|(x, &y)| (x[jr] - means[jr]) * (y - y_mean))
+                .sum::<f64>();
+        }
+        let w = solve(&mut a)?;
+        Some(LinearModel {
+            feature_means: picked.iter().map(|&j| means[j]).collect(),
+            weights: picked.into_iter().zip(w).collect(),
+            y_mean,
+        })
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.y_mean
+            + self
+                .weights
+                .iter()
+                .zip(&self.feature_means)
+                .map(|(&(j, w), &m)| w * (x.get(j).copied().unwrap_or(m) - m))
+                .sum::<f64>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting on an augmented `k x (k+1)`
+/// system. Returns `None` for a (numerically) singular matrix.
+fn solve(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
+    let k = a.len();
+    for col in 0..k {
+        let pivot = (col..k).max_by(|&r, &s| a[r][col].abs().total_cmp(&a[s][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        let pivot_row = a[col].clone();
+        for (row, row_vals) in a.iter_mut().enumerate() {
+            if row != col {
+                let f = row_vals[col] / pivot_row[col];
+                for (c, p) in pivot_row.iter().enumerate().skip(col) {
+                    row_vals[c] -= f * p;
+                }
+            }
+        }
+    }
+    Some((0..k).map(|r| a[r][k] / a[r][r]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3*x0 - 2*x1 + small deterministic wiggle.
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.next_f64()).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x[0] - 2.0 * x[1] + 0.01 * (x[2] - 0.5))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_a_seed() {
+        let (xs, ys) = toy_data(64);
+        let build = || {
+            let mut s = Surrogate::new(7);
+            for (x, &y) in xs.iter().zip(&ys) {
+                s.observe(x.clone(), y);
+            }
+            s.fit();
+            s
+        };
+        let a = build();
+        let b = build();
+        let probe = vec![0.3, 0.7, 0.5, 0.1, 0.9];
+        assert_eq!(a.predict(&probe), b.predict(&probe));
+    }
+
+    #[test]
+    fn refit_only_when_new_data_arrives() {
+        let (xs, ys) = toy_data(32);
+        let mut s = Surrogate::new(1);
+        for (x, &y) in xs.iter().zip(&ys) {
+            s.observe(x.clone(), y);
+        }
+        assert!(s.fit().refit);
+        assert!(!s.fit().refit);
+        s.observe(vec![0.5; 5], 1.0);
+        assert!(s.fit().refit);
+        assert_eq!(s.fits(), 2);
+    }
+
+    #[test]
+    fn surrogate_learns_the_gradient_direction() {
+        let (xs, ys) = toy_data(200);
+        let mut s = Surrogate::new(3);
+        for (x, &y) in xs.iter().zip(&ys) {
+            s.observe(x.clone(), y);
+        }
+        s.fit();
+        // Low x0 / high x1 should predict a clearly lower y than the
+        // opposite corner.
+        let fast = s.predict(&[0.1, 0.9, 0.5, 0.5, 0.5]);
+        let slow = s.predict(&[0.9, 0.1, 0.5, 0.5, 0.5]);
+        assert!(fast.mean < slow.mean, "{} !< {}", fast.mean, slow.mean);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let mut s = Surrogate::new(0);
+        s.observe(vec![0.0], f64::NAN);
+        s.observe(vec![0.0], f64::INFINITY);
+        assert_eq!(s.samples(), 0);
+        assert!(!s.ready(1));
+    }
+
+    #[test]
+    fn identical_inputs_make_pure_leaves() {
+        let mut s = Surrogate::new(5);
+        for _ in 0..20 {
+            s.observe(vec![0.5, 0.5], 2.0);
+        }
+        s.fit();
+        let p = s.predict(&[0.5, 0.5]);
+        assert!((p.mean - 2.0).abs() < 1e-9);
+        assert!(p.std < 1e-9);
+    }
+}

@@ -377,6 +377,8 @@ impl TuneServer {
                     .u64("budget_mins", h.spec.budget_mins)
                     .u64("trials", h.probe.trials())
                     .f64("spent_secs", h.probe.spent_secs())
+                    .u64("screened", h.probe.screened())
+                    .u64("model_fits", h.probe.model_fits())
                     .u64("shared_hits", h.shared_hits())
                     .u64("sched_runs", self.sched.grants(h.sid))
                     .f64("sched_cost_secs", self.sched.charged(h.sid).as_secs_f64())

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use autotuner_core::TunerOptions;
+use autotuner_core::{ModelPolicy, TunerOptions};
 use jtune_telemetry::{TraceEvent, TuningObserver};
 use jtune_util::json::{self, JsonObject, JsonValue};
 use jtune_util::SimDuration;
@@ -23,6 +23,15 @@ pub struct SessionSpec {
     pub seed: u64,
     /// Optional hard cap on evaluations (small smoke sessions).
     pub max_evaluations: Option<u64>,
+    /// Surrogate screening over-proposal factor; `Some` enables
+    /// model-guided screening (the one-shot `--screen-ratio` /
+    /// `--model`). `None` keeps the legacy byte-stable pipeline, and the
+    /// field is omitted from spec JSON so old `spec.json` files and
+    /// clients round-trip unchanged.
+    pub screen_ratio: Option<f64>,
+    /// Search technique override (e.g. `portfolio`, `model:ensemble`);
+    /// `None` means the default ensemble and is omitted from spec JSON.
+    pub technique: Option<String>,
 }
 
 impl SessionSpec {
@@ -34,6 +43,8 @@ impl SessionSpec {
             budget_mins: defaults.budget.as_mins_f64() as u64,
             seed: defaults.seed,
             max_evaluations: None,
+            screen_ratio: None,
+            technique: None,
         }
     }
 
@@ -44,8 +55,16 @@ impl SessionSpec {
             .str("program", &self.program)
             .u64("budget_mins", self.budget_mins)
             .u64("seed", self.seed);
-        match self.max_evaluations {
+        let obj = match self.max_evaluations {
             Some(cap) => obj.u64("max_evals", cap),
+            None => obj,
+        };
+        let obj = match self.screen_ratio {
+            Some(ratio) => obj.f64("screen_ratio", ratio),
+            None => obj,
+        };
+        match &self.technique {
+            Some(name) => obj.str("technique", name),
             None => obj,
         }
     }
@@ -80,6 +99,18 @@ impl SessionSpec {
                 None => None,
                 Some(raw) => Some(raw.as_u64().ok_or("'max_evals' must be an integer")?),
             },
+            screen_ratio: match v.get("screen_ratio") {
+                None => None,
+                Some(raw) => Some(raw.as_f64().ok_or("'screen_ratio' must be a number")?),
+            },
+            technique: match v.get("technique") {
+                None => None,
+                Some(raw) => Some(
+                    raw.as_str()
+                        .ok_or("'technique' must be a string")?
+                        .to_string(),
+                ),
+            },
             program,
         })
     }
@@ -100,6 +131,15 @@ impl SessionSpec {
             ..TunerOptions::default()
         };
         opts.max_evaluations = self.max_evaluations;
+        if let Some(ratio) = self.screen_ratio {
+            opts.model = Some(ModelPolicy {
+                screen_ratio: ratio,
+                ..ModelPolicy::default()
+            });
+        }
+        if let Some(name) = &self.technique {
+            opts.technique = name.clone();
+        }
         opts
     }
 }
@@ -153,6 +193,8 @@ impl SessionState {
 pub struct ProgressProbe {
     trials: AtomicU64,
     spent_secs_bits: AtomicU64,
+    screened: AtomicU64,
+    model_fits: AtomicU64,
     finished: AtomicBool,
 }
 
@@ -170,6 +212,16 @@ impl ProgressProbe {
     /// Budget spent so far, virtual seconds.
     pub fn spent_secs(&self) -> f64 {
         f64::from_bits(self.spent_secs_bits.load(Ordering::Relaxed))
+    }
+
+    /// Proposals the surrogate screened out before measurement.
+    pub fn screened(&self) -> u64 {
+        self.screened.load(Ordering::Relaxed)
+    }
+
+    /// Surrogate refits observed so far.
+    pub fn model_fits(&self) -> u64 {
+        self.model_fits.load(Ordering::Relaxed)
     }
 
     /// Has the session emitted its terminal event?
@@ -190,6 +242,12 @@ impl TuningObserver for ProgressProbe {
                 self.spent_secs_bits
                     .store(budget_spent_secs.to_bits(), Ordering::Relaxed);
             }
+            TraceEvent::CandidateScreened { .. } => {
+                self.screened.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::ModelFit { refit: true, .. } => {
+                self.model_fits.fetch_add(1, Ordering::Relaxed);
+            }
             TraceEvent::SessionFinished { .. } => {
                 self.finished.store(true, Ordering::Relaxed);
             }
@@ -209,6 +267,8 @@ mod tests {
             budget_mins: 2,
             seed: 7,
             max_evaluations: Some(10),
+            screen_ratio: None,
+            technique: None,
         };
         assert_eq!(SessionSpec::parse(&spec.to_json()).unwrap(), spec);
 
@@ -218,6 +278,23 @@ mod tests {
         assert_eq!(opts.budget, baseline.budget);
         assert_eq!(opts.seed, baseline.seed);
         assert_eq!(opts.signature(), baseline.signature());
+    }
+
+    #[test]
+    fn model_spec_fields_round_trip_and_reach_the_tuner() {
+        let mut spec = SessionSpec::new("compress");
+        // Legacy specs (no model fields) serialize without the new keys,
+        // so pre-model daemons and spec.json files stay compatible.
+        assert!(!spec.to_json().contains("screen_ratio"));
+        assert!(!spec.to_json().contains("technique"));
+
+        spec.screen_ratio = Some(6.0);
+        spec.technique = Some("portfolio".to_string());
+        let parsed = SessionSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        let opts = parsed.tuner_options();
+        assert_eq!(opts.model.map(|m| m.screen_ratio), Some(6.0));
+        assert_eq!(opts.technique, "portfolio");
     }
 
     #[test]
@@ -249,6 +326,24 @@ mod tests {
         assert_eq!(probe.trials(), 5);
         assert!((probe.spent_secs() - 12.5).abs() < 1e-12);
         assert!(!probe.finished());
+        probe.on_event(&TraceEvent::ModelFit {
+            round: 1,
+            samples: 16,
+            refit: true,
+        });
+        probe.on_event(&TraceEvent::ModelFit {
+            round: 2,
+            samples: 16,
+            refit: false,
+        });
+        probe.on_event(&TraceEvent::CandidateScreened {
+            round: 2,
+            fingerprint: 9,
+            predicted_secs: 1.5,
+            acquisition: 1.2,
+        });
+        assert_eq!(probe.model_fits(), 1, "cached fits are not refits");
+        assert_eq!(probe.screened(), 1);
         probe.on_event(&TraceEvent::SessionFinished {
             program: "p".into(),
             default_secs: 2.0,

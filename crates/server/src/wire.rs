@@ -228,6 +228,8 @@ mod tests {
                 budget_mins: 2,
                 seed: 7,
                 max_evaluations: Some(12),
+                screen_ratio: Some(4.0),
+                technique: Some("portfolio".into()),
             }),
             Request::Status { sid: None },
             Request::Status { sid: Some(3) },

@@ -30,6 +30,8 @@ fn spec(program: &str, budget_mins: u64, seed: u64) -> SessionSpec {
         budget_mins,
         seed,
         max_evaluations: None,
+        screen_ratio: None,
+        technique: None,
     }
 }
 

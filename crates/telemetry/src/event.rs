@@ -176,6 +176,29 @@ pub enum TraceEvent {
         /// Kind of the failure that tripped the breaker.
         error_kind: String,
     },
+    /// The surrogate model refit on the completed-trial history before
+    /// screening a round's proposals.
+    ModelFit {
+        /// Round whose proposals the refit model will screen.
+        round: u64,
+        /// Completed observations the model is trained on.
+        samples: u64,
+        /// Whether the model actually refit (false: no new data since
+        /// the previous fit, the cached model was reused).
+        refit: bool,
+    },
+    /// The surrogate screened out an over-proposed candidate; it was
+    /// never measured and cost no budget.
+    CandidateScreened {
+        /// Round the candidate was proposed in.
+        round: u64,
+        /// Canonical configuration fingerprint of the rejected config.
+        fingerprint: u64,
+        /// Surrogate-predicted score, virtual seconds.
+        predicted_secs: f64,
+        /// Acquisition value (`mean - kappa * std`) it was ranked by.
+        acquisition: f64,
+    },
     /// The write-ahead trial journal reached a consistent point (all
     /// completed trials durable); a kill after this event loses nothing.
     CheckpointWritten {
@@ -235,6 +258,8 @@ impl TraceEvent {
             TraceEvent::TrialEvaluated { .. } => "TrialEvaluated",
             TraceEvent::TrialRetried { .. } => "TrialRetried",
             TraceEvent::Quarantined { .. } => "Quarantined",
+            TraceEvent::ModelFit { .. } => "ModelFit",
+            TraceEvent::CandidateScreened { .. } => "CandidateScreened",
             TraceEvent::CheckpointWritten { .. } => "CheckpointWritten",
             TraceEvent::SessionResumed { .. } => "SessionResumed",
             TraceEvent::BestImproved { .. } => "BestImproved",
@@ -394,6 +419,26 @@ impl TraceEvent {
                 .u64("failures", *failures)
                 .str("error_kind", error_kind)
                 .finish(),
+            TraceEvent::ModelFit {
+                round,
+                samples,
+                refit,
+            } => o
+                .u64("round", *round)
+                .u64("samples", *samples)
+                .bool("refit", *refit)
+                .finish(),
+            TraceEvent::CandidateScreened {
+                round,
+                fingerprint,
+                predicted_secs,
+                acquisition,
+            } => o
+                .u64("round", *round)
+                .u64("fingerprint", *fingerprint)
+                .f64("predicted_secs", *predicted_secs)
+                .f64("acquisition", *acquisition)
+                .finish(),
             TraceEvent::CheckpointWritten { trials, spent_secs } => o
                 .u64("trials", *trials)
                 .f64("spent_secs", *spent_secs)
@@ -533,6 +578,17 @@ mod tests {
                 fingerprint: 0xBAD,
                 failures: 3,
                 error_kind: "oom".into(),
+            },
+            TraceEvent::ModelFit {
+                round: 4,
+                samples: 17,
+                refit: true,
+            },
+            TraceEvent::CandidateScreened {
+                round: 4,
+                fingerprint: 0xFEED,
+                predicted_secs: 2.4,
+                acquisition: 2.1,
             },
             TraceEvent::CheckpointWritten {
                 trials: 17,

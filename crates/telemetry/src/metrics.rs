@@ -54,6 +54,8 @@ pub const COUNTERS: &[&str] = &[
     "budget_exhausted",
     "trials_retried",
     "quarantined",
+    "model_fits",
+    "candidates_screened",
     "checkpoints_written",
     "sessions_resumed",
 ];
@@ -160,6 +162,12 @@ impl TuningObserver for MetricsRegistry {
                 inner.observe("retry_cost", SimDuration::from_secs_f64(*cost_secs));
             }
             TraceEvent::Quarantined { .. } => inner.bump("quarantined"),
+            TraceEvent::ModelFit { refit, .. } => {
+                if *refit {
+                    inner.bump("model_fits");
+                }
+            }
+            TraceEvent::CandidateScreened { .. } => inner.bump("candidates_screened"),
             TraceEvent::CheckpointWritten { .. } => inner.bump("checkpoints_written"),
             TraceEvent::SessionResumed { .. } => inner.bump("sessions_resumed"),
             TraceEvent::BestImproved { .. } => inner.bump("best_improvements"),
@@ -260,6 +268,29 @@ mod tests {
         assert_eq!(m.counter("checkpoints_written"), 1);
         assert_eq!(m.counter("sessions_resumed"), 1);
         assert_eq!(m.histogram("retry_cost").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn counts_model_events() {
+        let m = MetricsRegistry::new();
+        m.on_event(&TraceEvent::ModelFit {
+            round: 3,
+            samples: 20,
+            refit: true,
+        });
+        m.on_event(&TraceEvent::ModelFit {
+            round: 4,
+            samples: 20,
+            refit: false,
+        });
+        m.on_event(&TraceEvent::CandidateScreened {
+            round: 3,
+            fingerprint: 7,
+            predicted_secs: 2.0,
+            acquisition: 1.8,
+        });
+        assert_eq!(m.counter("model_fits"), 1);
+        assert_eq!(m.counter("candidates_screened"), 1);
     }
 
     #[test]

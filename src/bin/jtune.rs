@@ -9,6 +9,7 @@
 //!                       [--no-fail-fast] [--retries N] [--retry-backoff F]
 //!                       [--quarantine N] [--deadline SECS]
 //!                       [--fault-rate F] [--fault-seed N]
+//!                       [--model] [--screen-ratio F] [--portfolio]
 //!                       [--checkpoint PATH] [--resume PATH]
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
@@ -64,6 +65,7 @@ USAGE:
                         [--no-fail-fast] [--retries N] [--retry-backoff F]
                         [--quarantine N] [--deadline SECS]
                         [--fault-rate F] [--fault-seed N]
+                        [--model] [--screen-ratio F] [--portfolio]
                         [--checkpoint PATH] [--resume PATH]
                         [--trace PATH] [--progress] [--json]
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
@@ -71,6 +73,7 @@ USAGE:
                         [--trace PATH] [--progress] [--json]
   jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
   jtune client submit <workload> [--budget MIN] [--seed N] [--max-evals N]
+                      [--screen-ratio F] [--technique NAME]
   jtune client status [SID] | watch <SID> | result <SID> | cancel <SID>
   jtune client shutdown [--no-drain]
   jtune client ... [--addr HOST:PORT]   (default 127.0.0.1:7171)
@@ -100,6 +103,15 @@ noise spikes) into F of all runs for resilience testing, seeded by
 killed session can continue via --resume PATH (usually the same path)
 with a byte-identical trace. All default off; with everything off,
 sessions are byte-identical to earlier releases.
+
+Model-guided search: --model screens candidates with an online
+bagged-tree surrogate — each round over-proposes by --screen-ratio F
+(default 4, implies --model), scores the proposals, and only measures
+the acquisition-ranked best. --portfolio runs a seeded multi-armed
+bandit over the full technique set (shorthand for --technique
+portfolio; prefix any technique with `model:` to combine it with the
+screen). Both default off; with them off, sessions are byte-identical
+to earlier releases.
 
 Observability: --trace PATH streams one JSON event per trial to PATH
 (JSON Lines, bit-deterministic for a given seed), --progress reports
@@ -172,6 +184,9 @@ const TUNE_FLAGS: &[(&str, bool)] = &[
     ("--deadline", true),
     ("--fault-rate", true),
     ("--fault-seed", true),
+    ("--model", false),
+    ("--screen-ratio", true),
+    ("--portfolio", false),
     ("--checkpoint", true),
     ("--resume", true),
     ("--trace", true),
@@ -261,6 +276,21 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, String> {
     }
     if let Some(streak) = parse_value(rest, "--quarantine", "an integer")? {
         b = b.quarantine(QuarantinePolicy { streak });
+    }
+    // --screen-ratio implies --model: an over-proposal factor only makes
+    // sense with the surrogate screen on (mirrors --cache-recharge).
+    let ratio = parse_value(rest, "--screen-ratio", "a number")?;
+    if rest.iter().any(|a| a == "--model") || ratio.is_some() {
+        let mut model = ModelPolicy::default();
+        if let Some(r) = ratio {
+            model.screen_ratio = r;
+        }
+        b = b.model(model);
+    }
+    // --portfolio is shorthand for --technique portfolio; an explicit
+    // --technique wins when both are given.
+    if rest.iter().any(|a| a == "--portfolio") && parse_opt(rest, "--technique").is_none() {
+        b = b.technique("portfolio");
     }
     if let Some(path) = parse_opt(rest, "--checkpoint") {
         b = b.checkpoint(path);
@@ -577,6 +607,8 @@ fn cmd_client(rest: &[String]) -> i32 {
         ("--budget", true),
         ("--seed", true),
         ("--max-evals", true),
+        ("--screen-ratio", true),
+        ("--technique", true),
         ("--no-drain", false),
     ];
     // submit takes a workload positional; status/watch/result/cancel a
@@ -613,6 +645,8 @@ fn cmd_client(rest: &[String]) -> i32 {
                 spec.seed = seed;
             }
             spec.max_evaluations = parse_value(rest, "--max-evals", "an integer")?;
+            spec.screen_ratio = parse_value(rest, "--screen-ratio", "a number")?;
+            spec.technique = parse_opt(rest, "--technique");
             let sid = client.submit(spec).map_err(|e| e.to_string())?;
             println!("{sid}");
             Ok(())

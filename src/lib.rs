@@ -30,8 +30,12 @@
 //! - [`telemetry`] — session observability: a typed trial-event stream
 //!   ([`telemetry::TraceEvent`]) published on a [`telemetry::TelemetryBus`]
 //!   to pluggable sinks (JSONL traces, metrics registry, live progress).
+//! - [`model`] — surrogate-guided search: a feature encoder over the
+//!   flag hierarchy, an online bagged-tree + ridge surrogate, and
+//!   acquisition-ranked candidate screening.
 //! - [`tuner`] — the auto-tuner: search techniques, the AUC-bandit
-//!   ensemble, and hierarchical/flat/subset manipulators.
+//!   ensemble and the bandit portfolio over the full technique set, and
+//!   hierarchical/flat/subset manipulators.
 //! - [`server`] — the multi-session tuning daemon: concurrent sessions
 //!   over a line-delimited JSON TCP protocol, fair-share measurement
 //!   scheduling, cross-session measurement sharing, and graceful
@@ -71,6 +75,7 @@ pub use jtune_flags as flags;
 pub use jtune_flagtree as flagtree;
 pub use jtune_harness as harness;
 pub use jtune_jvmsim as jvmsim;
+pub use jtune_model as model;
 pub use jtune_server as server;
 pub use jtune_telemetry as telemetry;
 pub use jtune_util as util;
@@ -79,7 +84,7 @@ pub use jtune_workloads as workloads;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use autotuner_core::{
-        tuner::ManipulatorKind, OptionsError, SessionError, Tuner, TunerOptions,
+        tuner::ManipulatorKind, ModelPolicy, OptionsError, SessionError, Tuner, TunerOptions,
         TunerOptionsBuilder, TuningResult,
     };
     pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
