@@ -128,4 +128,5 @@ fn main() {
     jit_model_step(&h);
     config_operations(&h);
     parallel_batch_scaling(&h);
+    h.finish("micro");
 }

@@ -1,0 +1,133 @@
+//! Observability micro-benchmarks: the cost of watching a session.
+//!
+//! Four groups, matching the layers a trial event crosses:
+//!
+//! - `trace_sink/*` — serialising trial events through a [`JsonlSink`]
+//!   (the per-event overhead every traced session pays).
+//! - `span_event/*` — emitting ephemeral phase spans on a live bus,
+//!   against the spans-off baseline (which must be near-free).
+//! - `histogram/*` — recording into the metrics registry's fixed-bucket
+//!   wall histograms.
+//! - `report/*` — replaying a real session trace into a summary and
+//!   rendering it as Markdown and HTML (`jtune report`'s hot path).
+//!
+//! `cargo bench -p jtune-bench --bench observability -- --json PATH`
+//! snapshots the results (the committed `BENCH_6.json`).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use autotuner_core::Tuner;
+use jtune_bench::{bench_tuner_options, BenchHarness};
+use jtune_harness::SimExecutor;
+use jtune_telemetry::{JsonlSink, MetricsRegistry, TelemetryBus, TraceEvent};
+use jtune_workloads::workload_by_name;
+
+/// A representative successful trial event (the dominant event kind in
+/// any real trace).
+fn sample_trial(index: u64) -> TraceEvent {
+    TraceEvent::TrialEvaluated {
+        index,
+        technique: "ensemble:pattern".to_string(),
+        delta: vec![
+            "-XX:+UseSerialGC".to_string(),
+            "-XX:-UseParallelGC".to_string(),
+            "-XX:MaxHeapSize=268435456".to_string(),
+        ],
+        repeat_secs: vec![2.31, 2.28, 2.35],
+        score_secs: Some(2.31),
+        cost_secs: 6.94,
+        budget_spent_secs: 6.94 * (index + 1) as f64,
+        gc_pause_total_ms: Some(120.5),
+        gc_collections: Some(18),
+        jit_compile_ms: Some(45.2),
+        jit_compiles: Some(310),
+        error: None,
+        error_kind: None,
+    }
+}
+
+/// Per-event cost of the JSONL trace sink (serialise + buffered write).
+fn trace_sink_overhead(h: &BenchHarness, dir: &std::path::Path) {
+    const EVENTS: u64 = 1_000;
+    let sink = JsonlSink::create(dir.join("bench-sink.jsonl")).expect("temp trace file");
+    let mut bus = TelemetryBus::new();
+    bus.add(Arc::new(sink));
+    let mut next = 0u64;
+    h.bench("trace_sink/event_write_1k", 30, || {
+        for _ in 0..EVENTS {
+            bus.emit(&black_box(sample_trial(next)));
+            next += 1;
+        }
+    });
+}
+
+/// Span emission on a live bus, versus the spans-off no-op path.
+fn span_event_overhead(h: &BenchHarness) {
+    const SPANS: u64 = 1_000;
+    let metrics = Arc::new(MetricsRegistry::new());
+    let on = TelemetryBus::new()
+        .with(Arc::clone(&metrics) as Arc<dyn jtune_telemetry::TuningObserver>)
+        .with_spans(true);
+    let off = TelemetryBus::new()
+        .with(metrics as Arc<dyn jtune_telemetry::TuningObserver>)
+        .with_spans(false);
+    h.bench("span_event/emit_1k", 30, || {
+        for round in 0..SPANS {
+            let _guard = black_box(on.span("bench", round));
+        }
+    });
+    h.bench("span_event/disabled_1k", 30, || {
+        for round in 0..SPANS {
+            let _guard = black_box(off.span("bench", round));
+        }
+    });
+}
+
+/// Recording into a fixed-bucket wall histogram (the `stats` command's
+/// data source; sits on the server's per-frame path).
+fn histogram_record(h: &BenchHarness) {
+    const RECORDS: u64 = 10_000;
+    let metrics = MetricsRegistry::new();
+    h.bench("histogram/record_10k", 30, || {
+        for i in 0..RECORDS {
+            metrics.record_wall("trial_wall", black_box(1e-4 * (1 + i % 977) as f64));
+        }
+    });
+}
+
+/// Replay + render of a real session trace (`jtune report`'s hot path).
+fn report_render(h: &BenchHarness, base: &std::path::Path) {
+    // Own subdirectory: `load` replays every *.jsonl in the directory,
+    // and the sink bench's file is not a session trace.
+    let dir = &base.join("report");
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let workload = workload_by_name("compress").expect("built-in workload");
+    let executor = SimExecutor::new(workload);
+    let sink = JsonlSink::create(dir.join("compress.jsonl")).expect("temp trace file");
+    let bus = TelemetryBus::new().with(Arc::new(sink));
+    Tuner::new(bench_tuner_options()).run(&executor, "compress", &bus);
+    drop(bus);
+    let report = jtune_report::load(dir).expect("trace loads");
+    h.bench("report/load", 30, || {
+        black_box(jtune_report::load(dir).expect("trace loads").sessions.len())
+    });
+    h.bench("report/render_markdown", 30, || {
+        black_box(jtune_report::to_markdown(&report).len())
+    });
+    h.bench("report/render_html", 30, || {
+        black_box(jtune_report::to_html(&report).len())
+    });
+}
+
+fn main() {
+    let h = BenchHarness::from_args();
+    let dir = std::env::temp_dir().join(format!("jtune-bench-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    trace_sink_overhead(&h, &dir);
+    span_event_overhead(&h);
+    histogram_record(&h);
+    report_render(&h, &dir);
+    h.finish("observability");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -29,7 +29,7 @@ use jtune_harness::{
     QuarantinePolicy, Racing, ReplayLog, SessionHeader, SessionRecord, TrialRecord,
 };
 use jtune_model::{screen, FeatureEncoder, ModelPolicy, Surrogate};
-use jtune_telemetry::{TelemetryBus, TraceEvent};
+use jtune_telemetry::{phase, TelemetryBus, TraceEvent};
 use jtune_util::{stats, SimDuration, Xoshiro256pp};
 
 use crate::manipulator::{
@@ -724,14 +724,17 @@ impl Tuner {
                 candidates: primers.len() as u64,
             });
             let baseline = best_samples.clone();
-            let report = pipeline.evaluate_batch(
-                executor,
-                &primers,
-                opts.seed ^ 0x5052_494d,
-                opts.workers,
-                racing.then_some(baseline.as_slice()),
-                bus,
-            );
+            let report = {
+                let _span = bus.span(phase::MEASURE, 0);
+                pipeline.evaluate_batch(
+                    executor,
+                    &primers,
+                    opts.seed ^ 0x5052_494d,
+                    opts.workers,
+                    racing.then_some(baseline.as_slice()),
+                    bus,
+                )
+            };
             for (candidate, ev) in primers.iter().zip(report.evals.iter()) {
                 let charge = budget.charge_observed(ev.cost);
                 let score_secs = ev.score.map(|s| s.as_secs_f64());
@@ -820,6 +823,7 @@ impl Tuner {
             let mut reused = 0usize;
             let mut candidates: Vec<JvmConfig> = Vec::with_capacity(propose_n);
             {
+                let _span = bus.span(phase::PROPOSE, round);
                 let state = SearchState {
                     manipulator: manipulator.as_ref(),
                     best: Some(&best),
@@ -865,8 +869,12 @@ impl Tuner {
                 }
             }
             if screening {
+                let _span = bus.span(phase::SCREEN, round);
                 let g = model.as_mut().expect("screening implies a model");
-                let fit = g.surrogate.fit();
+                let fit = {
+                    let _fit_span = bus.span(phase::FIT, round);
+                    g.surrogate.fit()
+                };
                 if fit.refit {
                     g.fits += 1;
                 }
@@ -908,14 +916,17 @@ impl Tuner {
             });
 
             let baseline = best_samples.clone();
-            let report = pipeline.evaluate_batch(
-                executor,
-                &candidates,
-                opts.seed ^ eval_index,
-                opts.workers,
-                racing.then_some(baseline.as_slice()),
-                bus,
-            );
+            let report = {
+                let _span = bus.span(phase::MEASURE, round);
+                pipeline.evaluate_batch(
+                    executor,
+                    &candidates,
+                    opts.seed ^ eval_index,
+                    opts.workers,
+                    racing.then_some(baseline.as_slice()),
+                    bus,
+                )
+            };
 
             for (candidate, ev) in candidates.iter().zip(report.evals.iter()) {
                 let charge = budget.charge_observed(ev.cost);
@@ -1085,6 +1096,7 @@ fn emit_checkpoint(
     bus: &TelemetryBus,
 ) {
     if opts.checkpoint.is_some() {
+        let _span = bus.span(phase::CHECKPOINT, pipeline.journal_trials());
         bus.emit(&TraceEvent::CheckpointWritten {
             trials: pipeline.journal_trials(),
             spent_secs: budget.spent().as_secs_f64(),
@@ -1691,6 +1703,56 @@ mod tests {
             original.best_config.fingerprint()
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spans_are_live_only_and_leave_the_results_unchanged() {
+        use jtune_telemetry::MemoryRecorder;
+        use std::sync::Arc;
+
+        let ex = SimExecutor::new(startup_workload());
+        let mut opts = quick_opts();
+        opts.max_evaluations = Some(12);
+
+        let rec = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(rec.clone()).with_spans(true);
+        let spanned = Tuner::new(opts.clone()).run(&ex, "t", &bus);
+
+        let events = rec.events();
+        let opened = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PhaseStarted { .. }))
+            .count();
+        let closed = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PhaseEnded { .. }))
+            .count();
+        assert!(opened > 0, "no spans opened");
+        assert!(
+            closed >= opened,
+            "unclosed spans (close-only spans may add more)"
+        );
+        let phases: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseStarted { phase, .. } => Some(phase.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains("propose"));
+        assert!(phases.contains("measure"));
+
+        // Span events never reach the serialised trace, and never change
+        // the session's results.
+        assert!(events
+            .iter()
+            .filter(|e| matches!(
+                e,
+                TraceEvent::PhaseStarted { .. } | TraceEvent::PhaseEnded { .. }
+            ))
+            .all(|e| e.is_ephemeral()));
+        let plain = run_quiet(opts, &ex);
+        assert_eq!(spanned.session, plain.session);
     }
 
     #[test]

@@ -144,4 +144,7 @@ fn main() {
     println!("the screen trades cheap surrogate scores for expensive JVM runs:");
     println!("each round over-proposes, keeps only the acquisition-ranked best,");
     println!("and the budget those rejects would have burned goes to real trials.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

@@ -17,4 +17,7 @@ fn main() {
         )
     );
     println!("paper: average +19%, top-3 +63% / +51% / +32%");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

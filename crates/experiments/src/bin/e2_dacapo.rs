@@ -17,4 +17,7 @@ fn main() {
         )
     );
     println!("paper: average +26%, max +42%");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

@@ -37,4 +37,7 @@ fn main() {
     print!("{}", t.render());
     println!("expectation: curves rise steeply early and flatten towards the budget,");
     println!("which is why the paper fixes 200 minutes per program.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

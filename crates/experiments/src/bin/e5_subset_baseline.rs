@@ -78,4 +78,7 @@ fn main() {
     println!("refuses to start (see the failure row), and it only stays cheap");
     println!("because failed JVM launches cost almost no budget; the hierarchy");
     println!("spends every evaluation on a launchable configuration.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

@@ -66,4 +66,7 @@ fn main() {
             impacts.len()
         );
     }
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

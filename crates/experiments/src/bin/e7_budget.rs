@@ -53,4 +53,7 @@ fn main() {
     }
     print!("{}", t.render());
     println!("the paper's 200-minute choice sits where the curves flatten.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

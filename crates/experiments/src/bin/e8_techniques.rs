@@ -43,4 +43,7 @@ fn main() {
     println!("the ensemble's value is robustness: its per-program *minimum* is the");
     println!("highest of any row, i.e. it avoids every technique's worst case —");
     println!("what matters when each program gets one budgeted session.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

@@ -91,4 +91,7 @@ fn main() {
     println!("faults absorbed: {retried} runs retried, {quarantined} configurations quarantined");
     println!("claim: bounded retries + quarantine keep the gap within ~3 points —");
     println!("injected faults cost tuning budget, not result quality.");
+    if let Some(path) = tel.write_report() {
+        eprintln!("report: {}", path.display());
+    }
 }

@@ -42,8 +42,14 @@
 //! Telemetry (see [`telemetry`]): by default every tuning session streams
 //! its trial events to `results/traces/<experiment>/<label>.jsonl`.
 //! `--no-trace` (or `JTUNE_NO_TRACE=1`) disables the traces,
-//! `--trace DIR` (or `JTUNE_TRACE_DIR`) redirects them, and
-//! `--progress` (or `JTUNE_PROGRESS=1`) adds live stderr reporting.
+//! `--trace DIR` (or `JTUNE_TRACE_DIR`) redirects them,
+//! `--progress` (or `JTUNE_PROGRESS=1`) adds live stderr reporting, and
+//! `--spans` (or `JTUNE_SPANS=1`) turns on timing spans plus a
+//! [`MetricsRegistry`] aggregated across the whole run (dumped to
+//! `<dir>/metrics.txt` by [`ExperimentTelemetry::write_report`]). Spans
+//! are ephemeral: the JSONL traces stay byte-identical either way.
+//! After the run, every session-running driver renders the trace
+//! directory into `<dir>/report.md` via [`ExperimentTelemetry::write_report`].
 
 #![warn(missing_docs)]
 
@@ -56,7 +62,7 @@ use jtune_harness::{
     SimExecutor,
 };
 use jtune_jvmsim::Workload;
-use jtune_telemetry::{JsonlSink, ProgressReporter, TelemetryBus};
+use jtune_telemetry::{JsonlSink, MetricsRegistry, ProgressReporter, TelemetryBus};
 use jtune_util::table::{fnum, fpct, Align, Table};
 use jtune_util::{stats, SimDuration};
 
@@ -257,6 +263,10 @@ pub struct ExperimentTelemetry {
     dir: Option<PathBuf>,
     /// Attach a stderr progress reporter to every session.
     progress: bool,
+    /// Emit timing spans and aggregate a metrics registry across the run.
+    spans: bool,
+    /// Run-wide metrics, fed by every session's bus when `spans` is on.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ExperimentTelemetry {
@@ -265,13 +275,15 @@ impl ExperimentTelemetry {
         ExperimentTelemetry {
             dir: None,
             progress: false,
+            spans: false,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
     /// Build the bus for one session. `label` names the trace file
     /// (`<dir>/<label>.jsonl`, with path-hostile characters replaced).
     pub fn bus_for(&self, label: &str) -> TelemetryBus {
-        let mut bus = TelemetryBus::new();
+        let mut bus = TelemetryBus::new().with_spans(self.spans);
         if let Some(dir) = &self.dir {
             let file = format!("{}.jsonl", label.replace([':', '/', '\\', ' '], "-"));
             match JsonlSink::create(dir.join(file)) {
@@ -281,10 +293,45 @@ impl ExperimentTelemetry {
                 Err(e) => eprintln!("warning: trace disabled for {label}: {e}"),
             }
         }
+        if self.spans {
+            bus.add(Arc::clone(&self.metrics) as Arc<dyn jtune_telemetry::TuningObserver>);
+        }
         if self.progress {
             bus.add(Arc::new(ProgressReporter::stderr()));
         }
         bus
+    }
+
+    /// The run-wide metrics registry (non-empty only when spans are on).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Render everything the run left in the trace directory into
+    /// `<dir>/report.md` (plus `<dir>/metrics.txt` when spans are on).
+    /// No-op when tracing is disabled; rendering problems are warned
+    /// about on stderr but never fail the experiment. Returns the
+    /// report path when one was written.
+    pub fn write_report(&self) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        if self.spans {
+            let _ = std::fs::write(dir.join("metrics.txt"), self.metrics.render());
+        }
+        let report = match jtune_report::load(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("warning: report skipped: {e}");
+                return None;
+            }
+        };
+        let path = dir.join("report.md");
+        match std::fs::write(&path, jtune_report::to_markdown(&report)) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: report skipped: {e}");
+                None
+            }
+        }
     }
 }
 
@@ -292,13 +339,17 @@ impl ExperimentTelemetry {
 /// `"e1_specjvm"`) from the driver's command line and environment:
 /// `--no-trace`/`JTUNE_NO_TRACE` disables traces, `--trace DIR`/
 /// `JTUNE_TRACE_DIR` overrides the base directory (default
-/// `results/traces`), `--progress`/`JTUNE_PROGRESS` adds live reporting.
+/// `results/traces`), `--progress`/`JTUNE_PROGRESS` adds live reporting,
+/// and `--spans`/`JTUNE_SPANS` turns on timing spans plus run-wide
+/// metrics aggregation (traces stay byte-identical — spans are
+/// ephemeral, never serialised).
 pub fn telemetry(experiment: &str) -> ExperimentTelemetry {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let no_trace =
         args.iter().any(|a| a == "--no-trace") || std::env::var_os("JTUNE_NO_TRACE").is_some();
     let progress =
         args.iter().any(|a| a == "--progress") || std::env::var_os("JTUNE_PROGRESS").is_some();
+    let spans = args.iter().any(|a| a == "--spans") || std::env::var_os("JTUNE_SPANS").is_some();
     let base = args
         .iter()
         .position(|a| a == "--trace")
@@ -306,7 +357,12 @@ pub fn telemetry(experiment: &str) -> ExperimentTelemetry {
         .or_else(|| std::env::var("JTUNE_TRACE_DIR").ok())
         .unwrap_or_else(|| "results/traces".to_string());
     let dir = (!no_trace).then(|| Path::new(&base).join(experiment));
-    ExperimentTelemetry { dir, progress }
+    ExperimentTelemetry {
+        dir,
+        progress,
+        spans,
+        metrics: Arc::new(MetricsRegistry::new()),
+    }
 }
 
 /// Tune one workload with the given options, emitting telemetry on

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 
 use jtune_flags::JvmConfig;
-use jtune_telemetry::{TelemetryBus, TraceEvent};
+use jtune_telemetry::{phase, TelemetryBus, TraceEvent};
 
 use crate::cache::{CachePolicy, TrialCache};
 use crate::executor::Executor;
@@ -290,8 +290,19 @@ impl EvalPipeline {
             workers,
             baseline,
         );
-        for (&i, ev) in live_idx.iter().zip(fresh) {
+        let mut live_walls: Vec<(usize, f64)> = Vec::with_capacity(fresh.len());
+        for (&i, (ev, wall)) in live_idx.iter().zip(fresh) {
             slots[i] = Some(ev);
+            live_walls.push((i, wall));
+        }
+        // Per-trial wall latency: one close-only span per live slot,
+        // published in slot order after the batch joins (the values are
+        // wall-clock and vary run to run; the events are ephemeral, so
+        // the JSONL trace is untouched).
+        if bus.spans_enabled() {
+            for (i, wall) in &live_walls {
+                bus.span_closed(phase::TRIAL, *i as u64, *wall);
+            }
         }
         for &i in &fresh_idx {
             let ev = slots[i].clone().expect("fresh slot resolved");

@@ -17,6 +17,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use jtune_flags::JvmConfig;
 use jtune_telemetry::{TelemetryBus, TraceEvent};
@@ -52,9 +53,10 @@ pub fn evaluate_batch(
     bus: &TelemetryBus,
 ) -> Vec<Evaluation> {
     let all: Vec<usize> = (0..candidates.len()).collect();
-    let evals = run_selected(
+    let timed = run_selected(
         executor, protocol, candidates, &all, base_seed, workers, None,
     );
+    let evals: Vec<Evaluation> = timed.into_iter().map(|(ev, _)| ev).collect();
     if bus.is_enabled() {
         for (slot, ev) in evals.iter().enumerate() {
             emit_measured(bus, slot, ev);
@@ -98,11 +100,13 @@ pub(crate) fn emit_measured(bus: &TelemetryBus, slot: usize, ev: &Evaluation) {
 }
 
 /// Evaluate only the slots in `selected` (e.g. the cache misses of a
-/// batch), in parallel, returning evaluations in `selected` order. Each
-/// slot keeps its canonical `(base_seed, slot)` noise seed. `baseline`
-/// is the racing baseline forwarded to
-/// [`Protocol::evaluate_raced`] — the same frozen slice for every slot,
-/// so racing decisions are independent of worker scheduling.
+/// batch), in parallel, returning evaluations in `selected` order paired
+/// with each slot's wall-clock evaluation time in seconds (real elapsed
+/// time on its worker thread — observability only, never part of the
+/// deterministic result). Each slot keeps its canonical
+/// `(base_seed, slot)` noise seed. `baseline` is the racing baseline
+/// forwarded to [`Protocol::evaluate_raced`] — the same frozen slice for
+/// every slot, so racing decisions are independent of worker scheduling.
 pub(crate) fn run_selected(
     executor: &dyn Executor,
     protocol: Protocol,
@@ -111,17 +115,25 @@ pub(crate) fn run_selected(
     base_seed: u64,
     workers: usize,
     baseline: Option<&[f64]>,
-) -> Vec<Evaluation> {
+) -> Vec<(Evaluation, f64)> {
     if workers <= 1 || selected.len() <= 1 {
         return selected
             .iter()
             .map(|&i| {
-                protocol.evaluate_raced(executor, &candidates[i], seed_for(base_seed, i), baseline)
+                let start = Instant::now();
+                let ev = protocol.evaluate_raced(
+                    executor,
+                    &candidates[i],
+                    seed_for(base_seed, i),
+                    baseline,
+                );
+                (ev, start.elapsed().as_secs_f64())
             })
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Evaluation>>> = selected.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(Evaluation, f64)>>> =
+        selected.iter().map(|_| Mutex::new(None)).collect();
     let workers = workers.min(selected.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -131,15 +143,17 @@ pub(crate) fn run_selected(
                     break;
                 }
                 let i = selected[k];
+                let start = Instant::now();
                 let ev = protocol.evaluate_raced(
                     executor,
                     &candidates[i],
                     seed_for(base_seed, i),
                     baseline,
                 );
+                let wall = start.elapsed().as_secs_f64();
                 // A panicking sibling poisons the mutex but not the data:
                 // recover rather than cascading the panic into the daemon.
-                *slots[k].lock().unwrap_or_else(|p| p.into_inner()) = Some(ev);
+                *slots[k].lock().unwrap_or_else(|p| p.into_inner()) = Some((ev, wall));
             });
         }
     });
@@ -253,7 +267,24 @@ mod tests {
         let subset = [1usize, 4, 6];
         let partial = run_selected(&ex, Protocol::default(), &cs, &subset, 11, 4, None);
         for (k, &i) in subset.iter().enumerate() {
-            assert_eq!(partial[k].samples, full[i].samples, "slot {i} seed drifted");
+            assert_eq!(
+                partial[k].0.samples, full[i].0.samples,
+                "slot {i} seed drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn run_selected_reports_nonnegative_wall_times() {
+        let ex = executor();
+        let cs = candidates(&ex, 4);
+        let all: Vec<usize> = (0..cs.len()).collect();
+        for workers in [1, 4] {
+            let timed = run_selected(&ex, Protocol::default(), &cs, &all, 2, workers, None);
+            assert_eq!(timed.len(), cs.len());
+            for (_, wall) in &timed {
+                assert!(wall.is_finite() && *wall >= 0.0);
+            }
         }
     }
 }

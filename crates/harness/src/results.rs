@@ -111,8 +111,54 @@ impl SessionRecord {
         out
     }
 
+    /// Per-technique usage summary derived from the trial log: for each
+    /// technique (in name order) the trials it proposed, how many
+    /// failed, how many improved on the best-so-far, and the total
+    /// best-score improvement attributed to it, seconds.
+    pub fn technique_usage(&self) -> Vec<(String, u64, u64, u64, f64)> {
+        use std::collections::BTreeMap;
+        let mut by_name: BTreeMap<&str, (u64, u64, u64, f64)> = BTreeMap::new();
+        let mut best: Option<f64> = None;
+        for t in &self.trials {
+            let e = by_name.entry(&t.technique).or_default();
+            e.0 += 1;
+            match t.score_secs {
+                None => e.1 += 1,
+                Some(s) => match best {
+                    Some(b) if s >= b => {}
+                    prev => {
+                        if let Some(b) = prev {
+                            e.2 += 1;
+                            e.3 += b - s;
+                        }
+                        best = Some(s);
+                    }
+                },
+            }
+        }
+        by_name
+            .into_iter()
+            .map(|(name, (trials, failures, wins, reward))| {
+                (name.to_string(), trials, failures, wins, reward)
+            })
+            .collect()
+    }
+
     /// Render the session as a single JSON object (the `--json` surface).
     pub fn to_json(&self) -> String {
+        let techniques: Vec<String> = self
+            .technique_usage()
+            .iter()
+            .map(|(name, trials, failures, wins, reward)| {
+                JsonObject::new()
+                    .str("name", name)
+                    .u64("trials", *trials)
+                    .u64("failures", *failures)
+                    .u64("wins", *wins)
+                    .f64("reward_secs", *reward)
+                    .finish()
+            })
+            .collect();
         let trials: Vec<String> = self
             .trials
             .iter()
@@ -144,6 +190,7 @@ impl SessionRecord {
             .f64("saved_secs", self.saved_secs)
             .u64("screened", self.screened)
             .u64("model_fits", self.model_fits)
+            .raw("techniques", &jtune_util::json::array_of(&techniques))
             .raw("trials", &jtune_util::json::array_of(&trials))
             .finish()
     }
@@ -317,6 +364,30 @@ mod tests {
     fn improvement_matches_paper_formula() {
         let s = sample();
         assert!((s.improvement_percent() - (42.5 / 30.0 - 1.0) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn technique_usage_groups_wins_and_rewards() {
+        let mut s = sample();
+        s.trials.push(TrialRecord {
+            index: 2,
+            at_secs: 300.0,
+            score_secs: Some(30.0),
+            technique: "random".into(),
+            delta: vec!["-XX:+UseG1GC".into()],
+        });
+        let usage = s.technique_usage();
+        // Name order: default, random.
+        assert_eq!(usage[0].0, "default");
+        assert_eq!(usage[0].1, 1);
+        assert_eq!(usage[1].0, "random");
+        assert_eq!(usage[1].1, 2);
+        assert_eq!(usage[1].2, 1, "one failed trial");
+        assert_eq!(usage[1].3, 1, "one win");
+        assert!((usage[1].4 - 12.5).abs() < 1e-12, "reward 42.5 - 30");
+        let json = s.to_json();
+        assert!(json.contains("\"techniques\":[{\"name\":\"default\""));
+        assert!(json.contains("\"reward_secs\":12.5"));
     }
 
     #[test]

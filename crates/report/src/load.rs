@@ -1,0 +1,230 @@
+//! Input discovery: turn a path — trace file, TSV record, session
+//! directory, experiment trace directory, or server state directory —
+//! into an ordered list of [`SessionSummary`]s.
+//!
+//! Discovery is deterministic: directory entries are sorted by name
+//! (server sessions numerically by ID), so the same directory always
+//! produces the same report regardless of filesystem enumeration order.
+
+use std::path::Path;
+
+use jtune_harness::SessionRecord;
+
+use crate::summary::SessionSummary;
+
+/// A loaded report input: a titled, ordered collection of sessions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Report title (the input file or directory name).
+    pub title: String,
+    /// Sessions in deterministic (name / session-ID) order.
+    pub sessions: Vec<SessionSummary>,
+}
+
+fn label_of(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+fn title_of(path: &Path) -> String {
+    path.file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+fn load_trace_file(path: &Path) -> Result<SessionSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    SessionSummary::from_trace(&label_of(path), &text)
+}
+
+fn load_tsv_file(path: &Path) -> Result<SessionSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let record = SessionRecord::from_tsv(&text)
+        .ok_or_else(|| format!("{}: not a session TSV record", path.display()))?;
+    Ok(SessionSummary::from_record(&label_of(path), &record))
+}
+
+/// Sorted entries of `dir` whose file name passes `keep`.
+fn entries(dir: &Path, keep: impl Fn(&str) -> bool) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut out: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .map(|n| keep(&n.to_string_lossy()))
+                .unwrap_or(false)
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Load a report from `path`. Accepted shapes:
+///
+/// - a `.jsonl` trace file (one session);
+/// - a `.tsv` session record (one session);
+/// - a session directory holding `trace.jsonl` (one session, e.g. a
+///   server session's state subdirectory);
+/// - a server state directory: numeric subdirectories each holding
+///   `trace.jsonl`, ordered by session ID;
+/// - an experiment trace directory: `*.jsonl` files, ordered by name
+///   (e.g. `results/traces/e1_specjvm/`);
+/// - a directory of `*.tsv` records (a `JTUNE_OUT` directory), ordered
+///   by name.
+pub fn load(path: &Path) -> Result<Report, String> {
+    if path.is_file() {
+        let name = title_of(path);
+        let session = if name.ends_with(".tsv") {
+            load_tsv_file(path)?
+        } else {
+            load_trace_file(path)?
+        };
+        return Ok(Report {
+            title: name,
+            sessions: vec![session],
+        });
+    }
+    if !path.is_dir() {
+        return Err(format!("{}: no such file or directory", path.display()));
+    }
+    let title = title_of(path);
+
+    // A session directory: its own trace.jsonl.
+    if path.join("trace.jsonl").is_file() {
+        return Ok(Report {
+            title,
+            sessions: vec![load_trace_file(&path.join("trace.jsonl")).map(|mut s| {
+                s.label = label_of(path);
+                s
+            })?],
+        });
+    }
+
+    // A server state directory: numeric session subdirectories.
+    let mut session_dirs: Vec<(u64, std::path::PathBuf)> = std::fs::read_dir(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| {
+            let sid: u64 = p.file_name()?.to_str()?.parse().ok()?;
+            p.join("trace.jsonl").is_file().then_some((sid, p))
+        })
+        .collect();
+    session_dirs.sort();
+    if !session_dirs.is_empty() {
+        let sessions = session_dirs
+            .into_iter()
+            .map(|(sid, dir)| {
+                load_trace_file(&dir.join("trace.jsonl")).map(|mut s| {
+                    s.label = format!("session {sid}");
+                    s
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Report { title, sessions });
+    }
+
+    // An experiment trace directory (*.jsonl) or record directory (*.tsv).
+    let traces = entries(path, |n| n.ends_with(".jsonl"))?;
+    if !traces.is_empty() {
+        let sessions = traces
+            .iter()
+            .map(|p| load_trace_file(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Report { title, sessions });
+    }
+    let records = entries(path, |n| n.ends_with(".tsv"))?;
+    if !records.is_empty() {
+        let sessions = records
+            .iter()
+            .map(|p| load_tsv_file(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(Report { title, sessions });
+    }
+    Err(format!(
+        "{}: no trace.jsonl, session subdirectories, *.jsonl or *.tsv files found",
+        path.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("jtune-report-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn tiny_trace(program: &str) -> String {
+        [
+            format!(r#"{{"type":"SessionStarted","program":"{program}","executor":"sim:{program}","technique":"ensemble","manipulator":"hierarchical","budget_secs":60,"seed":1,"batch":4,"repeats":3}}"#),
+            r#"{"type":"TrialEvaluated","index":0,"technique":"default","delta":[],"repeat_secs":[5.0],"score_secs":5.0,"cost_secs":5.0,"budget_spent_secs":5.0,"gc_pause_total_ms":null,"jit_compile_ms":null,"error":null}"#.to_string(),
+            format!(r#"{{"type":"SessionFinished","program":"{program}","default_secs":5,"best_secs":5,"improvement_percent":0,"evaluations":1,"spent_secs":5,"best_delta":[]}}"#),
+            String::new(),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn loads_single_trace_file() {
+        let dir = temp_dir("file");
+        let path = dir.join("run.jsonl");
+        std::fs::write(&path, tiny_trace("compress")).unwrap();
+        let r = load(&path).expect("load");
+        assert_eq!(r.title, "run.jsonl");
+        assert_eq!(r.sessions.len(), 1);
+        assert_eq!(r.sessions[0].label, "run");
+        assert_eq!(r.sessions[0].program, "compress");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loads_experiment_directory_in_name_order() {
+        let dir = temp_dir("exp");
+        std::fs::write(dir.join("b.jsonl"), tiny_trace("serial")).unwrap();
+        std::fs::write(dir.join("a.jsonl"), tiny_trace("compress")).unwrap();
+        let r = load(&dir).expect("load");
+        let programs: Vec<&str> = r.sessions.iter().map(|s| s.program.as_str()).collect();
+        assert_eq!(programs, vec!["compress", "serial"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loads_server_state_directory_by_session_id() {
+        let dir = temp_dir("state");
+        for sid in [10u64, 2] {
+            let sub = dir.join(sid.to_string());
+            std::fs::create_dir_all(&sub).unwrap();
+            std::fs::write(sub.join("trace.jsonl"), tiny_trace("compress")).unwrap();
+        }
+        // A non-session entry must not confuse discovery.
+        std::fs::write(dir.join("server.lock"), "x").unwrap();
+        let r = load(&dir).expect("load");
+        let labels: Vec<&str> = r.sessions.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["session 2", "session 10"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loads_session_directory_with_trace() {
+        let dir = temp_dir("session");
+        std::fs::write(dir.join("trace.jsonl"), tiny_trace("serial")).unwrap();
+        let r = load(&dir).expect("load");
+        assert_eq!(r.sessions.len(), 1);
+        assert_eq!(r.sessions[0].program, "serial");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_inputs_error() {
+        let dir = temp_dir("empty");
+        assert!(load(&dir).is_err());
+        assert!(load(&dir.join("nope")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

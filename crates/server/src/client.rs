@@ -89,6 +89,14 @@ impl Client {
         self.round_trip(&Request::Cancel { sid }).map(|_| ())
     }
 
+    /// Fetch aggregated metrics (all sessions, or one): the ok frame's
+    /// `sessions` array carries one row per session with its counters
+    /// and wall histograms, and `server` carries the daemon's own
+    /// frame-handling histogram.
+    pub fn stats(&mut self, sid: Option<u64>) -> Result<JsonValue, WireError> {
+        self.round_trip(&Request::Stats { sid })
+    }
+
     /// Stop the daemon; `drain` checkpoints in-flight sessions first.
     pub fn shutdown(&mut self, drain: bool) -> Result<(), WireError> {
         self.round_trip(&Request::Shutdown { drain }).map(|_| ())

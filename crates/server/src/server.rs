@@ -10,7 +10,7 @@ use std::thread::JoinHandle;
 
 use autotuner_core::Tuner;
 use jtune_harness::{MeasurementCache, MemoExecutor, SimExecutor};
-use jtune_telemetry::{EventStreamSink, JsonlSink, TelemetryBus};
+use jtune_telemetry::{EventStreamSink, JsonlSink, MetricsRegistry, TelemetryBus};
 use jtune_util::json::JsonValue;
 use jtune_workloads::workload_by_name;
 
@@ -46,15 +46,22 @@ pub struct ServerConfig {
     /// `spec.json`, `journal.jsonl`, `trace.jsonl` and, when finished,
     /// `result.json`.
     pub state_dir: PathBuf,
+    /// Emit timing spans on each session's bus (default `false`). Spans
+    /// are ephemeral — the serialised `trace.jsonl` is byte-identical
+    /// either way — but they feed the per-session wall histograms the
+    /// `stats` op reports.
+    pub spans: bool,
 }
 
 impl ServerConfig {
-    /// Defaults: capacity 8, 4 slots, state under `jtune-state/`.
+    /// Defaults: capacity 8, 4 slots, spans off, state under
+    /// `jtune-state/`.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             capacity: 8,
             slots: 4,
             state_dir: state_dir.into(),
+            spans: false,
         }
     }
 }
@@ -69,6 +76,7 @@ pub struct SessionHandle {
     stop: Arc<AtomicBool>,
     stream: Arc<EventStreamSink>,
     probe: Arc<ProgressProbe>,
+    metrics: Arc<MetricsRegistry>,
     executor: Mutex<Option<Arc<SessionExecutor>>>,
     join: Mutex<Option<JoinHandle<()>>>,
 }
@@ -82,6 +90,7 @@ impl SessionHandle {
             stop: Arc::new(AtomicBool::new(false)),
             stream: Arc::new(EventStreamSink::new()),
             probe: Arc::new(ProgressProbe::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
             executor: Mutex::new(None),
             join: Mutex::new(None),
         }
@@ -99,6 +108,12 @@ impl SessionHandle {
     /// Trials this session has evaluated so far (live).
     pub fn trials(&self) -> u64 {
         self.probe.trials()
+    }
+
+    /// This session's live metrics registry (event counters plus, with
+    /// spans enabled, wall-clock histograms).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Cross-session cache hits this session has enjoyed so far.
@@ -122,6 +137,9 @@ pub struct TuneServer {
     sessions: Mutex<BTreeMap<u64, Arc<SessionHandle>>>,
     next_sid: AtomicU64,
     shutting_down: AtomicBool,
+    /// Daemon-level metrics: the `frame_wall` histogram of per-request
+    /// handling time, fed directly by `handle_connection`.
+    metrics: MetricsRegistry,
 }
 
 impl TuneServer {
@@ -135,6 +153,7 @@ impl TuneServer {
             sessions: Mutex::new(BTreeMap::new()),
             next_sid: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            metrics: MetricsRegistry::new(),
             config,
         });
         server.restore()?;
@@ -316,10 +335,11 @@ impl TuneServer {
         }
         opts.stop = Some(Arc::clone(&handle.stop));
 
-        let mut bus = TelemetryBus::new();
+        let mut bus = TelemetryBus::new().with_spans(self.config.spans);
         bus.add(Arc::new(sink));
         bus.add(Arc::clone(&handle.stream) as Arc<dyn jtune_telemetry::TuningObserver>);
         bus.add(Arc::clone(&handle.probe) as Arc<dyn jtune_telemetry::TuningObserver>);
+        bus.add(Arc::clone(&handle.metrics) as Arc<dyn jtune_telemetry::TuningObserver>);
 
         handle.set_state(SessionState::Running);
         let thread_handle = Arc::clone(&handle);
@@ -387,6 +407,43 @@ impl TuneServer {
             .collect();
         Ok(wire::ok_frame()
             .raw("sessions", &jtune_util::json::array_of(&rows))
+            .finish())
+    }
+
+    /// The daemon-level metrics registry (frame-handling histogram).
+    pub fn server_metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Render the stats payload: one row per session (ID order) carrying
+    /// its aggregated counters + histograms as rendered by
+    /// [`MetricsRegistry::to_json`], plus the daemon's own metrics
+    /// (frame-handling histogram) under `"server"`.
+    pub fn stats(&self, sid: Option<u64>) -> Result<String, WireError> {
+        let handles: Vec<Arc<SessionHandle>> = match sid {
+            Some(sid) => vec![self.handle_of(sid)?],
+            None => self
+                .sessions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .values()
+                .cloned()
+                .collect(),
+        };
+        let rows: Vec<String> = handles
+            .iter()
+            .map(|h| {
+                jtune_util::json::JsonObject::new()
+                    .u64("sid", h.sid)
+                    .str("program", &h.spec.program)
+                    .str("state", h.state().label())
+                    .raw("metrics", &h.metrics.to_json())
+                    .finish()
+            })
+            .collect();
+        Ok(wire::ok_frame()
+            .raw("sessions", &jtune_util::json::array_of(&rows))
+            .raw("server", &self.metrics.to_json())
             .finish())
     }
 
@@ -501,10 +558,15 @@ impl TuneServer {
             if line.trim().is_empty() {
                 continue;
             }
+            // Frame-handling wall time: from parse to reply written
+            // (watch streams count until their stream closes).
+            let frame_start = std::time::Instant::now();
             let request = match wire::parse_request(&line) {
                 Ok(r) => r,
                 Err(e) => {
                     writeln!(writer, "{}", wire::error_frame(&e))?;
+                    self.metrics
+                        .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                     continue;
                 }
             };
@@ -541,11 +603,20 @@ impl TuneServer {
                     };
                     writeln!(writer, "{reply}")?;
                 }
+                Request::Stats { sid } => {
+                    let reply = match self.stats(sid) {
+                        Ok(frame) => frame,
+                        Err(e) => wire::error_frame(&e),
+                    };
+                    writeln!(writer, "{reply}")?;
+                }
                 Request::Watch { sid } => {
                     let handle = match self.handle_of(sid) {
                         Ok(h) => h,
                         Err(e) => {
                             writeln!(writer, "{}", wire::error_frame(&e))?;
+                            self.metrics
+                                .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                             continue;
                         }
                     };
@@ -568,11 +639,15 @@ impl TuneServer {
                         "{}",
                         wire::ok_frame().bool("draining", drain).finish()
                     )?;
+                    self.metrics
+                        .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                     // Unblock the accept loop so `serve` returns.
                     let _ = TcpStream::connect(self_addr);
                     return Ok(());
                 }
             }
+            self.metrics
+                .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
         }
         Ok(())
     }

@@ -16,6 +16,7 @@
 //! | `watch`    | `sid`                                  | event stream (see below) |
 //! | `result`   | `sid`                                  | record line (see below) |
 //! | `cancel`   | `sid`                                  | `sid`         |
+//! | `stats`    | optional `sid`                         | aggregated counters + histograms |
 //! | `shutdown` | optional `drain` (default `true`)      | `draining`    |
 //!
 //! Two replies carry raw payload lines so clients (and CI scripts) can
@@ -65,6 +66,13 @@ pub enum Request {
     Cancel {
         /// The session to cancel.
         sid: u64,
+    },
+    /// Report aggregated metrics (all sessions, or one when `sid` is
+    /// given): per-session event counters plus wall-clock histograms,
+    /// and the daemon's frame-handling histogram.
+    Stats {
+        /// Restrict to one session.
+        sid: Option<u64>,
     },
     /// Stop the daemon; with `drain`, suspend + checkpoint in-flight
     /// sessions first so a restart resumes them.
@@ -135,6 +143,9 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         "watch" => Ok(Request::Watch { sid: sid_of(&v)? }),
         "result" => Ok(Request::Result { sid: sid_of(&v)? }),
         "cancel" => Ok(Request::Cancel { sid: sid_of(&v)? }),
+        "stats" => Ok(Request::Stats {
+            sid: v.get("sid").and_then(JsonValue::as_u64),
+        }),
         "shutdown" => Ok(Request::Shutdown {
             drain: v
                 .get("drain")
@@ -163,6 +174,13 @@ pub fn render_request(request: &Request) -> String {
         Request::Watch { sid } => base.str("op", "watch").u64("sid", *sid).finish(),
         Request::Result { sid } => base.str("op", "result").u64("sid", *sid).finish(),
         Request::Cancel { sid } => base.str("op", "cancel").u64("sid", *sid).finish(),
+        Request::Stats { sid } => {
+            let o = base.str("op", "stats");
+            match sid {
+                Some(s) => o.u64("sid", *s).finish(),
+                None => o.finish(),
+            }
+        }
         Request::Shutdown { drain } => base.str("op", "shutdown").bool("drain", *drain).finish(),
     }
 }
@@ -236,6 +254,8 @@ mod tests {
             Request::Watch { sid: 1 },
             Request::Result { sid: 2 },
             Request::Cancel { sid: 9 },
+            Request::Stats { sid: None },
+            Request::Stats { sid: Some(5) },
             Request::Shutdown { drain: false },
         ];
         for req in reqs {

@@ -283,6 +283,91 @@ fn tcp_round_trip_submit_watch_status_result_shutdown() {
 }
 
 #[test]
+fn stats_round_trip_reports_counters_and_histograms() {
+    let state = temp_dir("stats");
+    let mut config = ServerConfig::new(state.join("state"));
+    // Spans feed the wall histograms; the serialised trace must stay
+    // byte-identical to the spans-off one-shot reference regardless.
+    config.spans = true;
+    let server = TuneServer::new(config).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    let session_spec = spec("compress", 10, 41);
+    let mut client = Client::connect(addr).expect("connect");
+    let sid = client.submit(session_spec.clone()).expect("submit");
+    server.join_session(sid);
+
+    let stats = client.stats(Some(sid)).expect("stats");
+    let sessions = stats
+        .get("sessions")
+        .and_then(JsonValue::as_array)
+        .expect("sessions rows");
+    assert_eq!(sessions.len(), 1);
+    let row = &sessions[0];
+    assert_eq!(row.get("sid").and_then(JsonValue::as_u64), Some(sid));
+    assert_eq!(
+        row.get("state").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+    let metrics = row.get("metrics").expect("metrics object");
+    let counters = metrics.get("counters").expect("counters object");
+    assert!(
+        counters
+            .get("trials_measured")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "session counters missing trials"
+    );
+    // Spans were on, so the per-session wall histograms are populated.
+    let wall = metrics.get("wall").expect("wall object");
+    let trial_wall = wall.get("trial_wall").expect("trial_wall histogram");
+    assert!(
+        trial_wall
+            .get("count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "trial_wall histogram empty despite spans on"
+    );
+    // The daemon-level frame histogram saw at least the submit frame.
+    let frame_wall = stats
+        .get("server")
+        .and_then(|s| s.get("wall"))
+        .and_then(|w| w.get("frame_wall"))
+        .expect("server frame_wall");
+    assert!(
+        frame_wall
+            .get("count")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "frame_wall histogram empty"
+    );
+
+    // Unknown sessions get the structured unknown-session error.
+    let err = client.stats(Some(9999)).expect_err("unknown sid");
+    assert!(err.message.contains("unknown-session"), "{err}");
+
+    // Spans on changed nothing about the serialised trace: it is still
+    // byte-identical to the spans-off one-shot run.
+    let reference = temp_dir("stats-ref");
+    let (want_trace, _) = one_shot_reference(&reference, &session_spec);
+    let (got_trace, _) = read_session_files(&state.join("state"), sid);
+    assert_eq!(got_trace, want_trace, "spans leaked into the trace");
+
+    client.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
 fn malformed_frames_get_structured_error_replies() {
     use std::io::{BufRead, BufReader, Write};
 

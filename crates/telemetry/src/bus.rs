@@ -1,8 +1,28 @@
-//! The observer trait and the fan-out bus.
+//! The observer trait, the fan-out bus, and timing spans.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::event::TraceEvent;
+
+/// Canonical phase names for the tuner's timing spans (the `phase`
+/// field of [`TraceEvent::PhaseStarted`] / [`TraceEvent::PhaseEnded`]).
+pub mod phase {
+    /// A search technique proposing a round of candidates.
+    pub const PROPOSE: &str = "propose";
+    /// The surrogate screening over-proposed candidates.
+    pub const SCREEN: &str = "screen";
+    /// The evaluation pipeline measuring one batch (batch wall time).
+    pub const MEASURE: &str = "measure";
+    /// The surrogate model refitting on trial history.
+    pub const FIT: &str = "fit";
+    /// The write-ahead journal reaching a durable checkpoint.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// One fresh trial's executor wall time (close-only span).
+    pub const TRIAL: &str = "trial";
+    /// The daemon handling one request frame (close-only span).
+    pub const FRAME: &str = "frame";
+}
 
 /// Anything that consumes tuning trace events.
 ///
@@ -27,12 +47,18 @@ pub trait TuningObserver: Send + Sync {
 #[derive(Clone, Default)]
 pub struct TelemetryBus {
     sinks: Vec<Arc<dyn TuningObserver>>,
+    /// Emit timing spans ([`TraceEvent::PhaseStarted`] /
+    /// [`TraceEvent::PhaseEnded`]). Off by default: spans are ephemeral
+    /// (never serialised to JSONL), but emitting them still costs two
+    /// events per phase, so instrumented code checks this gate.
+    spans: bool,
 }
 
 impl std::fmt::Debug for TelemetryBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TelemetryBus")
             .field("sinks", &self.sinks.len())
+            .field("spans", &self.spans)
             .finish()
     }
 }
@@ -67,6 +93,55 @@ impl TelemetryBus {
         !self.sinks.is_empty()
     }
 
+    /// Enable or disable timing spans (off by default).
+    pub fn set_spans(&mut self, enabled: bool) {
+        self.spans = enabled;
+    }
+
+    /// Builder-style [`TelemetryBus::set_spans`].
+    pub fn with_spans(mut self, enabled: bool) -> Self {
+        self.spans = enabled;
+        self
+    }
+
+    /// Are timing spans requested *and* observable (some sink attached)?
+    pub fn spans_enabled(&self) -> bool {
+        self.spans && !self.sinks.is_empty()
+    }
+
+    /// Open a timing span: emits [`TraceEvent::PhaseStarted`] now and
+    /// [`TraceEvent::PhaseEnded`] (with the wall-clock elapsed time)
+    /// when the guard drops. A no-op unless [`TelemetryBus::spans_enabled`].
+    pub fn span(&self, phase: &'static str, round: u64) -> SpanGuard<'_> {
+        let bus = self.spans_enabled().then_some(self);
+        if let Some(bus) = bus {
+            bus.emit(&TraceEvent::PhaseStarted {
+                phase: phase.to_string(),
+                round,
+            });
+        }
+        SpanGuard {
+            bus,
+            phase,
+            round,
+            start: Instant::now(),
+        }
+    }
+
+    /// Emit a close-only span (no opening event): one
+    /// [`TraceEvent::PhaseEnded`] carrying an externally measured wall
+    /// time. Used for per-trial latency, where the measurement happens
+    /// inside worker threads and is published in slot order afterwards.
+    pub fn span_closed(&self, phase: &'static str, round: u64, elapsed_secs: f64) {
+        if self.spans_enabled() {
+            self.emit(&TraceEvent::PhaseEnded {
+                phase: phase.to_string(),
+                round,
+                elapsed_secs,
+            });
+        }
+    }
+
     /// Deliver `event` to every sink.
     pub fn emit(&self, event: &TraceEvent) {
         for sink in &self.sinks {
@@ -78,6 +153,30 @@ impl TelemetryBus {
     pub fn flush(&self) {
         for sink in &self.sinks {
             sink.flush();
+        }
+    }
+}
+
+/// RAII guard for an open timing span (see [`TelemetryBus::span`]).
+///
+/// Holds the bus reference only when spans were enabled at open time, so
+/// a disabled guard is a pure `Instant` and drops without emitting.
+#[must_use = "a span measures the scope it lives in; dropping it immediately closes the span"]
+pub struct SpanGuard<'a> {
+    bus: Option<&'a TelemetryBus>,
+    phase: &'static str,
+    round: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(bus) = self.bus {
+            bus.emit(&TraceEvent::PhaseEnded {
+                phase: self.phase.to_string(),
+                round: self.round,
+                elapsed_secs: self.start.elapsed().as_secs_f64(),
+            });
         }
     }
 }
@@ -97,6 +196,58 @@ mod tests {
             candidates: 1,
         });
         bus.flush();
+    }
+
+    #[test]
+    fn spans_off_emits_nothing() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(rec.clone());
+        assert!(!bus.spans_enabled());
+        {
+            let _g = bus.span(phase::PROPOSE, 1);
+        }
+        bus.span_closed(phase::TRIAL, 0, 1.25);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn spans_on_emit_paired_events() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(rec.clone()).with_spans(true);
+        assert!(bus.spans_enabled());
+        {
+            let _g = bus.span(phase::MEASURE, 7);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            TraceEvent::PhaseStarted { phase, round: 7 } if phase == "measure"
+        ));
+        assert!(matches!(
+            &events[1],
+            TraceEvent::PhaseEnded { phase, round: 7, elapsed_secs } if phase == "measure" && *elapsed_secs >= 0.0
+        ));
+    }
+
+    #[test]
+    fn spans_flag_without_sinks_is_inert() {
+        let bus = TelemetryBus::new().with_spans(true);
+        assert!(!bus.spans_enabled());
+        let _g = bus.span(phase::FIT, 0);
+    }
+
+    #[test]
+    fn close_only_span_emits_single_ended_event() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let bus = TelemetryBus::new().with(rec.clone()).with_spans(true);
+        bus.span_closed(phase::TRIAL, 3, 0.5);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            TraceEvent::PhaseEnded { phase, round: 3, elapsed_secs } if phase == "trial" && *elapsed_secs == 0.5
+        ));
     }
 
     #[test]

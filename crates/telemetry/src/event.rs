@@ -216,6 +216,30 @@ pub enum TraceEvent {
         /// Completed trials replayed from the journal.
         trials_replayed: u64,
     },
+    /// A timed tuning phase began (propose / screen / measure / fit /
+    /// checkpoint; see [`crate::phase`]). *Ephemeral*: span events carry
+    /// wall-clock timings that vary run to run, so they feed live sinks
+    /// (the metrics registry, watch streams) but never the
+    /// byte-deterministic JSONL trace.
+    PhaseStarted {
+        /// Phase name (one of the [`crate::phase`] constants).
+        phase: String,
+        /// Round the phase belongs to (0 = the primer round; for
+        /// per-trial spans, the batch slot).
+        round: u64,
+    },
+    /// A timed tuning phase ended. *Ephemeral*, like
+    /// [`TraceEvent::PhaseStarted`]. Per-trial latency spans
+    /// ([`crate::phase::TRIAL`]) emit only this closing event.
+    PhaseEnded {
+        /// Phase name (one of the [`crate::phase`] constants).
+        phase: String,
+        /// Round the phase belongs to (for per-trial spans, the slot).
+        round: u64,
+        /// Wall-clock time the phase took, seconds (host time, not
+        /// virtual tuning time).
+        elapsed_secs: f64,
+    },
     /// The tuning budget was exhausted (emitted once, at the charge that
     /// crossed the limit).
     BudgetExhausted {
@@ -262,6 +286,8 @@ impl TraceEvent {
             TraceEvent::CandidateScreened { .. } => "CandidateScreened",
             TraceEvent::CheckpointWritten { .. } => "CheckpointWritten",
             TraceEvent::SessionResumed { .. } => "SessionResumed",
+            TraceEvent::PhaseStarted { .. } => "PhaseStarted",
+            TraceEvent::PhaseEnded { .. } => "PhaseEnded",
             TraceEvent::BestImproved { .. } => "BestImproved",
             TraceEvent::TechniqueSwitched { .. } => "TechniqueSwitched",
             TraceEvent::BudgetExhausted { .. } => "BudgetExhausted",
@@ -270,12 +296,20 @@ impl TraceEvent {
     }
 
     /// Is this event live-only — meaningful to an attached observer but
-    /// excluded from the serialised JSONL trace? Only
-    /// [`TraceEvent::SessionResumed`] qualifies: it describes *how this
-    /// process reached* its state, not the session itself, and a resumed
-    /// trace must match the uninterrupted one byte for byte.
+    /// excluded from the serialised JSONL trace?
+    /// [`TraceEvent::SessionResumed`] describes *how this process
+    /// reached* its state, not the session itself, and a resumed trace
+    /// must match the uninterrupted one byte for byte. The span events
+    /// ([`TraceEvent::PhaseStarted`] / [`TraceEvent::PhaseEnded`]) carry
+    /// wall-clock timings that differ run to run, so serialising them
+    /// would break the trace's byte-determinism contract.
     pub fn is_ephemeral(&self) -> bool {
-        matches!(self, TraceEvent::SessionResumed { .. })
+        matches!(
+            self,
+            TraceEvent::SessionResumed { .. }
+                | TraceEvent::PhaseStarted { .. }
+                | TraceEvent::PhaseEnded { .. }
+        )
     }
 
     /// Render as one JSON object (one line of the JSONL trace).
@@ -446,6 +480,18 @@ impl TraceEvent {
             TraceEvent::SessionResumed { trials_replayed } => {
                 o.u64("trials_replayed", *trials_replayed).finish()
             }
+            TraceEvent::PhaseStarted { phase, round } => {
+                o.str("phase", phase).u64("round", *round).finish()
+            }
+            TraceEvent::PhaseEnded {
+                phase,
+                round,
+                elapsed_secs,
+            } => o
+                .str("phase", phase)
+                .u64("round", *round)
+                .f64("elapsed_secs", *elapsed_secs)
+                .finish(),
             TraceEvent::BestImproved {
                 index,
                 score_secs,
@@ -597,6 +643,15 @@ mod tests {
             TraceEvent::SessionResumed {
                 trials_replayed: 17,
             },
+            TraceEvent::PhaseStarted {
+                phase: "propose".into(),
+                round: 4,
+            },
+            TraceEvent::PhaseEnded {
+                phase: "propose".into(),
+                round: 4,
+                elapsed_secs: 0.002,
+            },
             TraceEvent::BudgetExhausted {
                 spent_secs: 61.0,
                 total_secs: 60.0,
@@ -623,8 +678,19 @@ mod tests {
     }
 
     #[test]
-    fn only_session_resumed_is_ephemeral() {
+    fn only_live_only_events_are_ephemeral() {
         assert!(TraceEvent::SessionResumed { trials_replayed: 2 }.is_ephemeral());
+        assert!(TraceEvent::PhaseStarted {
+            phase: "measure".into(),
+            round: 1
+        }
+        .is_ephemeral());
+        assert!(TraceEvent::PhaseEnded {
+            phase: "measure".into(),
+            round: 1,
+            elapsed_secs: 0.5
+        }
+        .is_ephemeral());
         assert!(!TraceEvent::CheckpointWritten {
             trials: 2,
             spent_secs: 1.0

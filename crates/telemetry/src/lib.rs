@@ -7,8 +7,21 @@
 //! - [`MemoryRecorder`] — in-memory event log (tests, post-run analysis);
 //! - [`JsonlSink`] — JSON Lines trace file (the `--trace` surface);
 //! - [`MetricsRegistry`] — counters + latency histograms over the stream;
+//! - [`MetricsSink`] — file-backed registry snapshots (the `--metrics`
+//!   surface), flushed on session finish and on drop;
 //! - [`ProgressReporter`] — live human-readable progress on stderr
 //!   (the `--progress` surface).
+//!
+//! ## Timing spans
+//!
+//! With [`TelemetryBus::with_spans`] enabled, instrumented code emits
+//! paired [`TraceEvent::PhaseStarted`] / [`TraceEvent::PhaseEnded`]
+//! events around each tuner phase (see [`bus::phase`] for the canonical
+//! names) carrying real wall-clock elapsed time. Span events are
+//! *ephemeral* — live sinks see them, but [`JsonlSink`] never serialises
+//! them — so the JSONL trace stays byte-identical whether spans are on
+//! or off. [`MetricsRegistry`] folds them into deterministic
+//! fixed-bucket wall histograms ([`FixedHistogram`]).
 //!
 //! ## Determinism contract
 //!
@@ -39,12 +52,14 @@ pub mod jsonl;
 pub mod metrics;
 pub mod progress;
 pub mod recorder;
+pub mod sink;
 pub mod stream;
 
-pub use bus::{TelemetryBus, TuningObserver};
+pub use bus::{phase, SpanGuard, TelemetryBus, TuningObserver};
 pub use event::TraceEvent;
 pub use jsonl::JsonlSink;
-pub use metrics::MetricsRegistry;
+pub use metrics::{FixedHistogram, MetricsRegistry, WALL_BUCKETS};
 pub use progress::ProgressReporter;
 pub use recorder::MemoryRecorder;
+pub use sink::MetricsSink;
 pub use stream::EventStreamSink;

@@ -1,0 +1,227 @@
+//! File-backed metrics snapshot sink.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::bus::TuningObserver;
+use crate::event::TraceEvent;
+use crate::metrics::MetricsRegistry;
+
+/// Aggregates events into a [`MetricsRegistry`] and persists rendered
+/// snapshots to a file.
+///
+/// Snapshots are buffered — the file is only (re)written on
+/// [`TuningObserver::flush`], on `SessionFinished`, and on drop — so
+/// the per-event cost is one registry update, not one filesystem write.
+/// Every lock acquisition recovers from mutex poison, and the drop path
+/// flushes whatever was aggregated, so a truncated (panicking) run still
+/// leaves a parseable metrics file behind. Writes are atomic
+/// (temp-file + rename): a reader never observes a half-written
+/// snapshot. Write errors are counted, not propagated — telemetry must
+/// never fail a tuning run.
+#[derive(Debug)]
+pub struct MetricsSink {
+    registry: Arc<MetricsRegistry>,
+    path: PathBuf,
+    dirty: Mutex<bool>,
+    write_errors: std::sync::atomic::AtomicU64,
+}
+
+impl MetricsSink {
+    /// Snapshot metrics to `path` using a fresh registry. Parent
+    /// directories are created as needed; an empty snapshot is written
+    /// immediately so the file exists even if no event ever arrives.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<MetricsSink> {
+        MetricsSink::with_registry(path, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Snapshot an externally shared registry to `path` — the caller
+    /// keeps its `Arc` and can read live values while the sink persists
+    /// them.
+    pub fn with_registry(
+        path: impl AsRef<Path>,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<MetricsSink> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let sink = MetricsSink {
+            registry,
+            path: path.to_path_buf(),
+            dirty: Mutex::new(false),
+            write_errors: std::sync::atomic::AtomicU64::new(0),
+        };
+        sink.write_snapshot()?;
+        Ok(sink)
+    }
+
+    /// The registry this sink aggregates into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of snapshots dropped because the underlying write failed.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn write_snapshot(&self) -> std::io::Result<()> {
+        let text = self.registry.render();
+        let tmp = self.path.with_extension("tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &self.path)
+    }
+
+    fn flush_if_dirty(&self) {
+        // Poison recovery IS the flush path here: if an observer thread
+        // panicked mid-update we still persist the partial aggregate.
+        let mut dirty = self.dirty.lock().unwrap_or_else(|p| p.into_inner());
+        if *dirty {
+            match self.write_snapshot() {
+                Ok(()) => *dirty = false,
+                Err(_) => {
+                    self.write_errors
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl TuningObserver for MetricsSink {
+    fn on_event(&self, event: &TraceEvent) {
+        self.registry.on_event(event);
+        *self.dirty.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        // A finished session is the last event the bus guarantees; write
+        // the snapshot now rather than relying on the drop order.
+        if matches!(event, TraceEvent::SessionFinished { .. }) {
+            self.flush_if_dirty();
+        }
+    }
+
+    fn flush(&self) {
+        self.flush_if_dirty();
+    }
+}
+
+impl Drop for MetricsSink {
+    fn drop(&mut self) {
+        self.flush_if_dirty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("jtune-metrics-sink-{tag}-{}", std::process::id()))
+    }
+
+    fn round(round: u64) -> TraceEvent {
+        TraceEvent::RoundProposed {
+            round,
+            technique: "t".into(),
+            candidates: 1,
+        }
+    }
+
+    #[test]
+    fn writes_empty_snapshot_on_create_and_updates_on_flush() {
+        let dir = tmp_path("basic");
+        let path = dir.join("nested/metrics.txt");
+        let sink = MetricsSink::create(&path).expect("create");
+        assert!(path.exists(), "create writes an initial snapshot");
+        sink.on_event(&round(0));
+        sink.on_event(&round(1));
+        // Buffered: the file still holds the initial (empty) snapshot.
+        assert!(!fs::read_to_string(&path)
+            .unwrap()
+            .contains("rounds_proposed   2"));
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("rounds_proposed"));
+        assert_eq!(sink.write_errors(), 0);
+        drop(sink);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flushes_on_drop() {
+        let dir = tmp_path("drop");
+        let path = dir.join("metrics.txt");
+        {
+            let sink = MetricsSink::create(&path).expect("create");
+            sink.on_event(&round(0));
+            // No explicit flush: drop must persist it.
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("rounds_proposed"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flushes_on_session_finished() {
+        let dir = tmp_path("finish");
+        let path = dir.join("metrics.txt");
+        let sink = MetricsSink::create(&path).expect("create");
+        sink.on_event(&round(0));
+        sink.on_event(&TraceEvent::SessionFinished {
+            program: "p".into(),
+            default_secs: 2.0,
+            best_secs: 1.0,
+            improvement_percent: 50.0,
+            evaluations: 1,
+            spent_secs: 1.0,
+            best_delta: vec![],
+        });
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("sessions_finished"));
+        drop(sink);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_recovery_still_flushes() {
+        let dir = tmp_path("poison");
+        let path = dir.join("metrics.txt");
+        let sink = Arc::new(MetricsSink::create(&path).expect("create"));
+        sink.on_event(&round(0));
+        let s2 = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.dirty.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(sink.dirty.lock().is_err(), "mutex should be poisoned");
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("rounds_proposed"),
+            "poisoned sink still persists its aggregate"
+        );
+        drop(sink);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_registry_is_visible_to_caller() {
+        let dir = tmp_path("shared");
+        let path = dir.join("metrics.txt");
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = MetricsSink::with_registry(&path, registry.clone()).expect("create");
+        sink.on_event(&round(0));
+        assert_eq!(registry.counter("rounds_proposed"), 1);
+        drop(sink);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,7 +14,9 @@
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
 //! jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
-//! jtune client <submit|status|watch|result|cancel|shutdown> [...]
+//!             [--spans]
+//! jtune client <submit|status|watch|result|cancel|stats|shutdown> [...]
+//! jtune report <dir-or-trace> [--format md|html|json] [--out PATH]
 //! jtune simulate <workload> [-XX:... flags]
 //! jtune flags [substring]
 //! jtune tree
@@ -37,6 +39,7 @@ fn main() {
             "suite" => cmd_suite(rest),
             "serve" => cmd_serve(rest),
             "client" => cmd_client(rest),
+            "report" => cmd_report(rest),
             "simulate" => cmd_simulate(rest),
             "flags" => cmd_flags(rest),
             "tree" => cmd_tree(),
@@ -72,11 +75,13 @@ USAGE:
                         [... same tuning/fault flags as tune ...]
                         [--trace PATH] [--progress] [--json]
   jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
+              [--spans]
   jtune client submit <workload> [--budget MIN] [--seed N] [--max-evals N]
                       [--screen-ratio F] [--technique NAME]
   jtune client status [SID] | watch <SID> | result <SID> | cancel <SID>
-  jtune client shutdown [--no-drain]
+  jtune client stats [SID] | shutdown [--no-drain]
   jtune client ... [--addr HOST:PORT]   (default 127.0.0.1:7171)
+  jtune report <dir-or-trace> [--format md|html|json] [--out PATH]
   jtune simulate <workload> [--gclog] [-XX:...flag ...]
   jtune flags [substring]      list the 750-flag registry
   jtune tree                   print the flag hierarchy + space statistics
@@ -117,6 +122,11 @@ Observability: --trace PATH streams one JSON event per trial to PATH
 (JSON Lines, bit-deterministic for a given seed), --progress reports
 live tuning progress on stderr, --json prints the final session
 record(s) as JSON on stdout instead of the human-readable summary.
+`jtune report` replays a trace file, a session directory, an
+experiment directory, or a server state directory into a deterministic
+Markdown, HTML, or JSON report. `jtune serve --spans` (and `jtune
+client stats`) expose live per-phase wall histograms; spans never
+change the serialised trace bytes.
 
 Serving: `jtune serve` runs many tuning sessions concurrently behind a
 line-delimited JSON protocol over TCP, sharing measurements across
@@ -534,6 +544,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
         ("--capacity", true),
         ("--slots", true),
         ("--state-dir", true),
+        ("--spans", false),
     ];
     if let Err(e) = reject_unknown_flags("serve", rest, 0, SERVE_FLAGS) {
         eprintln!("{e}\n");
@@ -558,6 +569,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
             return usage(2);
         }
     }
+    config.spans = rest.iter().any(|a| a == "--spans");
     let listener = match std::net::TcpListener::bind(&listen) {
         Ok(l) => l,
         Err(e) => {
@@ -598,7 +610,7 @@ fn cmd_client(rest: &[String]) -> i32 {
     use hotspot_autotuner::server::{Client, SessionSpec};
 
     let Some(sub) = rest.first() else {
-        eprintln!("client: expected submit|status|watch|result|cancel|shutdown");
+        eprintln!("client: expected submit|status|watch|result|cancel|stats|shutdown");
         return 2;
     };
     let rest = &rest[1..];
@@ -611,8 +623,8 @@ fn cmd_client(rest: &[String]) -> i32 {
         ("--technique", true),
         ("--no-drain", false),
     ];
-    // submit takes a workload positional; status/watch/result/cancel a
-    // session ID; shutdown none.
+    // submit takes a workload positional; watch/result/cancel a session
+    // ID; status/stats an optional session ID; shutdown none.
     let positionals = usize::from(sub != "shutdown");
     if let Err(e) = reject_unknown_flags(&format!("client {sub}"), rest, positionals, CLIENT_FLAGS)
     {
@@ -662,6 +674,17 @@ fn cmd_client(rest: &[String]) -> i32 {
             println!("{line}");
             Ok(())
         })(),
+        "stats" => (|| -> Result<(), String> {
+            let sid = match positional {
+                Some(_) => Some(sid_arg()?),
+                None => None,
+            };
+            let line = client
+                .round_trip_raw(&hotspot_autotuner::server::Request::Stats { sid })
+                .map_err(|e| e.to_string())?;
+            println!("{line}");
+            Ok(())
+        })(),
         "watch" => sid_arg().and_then(|sid| {
             client
                 .watch(sid, |event| println!("{event}"))
@@ -699,6 +722,47 @@ fn cmd_client(rest: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn cmd_report(rest: &[String]) -> i32 {
+    const REPORT_FLAGS: &[(&str, bool)] = &[("--format", true), ("--out", true)];
+    if let Err(e) = reject_unknown_flags("report", rest, 1, REPORT_FLAGS) {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
+    let Some(input) = rest.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("report: missing input (a trace file, session/experiment/state directory)");
+        return 2;
+    };
+    let format: hotspot_autotuner::report::Format = match parse_opt(rest, "--format")
+        .as_deref()
+        .unwrap_or("md")
+        .parse()
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return 2;
+        }
+    };
+    let report = match hotspot_autotuner::report::load(std::path::Path::new(input)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("report: {e}");
+            return 1;
+        }
+    };
+    let rendered = hotspot_autotuner::report::render(&report, format);
+    match parse_opt(rest, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("report: cannot write {path}: {e}");
+                return 1;
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    0
 }
 
 fn cmd_simulate(rest: &[String]) -> i32 {

@@ -41,6 +41,9 @@
 //!   scheduling, cross-session measurement sharing, and graceful
 //!   drain/resume — with every session byte-identical to its one-shot
 //!   equivalent.
+//! - [`report`] — post-hoc analytics: replay traces, TSV records and
+//!   server state directories into deterministic Markdown / HTML / JSON
+//!   reports (`jtune report`).
 //!
 //! ## Quickstart
 //!
@@ -76,6 +79,7 @@ pub use jtune_flagtree as flagtree;
 pub use jtune_harness as harness;
 pub use jtune_jvmsim as jvmsim;
 pub use jtune_model as model;
+pub use jtune_report as report;
 pub use jtune_server as server;
 pub use jtune_telemetry as telemetry;
 pub use jtune_util as util;
@@ -95,6 +99,7 @@ pub mod prelude {
         SimExecutor, TrialCache, TrialError,
     };
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
+    pub use jtune_report::{Report, SessionSummary};
     pub use jtune_server::{Client, ServerConfig, SessionSpec, SessionState, TuneServer};
     pub use jtune_telemetry::{
         JsonlSink, MemoryRecorder, MetricsRegistry, ProgressReporter, TelemetryBus, TraceEvent,
