@@ -1,0 +1,213 @@
+//! Wire-protocol micro-benchmarks: the per-frame cost of the typed
+//! request/response API the daemon, client, and workers all speak.
+//!
+//! Three groups, matching the layers a frame crosses:
+//!
+//! - `encode/*` — rendering typed [`Request`]s and [`Response`]s to
+//!   their canonical JSONL frames (the single encode path).
+//! - `decode/*` — parsing frames back into the typed enums (the single
+//!   decode path, shared by server dispatch and client/worker replies).
+//! - `dispatch/*` — the full both-ends round trip one worker-plane
+//!   frame pays: render request, parse request (server dispatch),
+//!   render reply, parse response.
+//!
+//! `cargo bench -p jtune-bench --bench wire -- --json PATH` snapshots
+//! the results (the committed `BENCH_7.json`).
+
+use std::hint::black_box;
+
+use jtune_server::wire::{
+    parse_request, parse_response, render_reply, render_request, render_response,
+};
+use jtune_server::{LeaseOffer, Request, Response, SessionSpec, TrialOutcome};
+
+/// A representative lease offer: a mid-search configuration delta of the
+/// size the hierarchical manipulators typically propose.
+fn sample_offer(lease: u64) -> LeaseOffer {
+    LeaseOffer {
+        lease,
+        sid: 3,
+        slot: lease % 4,
+        seed: 0x5EED_0000 + lease,
+        fingerprint: 0xFEED_FACE_CAFE_F00D ^ lease,
+        executor: "sim:compress".to_string(),
+        deadline_ms: 10_000,
+        config: vec![
+            "-XX:+UseParallelGC".to_string(),
+            "-XX:-UseSerialGC".to_string(),
+            "-XX:MaxHeapSize=268435456".to_string(),
+            "-XX:NewRatio=3".to_string(),
+            "-XX:SurvivorRatio=6".to_string(),
+            "-XX:ParallelGCThreads=4".to_string(),
+            "-XX:+UseCompressedOops".to_string(),
+            "-XX:TieredStopAtLevel=4".to_string(),
+        ],
+    }
+}
+
+/// A representative successful trial outcome (full counter set — the
+/// dominant `complete` payload).
+fn sample_outcome(index: u64) -> TrialOutcome {
+    TrialOutcome {
+        time_ns: 2_310_000_000 + index,
+        pause_p99_ns: Some(18_400_000),
+        gc_pause_ns: Some(120_500_000),
+        gc_collections: Some(18),
+        jit_ns: Some(45_200_000),
+        jit_compiles: Some(310),
+        error_kind: None,
+        error: None,
+    }
+}
+
+/// The request mix one remote trial generates: a submit for scale, then
+/// the worker-plane lease/complete/heartbeat cycle.
+fn sample_requests(index: u64) -> Vec<Request> {
+    vec![
+        Request::Submit(SessionSpec {
+            program: "compress".to_string(),
+            budget_mins: 200,
+            seed: 42,
+            max_evaluations: None,
+            screen_ratio: None,
+            technique: None,
+        }),
+        Request::Lease {
+            wid: 7,
+            wait_ms: 500,
+        },
+        Request::Complete {
+            wid: 7,
+            lease: index,
+            outcome: sample_outcome(index),
+        },
+        Request::Heartbeat {
+            wid: 7,
+            leases: vec![index, index + 1],
+        },
+    ]
+}
+
+/// The reply mix those requests draw: sid ack, a full lease offer, lease
+/// ack, heartbeat ack.
+fn sample_responses(index: u64) -> Vec<Response> {
+    vec![
+        Response::Sid { sid: 3 },
+        Response::Leased(sample_offer(index)),
+        Response::LeaseAck { lease: index },
+        Response::HeartbeatAck { leases: 2 },
+    ]
+}
+
+/// Rendering typed requests and responses to JSONL frames.
+fn encode(h: &jtune_bench::BenchHarness) {
+    const FRAMES: u64 = 1_000;
+    let requests = sample_requests(11);
+    let responses = sample_responses(11);
+    h.bench("encode/request_4x1k", 30, || {
+        let mut bytes = 0usize;
+        for _ in 0..FRAMES {
+            for r in &requests {
+                bytes += render_request(black_box(r)).len();
+            }
+        }
+        bytes
+    });
+    h.bench("encode/response_4x1k", 30, || {
+        let mut bytes = 0usize;
+        for _ in 0..FRAMES {
+            for r in &responses {
+                bytes += render_response(black_box(r)).len();
+            }
+        }
+        bytes
+    });
+}
+
+/// Parsing frames back into the typed enums.
+fn decode(h: &jtune_bench::BenchHarness) {
+    const FRAMES: u64 = 1_000;
+    let request_lines: Vec<String> = sample_requests(11).iter().map(render_request).collect();
+    let response_lines: Vec<String> = sample_responses(11)
+        .iter()
+        .map(|r| render_reply(&Ok(r.clone())))
+        .collect();
+    h.bench("decode/request_4x1k", 30, || {
+        let mut ops = 0usize;
+        for _ in 0..FRAMES {
+            for line in &request_lines {
+                parse_request(black_box(line)).expect("canonical frame parses");
+                ops += 1;
+            }
+        }
+        ops
+    });
+    h.bench("decode/response_4x1k", 30, || {
+        let mut ops = 0usize;
+        for _ in 0..FRAMES {
+            for line in &response_lines {
+                parse_response(black_box(line)).expect("canonical frame parses");
+                ops += 1;
+            }
+        }
+        ops
+    });
+}
+
+/// The full both-ends cost of one worker-plane frame exchange: worker
+/// renders a request, server parses it (typed dispatch), server renders
+/// the reply, worker parses the response.
+fn dispatch(h: &jtune_bench::BenchHarness) {
+    const CYCLES: u64 = 1_000;
+    h.bench("dispatch/lease_cycle_1k", 30, || {
+        let mut ops = 0usize;
+        for i in 0..CYCLES {
+            let line = render_request(&black_box(Request::Lease {
+                wid: 7,
+                wait_ms: 500,
+            }));
+            let request = parse_request(&line).expect("lease parses");
+            let reply = match request {
+                Request::Lease { .. } => Ok(Response::Leased(sample_offer(i))),
+                _ => unreachable!("only lease frames in this loop"),
+            };
+            let wire = render_reply(&reply);
+            parse_response(&wire).expect("offer parses");
+            ops += 1;
+        }
+        ops
+    });
+    h.bench("dispatch/complete_cycle_1k", 30, || {
+        let mut ops = 0usize;
+        for i in 0..CYCLES {
+            let line = render_request(&black_box(Request::Complete {
+                wid: 7,
+                lease: i,
+                outcome: sample_outcome(i),
+            }));
+            let request = parse_request(&line).expect("complete parses");
+            let reply = match request {
+                Request::Complete { lease, outcome, .. } => {
+                    // The server-side work a `complete` frame triggers
+                    // before the ack: reconstruct the measurement.
+                    outcome
+                        .to_measurement()
+                        .map(|_| Response::LeaseAck { lease })
+                }
+                _ => unreachable!("only complete frames in this loop"),
+            };
+            let wire = render_reply(&reply);
+            parse_response(&wire).expect("ack parses");
+            ops += 1;
+        }
+        ops
+    });
+}
+
+fn main() {
+    let h = jtune_bench::BenchHarness::from_args();
+    encode(&h);
+    decode(&h);
+    dispatch(&h);
+    h.finish("wire");
+}

@@ -57,10 +57,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use autotuner_core::{ModelPolicy, Tuner, TunerOptions};
-use jtune_harness::{
-    CachePolicy, Executor, FaultPlan, FaultyExecutor, QuarantinePolicy, Racing, RetryPolicy,
-    SimExecutor,
-};
+use jtune_harness::{CachePolicy, ExecutorSpec, FaultPlan, QuarantinePolicy, Racing, RetryPolicy};
 use jtune_jvmsim::Workload;
 use jtune_telemetry::{JsonlSink, MetricsRegistry, ProgressReporter, TelemetryBus};
 use jtune_util::table::{fnum, fpct, Align, Table};
@@ -374,8 +371,11 @@ pub fn tune_program(workload: Workload, opts: TunerOptions, bus: &TelemetryBus) 
 }
 
 /// Like [`tune_program`], but with an explicit fault-injection plan:
-/// `Some(plan)` wraps the simulator in a [`FaultyExecutor`], `None`
-/// runs fault-free regardless of the environment.
+/// `Some(plan)` wraps the simulator in a
+/// [`FaultyExecutor`](jtune_harness::FaultyExecutor), `None`
+/// runs fault-free regardless of the environment. The stack is built
+/// from the shared [`ExecutorSpec`] description, the same path the CLI
+/// and daemon sessions use.
 pub fn tune_program_with(
     workload: Workload,
     opts: TunerOptions,
@@ -383,12 +383,9 @@ pub fn tune_program_with(
     bus: &TelemetryBus,
 ) -> SuiteRow {
     let name = workload.name.clone();
-    let executor: Box<dyn Executor> = match fault {
-        Some(plan) if plan.is_active() => {
-            Box::new(FaultyExecutor::new(SimExecutor::new(workload), plan))
-        }
-        _ => Box::new(SimExecutor::new(workload)),
-    };
+    let executor = ExecutorSpec::sim(workload)
+        .with_fault(fault.filter(FaultPlan::is_active))
+        .build();
     let result = Tuner::new(opts).run(executor.as_ref(), &name, bus);
     if let Ok(dir) = std::env::var("JTUNE_OUT") {
         let _ = std::fs::create_dir_all(&dir);

@@ -9,6 +9,7 @@ use jtune_jvmsim::{JvmSim, Machine, RunFailure, Workload};
 use jtune_util::SimDuration;
 
 use crate::error::TrialError;
+use crate::fault::{FaultPlan, FaultyExecutor};
 
 /// One measured run of one configuration.
 #[derive(Clone, Debug)]
@@ -54,11 +55,12 @@ impl Measurement {
 
 /// Anything that can execute a configuration.
 ///
-/// Implementations must be [`Sync`]: the evaluation pool shares one
-/// executor across worker threads. Determinism contract: for the
-/// simulator-backed executor, `measure(config, seed)` is a pure function
-/// of its arguments.
-pub trait Executor: Sync {
+/// Implementations must be [`Send`] + [`Sync`]: the evaluation pool
+/// shares one executor across worker threads, and boxed stacks built
+/// from an [`ExecutorSpec`] move into session threads. Determinism
+/// contract: for the simulator-backed executor, `measure(config, seed)`
+/// is a pure function of its arguments.
+pub trait Executor: Send + Sync {
     /// Execute one run. `seed` selects the measurement-noise stream.
     fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement;
 
@@ -345,6 +347,134 @@ impl Executor for ProcessExecutor {
     }
 }
 
+impl Executor for Box<dyn Executor> {
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
+        (**self).measure(config, seed)
+    }
+
+    fn registry(&self) -> &Registry {
+        (**self).registry()
+    }
+
+    fn fixed_overhead(&self) -> SimDuration {
+        (**self).fixed_overhead()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// What kind of backend an [`ExecutorSpec`] builds on.
+#[derive(Clone, Debug)]
+pub enum ExecutorKind {
+    /// The JVM simulator running `Workload` on the default machine.
+    Sim(Workload),
+    /// A real `java` binary launched per trial.
+    Process {
+        /// Path to the `java` binary.
+        java: PathBuf,
+        /// Fixed arguments appended after the tuned `-XX:` flags.
+        args: Vec<String>,
+    },
+}
+
+/// A declarative description of an executor stack.
+///
+/// The CLI, the experiment drivers, daemon sessions and remote workers
+/// all used to hand-wire their Sim/Process/Faulty layers; this is the
+/// one description they now build from. `build()` composes the layers
+/// in the canonical order (fault injection wraps the backend; callers
+/// add memoization/gating on top), so every entry point produces the
+/// same stack — and the same `describe()` tag, which is what keys the
+/// cross-session [`MeasurementCache`](crate::MeasurementCache) and the
+/// journal's resume-signature check.
+#[derive(Clone, Debug)]
+pub struct ExecutorSpec {
+    /// The backend to run trials on.
+    pub kind: ExecutorKind,
+    /// Per-trial watchdog deadline in seconds (virtual seconds for the
+    /// simulator, wall seconds for a process).
+    pub deadline_secs: Option<f64>,
+    /// Seeded fault injection, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl ExecutorSpec {
+    /// A simulator spec for `workload`, no deadline, no faults.
+    pub fn sim(workload: Workload) -> ExecutorSpec {
+        ExecutorSpec {
+            kind: ExecutorKind::Sim(workload),
+            deadline_secs: None,
+            fault: None,
+        }
+    }
+
+    /// A process spec launching `java` with fixed `args` per trial.
+    pub fn process(java: impl Into<PathBuf>, args: Vec<String>) -> ExecutorSpec {
+        ExecutorSpec {
+            kind: ExecutorKind::Process {
+                java: java.into(),
+                args,
+            },
+            deadline_secs: None,
+            fault: None,
+        }
+    }
+
+    /// Resolve a spec from an executor tag of the form `sim:<workload>`
+    /// (the [`Executor::describe`] string of a plain simulator stack).
+    /// This is how a remote worker reconstructs the executor a lease
+    /// names; tags with extra layers (faults, deadlines) or unknown
+    /// workloads are rejected so the lease can be failed back.
+    pub fn named(tag: &str) -> Result<ExecutorSpec, String> {
+        let Some(name) = tag.strip_prefix("sim:") else {
+            return Err(format!("unsupported executor tag {tag:?}"));
+        };
+        let workload = jtune_workloads::workload_by_name(name)
+            .ok_or_else(|| format!("unknown workload {name:?}"))?;
+        Ok(ExecutorSpec::sim(workload))
+    }
+
+    /// Add a per-trial watchdog deadline (seconds; must be positive).
+    pub fn with_deadline(mut self, secs: f64) -> ExecutorSpec {
+        self.deadline_secs = Some(secs);
+        self
+    }
+
+    /// Add (or clear) seeded fault injection.
+    pub fn with_fault(mut self, plan: Option<FaultPlan>) -> ExecutorSpec {
+        self.fault = plan;
+        self
+    }
+
+    /// Build the described stack. The concrete layers are erased: every
+    /// caller works against `Box<dyn Executor>`, which is itself an
+    /// [`Executor`], so the box slots into any wrapper.
+    pub fn build(&self) -> Box<dyn Executor> {
+        let base: Box<dyn Executor> = match &self.kind {
+            ExecutorKind::Sim(workload) => {
+                let mut sim = SimExecutor::new(workload.clone());
+                if let Some(secs) = self.deadline_secs {
+                    sim = sim.with_deadline(SimDuration::from_secs_f64(secs));
+                }
+                Box::new(sim)
+            }
+            ExecutorKind::Process { java, args } => {
+                let mut process = ProcessExecutor::new(java.clone(), args.clone());
+                if let Some(secs) = self.deadline_secs {
+                    process = process.with_deadline(std::time::Duration::from_secs_f64(secs));
+                }
+                Box::new(process)
+            }
+        };
+        match &self.fault {
+            Some(plan) => Box::new(FaultyExecutor::new(base, *plan)),
+            None => base,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +519,32 @@ mod tests {
     fn describe_names_the_workload() {
         let ex = SimExecutor::new(small_workload());
         assert_eq!(ex.describe(), "sim:exec-test");
+    }
+
+    #[test]
+    fn executor_spec_builds_the_same_stack_as_hand_wiring() {
+        let spec = ExecutorSpec::sim(small_workload());
+        let built = spec.build();
+        let hand = SimExecutor::new(small_workload());
+        assert_eq!(built.describe(), hand.describe());
+        let c = JvmConfig::default_for(built.registry());
+        assert_eq!(built.measure(&c, 3).time, hand.measure(&c, 3).time);
+
+        // A faulty spec reproduces FaultyExecutor's describe tag, so
+        // resume-signature checks and cache keys are unchanged.
+        let plan = FaultPlan::transient(0.05, 99);
+        let faulty_spec = ExecutorSpec::sim(small_workload()).with_fault(Some(plan));
+        let hand_faulty = FaultyExecutor::new(SimExecutor::new(small_workload()), plan);
+        assert_eq!(faulty_spec.build().describe(), hand_faulty.describe());
+    }
+
+    #[test]
+    fn executor_spec_named_resolves_sim_tags_only() {
+        let spec = ExecutorSpec::named("sim:compress").unwrap();
+        assert_eq!(spec.build().describe(), "sim:compress");
+        assert!(ExecutorSpec::named("sim:not-a-workload").is_err());
+        assert!(ExecutorSpec::named("process:/usr/bin/java").is_err());
+        assert!(ExecutorSpec::named("faulty[seed=1]:sim:compress").is_err());
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub mod results;
 pub use budget::{Budget, ChargeOutcome};
 pub use cache::{CachePolicy, TrialCache};
 pub use error::{QuarantinePolicy, TrialError};
-pub use executor::{Executor, Measurement, ProcessExecutor, RunCounters, SimExecutor};
+pub use executor::{
+    Executor, ExecutorKind, ExecutorSpec, Measurement, ProcessExecutor, RunCounters, SimExecutor,
+};
 pub use fault::{Fault, FaultPlan, FaultyExecutor};
 pub use journal::{JournalError, JournalWriter, ReplayLog, SessionHeader};
 pub use memo::{MeasurementCache, MemoExecutor};

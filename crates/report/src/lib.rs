@@ -12,9 +12,9 @@
 //!   proposal/win/reward statistics, pipeline counters, and a per-flag
 //!   impact table, derived by a streaming replay of the trace events
 //!   (or equivalently from a [`SessionRecord`](jtune_harness::SessionRecord)).
-//! - [`load`] — input discovery: a path becomes an ordered [`Report`]
+//! - [`mod@load`] — input discovery: a path becomes an ordered [`Report`]
 //!   (directory entries sorted by name, server sessions by ID).
-//! - [`render`] — deterministic renderers. Same input bytes, same
+//! - [`mod@render`] — deterministic renderers. Same input bytes, same
 //!   report bytes: floats print at fixed precision and every grouping
 //!   is order-stable, so CI can `cmp` two runs of `jtune report`.
 //!
@@ -35,7 +35,7 @@ pub use summary::{
     flag_name, ConvergencePoint, FlagImpact, SessionCounters, SessionSummary, TechniqueStats,
 };
 
-/// Output format for [`render`].
+/// Output format for [`render()`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Format {
     /// GitHub-flavoured Markdown.

@@ -1,9 +1,11 @@
 //! Blocking TCP client for the daemon's JSONL protocol.
 //!
 //! One [`Client`] wraps one connection; each helper sends a request
-//! frame and decodes the reply. Server-side errors surface as
-//! [`WireError`]s with the server's code and message folded into the
-//! message text.
+//! frame and decodes the reply through the shared typed path
+//! ([`wire::parse_response`]). Server-side errors surface as
+//! [`WireError`]s carrying the server's stable code verbatim — a
+//! `capacity` rejection arrives as `code == "capacity"`, not folded
+//! into the message text.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -11,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use jtune_util::json::JsonValue;
 
 use crate::session::SessionSpec;
-use crate::wire::{self, Request, WireError};
+use crate::wire::{self, Request, Response, WireError};
 
 /// A blocking connection to a tuning daemon.
 pub struct Client {
@@ -44,31 +46,41 @@ impl Client {
         Ok(line.trim_end().to_string())
     }
 
-    /// Send a request and return the raw ok-frame line verbatim; server
-    /// errors come back as `Err`.
-    pub fn round_trip_raw(&mut self, request: &Request) -> Result<String, WireError> {
+    fn write_request(&mut self, request: &Request) -> Result<(), WireError> {
         writeln!(self.writer, "{}", wire::render_request(request))
-            .map_err(|e| WireError::new("io-error", format!("write failed: {e}")))?;
+            .map_err(|e| WireError::new("io-error", format!("write failed: {e}")))
+    }
+
+    /// Send a request and decode the typed reply; server errors come
+    /// back as `Err` with the server's stable code.
+    pub fn request(&mut self, request: &Request) -> Result<Response, WireError> {
+        self.write_request(request)?;
+        wire::parse_response(&self.read_line()?)
+    }
+
+    /// Send a request and return the raw ok-frame line verbatim (for
+    /// byte-exact printing of `status`/`stats` payloads); server errors
+    /// come back as `Err`.
+    pub fn round_trip_raw(&mut self, request: &Request) -> Result<String, WireError> {
+        self.write_request(request)?;
         let line = self.read_line()?;
-        wire::parse_reply(&line)?;
+        wire::parse_response(&line)?;
         Ok(line)
     }
 
     /// Send a request and return the parsed ok frame; server errors
     /// come back as `Err`.
     pub fn round_trip(&mut self, request: &Request) -> Result<JsonValue, WireError> {
-        writeln!(self.writer, "{}", wire::render_request(request))
-            .map_err(|e| WireError::new("io-error", format!("write failed: {e}")))?;
+        self.write_request(request)?;
         wire::parse_reply(&self.read_line()?)
     }
 
     /// Submit a session; returns its ID.
     pub fn submit(&mut self, spec: SessionSpec) -> Result<u64, WireError> {
-        let reply = self.round_trip(&Request::Submit(spec))?;
-        reply
-            .get("sid")
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| WireError::new("bad-frame", "submit reply without a sid"))
+        match self.request(&Request::Submit(spec))? {
+            Response::Sid { sid } => Ok(sid),
+            other => Err(unexpected("submit", &other)),
+        }
     }
 
     /// Fetch status (all sessions, or one); returns the ok frame, whose
@@ -80,13 +92,18 @@ impl Client {
     /// Fetch a completed session's record: the raw JSON line, byte-equal
     /// to one-shot `jtune tune ... --json` output for the same spec.
     pub fn result(&mut self, sid: u64) -> Result<String, WireError> {
-        self.round_trip(&Request::Result { sid })?;
-        self.read_line()
+        match self.request(&Request::Result { sid })? {
+            Response::RecordFollows => self.read_line(),
+            other => Err(unexpected("result", &other)),
+        }
     }
 
     /// Cancel a session.
     pub fn cancel(&mut self, sid: u64) -> Result<(), WireError> {
-        self.round_trip(&Request::Cancel { sid }).map(|_| ())
+        match self.request(&Request::Cancel { sid })? {
+            Response::Sid { .. } => Ok(()),
+            other => Err(unexpected("cancel", &other)),
+        }
     }
 
     /// Fetch aggregated metrics (all sessions, or one): the ok frame's
@@ -99,14 +116,20 @@ impl Client {
 
     /// Stop the daemon; `drain` checkpoints in-flight sessions first.
     pub fn shutdown(&mut self, drain: bool) -> Result<(), WireError> {
-        self.round_trip(&Request::Shutdown { drain }).map(|_| ())
+        match self.request(&Request::Shutdown { drain })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
     }
 
     /// Watch a session's live trace: `on_event` receives each raw event
     /// JSON line until the session ends (the done frame). Returns the
     /// number of events streamed.
     pub fn watch(&mut self, sid: u64, mut on_event: impl FnMut(&str)) -> Result<u64, WireError> {
-        self.round_trip(&Request::Watch { sid })?;
+        match self.request(&Request::Watch { sid })? {
+            Response::Sid { .. } => {}
+            other => return Err(unexpected("watch", &other)),
+        }
         let mut count = 0u64;
         loop {
             let line = self.read_line()?;
@@ -118,10 +141,14 @@ impl Client {
                 None => {
                     // Anything that is not an event line must be the
                     // done frame (or a server error).
-                    wire::parse_reply(&line)?;
+                    wire::parse_response(&line)?;
                     return Ok(count);
                 }
             }
         }
     }
+}
+
+fn unexpected(op: &str, response: &Response) -> WireError {
+    WireError::new("bad-frame", format!("unexpected {op} reply: {response:?}"))
 }

@@ -13,19 +13,29 @@
 //!   per-session accounting, so one greedy session cannot starve the
 //!   rest.
 //! - **Wire protocol** ([`wire`]): versioned line-delimited JSON over
-//!   TCP — `submit`, `status`, `watch` (streamed events), `result`,
-//!   `cancel`, and `shutdown` with graceful drain — built entirely on
-//!   `jtune-util`'s deterministic JSON support (no external deps).
+//!   TCP, spoken through one typed [`Request`]/[`Response`] pair —
+//!   `submit`, `status`, `watch` (streamed events), `result`, `cancel`,
+//!   `shutdown` with graceful drain, and the worker plane (`register`,
+//!   `lease`, `complete`, `fail`, `heartbeat`, `deregister`) — built
+//!   entirely on `jtune-util`'s deterministic JSON support (no external
+//!   deps).
+//! - **Remote trial leasing** ([`worker`]): `jtune worker` processes
+//!   register capabilities, long-poll for leases and stream outcomes
+//!   back; a [`WorkerRegistry`] reissues lost leases (dead connection,
+//!   missed deadline) to surviving workers or the local pool, so a
+//!   session always finishes.
 //! - **Cross-session sharing**: all sessions measure through one shared
 //!   [`MeasurementCache`](jtune_harness::MeasurementCache), so a
-//!   `(program, config, seed)` measured by one session is free for
-//!   every other; per-session hit counts appear in `status` replies.
+//!   `(program, config, seed)` measured by one session — on any worker —
+//!   is free for every other; per-session hit counts appear in `status`
+//!   replies.
 //!
 //! Determinism is the contract throughout: a session's trace and result
 //! are a pure function of its spec, byte-identical to the one-shot
 //! `jtune tune` run with the same flags, no matter how many sessions
-//! run beside it, how the scheduler interleaves them, or whether the
-//! daemon was drained and restarted mid-session.
+//! run beside it, how the scheduler interleaves them, which workers
+//! measured its trials, or whether the daemon was drained and restarted
+//! mid-session.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +45,13 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 pub mod wire;
+pub mod worker;
 
 pub use client::Client;
 pub use scheduler::{FairScheduler, GatedExecutor, SchedPermit};
 pub use server::{ServerConfig, SessionHandle, TuneServer};
 pub use session::{ProgressProbe, SessionSpec, SessionState};
-pub use wire::{Request, WireError};
+pub use wire::{LeaseOffer, Request, Response, TrialOutcome, WireError};
+pub use worker::{
+    run_worker, LeaseGrant, RemoteExecutor, WorkerOptions, WorkerRegistry, WorkerStats,
+};

@@ -7,20 +7,30 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use autotuner_core::Tuner;
-use jtune_harness::{MeasurementCache, MemoExecutor, SimExecutor};
+use jtune_harness::{MeasurementCache, MemoExecutor};
 use jtune_telemetry::{EventStreamSink, JsonlSink, MetricsRegistry, TelemetryBus};
 use jtune_util::json::JsonValue;
 use jtune_workloads::workload_by_name;
 
 use crate::scheduler::{FairScheduler, GatedExecutor};
 use crate::session::{ProgressProbe, SessionSpec, SessionState};
-use crate::wire::{self, Request, WireError};
+use crate::wire::{self, Request, Response, WireError};
+use crate::worker::{LeaseGrant, RemoteExecutor, WorkerRegistry};
 
-/// The concrete executor stack a daemon session runs on: the simulator,
-/// gated by the fair-share scheduler, memoized across sessions.
-pub type SessionExecutor = MemoExecutor<GatedExecutor<SimExecutor>>;
+/// The concrete executor stack a daemon session runs on: the session's
+/// base executor (built from its [`ExecutorSpec`]) offered to the
+/// worker pool, gated by the fair-share scheduler, memoized across
+/// sessions. Memo sits outermost so cache hits never consume a
+/// scheduler slot or a worker lease — and since the memo key is the
+/// inner executor's tag (which [`RemoteExecutor`] passes through), a
+/// trial measured by one worker is a free hit for every session and
+/// every other worker.
+///
+/// [`ExecutorSpec`]: jtune_harness::ExecutorSpec
+pub type SessionExecutor = MemoExecutor<GatedExecutor<RemoteExecutor>>;
 
 /// Replace `path` with `contents` atomically: write a sibling temp file,
 /// then rename it into place. Session records run to megabytes, so a
@@ -51,17 +61,23 @@ pub struct ServerConfig {
     /// either way — but they feed the per-session wall histograms the
     /// `stats` op reports.
     pub spans: bool,
+    /// Worker lease lifetime in milliseconds: a leased trial whose
+    /// `complete` (or heartbeat) has not arrived this long after issue
+    /// is reissued to another worker, and eventually abandoned to the
+    /// local pool.
+    pub lease_ms: u64,
 }
 
 impl ServerConfig {
-    /// Defaults: capacity 8, 4 slots, spans off, state under
-    /// `jtune-state/`.
+    /// Defaults: capacity 8, 4 slots, spans off, 10 s leases, state
+    /// under `jtune-state/`.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             capacity: 8,
             slots: 4,
             state_dir: state_dir.into(),
             spans: false,
+            lease_ms: 10_000,
         }
     }
 }
@@ -138,8 +154,13 @@ pub struct TuneServer {
     next_sid: AtomicU64,
     shutting_down: AtomicBool,
     /// Daemon-level metrics: the `frame_wall` histogram of per-request
-    /// handling time, fed directly by `handle_connection`.
-    metrics: MetricsRegistry,
+    /// handling time (fed directly by `handle_connection`) plus the
+    /// worker-plane counters (`workers_registered`, `trials_leased`,
+    /// `leases_expired`) fed by the registry's telemetry bus.
+    metrics: Arc<MetricsRegistry>,
+    /// Remote worker ledger: registered workers, queued trials,
+    /// outstanding leases.
+    workers: Arc<WorkerRegistry>,
 }
 
 impl TuneServer {
@@ -147,17 +168,30 @@ impl TuneServer {
     /// state directory (suspended by a drain or orphaned by a crash).
     pub fn new(config: ServerConfig) -> std::io::Result<Arc<TuneServer>> {
         std::fs::create_dir_all(&config.state_dir)?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut worker_bus = TelemetryBus::new();
+        worker_bus.add(Arc::clone(&metrics) as Arc<dyn jtune_telemetry::TuningObserver>);
+        let workers = Arc::new(WorkerRegistry::new(
+            Duration::from_millis(config.lease_ms.max(1)),
+            worker_bus,
+        ));
         let server = Arc::new(TuneServer {
             sched: Arc::new(FairScheduler::new(config.slots)),
             memo: Arc::new(MeasurementCache::new()),
             sessions: Mutex::new(BTreeMap::new()),
             next_sid: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
-            metrics: MetricsRegistry::new(),
+            metrics,
+            workers,
             config,
         });
         server.restore()?;
         Ok(server)
+    }
+
+    /// The worker registry (for tests and embedders).
+    pub fn workers(&self) -> &Arc<WorkerRegistry> {
+        &self.workers
     }
 
     /// The shared cross-session measurement cache (for tests/metrics).
@@ -302,12 +336,12 @@ impl TuneServer {
         let journal = dir.join("journal.jsonl");
         let trace = dir.join("trace.jsonl");
 
-        let Some(workload) = workload_by_name(&handle.spec.program) else {
-            handle.set_state(SessionState::Failed(format!(
-                "unknown workload {:?}",
-                handle.spec.program
-            )));
-            return;
+        let base = match handle.spec.executor_spec() {
+            Ok(spec) => spec.build(),
+            Err(e) => {
+                handle.set_state(SessionState::Failed(e));
+                return;
+            }
         };
         let sink = match JsonlSink::create(&trace) {
             Ok(sink) => sink,
@@ -320,7 +354,7 @@ impl TuneServer {
         };
         let executor: Arc<SessionExecutor> = Arc::new(MemoExecutor::new(
             GatedExecutor::new(
-                SimExecutor::new(workload),
+                RemoteExecutor::new(base, Arc::clone(&self.workers), handle.sid),
                 Arc::clone(&self.sched),
                 handle.sid,
             ),
@@ -370,7 +404,8 @@ impl TuneServer {
         *handle.join.lock().unwrap_or_else(|p| p.into_inner()) = Some(join);
     }
 
-    /// Render the status payload (one session, or all in ID order).
+    /// Render the status payload (one session, or all in ID order): the
+    /// raw JSON array carried by [`Response::Sessions`].
     pub fn status(&self, sid: Option<u64>) -> Result<String, WireError> {
         let handles: Vec<Arc<SessionHandle>> = match sid {
             Some(sid) => vec![self.handle_of(sid)?],
@@ -405,21 +440,21 @@ impl TuneServer {
                     .finish()
             })
             .collect();
-        Ok(wire::ok_frame()
-            .raw("sessions", &jtune_util::json::array_of(&rows))
-            .finish())
+        Ok(jtune_util::json::array_of(&rows))
     }
 
-    /// The daemon-level metrics registry (frame-handling histogram).
+    /// The daemon-level metrics registry (frame-handling histogram and
+    /// worker-plane counters).
     pub fn server_metrics(&self) -> &MetricsRegistry {
-        &self.metrics
+        self.metrics.as_ref()
     }
 
-    /// Render the stats payload: one row per session (ID order) carrying
-    /// its aggregated counters + histograms as rendered by
-    /// [`MetricsRegistry::to_json`], plus the daemon's own metrics
-    /// (frame-handling histogram) under `"server"`.
-    pub fn stats(&self, sid: Option<u64>) -> Result<String, WireError> {
+    /// Render the stats payloads for [`Response::Stats`]: the raw JSON
+    /// array of per-session rows (ID order, each carrying its aggregated
+    /// counters + histograms as rendered by [`MetricsRegistry::to_json`])
+    /// and the raw JSON object of daemon-level metrics (frame-handling
+    /// histogram, worker-plane counters).
+    pub fn stats(&self, sid: Option<u64>) -> Result<(String, String), WireError> {
         let handles: Vec<Arc<SessionHandle>> = match sid {
             Some(sid) => vec![self.handle_of(sid)?],
             None => self
@@ -441,10 +476,7 @@ impl TuneServer {
                     .finish()
             })
             .collect();
-        Ok(wire::ok_frame()
-            .raw("sessions", &jtune_util::json::array_of(&rows))
-            .raw("server", &self.metrics.to_json())
-            .finish())
+        Ok((jtune_util::json::array_of(&rows), self.metrics.to_json()))
     }
 
     /// Fetch a completed session's record line (the bytes of
@@ -500,6 +532,10 @@ impl TuneServer {
     /// on the next daemon start. Returns once sessions are down.
     pub fn shutdown(&self, drain: bool) {
         self.shutting_down.store(true, Ordering::SeqCst);
+        // Stop offering trials to workers first: queued jobs fall back
+        // to the local pool, long-polling workers are told to exit, and
+        // in-flight leases may still stream their results back.
+        self.workers.drain();
         let handles: Vec<Arc<SessionHandle>> = self
             .sessions
             .lock()
@@ -553,6 +589,28 @@ impl TuneServer {
     ) -> std::io::Result<()> {
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
+        // A worker's registration lives exactly as long as the
+        // connection that registered it: when the socket drops — worker
+        // killed, network gone, clean exit — its leases are reissued
+        // immediately instead of waiting out their deadlines.
+        let mut conn_wid: Option<u64> = None;
+        let outcome = self.serve_frames(reader, &mut writer, self_addr, &mut conn_wid);
+        if let Some(wid) = conn_wid {
+            self.workers.deregister(wid);
+        }
+        outcome
+    }
+
+    /// Pump one connection's request/reply frames. Every reply goes
+    /// through [`wire::render_reply`] — the single encode path the
+    /// protocol tests pin byte-for-byte.
+    fn serve_frames(
+        self: &Arc<Self>,
+        reader: BufReader<TcpStream>,
+        writer: &mut TcpStream,
+        self_addr: std::net::SocketAddr,
+        conn_wid: &mut Option<u64>,
+    ) -> std::io::Result<()> {
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -570,74 +628,94 @@ impl TuneServer {
                     continue;
                 }
             };
-            match request {
-                Request::Submit(spec) => {
-                    let reply = match self.submit(spec) {
-                        Ok(sid) => wire::ok_frame().u64("sid", sid).finish(),
-                        Err(e) => wire::error_frame(&e),
-                    };
-                    writeln!(writer, "{reply}")?;
-                }
-                Request::Status { sid } => {
-                    let reply = match self.status(sid) {
-                        Ok(frame) => frame,
-                        Err(e) => wire::error_frame(&e),
-                    };
-                    writeln!(writer, "{reply}")?;
-                }
+            let reply: Result<Response, WireError> = match request {
+                Request::Submit(spec) => self.submit(spec).map(|sid| Response::Sid { sid }),
+                Request::Status { sid } => self
+                    .status(sid)
+                    .map(|sessions| Response::Sessions { sessions }),
+                Request::Stats { sid } => self
+                    .stats(sid)
+                    .map(|(sessions, server)| Response::Stats { sessions, server }),
+                Request::Cancel { sid } => self.cancel(sid).map(|()| Response::Sid { sid }),
                 Request::Result { sid } => match self.result(sid) {
                     Ok(record) => {
                         writeln!(
                             writer,
                             "{}",
-                            wire::ok_frame().str("follows", "record").finish()
+                            wire::render_response(&Response::RecordFollows)
                         )?;
                         writeln!(writer, "{record}")?;
+                        self.metrics
+                            .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
+                        continue;
                     }
-                    Err(e) => writeln!(writer, "{}", wire::error_frame(&e))?,
+                    Err(e) => Err(e),
                 },
-                Request::Cancel { sid } => {
-                    let reply = match self.cancel(sid) {
-                        Ok(()) => wire::ok_frame().u64("sid", sid).finish(),
-                        Err(e) => wire::error_frame(&e),
-                    };
-                    writeln!(writer, "{reply}")?;
-                }
-                Request::Stats { sid } => {
-                    let reply = match self.stats(sid) {
-                        Ok(frame) => frame,
-                        Err(e) => wire::error_frame(&e),
-                    };
-                    writeln!(writer, "{reply}")?;
-                }
-                Request::Watch { sid } => {
-                    let handle = match self.handle_of(sid) {
-                        Ok(h) => h,
-                        Err(e) => {
-                            writeln!(writer, "{}", wire::error_frame(&e))?;
-                            self.metrics
-                                .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
-                            continue;
+                Request::Watch { sid } => match self.handle_of(sid) {
+                    Ok(handle) => {
+                        // Subscribe before checking for terminality so a
+                        // session finishing right now cannot slip between
+                        // the check and the subscription.
+                        let events = handle.stream.subscribe();
+                        writeln!(writer, "{}", wire::render_response(&Response::Sid { sid }))?;
+                        if !handle.state().is_terminal() {
+                            for event in events {
+                                writeln!(writer, "{}", wire::watch_event_line(&event))?;
+                            }
                         }
-                    };
-                    // Subscribe before checking for terminality so a
-                    // session finishing right now cannot slip between
-                    // the check and the subscription.
-                    let events = handle.stream.subscribe();
-                    writeln!(writer, "{}", wire::ok_frame().u64("sid", sid).finish())?;
-                    if !handle.state().is_terminal() {
-                        for event in events {
-                            writeln!(writer, "{}", wire::watch_event_line(&event))?;
-                        }
+                        writeln!(writer, "{}", wire::watch_done_frame())?;
+                        self.metrics
+                            .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
+                        continue;
                     }
-                    writeln!(writer, "{}", wire::watch_done_frame())?;
+                    Err(e) => Err(e),
+                },
+                Request::Register { executor, slots } => {
+                    let wid = self.workers.register(&executor, slots);
+                    // Re-registering on the same connection replaces the
+                    // old identity (and releases its leases).
+                    if let Some(old) = conn_wid.replace(wid) {
+                        self.workers.deregister(old);
+                    }
+                    Ok(Response::WorkerAck { wid })
+                }
+                Request::Lease { wid, wait_ms } => self
+                    .workers
+                    .lease(wid, Duration::from_millis(wait_ms))
+                    .map(|grant| match grant {
+                        LeaseGrant::Offer(offer) => Response::Leased(offer),
+                        LeaseGrant::Idle => Response::Idle { draining: false },
+                        LeaseGrant::Draining => Response::Idle { draining: true },
+                    }),
+                Request::Complete {
+                    wid,
+                    lease,
+                    outcome,
+                } => outcome.to_measurement().map(|measurement| {
+                    self.workers.complete(wid, lease, measurement);
+                    Response::LeaseAck { lease }
+                }),
+                Request::Fail { wid, lease, reason } => {
+                    self.workers.fail(wid, lease, &reason);
+                    Ok(Response::LeaseAck { lease })
+                }
+                Request::Heartbeat { wid, leases } => {
+                    let extended = self.workers.heartbeat(wid, &leases);
+                    Ok(Response::HeartbeatAck { leases: extended })
+                }
+                Request::Deregister { wid } => {
+                    self.workers.deregister(wid);
+                    if *conn_wid == Some(wid) {
+                        *conn_wid = None;
+                    }
+                    Ok(Response::WorkerAck { wid })
                 }
                 Request::Shutdown { drain } => {
                     self.shutdown(drain);
                     writeln!(
                         writer,
                         "{}",
-                        wire::ok_frame().bool("draining", drain).finish()
+                        wire::render_response(&Response::ShuttingDown { drain })
                     )?;
                     self.metrics
                         .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
@@ -645,7 +723,8 @@ impl TuneServer {
                     let _ = TcpStream::connect(self_addr);
                     return Ok(());
                 }
-            }
+            };
+            writeln!(writer, "{}", wire::render_reply(&reply))?;
             self.metrics
                 .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
         }

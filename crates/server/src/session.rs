@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use autotuner_core::{ModelPolicy, TunerOptions};
+use jtune_harness::ExecutorSpec;
 use jtune_telemetry::{TraceEvent, TuningObserver};
 use jtune_util::json::{self, JsonObject, JsonValue};
 use jtune_util::SimDuration;
@@ -141,6 +142,15 @@ impl SessionSpec {
             opts.technique = name.clone();
         }
         opts
+    }
+
+    /// The [`ExecutorSpec`] this session measures on — the same
+    /// description the one-shot CLI and remote workers build from, so
+    /// the executor tag (and with it the memo key and journal resume
+    /// signature) is identical wherever a trial runs. Daemon sessions
+    /// are simulator-backed, so this resolves `sim:<program>`.
+    pub fn executor_spec(&self) -> Result<ExecutorSpec, String> {
+        ExecutorSpec::named(&format!("sim:{}", self.program))
     }
 }
 

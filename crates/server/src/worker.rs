@@ -1,0 +1,795 @@
+//! The worker plane: distributed trial leasing over the wire protocol.
+//!
+//! Three pieces live here:
+//!
+//! - [`WorkerRegistry`] — the daemon-side ledger of registered workers,
+//!   queued jobs, and outstanding leases, with heartbeat-based expiry.
+//! - [`RemoteExecutor`] — an [`Executor`] that offers each measurement
+//!   to the registry and falls back to its local inner executor when no
+//!   worker can (or does) serve it.
+//! - [`run_worker`] — the worker-side agent behind
+//!   `jtune worker --connect`, pumping `lease`/`complete` loops.
+//!
+//! # Lease state machine
+//!
+//! ```text
+//!              submit()                lease op
+//!   (created) ────────────▶ QUEUED ──────────────▶ ISSUED
+//!                             ▲  │                  │  │ complete op
+//!        deadline/worker-gone │  │ no eligible      │  └───────▶ DONE
+//!        (reissues left)      │  │ worker/draining  │
+//!                             └──┼──────────────────┘
+//!                                │      deadline/worker-gone/fail
+//!                                ▼      (reissue budget exhausted)
+//!                            ABANDONED ──▶ measured by the local pool
+//! ```
+//!
+//! Every transition happens under one registry lock. A lease id is
+//! issued once and never reused, so a `complete` for an expired lease
+//! identifies itself: the id is no longer in the ledger and the result
+//! is discarded (the slot was already reissued — first finisher wins,
+//! and both finishers compute the identical pure-function measurement
+//! anyway).
+//!
+//! # Determinism
+//!
+//! Remote execution preserves the byte-identical-trace contract because
+//! nothing about *where* a trial ran enters the session's data path:
+//! the seed is the positional slot seed, the configuration travels as
+//! its canonical flag delta, and the worker runs the same pure
+//! simulator function the local pool would. Results re-enter through
+//! [`RemoteExecutor::measure`]'s return value exactly where a local
+//! measurement would, and the evaluation pool already merges slot
+//! results in slot order. Worker-plane telemetry
+//! ([`TraceEvent::WorkerRegistered`] and friends) is ephemeral and
+//! never serialised.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use jtune_flags::{JvmConfig, Registry};
+use jtune_harness::{Executor, ExecutorSpec, Measurement};
+use jtune_telemetry::{TelemetryBus, TraceEvent};
+use jtune_util::SimDuration;
+
+use crate::client::Client;
+use crate::wire::{LeaseOffer, Request, Response, TrialOutcome, WireError};
+
+/// How many times a lost lease is reoffered to workers before the job
+/// is abandoned to the local pool.
+const MAX_REISSUES: u32 = 2;
+
+/// Granularity of the expiry sweep: waiters re-check deadlines at least
+/// this often while blocked.
+const REAP_TICK: Duration = Duration::from_millis(100);
+
+/// How long [`WorkerRegistry::drain`] waits for workers to acknowledge
+/// the drain (deregister and disconnect) before giving up on them. Keeps
+/// daemon shutdown from outliving a wedged worker.
+const DRAIN_WAIT: Duration = Duration::from_secs(5);
+
+/// What a `lease` request came back with.
+#[derive(Debug)]
+pub enum LeaseGrant {
+    /// Work: run it and `complete`/`fail` before the deadline.
+    Offer(LeaseOffer),
+    /// No eligible work right now; poll again.
+    Idle,
+    /// The daemon is draining; finish in-flight work and disconnect.
+    Draining,
+}
+
+#[derive(Debug)]
+enum JobState {
+    Queued,
+    // The holding lease id lives in `Ledger::leases` (lease → job); the
+    // job side only needs who holds it and until when.
+    Issued { wid: u64, deadline: Instant },
+    Done(Measurement),
+    Abandoned,
+}
+
+struct Job {
+    sid: u64,
+    slot: u64,
+    executor: String,
+    config: Vec<String>,
+    fingerprint: u64,
+    seed: u64,
+    reissues: u32,
+    state: JobState,
+}
+
+struct WorkerEntry {
+    executor: String,
+    slots: u64,
+    inflight: u64,
+}
+
+impl WorkerEntry {
+    /// Can this worker run a job whose executor tag is `tag`?
+    fn serves(&self, tag: &str) -> bool {
+        tag.strip_prefix(&self.executor)
+            .is_some_and(|rest| rest.starts_with(':'))
+    }
+}
+
+#[derive(Default)]
+struct Ledger {
+    workers: HashMap<u64, WorkerEntry>,
+    jobs: HashMap<u64, Job>,
+    /// Job ids awaiting a worker, oldest first.
+    queue: VecDeque<u64>,
+    /// Outstanding lease id → job id.
+    leases: HashMap<u64, u64>,
+    draining: bool,
+}
+
+impl Ledger {
+    fn any_worker_serves(&self, tag: &str) -> bool {
+        self.workers.values().any(|w| w.serves(tag))
+    }
+}
+
+/// The daemon-side ledger of workers, queued jobs, and outstanding
+/// leases. All state sits behind one mutex; two condvars signal the two
+/// kinds of waiter (long-polling `lease` requests, and
+/// [`RemoteExecutor`]s blocked on a result). Expiry needs no reaper
+/// thread: every blocked waiter sweeps due deadlines each time it wakes.
+pub struct WorkerRegistry {
+    ledger: Mutex<Ledger>,
+    /// Wakes long-polling `lease` requests when work arrives or the
+    /// registry drains.
+    work: Condvar,
+    /// Wakes result waiters when a job finishes or is abandoned.
+    done: Condvar,
+    next_wid: AtomicU64,
+    next_lease: AtomicU64,
+    next_job: AtomicU64,
+    lease_timeout: Duration,
+    bus: TelemetryBus,
+    completed: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl WorkerRegistry {
+    /// A registry issuing leases that expire `lease_timeout` after
+    /// issue (extended by heartbeats). Worker-plane events go to `bus`
+    /// (they are all ephemeral).
+    pub fn new(lease_timeout: Duration, bus: TelemetryBus) -> WorkerRegistry {
+        WorkerRegistry {
+            ledger: Mutex::new(Ledger::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            next_wid: AtomicU64::new(1),
+            next_lease: AtomicU64::new(1),
+            next_job: AtomicU64::new(1),
+            lease_timeout,
+            bus,
+            completed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ledger> {
+        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a worker's capabilities; returns its worker id.
+    pub fn register(&self, executor: &str, slots: u64) -> u64 {
+        let wid = self.next_wid.fetch_add(1, Ordering::SeqCst);
+        self.lock().workers.insert(
+            wid,
+            WorkerEntry {
+                executor: executor.to_string(),
+                slots: slots.max(1),
+                inflight: 0,
+            },
+        );
+        self.bus.emit(&TraceEvent::WorkerRegistered {
+            wid,
+            executor: executor.to_string(),
+            slots: slots.max(1),
+        });
+        wid
+    }
+
+    /// Remove a worker (graceful `deregister`, or its connection died).
+    /// Its outstanding leases are reissued immediately.
+    pub fn deregister(&self, wid: u64) {
+        let mut ledger = self.lock();
+        if ledger.workers.remove(&wid).is_none() {
+            return;
+        }
+        let lost: Vec<u64> = ledger
+            .leases
+            .iter()
+            .filter(|(_, jid)| {
+                matches!(ledger.jobs.get(jid).map(|j| &j.state),
+                         Some(JobState::Issued { wid: w, .. }) if *w == wid)
+            })
+            .map(|(lease, _)| *lease)
+            .collect();
+        for lease in lost {
+            self.expire_lease(&mut ledger, lease, "worker-gone");
+        }
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Reissue (or abandon) the job behind one outstanding lease.
+    /// Caller holds the ledger lock.
+    fn expire_lease(&self, ledger: &mut Ledger, lease: u64, reason: &str) {
+        let Some(jid) = ledger.leases.remove(&lease) else {
+            return;
+        };
+        let can_requeue = !ledger.draining && {
+            let job = &ledger.jobs[&jid];
+            job.reissues < MAX_REISSUES && ledger.any_worker_serves(&job.executor)
+        };
+        let Some(job) = ledger.jobs.get_mut(&jid) else {
+            return;
+        };
+        let wid = match job.state {
+            JobState::Issued { wid, .. } => wid,
+            _ => return,
+        };
+        if let Some(worker) = ledger.workers.get_mut(&wid) {
+            worker.inflight = worker.inflight.saturating_sub(1);
+        }
+        job.reissues += 1;
+        if can_requeue {
+            job.state = JobState::Queued;
+            ledger.queue.push_front(jid);
+        } else {
+            job.state = JobState::Abandoned;
+        }
+        self.expired.fetch_add(1, Ordering::SeqCst);
+        self.bus.emit(&TraceEvent::LeaseExpired {
+            lease,
+            wid,
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Sweep due deadlines. Caller holds the ledger lock.
+    fn reap(&self, ledger: &mut Ledger, now: Instant) {
+        let due: Vec<u64> = ledger
+            .leases
+            .iter()
+            .filter(|(_, jid)| {
+                matches!(ledger.jobs.get(jid).map(|j| &j.state),
+                         Some(JobState::Issued { deadline, .. }) if *deadline <= now)
+            })
+            .map(|(lease, _)| *lease)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        for lease in due {
+            self.expire_lease(ledger, lease, "deadline");
+        }
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Serve a worker's `lease` request, long-polling up to `wait`.
+    pub fn lease(&self, wid: u64, wait: Duration) -> Result<LeaseGrant, WireError> {
+        let poll_deadline = Instant::now() + wait;
+        let mut ledger = self.lock();
+        loop {
+            let now = Instant::now();
+            self.reap(&mut ledger, now);
+            if ledger.draining {
+                return Ok(LeaseGrant::Draining);
+            }
+            let Some(entry) = ledger.workers.get(&wid) else {
+                return Err(WireError::new(
+                    "unknown-worker",
+                    format!("no worker {wid} (register first)"),
+                ));
+            };
+            if entry.inflight < entry.slots {
+                let position = ledger
+                    .queue
+                    .iter()
+                    .position(|jid| entry.serves(&ledger.jobs[jid].executor));
+                if let Some(position) = position {
+                    let jid = ledger.queue.remove(position).expect("position is valid");
+                    let lease = self.next_lease.fetch_add(1, Ordering::SeqCst);
+                    let deadline = now + self.lease_timeout;
+                    ledger.leases.insert(lease, jid);
+                    ledger
+                        .workers
+                        .get_mut(&wid)
+                        .expect("checked above")
+                        .inflight += 1;
+                    let job = ledger.jobs.get_mut(&jid).expect("queued job exists");
+                    job.state = JobState::Issued { wid, deadline };
+                    let offer = LeaseOffer {
+                        lease,
+                        sid: job.sid,
+                        slot: job.slot,
+                        seed: job.seed,
+                        fingerprint: job.fingerprint,
+                        executor: job.executor.clone(),
+                        deadline_ms: self.lease_timeout.as_millis() as u64,
+                        config: job.config.clone(),
+                    };
+                    self.bus.emit(&TraceEvent::TrialLeased {
+                        lease,
+                        sid: offer.sid,
+                        wid,
+                        fingerprint: offer.fingerprint,
+                    });
+                    return Ok(LeaseGrant::Offer(offer));
+                }
+            }
+            let now = Instant::now();
+            if now >= poll_deadline {
+                return Ok(LeaseGrant::Idle);
+            }
+            let tick = (poll_deadline - now).min(REAP_TICK);
+            ledger = self
+                .work
+                .wait_timeout(ledger, tick)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|p| {
+                    let (g, _) = p.into_inner();
+                    g
+                });
+        }
+    }
+
+    /// Accept a finished trial. A stale lease (already expired and
+    /// reissued) is acknowledged and discarded — first finisher wins.
+    pub fn complete(&self, wid: u64, lease: u64, measurement: Measurement) {
+        let mut ledger = self.lock();
+        let Some(jid) = ledger.leases.remove(&lease) else {
+            return; // stale: the slot was reissued
+        };
+        if let Some(worker) = ledger.workers.get_mut(&wid) {
+            worker.inflight = worker.inflight.saturating_sub(1);
+        }
+        if let Some(job) = ledger.jobs.get_mut(&jid) {
+            job.state = JobState::Done(measurement);
+        }
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.done.notify_all();
+    }
+
+    /// A worker returned a lease it cannot run; reissue it right away
+    /// (counts against the job's reissue budget).
+    pub fn fail(&self, wid: u64, lease: u64, _reason: &str) {
+        let mut ledger = self.lock();
+        // Only the current holder may fail its lease.
+        let held = ledger.leases.get(&lease).is_some_and(|jid| {
+            matches!(ledger.jobs.get(jid).map(|j| &j.state),
+                     Some(JobState::Issued { wid: w, .. }) if *w == wid)
+        });
+        if held {
+            self.expire_lease(&mut ledger, lease, "failed");
+            self.work.notify_all();
+            self.done.notify_all();
+        }
+    }
+
+    /// Extend the deadlines of a worker's in-flight leases; returns how
+    /// many were extended (stale ids are skipped).
+    pub fn heartbeat(&self, wid: u64, leases: &[u64]) -> u64 {
+        let mut ledger = self.lock();
+        let now = Instant::now();
+        let mut extended = 0;
+        for lease in leases {
+            let Some(jid) = ledger.leases.get(lease).copied() else {
+                continue;
+            };
+            if let Some(job) = ledger.jobs.get_mut(&jid) {
+                if let JobState::Issued {
+                    wid: w, deadline, ..
+                } = &mut job.state
+                {
+                    if *w == wid {
+                        *deadline = now + self.lease_timeout;
+                        extended += 1;
+                    }
+                }
+            }
+        }
+        extended
+    }
+
+    /// Stop offering work: queued jobs fall back to the local pool
+    /// immediately; in-flight leases may still complete (graceful), and
+    /// long-polling workers are told to disconnect. Blocks (bounded by
+    /// `DRAIN_WAIT`) until every worker has acknowledged the drain by
+    /// deregistering — so by the time this returns, their `Draining`
+    /// replies are on the wire and shutdown cannot race them.
+    pub fn drain(&self) {
+        let mut ledger = self.lock();
+        ledger.draining = true;
+        while let Some(jid) = ledger.queue.pop_front() {
+            if let Some(job) = ledger.jobs.get_mut(&jid) {
+                job.state = JobState::Abandoned;
+            }
+        }
+        self.work.notify_all();
+        self.done.notify_all();
+        let give_up = Instant::now() + DRAIN_WAIT;
+        while !ledger.workers.is_empty() {
+            let now = Instant::now();
+            if now >= give_up {
+                break;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(ledger, (give_up - now).min(REAP_TICK))
+                .unwrap_or_else(|p| p.into_inner());
+            ledger = guard;
+        }
+    }
+
+    /// Offer a trial to the worker pool. `None` when no registered
+    /// worker can serve `executor` (or the registry is draining) — the
+    /// caller measures locally.
+    fn submit(
+        &self,
+        sid: u64,
+        slot: u64,
+        executor: String,
+        config: Vec<String>,
+        fingerprint: u64,
+        seed: u64,
+    ) -> Option<u64> {
+        let mut ledger = self.lock();
+        if ledger.draining || !ledger.any_worker_serves(&executor) {
+            return None;
+        }
+        let jid = self.next_job.fetch_add(1, Ordering::SeqCst);
+        ledger.jobs.insert(
+            jid,
+            Job {
+                sid,
+                slot,
+                executor,
+                config,
+                fingerprint,
+                seed,
+                reissues: 0,
+                state: JobState::Queued,
+            },
+        );
+        ledger.queue.push_back(jid);
+        self.work.notify_all();
+        Some(jid)
+    }
+
+    /// Block until job `jid` finishes remotely (`Some`) or is abandoned
+    /// to the local pool (`None`). Each wakeup sweeps due deadlines, so
+    /// waiters double as the expiry reaper.
+    fn await_result(&self, jid: u64) -> Option<Measurement> {
+        let mut ledger = self.lock();
+        loop {
+            self.reap(&mut ledger, Instant::now());
+            let job = ledger.jobs.get(&jid)?;
+            match &job.state {
+                JobState::Done(_) | JobState::Abandoned => break,
+                JobState::Queued => {
+                    // The worker pool shrank (or drained) under us.
+                    if ledger.draining || !ledger.any_worker_serves(&job.executor) {
+                        if let Some(position) = ledger.queue.iter().position(|q| *q == jid) {
+                            ledger.queue.remove(position);
+                        }
+                        ledger.jobs.get_mut(&jid).expect("checked above").state =
+                            JobState::Abandoned;
+                        break;
+                    }
+                }
+                JobState::Issued { .. } => {}
+            }
+            ledger = self
+                .done
+                .wait_timeout(ledger, REAP_TICK)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|p| {
+                    let (g, _) = p.into_inner();
+                    g
+                });
+        }
+        match ledger.jobs.remove(&jid)?.state {
+            JobState::Done(measurement) => Some(measurement),
+            _ => None,
+        }
+    }
+
+    /// Registered workers right now.
+    pub fn workers(&self) -> usize {
+        self.lock().workers.len()
+    }
+
+    /// Trials completed by remote workers since start.
+    pub fn leases_completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Leases expired/reissued (deadline, worker death, or `fail`).
+    pub fn leases_expired(&self) -> u64 {
+        self.expired.load(Ordering::SeqCst)
+    }
+}
+
+/// An [`Executor`] that drains measurements into the worker pool.
+///
+/// Wraps the local executor the session would otherwise run on. Each
+/// `measure` call offers the trial to the [`WorkerRegistry`]; if no
+/// worker can serve it — or every lease for it is lost — the inner
+/// executor measures locally, so a daemon with zero workers behaves
+/// exactly like before. `describe`/`registry`/`fixed_overhead` delegate
+/// to the inner executor: the memo tag, the journal resume signature,
+/// and the budget economics are identical wherever the trial runs.
+pub struct RemoteExecutor {
+    inner: Box<dyn Executor>,
+    registry: Arc<WorkerRegistry>,
+    sid: u64,
+    /// Monotonic per-session trial counter, used as the lease's
+    /// diagnostic `slot` field.
+    trials: AtomicU64,
+}
+
+impl RemoteExecutor {
+    /// Wrap `inner`, offering trials for session `sid` to `registry`.
+    pub fn new(
+        inner: Box<dyn Executor>,
+        registry: Arc<WorkerRegistry>,
+        sid: u64,
+    ) -> RemoteExecutor {
+        RemoteExecutor {
+            inner,
+            registry,
+            sid,
+            trials: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Executor for RemoteExecutor {
+    fn measure(&self, config: &JvmConfig, seed: u64) -> Measurement {
+        let slot = self.trials.fetch_add(1, Ordering::SeqCst);
+        let offered = self.registry.submit(
+            self.sid,
+            slot,
+            self.inner.describe(),
+            config.to_args(self.inner.registry()),
+            config.fingerprint(),
+            seed,
+        );
+        match offered.and_then(|jid| self.registry.await_result(jid)) {
+            Some(measurement) => measurement,
+            None => self.inner.measure(config, seed),
+        }
+    }
+
+    fn registry(&self) -> &Registry {
+        self.inner.registry()
+    }
+
+    fn fixed_overhead(&self) -> SimDuration {
+        self.inner.fixed_overhead()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+/// Options for the worker agent (`jtune worker`).
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Daemon address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Concurrent trial slots to offer (each runs its own lease loop).
+    pub slots: usize,
+    /// Long-poll bound passed with each `lease` request, milliseconds.
+    pub wait_ms: u64,
+    /// Executor capability tag to register (only `"sim"` today).
+    pub capability: String,
+}
+
+impl WorkerOptions {
+    /// Defaults: 1 slot, 500 ms long-poll, `sim` capability.
+    pub fn new(addr: impl Into<String>) -> WorkerOptions {
+        WorkerOptions {
+            addr: addr.into(),
+            slots: 1,
+            wait_ms: 500,
+            capability: "sim".into(),
+        }
+    }
+}
+
+/// What a worker did before draining.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// The worker id the daemon issued.
+    pub wid: u64,
+    /// Trials measured and streamed back.
+    pub completed: u64,
+    /// Leases returned with `fail`.
+    pub failed: u64,
+}
+
+/// Run a worker until the daemon drains or goes away.
+///
+/// Registers once, then runs `slots` lease loops, each on its own
+/// connection (frames on one connection are strictly request/reply).
+/// A lease whose executor tag the worker cannot rebuild is returned
+/// with `fail`; everything else is measured with the executor stack
+/// [`ExecutorSpec::named`] builds from the tag — the same pure function
+/// the daemon's local pool runs — and streamed back losslessly.
+/// Exits cleanly (returning stats) when the daemon answers `draining`
+/// or closes the connection; on the way out it deregisters so
+/// in-flight bookkeeping is released immediately.
+pub fn run_worker(options: &WorkerOptions) -> Result<WorkerStats, WireError> {
+    let mut control = Client::connect(&options.addr)
+        .map_err(|e| WireError::new("io-error", format!("cannot connect: {e}")))?;
+    let wid = match control.request(&Request::Register {
+        executor: options.capability.clone(),
+        slots: options.slots.max(1) as u64,
+    })? {
+        Response::WorkerAck { wid } => wid,
+        other => {
+            return Err(WireError::new(
+                "bad-frame",
+                format!("unexpected register reply: {other:?}"),
+            ))
+        }
+    };
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    // Slot 0's loop runs on the registering connection — the daemon
+    // ties the worker's lifetime to it, so a killed worker process is
+    // deregistered (and its leases reissued) the moment the socket
+    // drops. Extra slots each get their own connection: frames on one
+    // connection are strictly request/reply.
+    let mut extra: Vec<Client> = Vec::new();
+    for _ in 1..options.slots.max(1) {
+        extra.push(
+            Client::connect(&options.addr)
+                .map_err(|e| WireError::new("io-error", format!("cannot connect: {e}")))?,
+        );
+    }
+    std::thread::scope(|scope| {
+        for mut client in extra.drain(..) {
+            let completed = &completed;
+            let failed = &failed;
+            let options = &options;
+            scope.spawn(move || {
+                run_lease_loop(&mut client, wid, options, completed, failed);
+            });
+        }
+        run_lease_loop(&mut control, wid, options, &completed, &failed);
+    });
+    let _ = control.request(&Request::Deregister { wid });
+    Ok(WorkerStats {
+        wid,
+        completed: completed.load(Ordering::SeqCst),
+        failed: failed.load(Ordering::SeqCst),
+    })
+}
+
+/// One slot's lease loop: poll, execute, stream back; stop on drain or
+/// a dead connection.
+fn run_lease_loop(
+    client: &mut Client,
+    wid: u64,
+    options: &WorkerOptions,
+    completed: &AtomicU64,
+    failed: &AtomicU64,
+) {
+    // Executors are rebuilt only when the tag changes (one session's
+    // leases all share a tag).
+    let mut cache: Option<(String, Box<dyn Executor>)> = None;
+    loop {
+        let grant = match client.request(&Request::Lease {
+            wid,
+            wait_ms: options.wait_ms,
+        }) {
+            Ok(Response::Leased(offer)) => offer,
+            Ok(Response::Idle { draining: false }) => continue,
+            Ok(Response::Idle { draining: true }) => return,
+            Ok(_) | Err(_) => return, // daemon gone or confused: drain
+        };
+        let reply = match execute_lease(&grant, &mut cache, options, wid) {
+            Ok(outcome) => {
+                completed.fetch_add(1, Ordering::SeqCst);
+                Request::Complete {
+                    wid,
+                    lease: grant.lease,
+                    outcome,
+                }
+            }
+            Err(reason) => {
+                failed.fetch_add(1, Ordering::SeqCst);
+                Request::Fail {
+                    wid,
+                    lease: grant.lease,
+                    reason,
+                }
+            }
+        };
+        if client.request(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Rebuild the lease's executor and configuration, measure, and wrap
+/// the result for the wire. Errors become `fail` reasons.
+fn execute_lease(
+    offer: &LeaseOffer,
+    cache: &mut Option<(String, Box<dyn Executor>)>,
+    options: &WorkerOptions,
+    wid: u64,
+) -> Result<TrialOutcome, String> {
+    if cache.as_ref().map(|(tag, _)| tag.as_str()) != Some(offer.executor.as_str()) {
+        let spec = ExecutorSpec::named(&offer.executor)?;
+        let built = spec.build();
+        if built.describe() != offer.executor {
+            return Err(format!(
+                "rebuilt executor tag {:?} does not match lease tag {:?}",
+                built.describe(),
+                offer.executor
+            ));
+        }
+        *cache = Some((offer.executor.clone(), built));
+    }
+    let (_, executor) = cache.as_ref().expect("just populated");
+    let config = JvmConfig::parse_args(executor.registry(), &offer.config)
+        .map_err(|e| format!("bad config args: {e:?}"))?;
+    if config.fingerprint() != offer.fingerprint {
+        return Err(format!(
+            "config fingerprint mismatch: rebuilt {:#x}, leased {:#x}",
+            config.fingerprint(),
+            offer.fingerprint
+        ));
+    }
+    // Long trials (a real JVM under ProcessExecutor) would outlive the
+    // lease deadline, so a sidecar connection heartbeats while we
+    // measure. The simulator finishes in microseconds; skip the sidecar
+    // for short deadlines to keep the common path allocation-free.
+    let measurement = if offer.deadline_ms >= 2_000 {
+        let running = AtomicBool::new(true);
+        let interval = Duration::from_millis(offer.deadline_ms / 3);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut beat = match Client::connect(&options.addr) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                while running.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval.min(Duration::from_millis(250)));
+                    if !running.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if beat
+                        .request(&Request::Heartbeat {
+                            wid,
+                            leases: vec![offer.lease],
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+            let m = executor.measure(&config, offer.seed);
+            running.store(false, Ordering::SeqCst);
+            m
+        })
+    } else {
+        executor.measure(&config, offer.seed)
+    };
+    Ok(TrialOutcome::from_measurement(&measurement))
+}

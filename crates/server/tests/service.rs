@@ -12,7 +12,10 @@ use std::time::{Duration, Instant};
 
 use autotuner_core::Tuner;
 use jtune_harness::SimExecutor;
-use jtune_server::{Client, ServerConfig, SessionSpec, SessionState, TuneServer};
+use jtune_server::{
+    run_worker, Client, LeaseGrant, Request, Response, ServerConfig, SessionSpec, SessionState,
+    TuneServer, WorkerOptions,
+};
 use jtune_telemetry::{JsonlSink, TelemetryBus};
 use jtune_util::json::JsonValue;
 use jtune_workloads::workload_by_name;
@@ -273,9 +276,10 @@ fn tcp_round_trip_submit_watch_status_result_shutdown() {
     let (_, want_record) = one_shot_reference(&reference, &session_spec);
     assert_eq!(client.result(sid).expect("result"), want_record);
 
-    // Structured errors for unknown sessions.
+    // Structured errors for unknown sessions: the server's stable code
+    // arrives in the code field, verbatim.
     let err = client.result(9999).expect_err("unknown sid");
-    assert!(err.message.contains("unknown-session"), "{err}");
+    assert_eq!(err.code, "unknown-session", "{err}");
 
     client.shutdown(false).expect("shutdown");
     serve.join().expect("serve thread").expect("serve io");
@@ -350,9 +354,9 @@ fn stats_round_trip_reports_counters_and_histograms() {
         "frame_wall histogram empty"
     );
 
-    // Unknown sessions get the structured unknown-session error.
+    // Unknown sessions get the structured unknown-session error code.
     let err = client.stats(Some(9999)).expect_err("unknown sid");
-    assert!(err.message.contains("unknown-session"), "{err}");
+    assert_eq!(err.code, "unknown-session", "{err}");
 
     // Spans on changed nothing about the serialised trace: it is still
     // byte-identical to the spans-off one-shot run.
@@ -363,6 +367,211 @@ fn stats_round_trip_reports_counters_and_histograms() {
 
     client.shutdown(false).expect("shutdown");
     serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn two_workers_produce_byte_identical_traces_and_records() {
+    let state = temp_dir("workers");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // Two remote workers, one of them multi-slot.
+    let agents: Vec<_> = [1usize, 2]
+        .into_iter()
+        .map(|slots| {
+            let mut options = WorkerOptions::new(addr.to_string());
+            options.slots = slots;
+            options.wait_ms = 200;
+            std::thread::spawn(move || run_worker(&options))
+        })
+        .collect();
+    let start = Instant::now();
+    while server.workers().workers() < 2 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "workers never registered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let session_spec = spec("compress", 10, 99);
+    let mut client = Client::connect(addr).expect("connect");
+    let sid = client.submit(session_spec.clone()).expect("submit");
+    assert_eq!(server.join_session(sid), Some(SessionState::Completed));
+
+    // The trials really ran remotely...
+    assert!(
+        server.workers().leases_completed() > 0,
+        "no trial was measured by a worker"
+    );
+    // ...and the worker plane left no trace in the session's data path:
+    // trace and record are byte-identical to the single-host run.
+    let reference = temp_dir("workers-ref");
+    let (want_trace, want_record) = one_shot_reference(&reference, &session_spec);
+    let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+    assert_eq!(got_trace, want_trace, "distributed trace diverged");
+    assert_eq!(got_record, want_record, "distributed record diverged");
+
+    // The worker counters surface in the daemon-level stats payload.
+    let (_, server_metrics) = server.stats(None).expect("stats");
+    assert!(
+        server_metrics.contains("\"trials_leased\""),
+        "worker counters missing from server stats: {server_metrics}"
+    );
+
+    // Drain: both workers exit their lease loops and report stats.
+    client.shutdown(false).expect("shutdown");
+    let mut measured = 0;
+    for agent in agents {
+        let stats = agent.join().expect("worker thread").expect("worker ran");
+        measured += stats.completed;
+    }
+    assert!(measured > 0, "workers reported no completed trials");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn killed_worker_mid_lease_reissues_to_the_survivor_byte_identically() {
+    let state = temp_dir("worker-kill");
+    let server = TuneServer::new(ServerConfig::new(state.join("state"))).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // A rogue worker registers by hand and takes the session's first
+    // trial...
+    let mut rogue = Client::connect(addr).expect("rogue connect");
+    let rogue_wid = match rogue
+        .request(&Request::Register {
+            executor: "sim".into(),
+            slots: 1,
+        })
+        .expect("register")
+    {
+        Response::WorkerAck { wid } => wid,
+        other => panic!("unexpected register reply: {other:?}"),
+    };
+
+    let session_spec = spec("compress", 10, 41);
+    let sid = server.submit(session_spec.clone()).expect("submit");
+    match rogue
+        .request(&Request::Lease {
+            wid: rogue_wid,
+            wait_ms: 10_000,
+        })
+        .expect("lease")
+    {
+        Response::Leased(offer) => assert_eq!(offer.sid, sid),
+        other => panic!("expected a lease offer, got {other:?}"),
+    }
+
+    // ...a healthy worker joins...
+    let survivor = {
+        let mut options = WorkerOptions::new(addr.to_string());
+        options.wait_ms = 200;
+        std::thread::spawn(move || run_worker(&options))
+    };
+    let start = Instant::now();
+    while server.workers().workers() < 2 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "survivor never registered"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...and the rogue dies mid-lease. Dropping the registering
+    // connection deregisters it instantly; its lease is reissued to the
+    // survivor without waiting out the deadline.
+    drop(rogue);
+
+    assert_eq!(server.join_session(sid), Some(SessionState::Completed));
+    assert!(
+        server.workers().leases_expired() >= 1,
+        "the lost lease never expired"
+    );
+    assert!(
+        server.workers().leases_completed() >= 1,
+        "the survivor measured nothing"
+    );
+
+    // The merged output is still byte-identical to the uninterrupted
+    // single-host run.
+    let reference = temp_dir("worker-kill-ref");
+    let (want_trace, want_record) = one_shot_reference(&reference, &session_spec);
+    let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+    assert_eq!(got_trace, want_trace, "trace diverged after worker death");
+    assert_eq!(
+        got_record, want_record,
+        "record diverged after worker death"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown(false).expect("shutdown");
+    survivor.join().expect("survivor thread").expect("ran");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn silent_workers_lose_their_leases_to_the_deadline() {
+    let state = temp_dir("worker-deadline");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.lease_ms = 200;
+    let server = TuneServer::new(config).expect("server");
+
+    // A worker registers straight against the registry, takes a lease,
+    // and goes silent: no complete, no heartbeat.
+    let wid = server.workers().register("sim", 1);
+    let session_spec = spec("compress", 10, 7);
+    let sid = server.submit(session_spec.clone()).expect("submit");
+    match server
+        .workers()
+        .lease(wid, Duration::from_secs(10))
+        .expect("lease")
+    {
+        LeaseGrant::Offer(offer) => assert_eq!(offer.sid, sid),
+        other => panic!("expected a lease offer, got {other:?}"),
+    }
+
+    // The session's own result waiters double as the reaper: the lease
+    // expires ~lease_ms later with no dedicated thread involved.
+    let start = Instant::now();
+    while server.workers().leases_expired() == 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "deadline never expired the lease"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Deregister the idler so the requeued trial falls back to the
+    // local pool, and the session finishes byte-identically.
+    server.workers().deregister(wid);
+    assert_eq!(server.join_session(sid), Some(SessionState::Completed));
+
+    let reference = temp_dir("worker-deadline-ref");
+    let (want_trace, want_record) = one_shot_reference(&reference, &session_spec);
+    let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+    assert_eq!(got_trace, want_trace, "trace diverged after lease expiry");
+    assert_eq!(
+        got_record, want_record,
+        "record diverged after lease expiry"
+    );
+
     let _ = std::fs::remove_dir_all(&reference);
     let _ = std::fs::remove_dir_all(&state);
 }

@@ -216,6 +216,43 @@ pub enum TraceEvent {
         /// Completed trials replayed from the journal.
         trials_replayed: u64,
     },
+    /// A remote worker registered with the daemon. *Ephemeral*: which
+    /// workers happen to be attached is deployment topology, not session
+    /// content — a session's trace must be byte-identical with or
+    /// without workers.
+    WorkerRegistered {
+        /// The worker id the daemon issued.
+        wid: u64,
+        /// The worker's executor capability tag (e.g. `"sim"`).
+        executor: String,
+        /// Concurrent trial slots the worker offers.
+        slots: u64,
+    },
+    /// A trial was leased to a remote worker. *Ephemeral*, like
+    /// [`TraceEvent::WorkerRegistered`]: where a trial executed varies
+    /// run to run and never reaches the serialised trace.
+    TrialLeased {
+        /// The lease id.
+        lease: u64,
+        /// The session the trial belongs to.
+        sid: u64,
+        /// The worker the trial went to.
+        wid: u64,
+        /// Canonical fingerprint of the leased configuration.
+        fingerprint: u64,
+    },
+    /// A lease expired (missed deadline, worker death, or an explicit
+    /// `fail`) and its slot was reissued — to another worker or back to
+    /// the local pool. *Ephemeral*, like
+    /// [`TraceEvent::WorkerRegistered`].
+    LeaseExpired {
+        /// The lease that was lost.
+        lease: u64,
+        /// The worker that held it.
+        wid: u64,
+        /// Why it expired (`"deadline"`, `"worker-gone"`, `"failed"`).
+        reason: String,
+    },
     /// A timed tuning phase began (propose / screen / measure / fit /
     /// checkpoint; see [`crate::phase`]). *Ephemeral*: span events carry
     /// wall-clock timings that vary run to run, so they feed live sinks
@@ -286,6 +323,9 @@ impl TraceEvent {
             TraceEvent::CandidateScreened { .. } => "CandidateScreened",
             TraceEvent::CheckpointWritten { .. } => "CheckpointWritten",
             TraceEvent::SessionResumed { .. } => "SessionResumed",
+            TraceEvent::WorkerRegistered { .. } => "WorkerRegistered",
+            TraceEvent::TrialLeased { .. } => "TrialLeased",
+            TraceEvent::LeaseExpired { .. } => "LeaseExpired",
             TraceEvent::PhaseStarted { .. } => "PhaseStarted",
             TraceEvent::PhaseEnded { .. } => "PhaseEnded",
             TraceEvent::BestImproved { .. } => "BestImproved",
@@ -302,11 +342,19 @@ impl TraceEvent {
     /// must match the uninterrupted one byte for byte. The span events
     /// ([`TraceEvent::PhaseStarted`] / [`TraceEvent::PhaseEnded`]) carry
     /// wall-clock timings that differ run to run, so serialising them
-    /// would break the trace's byte-determinism contract.
+    /// would break the trace's byte-determinism contract. The worker-
+    /// plane events ([`TraceEvent::WorkerRegistered`] /
+    /// [`TraceEvent::TrialLeased`] / [`TraceEvent::LeaseExpired`])
+    /// describe deployment topology — which host ran a trial — and a
+    /// distributed session's trace must stay byte-identical to a
+    /// single-host run.
     pub fn is_ephemeral(&self) -> bool {
         matches!(
             self,
             TraceEvent::SessionResumed { .. }
+                | TraceEvent::WorkerRegistered { .. }
+                | TraceEvent::TrialLeased { .. }
+                | TraceEvent::LeaseExpired { .. }
                 | TraceEvent::PhaseStarted { .. }
                 | TraceEvent::PhaseEnded { .. }
         )
@@ -480,6 +528,31 @@ impl TraceEvent {
             TraceEvent::SessionResumed { trials_replayed } => {
                 o.u64("trials_replayed", *trials_replayed).finish()
             }
+            TraceEvent::WorkerRegistered {
+                wid,
+                executor,
+                slots,
+            } => o
+                .u64("wid", *wid)
+                .str("executor", executor)
+                .u64("slots", *slots)
+                .finish(),
+            TraceEvent::TrialLeased {
+                lease,
+                sid,
+                wid,
+                fingerprint,
+            } => o
+                .u64("lease", *lease)
+                .u64("sid", *sid)
+                .u64("wid", *wid)
+                .u64("fingerprint", *fingerprint)
+                .finish(),
+            TraceEvent::LeaseExpired { lease, wid, reason } => o
+                .u64("lease", *lease)
+                .u64("wid", *wid)
+                .str("reason", reason)
+                .finish(),
             TraceEvent::PhaseStarted { phase, round } => {
                 o.str("phase", phase).u64("round", *round).finish()
             }

@@ -188,6 +188,9 @@ pub const COUNTERS: &[&str] = &[
     "candidates_screened",
     "checkpoints_written",
     "sessions_resumed",
+    "workers_registered",
+    "trials_leased",
+    "leases_expired",
 ];
 
 /// Histogram names the registry maintains.
@@ -358,6 +361,9 @@ impl TuningObserver for MetricsRegistry {
             TraceEvent::CandidateScreened { .. } => inner.bump("candidates_screened"),
             TraceEvent::CheckpointWritten { .. } => inner.bump("checkpoints_written"),
             TraceEvent::SessionResumed { .. } => inner.bump("sessions_resumed"),
+            TraceEvent::WorkerRegistered { .. } => inner.bump("workers_registered"),
+            TraceEvent::TrialLeased { .. } => inner.bump("trials_leased"),
+            TraceEvent::LeaseExpired { .. } => inner.bump("leases_expired"),
             TraceEvent::PhaseStarted { .. } => {}
             TraceEvent::PhaseEnded {
                 phase,

@@ -14,7 +14,8 @@
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
 //! jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
-//!             [--spans]
+//!             [--spans] [--lease-ms MS]
+//! jtune worker --connect HOST:PORT [--slots N] [--wait-ms MS]
 //! jtune client <submit|status|watch|result|cancel|stats|shutdown> [...]
 //! jtune report <dir-or-trace> [--format md|html|json] [--out PATH]
 //! jtune simulate <workload> [-XX:... flags]
@@ -38,6 +39,7 @@ fn main() {
             "tune" => cmd_tune(rest),
             "suite" => cmd_suite(rest),
             "serve" => cmd_serve(rest),
+            "worker" => cmd_worker(rest),
             "client" => cmd_client(rest),
             "report" => cmd_report(rest),
             "simulate" => cmd_simulate(rest),
@@ -75,7 +77,8 @@ USAGE:
                         [... same tuning/fault flags as tune ...]
                         [--trace PATH] [--progress] [--json]
   jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
-              [--spans]
+              [--spans] [--lease-ms MS]
+  jtune worker --connect HOST:PORT [--slots N] [--wait-ms MS]
   jtune client submit <workload> [--budget MIN] [--seed N] [--max-evals N]
                       [--screen-ratio F] [--technique NAME]
   jtune client status [SID] | watch <SID> | result <SID> | cancel <SID>
@@ -133,7 +136,15 @@ line-delimited JSON protocol over TCP, sharing measurements across
 sessions and scheduling them fairly; each session's trace and result
 stay byte-identical to the one-shot `jtune tune` run with the same
 spec. `shutdown` (default) drains: in-flight sessions checkpoint and
-resume when a daemon restarts on the same --state-dir."
+resume when a daemon restarts on the same --state-dir.
+
+Distributed tuning: `jtune worker --connect HOST:PORT` attaches remote
+measurement capacity to a daemon. Workers lease trials over the same
+JSONL protocol, measure them with the identical pure simulator, and
+stream results back; lost workers are detected by lease expiry
+(--lease-ms, default 10000) and their trials reissued or run locally,
+so traces and results stay byte-identical with any number of workers —
+including zero."
     );
     code
 }
@@ -311,30 +322,29 @@ fn tuner_options_from(rest: &[String]) -> Result<TunerOptions, String> {
     b.build().map_err(|e| e.to_string())
 }
 
-/// Build the simulator executor for a workload, honoring `--deadline`
-/// (a virtual per-run watchdog timeout in seconds).
-fn sim_executor_from(workload: Workload, rest: &[String]) -> Result<SimExecutor, String> {
-    let mut sim = SimExecutor::new(workload);
+/// The declarative executor description the command line denotes:
+/// simulator backend for `workload`, honoring `--deadline` (a virtual
+/// per-run watchdog timeout in seconds) and `--fault-rate` /
+/// `--fault-seed` (deterministic fault injection, off by default).
+/// One description serves every consumer — `tune`, `suite`, experiment
+/// drivers, daemon sessions, and remote workers all call
+/// [`ExecutorSpec::build`] instead of hand-wiring executor stacks.
+fn executor_spec_from(workload: Workload, rest: &[String]) -> Result<ExecutorSpec, String> {
+    let mut spec = ExecutorSpec::sim(workload);
     if let Some(raw) = parse_opt(rest, "--deadline") {
         match raw.parse::<f64>() {
-            Ok(secs) if secs > 0.0 => sim = sim.with_deadline(SimDuration::from_secs_f64(secs)),
+            Ok(secs) if secs > 0.0 => spec = spec.with_deadline(secs),
             _ => return Err(format!("--deadline {raw:?} is not a positive number")),
         }
     }
-    Ok(sim)
-}
-
-/// Parse `--fault-rate` / `--fault-seed` into an injection plan, or
-/// `None` when fault injection is off (the default).
-fn fault_plan_from(rest: &[String]) -> Result<Option<FaultPlan>, String> {
-    let Some(rate) = parse_value::<f64>(rest, "--fault-rate", "a number")? else {
-        return Ok(None);
+    let fault = match parse_value::<f64>(rest, "--fault-rate", "a number")? {
+        Some(rate) if rate > 0.0 => {
+            let seed = parse_value(rest, "--fault-seed", "an integer")?.unwrap_or(0xFA_017);
+            Some(FaultPlan::transient(rate, seed))
+        }
+        _ => None,
     };
-    if rate <= 0.0 {
-        return Ok(None);
-    }
-    let seed = parse_value(rest, "--fault-seed", "an integer")?.unwrap_or(0xFA_017);
-    Ok(Some(FaultPlan::transient(rate, seed)))
+    Ok(spec.with_fault(fault))
 }
 
 /// Build the telemetry bus requested on the command line: `--trace PATH`
@@ -384,24 +394,16 @@ fn cmd_tune(rest: &[String]) -> i32 {
             opts.budget, opts.technique, opts.manipulator
         );
     }
-    // Fault injection wraps the simulator for the *tuning* run only;
-    // flag-impact attribution below always measures fault-free.
-    let built = (|| -> Result<Box<dyn Executor>, String> {
-        Ok(match fault_plan_from(rest)? {
-            Some(plan) => Box::new(FaultyExecutor::new(
-                sim_executor_from(workload.clone(), rest)?,
-                plan,
-            )),
-            None => Box::new(sim_executor_from(workload.clone(), rest)?),
-        })
-    })();
-    let tuning_executor = match built {
-        Ok(executor) => executor,
+    // Fault injection applies to the *tuning* run only; flag-impact
+    // attribution below always measures fault-free.
+    let spec = match executor_spec_from(workload, rest) {
+        Ok(spec) => spec,
         Err(e) => {
             eprintln!("tune: invalid options: {e}\n");
             return usage(2);
         }
     };
+    let tuning_executor = spec.build();
     // Session errors (unreadable or mismatched --resume journal, bad
     // --technique) are operator errors, not bugs: report and exit 1.
     let result = match Tuner::new(opts).try_run(tuning_executor.as_ref(), name, &bus) {
@@ -424,9 +426,9 @@ fn cmd_tune(rest: &[String]) -> i32 {
     );
     if minimize {
         println!("\nmeasuring marginal flag impacts (reverting one at a time)...");
-        let impact_executor = sim_executor_from(workload, rest).expect("validated above");
+        let impact_executor = spec.with_fault(None).build();
         let impacts = flag_impact(
-            &impact_executor,
+            impact_executor.as_ref(),
             &result.best_config,
             ImpactOptions::default(),
         );
@@ -490,15 +492,8 @@ fn cmd_suite(rest: &[String]) -> i32 {
         let name = workload.name.clone();
         let mut opts = base.clone();
         opts.seed ^= (i as u64 + 1) << 32;
-        let built = (|| -> Result<Box<dyn Executor>, String> {
-            let sim = sim_executor_from(workload, rest)?;
-            Ok(match fault_plan_from(rest)? {
-                Some(plan) => Box::new(FaultyExecutor::new(sim, plan)),
-                None => Box::new(sim),
-            })
-        })();
-        let executor = match built {
-            Ok(executor) => executor,
+        let executor = match executor_spec_from(workload, rest) {
+            Ok(spec) => spec.build(),
             Err(e) => {
                 eprintln!("suite: invalid options: {e}\n");
                 return usage(2);
@@ -545,6 +540,7 @@ fn cmd_serve(rest: &[String]) -> i32 {
         ("--slots", true),
         ("--state-dir", true),
         ("--spans", false),
+        ("--lease-ms", true),
     ];
     if let Err(e) = reject_unknown_flags("serve", rest, 0, SERVE_FLAGS) {
         eprintln!("{e}\n");
@@ -570,6 +566,14 @@ fn cmd_serve(rest: &[String]) -> i32 {
         }
     }
     config.spans = rest.iter().any(|a| a == "--spans");
+    match parse_value(rest, "--lease-ms", "an integer") {
+        Ok(Some(ms)) => config.lease_ms = ms,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("serve: invalid options: {e}\n");
+            return usage(2);
+        }
+    }
     let listener = match std::net::TcpListener::bind(&listen) {
         Ok(l) => l,
         Err(e) => {
@@ -601,6 +605,62 @@ fn cmd_serve(rest: &[String]) -> i32 {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_worker(rest: &[String]) -> i32 {
+    const WORKER_FLAGS: &[(&str, bool)] =
+        &[("--connect", true), ("--slots", true), ("--wait-ms", true)];
+    if let Err(e) = reject_unknown_flags("worker", rest, 0, WORKER_FLAGS) {
+        eprintln!("{e}\n");
+        return usage(2);
+    }
+    let Some(addr) = parse_opt(rest, "--connect") else {
+        eprintln!("worker: missing --connect HOST:PORT");
+        return 2;
+    };
+    let mut options = hotspot_autotuner::server::WorkerOptions::new(addr);
+    match parse_value(rest, "--slots", "an integer") {
+        Ok(Some(n)) => options.slots = n,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("worker: invalid options: {e}\n");
+            return usage(2);
+        }
+    }
+    match parse_value(rest, "--wait-ms", "an integer") {
+        Ok(Some(ms)) => options.wait_ms = ms,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("worker: invalid options: {e}\n");
+            return usage(2);
+        }
+    }
+    if options.slots == 0 {
+        eprintln!("worker: --slots must be at least 1");
+        return 2;
+    }
+    println!(
+        "worker connecting to {} ({} slot{})",
+        options.addr,
+        options.slots,
+        if options.slots == 1 { "" } else { "s" }
+    );
+    // Run until the daemon drains or the connection drops; both are
+    // clean exits for a worker (exit 1 is reserved for never having
+    // registered at all).
+    match hotspot_autotuner::server::run_worker(&options) {
+        Ok(stats) => {
+            println!(
+                "worker {} drained: {} completed, {} failed",
+                stats.wid, stats.completed, stats.failed
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("worker: {e}");
             1
         }
     }

@@ -37,8 +37,9 @@
 //!   ensemble and the bandit portfolio over the full technique set, and
 //!   hierarchical/flat/subset manipulators.
 //! - [`server`] — the multi-session tuning daemon: concurrent sessions
-//!   over a line-delimited JSON TCP protocol, fair-share measurement
-//!   scheduling, cross-session measurement sharing, and graceful
+//!   over a typed line-delimited JSON TCP protocol, fair-share
+//!   measurement scheduling, cross-session measurement sharing, remote
+//!   trial leasing to `jtune worker` processes, and graceful
 //!   drain/resume — with every session byte-identical to its one-shot
 //!   equivalent.
 //! - [`report`] — post-hoc analytics: replay traces, TSV records and
@@ -94,9 +95,9 @@ pub mod prelude {
     pub use jtune_flags::{hotspot_registry, FlagValue, JvmConfig};
     pub use jtune_flagtree::hotspot_tree;
     pub use jtune_harness::{
-        CachePolicy, EvalPipeline, Executor, FaultPlan, FaultyExecutor, JournalWriter,
-        ProcessExecutor, Protocol, QuarantinePolicy, Racing, ReplayLog, RetryPolicy, SessionHeader,
-        SimExecutor, TrialCache, TrialError,
+        CachePolicy, EvalPipeline, Executor, ExecutorSpec, FaultPlan, FaultyExecutor,
+        JournalWriter, ProcessExecutor, Protocol, QuarantinePolicy, Racing, ReplayLog, RetryPolicy,
+        SessionHeader, SimExecutor, TrialCache, TrialError,
     };
     pub use jtune_jvmsim::{JvmSim, Machine, Workload};
     pub use jtune_report::{Report, SessionSummary};

@@ -119,6 +119,88 @@ fn one_shot(dir: &Path, seed: &str, budget: &str) -> (String, String) {
 }
 
 #[test]
+fn remote_workers_produce_byte_identical_results_through_the_binary() {
+    let root = temp_dir("workers-cli");
+    let state = root.join("state");
+    let mut daemon = start_daemon(&state);
+
+    // Two worker processes attach over TCP.
+    let mut workers: Vec<Child> = [
+        vec!["worker", "--connect", daemon.addr.as_str()],
+        vec!["worker", "--connect", daemon.addr.as_str(), "--slots", "2"],
+    ]
+    .into_iter()
+    .map(|args| {
+        jtune()
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn worker")
+    })
+    .collect();
+
+    // Wait until both registrations show up in the daemon stats.
+    let start = Instant::now();
+    loop {
+        let out = client(&daemon.addr, &["stats"]);
+        assert!(out.status.success());
+        if String::from_utf8_lossy(&out.stdout).contains("\"workers_registered\":2") {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "workers never registered"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let out = client(
+        &daemon.addr,
+        &["submit", "compress", "--budget", "10", "--seed", "77"],
+    );
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sid = String::from_utf8(out.stdout)
+        .expect("utf8 sid")
+        .trim()
+        .to_string();
+    let record = await_result(&daemon.addr, &sid);
+
+    // Trials really ran on the workers.
+    let stats = client(&daemon.addr, &["stats"]);
+    assert!(stats.status.success());
+    let stats_line = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(
+        !stats_line.contains("\"trials_leased\":0"),
+        "no trial was leased to a worker: {stats_line}"
+    );
+    assert!(stats_line.contains("\"trials_leased\":"), "{stats_line}");
+
+    // Byte-identical to the uninterrupted single-host run.
+    let reference = temp_dir("workers-cli-ref");
+    let (want_trace, want_record) = one_shot(&reference, "77", "10");
+    let got_trace =
+        std::fs::read_to_string(state.join(&sid).join("trace.jsonl")).expect("session trace");
+    assert_eq!(got_trace, want_trace, "distributed trace diverged");
+    assert_eq!(record, want_record, "distributed record diverged");
+
+    // Shutdown drains the workers: both exit 0 after reporting stats.
+    let shutdown = client(&daemon.addr, &["shutdown", "--no-drain"]);
+    assert!(shutdown.status.success());
+    for worker in &mut workers {
+        let status = worker.wait().expect("worker exit");
+        assert!(status.success(), "worker exited non-zero: {status}");
+    }
+    daemon.child.wait().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn killed_daemon_resumes_sessions_with_byte_identical_traces() {
     let root = temp_dir("kill-resume");
     let state = root.join("state");
