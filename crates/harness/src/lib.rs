@@ -70,5 +70,5 @@ pub use memo::{MeasurementCache, MemoExecutor};
 pub use objective::Objective;
 pub use pipeline::{BatchReport, EvalPipeline, PipelineStats, Provenance};
 pub use pool::evaluate_batch;
-pub use protocol::{Evaluation, Protocol, RaceAbort, Racing, RetryPolicy, RetryRecord};
+pub use protocol::{BackoffPolicy, Evaluation, Protocol, RaceAbort, Racing, RetryPolicy, RetryRecord};
 pub use results::{SessionRecord, TrialRecord};

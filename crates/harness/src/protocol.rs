@@ -89,6 +89,67 @@ impl RetryPolicy {
     }
 }
 
+/// Seeded, jittered exponential backoff for *wire* retries (client
+/// resubmits, worker reconnects), derived from the same
+/// [`RetryPolicy`] growth curve that prices trial retries.
+///
+/// Delays are a pure function of `(policy, attempt)`: attempt *k*
+/// sleeps `base_ms × backoff^k`, capped at [`BackoffPolicy::cap_ms`],
+/// scaled by a half-to-full jitter factor drawn from a
+/// [`SplitMix64`](jtune_util::SplitMix64) stream keyed on
+/// [`BackoffPolicy::seed`] and the attempt index — bit-reproducible, so
+/// chaos tests can replay the exact retry schedule. A server-supplied
+/// `retry_after_ms` hint acts as a floor: the computed delay never
+/// undercuts what the server asked for.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Retry budget and per-attempt growth factor (reuses
+    /// [`RetryPolicy::cost_factor`] as the exponential curve).
+    pub retry: RetryPolicy,
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream (vary per process to de-synchronise
+    /// a thundering herd; keep fixed to replay a schedule).
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            retry: RetryPolicy {
+                max_retries: 5,
+                backoff: 2.0,
+            },
+            base_ms: 100,
+            cap_ms: 5_000,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Is attempt `attempt` (0 = the original try) allowed another retry?
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.retry.max_retries
+    }
+
+    /// Delay in milliseconds before retrying after failed attempt
+    /// `attempt` (0-based). `hint_ms` is the server's `retry_after_ms`
+    /// suggestion, honoured as a lower bound.
+    pub fn delay_ms(&self, attempt: u32, hint_ms: Option<u64>) -> u64 {
+        let raw = (self.base_ms as f64 * self.retry.cost_factor(attempt))
+            .min(self.cap_ms as f64);
+        let mut rng = jtune_util::SplitMix64::new(
+            self.seed ^ (attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        use jtune_util::Rng;
+        let jittered = (raw * (0.5 + 0.5 * rng.next_f64())).round() as u64;
+        jittered.min(self.cap_ms).max(hint_ms.unwrap_or(0))
+    }
+}
+
 /// One retried attempt inside an [`Evaluation`] (for traces and the
 /// trial journal).
 #[derive(Clone, Debug, PartialEq)]
@@ -631,6 +692,37 @@ mod tests {
         }
         .evaluate(&ex, &c, 11);
         assert_eq!(plain, with_retry);
+    }
+
+    #[test]
+    fn backoff_policy_is_deterministic_capped_and_honours_hints() {
+        let p = BackoffPolicy {
+            seed: 42,
+            ..BackoffPolicy::default()
+        };
+        // Pure function of (policy, attempt): same inputs, same delay.
+        assert_eq!(p.delay_ms(0, None), p.delay_ms(0, None));
+        // Jitter keeps every delay within [raw/2, raw], raw = base × 2^k.
+        for attempt in 0..5 {
+            let raw = (p.base_ms as f64 * p.retry.cost_factor(attempt)).min(p.cap_ms as f64);
+            let d = p.delay_ms(attempt, None);
+            assert!(d as f64 >= raw * 0.5 - 1.0, "attempt {attempt}: {d}");
+            assert!(d <= p.cap_ms, "attempt {attempt}: {d}");
+        }
+        // A server hint is a floor, even above the jittered value.
+        assert!(p.delay_ms(0, Some(4_000)) >= 4_000);
+        // Different seeds de-synchronise the schedule.
+        let q = BackoffPolicy {
+            seed: 43,
+            ..BackoffPolicy::default()
+        };
+        assert_ne!(
+            (0..5).map(|a| p.delay_ms(a, None)).collect::<Vec<_>>(),
+            (0..5).map(|a| q.delay_ms(a, None)).collect::<Vec<_>>()
+        );
+        // Retry budget comes from the embedded RetryPolicy.
+        assert!(p.should_retry(0) && p.should_retry(4));
+        assert!(!p.should_retry(5));
     }
 
     #[test]

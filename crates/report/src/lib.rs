@@ -29,7 +29,7 @@ pub mod load;
 pub mod render;
 pub mod summary;
 
-pub use load::{load, Report};
+pub use load::{load, DaemonCounters, Report};
 pub use render::{to_html, to_json, to_markdown};
 pub use summary::{
     flag_name, ConvergencePoint, FlagImpact, SessionCounters, SessionSummary, TechniqueStats,

@@ -9,6 +9,7 @@
 use std::path::Path;
 
 use jtune_harness::SessionRecord;
+use jtune_util::json::{self, JsonValue};
 
 use crate::summary::SessionSummary;
 
@@ -19,6 +20,65 @@ pub struct Report {
     pub title: String,
     /// Sessions in deterministic (name / session-ID) order.
     pub sessions: Vec<SessionSummary>,
+    /// Daemon-level overload/robustness counters, present when the
+    /// input is a server state directory whose daemon left a
+    /// `server-metrics.json` snapshot at shutdown.
+    pub daemon: Option<DaemonCounters>,
+}
+
+/// The daemon counters a report can explain a chaos run with: how much
+/// load was shed, how often peers misbehaved, and how hard the retry
+/// and reconnect machinery worked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonCounters {
+    /// Submits shed with `overloaded` plus connections shed at the
+    /// connection limit.
+    pub connections_rejected: u64,
+    /// Frames rejected at the wire (oversized, non-UTF-8, undecodable).
+    pub frames_rejected: u64,
+    /// Requests that arrived carrying a client retry tag.
+    pub clients_retried: u64,
+    /// Workers that re-registered as successors of a lost identity.
+    pub workers_reconnected: u64,
+    /// Worker registrations accepted.
+    pub workers_registered: u64,
+    /// Trials leased to remote workers.
+    pub trials_leased: u64,
+    /// Leases reissued after a deadline, worker death, or `fail`.
+    pub leases_expired: u64,
+}
+
+impl DaemonCounters {
+    /// The rows a renderer shows, in display order.
+    pub fn rows(&self) -> [(&'static str, u64); 7] {
+        [
+            ("connections rejected", self.connections_rejected),
+            ("frames rejected", self.frames_rejected),
+            ("client retries seen", self.clients_retried),
+            ("worker reconnects", self.workers_reconnected),
+            ("workers registered", self.workers_registered),
+            ("trials leased", self.trials_leased),
+            ("leases expired", self.leases_expired),
+        ]
+    }
+}
+
+/// The `server-metrics.json` snapshot a draining daemon writes into its
+/// state directory, if present and parseable.
+fn load_daemon_counters(state_dir: &Path) -> Option<DaemonCounters> {
+    let text = std::fs::read_to_string(state_dir.join("server-metrics.json")).ok()?;
+    let v = json::parse(&text).ok()?;
+    let counters = v.get("counters")?;
+    let c = |name: &str| counters.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+    Some(DaemonCounters {
+        connections_rejected: c("connections_rejected"),
+        frames_rejected: c("frames_rejected"),
+        clients_retried: c("clients_retried"),
+        workers_reconnected: c("workers_reconnected"),
+        workers_registered: c("workers_registered"),
+        trials_leased: c("trials_leased"),
+        leases_expired: c("leases_expired"),
+    })
 }
 
 fn label_of(path: &Path) -> String {
@@ -85,6 +145,7 @@ pub fn load(path: &Path) -> Result<Report, String> {
         return Ok(Report {
             title: name,
             sessions: vec![session],
+            daemon: None,
         });
     }
     if !path.is_dir() {
@@ -100,6 +161,7 @@ pub fn load(path: &Path) -> Result<Report, String> {
                 s.label = label_of(path);
                 s
             })?],
+            daemon: None,
         });
     }
 
@@ -123,7 +185,11 @@ pub fn load(path: &Path) -> Result<Report, String> {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Report { title, sessions });
+        return Ok(Report {
+            title,
+            sessions,
+            daemon: load_daemon_counters(path),
+        });
     }
 
     // An experiment trace directory (*.jsonl) or record directory (*.tsv).
@@ -133,7 +199,11 @@ pub fn load(path: &Path) -> Result<Report, String> {
             .iter()
             .map(|p| load_trace_file(p))
             .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Report { title, sessions });
+        return Ok(Report {
+            title,
+            sessions,
+            daemon: None,
+        });
     }
     let records = entries(path, |n| n.ends_with(".tsv"))?;
     if !records.is_empty() {
@@ -141,7 +211,11 @@ pub fn load(path: &Path) -> Result<Report, String> {
             .iter()
             .map(|p| load_tsv_file(p))
             .collect::<Result<Vec<_>, _>>()?;
-        return Ok(Report { title, sessions });
+        return Ok(Report {
+            title,
+            sessions,
+            daemon: None,
+        });
     }
     Err(format!(
         "{}: no trace.jsonl, session subdirectories, *.jsonl or *.tsv files found",
@@ -207,6 +281,32 @@ mod tests {
         let r = load(&dir).expect("load");
         let labels: Vec<&str> = r.sessions.iter().map(|s| s.label.as_str()).collect();
         assert_eq!(labels, vec!["session 2", "session 10"]);
+        // No metrics snapshot was written, so there is no daemon block.
+        assert_eq!(r.daemon, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn server_state_directory_surfaces_daemon_counters() {
+        let dir = temp_dir("state-metrics");
+        let sub = dir.join("1");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(sub.join("trace.jsonl"), tiny_trace("compress")).unwrap();
+        std::fs::write(
+            dir.join("server-metrics.json"),
+            r#"{"counters":{"connections_rejected":3,"frames_rejected":2,"clients_retried":5,"workers_reconnected":1,"trials_leased":9},"histograms":{},"wall":{}}"#,
+        )
+        .unwrap();
+        let r = load(&dir).expect("load");
+        let d = r.daemon.expect("daemon counters");
+        assert_eq!(d.connections_rejected, 3);
+        assert_eq!(d.frames_rejected, 2);
+        assert_eq!(d.clients_retried, 5);
+        assert_eq!(d.workers_reconnected, 1);
+        assert_eq!(d.trials_leased, 9);
+        // Counters the daemon never bumped default to zero.
+        assert_eq!(d.workers_registered, 0);
+        assert_eq!(d.leases_expired, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -72,6 +72,16 @@ pub fn to_markdown(report: &Report) -> String {
             secs(s.spent_secs),
         );
     }
+    if let Some(d) = &report.daemon {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Daemon");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| counter | value |");
+        let _ = writeln!(out, "|---|---|");
+        for (name, v) in d.rows() {
+            let _ = writeln!(out, "| {name} | {v} |");
+        }
+    }
     for s in &report.sessions {
         let _ = writeln!(out);
         let _ = writeln!(out, "## {}", s.label);
@@ -288,6 +298,14 @@ code{background:#f0f2f5;padding:0 .2rem}\n\
         );
     }
     out.push_str("</table>\n");
+    if let Some(d) = &report.daemon {
+        let _ = writeln!(out, "<h2>Daemon</h2>");
+        out.push_str("<table><tr><th>counter</th><th>value</th></tr>\n");
+        for (name, v) in d.rows() {
+            let _ = writeln!(out, "<tr><td>{name}</td><td>{v}</td></tr>");
+        }
+        out.push_str("</table>\n");
+    }
     for s in &report.sessions {
         let _ = writeln!(out, "<h2>{}</h2>", html_escape(&s.label));
         let _ = writeln!(
@@ -444,9 +462,25 @@ fn session_json(s: &SessionSummary) -> String {
 /// Render the report as one JSON object.
 pub fn to_json(report: &Report) -> String {
     let sessions: Vec<String> = report.sessions.iter().map(session_json).collect();
+    // Keys match the daemon's own `server-metrics.json` snapshot.
+    let daemon = report.daemon.as_ref().map_or_else(
+        || "null".to_string(),
+        |d| {
+            JsonObject::new()
+                .u64("connections_rejected", d.connections_rejected)
+                .u64("frames_rejected", d.frames_rejected)
+                .u64("clients_retried", d.clients_retried)
+                .u64("workers_reconnected", d.workers_reconnected)
+                .u64("workers_registered", d.workers_registered)
+                .u64("trials_leased", d.trials_leased)
+                .u64("leases_expired", d.leases_expired)
+                .finish()
+        },
+    );
     JsonObject::new()
         .str("title", &report.title)
         .raw("sessions", &json::array_of(&sessions))
+        .raw("daemon", &daemon)
         .finish()
 }
 
@@ -503,7 +537,22 @@ mod tests {
                     in_best: 1,
                 }],
             }],
+            daemon: None,
         }
+    }
+
+    fn sample_with_daemon() -> Report {
+        let mut r = sample();
+        r.daemon = Some(crate::load::DaemonCounters {
+            connections_rejected: 3,
+            frames_rejected: 2,
+            clients_retried: 5,
+            workers_reconnected: 1,
+            workers_registered: 4,
+            trials_leased: 40,
+            leases_expired: 2,
+        });
+        r
     }
 
     #[test]
@@ -564,6 +613,32 @@ mod tests {
                 .and_then(jtune_util::json::JsonValue::as_u64),
             Some(4)
         );
+    }
+
+    #[test]
+    fn daemon_counters_render_in_every_format() {
+        let r = sample_with_daemon();
+        let md = to_markdown(&r);
+        assert!(md.contains("## Daemon"), "{md}");
+        assert!(md.contains("| connections rejected | 3 |"), "{md}");
+        assert!(md.contains("| worker reconnects | 1 |"), "{md}");
+        let html = to_html(&r);
+        assert!(html.contains("<h2>Daemon</h2>"), "{html}");
+        assert!(html.contains("<td>frames rejected</td><td>2</td>"), "{html}");
+        let v = json::parse(&to_json(&r)).expect("valid JSON");
+        assert_eq!(
+            v.get("daemon")
+                .and_then(|d| d.get("clients_retried"))
+                .and_then(jtune_util::json::JsonValue::as_u64),
+            Some(5)
+        );
+
+        // Without a daemon snapshot the section stays out entirely.
+        let bare = sample();
+        assert!(!to_markdown(&bare).contains("Daemon"));
+        assert!(!to_html(&bare).contains("Daemon"));
+        let v = json::parse(&to_json(&bare)).expect("valid JSON");
+        assert!(v.get("daemon").map(|d| d.is_null()).unwrap_or(false));
     }
 
     #[test]

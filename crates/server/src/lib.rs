@@ -24,6 +24,12 @@
 //!   back; a [`WorkerRegistry`] reissues lost leases (dead connection,
 //!   missed deadline) to surviving workers or the local pool, so a
 //!   session always finishes.
+//! - **Overload hardening** ([`net`]): bounded frame reads with a
+//!   stable `frame-too-large` code, per-connection socket deadlines, a
+//!   connection limit, an admission queue that sheds excess submits
+//!   with `overloaded` + a `retry_after_ms` hint, and a seeded
+//!   [`NetFaultPlan`] chaos schedule for drop/delay/garble/disconnect
+//!   injection — all off by default, leaving the wire byte-identical.
 //! - **Cross-session sharing**: all sessions measure through one shared
 //!   [`MeasurementCache`](jtune_harness::MeasurementCache), so a
 //!   `(program, config, seed)` measured by one session — on any worker —
@@ -41,17 +47,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod net;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 pub mod wire;
 pub mod worker;
 
-pub use client::Client;
+pub use client::{with_retries, Client};
+pub use net::{read_frame, ChaosWriter, FrameReadError, NetFault, NetFaultPlan};
 pub use scheduler::{FairScheduler, GatedExecutor, SchedPermit};
 pub use server::{ServerConfig, SessionHandle, TuneServer};
 pub use session::{ProgressProbe, SessionSpec, SessionState};
-pub use wire::{LeaseOffer, Request, Response, TrialOutcome, WireError};
+pub use wire::{LeaseOffer, Reconnect, Request, Response, TrialOutcome, WireError};
 pub use worker::{
     run_worker, LeaseGrant, RemoteExecutor, WorkerOptions, WorkerRegistry, WorkerStats,
 };

@@ -72,8 +72,10 @@ impl FairScheduler {
                 // it still has other waiters, drop it otherwise.
                 st.rotation.pop_front();
                 let remaining = {
-                    let w = st.waiting.get_mut(&sid).expect("registered above");
-                    *w -= 1;
+                    // Registered at entry; the entry form keeps this
+                    // panic-free even if that invariant ever slips.
+                    let w = st.waiting.entry(sid).or_insert(1);
+                    *w = w.saturating_sub(1);
                     *w
                 };
                 if remaining > 0 {
@@ -214,16 +216,16 @@ mod tests {
             });
             threads.push(std::thread::spawn(move || {
                 let permit = sched.acquire(sid);
-                order.lock().unwrap().push(sid);
+                order.lock().expect("order mutex healthy").push(sid);
                 drop(permit);
             }));
         }
         spin_until(5000, || sched.waiting(1) == 1);
         drop(held);
         for t in threads {
-            t.join().unwrap();
+            t.join().expect("waiter thread exits cleanly");
         }
-        assert_eq!(*order.lock().unwrap(), vec![2, 3, 1]);
+        assert_eq!(*order.lock().expect("order mutex healthy"), vec![2, 3, 1]);
         assert_eq!(sched.grants(1), 2);
         assert_eq!(sched.grants(2), 1);
         assert_eq!(sched.grants(3), 1);
@@ -248,7 +250,7 @@ mod tests {
             drop(sched.acquire(2));
         }
         stop.store(true, Ordering::Relaxed);
-        greedy.join().unwrap();
+        greedy.join().expect("greedy thread exits cleanly");
         assert_eq!(sched.grants(2), 5);
     }
 

@@ -1,20 +1,21 @@
 //! The tuning daemon: session manager, state directory, TCP front-end.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use autotuner_core::Tuner;
 use jtune_harness::{MeasurementCache, MemoExecutor};
-use jtune_telemetry::{EventStreamSink, JsonlSink, MetricsRegistry, TelemetryBus};
+use jtune_telemetry::{EventStreamSink, JsonlSink, MetricsRegistry, TelemetryBus, TraceEvent};
 use jtune_util::json::JsonValue;
 use jtune_workloads::workload_by_name;
 
+use crate::net::{self, ChaosWriter, FrameReadError, NetFaultPlan};
 use crate::scheduler::{FairScheduler, GatedExecutor};
 use crate::session::{ProgressProbe, SessionSpec, SessionState};
 use crate::wire::{self, Request, Response, WireError};
@@ -47,9 +48,15 @@ fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Maximum resident non-terminal sessions; submissions past this are
-    /// rejected with the `capacity` error code.
+    /// Maximum concurrently *running* sessions. Submissions past this
+    /// wait in the admission queue (up to [`ServerConfig::queue`]);
+    /// past both bounds they are shed with the `overloaded` error code
+    /// and a `retry_after_ms` hint.
     pub capacity: usize,
+    /// Extra sessions admitted as queued beyond `capacity`; they start
+    /// as running sessions finish. `capacity + queue` bounds resident
+    /// non-terminal sessions.
+    pub queue: usize,
     /// Concurrent measurement slots shared (fairly) by all sessions.
     pub slots: usize,
     /// Durable session state: one subdirectory per session holding
@@ -66,18 +73,41 @@ pub struct ServerConfig {
     /// is reissued to another worker, and eventually abandoned to the
     /// local pool.
     pub lease_ms: u64,
+    /// Per-connection read/write deadline in milliseconds; `0` (the
+    /// default) leaves sockets deadline-free, preserving pre-hardening
+    /// behaviour. With a deadline set, a peer that stalls mid-frame (a
+    /// slow-loris client, a hung worker) is reaped when the deadline
+    /// lapses instead of pinning its handler thread forever.
+    pub io_timeout_ms: u64,
+    /// Cap on one wire frame in bytes; longer lines are rejected with
+    /// the `frame-too-large` code and bounded memory.
+    pub max_frame: usize,
+    /// Maximum concurrently served connections; `0` (the default) is
+    /// unlimited. Over-limit connections get one `overloaded` error
+    /// frame and are dropped without a handler thread.
+    pub conn_limit: usize,
+    /// Seeded network-fault schedule applied to every connection's
+    /// outbound frames (chaos testing); inactive by default, which is
+    /// byte-invisible on the wire.
+    pub net_faults: NetFaultPlan,
 }
 
 impl ServerConfig {
-    /// Defaults: capacity 8, 4 slots, spans off, 10 s leases, state
-    /// under `jtune-state/`.
+    /// Defaults: capacity 8 running + 8 queued, 4 slots, spans off,
+    /// 10 s leases, no socket deadlines, 1 MiB frame cap, unlimited
+    /// connections, chaos off.
     pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             capacity: 8,
+            queue: 8,
             slots: 4,
             state_dir: state_dir.into(),
             spans: false,
             lease_ms: 10_000,
+            io_timeout_ms: 0,
+            max_frame: net::DEFAULT_MAX_FRAME,
+            conn_limit: 0,
+            net_faults: NetFaultPlan::inactive(),
         }
     }
 }
@@ -161,6 +191,18 @@ pub struct TuneServer {
     /// Remote worker ledger: registered workers, queued trials,
     /// outstanding leases.
     workers: Arc<WorkerRegistry>,
+    /// Connections currently being served (admission control).
+    connections: AtomicUsize,
+    /// Monotonic connection counter: each connection's index into the
+    /// [`NetFaultPlan`] schedule.
+    next_conn: AtomicU64,
+}
+
+/// How long an over-capacity submitter should wait before retrying,
+/// in milliseconds: grows with the depth of the overload so a thundering
+/// herd spreads out, capped at five seconds.
+fn overload_hint(resident: usize, bound: usize) -> u64 {
+    (100 * (resident.saturating_sub(bound) as u64 + 1)).min(5_000)
 }
 
 impl TuneServer {
@@ -183,6 +225,8 @@ impl TuneServer {
             shutting_down: AtomicBool::new(false),
             metrics,
             workers,
+            connections: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
             config,
         });
         server.restore()?;
@@ -219,6 +263,15 @@ impl TuneServer {
         Some(handle.state())
     }
 
+    /// Feed an overload/robustness event to the daemon-level metrics
+    /// registry. These events have no session bus to ride — they happen
+    /// at admission or on the wire, before any session is involved — so
+    /// they surface as daemon counters in `stats` instead of trace
+    /// lines (all four are ephemeral, keeping traces byte-identical).
+    fn note_event(&self, event: &TraceEvent) {
+        jtune_telemetry::TuningObserver::on_event(self.metrics.as_ref(), event);
+    }
+
     fn session_dir(&self, sid: u64) -> PathBuf {
         self.config.state_dir.join(sid.to_string())
     }
@@ -235,7 +288,6 @@ impl TuneServer {
     /// Scan the state directory: register finished/cancelled sessions
     /// for `status`/`result`, and restart every resumable one.
     fn restore(self: &Arc<Self>) -> std::io::Result<()> {
-        let mut resumable = Vec::new();
         let mut max_sid = 0u64;
         for entry in std::fs::read_dir(&self.config.state_dir)? {
             let entry = entry?;
@@ -260,7 +312,6 @@ impl TuneServer {
             } else if dir.join("result.json").exists() {
                 SessionState::Completed
             } else {
-                resumable.push(sid);
                 SessionState::Queued
             };
             self.sessions
@@ -269,10 +320,10 @@ impl TuneServer {
                 .insert(sid, Arc::new(SessionHandle::new(sid, spec, state)));
         }
         self.next_sid.store(max_sid + 1, Ordering::SeqCst);
-        for sid in resumable {
-            let handle = self.handle_of(sid).expect("registered above");
-            self.spawn_session(handle);
-        }
+        // Resumable sessions rejoin through the admission queue like
+        // fresh submits, so a restart under a pile of suspended work
+        // respects `capacity` instead of stampeding.
+        self.kick_queue();
         Ok(())
     }
 
@@ -290,20 +341,27 @@ impl TuneServer {
         }
         let sid = {
             // Admission control under the registry lock so concurrent
-            // submits cannot both squeeze past the capacity check.
+            // submits cannot both squeeze past the load-shed check.
             let mut sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
             let resident = sessions
                 .values()
                 .filter(|h| !h.state().is_terminal())
                 .count();
-            if resident >= self.config.capacity {
+            let bound = self.config.capacity + self.config.queue;
+            if resident >= bound {
+                let hint = overload_hint(resident, bound);
+                self.note_event(&TraceEvent::ConnectionRejected {
+                    reason: "overloaded".to_string(),
+                    retry_after_ms: hint,
+                });
                 return Err(WireError::new(
-                    "capacity",
+                    "overloaded",
                     format!(
-                        "daemon at capacity ({} of {} sessions); retry later",
-                        resident, self.config.capacity
+                        "daemon overloaded ({resident} resident sessions, bound {bound}); \
+                         retry after the hint"
                     ),
-                ));
+                )
+                .with_retry_after(hint));
             }
             let sid = self.next_sid.fetch_add(1, Ordering::SeqCst);
             sessions.insert(
@@ -318,16 +376,57 @@ impl TuneServer {
         if let Err(e) = std::fs::create_dir_all(&dir)
             .and_then(|()| write_atomic(&dir.join("spec.json"), &(spec.to_json() + "\n")))
         {
-            let handle = self.handle_of(sid).expect("registered above");
-            handle.set_state(SessionState::Failed(format!("cannot persist spec: {e}")));
+            if let Ok(handle) = self.handle_of(sid) {
+                handle.set_state(SessionState::Failed(format!("cannot persist spec: {e}")));
+            }
             return Err(WireError::new(
                 "io-error",
                 format!("cannot persist session state: {e}"),
             ));
         }
-        let handle = self.handle_of(sid).expect("registered above");
-        self.spawn_session(handle);
+        self.kick_queue();
         Ok(sid)
+    }
+
+    /// Start queued sessions while running ones number fewer than
+    /// `capacity`, oldest first. Runs at submit, at restore, and as the
+    /// last act of every session thread, so the queue drains exactly as
+    /// fast as capacity frees up. Claims (flips Queued → Running) under
+    /// the sessions lock, so concurrent kicks never double-start a
+    /// session or overshoot capacity.
+    fn kick_queue(self: &Arc<Self>) {
+        loop {
+            if self.is_shutting_down() {
+                return;
+            }
+            let claimed: Vec<Arc<SessionHandle>> = {
+                let sessions = self.sessions.lock().unwrap_or_else(|p| p.into_inner());
+                let running = sessions
+                    .values()
+                    .filter(|h| h.state() == SessionState::Running)
+                    .count();
+                let room = self.config.capacity.saturating_sub(running);
+                let picked: Vec<Arc<SessionHandle>> = sessions
+                    .values()
+                    .filter(|h| h.state() == SessionState::Queued)
+                    .take(room)
+                    .cloned()
+                    .collect();
+                for h in &picked {
+                    h.set_state(SessionState::Running);
+                }
+                picked
+            };
+            if claimed.is_empty() {
+                return;
+            }
+            for handle in claimed {
+                self.spawn_session(handle);
+            }
+            // A spawn can fail synchronously (bad executor spec, trace
+            // file unwritable), freeing its claimed slot immediately —
+            // loop to offer that slot to the next queued session.
+        }
     }
 
     /// Start (or restart) a session's tuning thread.
@@ -379,6 +478,9 @@ impl TuneServer {
         let thread_handle = Arc::clone(&handle);
         let result_path = dir.join("result.json");
         let cancelled_marker = dir.join("cancelled");
+        // Weak: the session thread must not keep a dropped server alive
+        // just to kick its queue.
+        let server = Arc::downgrade(self);
         let join = std::thread::spawn(move || {
             let program = thread_handle.spec.program.clone();
             let outcome = Tuner::new(opts).try_run(executor.as_ref(), &program, &bus);
@@ -400,6 +502,11 @@ impl TuneServer {
             };
             thread_handle.set_state(next);
             thread_handle.stream.close();
+            // This session's capacity slot is free: start the next
+            // queued session, if any.
+            if let Some(server) = server.upgrade() {
+                server.kick_queue();
+            }
         });
         *handle.join.lock().unwrap_or_else(|p| p.into_inner()) = Some(join);
     }
@@ -554,6 +661,13 @@ impl TuneServer {
                 }
             }
         }
+        // Persist the daemon-level counters (overload, retries, worker
+        // plane) so a post-mortem `jtune report` on the state directory
+        // can explain a chaos run without a live daemon to ask.
+        let _ = write_atomic(
+            &self.config.state_dir.join("server-metrics.json"),
+            &(self.metrics.to_json() + "\n"),
+        );
     }
 
     /// Is the server past a shutdown request?
@@ -563,20 +677,42 @@ impl TuneServer {
 
     /// Serve connections until a `shutdown` request arrives. Each
     /// connection is handled on its own thread; the accept loop itself
-    /// is unblocked by a loopback connection after shutdown.
+    /// is unblocked by a loopback connection after shutdown. With a
+    /// connection limit set, over-limit connections are shed at accept
+    /// with one `overloaded` error frame — no handler thread, no read.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
         let addr = listener.local_addr()?;
         for conn in listener.incoming() {
             if self.is_shutting_down() {
                 break;
             }
-            let stream = match conn {
+            let mut stream = match conn {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            if self.config.conn_limit > 0
+                && self.connections.load(Ordering::SeqCst) >= self.config.conn_limit
+            {
+                self.note_event(&TraceEvent::ConnectionRejected {
+                    reason: "conn-limit".to_string(),
+                    retry_after_ms: 250,
+                });
+                let err = WireError::new(
+                    "overloaded",
+                    format!(
+                        "connection limit ({}) reached; retry after the hint",
+                        self.config.conn_limit
+                    ),
+                )
+                .with_retry_after(250);
+                let _ = writeln!(stream, "{}", wire::error_frame(&err));
+                continue;
+            }
+            self.connections.fetch_add(1, Ordering::SeqCst);
             let server = Arc::clone(self);
             std::thread::spawn(move || {
                 let _ = server.handle_connection(stream, addr);
+                server.connections.fetch_sub(1, Ordering::SeqCst);
             });
         }
         Ok(())
@@ -587,8 +723,18 @@ impl TuneServer {
         stream: TcpStream,
         self_addr: std::net::SocketAddr,
     ) -> std::io::Result<()> {
+        // Socket deadlines are the slow-loris defence: a peer that
+        // stalls mid-frame (or never drains its replies) trips the
+        // timeout and this handler thread is reclaimed, instead of
+        // being pinned until the peer deigns to finish.
+        if self.config.io_timeout_ms > 0 {
+            let deadline = Some(Duration::from_millis(self.config.io_timeout_ms));
+            stream.set_read_timeout(deadline)?;
+            stream.set_write_timeout(deadline)?;
+        }
+        let conn = self.next_conn.fetch_add(1, Ordering::SeqCst);
         let reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
+        let mut writer = ChaosWriter::new(stream, self.config.net_faults, conn);
         // A worker's registration lives exactly as long as the
         // connection that registered it: when the socket drops — worker
         // killed, network gone, clean exit — its leases are reissued
@@ -603,16 +749,41 @@ impl TuneServer {
 
     /// Pump one connection's request/reply frames. Every reply goes
     /// through [`wire::render_reply`] — the single encode path the
-    /// protocol tests pin byte-for-byte.
+    /// protocol tests pin byte-for-byte. Reads are bounded by the
+    /// configured frame cap; replies pass through the connection's
+    /// [`ChaosWriter`] (transparent unless a fault plan is active).
     fn serve_frames(
         self: &Arc<Self>,
-        reader: BufReader<TcpStream>,
-        writer: &mut TcpStream,
+        mut reader: BufReader<TcpStream>,
+        writer: &mut ChaosWriter<TcpStream>,
         self_addr: std::net::SocketAddr,
         conn_wid: &mut Option<u64>,
     ) -> std::io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
+        loop {
+            let line = match net::read_frame(&mut reader, self.config.max_frame) {
+                Ok(Some(line)) => line,
+                Ok(None) => return Ok(()),
+                Err(FrameReadError::Io(e)) => return Err(e),
+                Err(e) => {
+                    let bytes = match &e {
+                        FrameReadError::TooLarge { bytes, .. } => *bytes as u64,
+                        _ => 0,
+                    };
+                    self.note_event(&TraceEvent::FrameRejected {
+                        code: e.code().to_string(),
+                        bytes,
+                    });
+                    writer.write_frame(&wire::error_frame(&e.to_wire_error()))?;
+                    if matches!(e, FrameReadError::TooLarge { .. }) {
+                        // Past an oversized line the frame boundary is
+                        // untrusted: close instead of resyncing.
+                        return Ok(());
+                    }
+                    // A non-UTF-8 line was consumed whole up to its
+                    // newline, so the stream is resynchronised.
+                    continue;
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -622,12 +793,26 @@ impl TuneServer {
             let request = match wire::parse_request(&line) {
                 Ok(r) => r,
                 Err(e) => {
-                    writeln!(writer, "{}", wire::error_frame(&e))?;
+                    self.note_event(&TraceEvent::FrameRejected {
+                        code: e.code.clone(),
+                        bytes: line.len() as u64,
+                    });
+                    writer.write_frame(&wire::error_frame(&e))?;
                     self.metrics
                         .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                     continue;
                 }
             };
+            // Retried requests carry a retry tag (attempt, backoff) the
+            // client spliced in; count them so `stats` shows how much
+            // of the load is retry pressure.
+            if line.contains("\"attempt\":") {
+                if let Ok(v) = jtune_util::json::parse(&line) {
+                    if let Some((attempt, delay_ms)) = wire::retry_tag(&v) {
+                        self.note_event(&TraceEvent::ClientRetried { attempt, delay_ms });
+                    }
+                }
+            }
             let reply: Result<Response, WireError> = match request {
                 Request::Submit(spec) => self.submit(spec).map(|sid| Response::Sid { sid }),
                 Request::Status { sid } => self
@@ -639,12 +824,8 @@ impl TuneServer {
                 Request::Cancel { sid } => self.cancel(sid).map(|()| Response::Sid { sid }),
                 Request::Result { sid } => match self.result(sid) {
                     Ok(record) => {
-                        writeln!(
-                            writer,
-                            "{}",
-                            wire::render_response(&Response::RecordFollows)
-                        )?;
-                        writeln!(writer, "{record}")?;
+                        writer.write_frame(&wire::render_response(&Response::RecordFollows))?;
+                        writer.write_frame(&record)?;
                         self.metrics
                             .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                         continue;
@@ -657,25 +838,41 @@ impl TuneServer {
                         // session finishing right now cannot slip between
                         // the check and the subscription.
                         let events = handle.stream.subscribe();
-                        writeln!(writer, "{}", wire::render_response(&Response::Sid { sid }))?;
+                        writer.write_frame(&wire::render_response(&Response::Sid { sid }))?;
                         if !handle.state().is_terminal() {
                             for event in events {
-                                writeln!(writer, "{}", wire::watch_event_line(&event))?;
+                                writer.write_frame(&wire::watch_event_line(&event))?;
                             }
                         }
-                        writeln!(writer, "{}", wire::watch_done_frame())?;
+                        writer.write_frame(&wire::watch_done_frame())?;
                         self.metrics
                             .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                         continue;
                     }
                     Err(e) => Err(e),
                 },
-                Request::Register { executor, slots } => {
+                Request::Register {
+                    executor,
+                    slots,
+                    reconnect,
+                } => {
                     let wid = self.workers.register(&executor, slots);
                     // Re-registering on the same connection replaces the
                     // old identity (and releases its leases).
                     if let Some(old) = conn_wid.replace(wid) {
                         self.workers.deregister(old);
+                    }
+                    // A reconnecting worker names its previous identity:
+                    // deregister it now so its leases reissue immediately
+                    // instead of waiting out their deadlines.
+                    if let Some(rc) = reconnect {
+                        if rc.prev_wid != wid {
+                            self.workers.deregister(rc.prev_wid);
+                        }
+                        self.note_event(&TraceEvent::WorkerReconnected {
+                            wid,
+                            attempts: rc.attempts,
+                        });
                     }
                     Ok(Response::WorkerAck { wid })
                 }
@@ -712,11 +909,9 @@ impl TuneServer {
                 }
                 Request::Shutdown { drain } => {
                     self.shutdown(drain);
-                    writeln!(
-                        writer,
-                        "{}",
-                        wire::render_response(&Response::ShuttingDown { drain })
-                    )?;
+                    writer.write_frame(&wire::render_response(&Response::ShuttingDown {
+                        drain,
+                    }))?;
                     self.metrics
                         .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
                     // Unblock the accept loop so `serve` returns.
@@ -724,11 +919,10 @@ impl TuneServer {
                     return Ok(());
                 }
             };
-            writeln!(writer, "{}", wire::render_reply(&reply))?;
+            writer.write_frame(&wire::render_reply(&reply))?;
             self.metrics
                 .record_wall("frame_wall", frame_start.elapsed().as_secs_f64());
         }
-        Ok(())
     }
 }
 

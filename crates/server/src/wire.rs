@@ -106,6 +106,11 @@ pub enum Request {
         executor: String,
         /// Concurrent trial slots the worker offers.
         slots: u64,
+        /// Present when this registration replaces a lost connection:
+        /// the daemon reissues the previous identity's leases at once
+        /// and counts a worker reconnect. Absent on first registration
+        /// (and from all pre-reconnect frames, whose bytes are pinned).
+        reconnect: Option<Reconnect>,
     },
     /// Ask for work; the daemon long-polls up to `wait_ms` before
     /// answering `idle`.
@@ -146,6 +151,17 @@ pub enum Request {
         /// The worker id issued by `register`.
         wid: u64,
     },
+}
+
+/// Retry metadata a re-registering worker attaches to its `register`
+/// frame after losing its daemon connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reconnect {
+    /// The worker id the lost connection held; its leases are reissued
+    /// immediately instead of waiting out their deadlines.
+    pub prev_wid: u64,
+    /// Reconnect attempts it took to get back in (1 = first retry).
+    pub attempts: u64,
 }
 
 /// A lease offer: everything a worker needs to run one trial.
@@ -287,12 +303,23 @@ impl TrialOutcome {
 }
 
 /// A structured protocol error: a stable code plus a human message.
+///
+/// The stable codes: `bad-frame`, `bad-version`, `unknown-op`,
+/// `invalid-spec`, `overloaded` (admission reject, carries a
+/// [`WireError::retry_after_ms`] backoff hint), `frame-too-large`
+/// (frame-size cap exceeded), `io-error`, `no-result`,
+/// `unknown-session`, `unknown-worker`, `no-session`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WireError {
     /// Stable machine-readable error code.
     pub code: String,
     /// Human-readable detail.
     pub message: String,
+    /// Server backoff hint, milliseconds: attached to `overloaded`
+    /// rejects so a retrying peer knows how long to stand off. Absent
+    /// from every other error (and from all pre-existing frames, whose
+    /// bytes are pinned).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
@@ -301,7 +328,14 @@ impl WireError {
         WireError {
             code: code.into(),
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attach a `retry_after_ms` backoff hint (for `overloaded`).
+    pub fn with_retry_after(mut self, ms: u64) -> WireError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -363,6 +397,13 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                 .ok_or_else(|| WireError::new("bad-frame", "register requires an 'executor'"))?
                 .to_string(),
             slots: field("slots")?,
+            reconnect: match v.get("prev_wid").and_then(JsonValue::as_u64) {
+                Some(prev_wid) => Some(Reconnect {
+                    prev_wid,
+                    attempts: v.get("attempts").and_then(JsonValue::as_u64).unwrap_or(1),
+                }),
+                None => None,
+            },
         }),
         "lease" => Ok(Request::Lease {
             wid: field("wid")?,
@@ -430,11 +471,23 @@ pub fn render_request(request: &Request) -> String {
             }
         }
         Request::Shutdown { drain } => base.str("op", "shutdown").bool("drain", *drain).finish(),
-        Request::Register { executor, slots } => base
-            .str("op", "register")
-            .str("executor", executor)
-            .u64("slots", *slots)
-            .finish(),
+        Request::Register {
+            executor,
+            slots,
+            reconnect,
+        } => {
+            let o = base
+                .str("op", "register")
+                .str("executor", executor)
+                .u64("slots", *slots);
+            match reconnect {
+                Some(rc) => o
+                    .u64("prev_wid", rc.prev_wid)
+                    .u64("attempts", rc.attempts)
+                    .finish(),
+                None => o.finish(),
+            }
+        }
         Request::Lease { wid, wait_ms } => base
             .str("op", "lease")
             .u64("wid", *wid)
@@ -742,12 +795,15 @@ pub fn ok_frame() -> JsonObject {
 
 /// Render a complete error reply frame.
 pub fn error_frame(error: &WireError) -> String {
-    JsonObject::new()
+    let o = JsonObject::new()
         .u64("v", VERSION)
         .bool("ok", false)
         .str("code", &error.code)
-        .str("error", &error.message)
-        .finish()
+        .str("error", &error.message);
+    match error.retry_after_ms {
+        Some(ms) => o.u64("retry_after_ms", ms).finish(),
+        None => o.finish(),
+    }
 }
 
 /// Render a reply: the response on success, an error frame otherwise.
@@ -789,9 +845,32 @@ pub fn parse_reply(line: &str) -> Result<JsonValue, WireError> {
             .and_then(JsonValue::as_str)
             .unwrap_or("server-error")
             .to_string();
-        return Err(WireError::new(code, message));
+        let mut err = WireError::new(code, message);
+        if let Some(ms) = v.get("retry_after_ms").and_then(JsonValue::as_u64) {
+            err = err.with_retry_after(ms);
+        }
+        return Err(err);
     }
     Ok(v)
+}
+
+/// Tag a rendered request frame with retry metadata: `attempt` (≥ 1)
+/// and the backoff delay the peer just slept. First attempts are never
+/// tagged, so pre-retry request frames keep their exact bytes; the
+/// daemon reads the tag with [`retry_tag`] to count client retries.
+pub fn tag_retry(frame: &str, attempt: u64, delay_ms: u64) -> String {
+    match frame.strip_suffix('}') {
+        Some(body) => format!("{body},\"attempt\":{attempt},\"delay_ms\":{delay_ms}}}"),
+        None => frame.to_string(),
+    }
+}
+
+/// Retry metadata from a parsed request frame, if the peer tagged it:
+/// `(attempt, delay_ms)`.
+pub fn retry_tag(v: &JsonValue) -> Option<(u64, u64)> {
+    let attempt = v.get("attempt").and_then(JsonValue::as_u64)?;
+    let delay_ms = v.get("delay_ms").and_then(JsonValue::as_u64).unwrap_or(0);
+    (attempt >= 1).then_some((attempt, delay_ms))
 }
 
 #[cfg(test)]
@@ -820,6 +899,15 @@ mod tests {
             Request::Register {
                 executor: "sim".into(),
                 slots: 4,
+                reconnect: None,
+            },
+            Request::Register {
+                executor: "sim".into(),
+                slots: 2,
+                reconnect: Some(Reconnect {
+                    prev_wid: 3,
+                    attempts: 2,
+                }),
             },
             Request::Lease {
                 wid: 7,
@@ -862,8 +950,23 @@ mod tests {
         ];
         for req in reqs {
             let line = render_request(&req);
-            assert_eq!(parse_request(&line).unwrap(), req, "line: {line}");
+            let parsed = parse_request(&line).expect("rendered requests must parse");
+            assert_eq!(parsed, req, "line: {line}");
         }
+    }
+
+    #[test]
+    fn first_registration_frames_keep_their_exact_bytes() {
+        // The reconnect fields must be invisible until a worker
+        // actually reconnects: first registrations are byte-pinned.
+        assert_eq!(
+            render_request(&Request::Register {
+                executor: "sim".into(),
+                slots: 4,
+                reconnect: None,
+            }),
+            "{\"v\":1,\"op\":\"register\",\"executor\":\"sim\",\"slots\":4}"
+        );
     }
 
     #[test]
@@ -899,7 +1002,8 @@ mod tests {
         ];
         for response in responses {
             let line = render_response(&response);
-            assert_eq!(parse_response(&line).unwrap(), response, "line: {line}");
+            let parsed = parse_response(&line).expect("rendered responses must parse");
+            assert_eq!(parsed, response, "line: {line}");
         }
     }
 
@@ -938,7 +1042,7 @@ mod tests {
             sessions: sessions.into(),
             server: server.into(),
         };
-        match parse_response(&render_response(&response)).unwrap() {
+        match parse_response(&render_response(&response)).expect("stats reply must parse") {
             Response::Stats {
                 sessions: s,
                 server: v,
@@ -964,7 +1068,9 @@ mod tests {
             error: Some(TrialError::Timeout("hung past the watchdog".into())),
         };
         let outcome = TrialOutcome::from_measurement(&m);
-        let back = outcome.to_measurement().unwrap();
+        let back = outcome
+            .to_measurement()
+            .expect("round-tripped outcome must reconstruct");
         assert_eq!(back.time, m.time);
         assert_eq!(back.pause_p99, m.pause_p99);
         assert_eq!(back.counters, m.counters);
@@ -1024,8 +1130,41 @@ mod tests {
         let err = parse_response(&line).unwrap_err();
         assert_eq!(err.code, "capacity");
         assert_eq!(err.message, "daemon full");
-        let ok = parse_reply(&ok_frame().u64("sid", 4).finish()).unwrap();
+        let ok = parse_reply(&ok_frame().u64("sid", 4).finish()).expect("ok frame must parse");
         assert_eq!(ok.get("sid").and_then(JsonValue::as_u64), Some(4));
+    }
+
+    #[test]
+    fn overloaded_errors_round_trip_their_retry_hint() {
+        let err = WireError::new("overloaded", "admission queue full").with_retry_after(250);
+        let line = error_frame(&err);
+        assert!(line.contains("\"retry_after_ms\":250"), "{line}");
+        let back = parse_reply(&line).expect_err("error frame must decode as an error");
+        assert_eq!(back.code, "overloaded");
+        assert_eq!(back.retry_after_ms, Some(250));
+        // Errors without a hint keep their legacy bytes exactly.
+        assert_eq!(
+            error_frame(&WireError::new("no-result", "not yet")),
+            "{\"v\":1,\"ok\":false,\"code\":\"no-result\",\"error\":\"not yet\"}"
+        );
+    }
+
+    #[test]
+    fn retry_tags_splice_into_frames_and_parse_back() {
+        let frame = render_request(&Request::Status { sid: None });
+        assert_eq!(
+            retry_tag(&json::parse(&frame).expect("frame parses")),
+            None,
+            "untagged frames carry no retry metadata"
+        );
+        let tagged = tag_retry(&frame, 2, 310);
+        let v = json::parse(&tagged).expect("tagged frame still parses");
+        assert_eq!(retry_tag(&v), Some((2, 310)));
+        // The tag must not confuse the request decoder.
+        assert_eq!(
+            parse_request(&tagged).expect("tagged request parses"),
+            Request::Status { sid: None }
+        );
     }
 
     #[test]

@@ -50,12 +50,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use jtune_flags::{JvmConfig, Registry};
-use jtune_harness::{Executor, ExecutorSpec, Measurement};
+use jtune_harness::{BackoffPolicy, Executor, ExecutorSpec, Measurement, RetryPolicy};
 use jtune_telemetry::{TelemetryBus, TraceEvent};
 use jtune_util::SimDuration;
 
 use crate::client::Client;
-use crate::wire::{LeaseOffer, Request, Response, TrialOutcome, WireError};
+use crate::net::NetFaultPlan;
+use crate::wire::{LeaseOffer, Reconnect, Request, Response, TrialOutcome, WireError};
 
 /// How many times a lost lease is reoffered to workers before the job
 /// is abandoned to the local pool.
@@ -595,16 +596,43 @@ pub struct WorkerOptions {
     pub wait_ms: u64,
     /// Executor capability tag to register (only `"sim"` today).
     pub capability: String,
+    /// Reconnect attempts per outage before giving up. Each successful
+    /// registration refreshes the budget, so a worker under recurring
+    /// connection loss (chaos, flaky network) keeps coming back instead
+    /// of exiting on the first drop.
+    pub retries: u32,
+    /// Cap on one reconnect backoff delay, milliseconds.
+    pub retry_max_ms: u64,
+    /// Seeded network-fault plan applied to this worker's outbound
+    /// frames (chaos testing); inactive by default.
+    pub net_faults: NetFaultPlan,
 }
 
 impl WorkerOptions {
-    /// Defaults: 1 slot, 500 ms long-poll, `sim` capability.
+    /// Defaults: 1 slot, 500 ms long-poll, `sim` capability, 5
+    /// reconnect attempts backing off to 5 s, chaos off.
     pub fn new(addr: impl Into<String>) -> WorkerOptions {
         WorkerOptions {
             addr: addr.into(),
             slots: 1,
             wait_ms: 500,
             capability: "sim".into(),
+            retries: 5,
+            retry_max_ms: 5_000,
+            net_faults: NetFaultPlan::inactive(),
+        }
+    }
+
+    /// The reconnect backoff schedule these options describe.
+    fn backoff(&self) -> BackoffPolicy {
+        BackoffPolicy {
+            retry: RetryPolicy {
+                max_retries: self.retries,
+                backoff: 2.0,
+            },
+            base_ms: 100,
+            cap_ms: self.retry_max_ms.max(1),
+            seed: self.net_faults.seed,
         }
     }
 }
@@ -620,23 +648,101 @@ pub struct WorkerStats {
     pub failed: u64,
 }
 
-/// Run a worker until the daemon drains or goes away.
+/// Run a worker until the daemon drains or stays away.
 ///
-/// Registers once, then runs `slots` lease loops, each on its own
-/// connection (frames on one connection are strictly request/reply).
-/// A lease whose executor tag the worker cannot rebuild is returned
-/// with `fail`; everything else is measured with the executor stack
+/// Registers, then runs `slots` lease loops, each on its own connection
+/// (frames on one connection are strictly request/reply). A lease whose
+/// executor tag the worker cannot rebuild is returned with `fail`;
+/// everything else is measured with the executor stack
 /// [`ExecutorSpec::named`] builds from the tag — the same pure function
 /// the daemon's local pool runs — and streamed back losslessly.
-/// Exits cleanly (returning stats) when the daemon answers `draining`
-/// or closes the connection; on the way out it deregisters so
-/// in-flight bookkeeping is released immediately.
+///
+/// Exits cleanly (returning stats) when the daemon answers `draining`;
+/// on the way out it deregisters so in-flight bookkeeping is released
+/// immediately. A *lost* connection is not an exit: the worker
+/// reconnects with jittered exponential backoff (per
+/// [`WorkerOptions::retries`]/[`WorkerOptions::retry_max_ms`]),
+/// re-registering with its previous worker id so the daemon releases
+/// the dead identity's leases at once and counts the reconnect. The
+/// retry budget refreshes on every successful registration; only an
+/// outage that exhausts a whole budget makes the worker give up.
 pub fn run_worker(options: &WorkerOptions) -> Result<WorkerStats, WireError> {
-    let mut control = Client::connect(&options.addr)
-        .map_err(|e| WireError::new("io-error", format!("cannot connect: {e}")))?;
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let policy = options.backoff();
+    let mut prev_wid: Option<u64> = None;
+    // Connection index into the fault plan's schedule, monotonic across
+    // reconnects so each fresh connection draws a fresh fault sequence.
+    let mut conn_seq: u64 = 0;
+    let mut outage_attempt: u32 = 0;
+    loop {
+        match run_worker_session(
+            options,
+            prev_wid,
+            outage_attempt,
+            &completed,
+            &failed,
+            &mut conn_seq,
+        ) {
+            Ok((wid, true)) => {
+                return Ok(WorkerStats {
+                    wid,
+                    completed: completed.load(Ordering::SeqCst),
+                    failed: failed.load(Ordering::SeqCst),
+                })
+            }
+            Ok((wid, false)) => {
+                // Connection lost mid-run: reconnect as a successor of
+                // this identity, with a fresh outage budget.
+                prev_wid = Some(wid);
+                outage_attempt = 0;
+            }
+            Err(e) => {
+                if !policy.should_retry(outage_attempt) {
+                    return Err(e);
+                }
+            }
+        }
+        let delay = policy.delay_ms(outage_attempt, None);
+        outage_attempt += 1;
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+}
+
+/// One connected stretch of a worker's life: register (naming the
+/// previous identity when reconnecting), run the lease loops until
+/// drain or connection loss. Returns `(wid, drained)` — `drained` false
+/// means the connection died and the caller should reconnect.
+fn run_worker_session(
+    options: &WorkerOptions,
+    prev_wid: Option<u64>,
+    outage_attempt: u32,
+    completed: &AtomicU64,
+    failed: &AtomicU64,
+    conn_seq: &mut u64,
+) -> Result<(u64, bool), WireError> {
+    let mut connect = || -> Result<Client, WireError> {
+        let conn = *conn_seq;
+        *conn_seq += 1;
+        let mut client = Client::connect_chaotic(&options.addr, options.net_faults, conn)
+            .map_err(|e| WireError::new("connect-error", format!("cannot connect: {e}")))?;
+        // A reply the network ate must surface as an error (and a
+        // reconnect), not block this slot forever. The daemon answers a
+        // lease poll within `wait_ms`; everything else is immediate.
+        client
+            .set_io_timeout(Duration::from_millis(options.wait_ms + 5_000))
+            .map_err(|e| WireError::new("connect-error", format!("cannot set deadline: {e}")))?;
+        Ok(client)
+    };
+    let mut control = connect()?;
+    let reconnect = prev_wid.map(|p| Reconnect {
+        prev_wid: p,
+        attempts: outage_attempt as u64 + 1,
+    });
     let wid = match control.request(&Request::Register {
         executor: options.capability.clone(),
         slots: options.slots.max(1) as u64,
+        reconnect,
     })? {
         Response::WorkerAck { wid } => wid,
         other => {
@@ -646,8 +752,6 @@ pub fn run_worker(options: &WorkerOptions) -> Result<WorkerStats, WireError> {
             ))
         }
     };
-    let completed = AtomicU64::new(0);
-    let failed = AtomicU64::new(0);
     // Slot 0's loop runs on the registering connection — the daemon
     // ties the worker's lifetime to it, so a killed worker process is
     // deregistered (and its leases reissued) the moment the socket
@@ -655,38 +759,37 @@ pub fn run_worker(options: &WorkerOptions) -> Result<WorkerStats, WireError> {
     // connection are strictly request/reply.
     let mut extra: Vec<Client> = Vec::new();
     for _ in 1..options.slots.max(1) {
-        extra.push(
-            Client::connect(&options.addr)
-                .map_err(|e| WireError::new("io-error", format!("cannot connect: {e}")))?,
-        );
+        extra.push(connect()?);
     }
+    let drained = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for mut client in extra.drain(..) {
             let completed = &completed;
             let failed = &failed;
             let options = &options;
+            let drained = &drained;
             scope.spawn(move || {
-                run_lease_loop(&mut client, wid, options, completed, failed);
+                run_lease_loop(&mut client, wid, options, completed, failed, drained);
             });
         }
-        run_lease_loop(&mut control, wid, options, &completed, &failed);
+        run_lease_loop(&mut control, wid, options, completed, failed, &drained);
     });
-    let _ = control.request(&Request::Deregister { wid });
-    Ok(WorkerStats {
-        wid,
-        completed: completed.load(Ordering::SeqCst),
-        failed: failed.load(Ordering::SeqCst),
-    })
+    if drained.load(Ordering::SeqCst) {
+        let _ = control.request(&Request::Deregister { wid });
+        return Ok((wid, true));
+    }
+    Ok((wid, false))
 }
 
-/// One slot's lease loop: poll, execute, stream back; stop on drain or
-/// a dead connection.
+/// One slot's lease loop: poll, execute, stream back; stop on drain
+/// (flagging `drained`) or a dead connection.
 fn run_lease_loop(
     client: &mut Client,
     wid: u64,
     options: &WorkerOptions,
     completed: &AtomicU64,
     failed: &AtomicU64,
+    drained: &AtomicBool,
 ) {
     // Executors are rebuilt only when the tag changes (one session's
     // leases all share a tag).
@@ -698,8 +801,17 @@ fn run_lease_loop(
         }) {
             Ok(Response::Leased(offer)) => offer,
             Ok(Response::Idle { draining: false }) => continue,
-            Ok(Response::Idle { draining: true }) => return,
-            Ok(_) | Err(_) => return, // daemon gone or confused: drain
+            Ok(Response::Idle { draining: true }) => {
+                drained.store(true, Ordering::SeqCst);
+                return;
+            }
+            Err(e) if e.code == "unknown-worker" => {
+                // The daemon forgot us (restart, lease-side deregister):
+                // treat like a dead connection so the reconnect loop
+                // re-registers.
+                return;
+            }
+            Ok(_) | Err(_) => return, // daemon gone or confused: reconnect
         };
         let reply = match execute_lease(&grant, &mut cache, options, wid) {
             Ok(outcome) => {
@@ -768,6 +880,14 @@ fn execute_lease(
                     Ok(c) => c,
                     Err(_) => return,
                 };
+                // A lost heartbeat ack must not pin this sidecar (and
+                // with it the whole lease scope) past the measurement.
+                if beat
+                    .set_io_timeout(Duration::from_millis(2_000))
+                    .is_err()
+                {
+                    return;
+                }
                 while running.load(Ordering::SeqCst) {
                     std::thread::sleep(interval.min(Duration::from_millis(250)));
                     if !running.load(Ordering::SeqCst) {

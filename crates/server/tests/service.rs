@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 use autotuner_core::Tuner;
 use jtune_harness::SimExecutor;
 use jtune_server::{
-    run_worker, Client, LeaseGrant, Request, Response, ServerConfig, SessionSpec, SessionState,
-    TuneServer, WorkerOptions,
+    run_worker, Client, LeaseGrant, NetFaultPlan, Reconnect, Request, Response, ServerConfig,
+    SessionSpec, SessionState, TuneServer, WorkerOptions,
 };
 use jtune_telemetry::{JsonlSink, TelemetryBus};
 use jtune_util::json::JsonValue;
@@ -154,13 +154,18 @@ fn drained_sessions_resume_on_restart_with_identical_traces() {
 }
 
 #[test]
-fn submissions_past_capacity_are_rejected() {
+fn submissions_past_capacity_are_shed_with_a_retry_hint() {
     let state = temp_dir("capacity");
     let mut config = ServerConfig::new(state.join("state"));
     config.capacity = 0;
+    config.queue = 0;
     let server = TuneServer::new(config).expect("server");
     let err = server.submit(spec("compress", 1, 1)).expect_err("rejected");
-    assert_eq!(err.code, "capacity");
+    assert_eq!(err.code, "overloaded");
+    assert!(
+        err.retry_after_ms.unwrap_or(0) > 0,
+        "overloaded rejection carried no retry_after_ms hint: {err}"
+    );
 
     let unknown = server
         .submit(spec("no-such-workload", 1, 1))
@@ -457,6 +462,7 @@ fn killed_worker_mid_lease_reissues_to_the_survivor_byte_identically() {
         .request(&Request::Register {
             executor: "sim".into(),
             slots: 1,
+            reconnect: None,
         })
         .expect("register")
     {
@@ -573,6 +579,373 @@ fn silent_workers_lose_their_leases_to_the_deadline() {
     );
 
     let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// The chaos contract end to end: a daemon whose outbound frames run
+/// through a seeded fault plan, served by workers whose own frames run
+/// through fault plans of their own, with clients connecting and
+/// vanishing mid-stream — and the sessions' traces and records are
+/// still byte-identical to the undisturbed one-shot runs.
+#[test]
+fn chaotic_network_still_yields_byte_identical_traces() {
+    let state = temp_dir("chaos");
+    let mut config = ServerConfig::new(state.join("state"));
+    // Server-side chaos: every reply frame may be dropped, delayed,
+    // garbled, or have its connection killed, per the seeded schedule.
+    config.net_faults = NetFaultPlan::chaotic(0.2, 0xC0FFEE);
+    // Deadlines unwedge both sides when a frame is eaten...
+    config.io_timeout_ms = 2_000;
+    // ...and short leases keep lost-lease reissue fast (and skip the
+    // heartbeat sidecars, which this test does not need).
+    config.lease_ms = 1_000;
+    let server = TuneServer::new(config).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // Two workers, each with its own outbound fault schedule; their
+    // reconnect budgets keep them coming back through every disconnect.
+    let agents: Vec<_> = [0xBEE5u64, 0xFACADE]
+        .into_iter()
+        .map(|seed| {
+            let mut options = WorkerOptions::new(addr.to_string());
+            options.wait_ms = 200;
+            options.net_faults = NetFaultPlan::chaotic(0.15, seed);
+            options.retries = 3;
+            options.retry_max_ms = 500;
+            std::thread::spawn(move || run_worker(&options))
+        })
+        .collect();
+    let start = Instant::now();
+    while server.workers().workers() < 2 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "workers never registered under chaos"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let specs = [spec("compress", 10, 11), spec("crypto.aes", 10, 22)];
+    let sids: Vec<u64> = specs
+        .iter()
+        .map(|s| server.submit(s.clone()).expect("submit"))
+        .collect();
+
+    // Client churn: a watcher attaches over the chaotic wire and then
+    // vanishes mid-stream; a status poller connects and drops. Both may
+    // fail (their replies are fair game for the fault plan) — the point
+    // is that their connections die while sessions are in flight.
+    {
+        let mut watcher = Client::connect(addr).expect("watcher connect");
+        watcher
+            .set_io_timeout(Duration::from_secs(2))
+            .expect("watcher deadline");
+        let _ = watcher.request(&Request::Watch { sid: sids[0] });
+        drop(watcher);
+        let mut poller = Client::connect(addr).expect("poller connect");
+        poller
+            .set_io_timeout(Duration::from_secs(2))
+            .expect("poller deadline");
+        let _ = poller.status(None);
+        drop(poller);
+    }
+
+    for &sid in &sids {
+        assert_eq!(
+            server.join_session(sid),
+            Some(SessionState::Completed),
+            "session {sid} did not complete under chaos"
+        );
+    }
+    for (spec, &sid) in specs.iter().zip(&sids) {
+        let reference = temp_dir(&format!("chaos-ref-{sid}"));
+        let (want_trace, want_record) = one_shot_reference(&reference, spec);
+        let (got_trace, got_record) = read_session_files(&state.join("state"), sid);
+        assert_eq!(got_trace, want_trace, "session {sid} trace diverged");
+        assert_eq!(got_record, want_record, "session {sid} record diverged");
+        let _ = std::fs::remove_dir_all(&reference);
+    }
+
+    // Shutdown through the chaotic wire: the flag flips server-side
+    // before the reply frame rolls the fault dice, so a lost reply only
+    // costs this client its ack.
+    let mut closer = Client::connect(addr).expect("closer connect");
+    closer
+        .set_io_timeout(Duration::from_secs(2))
+        .expect("closer deadline");
+    let _ = closer.shutdown(false);
+    // Workers either drained cleanly (stats) or exhausted their
+    // reconnect budget against the stopped daemon; both are clean exits
+    // here — what matters is that none of them wedged.
+    for agent in agents {
+        let _ = agent.join().expect("worker thread exits");
+    }
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// A client that connects and trickles half a frame must be reaped by
+/// the read deadline — without slowing the sessions other clients run.
+#[test]
+fn slow_loris_connections_are_reaped_by_the_deadline() {
+    use std::io::{Read, Write};
+
+    let state = temp_dir("loris");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.io_timeout_ms = 300;
+    let server = TuneServer::new(config).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // The loris: half a frame, then silence.
+    let mut loris = std::net::TcpStream::connect(addr).expect("loris connect");
+    loris.write_all(b"{\"v\":1,\"op\":\"stat").expect("half frame");
+
+    // A healthy session proceeds, unbothered.
+    let mut client = Client::connect(addr).expect("connect");
+    let sid = client.submit(spec("compress", 10, 3)).expect("submit");
+    assert_eq!(server.join_session(sid), Some(SessionState::Completed));
+
+    // The loris connection is closed by the deadline, not served and
+    // not left pinning a handler: the next read sees EOF/reset, fast.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("loris read timeout");
+    let mut buf = [0u8; 64];
+    match loris.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!(
+            "server answered a half frame with {n} bytes: {:?}",
+            String::from_utf8_lossy(&buf[..n])
+        ),
+    }
+
+    // The submit connection idled past the deadline too — shutdown
+    // rides a fresh one.
+    drop(client);
+    let mut closer = Client::connect(addr).expect("closer connect");
+    closer.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// Admission control: `capacity` sessions run, `queue` more wait, and
+/// past both bounds submits are shed with `overloaded` + a hint — until
+/// residents leave and admission reopens.
+#[test]
+fn queued_submissions_wait_and_excess_is_shed_until_load_drops() {
+    let state = temp_dir("queue");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.capacity = 1;
+    config.queue = 2;
+    let server = TuneServer::new(config).expect("server");
+
+    // Budgets this large run until cancelled, holding the slots.
+    let a = server.submit(spec("compress", 1_000_000, 1)).expect("a");
+    let b = server.submit(spec("compress", 1_000_000, 2)).expect("b");
+    let c = server.submit(spec("compress", 1_000_000, 3)).expect("c");
+    assert_eq!(server.session(a).expect("a handle").state(), SessionState::Running);
+    for sid in [b, c] {
+        assert_eq!(
+            server.session(sid).expect("handle").state(),
+            SessionState::Queued,
+            "session {sid} should be waiting in the admission queue"
+        );
+    }
+
+    // Past capacity + queue: shed, with a positive retry hint, and the
+    // rejection shows up in the daemon counters.
+    let err = server.submit(spec("compress", 1_000_000, 4)).expect_err("shed");
+    assert_eq!(err.code, "overloaded");
+    assert!(err.retry_after_ms.unwrap_or(0) > 0, "{err}");
+    assert!(
+        server
+            .server_metrics()
+            .to_json()
+            .contains("\"connections_rejected\":1"),
+        "shed submit missing from counters: {}",
+        server.server_metrics().to_json()
+    );
+
+    // Cancel everything; the queue drains through the freed slot and
+    // every session reaches a terminal state.
+    for sid in [a, b, c] {
+        server.cancel(sid).expect("cancel");
+    }
+    let start = Instant::now();
+    for sid in [a, b, c] {
+        loop {
+            if server.session(sid).expect("handle").state().is_terminal() {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(60),
+                "session {sid} never left the queue"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Residency dropped: admission is open again.
+    let d = server.submit(spec("compress", 1_000_000, 5)).expect("readmitted");
+    server.cancel(d).expect("cancel d");
+    server.join_session(d);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// A connection past `conn_limit` gets one `overloaded` error frame
+/// (with the fixed retry hint) and no handler thread.
+#[test]
+fn connections_past_the_limit_are_shed_with_a_hint() {
+    use std::io::{BufRead, BufReader};
+
+    let state = temp_dir("conn-limit");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.conn_limit = 1;
+    let server = TuneServer::new(config).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // The round trip guarantees the first connection is being served
+    // (and counted) before the second one arrives.
+    let mut first = Client::connect(addr).expect("first connect");
+    first.status(None).expect("first status");
+
+    let second = std::net::TcpStream::connect(addr).expect("second connect");
+    let mut reply = String::new();
+    BufReader::new(second)
+        .read_line(&mut reply)
+        .expect("read shed frame");
+    assert!(reply.contains("\"code\":\"overloaded\""), "{reply}");
+    assert!(reply.contains("\"retry_after_ms\":250"), "{reply}");
+    assert!(
+        server
+            .server_metrics()
+            .to_json()
+            .contains("\"connections_rejected\":1"),
+        "{}",
+        server.server_metrics().to_json()
+    );
+
+    first.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+/// The robustness counters ride the stats payload: rejected frames
+/// (junk and oversized), tagged client retries, and worker reconnects
+/// are all visible to `client stats` and the shutdown metrics snapshot.
+#[test]
+fn overload_and_retry_counters_surface_in_stats() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let state = temp_dir("overload-counters");
+    let mut config = ServerConfig::new(state.join("state"));
+    config.max_frame = 1024;
+    let server = TuneServer::new(config).expect("server");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener))
+    };
+
+    // One junk frame (decoder reject) and one oversized frame (reader
+    // reject; the server closes that connection afterwards).
+    {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writeln!(writer, "this is not json").expect("junk frame");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("junk reply");
+        assert!(reply.contains("\"code\":\"bad-frame\""), "{reply}");
+        writeln!(writer, "{}", "x".repeat(4096)).expect("oversized frame");
+        reply.clear();
+        reader.read_line(&mut reply).expect("oversized reply");
+        assert!(reply.contains("\"code\":\"frame-too-large\""), "{reply}");
+        reply.clear();
+        // Closed with our unread bytes still buffered, so this may be a
+        // reset rather than a clean EOF — either way, no more frames.
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("oversized frame must close the connection: {reply}"),
+        }
+    }
+
+    // A retry-tagged status frame (what `with_retries` sends on its
+    // second attempt) bumps the client-retry counter.
+    {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        writeln!(
+            writer,
+            "{{\"v\":1,\"op\":\"status\",\"attempt\":2,\"delay_ms\":150}}"
+        )
+        .expect("tagged frame");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("tagged reply");
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+    }
+
+    // A worker identity dies and its successor re-registers naming it.
+    let prev_wid = {
+        let mut worker = Client::connect(addr).expect("worker connect");
+        match worker
+            .request(&Request::Register {
+                executor: "sim".into(),
+                slots: 1,
+                reconnect: None,
+            })
+            .expect("register")
+        {
+            Response::WorkerAck { wid } => wid,
+            other => panic!("unexpected register reply: {other:?}"),
+        }
+    };
+    let mut successor = Client::connect(addr).expect("successor connect");
+    match successor
+        .request(&Request::Register {
+            executor: "sim".into(),
+            slots: 1,
+            reconnect: Some(Reconnect {
+                prev_wid,
+                attempts: 2,
+            }),
+        })
+        .expect("re-register")
+    {
+        Response::WorkerAck { wid } => assert_ne!(wid, prev_wid, "successor got a fresh identity"),
+        other => panic!("unexpected re-register reply: {other:?}"),
+    }
+
+    let metrics = server.server_metrics().to_json();
+    assert!(metrics.contains("\"frames_rejected\":2"), "{metrics}");
+    assert!(metrics.contains("\"clients_retried\":1"), "{metrics}");
+    assert!(metrics.contains("\"workers_reconnected\":1"), "{metrics}");
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown(false).expect("shutdown");
+    serve.join().expect("serve thread").expect("serve io");
+
+    // The drained daemon left the same counters on disk for offline
+    // `jtune report`.
+    let snapshot = std::fs::read_to_string(state.join("state").join("server-metrics.json"))
+        .expect("metrics snapshot");
+    assert!(snapshot.contains("\"frames_rejected\":2"), "{snapshot}");
     let _ = std::fs::remove_dir_all(&state);
 }
 

@@ -253,6 +253,46 @@ pub enum TraceEvent {
         /// Why it expired (`"deadline"`, `"worker-gone"`, `"failed"`).
         reason: String,
     },
+    /// The daemon refused a connection or a submit under overload
+    /// (connection limit hit, or the admission queue full).
+    /// *Ephemeral*, like [`TraceEvent::WorkerRegistered`]: load shedding
+    /// is deployment weather, not session content.
+    ConnectionRejected {
+        /// Why admission refused (`"conn-limit"`, `"overloaded"`).
+        reason: String,
+        /// The `retry_after_ms` hint handed to the peer (0 for
+        /// connection-limit rejects, which carry no hint).
+        retry_after_ms: u64,
+    },
+    /// A wire frame was rejected before decoding (over the size cap, or
+    /// not UTF-8). *Ephemeral*, like [`TraceEvent::WorkerRegistered`].
+    FrameRejected {
+        /// The stable wire error code (`"frame-too-large"`,
+        /// `"bad-frame"`).
+        code: String,
+        /// Bytes of the offending frame that were observed before the
+        /// reject (for an oversized frame, at least the cap).
+        bytes: u64,
+    },
+    /// A client retried a request after an `overloaded` reject or an
+    /// I/O failure, under the jittered backoff policy. *Ephemeral*,
+    /// like [`TraceEvent::WorkerRegistered`].
+    ClientRetried {
+        /// 0-based attempt index that failed (0 = the original try).
+        attempt: u64,
+        /// Milliseconds the client backed off before this retry.
+        delay_ms: u64,
+    },
+    /// A worker lost its daemon connection and re-registered under the
+    /// backoff policy instead of exiting. *Ephemeral*, like
+    /// [`TraceEvent::WorkerRegistered`].
+    WorkerReconnected {
+        /// The worker id issued by the *new* registration.
+        wid: u64,
+        /// Reconnect attempts it took to get back in (1 = first retry
+        /// succeeded).
+        attempts: u64,
+    },
     /// A timed tuning phase began (propose / screen / measure / fit /
     /// checkpoint; see [`crate::phase`]). *Ephemeral*: span events carry
     /// wall-clock timings that vary run to run, so they feed live sinks
@@ -326,6 +366,10 @@ impl TraceEvent {
             TraceEvent::WorkerRegistered { .. } => "WorkerRegistered",
             TraceEvent::TrialLeased { .. } => "TrialLeased",
             TraceEvent::LeaseExpired { .. } => "LeaseExpired",
+            TraceEvent::ConnectionRejected { .. } => "ConnectionRejected",
+            TraceEvent::FrameRejected { .. } => "FrameRejected",
+            TraceEvent::ClientRetried { .. } => "ClientRetried",
+            TraceEvent::WorkerReconnected { .. } => "WorkerReconnected",
             TraceEvent::PhaseStarted { .. } => "PhaseStarted",
             TraceEvent::PhaseEnded { .. } => "PhaseEnded",
             TraceEvent::BestImproved { .. } => "BestImproved",
@@ -355,6 +399,10 @@ impl TraceEvent {
                 | TraceEvent::WorkerRegistered { .. }
                 | TraceEvent::TrialLeased { .. }
                 | TraceEvent::LeaseExpired { .. }
+                | TraceEvent::ConnectionRejected { .. }
+                | TraceEvent::FrameRejected { .. }
+                | TraceEvent::ClientRetried { .. }
+                | TraceEvent::WorkerReconnected { .. }
                 | TraceEvent::PhaseStarted { .. }
                 | TraceEvent::PhaseEnded { .. }
         )
@@ -553,6 +601,23 @@ impl TraceEvent {
                 .u64("wid", *wid)
                 .str("reason", reason)
                 .finish(),
+            TraceEvent::ConnectionRejected {
+                reason,
+                retry_after_ms,
+            } => o
+                .str("reason", reason)
+                .u64("retry_after_ms", *retry_after_ms)
+                .finish(),
+            TraceEvent::FrameRejected { code, bytes } => {
+                o.str("code", code).u64("bytes", *bytes).finish()
+            }
+            TraceEvent::ClientRetried { attempt, delay_ms } => o
+                .u64("attempt", *attempt)
+                .u64("delay_ms", *delay_ms)
+                .finish(),
+            TraceEvent::WorkerReconnected { wid, attempts } => {
+                o.u64("wid", *wid).u64("attempts", *attempts).finish()
+            }
             TraceEvent::PhaseStarted { phase, round } => {
                 o.str("phase", phase).u64("round", *round).finish()
             }
@@ -716,6 +781,19 @@ mod tests {
             TraceEvent::SessionResumed {
                 trials_replayed: 17,
             },
+            TraceEvent::ConnectionRejected {
+                reason: "overloaded".into(),
+                retry_after_ms: 250,
+            },
+            TraceEvent::FrameRejected {
+                code: "frame-too-large".into(),
+                bytes: 1 << 20,
+            },
+            TraceEvent::ClientRetried {
+                attempt: 0,
+                delay_ms: 120,
+            },
+            TraceEvent::WorkerReconnected { wid: 3, attempts: 2 },
             TraceEvent::PhaseStarted {
                 phase: "propose".into(),
                 round: 4,
@@ -762,6 +840,26 @@ mod tests {
             phase: "measure".into(),
             round: 1,
             elapsed_secs: 0.5
+        }
+        .is_ephemeral());
+        assert!(TraceEvent::ConnectionRejected {
+            reason: "conn-limit".into(),
+            retry_after_ms: 0
+        }
+        .is_ephemeral());
+        assert!(TraceEvent::FrameRejected {
+            code: "frame-too-large".into(),
+            bytes: 9
+        }
+        .is_ephemeral());
+        assert!(TraceEvent::ClientRetried {
+            attempt: 1,
+            delay_ms: 10
+        }
+        .is_ephemeral());
+        assert!(TraceEvent::WorkerReconnected {
+            wid: 1,
+            attempts: 1
         }
         .is_ephemeral());
         assert!(!TraceEvent::CheckpointWritten {

@@ -191,6 +191,10 @@ pub const COUNTERS: &[&str] = &[
     "workers_registered",
     "trials_leased",
     "leases_expired",
+    "connections_rejected",
+    "frames_rejected",
+    "clients_retried",
+    "workers_reconnected",
 ];
 
 /// Histogram names the registry maintains.
@@ -364,6 +368,10 @@ impl TuningObserver for MetricsRegistry {
             TraceEvent::WorkerRegistered { .. } => inner.bump("workers_registered"),
             TraceEvent::TrialLeased { .. } => inner.bump("trials_leased"),
             TraceEvent::LeaseExpired { .. } => inner.bump("leases_expired"),
+            TraceEvent::ConnectionRejected { .. } => inner.bump("connections_rejected"),
+            TraceEvent::FrameRejected { .. } => inner.bump("frames_rejected"),
+            TraceEvent::ClientRetried { .. } => inner.bump("clients_retried"),
+            TraceEvent::WorkerReconnected { .. } => inner.bump("workers_reconnected"),
             TraceEvent::PhaseStarted { .. } => {}
             TraceEvent::PhaseEnded {
                 phase,
@@ -468,6 +476,32 @@ mod tests {
         assert_eq!(m.counter("checkpoints_written"), 1);
         assert_eq!(m.counter("sessions_resumed"), 1);
         assert_eq!(m.histogram("retry_cost").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn counts_overload_events() {
+        let m = MetricsRegistry::new();
+        m.on_event(&TraceEvent::ConnectionRejected {
+            reason: "overloaded".into(),
+            retry_after_ms: 250,
+        });
+        m.on_event(&TraceEvent::ConnectionRejected {
+            reason: "conn-limit".into(),
+            retry_after_ms: 0,
+        });
+        m.on_event(&TraceEvent::FrameRejected {
+            code: "frame-too-large".into(),
+            bytes: 1 << 20,
+        });
+        m.on_event(&TraceEvent::ClientRetried {
+            attempt: 0,
+            delay_ms: 80,
+        });
+        m.on_event(&TraceEvent::WorkerReconnected { wid: 2, attempts: 1 });
+        assert_eq!(m.counter("connections_rejected"), 2);
+        assert_eq!(m.counter("frames_rejected"), 1);
+        assert_eq!(m.counter("clients_retried"), 1);
+        assert_eq!(m.counter("workers_reconnected"), 1);
     }
 
     #[test]

@@ -13,10 +13,15 @@
 //!                       [--checkpoint PATH] [--resume PATH]
 //!                       [--trace PATH] [--progress] [--json]
 //! jtune suite <spec|dacapo> [--budget MIN] [--trace PATH] [--progress] [--json]
-//! jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
-//!             [--spans] [--lease-ms MS]
+//! jtune serve [--listen ADDR] [--capacity N] [--queue N] [--slots N]
+//!             [--state-dir DIR] [--spans] [--lease-ms MS]
+//!             [--io-timeout-ms MS] [--max-frame BYTES] [--conn-limit N]
+//!             [--net-fault-rate F] [--net-fault-seed N]
 //! jtune worker --connect HOST:PORT [--slots N] [--wait-ms MS]
+//!              [--retries N] [--retry-max-ms MS]
+//!              [--net-fault-rate F] [--net-fault-seed N]
 //! jtune client <submit|status|watch|result|cancel|stats|shutdown> [...]
+//!              [--retries N] [--retry-max-ms MS]
 //! jtune report <dir-or-trace> [--format md|html|json] [--out PATH]
 //! jtune simulate <workload> [-XX:... flags]
 //! jtune flags [substring]
@@ -76,14 +81,19 @@ USAGE:
   jtune suite <spec|dacapo> [--budget MIN] [--seed N]
                         [... same tuning/fault flags as tune ...]
                         [--trace PATH] [--progress] [--json]
-  jtune serve [--listen ADDR] [--capacity N] [--slots N] [--state-dir DIR]
-              [--spans] [--lease-ms MS]
+  jtune serve [--listen ADDR] [--capacity N] [--queue N] [--slots N]
+              [--state-dir DIR] [--spans] [--lease-ms MS]
+              [--io-timeout-ms MS] [--max-frame BYTES] [--conn-limit N]
+              [--net-fault-rate F] [--net-fault-seed N]
   jtune worker --connect HOST:PORT [--slots N] [--wait-ms MS]
+               [--retries N] [--retry-max-ms MS]
+               [--net-fault-rate F] [--net-fault-seed N]
   jtune client submit <workload> [--budget MIN] [--seed N] [--max-evals N]
                       [--screen-ratio F] [--technique NAME]
   jtune client status [SID] | watch <SID> | result <SID> | cancel <SID>
   jtune client stats [SID] | shutdown [--no-drain]
   jtune client ... [--addr HOST:PORT]   (default 127.0.0.1:7171)
+                   [--retries N] [--retry-max-ms MS]   (backoff, default off)
   jtune report <dir-or-trace> [--format md|html|json] [--out PATH]
   jtune simulate <workload> [--gclog] [-XX:...flag ...]
   jtune flags [substring]      list the 750-flag registry
@@ -137,6 +147,18 @@ sessions and scheduling them fairly; each session's trace and result
 stay byte-identical to the one-shot `jtune tune` run with the same
 spec. `shutdown` (default) drains: in-flight sessions checkpoint and
 resume when a daemon restarts on the same --state-dir.
+
+Overload hardening: the daemon runs --capacity sessions at once and
+queues up to --queue more; past both bounds submits are shed with a
+stable `overloaded` error carrying a retry_after_ms hint. --conn-limit
+bounds concurrent connections, --io-timeout-ms reaps peers that stall
+mid-frame (slow-loris), and --max-frame rejects oversized lines with
+`frame-too-large`. Clients and workers retry with jittered exponential
+backoff (--retries/--retry-max-ms; client default off, worker default
+5) honoring the daemon's hint, and workers reconnect after connection
+loss. --net-fault-rate/--net-fault-seed (serve and worker) inject a
+seeded, bit-reproducible schedule of frame drops, delays, garbles and
+disconnects for chaos testing — traces stay byte-identical throughout.
 
 Distributed tuning: `jtune worker --connect HOST:PORT` attaches remote
 measurement capacity to a daemon. Workers lease trials over the same
@@ -537,10 +559,16 @@ fn cmd_serve(rest: &[String]) -> i32 {
     const SERVE_FLAGS: &[(&str, bool)] = &[
         ("--listen", true),
         ("--capacity", true),
+        ("--queue", true),
         ("--slots", true),
         ("--state-dir", true),
         ("--spans", false),
         ("--lease-ms", true),
+        ("--io-timeout-ms", true),
+        ("--max-frame", true),
+        ("--conn-limit", true),
+        ("--net-fault-rate", true),
+        ("--net-fault-seed", true),
     ];
     if let Err(e) = reject_unknown_flags("serve", rest, 0, SERVE_FLAGS) {
         eprintln!("{e}\n");
@@ -549,31 +577,50 @@ fn cmd_serve(rest: &[String]) -> i32 {
     let listen = parse_opt(rest, "--listen").unwrap_or_else(|| "127.0.0.1:7171".to_string());
     let state_dir = parse_opt(rest, "--state-dir").unwrap_or_else(|| "jtune-state".to_string());
     let mut config = hotspot_autotuner::server::ServerConfig::new(state_dir);
-    match parse_value(rest, "--capacity", "an integer") {
-        Ok(Some(n)) => config.capacity = n,
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("serve: invalid options: {e}\n");
-            return usage(2);
+    // An explicit --capacity without --queue keeps the historical
+    // bound: queue defaults to capacity so `capacity + queue` scales
+    // with the operator's intent.
+    let parsed = (|| -> Result<(), String> {
+        if let Some(n) = parse_value(rest, "--capacity", "an integer")? {
+            config.capacity = n;
+            config.queue = n;
         }
-    }
-    match parse_value(rest, "--slots", "an integer") {
-        Ok(Some(n)) => config.slots = n,
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("serve: invalid options: {e}\n");
-            return usage(2);
+        if let Some(n) = parse_value(rest, "--queue", "an integer")? {
+            config.queue = n;
         }
+        if let Some(n) = parse_value(rest, "--slots", "an integer")? {
+            config.slots = n;
+        }
+        if let Some(ms) = parse_value(rest, "--lease-ms", "an integer")? {
+            config.lease_ms = ms;
+        }
+        if let Some(ms) = parse_value(rest, "--io-timeout-ms", "an integer")? {
+            config.io_timeout_ms = ms;
+        }
+        if let Some(bytes) = parse_value(rest, "--max-frame", "an integer")? {
+            if bytes == 0 {
+                return Err("--max-frame must be at least 1".to_string());
+            }
+            config.max_frame = bytes;
+        }
+        if let Some(n) = parse_value(rest, "--conn-limit", "an integer")? {
+            config.conn_limit = n;
+        }
+        if let Some(rate) = parse_value::<f64>(rest, "--net-fault-rate", "a number")? {
+            if rate > 0.0 {
+                let seed =
+                    parse_value(rest, "--net-fault-seed", "an integer")?.unwrap_or(0xC4_05);
+                config.net_faults =
+                    hotspot_autotuner::server::NetFaultPlan::chaotic(rate, seed);
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("serve: invalid options: {e}\n");
+        return usage(2);
     }
     config.spans = rest.iter().any(|a| a == "--spans");
-    match parse_value(rest, "--lease-ms", "an integer") {
-        Ok(Some(ms)) => config.lease_ms = ms,
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("serve: invalid options: {e}\n");
-            return usage(2);
-        }
-    }
     let listener = match std::net::TcpListener::bind(&listen) {
         Ok(l) => l,
         Err(e) => {
@@ -611,8 +658,15 @@ fn cmd_serve(rest: &[String]) -> i32 {
 }
 
 fn cmd_worker(rest: &[String]) -> i32 {
-    const WORKER_FLAGS: &[(&str, bool)] =
-        &[("--connect", true), ("--slots", true), ("--wait-ms", true)];
+    const WORKER_FLAGS: &[(&str, bool)] = &[
+        ("--connect", true),
+        ("--slots", true),
+        ("--wait-ms", true),
+        ("--retries", true),
+        ("--retry-max-ms", true),
+        ("--net-fault-rate", true),
+        ("--net-fault-seed", true),
+    ];
     if let Err(e) = reject_unknown_flags("worker", rest, 0, WORKER_FLAGS) {
         eprintln!("{e}\n");
         return usage(2);
@@ -622,21 +676,32 @@ fn cmd_worker(rest: &[String]) -> i32 {
         return 2;
     };
     let mut options = hotspot_autotuner::server::WorkerOptions::new(addr);
-    match parse_value(rest, "--slots", "an integer") {
-        Ok(Some(n)) => options.slots = n,
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("worker: invalid options: {e}\n");
-            return usage(2);
+    let parsed = (|| -> Result<(), String> {
+        if let Some(n) = parse_value(rest, "--slots", "an integer")? {
+            options.slots = n;
         }
-    }
-    match parse_value(rest, "--wait-ms", "an integer") {
-        Ok(Some(ms)) => options.wait_ms = ms,
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("worker: invalid options: {e}\n");
-            return usage(2);
+        if let Some(ms) = parse_value(rest, "--wait-ms", "an integer")? {
+            options.wait_ms = ms;
         }
+        if let Some(n) = parse_value(rest, "--retries", "an integer")? {
+            options.retries = n;
+        }
+        if let Some(ms) = parse_value(rest, "--retry-max-ms", "an integer")? {
+            options.retry_max_ms = ms;
+        }
+        if let Some(rate) = parse_value::<f64>(rest, "--net-fault-rate", "a number")? {
+            if rate > 0.0 {
+                let seed =
+                    parse_value(rest, "--net-fault-seed", "an integer")?.unwrap_or(0xC4_05);
+                options.net_faults =
+                    hotspot_autotuner::server::NetFaultPlan::chaotic(rate, seed);
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("worker: invalid options: {e}\n");
+        return usage(2);
     }
     if options.slots == 0 {
         eprintln!("worker: --slots must be at least 1");
@@ -648,9 +713,10 @@ fn cmd_worker(rest: &[String]) -> i32 {
         options.slots,
         if options.slots == 1 { "" } else { "s" }
     );
-    // Run until the daemon drains or the connection drops; both are
-    // clean exits for a worker (exit 1 is reserved for never having
-    // registered at all).
+    // Run until the daemon drains (clean exit). A dropped connection
+    // is retried with jittered backoff per --retries/--retry-max-ms;
+    // exit 1 means a whole reconnect budget was exhausted without
+    // registering.
     match hotspot_autotuner::server::run_worker(&options) {
         Ok(stats) => {
             println!(
@@ -667,7 +733,8 @@ fn cmd_worker(rest: &[String]) -> i32 {
 }
 
 fn cmd_client(rest: &[String]) -> i32 {
-    use hotspot_autotuner::server::{Client, SessionSpec};
+    use hotspot_autotuner::harness::{BackoffPolicy, RetryPolicy};
+    use hotspot_autotuner::server::{with_retries, SessionSpec};
 
     let Some(sub) = rest.first() else {
         eprintln!("client: expected submit|status|watch|result|cancel|stats|shutdown");
@@ -682,6 +749,8 @@ fn cmd_client(rest: &[String]) -> i32 {
         ("--screen-ratio", true),
         ("--technique", true),
         ("--no-drain", false),
+        ("--retries", true),
+        ("--retry-max-ms", true),
     ];
     // submit takes a workload positional; watch/result/cancel a session
     // ID; status/stats an optional session ID; shutdown none.
@@ -692,11 +761,27 @@ fn cmd_client(rest: &[String]) -> i32 {
         return usage(2);
     }
     let addr = parse_opt(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7171".to_string());
-    let mut client = match Client::connect(&addr) {
-        Ok(c) => c,
+    // --retries 0 (the default) preserves single-shot behaviour; with
+    // retries on, `overloaded` rejections and connection failures back
+    // off (jittered exponential, capped by --retry-max-ms, floored by
+    // the daemon's retry_after_ms hint) and try again.
+    let policy = match (|| -> Result<BackoffPolicy, String> {
+        Ok(BackoffPolicy {
+            retry: RetryPolicy {
+                max_retries: parse_value(rest, "--retries", "an integer")?.unwrap_or(0),
+                backoff: 2.0,
+            },
+            base_ms: 100,
+            cap_ms: parse_value::<u64>(rest, "--retry-max-ms", "an integer")?
+                .unwrap_or(5_000)
+                .max(1),
+            seed: 0,
+        })
+    })() {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("client: cannot connect to {addr}: {e}");
-            return 1;
+            eprintln!("client {sub}: invalid options: {e}\n");
+            return usage(2);
         }
     };
     let positional = rest.first().filter(|a| !a.starts_with("--"));
@@ -719,7 +804,10 @@ fn cmd_client(rest: &[String]) -> i32 {
             spec.max_evaluations = parse_value(rest, "--max-evals", "an integer")?;
             spec.screen_ratio = parse_value(rest, "--screen-ratio", "a number")?;
             spec.technique = parse_opt(rest, "--technique");
-            let sid = client.submit(spec).map_err(|e| e.to_string())?;
+            // Not idempotent: a submit cut off mid-flight may already
+            // be admitted, so only `overloaded`/connect failures retry.
+            let sid = with_retries(&addr, &policy, false, |client| client.submit(spec.clone()))
+                .map_err(|e| e.to_string())?;
             println!("{sid}");
             Ok(())
         })(),
@@ -728,9 +816,10 @@ fn cmd_client(rest: &[String]) -> i32 {
                 Some(_) => Some(sid_arg()?),
                 None => None,
             };
-            let line = client
-                .round_trip_raw(&hotspot_autotuner::server::Request::Status { sid })
-                .map_err(|e| e.to_string())?;
+            let line = with_retries(&addr, &policy, true, |client| {
+                client.round_trip_raw(&hotspot_autotuner::server::Request::Status { sid })
+            })
+            .map_err(|e| e.to_string())?;
             println!("{line}");
             Ok(())
         })(),
@@ -739,34 +828,34 @@ fn cmd_client(rest: &[String]) -> i32 {
                 Some(_) => Some(sid_arg()?),
                 None => None,
             };
-            let line = client
-                .round_trip_raw(&hotspot_autotuner::server::Request::Stats { sid })
-                .map_err(|e| e.to_string())?;
+            let line = with_retries(&addr, &policy, true, |client| {
+                client.round_trip_raw(&hotspot_autotuner::server::Request::Stats { sid })
+            })
+            .map_err(|e| e.to_string())?;
             println!("{line}");
             Ok(())
         })(),
         "watch" => sid_arg().and_then(|sid| {
-            client
-                .watch(sid, |event| println!("{event}"))
-                .map(|_| ())
-                .map_err(|e| e.to_string())
+            // Streaming: replaying a half-watched session would repeat
+            // events, so only connect failures/overloaded retry.
+            with_retries(&addr, &policy, false, |client| {
+                client.watch(sid, |event| println!("{event}")).map(|_| ())
+            })
+            .map_err(|e| e.to_string())
         }),
         "result" => sid_arg().and_then(|sid| {
-            client
-                .result(sid)
+            with_retries(&addr, &policy, true, |client| client.result(sid))
                 .map(|record| println!("{record}"))
                 .map_err(|e| e.to_string())
         }),
         "cancel" => sid_arg().and_then(|sid| {
-            client
-                .cancel(sid)
+            with_retries(&addr, &policy, false, |client| client.cancel(sid))
                 .map(|()| println!("cancelled {sid}"))
                 .map_err(|e| e.to_string())
         }),
         "shutdown" => {
             let drain = !rest.iter().any(|a| a == "--no-drain");
-            client
-                .shutdown(drain)
+            with_retries(&addr, &policy, false, |client| client.shutdown(drain))
                 .map(|()| println!("shutdown acknowledged (drain: {drain})"))
                 .map_err(|e| e.to_string())
         }

@@ -26,6 +26,10 @@ struct Daemon {
 }
 
 fn start_daemon(state_dir: &Path) -> Daemon {
+    start_daemon_with(state_dir, &[])
+}
+
+fn start_daemon_with(state_dir: &Path, extra: &[&str]) -> Daemon {
     let mut child = jtune()
         .args([
             "serve",
@@ -36,6 +40,7 @@ fn start_daemon(state_dir: &Path) -> Daemon {
             "--slots",
             "2",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -195,6 +200,99 @@ fn remote_workers_produce_byte_identical_results_through_the_binary() {
         let status = worker.wait().expect("worker exit");
         assert!(status.success(), "worker exited non-zero: {status}");
     }
+    daemon.child.wait().expect("daemon exit");
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The full chaos gauntlet through the real binary: a daemon with wire
+/// deadlines, workers whose frames run through seeded fault plans, a
+/// worker killed mid-run and replaced, and a retrying client — with the
+/// session's trace and record still byte-identical to the undisturbed
+/// one-shot run.
+#[test]
+fn chaos_run_with_worker_churn_matches_one_shot_byte_for_byte() {
+    let root = temp_dir("chaos-cli");
+    let state = root.join("state");
+    let mut daemon = start_daemon_with(&state, &["--io-timeout-ms", "5000"]);
+
+    let spawn_worker = |seed: &str| -> Child {
+        jtune()
+            .args([
+                "worker",
+                "--connect",
+                daemon.addr.as_str(),
+                "--net-fault-rate",
+                "0.15",
+                "--net-fault-seed",
+                seed,
+                "--retries",
+                "10",
+                "--retry-max-ms",
+                "1000",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn worker")
+    };
+    let mut doomed = spawn_worker("48879");
+    let mut steady = spawn_worker("51966");
+
+    // Both registrations reach the daemon (chaos notwithstanding).
+    let start = Instant::now();
+    loop {
+        let out = client(&daemon.addr, &["stats"]);
+        assert!(out.status.success());
+        if String::from_utf8_lossy(&out.stdout).contains("\"workers_registered\":2") {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "workers never registered under chaos"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Submit through the retrying client path.
+    let out = client(
+        &daemon.addr,
+        &[
+            "submit", "compress", "--budget", "10", "--seed", "55", "--retries", "3",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sid = String::from_utf8(out.stdout)
+        .expect("utf8 sid")
+        .trim()
+        .to_string();
+
+    // Worker churn: one worker dies mid-run and a replacement arrives.
+    std::thread::sleep(Duration::from_millis(100));
+    doomed.kill().expect("kill worker");
+    doomed.wait().expect("reap worker");
+    let mut replacement = spawn_worker("57005");
+
+    let record = await_result(&daemon.addr, &sid);
+
+    let reference = temp_dir("chaos-cli-ref");
+    let (want_trace, want_record) = one_shot(&reference, "55", "10");
+    let got_trace =
+        std::fs::read_to_string(state.join(&sid).join("trace.jsonl")).expect("session trace");
+    assert_eq!(got_trace, want_trace, "chaos trace diverged");
+    assert_eq!(record, want_record, "chaos record diverged");
+
+    // Shut down; the surviving workers may drain cleanly or exhaust
+    // their reconnect budgets against the stopped daemon — either way
+    // they must exit rather than wedge.
+    let shutdown = client(&daemon.addr, &["shutdown", "--no-drain"]);
+    assert!(shutdown.status.success());
+    steady.wait().expect("steady worker exit");
+    replacement.wait().expect("replacement worker exit");
     daemon.child.wait().expect("daemon exit");
     let _ = std::fs::remove_dir_all(&reference);
     let _ = std::fs::remove_dir_all(&root);
